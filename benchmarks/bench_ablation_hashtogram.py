@@ -1,0 +1,28 @@
+"""Benchmark A2 (ablation): Hashtogram bucket-count / repetition trade-off.
+
+More buckets reduce hash-collision noise at the cost of server memory; more
+repetitions reduce per-query variance at the cost of public randomness.  The
+table quantifies both axes for the final-stage oracle configuration.
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import HashtogramAblationConfig, run_hashtogram_ablation
+
+
+CONFIG = HashtogramAblationConfig(num_users=30_000, domain_size=1 << 18,
+                                  epsilon=1.0, bucket_counts=[32, 128, 512],
+                                  repetition_counts=[1, 3, 7],
+                                  num_queries=100, rng=0)
+
+
+def test_ablation_hashtogram(benchmark):
+    rows = run_once(benchmark, run_hashtogram_ablation, CONFIG)
+    report(benchmark, "A2: Hashtogram bucket/repetition ablation", rows)
+    by_key = {(r["num_buckets"], r["num_repetitions"]): r for r in rows}
+    assert by_key[(512, 7)]["server_memory_items"] > by_key[(32, 1)]["server_memory_items"]
+    assert by_key[(512, 7)]["public_randomness_bits"] > by_key[(32, 1)]["public_randomness_bits"]
+    # The best configuration should comfortably beat the worst on RMS error.
+    best = min(row["rms_error"] for row in rows)
+    worst = max(row["rms_error"] for row in rows)
+    assert best < worst

@@ -1,0 +1,24 @@
+"""Benchmark E7: composition for randomized response (Theorem 5.1).
+
+Exact worst-case privacy loss and TV distance of the surrogate mechanism M̃
+across a sweep of k, against the Theorem 5.1 guarantee 6ε sqrt(k ln(1/β)) and
+basic composition kε.  The measured loss must stay below the theorem bound and
+fall below the linear kε curve once k is large.
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import ComposedRRConfig, run_composed_rr
+
+
+CONFIG = ComposedRRConfig(epsilon=0.05, beta=0.05,
+                          num_bits_sweep=[4, 8, 16, 32, 64, 128, 256])
+
+
+def test_composed_rr(benchmark):
+    rows = run_once(benchmark, run_composed_rr, CONFIG)
+    report(benchmark, "E7: composed randomized response (Theorem 5.1)", rows)
+    for row in rows:
+        assert row["worst_case_loss"] <= row["theorem_bound"] + 1e-9
+        assert row["tv_distance"] <= row["beta"] + 1e-12
+    assert rows[-1]["worst_case_loss"] < rows[-1]["basic_composition"]

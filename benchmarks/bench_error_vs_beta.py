@@ -1,0 +1,33 @@
+"""Benchmark E1: detection threshold / error versus the failure probability β.
+
+The paper's headline improvement (Theorem 3.13 vs Theorem 3.3): the error of
+the new protocol scales with sqrt(log(|X|/β)) while the prior reduction pays an
+extra sqrt(log(1/β)) because it amplifies success probability by repetitions.
+The benchmark measures the empirical detection threshold of both protocols as
+β shrinks: ours should stay flat, the baseline's should degrade.
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import ErrorCurveConfig, run_error_vs_beta
+
+
+CONFIG = ErrorCurveConfig(num_users=40_000, domain_size=1 << 20, epsilon=4.0,
+                          betas=[0.2, 0.05, 0.01, 1e-3, 1e-5],
+                          probe_fractions=[0.04, 0.07, 0.11, 0.16, 0.22, 0.3],
+                          rng=0)
+
+
+def test_error_vs_beta(benchmark):
+    rows = run_once(benchmark, run_error_vs_beta, CONFIG)
+    report(benchmark, "E1: detection threshold vs failure probability beta", rows)
+    # The baseline's repetition count must grow as beta shrinks; ours has no
+    # beta-dependent machinery at all.
+    assert rows[-1]["baseline_repetitions"] > rows[0]["baseline_repetitions"]
+    # Our detection threshold at the smallest beta is no worse than the
+    # baseline's (usually strictly better).
+    assert rows[-1]["ours_detection_fraction"] <= (
+        rows[-1]["baseline_detection_fraction"] + 1e-9)
+    # The formula gap grows like sqrt(log(1/beta)).
+    assert (rows[-1]["baseline_formula"] / rows[-1]["ours_formula"]
+            > rows[0]["baseline_formula"] / rows[0]["ours_formula"])

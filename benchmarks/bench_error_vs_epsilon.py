@@ -1,0 +1,23 @@
+"""Benchmark E3: heavy-hitters estimation error versus the privacy parameter ε.
+
+Theorem 3.13 predicts error proportional to 1/ε: halving the privacy budget
+should roughly double the estimation error of the recovered heavy hitters.
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import ErrorCurveConfig, run_error_vs_epsilon
+
+
+CONFIG = ErrorCurveConfig(num_users=40_000, domain_size=1 << 20, beta=0.05,
+                          epsilon_sweep=[2.0, 4.0, 8.0], rng=2)
+
+
+def test_error_vs_epsilon(benchmark):
+    rows = run_once(benchmark, run_error_vs_epsilon, CONFIG)
+    report(benchmark, "E3: estimation error vs privacy parameter epsilon", rows)
+    for row in rows:
+        assert row["recovered"] >= 1
+        assert row["max_error"] < 6 * row["formula"]
+    # 1/epsilon scaling of the envelope.
+    assert rows[0]["formula"] > rows[-1]["formula"]

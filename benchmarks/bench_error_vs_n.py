@@ -1,0 +1,25 @@
+"""Benchmark E2: heavy-hitters estimation error versus the number of users n.
+
+Theorem 3.13 predicts error growing like sqrt(n); the measured worst error
+over recovered planted elements should stay within a constant multiple of the
+``(1/ε) sqrt(n log(|X|/β))`` envelope across the sweep.
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import ErrorCurveConfig, run_error_vs_n
+
+
+CONFIG = ErrorCurveConfig(domain_size=1 << 20, epsilon=4.0, beta=0.05,
+                          num_users_sweep=[10_000, 20_000, 40_000, 80_000], rng=1)
+
+
+def test_error_vs_n(benchmark):
+    rows = run_once(benchmark, run_error_vs_n, CONFIG)
+    report(benchmark, "E2: estimation error vs number of users n", rows)
+    for row in rows:
+        assert row["recovered"] >= 1
+        assert row["max_error"] < 6 * row["formula"]
+    # The theoretical envelope grows with n; the measured error should not
+    # shrink dramatically while the formula doubles (shape check).
+    assert rows[-1]["formula"] > rows[0]["formula"]

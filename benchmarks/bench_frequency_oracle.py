@@ -1,0 +1,29 @@
+"""Benchmark E4: Hashtogram frequency-oracle error versus Theorems 3.7 / 3.8.
+
+Measured worst-case and RMS error of the general Hashtogram oracle (and the
+small-domain explicit oracle where applicable) across domain sizes, next to
+the paper's per-query error formulas.  The expected shape: error essentially
+flat in |X|, well inside the theoretical envelope, with O~(sqrt(n)) server
+memory for the hashing oracle.
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import FrequencyOracleConfig, run_frequency_oracle
+
+
+CONFIG = FrequencyOracleConfig(num_users=30_000, epsilon=1.0, beta=0.05,
+                               domain_sizes=[1 << 8, 1 << 12, 1 << 16, 1 << 20],
+                               num_queries=200, rng=0)
+
+
+def test_frequency_oracle(benchmark):
+    rows = run_once(benchmark, run_frequency_oracle, CONFIG)
+    report(benchmark, "E4: frequency-oracle error vs Theorem 3.7/3.8 bounds", rows)
+    for row in rows:
+        bound = row.get("bound_thm37", row.get("bound_thm38"))
+        assert row["max_error"] < 4 * bound
+    hashtogram_rows = [r for r in rows if r["oracle"] == "hashtogram"]
+    # Server memory of the hashing oracle does not grow with the domain.
+    assert (hashtogram_rows[-1]["server_memory_items"]
+            == hashtogram_rows[0]["server_memory_items"])

@@ -1,0 +1,26 @@
+"""Benchmark E5: advanced grouposition (Theorem 4.2).
+
+Measured (1-δ)-quantiles of the cumulative privacy loss of k randomized-
+response reports, against the central-model kε line and the local-model
+kε²/2 + ε sqrt(2k ln(1/δ)) curve.  The measured curve must stay below the
+Theorem 4.2 bound and separate from the linear central curve as k grows.
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import GroupositionConfig, run_grouposition
+
+
+CONFIG = GroupositionConfig(epsilon=0.2, delta=0.05,
+                            group_sizes=[1, 4, 16, 64, 256, 1024],
+                            num_samples=30_000, rng=0)
+
+
+def test_grouposition(benchmark):
+    rows = run_once(benchmark, run_grouposition, CONFIG)
+    report(benchmark, "E5: group privacy loss vs k (local sqrt(k) vs central k)",
+           rows)
+    for row in rows:
+        assert row["measured_quantile"] <= row["advanced_grouposition_bound"] + 1e-9
+    assert rows[-1]["advantage"] > rows[0]["advantage"]
+    assert rows[-1]["central_bound_k_epsilon"] > 4 * rows[-1]["measured_quantile"]

@@ -1,0 +1,40 @@
+"""Benchmark E9: the error lower bound (Theorem 7.2) and its anti-concentration core.
+
+Part 1 runs the replicated-database construction against the optimal ε-LDP
+counting protocol and compares the measured (1-β)-quantile error with the
+``Ω((1/ε) sqrt(n log(1/β)))`` lower-bound curve and the matching upper bound —
+the measured curve must be sandwiched between them (up to constants).
+
+Part 2 evaluates the exact escape probability of a Poisson-binomial sum from
+intervals of the Corollary 7.6 width, verifying the anti-concentration step.
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import (
+    LowerBoundConfig,
+    run_anti_concentration,
+    run_counting_lower_bound,
+)
+
+
+CONFIG = LowerBoundConfig(num_users=8_000, epsilon=1.0,
+                          betas=[0.3, 0.1, 0.03, 0.01], num_trials=300,
+                          anticoncentration_bits=400, rng=0)
+
+
+def test_counting_lower_bound(benchmark):
+    rows = run_once(benchmark, run_counting_lower_bound, CONFIG)
+    report(benchmark, "E9a: counting error quantiles vs the Theorem 7.2 curve", rows)
+    for row in rows:
+        assert row["measured_quantile_error"] >= 0.4 * row["lower_bound"]
+        assert row["measured_quantile_error"] <= 1.5 * row["upper_bound"]
+    # The quantile grows as beta shrinks (the sqrt(log(1/beta)) dependence).
+    assert rows[-1]["measured_quantile_error"] > rows[0]["measured_quantile_error"]
+
+
+def test_anti_concentration(benchmark):
+    rows = run_once(benchmark, run_anti_concentration, CONFIG)
+    report(benchmark, "E9b: Corollary 7.6 interval escape probabilities", rows)
+    for row in rows:
+        assert row["escape_at_least_beta"]

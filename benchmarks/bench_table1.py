@@ -1,0 +1,35 @@
+"""Benchmark T1: regenerate Table 1 (protocol comparison).
+
+Reproduces the rows of the paper's Table 1: server time, user time, server
+memory, per-user communication, public randomness, and worst-case error for
+PrivateExpanderSketch versus the Bassily et al. [3]-style baseline and the
+Bassily-Smith-style domain-scan baseline, plus the asymptotic formula rows.
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import Table1Config, run_table1, theoretical_rows
+
+
+CONFIG = Table1Config(num_users=60_000, domain_size=1 << 20, epsilon=4.0,
+                      beta=0.05, heavy_fractions=[0.3, 0.22, 0.15],
+                      scan_domain_size=1 << 14, rng=0)
+
+
+def test_table1_measured(benchmark):
+    """Measured resource/error profile of the three protocols (Table 1)."""
+    rows = run_once(benchmark, run_table1, CONFIG)
+    report(benchmark, "Table 1 (measured): protocol resource and error comparison",
+           rows)
+    ours = rows[0]
+    assert ours["protocol"] == "private_expander_sketch"
+    assert ours["recall"] == 1.0
+    assert ours["comm_bits_per_user"] < 200
+
+
+def test_table1_formulas(benchmark):
+    """Asymptotic Table 1 rows evaluated at the benchmark's parameters."""
+    rows = run_once(benchmark, theoretical_rows, CONFIG)
+    report(benchmark, "Table 1 (asymptotic formulas at the benchmark parameters)",
+           rows)
+    assert rows[0]["error_value"] < rows[1]["error_value"] < rows[2]["error_value"]

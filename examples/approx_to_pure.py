@@ -1,0 +1,79 @@
+"""From approximate to pure local privacy with GenProt (Section 6).
+
+A team has deployed an (ε, δ)-LDP histogram protocol based on the Gaussian
+mechanism and is asked by compliance to provide a *pure* ε'-DP guarantee (no
+δ failure mass) — without rebuilding the client.  GenProt (Theorem 6.1) does
+exactly that: wrap the existing local randomizer, publish T input-independent
+candidate reports per user, and have each user send only the index of a
+rejection-sampled candidate (a few bits).  The result is purely 10ε-private
+and statistically indistinguishable from the original protocol's output.
+
+The example wraps a Gaussian histogram randomizer, checks the transformed
+report size and privacy, and compares the histogram estimated from the
+original reports with the one estimated from the GenProt surrogates.
+
+Run with::
+
+    python examples/approx_to_pure.py
+"""
+
+import numpy as np
+
+from repro import GenProt
+from repro.randomizers.laplace import GaussianHistogramRandomizer
+
+EPSILON = 0.25          # Theorem 6.1 needs epsilon <= 1/4
+DELTA = 1e-9
+NUM_USERS = 4_000
+DOMAIN = 4              # a small categorical survey question
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    base = GaussianHistogramRandomizer(EPSILON, DELTA, DOMAIN)
+    genprot = GenProt(base, beta=0.05)
+
+    print(f"base protocol: Gaussian histogram randomizer, "
+          f"(epsilon, delta) = ({EPSILON}, {DELTA})")
+    print(f"transformed guarantee: pure {genprot.transformed_epsilon}-LDP")
+    print(f"candidates per user T = {genprot.candidates_for(NUM_USERS)}; "
+          f"report size = {genprot.report_bits(NUM_USERS)} bits "
+          "(versus a full noisy vector before)")
+    print(f"Theorem 6.1 utility loss bound (total variation): "
+          f"{genprot.utility_bound(NUM_USERS):.4f}")
+    print(f"theorem preconditions satisfied: "
+          f"{genprot.theorem_conditions_hold(NUM_USERS)}\n")
+
+    # A skewed categorical population.
+    values = rng.choice(DOMAIN, size=NUM_USERS, p=[0.45, 0.3, 0.2, 0.05])
+    true_histogram = np.bincount(values, minlength=DOMAIN)
+
+    original_reports = np.stack([base.randomize(int(v), rng) for v in values])
+    original_estimate = base.unbiased_histogram(original_reports)
+
+    surrogate_reports = np.stack(genprot.surrogate_reports(
+        [int(v) for v in values], rng))
+    transformed_estimate = base.unbiased_histogram(surrogate_reports)
+
+    print(f"{'answer':>8s}  {'true':>8s}  {'(eps,delta) estimate':>20s}  "
+          f"{'pure GenProt estimate':>21s}")
+    for v in range(DOMAIN):
+        print(f"{v:>8d}  {true_histogram[v]:>8d}  "
+              f"{original_estimate[v]:>20.0f}  {transformed_estimate[v]:>21.0f}")
+
+    worst_original = np.abs(original_estimate - true_histogram).max()
+    worst_transformed = np.abs(transformed_estimate - true_histogram).max()
+    print(f"\nworst-case histogram error: original {worst_original:.0f}, "
+          f"GenProt {worst_transformed:.0f}")
+    print("-> the pure protocol pays (essentially) nothing in accuracy, "
+          "confirming that approximate\n   local privacy buys no additional "
+          "utility over pure local privacy (Section 6).")
+
+    loss = genprot.empirical_index_privacy(0, 1, num_trials=2_000, rng=rng)
+    print(f"\nMonte-Carlo privacy audit of the transmitted index: "
+          f"worst observed loss {loss:.2f} "
+          f"(bound {genprot.transformed_epsilon:.2f})")
+
+
+if __name__ == "__main__":
+    main()

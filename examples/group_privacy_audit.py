@@ -1,0 +1,66 @@
+"""Auditing group privacy in the local model (Section 4 of the paper).
+
+A company runs an ε-LDP survey and is asked: "what does the protocol reveal
+about a *household* of k people rather than a single person?"  The central-DP
+answer is kε.  The paper's advanced grouposition (Theorem 4.2) shows the local
+model does much better — about ε·sqrt(k) — and this example measures it:
+
+* the empirical (1-δ)-quantile of the actual privacy loss of k randomized-
+  response reports, versus
+* the kε line and the advanced-grouposition curve,
+
+followed by the max-information consequence (Theorem 4.5) that makes adaptive
+reuse of LDP survey results safe.
+
+Run with::
+
+    python examples/group_privacy_audit.py
+"""
+
+from repro import GroupPrivacyAnalyzer, advanced_grouposition, ldp_max_information
+from repro.accounting.composition import central_group_privacy
+from repro.accounting.max_information import central_max_information
+from repro.randomizers.randomized_response import BinaryRandomizedResponse
+
+EPSILON = 0.2      # per-person survey budget
+DELTA = 0.05       # group-privacy failure probability
+GROUP_SIZES = [1, 4, 16, 64, 256, 1024]
+
+
+def main() -> None:
+    print(f"per-user randomizer: binary randomized response, epsilon = {EPSILON}\n")
+    analyzer = GroupPrivacyAnalyzer(BinaryRandomizedResponse(EPSILON))
+
+    header = (f"{'household size k':>16s}  {'measured loss':>13s}  "
+              f"{'sqrt(k) bound (Thm 4.2)':>23s}  {'central bound k*eps':>19s}")
+    print(header)
+    print("-" * len(header))
+    for k in GROUP_SIZES:
+        estimate = analyzer.empirical_group_epsilon([0] * k, [1] * k, DELTA,
+                                                    num_samples=30_000, rng=k)
+        local_bound = advanced_grouposition(k, EPSILON, DELTA)
+        central_bound, _ = central_group_privacy(k, EPSILON)
+        print(f"{k:>16d}  {estimate.quantile:>13.3f}  {local_bound:>23.3f}  "
+              f"{central_bound:>19.3f}")
+
+    print("\nreading: the measured loss tracks the sqrt(k) curve; for a "
+          "1024-person group the\nlocal model leaks an order of magnitude "
+          "less than the naive k*eps accounting suggests.")
+
+    # ----- the max-information consequence -----------------------------------------
+    num_users = 100_000
+    beta = 0.01
+    ldp_bound = ldp_max_information(num_users, EPSILON, beta)
+    central_bound = central_max_information(num_users, EPSILON)
+    print(f"\nmax-information of the whole {num_users}-user protocol "
+          f"(beta = {beta}):")
+    print(f"  LDP bound (Theorem 4.5, any input distribution): "
+          f"{ldp_bound:,.0f} nats")
+    print(f"  central-DP bound (arbitrary distributions):      "
+          f"{central_bound:,.0f} nats")
+    print("  -> conclusions drawn adaptively from the LDP survey generalise "
+          "with the stronger bound.")
+
+
+if __name__ == "__main__":
+    main()

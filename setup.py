@@ -1,0 +1,6 @@
+"""Setuptools entry point (kept so that `pip install -e .` works without the
+`wheel` package being available; all metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,107 @@
+"""repro — a reproduction of "Heavy Hitters and the Structure of Local Privacy".
+
+Bun, Nelson and Stemmer (PODS 2018, arXiv:1711.04740) give a locally
+differentially private heavy-hitters protocol with optimal worst-case error in
+every parameter (including the failure probability), a matching lower bound,
+and a collection of structural results about the local model: advanced
+grouposition, max-information bounds, pure-DP composition for randomized
+response, and a generic approximate-to-pure transformation.
+
+This package implements all of it:
+
+========================  =====================================================
+``repro.core``            PrivateExpanderSketch (Section 3.3) and its parameters
+``repro.frequency``       Hashtogram frequency oracles (Theorems 3.7/3.8)
+``repro.randomizers``     Local randomizers (RR, unary, RAPPOR, Hadamard, ...)
+``repro.codes``           Reed-Solomon + unique-list-recoverable codes (Thm 3.6)
+``repro.graphs``          Spectral expanders and cluster-preserving clustering
+``repro.hashing``         k-wise independent hash families
+``repro.baselines``       Bassily et al. [3], Bassily-Smith-style, RAPPOR, and
+                          non-private streaming baselines
+``repro.accounting``      Composition, advanced grouposition (Thm 4.2/4.3),
+                          max-information (Thm 4.5)
+``repro.structure``       Composed randomized response (Thm 5.1), GenProt (Thm 6.1)
+``repro.lowerbounds``     Anti-concentration and the Theorem 7.2 experiment
+``repro.workloads``       Synthetic Zipf / planted / URL / word workloads
+``repro.analysis``        Concentration bounds, Table 1 formulas, HH metrics
+========================  =====================================================
+
+Quickstart::
+
+    import numpy as np
+    from repro import PrivateExpanderSketch, planted_workload
+
+    workload = planted_workload(num_users=50_000, domain_size=1 << 20,
+                                heavy_fractions=[0.2, 0.15], rng=0)
+    protocol = PrivateExpanderSketch(domain_size=1 << 20, epsilon=2.0)
+    result = protocol.run(workload.values, rng=1)
+    print(result.top(5))
+"""
+
+from repro.core import (
+    PrivateExpanderSketch,
+    ProtocolParameters,
+    HeavyHitterProtocol,
+    HeavyHitterResult,
+)
+from repro.frequency import (
+    CountMeanSketchOracle,
+    ExplicitHistogramOracle,
+    FrequencyOracle,
+    HashtogramOracle,
+)
+from repro.applications import HierarchicalRangeOracle, PrivateQuantileEstimator
+from repro.baselines import (
+    SingleHashHeavyHitters,
+    DomainScanHeavyHitters,
+    RapporHeavyHitters,
+)
+from repro.structure import ApproximateComposedRandomizedResponse, GenProt
+from repro.accounting import (
+    advanced_grouposition,
+    advanced_grouposition_approximate,
+    GroupPrivacyAnalyzer,
+    ldp_max_information,
+)
+from repro.lowerbounds import CountingLowerBoundExperiment
+from repro.workloads import (
+    zipf_workload,
+    uniform_workload,
+    planted_workload,
+    synthetic_url_dataset,
+    synthetic_word_dataset,
+)
+from repro.analysis import score_heavy_hitters, table1_rows
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PrivateExpanderSketch",
+    "ProtocolParameters",
+    "HeavyHitterProtocol",
+    "HeavyHitterResult",
+    "ExplicitHistogramOracle",
+    "HashtogramOracle",
+    "CountMeanSketchOracle",
+    "FrequencyOracle",
+    "HierarchicalRangeOracle",
+    "PrivateQuantileEstimator",
+    "SingleHashHeavyHitters",
+    "DomainScanHeavyHitters",
+    "RapporHeavyHitters",
+    "ApproximateComposedRandomizedResponse",
+    "GenProt",
+    "advanced_grouposition",
+    "advanced_grouposition_approximate",
+    "GroupPrivacyAnalyzer",
+    "ldp_max_information",
+    "CountingLowerBoundExperiment",
+    "zipf_workload",
+    "uniform_workload",
+    "planted_workload",
+    "synthetic_url_dataset",
+    "synthetic_word_dataset",
+    "score_heavy_hitters",
+    "table1_rows",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""Privacy accounting: composition, group privacy, and max-information.
+
+This subpackage turns the structural results of Section 4 (and the standard
+central-model facts they are contrasted with) into evaluable bounds and
+empirical estimators:
+
+* :mod:`repro.accounting.composition` — basic and advanced composition, plus
+  central-model group privacy (the ``kε`` baseline).
+* :mod:`repro.accounting.grouposition` — Theorems 4.2 and 4.3: advanced
+  grouposition for pure and approximate LDP, together with a Monte-Carlo
+  privacy-loss sampler that measures the actual group privacy loss of a
+  product of local randomizers.
+* :mod:`repro.accounting.max_information` — Definition 4.4 and Theorem 4.5.
+* :mod:`repro.accounting.privacy_loss` — the privacy loss random variable
+  (Definition 4.1) and the moment facts used in the grouposition proof.
+"""
+
+from repro.accounting.composition import (
+    basic_composition,
+    advanced_composition,
+    central_group_privacy,
+)
+from repro.accounting.grouposition import (
+    advanced_grouposition,
+    advanced_grouposition_approximate,
+    GroupPrivacyAnalyzer,
+)
+from repro.accounting.max_information import (
+    ldp_max_information,
+    central_max_information,
+    max_information_from_losses,
+)
+from repro.accounting.privacy_loss import (
+    expected_privacy_loss_bound,
+    privacy_loss_samples,
+    PrivacyLossSummary,
+)
+
+__all__ = [
+    "basic_composition",
+    "advanced_composition",
+    "central_group_privacy",
+    "advanced_grouposition",
+    "advanced_grouposition_approximate",
+    "GroupPrivacyAnalyzer",
+    "ldp_max_information",
+    "central_max_information",
+    "max_information_from_losses",
+    "expected_privacy_loss_bound",
+    "privacy_loss_samples",
+    "PrivacyLossSummary",
+]

@@ -1,0 +1,97 @@
+"""Max-information bounds for LDP protocols (Definition 4.4, Theorem 4.5).
+
+Theorem 4.5: an ε-LDP protocol on n users has β-approximate max-information at
+most ``nε²/2 + ε sqrt(2n ln(1/β))`` — even for *non-product* input
+distributions, which is where local privacy genuinely beats the central model
+(Dwork et al. [8] only obtain the analogous bound for product distributions,
+and Rogers et al. [29] show the restriction is necessary centrally).
+
+Besides the analytic bounds, :func:`max_information_from_losses` implements
+the reduction used in the proof of Theorem 4.5: a (1-β)-quantile bound on the
+privacy loss implies the same bound on β-approximate max-information.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_epsilon, check_positive_int, check_probability
+
+
+def ldp_max_information(num_users: int, epsilon: float, beta: float) -> float:
+    """Theorem 4.5 bound (in nats): ``nε²/2 + ε sqrt(2n ln(1/β))``.
+
+    Holds for every input distribution, product or not.
+    """
+    check_positive_int(num_users, "num_users")
+    check_epsilon(epsilon)
+    check_probability(beta, "beta", allow_zero=False, allow_one=False)
+    return (num_users * epsilon**2 / 2.0
+            + epsilon * math.sqrt(2.0 * num_users * math.log(1.0 / beta)))
+
+
+def central_max_information(num_users: int, epsilon: float) -> float:
+    """Dwork et al. [8] central-model bound (nats): εn, for arbitrary distributions."""
+    check_positive_int(num_users, "num_users")
+    check_epsilon(epsilon)
+    return epsilon * num_users
+
+
+def central_max_information_product(num_users: int, epsilon: float, beta: float) -> float:
+    """Dwork et al. [8] bound for *product* distributions only:
+    ``O(nε² + ε sqrt(n log(1/β)))`` (unit constants)."""
+    check_positive_int(num_users, "num_users")
+    check_epsilon(epsilon)
+    check_probability(beta, "beta", allow_zero=False, allow_one=False)
+    return num_users * epsilon**2 + epsilon * math.sqrt(num_users * math.log(1.0 / beta))
+
+
+def max_information_from_losses(losses: Sequence[float], beta: float) -> float:
+    """Empirical β-approximate max-information bound from sampled privacy losses.
+
+    The proof of Theorem 4.5 shows that if the privacy loss between the
+    realised input and an independent redraw exceeds k with probability at
+    most β, then the β-approximate max-information is at most k.  Given
+    samples of that loss, the empirical (1-β)-quantile is the corresponding
+    estimate.
+    """
+    check_probability(beta, "beta", allow_zero=False, allow_one=False)
+    arr = np.asarray(losses, dtype=float)
+    if arr.size == 0:
+        raise ValueError("losses must be non-empty")
+    return float(np.quantile(arr, 1.0 - beta))
+
+
+def generalization_error_bound(max_information_nats: float, event_probability: float) -> float:
+    """Post-selection guarantee implied by bounded max-information.
+
+    If ``I_∞^β(D; A(D)) <= k`` then any event with probability p under an
+    independent redraw of the data has probability at most ``e^k · p + β``
+    after selection; this helper returns the ``e^k · p`` part (the caller adds
+    its own β), which is how max-information transfers to adaptive-analysis
+    generalization (the motivation given in Section 4).
+    """
+    if max_information_nats < 0:
+        raise ValueError("max information must be non-negative")
+    check_probability(event_probability, "event_probability")
+    return math.exp(max_information_nats) * event_probability
+
+
+def crossover_beta(num_users: int, epsilon: float) -> float:
+    """β at which the LDP bound of Theorem 4.5 equals the central kε bound.
+
+    For β above this value the LDP max-information bound is strictly smaller
+    than εn; used by the E6 benchmark to locate the regime where the local
+    model provably reveals less about the data.
+    """
+    check_positive_int(num_users, "num_users")
+    check_epsilon(epsilon)
+    # Solve nε²/2 + ε sqrt(2n ln(1/β)) = εn  for ln(1/β).
+    rhs = num_users * (1.0 - epsilon / 2.0)
+    if rhs <= 0:
+        return 1.0
+    ln_inv_beta = rhs**2 / (2.0 * num_users)
+    return math.exp(-ln_inv_beta)

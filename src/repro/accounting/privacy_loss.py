@@ -1,0 +1,108 @@
+"""The privacy loss random variable (Definition 4.1) and its moments.
+
+The advanced grouposition proof (Theorem 4.2) rests on two facts about the
+privacy loss ``L_{A(x),A(x')} = ln(Pr[A(x)=y]/Pr[A(x')=y])`` of an ε-DP local
+randomizer:
+
+* ``E[L] <= ε²/2``   (Proposition 3.3 of Bun-Steinke [5]),
+* ``|L| <= ε``        (immediate from the DP definition),
+
+after which Hoeffding's inequality concentrates the sum over the k changed
+coordinates.  This module provides those bounds and Monte-Carlo estimation of
+the loss distribution for concrete randomizers, so tests and benchmarks can
+check the bounds against measured losses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.randomizers.base import LocalRandomizer
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_epsilon, check_positive_int
+
+
+def expected_privacy_loss_bound(epsilon: float) -> float:
+    """Upper bound ε²/2 on the expected privacy loss of an ε-DP mechanism.
+
+    (Bun-Steinke, Proposition 3.3 — the "ε² expected loss" fact quoted before
+    Theorem 4.2.)
+    """
+    check_epsilon(epsilon)
+    return epsilon**2 / 2.0
+
+
+def worst_case_privacy_loss_bound(epsilon: float) -> float:
+    """The trivial bound |L| <= ε for a pure ε-DP mechanism."""
+    check_epsilon(epsilon)
+    return epsilon
+
+
+@dataclass(frozen=True)
+class PrivacyLossSummary:
+    """Summary statistics of sampled privacy losses between two inputs."""
+
+    mean: float
+    std: float
+    max_abs: float
+    quantile_95: float
+    quantile_99: float
+    num_samples: int
+
+    def exceeds_pure_bound(self, epsilon: float, tolerance: float = 1e-9) -> bool:
+        """Whether any sampled loss exceeded the pure-DP bound ε."""
+        return self.max_abs > epsilon + tolerance
+
+
+def privacy_loss_samples(randomizer: LocalRandomizer, x, x_prime, num_samples: int,
+                         rng: RandomState = None) -> np.ndarray:
+    """Monte-Carlo samples of the privacy loss of one randomizer between x and x'."""
+    check_positive_int(num_samples, "num_samples")
+    gen = as_generator(rng)
+    return randomizer.sample_privacy_losses(x, x_prime, num_samples, gen)
+
+
+def summarize_losses(losses: Sequence[float]) -> PrivacyLossSummary:
+    """Summarise a sample of privacy losses."""
+    arr = np.asarray(losses, dtype=float)
+    if arr.size == 0:
+        raise ValueError("losses must be non-empty")
+    return PrivacyLossSummary(
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        max_abs=float(np.abs(arr).max()),
+        quantile_95=float(np.quantile(arr, 0.95)),
+        quantile_99=float(np.quantile(arr, 0.99)),
+        num_samples=int(arr.size),
+    )
+
+
+def exact_privacy_loss_distribution(randomizer: LocalRandomizer, x, x_prime):
+    """Exact distribution of the privacy loss for enumerable report spaces.
+
+    Returns (losses, probabilities) arrays where losses[i] is the privacy loss
+    at report i and probabilities[i] = Pr[A(x) = report i].
+    """
+    space = randomizer.report_space()
+    if space is None:
+        raise ValueError("report space is not enumerable")
+    losses = []
+    probabilities = []
+    for report in space:
+        p = randomizer.prob(x, report)
+        q = randomizer.prob(x_prime, report)
+        if p == 0.0:
+            continue
+        losses.append(math.log(p / q))
+        probabilities.append(p)
+    return np.asarray(losses), np.asarray(probabilities)
+
+
+def exact_expected_privacy_loss(randomizer: LocalRandomizer, x, x_prime) -> float:
+    """Exact expected privacy loss (KL divergence) between A(x) and A(x')."""
+    losses, probabilities = exact_privacy_loss_distribution(randomizer, x, x_prime)
+    return float(np.dot(losses, probabilities))

@@ -1,0 +1,59 @@
+"""Analytical tools: concentration inequalities, theoretical error bounds, metrics.
+
+* :mod:`repro.analysis.concentration` implements the probabilistic toolbox the
+  paper's proofs rely on (Theorems 3.9-3.12): Poisson approximation and tails,
+  multiplicative Chernoff bounds under limited independence, and the limited
+  independence Bernstein inequality.
+* :mod:`repro.analysis.bounds` turns the rows of Table 1 and the theorem
+  statements of Sections 3 and 7 into evaluable formulas, so benchmarks can plot
+  measured error against the predicted envelope.
+* :mod:`repro.analysis.metrics` scores heavy-hitter outputs against ground
+  truth exactly as Definition 3.1 requires (recall of Δ-heavy elements, maximum
+  estimation error, list-size budget).
+"""
+
+from repro.analysis.concentration import (
+    chernoff_upper_tail,
+    chernoff_lower_tail,
+    poisson_tail_upper,
+    poisson_tail_lower,
+    poissonization_penalty,
+    bernstein_limited_independence,
+    hoeffding_tail,
+)
+from repro.analysis.bounds import (
+    heavy_hitter_error_this_work,
+    heavy_hitter_error_bassily_et_al,
+    heavy_hitter_error_bassily_smith,
+    frequency_oracle_error,
+    lower_bound_error,
+    Table1Row,
+    table1_rows,
+)
+from repro.analysis.metrics import (
+    HeavyHitterScore,
+    score_heavy_hitters,
+    true_frequencies,
+    frequency_estimation_errors,
+)
+
+__all__ = [
+    "chernoff_upper_tail",
+    "chernoff_lower_tail",
+    "poisson_tail_upper",
+    "poisson_tail_lower",
+    "poissonization_penalty",
+    "bernstein_limited_independence",
+    "hoeffding_tail",
+    "heavy_hitter_error_this_work",
+    "heavy_hitter_error_bassily_et_al",
+    "heavy_hitter_error_bassily_smith",
+    "frequency_oracle_error",
+    "lower_bound_error",
+    "Table1Row",
+    "table1_rows",
+    "HeavyHitterScore",
+    "score_heavy_hitters",
+    "true_frequencies",
+    "frequency_estimation_errors",
+]

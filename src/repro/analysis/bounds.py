@@ -1,0 +1,207 @@
+"""Theoretical error bounds and the rows of Table 1 as evaluable formulas.
+
+The paper's headline comparison (Table 1) is between three protocols:
+
+==============================  =============================================
+This work (PrivateExpanderSketch)  error ``O((1/ε) sqrt(n log(|X|/β)))``
+Bassily et al. [3]                 error ``O((1/ε) sqrt(n log(|X|/β) log(1/β)))``
+Bassily and Smith [4]              error ``O((log^{1.5}(1/β)/ε) sqrt(n log |X|))``
+==============================  =============================================
+
+together with the matching lower bound of Theorem 7.2,
+``Ω((1/ε) sqrt(n log(|X|/β)))``.  The functions below evaluate these bounds
+(with unit constants, since the paper's constants are unspecified) so that
+benchmarks can overlay measured error on the predicted scaling and check the
+*shape*: who wins, by what factor, and how each curve reacts to β.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.utils.validation import check_epsilon, check_positive_int, check_probability
+
+
+def _check_args(n: int, domain_size: int, epsilon: float, beta: float) -> None:
+    check_positive_int(n, "n")
+    check_positive_int(domain_size, "domain_size")
+    check_epsilon(epsilon)
+    check_probability(beta, "beta", allow_zero=False, allow_one=False)
+
+
+def heavy_hitter_error_this_work(n: int, domain_size: int, epsilon: float, beta: float,
+                                 constant: float = 1.0) -> float:
+    """Theorem 3.13 error: ``(C/ε) sqrt(n log(|X|/β))``."""
+    _check_args(n, domain_size, epsilon, beta)
+    return constant / epsilon * math.sqrt(n * math.log(domain_size / beta))
+
+
+def heavy_hitter_error_bassily_et_al(n: int, domain_size: int, epsilon: float, beta: float,
+                                     constant: float = 1.0) -> float:
+    """Theorem 3.3 detection threshold: ``(C/ε) sqrt(n log(|X|/β) log(1/β))``."""
+    _check_args(n, domain_size, epsilon, beta)
+    return (constant / epsilon
+            * math.sqrt(n * math.log(domain_size / beta) * math.log(1.0 / beta)))
+
+
+def heavy_hitter_error_bassily_smith(n: int, domain_size: int, epsilon: float, beta: float,
+                                     constant: float = 1.0) -> float:
+    """Bassily-Smith [4] error: ``C log^{1.5}(1/β)/ε * sqrt(n log |X|)``."""
+    _check_args(n, domain_size, epsilon, beta)
+    return (constant * math.log(1.0 / beta) ** 1.5 / epsilon
+            * math.sqrt(n * math.log(domain_size)))
+
+
+def frequency_oracle_error(n: int, domain_size: int, epsilon: float, beta: float,
+                           constant: float = 1.0) -> float:
+    """Theorem 3.7 per-query error of Hashtogram: ``(C/ε) sqrt(n log(min(n,|X|)/β))``."""
+    _check_args(n, domain_size, epsilon, beta)
+    return constant / epsilon * math.sqrt(n * math.log(min(n, domain_size) / beta))
+
+
+def frequency_oracle_error_small_domain(n: int, epsilon: float, beta: float,
+                                        constant: float = 1.0) -> float:
+    """Theorem 3.8 per-query error for small domains: ``(C/ε) sqrt(n log(1/β))``."""
+    check_positive_int(n, "n")
+    check_epsilon(epsilon)
+    check_probability(beta, "beta", allow_zero=False, allow_one=False)
+    return constant / epsilon * math.sqrt(n * math.log(1.0 / beta))
+
+
+def lower_bound_error(n: int, domain_size: int, epsilon: float, beta: float,
+                      constant: float = 1.0) -> float:
+    """Theorem 7.2 lower bound: ``Ω((1/ε) sqrt(n log(|X|/β)))``."""
+    _check_args(n, domain_size, epsilon, beta)
+    return constant / epsilon * math.sqrt(n * math.log(domain_size / beta))
+
+
+def advanced_grouposition_epsilon(k: int, epsilon: float, delta_prime: float) -> float:
+    """Theorem 4.2 group-privacy parameter: ``kε²/2 + ε sqrt(2k ln(1/δ'))``."""
+    check_positive_int(k, "k")
+    check_epsilon(epsilon)
+    check_probability(delta_prime, "delta_prime", allow_zero=False, allow_one=False)
+    return k * epsilon**2 / 2.0 + epsilon * math.sqrt(2.0 * k * math.log(1.0 / delta_prime))
+
+
+def central_grouposition_epsilon(k: int, epsilon: float) -> float:
+    """Central-model group privacy: exactly ``kε``."""
+    check_positive_int(k, "k")
+    check_epsilon(epsilon)
+    return k * epsilon
+
+
+def max_information_bound(n: int, epsilon: float, beta: float) -> float:
+    """Theorem 4.5: β-approximate max-information of an ε-LDP protocol,
+    ``nε²/2 + ε sqrt(2n ln(1/β))`` (in nats)."""
+    check_positive_int(n, "n")
+    check_epsilon(epsilon)
+    check_probability(beta, "beta", allow_zero=False, allow_one=False)
+    return n * epsilon**2 / 2.0 + epsilon * math.sqrt(2.0 * n * math.log(1.0 / beta))
+
+
+def central_max_information_bound(n: int, epsilon: float) -> float:
+    """Dwork et al. [8]: ε-DP algorithms have max-information O(εn) (unit constant)."""
+    check_positive_int(n, "n")
+    check_epsilon(epsilon)
+    return epsilon * n
+
+
+def composed_rr_epsilon(k: int, epsilon: float, beta: float) -> float:
+    """Theorem 5.1 privacy of the approximate composed randomized response:
+    ``ε̃ = 6 ε sqrt(k ln(1/β))``."""
+    check_positive_int(k, "k")
+    check_epsilon(epsilon)
+    check_probability(beta, "beta", allow_zero=False, allow_one=False)
+    return 6.0 * epsilon * math.sqrt(k * math.log(1.0 / beta))
+
+
+def genprot_tv_distance(n: int, epsilon: float, delta: float, num_candidates: int) -> float:
+    """Theorem 6.1 utility loss of GenProt in total variation distance:
+    ``n ((1/2 + ε)^T + 6 T δ e^ε / (1 - e^{-ε}))``."""
+    check_positive_int(n, "n")
+    check_epsilon(epsilon)
+    check_positive_int(num_candidates, "num_candidates")
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    term_empty = n * (0.5 + epsilon) ** num_candidates
+    term_delta = n * 6.0 * num_candidates * delta * math.exp(epsilon) / (1.0 - math.exp(-epsilon))
+    return term_empty + term_delta
+
+
+def genprot_report_bits(num_candidates: int) -> int:
+    """GenProt per-user report size: an index into [T], i.e. ceil(log2 T) bits."""
+    check_positive_int(num_candidates, "num_candidates")
+    return max(int(math.ceil(math.log2(num_candidates))), 1)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One protocol's column of Table 1 as asymptotic formulas (unit constants).
+
+    ``server_time``, ``user_time``, ``server_memory``, ``communication_bits``
+    and ``public_randomness`` are expressed as functions of n (ignoring shared
+    polylog factors the paper hides in the O~ notation); ``error`` is the
+    worst-case error bound as a function of (n, |X|, ε, β).
+    """
+
+    name: str
+    server_time: str
+    user_time: str
+    server_memory: str
+    communication: str
+    public_randomness: str
+    error_formula: str
+
+    def error(self, n: int, domain_size: int, epsilon: float, beta: float) -> float:
+        if self.name == "this_work":
+            return heavy_hitter_error_this_work(n, domain_size, epsilon, beta)
+        if self.name == "bassily_et_al":
+            return heavy_hitter_error_bassily_et_al(n, domain_size, epsilon, beta)
+        if self.name == "bassily_smith":
+            return heavy_hitter_error_bassily_smith(n, domain_size, epsilon, beta)
+        raise ValueError(f"unknown protocol row {self.name!r}")
+
+
+def table1_rows() -> List[Table1Row]:
+    """The three comparison rows of Table 1, in the paper's order."""
+    return [
+        Table1Row(
+            name="this_work",
+            server_time="O~(n)",
+            user_time="O~(1)",
+            server_memory="O~(sqrt(n))",
+            communication="O(1)",
+            public_randomness="O~(1)",
+            error_formula="(1/eps) sqrt(n log(|X|/beta))",
+        ),
+        Table1Row(
+            name="bassily_et_al",
+            server_time="O~(n)",
+            user_time="O~(1)",
+            server_memory="O~(sqrt(n))",
+            communication="O(1)",
+            public_randomness="O~(1)",
+            error_formula="(1/eps) sqrt(n log(|X|/beta) log(1/beta))",
+        ),
+        Table1Row(
+            name="bassily_smith",
+            server_time="O~(n^2.5)",
+            user_time="O~(n^1.5)",
+            server_memory="O~(n^2)",
+            communication="O(1)",
+            public_randomness="O~(n^1.5)",
+            error_formula="(log^{1.5}(1/beta)/eps) sqrt(n log |X|)",
+        ),
+    ]
+
+
+def table1_error_comparison(n: int, domain_size: int, epsilon: float,
+                            betas: List[float]) -> Dict[str, List[float]]:
+    """Evaluate every Table 1 error formula on a sweep of failure probabilities."""
+    rows = table1_rows()
+    return {
+        row.name: [row.error(n, domain_size, epsilon, beta) for beta in betas]
+        for row in rows
+    }

@@ -1,0 +1,149 @@
+"""Concentration and anti-concentration inequalities used throughout the paper.
+
+This module implements, as evaluable functions, the probabilistic toolbox of
+Section 3.2:
+
+* Theorem 3.9 (Poisson approximation penalty ``e * sqrt(n)``),
+* Theorem 3.10 (Poisson tail bounds),
+* Theorem 3.11 (multiplicative Chernoff, including the limited-independence
+  upper tail of Schmidt-Siegel-Srinivasan),
+* Theorem 3.12 (limited-independence Bernstein inequality of Kane et al.),
+* Hoeffding's inequality (used in the advanced grouposition proof, Thm 4.2).
+
+These are *bounds* — functions from parameters to a probability (or a
+deviation) — used both inside parameter selection for the protocol and in the
+benchmarks that compare measured failure rates against the analysis.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_in_range, check_positive
+
+
+def chernoff_upper_tail(mu: float, alpha: float, independence: int | None = None) -> float:
+    """Upper-tail multiplicative Chernoff bound, Theorem 3.11.
+
+    Returns an upper bound on ``Pr[X >= mu(1 + alpha)]`` for a sum X of 0/1
+    random variables with mean ``mu`` and ``0 <= alpha <= 1``.
+
+    If ``independence`` is given, the bound is only valid when the summands are
+    ``ceil(mu * alpha)``-wise independent (Theorem 3.11 item 1); we check that
+    the supplied independence is sufficient and raise otherwise, since silently
+    returning an invalid bound would corrupt parameter selection.
+    """
+    check_positive(mu, "mu")
+    check_in_range(alpha, 0.0, 1.0, "alpha")
+    if independence is not None:
+        required = math.ceil(mu * alpha)
+        if independence < required:
+            raise ValueError(
+                f"Chernoff upper tail under limited independence requires "
+                f"{required}-wise independence, got {independence}")
+    return math.exp(-(alpha**2) * mu / 3.0)
+
+
+def chernoff_lower_tail(mu: float, alpha: float) -> float:
+    """Lower-tail multiplicative Chernoff bound, Theorem 3.11 item 2.
+
+    Returns an upper bound on ``Pr[X <= mu(1 - alpha)]`` for fully independent
+    0/1 summands with mean ``mu`` and ``0 <= alpha <= 1``.
+    """
+    check_positive(mu, "mu")
+    check_in_range(alpha, 0.0, 1.0, "alpha")
+    return math.exp(-(alpha**2) * mu / 2.0)
+
+
+def poisson_tail_upper(mu: float, alpha: float) -> float:
+    """Poisson upper tail, Theorem 3.10: ``Pr[X >= mu(1+alpha)] <= exp(-alpha^2 mu / 2)``."""
+    check_positive(mu, "mu")
+    check_in_range(alpha, 0.0, 1.0, "alpha")
+    return math.exp(-(alpha**2) * mu / 2.0)
+
+
+def poisson_tail_lower(mu: float, alpha: float) -> float:
+    """Poisson lower tail, Theorem 3.10: ``Pr[X <= mu(1-alpha)] <= exp(-alpha^2 mu / 2)``."""
+    check_positive(mu, "mu")
+    check_in_range(alpha, 0.0, 1.0, "alpha")
+    return math.exp(-(alpha**2) * mu / 2.0)
+
+
+def poissonization_penalty(num_balls: int) -> float:
+    """Theorem 3.9 penalty factor ``e * sqrt(n)``.
+
+    Any event with probability p in the independent-Poisson model has
+    probability at most ``p * e * sqrt(n)`` in the exact balls-in-bins model.
+    """
+    if num_balls < 0:
+        raise ValueError("num_balls must be non-negative")
+    return math.e * math.sqrt(max(num_balls, 1))
+
+
+def bernstein_limited_independence(sigma: float, bound: float, k: int, deviation: float,
+                                   constant: float = 2.0) -> float:
+    """Limited-independence Bernstein inequality, Theorem 3.12 (Kane et al.).
+
+    For k-wise independent summands (k even) each bounded by ``bound`` in
+    magnitude with total variance ``sigma**2``, the probability of deviating
+    from the mean by more than ``deviation`` is at most
+
+        ``C^k * ((sigma * sqrt(k) / deviation)^k + (bound * k / deviation)^k)``.
+
+    The universal constant C is not pinned down in the paper; ``constant``
+    exposes it (2.0 is a safe published value).  The return value is clipped to
+    1 since any probability bound above 1 is vacuous.
+    """
+    check_positive(deviation, "deviation")
+    if k < 2 or k % 2 != 0:
+        raise ValueError("k must be an even integer >= 2")
+    if sigma < 0 or bound < 0:
+        raise ValueError("sigma and bound must be non-negative")
+    term_sigma = (sigma * math.sqrt(k) / deviation) ** k
+    term_bound = (bound * k / deviation) ** k
+    value = (constant ** k) * (term_sigma + term_bound)
+    return min(value, 1.0)
+
+
+def hoeffding_tail(num_terms: int, half_width: float, deviation: float) -> float:
+    """Hoeffding bound for a sum of independent terms in ``[-half_width, half_width]``.
+
+    Returns an upper bound on ``Pr[X - E[X] > deviation]``:
+    ``exp(-deviation^2 / (2 * n * half_width^2))``.  This is exactly the form
+    used in the advanced-grouposition proof (Theorem 4.2), where each privacy
+    loss term is bounded by ε in magnitude.
+    """
+    if num_terms <= 0:
+        raise ValueError("num_terms must be positive")
+    check_positive(half_width, "half_width")
+    check_positive(deviation, "deviation")
+    return math.exp(-(deviation**2) / (2.0 * num_terms * half_width**2))
+
+
+def binomial_entropy_lower_tail(num_trials: int, shift: float) -> float:
+    """Lemma 5.5 anti-concentration for uniform bits.
+
+    For ``U`` uniform on {0,1}^k, ``Pr[|U| >= k/2 + t*sqrt(k)] >= exp(-3 t^2)/(k+1)``
+    for ``t in [0, sqrt(k)/2]``.  ``shift`` is the t parameter.
+    """
+    if num_trials <= 0:
+        raise ValueError("num_trials must be positive")
+    if not 0 <= shift <= math.sqrt(num_trials) / 2:
+        raise ValueError("shift must lie in [0, sqrt(k)/2]")
+    return math.exp(-3.0 * shift**2) / (num_trials + 1)
+
+
+def binomial_anticoncentration_lower(num_trials: int, p: float, deviation: float) -> float:
+    """Theorem A.4 (Klein-Young) anti-concentration lower bound.
+
+    For ``0 < p <= 1/2`` and ``sqrt(3 n p) <= t <= n p / 2``:
+    ``Pr[Bin(n, p) <= np - t] >= exp(-9 t^2 / (np))`` and symmetrically for the
+    upper tail.  Returns the common lower bound on each one-sided tail.
+    """
+    check_positive(deviation, "deviation")
+    if not 0 < p <= 0.5:
+        raise ValueError("p must lie in (0, 1/2]")
+    np_ = num_trials * p
+    if not math.sqrt(3 * np_) <= deviation <= np_ / 2:
+        raise ValueError("deviation outside the validity range [sqrt(3np), np/2]")
+    return math.exp(-9.0 * deviation**2 / np_)

@@ -1,0 +1,26 @@
+"""Downstream applications built on the heavy-hitters / frequency-oracle API.
+
+The paper's introduction motivates LDP heavy hitters as a subroutine "for
+solving many other problems, such as median estimation, convex optimization,
+and clustering" [31, 26].  This subpackage implements the canonical such
+application end to end:
+
+* :class:`~repro.applications.quantiles.HierarchicalRangeOracle` — a locally
+  private hierarchical (dyadic) histogram supporting range counts over an
+  ordered domain, and
+* :class:`~repro.applications.quantiles.PrivateQuantileEstimator` — median and
+  arbitrary quantile estimation on top of it,
+
+both assembled purely from the library's frequency oracles and accounting
+utilities, exactly the way a downstream user would build them.
+"""
+
+from repro.applications.quantiles import (
+    HierarchicalRangeOracle,
+    PrivateQuantileEstimator,
+)
+
+__all__ = [
+    "HierarchicalRangeOracle",
+    "PrivateQuantileEstimator",
+]

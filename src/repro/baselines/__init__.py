@@ -1,0 +1,37 @@
+"""Baseline heavy-hitter protocols and non-private streaming references.
+
+* :class:`SingleHashHeavyHitters` — the reduction of Bassily et al. [3]
+  surveyed in Section 3.1.1: one shared hash per repetition, symbol-by-symbol
+  reconstruction, and success-probability amplification by repetitions (the
+  source of the sub-optimal ``sqrt(log(1/β))`` factor the paper removes).
+* :class:`DomainScanHeavyHitters` — a Bassily-Smith-style protocol that builds
+  a frequency oracle and scans the whole domain; it reproduces the "runtime at
+  least linear in |X|" cost profile Table 1 attributes to [4].
+* :class:`RapporHeavyHitters` — the industrial RAPPOR baseline [12]
+  (Bloom-filter reports, candidate-set regression decoding).
+* :mod:`repro.baselines.nonprivate` — exact counting, Misra-Gries,
+  SpaceSaving, CountMin and CountSketch, used for ground truth and to show the
+  error floor without privacy.
+"""
+
+from repro.baselines.single_hash import SingleHashHeavyHitters
+from repro.baselines.bassily_smith import DomainScanHeavyHitters
+from repro.baselines.rappor_hh import RapporHeavyHitters
+from repro.baselines.nonprivate import (
+    ExactCounter,
+    MisraGries,
+    SpaceSaving,
+    CountMinSketch,
+    CountSketch,
+)
+
+__all__ = [
+    "SingleHashHeavyHitters",
+    "DomainScanHeavyHitters",
+    "RapporHeavyHitters",
+    "ExactCounter",
+    "MisraGries",
+    "SpaceSaving",
+    "CountMinSketch",
+    "CountSketch",
+]

@@ -1,0 +1,181 @@
+"""Non-private streaming heavy-hitter algorithms.
+
+These serve three purposes in the reproduction:
+
+1. ground truth and an error floor for the benchmarks (how well can one do
+   with no privacy at all, in comparable space);
+2. the algorithmic context of Larsen et al. [22], whose expander sketch is a
+   (non-private) streaming heavy-hitters algorithm — Misra-Gries, SpaceSaving,
+   CountMin and CountSketch are the standard points of comparison there;
+3. reusable substrates (CountSketch in particular shares its hashing/sign
+   structure with Hashtogram).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+from repro.hashing.kwise import KWiseHashFamily, sign_hash
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_positive_int
+
+
+class ExactCounter:
+    """Exact frequency counting (the ground truth every benchmark scores against)."""
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+
+    def update(self, values: Iterable[int]) -> "ExactCounter":
+        self._counts.update(int(v) for v in values)
+        return self
+
+    def estimate(self, x: int) -> float:
+        return float(self._counts.get(int(x), 0))
+
+    def heavy_hitters(self, threshold: float) -> Dict[int, int]:
+        return {x: c for x, c in self._counts.items() if c >= threshold}
+
+    def top(self, count: int) -> Dict[int, int]:
+        return dict(self._counts.most_common(count))
+
+    @property
+    def total(self) -> int:
+        return int(sum(self._counts.values()))
+
+
+class MisraGries:
+    """Misra-Gries deterministic heavy hitters with k counters.
+
+    Guarantees: every element with frequency > n/(k+1) is retained, and each
+    retained estimate undercounts by at most n/(k+1).
+    """
+
+    def __init__(self, num_counters: int) -> None:
+        self.num_counters = check_positive_int(num_counters, "num_counters")
+        self._counters: Dict[int, int] = {}
+        self._processed = 0
+
+    def update(self, values: Iterable[int]) -> "MisraGries":
+        for value in values:
+            value = int(value)
+            self._processed += 1
+            if value in self._counters:
+                self._counters[value] += 1
+            elif len(self._counters) < self.num_counters:
+                self._counters[value] = 1
+            else:
+                for key in list(self._counters):
+                    self._counters[key] -= 1
+                    if self._counters[key] == 0:
+                        del self._counters[key]
+        return self
+
+    def estimate(self, x: int) -> float:
+        return float(self._counters.get(int(x), 0))
+
+    def candidates(self) -> Dict[int, int]:
+        return dict(self._counters)
+
+    @property
+    def max_undercount(self) -> float:
+        return self._processed / (self.num_counters + 1)
+
+
+class SpaceSaving:
+    """SpaceSaving heavy hitters with k counters (overestimates, never misses)."""
+
+    def __init__(self, num_counters: int) -> None:
+        self.num_counters = check_positive_int(num_counters, "num_counters")
+        self._counts: Dict[int, int] = {}
+        self._overestimate: Dict[int, int] = {}
+
+    def update(self, values: Iterable[int]) -> "SpaceSaving":
+        for value in values:
+            value = int(value)
+            if value in self._counts:
+                self._counts[value] += 1
+            elif len(self._counts) < self.num_counters:
+                self._counts[value] = 1
+                self._overestimate[value] = 0
+            else:
+                victim = min(self._counts, key=self._counts.get)
+                victim_count = self._counts.pop(victim)
+                self._overestimate.pop(victim)
+                self._counts[value] = victim_count + 1
+                self._overestimate[value] = victim_count
+        return self
+
+    def estimate(self, x: int) -> float:
+        return float(self._counts.get(int(x), 0))
+
+    def guaranteed_count(self, x: int) -> float:
+        """Lower bound on the true count (estimate minus its overestimation)."""
+        x = int(x)
+        if x not in self._counts:
+            return 0.0
+        return float(self._counts[x] - self._overestimate[x])
+
+    def candidates(self) -> Dict[int, int]:
+        return dict(self._counts)
+
+
+class CountMinSketch:
+    """CountMin sketch: biased-up frequency estimates in sublinear space."""
+
+    def __init__(self, domain_size: int, width: int, depth: int,
+                 rng: RandomState = None) -> None:
+        self.domain_size = check_positive_int(domain_size, "domain_size")
+        self.width = check_positive_int(width, "width")
+        self.depth = check_positive_int(depth, "depth")
+        gen = as_generator(rng)
+        family = KWiseHashFamily.create(domain_size, width, independence=2)
+        self._hashes = family.sample_many(depth, gen)
+        self._table = np.zeros((depth, width), dtype=np.int64)
+
+    def update(self, values: Sequence[int]) -> "CountMinSketch":
+        values = np.asarray(values, dtype=np.int64)
+        for row, h in enumerate(self._hashes):
+            buckets = np.asarray(h(values))
+            np.add.at(self._table[row], buckets, 1)
+        return self
+
+    def estimate(self, x: int) -> float:
+        x = int(x)
+        return float(min(self._table[row, int(h(x))]
+                         for row, h in enumerate(self._hashes)))
+
+
+class CountSketch:
+    """CountSketch: unbiased frequency estimates via sign hashes and medians.
+
+    This is the non-private ancestor of Hashtogram's bucket/sign structure.
+    """
+
+    def __init__(self, domain_size: int, width: int, depth: int,
+                 rng: RandomState = None) -> None:
+        self.domain_size = check_positive_int(domain_size, "domain_size")
+        self.width = check_positive_int(width, "width")
+        self.depth = check_positive_int(depth, "depth")
+        gen = as_generator(rng)
+        family = KWiseHashFamily.create(domain_size, width, independence=2)
+        self._hashes = family.sample_many(depth, gen)
+        self._signs = [sign_hash(domain_size, gen) for _ in range(depth)]
+        self._table = np.zeros((depth, width), dtype=np.int64)
+
+    def update(self, values: Sequence[int]) -> "CountSketch":
+        values = np.asarray(values, dtype=np.int64)
+        for row, (h, s) in enumerate(zip(self._hashes, self._signs)):
+            buckets = np.asarray(h(values))
+            signs = np.asarray(s(values))
+            np.add.at(self._table[row], buckets, signs)
+        return self
+
+    def estimate(self, x: int) -> float:
+        x = int(x)
+        per_row = [self._table[row, int(h(x))] * int(s(x))
+                   for row, (h, s) in enumerate(zip(self._hashes, self._signs))]
+        return float(np.median(per_row))

@@ -1,0 +1,206 @@
+"""The single-hash heavy-hitters reduction of Bassily et al. [3] (Section 3.1.1).
+
+This is the baseline whose error carries the extra ``sqrt(log(1/β))`` factor
+the paper's new protocol removes (Theorem 3.3 vs Theorem 3.13).  The
+construction surveyed in Section 3.1.1:
+
+* one public hash ``h : X -> [T]`` maps every input to a hash value;
+* each domain element is written as M symbols over an alphabet [W];
+* for every coordinate m, a frequency oracle over pairs ``(h(x), x[m])``
+  lets the server read off, for every hash value t, the most frequent symbol
+  in position m, reconstructing a potential heavy hitter x̂(t) symbol by
+  symbol;
+* because a single hash fails (collides) with constant probability per heavy
+  hitter, the whole scheme is repeated ``R = Θ(log(1/β))`` times with
+  independent hashes and the candidate sets are united — and it is exactly
+  this repetition that costs the extra ``sqrt(log(1/β))`` in the error, since
+  the users (and privacy budget) are split across repetitions.
+
+Users are partitioned across (repetition, coordinate) pairs; each user spends
+ε/2 on her coordinate report and ε/2 on the final estimation oracle, exactly
+mirroring the budget split of PrivateExpanderSketch so that the comparison
+isolates the structural difference (one shared hash + repetitions versus
+per-coordinate hashes + list-recoverable code).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.protocol import HeavyHitterProtocol
+from repro.core.results import HeavyHitterResult
+from repro.frequency.explicit import ExplicitHistogramOracle
+from repro.frequency.hashtogram import HashtogramOracle
+from repro.hashing.kwise import KWiseHashFamily
+from repro.utils.bits import bits_needed
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.timer import ResourceMeter, Timer
+from repro.utils.validation import check_positive_int, check_probability
+
+
+class SingleHashHeavyHitters(HeavyHitterProtocol):
+    """Bassily et al. [3]-style heavy hitters with repetition-based amplification.
+
+    Parameters
+    ----------
+    domain_size, epsilon:
+        Problem parameters.
+    beta:
+        Target failure probability; the number of repetitions is
+        ``max(1, round(log2(1/β)))`` — the β-dependence of this protocol.
+    hash_range:
+        Range T of the shared hash (defaults to ``ceil(sqrt(n))`` at run time).
+    symbol_bits:
+        Number of bits per reconstructed symbol (alphabet W = 2^symbol_bits).
+    num_repetitions:
+        Explicit override of the repetition count (otherwise derived from β).
+    threshold_std:
+        Detection threshold in units of the per-cell oracle noise.
+    """
+
+    name = "single_hash_bnst"
+
+    def __init__(self, domain_size: int, epsilon: float, beta: float = 0.05,
+                 hash_range: int | None = None, symbol_bits: int = 4,
+                 num_repetitions: int | None = None,
+                 threshold_std: float = 2.0) -> None:
+        super().__init__(domain_size, epsilon)
+        self.beta = check_probability(beta, "beta", allow_zero=False, allow_one=False)
+        self.hash_range = hash_range
+        self.symbol_bits = check_positive_int(symbol_bits, "symbol_bits")
+        self.num_repetitions = num_repetitions
+        self.threshold_std = float(threshold_std)
+
+    # ----- derived dimensions ---------------------------------------------------
+
+    @property
+    def alphabet_size(self) -> int:
+        return 1 << self.symbol_bits
+
+    @property
+    def num_symbols(self) -> int:
+        """Number of symbols M needed to spell out one domain element."""
+        return max(1, math.ceil(bits_needed(self.domain_size) / self.symbol_bits))
+
+    def repetitions_for_beta(self) -> int:
+        if self.num_repetitions is not None:
+            return check_positive_int(self.num_repetitions, "num_repetitions")
+        return max(1, int(round(math.log2(1.0 / self.beta))))
+
+    # ----- execution ----------------------------------------------------------------
+
+    def run(self, values: Sequence[int], rng: RandomState = None) -> HeavyHitterResult:
+        gen = as_generator(rng)
+        values = self._validate_values(values)
+        num_users = int(values.size)
+        meter = ResourceMeter()
+
+        repetitions = self.repetitions_for_beta()
+        num_symbols = self.num_symbols
+        alphabet = self.alphabet_size
+        hash_range = self.hash_range or max(16, int(math.ceil(math.sqrt(num_users))))
+        epsilon_stage = self.epsilon / 2.0
+
+        # Decompose every value into its symbols once, vectorised.
+        symbols = np.empty((num_users, num_symbols), dtype=np.int64)
+        remaining = values.copy()
+        for m in range(num_symbols):
+            symbols[:, m] = remaining & (alphabet - 1)
+            remaining >>= self.symbol_bits
+
+        # ----- public randomness -----------------------------------------------------
+        with Timer() as setup_timer:
+            family = KWiseHashFamily.create(self.domain_size, hash_range, independence=2)
+            hashes = family.sample_many(repetitions, gen)
+            groups = self.partition_users(num_users, repetitions * num_symbols, gen)
+        meter.bump("setup_time_s", setup_timer.elapsed)
+        meter.add_public_randomness(sum(h.description_bits for h in hashes))
+
+        # ----- stage 1: per-(repetition, coordinate) oracles ---------------------------
+        cells_per_oracle = hash_range * alphabet
+        oracles: List[List[ExplicitHistogramOracle]] = []
+        group_sizes: List[int] = []
+        with Timer() as user_timer:
+            hash_values = np.stack([np.asarray(h(values)) for h in hashes])
+            for r in range(repetitions):
+                row: List[ExplicitHistogramOracle] = []
+                for m in range(num_symbols):
+                    group = r * num_symbols + m
+                    mask = groups == group
+                    members = np.nonzero(mask)[0]
+                    group_sizes.append(int(members.size))
+                    cells = (hash_values[r, members] * alphabet
+                             + symbols[members, m]).astype(np.int64)
+                    oracle = ExplicitHistogramOracle(cells_per_oracle, epsilon_stage,
+                                                     randomizer="hadamard")
+                    oracle.collect(cells, gen)
+                    row.append(oracle)
+                oracles.append(row)
+        meter.add_user_time(user_timer.elapsed)
+        meter.add_communication(int(sum(
+            oracles[r][m].report_bits * group_sizes[r * num_symbols + m]
+            for r in range(repetitions) for m in range(num_symbols))))
+
+        # ----- stage 2: reconstruct one candidate per (repetition, hash value) -----------
+        with Timer() as reconstruct_timer:
+            candidates: List[int] = []
+            seen = set()
+            for r in range(repetitions):
+                reconstructed = np.zeros(hash_range, dtype=np.int64)
+                passes_threshold = np.ones(hash_range, dtype=bool)
+                for m in range(num_symbols):
+                    oracle = oracles[r][m]
+                    size = group_sizes[r * num_symbols + m]
+                    cell_std = math.sqrt(max(size, 1)
+                                         * oracle.estimator_variance_per_user)
+                    table = oracle.histogram().reshape(hash_range, alphabet)
+                    best_symbol = table.argmax(axis=1)
+                    best_value = table.max(axis=1)
+                    passes_threshold &= best_value >= self.threshold_std * cell_std
+                    reconstructed |= best_symbol << (m * self.symbol_bits)
+                for t in range(hash_range):
+                    candidate = int(reconstructed[t])
+                    if not passes_threshold[t]:
+                        continue
+                    if candidate < self.domain_size and candidate not in seen:
+                        seen.add(candidate)
+                        candidates.append(candidate)
+        meter.add_server_time(reconstruct_timer.elapsed)
+
+        # ----- stage 3: final estimation oracle -------------------------------------------
+        with Timer() as final_timer:
+            final_oracle = HashtogramOracle(self.domain_size, epsilon_stage)
+            final_oracle.collect(values, gen)
+        meter.add_user_time(final_timer.elapsed)
+        meter.add_communication(int(final_oracle.report_bits * num_users))
+        meter.add_public_randomness(final_oracle.public_randomness_bits)
+
+        with Timer() as estimate_timer:
+            estimates: Dict[int, float] = {}
+            if candidates:
+                estimated = final_oracle.estimate_many(candidates)
+                estimates = {int(x): float(a) for x, a in zip(candidates, estimated)}
+        meter.add_server_time(estimate_timer.elapsed)
+
+        meter.observe_server_memory(
+            sum(o.server_state_size for row in oracles for o in row)
+            + final_oracle.server_state_size)
+
+        return HeavyHitterResult(
+            estimates=estimates,
+            protocol=self.name,
+            num_users=num_users,
+            epsilon=self.epsilon,
+            meter=meter,
+            candidates=candidates,
+            oracle=final_oracle,
+            metadata={
+                "repetitions": repetitions,
+                "hash_range": hash_range,
+                "num_symbols": num_symbols,
+                "alphabet_size": alphabet,
+            },
+        )

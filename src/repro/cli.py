@@ -1,0 +1,250 @@
+"""Command-line interface for running the reproduction's experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli list                    # show the available experiments
+    python -m repro.cli run table1              # regenerate Table 1
+    python -m repro.cli run grouposition        # Section 4 experiment
+    python -m repro.cli run table1 --quick      # smaller, faster configuration
+    python -m repro.cli quickstart              # the README quickstart, end to end
+
+Every experiment prints the same table that ``pytest benchmarks/`` produces
+and that EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments import (
+    ComposedRRConfig,
+    ErrorCurveConfig,
+    FrequencyOracleConfig,
+    GenProtConfig,
+    GroupositionConfig,
+    HashingAblationConfig,
+    HashtogramAblationConfig,
+    ListRecoveryConfig,
+    LowerBoundConfig,
+    MaxInformationConfig,
+    Table1Config,
+    format_table,
+    run_composed_rr,
+    run_error_vs_beta,
+    run_error_vs_epsilon,
+    run_error_vs_n,
+    run_frequency_oracle,
+    run_genprot,
+    run_grouposition,
+    run_hashing_ablation,
+    run_hashtogram_ablation,
+    run_list_recovery,
+    run_lower_bound,
+    run_max_information,
+    run_table1,
+)
+
+
+def _table1(quick: bool):
+    config = Table1Config()
+    if quick:
+        config = Table1Config(num_users=15_000, domain_size=1 << 16,
+                              scan_domain_size=1 << 10,
+                              heavy_fractions=[0.35, 0.25])
+    return [("T1: Table 1 (measured)", run_table1(config))]
+
+
+def _error_vs_beta(quick: bool):
+    config = ErrorCurveConfig()
+    if quick:
+        config = ErrorCurveConfig(num_users=15_000, domain_size=1 << 16,
+                                  betas=[0.2, 0.01],
+                                  probe_fractions=[0.12, 0.2, 0.3])
+    return [("E1: detection threshold vs beta", run_error_vs_beta(config))]
+
+
+def _error_vs_n(quick: bool):
+    config = ErrorCurveConfig()
+    if quick:
+        config = ErrorCurveConfig(domain_size=1 << 16,
+                                  num_users_sweep=[8_000, 16_000])
+    return [("E2: error vs n", run_error_vs_n(config))]
+
+
+def _error_vs_epsilon(quick: bool):
+    config = ErrorCurveConfig()
+    if quick:
+        config = ErrorCurveConfig(num_users=15_000, domain_size=1 << 16,
+                                  epsilon_sweep=[2.0, 8.0])
+    return [("E3: error vs epsilon", run_error_vs_epsilon(config))]
+
+
+def _frequency_oracle(quick: bool):
+    config = FrequencyOracleConfig()
+    if quick:
+        config = FrequencyOracleConfig(num_users=8_000,
+                                       domain_sizes=[1 << 8, 1 << 14],
+                                       num_queries=60)
+    return [("E4: frequency-oracle error", run_frequency_oracle(config))]
+
+
+def _grouposition(quick: bool):
+    config = GroupositionConfig()
+    if quick:
+        config = GroupositionConfig(group_sizes=[4, 64, 256], num_samples=8_000)
+    return [("E5: advanced grouposition", run_grouposition(config))]
+
+
+def _max_information(quick: bool):
+    config = MaxInformationConfig()
+    if quick:
+        config = MaxInformationConfig(num_users_sweep=[100, 1_000],
+                                      empirical_users=60,
+                                      empirical_samples=500)
+    return [("E6: max-information", run_max_information(config))]
+
+
+def _composed_rr(quick: bool):
+    config = ComposedRRConfig()
+    if quick:
+        config = ComposedRRConfig(num_bits_sweep=[8, 32, 128])
+    return [("E7: composed randomized response", run_composed_rr(config))]
+
+
+def _genprot(quick: bool):
+    config = GenProtConfig()
+    if quick:
+        config = GenProtConfig(num_users=800, privacy_trials=800)
+    return [("E8: GenProt transformation", run_genprot(config))]
+
+
+def _lower_bound(quick: bool):
+    config = LowerBoundConfig()
+    if quick:
+        config = LowerBoundConfig(num_users=3_000, num_trials=80,
+                                  betas=[0.3, 0.1], anticoncentration_bits=200)
+    results = run_lower_bound(config)
+    return [("E9a: counting lower bound", results["counting"]),
+            ("E9b: anti-concentration", results["anti_concentration"])]
+
+
+def _list_recovery(quick: bool):
+    config = ListRecoveryConfig()
+    if quick:
+        config = ListRecoveryConfig(num_coordinates=10, num_codewords=3,
+                                    corrupted_fractions=[0.0, 0.2, 0.5],
+                                    num_trials=2)
+    return [("E10: list recovery", run_list_recovery(config))]
+
+
+def _ablation_hashing(quick: bool):
+    config = HashingAblationConfig()
+    if quick:
+        config = HashingAblationConfig(num_users=15_000, domain_size=1 << 16,
+                                       betas=[0.2, 0.02],
+                                       heavy_fractions=[0.35, 0.25])
+    return [("A1: hashing-structure ablation", run_hashing_ablation(config))]
+
+
+def _ablation_hashtogram(quick: bool):
+    config = HashtogramAblationConfig()
+    if quick:
+        config = HashtogramAblationConfig(num_users=6_000, domain_size=1 << 14,
+                                          bucket_counts=[32, 256],
+                                          repetition_counts=[1, 5],
+                                          num_queries=40)
+    return [("A2: Hashtogram ablation", run_hashtogram_ablation(config))]
+
+
+#: experiment name -> (description, runner)
+EXPERIMENTS: Dict[str, Tuple[str, Callable[[bool], List[Tuple[str, list]]]]] = {
+    "table1": ("Table 1 protocol comparison (T1)", _table1),
+    "error-vs-beta": ("Detection threshold vs failure probability (E1)", _error_vs_beta),
+    "error-vs-n": ("Estimation error vs number of users (E2)", _error_vs_n),
+    "error-vs-epsilon": ("Estimation error vs privacy parameter (E3)", _error_vs_epsilon),
+    "frequency-oracle": ("Frequency-oracle accuracy (E4)", _frequency_oracle),
+    "grouposition": ("Advanced grouposition (E5)", _grouposition),
+    "max-information": ("Max-information bounds (E6)", _max_information),
+    "composed-rr": ("Composition for randomized response (E7)", _composed_rr),
+    "genprot": ("GenProt approximate-to-pure transformation (E8)", _genprot),
+    "lower-bound": ("Error lower bound and anti-concentration (E9)", _lower_bound),
+    "list-recovery": ("Unique list recovery under corruption (E10)", _list_recovery),
+    "ablation-hashing": ("Hashing-structure ablation (A1)", _ablation_hashing),
+    "ablation-hashtogram": ("Hashtogram bucket/repetition ablation (A2)", _ablation_hashtogram),
+}
+
+
+def _cmd_list(_args) -> int:
+    print("available experiments:")
+    for name, (description, _) in EXPERIMENTS.items():
+        print(f"  {name:<22s} {description}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    name = args.experiment
+    if name not in EXPERIMENTS:
+        print(f"unknown experiment {name!r}; use `list` to see the options",
+              file=sys.stderr)
+        return 2
+    _, runner = EXPERIMENTS[name]
+    for title, rows in runner(args.quick):
+        print()
+        print(format_table(rows, title=title))
+    return 0
+
+
+def _cmd_quickstart(args) -> int:
+    from repro import PrivateExpanderSketch, planted_workload
+
+    workload = planted_workload(num_users=args.num_users,
+                                domain_size=1 << 20,
+                                heavy_fractions=[0.3, 0.22, 0.15], rng=0)
+    protocol = PrivateExpanderSketch(domain_size=1 << 20, epsilon=args.epsilon,
+                                     beta=0.05)
+    result = protocol.run(workload.values, rng=1)
+    rows = [{"item": item,
+             "estimate": estimate,
+             "true_count": workload.true_frequency(item)}
+            for item, estimate in result.top(5)]
+    print(format_table(rows, title="quickstart: recovered heavy hitters"))
+    print(f"\ncommunication per user: "
+          f"{result.communication_bits_per_user():.1f} bits; "
+          f"epsilon = {result.epsilon}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Heavy Hitters and the Structure of Local Privacy'")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments") \
+        .set_defaults(func=_cmd_list)
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="experiment name (see `list`)")
+    run_parser.add_argument("--quick", action="store_true",
+                            help="use a smaller, faster configuration")
+    run_parser.set_defaults(func=_cmd_run)
+
+    quickstart_parser = subparsers.add_parser(
+        "quickstart", help="run the README quickstart end to end")
+    quickstart_parser.add_argument("--num-users", type=int, default=60_000)
+    quickstart_parser.add_argument("--epsilon", type=float, default=4.0)
+    quickstart_parser.set_defaults(func=_cmd_quickstart)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    raise SystemExit(main())

@@ -1,0 +1,201 @@
+"""Prime-field arithmetic GF(p) and polynomial algebra over it.
+
+The Reed-Solomon outer code of Appendix B needs: modular inverses, polynomial
+evaluation, Lagrange interpolation, polynomial division, and Gaussian
+elimination over GF(p) (for the Berlekamp-Welch error-correcting decoder).
+Everything here works with plain Python integers; field sizes in this library
+are tiny (a few thousand at most), so clarity beats vectorisation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.hashing.primes import is_prime
+
+
+class PrimeField:
+    """The finite field GF(p) for a prime p, with polynomial helpers.
+
+    Polynomials are represented as lists of coefficients in increasing degree
+    order (``poly[i]`` is the coefficient of ``x**i``); trailing zeros are
+    trimmed by :meth:`poly_trim`.
+    """
+
+    def __init__(self, prime: int) -> None:
+        prime = int(prime)
+        if not is_prime(prime):
+            raise ValueError(f"{prime} is not prime")
+        self.p = prime
+
+    # ----- scalar arithmetic -------------------------------------------------
+
+    def normalize(self, a: int) -> int:
+        """Reduce an integer into [0, p)."""
+        return int(a) % self.p
+
+    def add(self, a: int, b: int) -> int:
+        return (a + b) % self.p
+
+    def sub(self, a: int, b: int) -> int:
+        return (a - b) % self.p
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.p
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises ZeroDivisionError on zero."""
+        a = a % self.p
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(p)")
+        return pow(a, self.p - 2, self.p)
+
+    def div(self, a: int, b: int) -> int:
+        return self.mul(a, self.inv(b))
+
+    # ----- polynomial arithmetic --------------------------------------------
+
+    @staticmethod
+    def poly_trim(poly: Sequence[int]) -> List[int]:
+        """Remove trailing zero coefficients (the zero polynomial becomes [])."""
+        out = list(poly)
+        while out and out[-1] == 0:
+            out.pop()
+        return out
+
+    def poly_degree(self, poly: Sequence[int]) -> int:
+        """Degree of the polynomial, -1 for the zero polynomial."""
+        return len(self.poly_trim(poly)) - 1
+
+    def poly_eval(self, poly: Sequence[int], x: int) -> int:
+        """Evaluate a polynomial at the point ``x`` (Horner's rule)."""
+        acc = 0
+        for coef in reversed(list(poly)):
+            acc = (acc * x + coef) % self.p
+        return acc
+
+    def poly_add(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        n = max(len(a), len(b))
+        out = [0] * n
+        for i in range(n):
+            av = a[i] if i < len(a) else 0
+            bv = b[i] if i < len(b) else 0
+            out[i] = (av + bv) % self.p
+        return self.poly_trim(out)
+
+    def poly_sub(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        return self.poly_add(a, [(-c) % self.p for c in b])
+
+    def poly_mul(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        a = self.poly_trim(a)
+        b = self.poly_trim(b)
+        if not a or not b:
+            return []
+        out = [0] * (len(a) + len(b) - 1)
+        for i, ai in enumerate(a):
+            if ai == 0:
+                continue
+            for j, bj in enumerate(b):
+                out[i + j] = (out[i + j] + ai * bj) % self.p
+        return self.poly_trim(out)
+
+    def poly_scale(self, a: Sequence[int], s: int) -> List[int]:
+        return self.poly_trim([(c * s) % self.p for c in a])
+
+    def poly_divmod(self, a: Sequence[int], b: Sequence[int]
+                    ) -> Tuple[List[int], List[int]]:
+        """Polynomial division with remainder: returns (quotient, remainder)."""
+        a = self.poly_trim(a)
+        b = self.poly_trim(b)
+        if not b:
+            raise ZeroDivisionError("division by the zero polynomial")
+        if len(a) < len(b):
+            return [], a
+        remainder = list(a)
+        quotient = [0] * (len(a) - len(b) + 1)
+        lead_inv = self.inv(b[-1])
+        for shift in range(len(a) - len(b), -1, -1):
+            coef = (remainder[shift + len(b) - 1] * lead_inv) % self.p
+            quotient[shift] = coef
+            if coef:
+                for j, bj in enumerate(b):
+                    remainder[shift + j] = (remainder[shift + j] - coef * bj) % self.p
+        return self.poly_trim(quotient), self.poly_trim(remainder)
+
+    def poly_divides_exactly(self, a: Sequence[int], b: Sequence[int]
+                             ) -> Optional[List[int]]:
+        """Return a/b if b divides a exactly, else None."""
+        q, r = self.poly_divmod(a, b)
+        if self.poly_trim(r):
+            return None
+        return q
+
+    # ----- interpolation and linear algebra ----------------------------------
+
+    def lagrange_interpolate(self, xs: Sequence[int], ys: Sequence[int]) -> List[int]:
+        """The unique polynomial of degree < len(xs) through the given points."""
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have equal length")
+        if len(set(x % self.p for x in xs)) != len(xs):
+            raise ValueError("interpolation points must be distinct")
+        result: List[int] = []
+        for i, (xi, yi) in enumerate(zip(xs, ys)):
+            # Basis polynomial prod_{j != i} (x - xj) / (xi - xj)
+            basis = [1]
+            denom = 1
+            for j, xj in enumerate(xs):
+                if j == i:
+                    continue
+                basis = self.poly_mul(basis, [(-xj) % self.p, 1])
+                denom = (denom * (xi - xj)) % self.p
+            scale = self.mul(yi % self.p, self.inv(denom))
+            result = self.poly_add(result, self.poly_scale(basis, scale))
+        return result
+
+    def solve_linear_system(self, matrix: Sequence[Sequence[int]],
+                            rhs: Sequence[int]) -> Optional[List[int]]:
+        """Solve ``A x = b`` over GF(p) by Gaussian elimination.
+
+        Returns one solution (free variables set to 0) or ``None`` if the
+        system is inconsistent.  ``matrix`` is a list of rows.
+        """
+        rows = len(matrix)
+        if rows != len(rhs):
+            raise ValueError("matrix and rhs dimensions disagree")
+        cols = len(matrix[0]) if rows else 0
+        aug = [[v % self.p for v in row] + [rhs[i] % self.p]
+               for i, row in enumerate(matrix)]
+
+        pivot_cols: List[int] = []
+        r = 0
+        for c in range(cols):
+            pivot = None
+            for rr in range(r, rows):
+                if aug[rr][c] != 0:
+                    pivot = rr
+                    break
+            if pivot is None:
+                continue
+            aug[r], aug[pivot] = aug[pivot], aug[r]
+            inv = self.inv(aug[r][c])
+            aug[r] = [(v * inv) % self.p for v in aug[r]]
+            for rr in range(rows):
+                if rr != r and aug[rr][c] != 0:
+                    factor = aug[rr][c]
+                    aug[rr] = [(aug[rr][j] - factor * aug[r][j]) % self.p
+                               for j in range(cols + 1)]
+            pivot_cols.append(c)
+            r += 1
+            if r == rows:
+                break
+        # Check consistency: a zero row with non-zero rhs means no solution.
+        for rr in range(r, rows):
+            if all(v == 0 for v in aug[rr][:cols]) and aug[rr][cols] != 0:
+                return None
+        solution = [0] * cols
+        for row_idx, c in enumerate(pivot_cols):
+            solution[c] = aug[row_idx][cols]
+        return solution
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"PrimeField(p={self.p})"

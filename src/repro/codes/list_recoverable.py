@@ -1,0 +1,297 @@
+"""The unique-list-recoverable code of Theorem 3.6 (Appendix B).
+
+Construction (following Appendix B):
+
+* An outer Reed-Solomon code ``enc`` over GF(p) with constant rate splits a
+  domain element x into M chunks, one per coordinate (``enc(x)_m``).
+* A d-regular spectral expander F on M vertices supplies, for every coordinate
+  m, an ordered neighbourhood Γ(m).
+* The inner symbol at coordinate m is
+
+      E~nc(x)_m = (enc(x)_m, h_{Γ(m)_1}(x), ..., h_{Γ(m)_d}(x))
+
+  packed into a single integer z in [Z], and the full encoding is
+  ``Enc(x)_m = (h_m(x), E~nc(x)_m)``.
+
+* The decoder receives lists L_1, ..., L_M of (y, z) pairs with distinct y per
+  list.  It builds the layered graph on [M]×[Y]: the entry (y, z) in L_m
+  suggests edges from (m, y) to (Γ(m)_k, y_k) for each unpacked neighbour hash
+  y_k, and an edge is added only when both endpoints suggest it.  Each heavy
+  hitter contributes an (almost intact) copy of F, recovered as a spectral
+  cluster; the cluster's chunks form a corrupted Reed-Solomon word which the
+  outer decoder corrects, and the candidate is accepted if its encoding agrees
+  with at least a (1-α) fraction of the lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
+
+from repro.codes.reed_solomon import DecodingFailure, ReedSolomonCode
+from repro.graphs.expanders import ExpanderGraph, random_regular_expander
+from repro.graphs.spectral_cluster import SpectralClusterer
+from repro.hashing.kwise import KWiseHash, KWiseHashFamily
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_positive_int, check_probability
+
+
+class EncodedSymbol(NamedTuple):
+    """One coordinate of the encoding: the hash value y and the packed symbol z."""
+
+    y: int
+    z: int
+
+
+@dataclass(frozen=True)
+class ListRecoveryParameters:
+    """Parameters (α, ℓ, L) and dimensions (M, Y, Z) of the code.
+
+    Attributes
+    ----------
+    domain_size:
+        Size of the encoded domain |X|.
+    num_coordinates:
+        Number of coordinates M.
+    hash_range:
+        Range Y of the per-coordinate hash functions.
+    list_size:
+        Maximum length ℓ of each input list to the decoder.
+    alpha:
+        Fraction of coordinates allowed to be "bad" for a codeword that must
+        still be recovered.
+    expander_degree:
+        Degree d of the neighbourhood expander.
+    max_output_size:
+        Maximum number of codewords the decoder returns (the L in (α, ℓ, L)).
+    """
+
+    domain_size: int
+    num_coordinates: int
+    hash_range: int
+    list_size: int
+    alpha: float
+    expander_degree: int
+    max_output_size: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.domain_size, "domain_size")
+        check_positive_int(self.num_coordinates, "num_coordinates")
+        check_positive_int(self.hash_range, "hash_range")
+        check_positive_int(self.list_size, "list_size")
+        check_positive_int(self.expander_degree, "expander_degree")
+        check_positive_int(self.max_output_size, "max_output_size")
+        check_probability(self.alpha, "alpha", allow_zero=True, allow_one=False)
+
+
+class UniqueListRecoverableCode:
+    """(α, ℓ, L)-unique-list-recoverable code (Enc, Dec) per Theorem 3.6.
+
+    Parameters
+    ----------
+    params:
+        The code dimensions; see :class:`ListRecoveryParameters`.
+    hashes:
+        The fixed hash functions ``h_1, ..., h_M : X -> [Y]`` (Theorem 3.6 is
+        stated "for every fixed choice of functions h_1, ..., h_M").  Any
+        callables mapping integers to ``[0, hash_range)`` are accepted.
+    rng:
+        Randomness used only for the Las-Vegas expander construction.
+    rate:
+        Rate of the outer Reed-Solomon code (default 1/2, correcting 25% of
+        chunk errors).
+    """
+
+    def __init__(self, params: ListRecoveryParameters, hashes: Sequence,
+                 rng: RandomState = None, rate: float = 0.5) -> None:
+        if len(hashes) != params.num_coordinates:
+            raise ValueError("need exactly one hash function per coordinate")
+        self.params = params
+        self.hashes = list(hashes)
+        self.outer_code = ReedSolomonCode.for_domain(
+            params.domain_size, params.num_coordinates, rate=rate)
+        self.expander: ExpanderGraph = random_regular_expander(
+            params.num_coordinates, params.expander_degree, rng=rng)
+        self._clusterer = SpectralClusterer(
+            expected_cluster_size=params.num_coordinates,
+            min_cluster_size=max(2, self.outer_code.message_length),
+        )
+
+    # ----- constructors --------------------------------------------------------
+
+    @classmethod
+    def create(cls, domain_size: int, num_coordinates: int, hash_range: int,
+               list_size: int, alpha: float = 0.25, expander_degree: int = 4,
+               output_factor: int = 4, rng: RandomState = None,
+               rate: float = 0.5) -> "UniqueListRecoverableCode":
+        """Sample fresh pairwise independent hashes and build the code."""
+        gen = as_generator(rng)
+        params = ListRecoveryParameters(
+            domain_size=domain_size,
+            num_coordinates=num_coordinates,
+            hash_range=hash_range,
+            list_size=list_size,
+            alpha=alpha,
+            expander_degree=expander_degree,
+            max_output_size=output_factor * list_size,
+        )
+        family = KWiseHashFamily.create(domain_size, hash_range, independence=2)
+        hashes = family.sample_many(num_coordinates, gen)
+        return cls(params, hashes, rng=gen, rate=rate)
+
+    # ----- dimensions ----------------------------------------------------------
+
+    @property
+    def z_alphabet_size(self) -> int:
+        """Size Z of the packed inner symbol alphabet: p * Y^d."""
+        return self.outer_code.prime * (self.params.hash_range ** self.expander.degree)
+
+    @property
+    def num_coordinates(self) -> int:
+        return self.params.num_coordinates
+
+    # ----- symbol packing -------------------------------------------------------
+
+    def _pack_z(self, chunk: int, neighbor_hashes: Sequence[int]) -> int:
+        """Pack (chunk, neighbour hash values) into one integer in [Z]."""
+        z = 0
+        for value in reversed(list(neighbor_hashes)):
+            z = z * self.params.hash_range + int(value)
+        return z * self.outer_code.prime + int(chunk)
+
+    def _unpack_z(self, z: int) -> Tuple[int, Tuple[int, ...]]:
+        """Inverse of :meth:`_pack_z`."""
+        chunk = z % self.outer_code.prime
+        rest = z // self.outer_code.prime
+        values = []
+        for _ in range(self.expander.degree):
+            values.append(rest % self.params.hash_range)
+            rest //= self.params.hash_range
+        return int(chunk), tuple(int(v) for v in values)
+
+    # ----- encoding --------------------------------------------------------------
+
+    def encode_chunks(self, x: int) -> List[int]:
+        """The outer-code chunks enc(x)_1, ..., enc(x)_M."""
+        self._check_domain(x)
+        return self.outer_code.encode_int(x)
+
+    def encode_tilde(self, x: int) -> List[int]:
+        """E~nc(x): the packed inner symbols z_1, ..., z_M."""
+        self._check_domain(x)
+        chunks = self.outer_code.encode_int(x)
+        out = []
+        for m in range(self.num_coordinates):
+            neighbor_hashes = [int(self.hashes[j](x)) for j in self.expander.neighbors(m)]
+            out.append(self._pack_z(chunks[m], neighbor_hashes))
+        return out
+
+    def encode(self, x: int) -> List[EncodedSymbol]:
+        """Enc(x): the list of (h_m(x), E~nc(x)_m) pairs."""
+        self._check_domain(x)
+        z_values = self.encode_tilde(x)
+        return [EncodedSymbol(y=int(self.hashes[m](x)), z=z_values[m])
+                for m in range(self.num_coordinates)]
+
+    def _check_domain(self, x: int) -> None:
+        if not 0 <= int(x) < self.params.domain_size:
+            raise ValueError(f"{x} outside domain [0, {self.params.domain_size})")
+
+    # ----- decoding ---------------------------------------------------------------
+
+    def decode(self, lists: Sequence[Sequence[Tuple[int, int]]]) -> List[int]:
+        """Dec(L_1, ..., L_M): recover all codewords agreeing with >= (1-α)M lists.
+
+        Each ``lists[m]`` is a sequence of (y, z) pairs; per Definition 3.5 the
+        y values within one list must be distinct (duplicates are dropped,
+        keeping the first occurrence).
+        """
+        if len(lists) != self.num_coordinates:
+            raise ValueError("need exactly one list per coordinate")
+
+        per_coord: List[Dict[int, Tuple[int, Tuple[int, ...]]]] = []
+        for m, entries in enumerate(lists):
+            table: Dict[int, Tuple[int, Tuple[int, ...]]] = {}
+            for y, z in list(entries)[: self.params.list_size]:
+                y = int(y)
+                if y in table:
+                    continue
+                table[y] = self._unpack_z(int(z))
+            per_coord.append(table)
+
+        adjacency = self._build_layered_graph(per_coord)
+        clusters = self._clusterer.find_clusters(adjacency)
+
+        candidates: List[int] = []
+        seen: Set[int] = set()
+        list_sets = [set((int(y), int(z)) for y, z in entries)
+                     for entries in lists]
+        min_agreement = int((1.0 - self.params.alpha) * self.num_coordinates)
+
+        for cluster in clusters:
+            candidate = self._decode_cluster(cluster, per_coord)
+            if candidate is None or candidate in seen:
+                continue
+            if self._agreement(candidate, list_sets) < min_agreement:
+                continue
+            seen.add(candidate)
+            candidates.append(candidate)
+            if len(candidates) >= self.params.max_output_size:
+                break
+        return candidates
+
+    # ----- decoder internals --------------------------------------------------------
+
+    def _build_layered_graph(
+            self, per_coord: Sequence[Dict[int, Tuple[int, Tuple[int, ...]]]]
+    ) -> Dict[Tuple[int, int], Set[Tuple[int, int]]]:
+        """Add an edge (m, y) ~ (m', y') only when both endpoints suggest it."""
+        adjacency: Dict[Tuple[int, int], Set[Tuple[int, int]]] = {}
+        for m, table in enumerate(per_coord):
+            neighbors_m = self.expander.neighbors(m)
+            for y, (_chunk, nbr_hashes) in table.items():
+                adjacency.setdefault((m, y), set())
+                for k, m2 in enumerate(neighbors_m):
+                    y2 = nbr_hashes[k]
+                    entry2 = per_coord[m2].get(y2)
+                    if entry2 is None:
+                        continue
+                    # Does (m2, y2) suggest the reverse edge back to (m, y)?
+                    try:
+                        back_index = self.expander.neighbor_index(m2, m)
+                    except ValueError:  # pragma: no cover - regular graph is symmetric
+                        continue
+                    if entry2[1][back_index] != y:
+                        continue
+                    adjacency.setdefault((m, y), set()).add((m2, y2))
+                    adjacency.setdefault((m2, y2), set()).add((m, y))
+        return adjacency
+
+    def _decode_cluster(self, cluster, per_coord) -> Optional[int]:
+        """Assemble the cluster's chunks into a received word and decode it."""
+        received: List[Optional[int]] = [None] * self.num_coordinates
+        conflict: Set[int] = set()
+        for (m, y) in cluster:
+            chunk = per_coord[m][y][0]
+            if received[m] is None:
+                received[m] = chunk
+            elif received[m] != chunk:
+                conflict.add(m)
+        for m in conflict:
+            received[m] = None
+        known = sum(1 for r in received if r is not None)
+        if known < self.outer_code.message_length:
+            return None
+        try:
+            value = self.outer_code.decode_int(received)
+        except DecodingFailure:
+            return None
+        if not 0 <= value < self.params.domain_size:
+            return None
+        return int(value)
+
+    def _agreement(self, x: int, list_sets: Sequence[Set[Tuple[int, int]]]) -> int:
+        """Number of coordinates m with Enc(x)_m ∈ L_m."""
+        encoding = self.encode(x)
+        return sum(1 for m, symbol in enumerate(encoding)
+                   if (symbol.y, symbol.z) in list_sets[m])

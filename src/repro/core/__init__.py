@@ -1,0 +1,24 @@
+"""The paper's primary contribution: the ``PrivateExpanderSketch`` protocol.
+
+* :mod:`repro.core.params` — derivation of the protocol parameters
+  (M, B, Y, ℓ, thresholds) from (n, |X|, ε, β), following the formulas in
+  Algorithm PrivateExpanderSketch with practical constants.
+* :mod:`repro.core.protocol` — the protocol abstraction shared with all
+  baselines (run a distributed database through local randomizers, account for
+  the Table 1 resource columns).
+* :mod:`repro.core.results` — the result object (Definition 3.1's ``Est`` list
+  plus resource accounting).
+* :mod:`repro.core.heavy_hitters` — Algorithm PrivateExpanderSketch itself.
+"""
+
+from repro.core.params import ProtocolParameters
+from repro.core.protocol import HeavyHitterProtocol
+from repro.core.results import HeavyHitterResult
+from repro.core.heavy_hitters import PrivateExpanderSketch
+
+__all__ = [
+    "ProtocolParameters",
+    "HeavyHitterProtocol",
+    "HeavyHitterResult",
+    "PrivateExpanderSketch",
+]

@@ -1,0 +1,323 @@
+"""Algorithm PrivateExpanderSketch (Section 3.3): optimal-error LDP heavy hitters.
+
+The execution follows the paper's algorithm box step by step:
+
+Public randomness
+    A random partition of the users into M groups I_1, ..., I_M, pairwise
+    independent hashes ``h_1, ..., h_M : X -> [Y]``, and an
+    O(log|X|)-wise independent partition hash ``g : X -> [B]``.  The
+    unique-list-recoverable code (Enc, Dec) of Theorem 3.6 is built on the
+    h_m's.
+
+Step 1
+    For every coordinate m, the users in I_m run a frequency oracle with
+    privacy ε/2 over the derived values ``(g(x), h_m(x), E~nc(x)_m)``.  The
+    oracle is the small-domain Hashtogram variant (Hadamard response +
+    fast Walsh-Hadamard decoding), so the server obtains estimates
+    ``f̂_{S_m}(b, y, z)`` for every cell.
+
+Steps 2-3
+    For every (m, b, y) the server takes the arg-max over z and keeps the pair
+    (y, z) if its estimated frequency clears the detection threshold, building
+    the lists L^b_m (at most ℓ entries each, largest estimates first).
+
+Step 4
+    For every partition bucket b, the list-recoverable decoder returns the
+    candidate set Ĥ^b; Ĥ is their union.
+
+Step 5
+    A second Hashtogram with privacy ε/2 over the *original* domain estimates
+    the frequency of every candidate; the output is Est = {(x, f̂(x)) : x ∈ Ĥ}.
+
+Each user participates in exactly one coordinate oracle and the final oracle,
+spending ε/2 + ε/2 = ε, so the protocol is ε-LDP exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.codes.list_recoverable import ListRecoveryParameters, UniqueListRecoverableCode
+from repro.core.params import ProtocolParameters
+from repro.core.protocol import HeavyHitterProtocol
+from repro.core.results import HeavyHitterResult
+from repro.frequency.explicit import ExplicitHistogramOracle
+from repro.frequency.hashtogram import HashtogramOracle
+from repro.hashing.kwise import KWiseHashFamily
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.timer import ResourceMeter, Timer
+from repro.utils.validation import check_probability
+
+
+class PrivateExpanderSketch(HeavyHitterProtocol):
+    """The paper's heavy-hitters protocol with optimal worst-case error.
+
+    Parameters
+    ----------
+    domain_size:
+        Size of the input domain |X| (inputs are integers in [0, |X|)).
+    epsilon:
+        Total per-user privacy budget (split ε/2 + ε/2 across the two stages).
+    beta:
+        Target failure probability (drives the parameter derivation only).
+    params:
+        Fully explicit :class:`ProtocolParameters`; if omitted they are derived
+        from (n, |X|, ε, β) at :meth:`run` time.
+    small_domain_cutoff:
+        For domains no larger than this the protocol falls back to querying a
+        single frequency oracle on every domain element, as the paper suggests
+        for the regime n > |X| (Section 3.3, remark before Theorem 3.13).
+        Set to 0 to disable the fallback.
+    max_cells:
+        Safety cap on the per-coordinate oracle domain B*Y*Z; exceeding it
+        raises with a hint to shrink Y or the expander degree.
+    **overrides:
+        Forwarded to :meth:`ProtocolParameters.derive`.
+    """
+
+    name = "private_expander_sketch"
+
+    def __init__(self, domain_size: int, epsilon: float, beta: float = 0.05,
+                 params: ProtocolParameters | None = None,
+                 small_domain_cutoff: int = 1024,
+                 max_cells: int = 1 << 24,
+                 **overrides) -> None:
+        super().__init__(domain_size, epsilon)
+        self.beta = check_probability(beta, "beta", allow_zero=False, allow_one=False)
+        self._explicit_params = params
+        self._overrides = overrides
+        self.small_domain_cutoff = int(small_domain_cutoff)
+        self.max_cells = int(max_cells)
+
+    # ----- parameterisation ---------------------------------------------------------
+
+    def parameters_for(self, num_users: int) -> ProtocolParameters:
+        """The parameters used for a database with ``num_users`` users."""
+        if self._explicit_params is not None:
+            return self._explicit_params
+        return ProtocolParameters.derive(num_users, self.domain_size, self.epsilon,
+                                         self.beta, **self._overrides)
+
+    # ----- execution -------------------------------------------------------------------
+
+    def run(self, values: Sequence[int], rng: RandomState = None) -> HeavyHitterResult:
+        gen = as_generator(rng)
+        values = self._validate_values(values)
+        num_users = int(values.size)
+        meter = ResourceMeter()
+
+        if 0 < self.small_domain_cutoff >= self.domain_size:
+            return self._run_small_domain(values, gen, meter)
+
+        params = self.parameters_for(num_users)
+
+        # ----- public randomness -----------------------------------------------------
+        with Timer() as setup_timer:
+            partition_family = KWiseHashFamily.create(
+                self.domain_size, params.num_buckets,
+                independence=params.partition_independence)
+            partition_hash = partition_family.sample(gen)
+            coordinate_family = KWiseHashFamily.create(
+                self.domain_size, params.hash_range, independence=2)
+            coordinate_hashes = coordinate_family.sample_many(params.num_coordinates, gen)
+            code = UniqueListRecoverableCode(
+                ListRecoveryParameters(
+                    domain_size=self.domain_size,
+                    num_coordinates=params.num_coordinates,
+                    hash_range=params.hash_range,
+                    list_size=params.list_size,
+                    alpha=params.alpha,
+                    expander_degree=params.expander_degree,
+                    max_output_size=4 * params.list_size,
+                ),
+                coordinate_hashes,
+                rng=gen,
+                rate=params.code_rate,
+            )
+            assignment = self.partition_users(num_users, params.num_coordinates, gen)
+        meter.add_public_randomness(
+            partition_hash.description_bits
+            + sum(h.description_bits for h in coordinate_hashes))
+        meter.bump("setup_time_s", setup_timer.elapsed)
+
+        num_cells = (params.num_buckets * params.hash_range * code.z_alphabet_size)
+        if num_cells > self.max_cells:
+            raise ValueError(
+                f"per-coordinate oracle domain has {num_cells} cells "
+                f"(> max_cells={self.max_cells}); reduce hash_range or "
+                f"expander_degree, or increase num_coordinates")
+
+        # ----- steps 1-3: per-coordinate oracles and their lists L^b_m -------------------
+        # The server processes one coordinate at a time and keeps only the
+        # (y, z) lists, so its working memory never holds more than a single
+        # coordinate oracle (plus the final-stage Hashtogram below).
+        group_sizes: List[int] = []
+        lists: List[List[List[tuple]]] = [
+            [[] for _ in range(params.num_coordinates)]
+            for _ in range(params.num_buckets)]
+        peak_oracle_state = 0
+        with Timer() as derive_timer:
+            partition_values = np.asarray(partition_hash(values))
+            chunks = code.outer_code.encode_batch(values)  # (n, M)
+        meter.add_user_time(derive_timer.elapsed)
+        for m in range(params.num_coordinates):
+            members = values[assignment == m]
+            member_chunks = chunks[assignment == m, m]
+            member_buckets = partition_values[assignment == m]
+            group_sizes.append(int(members.size))
+            oracle = ExplicitHistogramOracle(num_cells, params.epsilon_per_stage,
+                                             randomizer=params.oracle_randomizer)
+            with Timer() as user_timer:
+                cells = self._derive_cells(members, member_buckets, member_chunks,
+                                           m, code, params)
+                oracle.collect(cells, gen)
+            meter.add_user_time(user_timer.elapsed)
+            meter.add_communication(int(oracle.report_bits * members.size))
+            peak_oracle_state = max(peak_oracle_state, oracle.server_state_size)
+            with Timer() as list_timer:
+                self._append_coordinate_lists(oracle, int(members.size), m, code,
+                                              params, lists)
+            meter.add_server_time(list_timer.elapsed)
+
+        # ----- step 4: decode every bucket --------------------------------------------------
+        with Timer() as decode_timer:
+            candidates: List[int] = []
+            seen = set()
+            for bucket in range(params.num_buckets):
+                for candidate in code.decode(lists[bucket]):
+                    if candidate not in seen:
+                        seen.add(candidate)
+                        candidates.append(candidate)
+        meter.add_server_time(decode_timer.elapsed)
+
+        # ----- step 5: final frequency estimates --------------------------------------------
+        with Timer() as final_timer:
+            final_oracle = HashtogramOracle(
+                self.domain_size, params.epsilon_per_stage,
+                num_repetitions=params.final_oracle_repetitions,
+                num_buckets=params.final_oracle_buckets)
+            final_oracle.collect(values, gen)
+        meter.add_user_time(final_timer.elapsed)
+        meter.add_communication(int(final_oracle.report_bits * num_users))
+        meter.add_public_randomness(final_oracle.public_randomness_bits)
+
+        with Timer() as estimate_timer:
+            estimates: Dict[int, float] = {}
+            if candidates:
+                estimated = final_oracle.estimate_many(candidates)
+                estimates = {int(x): float(a) for x, a in zip(candidates, estimated)}
+        meter.add_server_time(estimate_timer.elapsed)
+
+        meter.observe_server_memory(
+            peak_oracle_state
+            + final_oracle.server_state_size
+            + sum(len(per_coord) * 2
+                  for per_bucket in lists for per_coord in per_bucket))
+
+        return HeavyHitterResult(
+            estimates=estimates,
+            protocol=self.name,
+            num_users=num_users,
+            epsilon=self.epsilon,
+            meter=meter,
+            candidates=candidates,
+            oracle=final_oracle,
+            metadata={"parameters": params.describe(),
+                      "group_sizes": group_sizes,
+                      "num_cells": num_cells,
+                      "list_sizes": [len(per_coord)
+                                     for per_bucket in lists
+                                     for per_coord in per_bucket]},
+        )
+
+    # ----- internals ----------------------------------------------------------------------
+
+    @staticmethod
+    def _derive_cells(members: np.ndarray, buckets: np.ndarray, chunks: np.ndarray,
+                      coordinate: int, code: UniqueListRecoverableCode,
+                      params: ProtocolParameters) -> np.ndarray:
+        """Map each member's value to its oracle cell ((b, y, z) flattened)."""
+        if members.size == 0:
+            return members
+        hash_range = params.hash_range
+        y_values = np.asarray(code.hashes[coordinate](members))
+        # Packed z = chunk + prime * (neighbour hashes in base Y), matching
+        # UniqueListRecoverableCode._pack_z.
+        neighbor_part = np.zeros(members.size, dtype=np.int64)
+        for neighbor in reversed(code.expander.neighbors(coordinate)):
+            neighbor_part = (neighbor_part * hash_range
+                             + np.asarray(code.hashes[neighbor](members)))
+        z_values = neighbor_part * code.outer_code.prime + chunks
+        cells = (buckets * hash_range + y_values) * code.z_alphabet_size + z_values
+        return cells.astype(np.int64)
+
+    @staticmethod
+    def _append_coordinate_lists(oracle: ExplicitHistogramOracle, group_size: int,
+                                 coordinate: int, code: UniqueListRecoverableCode,
+                                 params: ProtocolParameters,
+                                 lists: List[List[List[tuple]]]) -> None:
+        """Steps 2-3 for one coordinate: fill ``lists[b][coordinate]`` for every bucket.
+
+        For every (b, y) the arg-max over z is taken (step 3a); the pair is kept
+        if its estimate clears the detection threshold, largest estimates first,
+        up to the list budget ℓ (step 3b).
+        """
+        num_buckets = params.num_buckets
+        hash_range = params.hash_range
+        z_size = code.z_alphabet_size
+        cell_std = math.sqrt(max(group_size, 1) * oracle.estimator_variance_per_user)
+        threshold = params.threshold_std * cell_std
+        histogram = oracle.histogram().reshape(num_buckets, hash_range, z_size)
+        best_z = histogram.argmax(axis=2)
+        best_value = np.take_along_axis(histogram, best_z[:, :, None], axis=2)[:, :, 0]
+        for bucket in range(num_buckets):
+            order = np.argsort(-best_value[bucket])
+            entries = []
+            for y in order:
+                value = best_value[bucket, y]
+                if value < threshold:
+                    break
+                entries.append((int(y), int(best_z[bucket, y])))
+                if len(entries) >= params.list_size:
+                    break
+            lists[bucket][coordinate] = entries
+
+    def _run_small_domain(self, values: np.ndarray, gen: np.random.Generator,
+                          meter: ResourceMeter) -> HeavyHitterResult:
+        """Small-domain fallback: query a single frequency oracle on every element.
+
+        This is the paper's observation that for n > |X| one can apply the
+        frequency oracle of Theorem 3.7 to every item of X and keep the same
+        guarantees.
+        """
+        with Timer() as user_timer:
+            oracle = HashtogramOracle(self.domain_size, self.epsilon)
+            oracle.collect(values, gen)
+        meter.add_user_time(user_timer.elapsed)
+        meter.add_communication(int(oracle.report_bits * values.size))
+        meter.add_public_randomness(oracle.public_randomness_bits)
+
+        with Timer() as server_timer:
+            all_estimates = oracle.estimate_many(np.arange(self.domain_size))
+            # Keep the O(n / Delta)-sized head of the histogram: elements whose
+            # estimate clears the oracle's own noise floor.
+            noise_floor = oracle.expected_error(beta=self.beta)
+            estimates = {int(x): float(a) for x, a in enumerate(all_estimates)
+                         if a >= noise_floor}
+        meter.add_server_time(server_timer.elapsed)
+        meter.observe_server_memory(oracle.server_state_size)
+
+        return HeavyHitterResult(
+            estimates=estimates,
+            protocol=self.name,
+            num_users=int(values.size),
+            epsilon=self.epsilon,
+            meter=meter,
+            candidates=list(estimates),
+            oracle=oracle,
+            metadata={"mode": "small_domain_enumeration",
+                      "noise_floor": float(noise_floor)},
+        )

@@ -1,0 +1,75 @@
+"""Protocol abstraction shared by PrivateExpanderSketch and every baseline.
+
+A heavy-hitters protocol in the (non-interactive) local model is, per
+Definitions 2.2/2.3, a collection of per-user local randomizers plus a
+server-side aggregation.  :class:`HeavyHitterProtocol` fixes the common
+interface — ``run(values) -> HeavyHitterResult`` — and provides shared helpers
+(user partitioning, input validation, resource accounting) so that the
+Table 1 benchmark can treat all protocols uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.results import HeavyHitterResult
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_epsilon, check_positive_int
+
+
+class HeavyHitterProtocol(abc.ABC):
+    """Base class for non-interactive LDP heavy-hitters protocols."""
+
+    #: short machine-readable protocol name (used in benchmark tables)
+    name: str = "abstract"
+
+    def __init__(self, domain_size: int, epsilon: float) -> None:
+        self.domain_size = check_positive_int(domain_size, "domain_size")
+        self.epsilon = check_epsilon(epsilon)
+
+    # ----- required interface ---------------------------------------------------
+
+    @abc.abstractmethod
+    def run(self, values: Sequence[int], rng: RandomState = None) -> HeavyHitterResult:
+        """Execute the protocol on the distributed database ``values``.
+
+        ``values[i]`` is user i's private input.  The returned result contains
+        the Est list of Definition 3.1 along with resource accounting.
+        """
+
+    # ----- shared helpers ----------------------------------------------------------
+
+    def _validate_values(self, values: Sequence[int]) -> np.ndarray:
+        arr = np.asarray(values, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError("values must be a one-dimensional sequence")
+        if arr.size == 0:
+            raise ValueError("the database must contain at least one user")
+        if arr.min() < 0 or arr.max() >= self.domain_size:
+            raise ValueError("values outside the declared domain")
+        return arr
+
+    @staticmethod
+    def partition_users(num_users: int, num_groups: int,
+                        rng: RandomState = None) -> np.ndarray:
+        """Random partition of [n] into ``num_groups`` sets (the paper's I_1..I_M).
+
+        Returns an array ``assignment`` with ``assignment[i]`` the group of
+        user i.  Uses a random permutation split into near-equal consecutive
+        blocks, so group sizes differ by at most one.
+        """
+        check_positive_int(num_users, "num_users")
+        check_positive_int(num_groups, "num_groups")
+        gen = as_generator(rng)
+        permuted = gen.permutation(num_users)
+        assignment = np.empty(num_users, dtype=np.int64)
+        for group, block in enumerate(np.array_split(permuted, num_groups)):
+            assignment[block] = group
+        return assignment
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{type(self).__name__}(domain_size={self.domain_size}, "
+                f"epsilon={self.epsilon})")

@@ -1,0 +1,100 @@
+"""Result object returned by heavy-hitters protocols.
+
+Definition 3.1 asks for a list ``Est ⊆ X × R`` of elements and estimates;
+:class:`HeavyHitterResult` carries that list, the resource accounting needed
+for Table 1, and (when the protocol built one) the final frequency oracle so
+callers can issue further queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.utils.timer import ResourceMeter
+
+
+@dataclass
+class HeavyHitterResult:
+    """Output of one heavy-hitters protocol execution.
+
+    Attributes
+    ----------
+    estimates:
+        The list Est as a mapping ``{element: estimated frequency}``.
+    protocol:
+        Name of the protocol that produced the result.
+    num_users:
+        Number of participating users n.
+    epsilon:
+        Total per-user privacy budget spent.
+    meter:
+        Resource accounting (server/user time, communication, memory).
+    candidates:
+        The raw candidate set Ĥ before final estimation (useful for debugging
+        the decode stage); equals ``list(estimates)`` when not tracked
+        separately.
+    oracle:
+        The final frequency oracle (if the protocol keeps one), so additional
+        domain elements can be queried after the fact.
+    metadata:
+        Free-form protocol-specific extras (parameter dumps, stage timings).
+    """
+
+    estimates: Dict[int, float]
+    protocol: str
+    num_users: int
+    epsilon: float
+    meter: ResourceMeter = field(default_factory=ResourceMeter)
+    candidates: Optional[List[int]] = None
+    oracle: Optional[object] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.candidates is None:
+            self.candidates = list(self.estimates)
+
+    # ----- views ---------------------------------------------------------------
+
+    def sorted_items(self) -> List[Tuple[int, float]]:
+        """Estimates sorted by decreasing estimated frequency."""
+        return sorted(self.estimates.items(), key=lambda kv: -kv[1])
+
+    def top(self, count: int) -> List[Tuple[int, float]]:
+        """The ``count`` elements with the largest estimated frequencies."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return self.sorted_items()[:count]
+
+    def above(self, threshold: float) -> List[Tuple[int, float]]:
+        """All (element, estimate) pairs with estimate >= threshold."""
+        return [(x, a) for x, a in self.sorted_items() if a >= threshold]
+
+    def estimate_of(self, x: int) -> float:
+        """Estimated frequency of x: the listed value, or 0 if x is not listed.
+
+        This matches how a heavy-hitters output is used as a frequency oracle
+        (Section 3: ``f̂(x) = a`` if (x, a) ∈ Est, else 0).
+        """
+        return float(self.estimates.get(int(x), 0.0))
+
+    @property
+    def list_size(self) -> int:
+        return len(self.estimates)
+
+    def communication_bits_per_user(self) -> float:
+        """Per-user communication, from the resource meter."""
+        if self.num_users <= 0:
+            return float("nan")
+        return self.meter.communication_bits / self.num_users
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten for benchmark reporting."""
+        out = {
+            "protocol": self.protocol,
+            "num_users": self.num_users,
+            "epsilon": self.epsilon,
+            "list_size": self.list_size,
+        }
+        out.update(self.meter.as_dict())
+        return out

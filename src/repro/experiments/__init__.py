@@ -1,0 +1,83 @@
+"""Experiment drivers: one module per table/figure reproduced from the paper.
+
+Each module exposes a small configuration dataclass and a ``run_*`` function
+returning plain dictionaries/lists of rows, so that
+
+* the ``benchmarks/`` harness can time and print them under pytest-benchmark,
+* ``EXPERIMENTS.md`` can be regenerated from the same code, and
+* users can call them programmatically from notebooks or scripts.
+
+Experiment index (see DESIGN.md for the full mapping):
+
+===========  ================================================================
+``table1``   T1 — the resource/error comparison of Table 1
+``error_curves``  E1-E3 — error vs β, n, ε for the heavy-hitters protocols
+``frequency_oracle``  E4 — Hashtogram error vs its Theorem 3.7/3.8 bounds
+``grouposition``      E5 — measured group privacy loss vs kε and √k·ε curves
+``max_information``   E6 — max-information bounds, LDP vs central
+``composed_rr``       E7 — Theorem 5.1: privacy and TV distance of M̃
+``genprot``           E8 — Theorem 6.1: privacy/utility of the transformation
+``lower_bound``       E9 — Theorem 7.2: measured error vs the lower bound
+``list_recovery``     E10 — list-recovery success vs corrupted coordinates
+``ablations``         A1/A2 — hashing-structure and Hashtogram ablations
+===========  ================================================================
+"""
+
+from repro.experiments.reporting import format_table, format_markdown_table
+from repro.experiments.table1 import Table1Config, run_table1, theoretical_rows
+from repro.experiments.error_curves import (
+    ErrorCurveConfig,
+    run_error_vs_beta,
+    run_error_vs_n,
+    run_error_vs_epsilon,
+)
+from repro.experiments.frequency_oracle import FrequencyOracleConfig, run_frequency_oracle
+from repro.experiments.grouposition import GroupositionConfig, run_grouposition
+from repro.experiments.max_information import MaxInformationConfig, run_max_information
+from repro.experiments.composed_rr import ComposedRRConfig, run_composed_rr
+from repro.experiments.genprot import GenProtConfig, run_genprot
+from repro.experiments.lower_bound import (
+    LowerBoundConfig,
+    run_counting_lower_bound,
+    run_anti_concentration,
+    run_lower_bound,
+)
+from repro.experiments.list_recovery import ListRecoveryConfig, run_list_recovery
+from repro.experiments.ablations import (
+    HashingAblationConfig,
+    HashtogramAblationConfig,
+    run_hashing_ablation,
+    run_hashtogram_ablation,
+)
+
+__all__ = [
+    "format_table",
+    "format_markdown_table",
+    "Table1Config",
+    "run_table1",
+    "theoretical_rows",
+    "ErrorCurveConfig",
+    "run_error_vs_beta",
+    "run_error_vs_n",
+    "run_error_vs_epsilon",
+    "FrequencyOracleConfig",
+    "run_frequency_oracle",
+    "GroupositionConfig",
+    "run_grouposition",
+    "MaxInformationConfig",
+    "run_max_information",
+    "ComposedRRConfig",
+    "run_composed_rr",
+    "GenProtConfig",
+    "run_genprot",
+    "LowerBoundConfig",
+    "run_counting_lower_bound",
+    "run_anti_concentration",
+    "run_lower_bound",
+    "ListRecoveryConfig",
+    "run_list_recovery",
+    "HashingAblationConfig",
+    "HashtogramAblationConfig",
+    "run_hashing_ablation",
+    "run_hashtogram_ablation",
+]

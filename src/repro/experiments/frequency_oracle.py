@@ -1,0 +1,93 @@
+"""Experiment E4: frequency-oracle error against the Theorem 3.7/3.8 bounds.
+
+For a sweep of domain sizes the driver measures the worst-case and RMS error
+of the Hashtogram oracle (and the small-domain explicit oracle where the
+domain permits) over a fixed query set, and reports the Theorem 3.7 / 3.8
+formulas next to the measurements.  The expected shape: error is essentially
+flat in |X| (only the log(min(n,|X|)/β) factor moves) and scales like
+sqrt(n)/ε.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.bounds import (
+    frequency_oracle_error,
+    frequency_oracle_error_small_domain,
+)
+from repro.analysis.metrics import true_frequencies
+from repro.frequency.explicit import ExplicitHistogramOracle
+from repro.frequency.hashtogram import HashtogramOracle
+from repro.utils.rng import RandomState, as_generator
+from repro.workloads.distributions import zipf_workload
+
+
+@dataclass
+class FrequencyOracleConfig:
+    """Configuration for the oracle accuracy sweep."""
+
+    num_users: int = 30_000
+    epsilon: float = 1.0
+    beta: float = 0.05
+    domain_sizes: List[int] = field(
+        default_factory=lambda: [1 << 8, 1 << 12, 1 << 16, 1 << 20])
+    num_queries: int = 200
+    explicit_domain_limit: int = 1 << 12
+    rng: RandomState = 0
+
+
+def _oracle_errors(oracle, values, queries) -> Dict[str, float]:
+    truth = true_frequencies(values)
+    estimates = oracle.estimate_many(queries)
+    errors = np.array([abs(est - truth.get(int(q), 0))
+                       for q, est in zip(queries, estimates)])
+    return {
+        "max_error": float(errors.max()),
+        "rms_error": float(np.sqrt((errors**2).mean())),
+    }
+
+
+def run_frequency_oracle(config: FrequencyOracleConfig | None = None
+                         ) -> List[Dict[str, object]]:
+    """Measure Hashtogram / explicit-oracle error across domain sizes."""
+    config = config or FrequencyOracleConfig()
+    gen = as_generator(config.rng)
+    rows = []
+    for domain_size in config.domain_sizes:
+        values = zipf_workload(config.num_users, domain_size,
+                               support=min(2_000, domain_size), rng=gen)
+        heavy = [x for x, _ in sorted(true_frequencies(values).items(),
+                                      key=lambda kv: -kv[1])[:20]]
+        random_queries = gen.integers(0, domain_size,
+                                      size=config.num_queries - len(heavy))
+        queries = np.concatenate([np.asarray(heavy), random_queries])
+
+        hashtogram = HashtogramOracle(domain_size, config.epsilon)
+        hashtogram.collect(values, gen)
+        row = {
+            "domain_size": domain_size,
+            "oracle": "hashtogram",
+            "server_memory_items": hashtogram.server_state_size,
+            "bound_thm37": frequency_oracle_error(config.num_users, domain_size,
+                                                  config.epsilon, config.beta),
+        }
+        row.update(_oracle_errors(hashtogram, values, queries))
+        rows.append(row)
+
+        if domain_size <= config.explicit_domain_limit:
+            explicit = ExplicitHistogramOracle(domain_size, config.epsilon)
+            explicit.collect(values, gen)
+            row = {
+                "domain_size": domain_size,
+                "oracle": "explicit",
+                "server_memory_items": explicit.server_state_size,
+                "bound_thm38": frequency_oracle_error_small_domain(
+                    config.num_users, config.epsilon, config.beta),
+            }
+            row.update(_oracle_errors(explicit, values, queries))
+            rows.append(row)
+    return rows

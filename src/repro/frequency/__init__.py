@@ -1,0 +1,32 @@
+"""Locally private frequency oracles (Theorems 3.7 and 3.8).
+
+A frequency oracle collects one differentially private report per user and can
+afterwards estimate the multiplicity ``f_S(x)`` of any queried domain element.
+Two constructions are provided, mirroring the two Hashtogram variants the
+paper's analysis uses:
+
+* :class:`ExplicitHistogramOracle` — the small-domain oracle of Theorem 3.8:
+  users randomize their value directly over the (small) domain; the server
+  debiases the aggregate.  Error ``O((1/ε) sqrt(n log(1/β)))`` per query.
+* :class:`HashtogramOracle` — the general oracle of Theorem 3.7: users are
+  partitioned into repetitions, each repetition hashes the domain into a small
+  bucket range (with a sign hash for collision cancellation) and runs a
+  small-domain oracle over the buckets.  Error
+  ``O((1/ε) sqrt(n log(min(n,|X|)/β)))`` per query with O~(sqrt(n)) server
+  memory.
+* :class:`CountMeanSketchOracle` — the Apple-style Count-Mean-Sketch [33]:
+  k hash rows, mean-of-rows estimation with collision correction.  Included as
+  the second industrial baseline; same asymptotic profile as Hashtogram.
+"""
+
+from repro.frequency.base import FrequencyOracle
+from repro.frequency.explicit import ExplicitHistogramOracle
+from repro.frequency.hashtogram import HashtogramOracle
+from repro.frequency.count_mean_sketch import CountMeanSketchOracle
+
+__all__ = [
+    "FrequencyOracle",
+    "ExplicitHistogramOracle",
+    "HashtogramOracle",
+    "CountMeanSketchOracle",
+]

@@ -1,0 +1,70 @@
+"""Abstract interface shared by all locally private frequency oracles."""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.utils.rng import RandomState
+
+
+class FrequencyOracle(abc.ABC):
+    """A locally private protocol estimating element frequencies (Definition 3.2).
+
+    Life-cycle:
+
+    1. construct with a privacy budget and domain description;
+    2. :meth:`collect` the (true) values of the participating users — this
+       simulates each user's local randomization and the server's aggregation,
+       and may be called once per protocol execution;
+    3. :meth:`estimate` the frequency of any domain element.
+
+    Implementations record the resource quantities needed for Table 1
+    (communication per user, server state size) as attributes.
+    """
+
+    #: privacy parameter ε of the whole oracle (each user's report is ε-DP)
+    epsilon: float
+    #: approximate-DP parameter (0 for all oracles in this library)
+    delta: float = 0.0
+    #: size of the value domain
+    domain_size: int
+
+    @abc.abstractmethod
+    def collect(self, values: Sequence[int], rng: RandomState = None) -> None:
+        """Simulate the protocol on the given (distributed) database.
+
+        ``values[i]`` is user i's true value; the method randomizes each value
+        locally and aggregates the reports server-side.
+        """
+
+    @abc.abstractmethod
+    def estimate(self, x: int) -> float:
+        """Estimate the frequency of domain element ``x`` (after :meth:`collect`)."""
+
+    # ----- conveniences --------------------------------------------------------
+
+    def estimate_many(self, xs: Iterable[int]) -> np.ndarray:
+        """Estimate a batch of queries (default: loop over :meth:`estimate`)."""
+        return np.array([self.estimate(int(x)) for x in xs], dtype=float)
+
+    @property
+    def num_users(self) -> int:
+        """Number of users whose reports have been collected."""
+        return getattr(self, "_num_users", 0)
+
+    @property
+    def report_bits(self) -> float:
+        """Bits of communication per user (NaN if not tracked)."""
+        return getattr(self, "_report_bits", float("nan"))
+
+    @property
+    def server_state_size(self) -> int:
+        """Number of scalars retained by the server after aggregation."""
+        return getattr(self, "_server_state_size", 0)
+
+    def _require_collected(self) -> None:
+        if self.num_users == 0:
+            raise RuntimeError("collect() must be called before estimating")

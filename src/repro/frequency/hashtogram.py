@@ -1,0 +1,174 @@
+"""Hashtogram: the general-domain frequency oracle of Theorem 3.7.
+
+Construction (following Bassily-Nissim-Stemmer-Thakurta [3]):
+
+* users are partitioned into ``num_repetitions`` groups;
+* repetition t publishes a pairwise independent bucket hash
+  ``h_t : X -> [num_buckets]`` and a sign hash ``s_t : X -> {-1, +1}``;
+* each user in repetition t runs the *small-domain* oracle
+  (:class:`~repro.frequency.explicit.ExplicitHistogramOracle`) over the domain
+  of (bucket, sign-bit) cells on her pair ``(h_t(x), s_t(x))``;
+* to answer a query x, the server combines, across repetitions, the signed
+  difference of the two cells x hashes into — collisions cancel in expectation
+  thanks to the sign hash (the count-sketch trick), and summing over the
+  disjoint repetitions yields an unbiased estimate of ``f_S(x)``.
+
+The server memory is ``num_repetitions * 2 * num_buckets`` scalars — with the
+default ``num_buckets ≈ sqrt(n)`` this is the ``O~(sqrt(n))`` row of Table 1 —
+and each query costs O(num_repetitions) time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.frequency.base import FrequencyOracle
+from repro.frequency.explicit import ExplicitHistogramOracle
+from repro.hashing.kwise import KWiseHash, KWiseHashFamily, SignHash, sign_hash
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_domain_element, check_epsilon, check_positive_int
+
+
+class HashtogramOracle(FrequencyOracle):
+    """ε-LDP frequency oracle for arbitrary (large) domains.
+
+    Parameters
+    ----------
+    domain_size:
+        Size of the value domain |X|.
+    epsilon:
+        Per-user privacy budget (each user sends a single report).
+    num_repetitions:
+        Number of independent hash repetitions R (more repetitions reduce the
+        collision-induced variance; the default 5 matches the O~(1) public
+        randomness budget).
+    num_buckets:
+        Bucket range of each repetition.  ``None`` (default) selects
+        ``max(16, ceil(sqrt(n)))`` when :meth:`collect` learns n.
+    inner_randomizer:
+        Randomizer used by the per-repetition small-domain oracle
+        ("hadamard", "oue", or "krr").
+    """
+
+    def __init__(self, domain_size: int, epsilon: float, num_repetitions: int = 5,
+                 num_buckets: Optional[int] = None,
+                 inner_randomizer: str = "hadamard") -> None:
+        self.domain_size = check_positive_int(domain_size, "domain_size")
+        self.epsilon = check_epsilon(epsilon)
+        self.delta = 0.0
+        self.num_repetitions = check_positive_int(num_repetitions, "num_repetitions")
+        if num_buckets is not None:
+            check_positive_int(num_buckets, "num_buckets")
+        self.num_buckets = num_buckets
+        self.inner_randomizer = inner_randomizer
+        self._num_users = 0
+        self._bucket_hashes: List[KWiseHash] = []
+        self._sign_hashes: List[SignHash] = []
+        self._inner_oracles: List[ExplicitHistogramOracle] = []
+        self._rep_sizes: List[int] = []
+
+    # ----- collection ---------------------------------------------------------------
+
+    def collect(self, values: Sequence[int], rng: RandomState = None) -> None:
+        gen = as_generator(rng)
+        values = np.asarray(values, dtype=np.int64)
+        if values.size and (values.min() < 0 or values.max() >= self.domain_size):
+            raise ValueError("values outside the declared domain")
+        self._num_users = int(values.size)
+        n = self._num_users
+        if self.num_buckets is None:
+            self.num_buckets = max(16, int(math.ceil(math.sqrt(max(n, 1)))))
+
+        bucket_family = KWiseHashFamily.create(self.domain_size, self.num_buckets,
+                                               independence=2)
+        self._bucket_hashes = bucket_family.sample_many(self.num_repetitions, gen)
+        self._sign_hashes = [sign_hash(self.domain_size, gen)
+                             for _ in range(self.num_repetitions)]
+
+        # Round-robin partition of users into repetitions.
+        assignment = np.arange(n) % self.num_repetitions
+        self._inner_oracles = []
+        self._rep_sizes = []
+        for t in range(self.num_repetitions):
+            members = values[assignment == t]
+            self._rep_sizes.append(int(members.size))
+            oracle = ExplicitHistogramOracle(2 * self.num_buckets, self.epsilon,
+                                             randomizer=self.inner_randomizer)
+            cells = self._cells(members, t)
+            oracle.collect(cells, gen)
+            self._inner_oracles.append(oracle)
+
+        self._report_bits = (self._inner_oracles[0].report_bits
+                             if self._inner_oracles else float("nan"))
+        self._server_state_size = sum(o.server_state_size for o in self._inner_oracles)
+
+    def _cells(self, values: np.ndarray, repetition: int) -> np.ndarray:
+        """Map values to their (bucket, sign) cell index in repetition t."""
+        if values.size == 0:
+            return values
+        buckets = np.asarray(self._bucket_hashes[repetition](values))
+        signs = np.asarray(self._sign_hashes[repetition](values))
+        return (2 * buckets + (signs > 0).astype(np.int64)).astype(np.int64)
+
+    # ----- estimation -----------------------------------------------------------------
+
+    def estimate(self, x: int) -> float:
+        self._require_collected()
+        x = check_domain_element(x, self.domain_size)
+        total = 0.0
+        for t, oracle in enumerate(self._inner_oracles):
+            bucket = int(self._bucket_hashes[t](x))
+            sign = int(self._sign_hashes[t](x))
+            plus = oracle.estimate(2 * bucket + 1)
+            minus = oracle.estimate(2 * bucket)
+            total += sign * (plus - minus)
+        return float(total)
+
+    def estimate_many(self, xs) -> np.ndarray:
+        self._require_collected()
+        xs = np.asarray(list(xs), dtype=np.int64)
+        if xs.size == 0:
+            return np.zeros(0)
+        if xs.min() < 0 or xs.max() >= self.domain_size:
+            raise ValueError("queries outside the declared domain")
+        totals = np.zeros(xs.shape, dtype=float)
+        for t, oracle in enumerate(self._inner_oracles):
+            buckets = np.asarray(self._bucket_hashes[t](xs))
+            signs = np.asarray(self._sign_hashes[t](xs)).astype(float)
+            plus = oracle.estimate_many(2 * buckets + 1)
+            minus = oracle.estimate_many(2 * buckets)
+            totals += signs * (plus - minus)
+        return totals
+
+    # ----- accounting -----------------------------------------------------------------
+
+    @property
+    def public_randomness_bits(self) -> int:
+        """Bits of public randomness consumed by the published hash functions."""
+        return int(sum(h.description_bits for h in self._bucket_hashes)
+                   + sum(s.description_bits for s in self._sign_hashes))
+
+    @property
+    def estimator_variance(self) -> float:
+        """Approximate variance of a single frequency estimate.
+
+        The noise contributions of the repetitions add up (each repetition
+        holds a disjoint subset of users), and each repetition additionally
+        contributes collision variance of roughly ``n_t / num_buckets``.
+        """
+        if not self._inner_oracles:
+            return float("nan")
+        total = 0.0
+        for oracle, n_t in zip(self._inner_oracles, self._rep_sizes):
+            total += 2.0 * n_t * oracle.estimator_variance_per_user
+            total += n_t / max(self.num_buckets, 1)
+        return total
+
+    def expected_error(self, beta: float) -> float:
+        """High-probability error bound for one query (Gaussian approximation)."""
+        if not 0 < beta < 1:
+            raise ValueError("beta must lie in (0, 1)")
+        return math.sqrt(2.0 * self.estimator_variance * math.log(2.0 / beta))

@@ -1,0 +1,28 @@
+"""Expander graphs and cluster-preserving clustering.
+
+* :mod:`repro.graphs.expanders` constructs d-regular λ-spectral expanders on M
+  vertices (Appendix B item 2) as verified random regular graphs — the paper's
+  own footnote 7 notes this Las-Vegas construction suffices because spectral
+  expansion can be checked efficiently — and provides the expander mixing lemma
+  (Lemma B.1) as an evaluable bound.
+* :mod:`repro.graphs.spectral_cluster` finds the spectral clusters of the
+  layered decoding graph (the role played by Theorem B.3's cluster-preserving
+  clustering): connected components refined by low-conductance spectral sweeps.
+"""
+
+from repro.graphs.expanders import (
+    ExpanderGraph,
+    random_regular_expander,
+    second_eigenvalue,
+    expander_mixing_lower_bound,
+)
+from repro.graphs.spectral_cluster import SpectralClusterer, Cluster
+
+__all__ = [
+    "ExpanderGraph",
+    "random_regular_expander",
+    "second_eigenvalue",
+    "expander_mixing_lower_bound",
+    "SpectralClusterer",
+    "Cluster",
+]

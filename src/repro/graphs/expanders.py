@@ -1,0 +1,176 @@
+"""Construction and verification of d-regular spectral expanders.
+
+Appendix B of the paper uses a d-regular λ0-spectral expander F on M vertices
+with λ0 = α·d for a small constant α.  Footnote 7 observes that because
+spectral expansion is efficiently verifiable and random regular graphs are
+expanders with high probability, a Las-Vegas construction (sample, verify,
+retry) suffices.  That is exactly what :func:`random_regular_expander` does,
+using networkx to sample random regular graphs and numpy to compute the second
+adjacency eigenvalue.
+
+For very small vertex counts (M <= d + 1) the complete graph is returned; it
+is the best possible expander on those sizes and keeps the decoder working for
+toy parameters used in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_positive_int
+
+
+def second_eigenvalue(graph: nx.Graph) -> float:
+    """Second largest eigenvalue (in magnitude) of the unnormalised adjacency matrix."""
+    if graph.number_of_nodes() < 2:
+        return 0.0
+    adjacency = nx.to_numpy_array(graph)
+    eigenvalues = np.linalg.eigvalsh(adjacency)
+    magnitudes = np.sort(np.abs(eigenvalues))[::-1]
+    return float(magnitudes[1])
+
+
+@dataclass(frozen=True)
+class ExpanderGraph:
+    """A d-regular graph on vertices ``0..num_vertices-1`` with a verified spectral bound.
+
+    Attributes
+    ----------
+    neighbor_lists:
+        ``neighbor_lists[m]`` is the ordered tuple of the d neighbours of m,
+        i.e. ``Γ(m)_1, ..., Γ(m)_d`` in the paper's notation.  The ordering is
+        fixed so that encoders and decoders agree on which neighbour index a
+        hash value refers to.
+    degree:
+        The regular degree d.
+    lambda2:
+        The verified second adjacency eigenvalue (in magnitude).
+    """
+
+    neighbor_lists: Tuple[Tuple[int, ...], ...]
+    degree: int
+    lambda2: float
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.neighbor_lists)
+
+    @property
+    def spectral_ratio(self) -> float:
+        """λ2 / d — the α of an α·d-spectral expander."""
+        return self.lambda2 / self.degree if self.degree else 0.0
+
+    def neighbors(self, vertex: int) -> Tuple[int, ...]:
+        """The ordered neighbours Γ(vertex)."""
+        return self.neighbor_lists[vertex]
+
+    def neighbor_index(self, vertex: int, neighbor: int) -> int:
+        """Position of ``neighbor`` within Γ(vertex); raises ValueError if absent."""
+        return self.neighbor_lists[vertex].index(neighbor)
+
+    def to_networkx(self) -> nx.Graph:
+        """Rebuild a networkx graph (mostly for inspection and tests)."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.num_vertices))
+        for u, nbrs in enumerate(self.neighbor_lists):
+            for v in nbrs:
+                graph.add_edge(u, v)
+        return graph
+
+    def edge_boundary_size(self, subset: Sequence[int]) -> int:
+        """Number of edges with exactly one endpoint in ``subset``."""
+        inside = set(int(v) for v in subset)
+        count = 0
+        for u in inside:
+            for v in self.neighbor_lists[u]:
+                if v not in inside:
+                    count += 1
+        return count
+
+
+def expander_mixing_lower_bound(degree: int, lambda2: float, subset_size: int,
+                                num_vertices: int) -> float:
+    """Lemma B.1: for any S with |S| = r|V|, ``|∂S| >= (d - λ)(1 - r)|S|``."""
+    check_positive_int(degree, "degree")
+    check_positive_int(num_vertices, "num_vertices")
+    if not 0 <= subset_size <= num_vertices:
+        raise ValueError("subset_size must lie in [0, num_vertices]")
+    if subset_size == 0:
+        return 0.0
+    r = subset_size / num_vertices
+    return (degree - lambda2) * (1.0 - r) * subset_size
+
+
+def _complete_graph_expander(num_vertices: int) -> ExpanderGraph:
+    """The complete graph K_M as an expander (used for tiny M)."""
+    neighbor_lists = tuple(
+        tuple(v for v in range(num_vertices) if v != u) for u in range(num_vertices)
+    )
+    graph = nx.complete_graph(num_vertices)
+    lam = second_eigenvalue(graph)
+    return ExpanderGraph(neighbor_lists=neighbor_lists, degree=num_vertices - 1,
+                         lambda2=lam)
+
+
+def random_regular_expander(num_vertices: int, degree: int,
+                            spectral_ratio: float = 0.5,
+                            rng: RandomState = None,
+                            max_attempts: int = 50) -> ExpanderGraph:
+    """Sample a d-regular graph and verify it is a ``spectral_ratio * d``-expander.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices M.
+    degree:
+        Regular degree d; ``num_vertices * degree`` must be even (networkx
+        requirement).  If ``num_vertices <= degree + 1`` the complete graph is
+        returned instead.
+    spectral_ratio:
+        Acceptance threshold α: the graph is accepted when λ2 <= α·d.  Random
+        regular graphs have λ2 ≈ 2·sqrt(d-1) with high probability, so α = 0.5
+        is comfortably achievable for d >= 16 and still fine for d = 8.
+    rng, max_attempts:
+        Las-Vegas retry control.  If no accepted graph is found within the
+        attempt budget the best candidate seen is returned (its λ2 is recorded,
+        so callers can still reason about the actual expansion).
+    """
+    check_positive_int(num_vertices, "num_vertices")
+    check_positive_int(degree, "degree")
+    if num_vertices <= degree + 1:
+        return _complete_graph_expander(num_vertices)
+    gen = as_generator(rng)
+
+    best: ExpanderGraph | None = None
+    actual_degree = degree
+    if (num_vertices * degree) % 2 != 0:
+        actual_degree = degree + 1
+        if num_vertices <= actual_degree + 1:
+            return _complete_graph_expander(num_vertices)
+
+    for _ in range(max_attempts):
+        seed = int(gen.integers(0, 2**31 - 1))
+        graph = nx.random_regular_graph(actual_degree, num_vertices, seed=seed)
+        lam = second_eigenvalue(graph)
+        candidate = ExpanderGraph(
+            neighbor_lists=tuple(tuple(sorted(graph.neighbors(u)))
+                                 for u in range(num_vertices)),
+            degree=actual_degree,
+            lambda2=lam,
+        )
+        if best is None or candidate.lambda2 < best.lambda2:
+            best = candidate
+        if lam <= spectral_ratio * actual_degree and nx.is_connected(graph):
+            return candidate
+    assert best is not None
+    return best
+
+
+def neighbor_map(expander: ExpanderGraph) -> Dict[int, List[int]]:
+    """Convenience: neighbour lists as a plain dictionary."""
+    return {u: list(nbrs) for u, nbrs in enumerate(expander.neighbor_lists)}

@@ -1,0 +1,213 @@
+"""Cluster-preserving clustering for the list-recovery decoder (Theorem B.3).
+
+The decoder of Appendix B builds a layered graph G on vertex set [M]×[Y]: each
+heavy hitter x contributes an (almost intact) copy of the expander F on the
+vertices {(m, h_m(x))}, plus a bounded amount of noise edges.  The clustering
+task is: find vertex sets that match every η-spectral cluster up to O(η)
+volume.  Larsen et al. [22] give a bespoke linear-space algorithm; here we use
+the practical equivalent for laptop-scale parameters:
+
+1. connected components of G (clusters from different heavy hitters are almost
+   always already disconnected because the hash range Y is much larger than
+   the number of heavy items per bucket), then
+2. recursive spectral bisection (Fiedler-vector sweep cut) of any component
+   whose size is much larger than one expander copy, accepting a cut only when
+   its conductance is low — exactly the situation in which two clusters were
+   merged by a few spurious edges.
+
+This preserves the property the decoder needs — each spectral cluster is
+returned approximately intact — which is what Theorem B.3 guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A recovered cluster: a set of vertices of the layered graph."""
+
+    vertices: Tuple[Vertex, ...]
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def __iter__(self):
+        return iter(self.vertices)
+
+
+class SpectralClusterer:
+    """Find cluster-preserving vertex sets in an undirected graph.
+
+    Parameters
+    ----------
+    expected_cluster_size:
+        The size of one intact cluster (M, the number of coordinates).
+        Components up to ``oversize_factor * expected_cluster_size`` are kept
+        whole; larger ones are recursively split.
+    min_cluster_size:
+        Components smaller than this are discarded as noise (they cannot
+        contain enough chunks to decode the outer code anyway).
+    conductance_threshold:
+        A spectral sweep cut is applied only if its conductance is below this
+        value; otherwise the component is kept whole (splitting a genuine
+        expander would destroy a cluster, and expanders have high conductance).
+    oversize_factor:
+        How much larger than ``expected_cluster_size`` a component may be
+        before we attempt to split it.
+    """
+
+    def __init__(self, expected_cluster_size: int, min_cluster_size: int = 2,
+                 conductance_threshold: float = 0.15,
+                 oversize_factor: float = 1.5,
+                 max_recursion_depth: int = 12) -> None:
+        if expected_cluster_size < 1:
+            raise ValueError("expected_cluster_size must be positive")
+        self.expected_cluster_size = int(expected_cluster_size)
+        self.min_cluster_size = int(min_cluster_size)
+        self.conductance_threshold = float(conductance_threshold)
+        self.oversize_factor = float(oversize_factor)
+        self.max_recursion_depth = int(max_recursion_depth)
+
+    # ----- public API ---------------------------------------------------------
+
+    def find_clusters(self, adjacency: Dict[Vertex, Set[Vertex]]) -> List[Cluster]:
+        """Return the recovered clusters of the graph given as an adjacency dict."""
+        clusters: List[Cluster] = []
+        for component in self._connected_components(adjacency):
+            if len(component) < self.min_cluster_size:
+                continue
+            for piece in self._split_recursively(component, adjacency, depth=0):
+                if len(piece) >= self.min_cluster_size:
+                    clusters.append(Cluster(vertices=tuple(sorted(piece, key=repr))))
+        return clusters
+
+    # ----- connected components -----------------------------------------------
+
+    @staticmethod
+    def _connected_components(adjacency: Dict[Vertex, Set[Vertex]]) -> List[List[Vertex]]:
+        seen: Set[Vertex] = set()
+        components: List[List[Vertex]] = []
+        for start in adjacency:
+            if start in seen:
+                continue
+            stack = [start]
+            seen.add(start)
+            component = []
+            while stack:
+                v = stack.pop()
+                component.append(v)
+                for u in adjacency.get(v, ()):  # pragma: no branch
+                    if u not in seen:
+                        seen.add(u)
+                        stack.append(u)
+            components.append(component)
+        return components
+
+    # ----- recursive spectral splitting ----------------------------------------
+
+    def _split_recursively(self, vertices: List[Vertex],
+                           adjacency: Dict[Vertex, Set[Vertex]],
+                           depth: int) -> List[List[Vertex]]:
+        limit = self.oversize_factor * self.expected_cluster_size
+        if len(vertices) <= limit or depth >= self.max_recursion_depth:
+            return [vertices]
+        cut = self._sweep_cut(vertices, adjacency)
+        if cut is None:
+            return [vertices]
+        side_a, side_b, conductance = cut
+        if conductance > self.conductance_threshold:
+            return [vertices]
+        out: List[List[Vertex]] = []
+        out.extend(self._split_recursively(side_a, adjacency, depth + 1))
+        out.extend(self._split_recursively(side_b, adjacency, depth + 1))
+        return out
+
+    def _sweep_cut(self, vertices: List[Vertex],
+                   adjacency: Dict[Vertex, Set[Vertex]]
+                   ) -> Tuple[List[Vertex], List[Vertex], float] | None:
+        """Best sweep cut along the Fiedler vector of the induced subgraph.
+
+        Returns (side_a, side_b, conductance) or None when the subgraph is too
+        small or numerically degenerate.
+        """
+        n = len(vertices)
+        if n < 4:
+            return None
+        index = {v: i for i, v in enumerate(vertices)}
+        inside = set(vertices)
+        # Build the induced adjacency matrix.
+        adj = np.zeros((n, n))
+        for v in vertices:
+            i = index[v]
+            for u in adjacency.get(v, ()):  # pragma: no branch
+                if u in inside:
+                    adj[i, index[u]] = 1.0
+        degrees = adj.sum(axis=1)
+        if degrees.sum() == 0:
+            return None
+        laplacian = np.diag(degrees) - adj
+        try:
+            eigenvalues, eigenvectors = np.linalg.eigh(laplacian)
+        except np.linalg.LinAlgError:  # pragma: no cover - defensive
+            return None
+        # The Fiedler vector is the eigenvector of the second smallest eigenvalue.
+        fiedler = eigenvectors[:, 1] if eigenvalues.shape[0] > 1 else None
+        if fiedler is None:
+            return None
+        order = np.argsort(fiedler)
+        total_volume = degrees.sum()
+
+        best = None
+        prefix: Set[int] = set()
+        volume_prefix = 0.0
+        boundary = 0.0
+        for rank in range(n - 1):
+            i = int(order[rank])
+            prefix.add(i)
+            volume_prefix += degrees[i]
+            # Update boundary incrementally: edges from i to outside minus
+            # edges from i to inside (which were previously boundary edges).
+            for j in range(n):
+                if adj[i, j]:
+                    if j in prefix:
+                        boundary -= 1.0
+                    else:
+                        boundary += 1.0
+            denom = min(volume_prefix, total_volume - volume_prefix)
+            if denom <= 0:
+                continue
+            conductance = boundary / denom
+            if best is None or conductance < best[0]:
+                best = (conductance, set(prefix))
+        if best is None:
+            return None
+        conductance, side_set = best
+        side_a = [vertices[i] for i in range(n) if i in side_set]
+        side_b = [vertices[i] for i in range(n) if i not in side_set]
+        if not side_a or not side_b:
+            return None
+        return side_a, side_b, float(conductance)
+
+
+def adjacency_from_edges(edges: Iterable[Tuple[Vertex, Vertex]]) -> Dict[Vertex, Set[Vertex]]:
+    """Build an adjacency dictionary from an edge list (ignoring self-loops)."""
+    adjacency: Dict[Vertex, Set[Vertex]] = {}
+    for u, v in edges:
+        if u == v:
+            continue
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set()).add(u)
+    return adjacency
+
+
+def volume(vertices: Sequence[Vertex], adjacency: Dict[Vertex, Set[Vertex]]) -> int:
+    """Sum of degrees of ``vertices`` in the graph (the paper's vol(W))."""
+    return int(sum(len(adjacency.get(v, ())) for v in vertices))

@@ -1,0 +1,24 @@
+"""Hash function families with limited independence.
+
+Algorithm ``PrivateExpanderSketch`` needs, as public randomness,
+
+* pairwise independent hash functions ``h_1, ..., h_M : X -> [Y]``,
+* a ``(C_g log |X|)``-wise independent hash function ``g : X -> [B]``.
+
+Both are provided by :class:`KWiseHash` (polynomial hashing over a prime
+field), with :func:`pairwise_hash` as the ``k = 2`` convenience constructor.
+The frequency oracles additionally use sign hashes for count-sketch style
+debiasing.
+"""
+
+from repro.hashing.kwise import KWiseHash, KWiseHashFamily, pairwise_hash, sign_hash
+from repro.hashing.primes import next_prime, is_prime
+
+__all__ = [
+    "KWiseHash",
+    "KWiseHashFamily",
+    "pairwise_hash",
+    "sign_hash",
+    "next_prime",
+    "is_prime",
+]

@@ -1,0 +1,173 @@
+"""k-wise independent hash functions via polynomial hashing.
+
+A degree-(k-1) polynomial with uniformly random coefficients over a prime
+field ``F_p`` with ``p >= |X|`` evaluates to a k-wise independent family on
+``X``; reducing the value modulo the range size gives an (almost uniform)
+k-wise independent hash into ``[range_size]``.  This is the textbook
+construction the paper relies on for its pairwise independent hashes
+``h_1, ..., h_M`` and the ``O(log |X|)``-wise independent partition hash ``g``.
+
+All evaluations are vectorised over numpy arrays using Python integers for the
+modular arithmetic when the modulus exceeds 63 bits (never the case for the
+domains used here, but guarded anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Union
+
+import numpy as np
+
+from repro.hashing.primes import next_prime
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_positive_int
+
+ArrayLike = Union[int, Sequence[int], np.ndarray]
+
+
+@dataclass(frozen=True)
+class KWiseHash:
+    """A single hash function drawn from a k-wise independent family.
+
+    Parameters
+    ----------
+    coefficients:
+        Tuple of ``k`` coefficients in ``[0, prime)``; ``coefficients[0]`` is
+        the constant term.
+    prime:
+        The field modulus (a prime >= the domain size).
+    range_size:
+        The size of the hash range ``[0, range_size)``.
+
+    Notes
+    -----
+    The description length of the function is ``k * ceil(log2(prime))`` bits;
+    this is what the protocol counts as "public randomness per user" in
+    Table 1.
+    """
+
+    coefficients: tuple
+    prime: int
+    range_size: int
+
+    @property
+    def independence(self) -> int:
+        """The k of the k-wise independent family this was drawn from."""
+        return len(self.coefficients)
+
+    @property
+    def description_bits(self) -> int:
+        """Number of bits needed to communicate this hash function."""
+        return self.independence * max(int(self.prime - 1).bit_length(), 1)
+
+    def __call__(self, x: ArrayLike) -> Union[int, np.ndarray]:
+        """Evaluate the hash on a scalar or an array of domain elements."""
+        scalar = np.isscalar(x)
+        arr = np.atleast_1d(np.asarray(x, dtype=np.int64))
+        if arr.size and (arr.min() < 0):
+            raise ValueError("hash inputs must be non-negative integers")
+        out = self._evaluate(arr)
+        if scalar:
+            return int(out[0])
+        return out
+
+    def _evaluate(self, arr: np.ndarray) -> np.ndarray:
+        p = self.prime
+        # Horner evaluation modulo p.  Use object dtype when p^2 could
+        # overflow int64; for the usual primes (< 2^31) int64 is exact.
+        if p < (1 << 31):
+            vals = np.zeros(arr.shape, dtype=np.int64)
+            x_mod = arr % p
+            for coef in reversed(self.coefficients):
+                vals = (vals * x_mod + coef) % p
+            return (vals % self.range_size).astype(np.int64)
+        vals = np.zeros(arr.shape, dtype=object)
+        x_mod = arr.astype(object) % p
+        for coef in reversed(self.coefficients):
+            vals = (vals * x_mod + coef) % p
+        return np.array([int(v) % self.range_size for v in vals], dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class KWiseHashFamily:
+    """A k-wise independent hash family ``X -> [range_size]``.
+
+    Draw members with :meth:`sample`; the family is characterised by the
+    domain size (which fixes the prime field), the range size, and the
+    independence parameter k.
+    """
+
+    domain_size: int
+    range_size: int
+    independence: int
+    prime: int
+
+    @classmethod
+    def create(cls, domain_size: int, range_size: int, independence: int = 2
+               ) -> "KWiseHashFamily":
+        """Build a family for ``[0, domain_size) -> [0, range_size)``."""
+        check_positive_int(domain_size, "domain_size")
+        check_positive_int(range_size, "range_size")
+        check_positive_int(independence, "independence")
+        prime = next_prime(max(domain_size, range_size, 2))
+        return cls(domain_size=domain_size, range_size=range_size,
+                   independence=independence, prime=prime)
+
+    def sample(self, rng: RandomState = None) -> KWiseHash:
+        """Draw one hash function uniformly from the family."""
+        gen = as_generator(rng)
+        coefs = [int(gen.integers(0, self.prime)) for _ in range(self.independence)]
+        # Degree-(k-1) coefficient should be non-zero so the polynomial has
+        # full degree; this does not affect independence and avoids the
+        # degenerate constant function for tiny families.
+        if self.independence > 1 and coefs[-1] == 0:
+            coefs[-1] = int(gen.integers(1, self.prime))
+        return KWiseHash(coefficients=tuple(coefs), prime=self.prime,
+                         range_size=self.range_size)
+
+    def sample_many(self, count: int, rng: RandomState = None) -> List[KWiseHash]:
+        """Draw ``count`` independent hash functions."""
+        gen = as_generator(rng)
+        return [self.sample(gen) for _ in range(count)]
+
+
+def pairwise_hash(domain_size: int, range_size: int, rng: RandomState = None) -> KWiseHash:
+    """Draw a single pairwise independent hash ``[domain_size] -> [range_size]``."""
+    family = KWiseHashFamily.create(domain_size, range_size, independence=2)
+    return family.sample(rng)
+
+
+def kwise_hash(domain_size: int, range_size: int, independence: int,
+               rng: RandomState = None) -> KWiseHash:
+    """Draw a single k-wise independent hash with the given independence."""
+    family = KWiseHashFamily.create(domain_size, range_size, independence)
+    return family.sample(rng)
+
+
+def sign_hash(domain_size: int, rng: RandomState = None, independence: int = 4) -> "SignHash":
+    """Draw a +/-1 valued hash (used by count-sketch style estimators)."""
+    base = KWiseHashFamily.create(domain_size, 2, independence).sample(rng)
+    return SignHash(base)
+
+
+@dataclass(frozen=True)
+class SignHash:
+    """A hash function into {-1, +1}, built from a k-wise binary hash."""
+
+    base: KWiseHash
+
+    def __call__(self, x: ArrayLike) -> Union[int, np.ndarray]:
+        val = self.base(x)
+        if np.isscalar(val):
+            return 1 if val == 1 else -1
+        return np.where(np.asarray(val) == 1, 1, -1).astype(np.int64)
+
+    @property
+    def description_bits(self) -> int:
+        return self.base.description_bits
+
+
+def total_description_bits(hashes: Iterable) -> int:
+    """Sum of description lengths for a collection of hash functions."""
+    return int(sum(h.description_bits for h in hashes))

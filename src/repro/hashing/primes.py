@@ -1,0 +1,65 @@
+"""Primality testing and prime search.
+
+Polynomial hash families and Reed-Solomon codes both need a prime modulus
+slightly larger than the domain they operate on.  Deterministic Miller-Rabin
+with the standard witness set is exact for all 64-bit integers, which covers
+every domain size this library works with (and far beyond).
+"""
+
+from __future__ import annotations
+
+# Deterministic Miller-Rabin witnesses valid for all n < 3.3 * 10^24.
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47)
+
+
+def is_prime(n: int) -> bool:
+    """Exact primality test (deterministic Miller-Rabin) for n < 3.3e24."""
+    n = int(n)
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # Write n - 1 = d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        if a % n == 0:
+            continue
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime >= n (n may be any integer; result is at least 2)."""
+    n = max(int(n), 2)
+    candidate = n
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def previous_prime(n: int) -> int:
+    """Largest prime <= n; raises ValueError if n < 2."""
+    n = int(n)
+    if n < 2:
+        raise ValueError("no prime <= n for n < 2")
+    candidate = n
+    while not is_prime(candidate):
+        candidate -= 1
+    return candidate

@@ -1,0 +1,42 @@
+"""Lower bounds (Section 7) and the anti-concentration toolbox behind them.
+
+* :mod:`repro.lowerbounds.anti_concentration` — Theorem 7.5 / Corollary 7.6 /
+  Theorem A.5: anti-concentration of sums of independent bounded variables,
+  with exact Poisson-binomial computations for validating the bounds.
+* :mod:`repro.lowerbounds.counting` — the Theorem 7.2 experiment: a uniformly
+  random database S replicated into D, an ε-LDP counting protocol run on D,
+  and the resulting error compared against the ``Ω((1/ε) sqrt(n log(1/β)))``
+  lower-bound curve.
+* :mod:`repro.lowerbounds.packing` — packing-style lower bounds implied by
+  advanced grouposition (the "mixed blessing" of Section 1.1).
+"""
+
+from repro.lowerbounds.anti_concentration import (
+    poisson_binomial_pmf,
+    interval_escape_probability,
+    corollary_interval_halfwidth,
+    empirical_escape_probability,
+)
+from repro.lowerbounds.counting import (
+    CountingLowerBoundExperiment,
+    replicated_database,
+    randomized_response_count,
+)
+from repro.lowerbounds.packing import (
+    packing_lower_bound_users,
+    selection_lower_bound_local,
+    selection_lower_bound_central,
+)
+
+__all__ = [
+    "poisson_binomial_pmf",
+    "interval_escape_probability",
+    "corollary_interval_halfwidth",
+    "empirical_escape_probability",
+    "CountingLowerBoundExperiment",
+    "replicated_database",
+    "randomized_response_count",
+    "packing_lower_bound_users",
+    "selection_lower_bound_local",
+    "selection_lower_bound_central",
+]

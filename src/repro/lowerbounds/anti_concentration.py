@@ -1,0 +1,123 @@
+"""Anti-concentration of sums of independent bits (Theorem 7.5, Cor. 7.6, Thm A.5).
+
+The lower bound of Section 7 needs the *reverse* of a concentration bound: a
+sum of independent bits with non-trivial variance must *escape* any interval
+of length ``o(sqrt(σ² log(1/β)))`` with probability at least β.  This module
+provides
+
+* exact Poisson-binomial distribution computations (for validating the bounds
+  numerically and for the property-based tests),
+* the interval-escape probability of a Poisson-binomial sum,
+* the Corollary 7.6 / Theorem A.5 interval half-width formula, and
+* empirical escape-probability estimation from samples (used by the E9
+  benchmark).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int, check_probability
+
+
+def poisson_binomial_pmf(probabilities: Sequence[float]) -> np.ndarray:
+    """Exact pmf of a sum of independent Bernoulli(p_i) variables.
+
+    Returns an array of length ``len(probabilities) + 1`` whose entry j is
+    ``Pr[sum = j]``, computed by direct convolution (O(k²), exact).
+    """
+    probs = [check_probability(p, "probability") for p in probabilities]
+    pmf = np.array([1.0])
+    for p in probs:
+        extended = np.zeros(pmf.size + 1)
+        extended[:-1] += pmf * (1.0 - p)
+        extended[1:] += pmf * p
+        pmf = extended
+    return pmf
+
+
+def poisson_binomial_moments(probabilities: Sequence[float]) -> tuple[float, float]:
+    """Mean and variance of a Poisson-binomial sum."""
+    probs = np.asarray(list(probabilities), dtype=float)
+    mean = float(probs.sum())
+    variance = float((probs * (1.0 - probs)).sum())
+    return mean, variance
+
+
+def interval_escape_probability(probabilities: Sequence[float], low: float,
+                                high: float) -> float:
+    """Exact ``Pr[X ∉ [low, high]]`` for a Poisson-binomial sum X."""
+    if low > high:
+        raise ValueError("low must not exceed high")
+    pmf = poisson_binomial_pmf(probabilities)
+    support = np.arange(pmf.size)
+    inside = (support >= low) & (support <= high)
+    return float(pmf[~inside].sum())
+
+
+def corollary_interval_halfwidth(variance: float, beta: float,
+                                 constant: float = 0.25) -> float:
+    """Corollary 7.6 / Theorem A.5 half-width ``(c/2) sqrt(σ² log(1/β))``.
+
+    Any interval of at most twice this half-width is escaped with probability
+    at least β (for β not too small and σ not too small); the unspecified
+    constant of the corollary is exposed as ``constant``.
+    """
+    if variance < 0:
+        raise ValueError("variance must be non-negative")
+    check_probability(beta, "beta", allow_zero=False, allow_one=False)
+    return constant * math.sqrt(variance * math.log(1.0 / beta))
+
+
+def theorem_a5_conditions_hold(num_bits: int, beta: float, b_constant: float = 0.1,
+                               mean_low: float = 0.1, mean_high: float = 0.9,
+                               means: Sequence[float] | None = None) -> bool:
+    """Check the hypotheses of Theorem A.5 for a given instance.
+
+    Theorem A.5 requires every bit's mean to lie in [1/10, 9/10] and
+    ``β >= 2^{-b n}`` for a universal constant b.
+    """
+    check_positive_int(num_bits, "num_bits")
+    check_probability(beta, "beta", allow_zero=False, allow_one=False)
+    if means is not None:
+        if any(not mean_low <= m <= mean_high for m in means):
+            return False
+    return beta >= 2.0 ** (-b_constant * num_bits)
+
+
+def empirical_escape_probability(samples: Sequence[float], center: float,
+                                 halfwidth: float) -> float:
+    """Fraction of samples outside ``[center - halfwidth, center + halfwidth]``."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("samples must be non-empty")
+    if halfwidth < 0:
+        raise ValueError("halfwidth must be non-negative")
+    outside = (arr < center - halfwidth) | (arr > center + halfwidth)
+    return float(outside.mean())
+
+
+def binomial_tail_lower_bound(num_trials: int, p: float, deviation: float) -> float:
+    """Theorem A.4 lower bound on ``Pr[Bin(n,p) <= np - t]`` (= upper-tail bound too).
+
+    Valid for ``0 < p <= 1/2`` and ``sqrt(3np) <= t <= np/2``; returns
+    ``exp(-9 t² / (np))``.
+    """
+    check_positive_int(num_trials, "num_trials")
+    if not 0 < p <= 0.5:
+        raise ValueError("p must lie in (0, 1/2]")
+    np_ = num_trials * p
+    if not math.sqrt(3.0 * np_) <= deviation <= np_ / 2.0:
+        raise ValueError("deviation outside the theorem's validity range")
+    return math.exp(-9.0 * deviation**2 / np_)
+
+
+def uniform_tail_lower_bound(num_bits: int, shift: float) -> float:
+    """Lemma 5.5: ``Pr[|U| >= k/2 + t sqrt(k)] >= exp(-3t²)/(k+1)`` for uniform bits."""
+    check_positive_int(num_bits, "num_bits")
+    if not 0 <= shift <= math.sqrt(num_bits) / 2.0:
+        raise ValueError("shift must lie in [0, sqrt(k)/2]")
+    return math.exp(-3.0 * shift**2) / (num_bits + 1)

@@ -1,0 +1,169 @@
+"""The Theorem 7.2 lower-bound experiment: counting on a replicated random database.
+
+The proof of Theorem 7.2 constructs a hard instance as follows: draw
+``S = (X_1, ..., X_m) ∈ {0,1}^m`` uniformly at random with ``m = C ε² n``, and
+build ``D ∈ {0,1}^n`` by replicating each bit of S exactly ``n/m`` times.  Any
+(ε, δ)-LDP protocol counting the ones of D to within Δ yields (after
+renormalising by m/n) an estimate of the ones of S with error ``C ε² Δ / 1``;
+but advanced grouposition + the mutual-information bound show that most bits
+of S remain nearly unbiased given the transcript, so anti-concentration of
+their sum forces error ``Ω(sqrt(m log(1/β))) = Ω(ε sqrt(n log(1/β)))`` on S,
+i.e. ``Δ = Ω((1/ε) sqrt(n log(1/β)))`` on D.
+
+:class:`CountingLowerBoundExperiment` runs this construction end to end with a
+concrete (optimal, unbiased) ε-LDP counting protocol — randomized response
+with debiasing — and records the empirical error quantiles, which the E9
+benchmark compares against the lower-bound curve.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.bounds import lower_bound_error
+from repro.randomizers.randomized_response import BinaryRandomizedResponse
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_epsilon, check_positive_int, check_probability
+
+
+def replicated_database(num_source_bits: int, num_users: int,
+                        rng: RandomState = None) -> Tuple[np.ndarray, np.ndarray]:
+    """Draw S uniform in {0,1}^m and replicate it into D of length n.
+
+    Each source bit is copied ``ceil(n/m)`` or ``floor(n/m)`` times so that D
+    has exactly n entries; the replication counts differ by at most one, which
+    only perturbs the renormalisation constant.
+    """
+    check_positive_int(num_source_bits, "num_source_bits")
+    check_positive_int(num_users, "num_users")
+    if num_source_bits > num_users:
+        raise ValueError("the source database cannot be longer than the user database")
+    gen = as_generator(rng)
+    source = gen.integers(0, 2, size=num_source_bits).astype(np.int64)
+    replication = np.full(num_source_bits, num_users // num_source_bits, dtype=np.int64)
+    replication[: num_users % num_source_bits] += 1
+    replicated = np.repeat(source, replication)
+    return source, replicated
+
+
+def randomized_response_count(database: np.ndarray, epsilon: float,
+                              rng: RandomState = None) -> float:
+    """Unbiased ε-LDP estimate of the number of ones in a bit database.
+
+    Each user applies binary randomized response; the server debiases the sum.
+    This is the canonical optimal counting protocol, so its error profile is
+    exactly what the lower bound is tight against.
+    """
+    check_epsilon(epsilon)
+    gen = as_generator(rng)
+    randomizer = BinaryRandomizedResponse(epsilon)
+    reports = randomizer.randomize_many(np.asarray(database, dtype=np.int64), gen)
+    return randomizer.unbiased_count(reports)
+
+
+@dataclass(frozen=True)
+class LowerBoundTrialSummary:
+    """Error quantiles of the counting protocol across repeated trials."""
+
+    num_users: int
+    num_source_bits: int
+    epsilon: float
+    errors_on_users: np.ndarray
+    errors_on_source: np.ndarray
+
+    def quantile(self, beta: float) -> float:
+        """The (1-β)-quantile of the error on the user database D."""
+        check_probability(beta, "beta", allow_zero=False, allow_one=False)
+        return float(np.quantile(self.errors_on_users, 1.0 - beta))
+
+    def exceed_probability(self, threshold: float) -> float:
+        """Fraction of trials whose error on D exceeded ``threshold``."""
+        return float((self.errors_on_users > threshold).mean())
+
+
+class CountingLowerBoundExperiment:
+    """Runs the replicated-database construction for the Theorem 7.2 experiment.
+
+    Parameters
+    ----------
+    num_users:
+        n — the number of users of the counting protocol.
+    epsilon:
+        ε — the privacy parameter.
+    replication_constant:
+        The constant C in ``m = C ε² n`` (the paper takes C large; any constant
+        works for exhibiting the scaling).
+    """
+
+    def __init__(self, num_users: int, epsilon: float,
+                 replication_constant: float = 1.0) -> None:
+        self.num_users = check_positive_int(num_users, "num_users")
+        self.epsilon = check_epsilon(epsilon)
+        if replication_constant <= 0:
+            raise ValueError("replication_constant must be positive")
+        self.replication_constant = float(replication_constant)
+
+    @property
+    def num_source_bits(self) -> int:
+        """m = C ε² n, clamped to [8, n]."""
+        m = int(round(self.replication_constant * self.epsilon**2 * self.num_users))
+        return max(8, min(m, self.num_users))
+
+    def run_trials(self, num_trials: int, rng: RandomState = None
+                   ) -> LowerBoundTrialSummary:
+        """Run the construction ``num_trials`` times and collect error samples."""
+        check_positive_int(num_trials, "num_trials")
+        gen = as_generator(rng)
+        m = self.num_source_bits
+        errors_users = np.empty(num_trials)
+        errors_source = np.empty(num_trials)
+        for trial in range(num_trials):
+            source, replicated = replicated_database(m, self.num_users, gen)
+            estimate_users = randomized_response_count(replicated, self.epsilon, gen)
+            true_users = float(replicated.sum())
+            errors_users[trial] = abs(estimate_users - true_users)
+            # Renormalise to the source database (Equation 12 in the proof).
+            scale = m / self.num_users
+            errors_source[trial] = scale * errors_users[trial]
+        return LowerBoundTrialSummary(
+            num_users=self.num_users,
+            num_source_bits=m,
+            epsilon=self.epsilon,
+            errors_on_users=errors_users,
+            errors_on_source=errors_source,
+        )
+
+    def lower_bound_curve(self, betas: Sequence[float], domain_size: int = 2,
+                          constant: float = 0.25) -> List[float]:
+        """The Theorem 7.2 curve ``c (1/ε) sqrt(n log(|X|/β))`` over a β sweep."""
+        return [lower_bound_error(self.num_users, domain_size, self.epsilon, beta,
+                                  constant=constant) for beta in betas]
+
+    def comparison_table(self, betas: Sequence[float], num_trials: int = 200,
+                         rng: RandomState = None) -> Dict[str, List[float]]:
+        """Measured (1-β)-quantile error vs the lower-bound curve, per β."""
+        summary = self.run_trials(num_trials, rng)
+        measured = [summary.quantile(beta) for beta in betas]
+        bound = self.lower_bound_curve(betas)
+        return {
+            "beta": list(betas),
+            "measured_quantile": measured,
+            "lower_bound": bound,
+        }
+
+    def upper_bound_error(self, beta: float) -> float:
+        """Matching upper bound for the counting protocol itself.
+
+        Randomized response with debiasing has per-user variance
+        ``p(1-p)/(2p-1)²``; a Gaussian tail gives error
+        ``sqrt(2 n Var ln(2/β))``, matching the lower bound's shape in both n
+        and β.
+        """
+        check_probability(beta, "beta", allow_zero=False, allow_one=False)
+        randomizer = BinaryRandomizedResponse(self.epsilon)
+        variance = randomizer.estimator_variance_per_user
+        return math.sqrt(2.0 * self.num_users * variance * math.log(2.0 / beta))

@@ -1,0 +1,38 @@
+"""Local randomizers: the per-user building blocks of every LDP protocol.
+
+A *local randomizer* (Definition 2.2) is a differentially private algorithm
+applied to a database of size one — the single user's value.  Every protocol
+in this library (frequency oracles, the heavy-hitters sketch, the baselines,
+and the structural transformations of Sections 5 and 6) is assembled from the
+randomizers defined here.
+
+Each randomizer knows its exact privacy parameters ``(epsilon, delta)``,
+can sample a report for a given input, and — crucially for the GenProt
+transformation of Section 6 — can evaluate the (log-)likelihood of any report
+under any input, so that rejection-sampling probabilities
+``Pr[A(x) = y] / Pr[A(⊥) = y]`` are computable.
+"""
+
+from repro.randomizers.base import LocalRandomizer, ReportSpace
+from repro.randomizers.randomized_response import (
+    BinaryRandomizedResponse,
+    KaryRandomizedResponse,
+)
+from repro.randomizers.unary import UnaryEncoding, OptimizedUnaryEncoding
+from repro.randomizers.rappor import BasicRappor
+from repro.randomizers.hadamard import HadamardResponse, hadamard_entry
+from repro.randomizers.laplace import LaplaceHistogramRandomizer, GaussianHistogramRandomizer
+
+__all__ = [
+    "LocalRandomizer",
+    "ReportSpace",
+    "BinaryRandomizedResponse",
+    "KaryRandomizedResponse",
+    "UnaryEncoding",
+    "OptimizedUnaryEncoding",
+    "BasicRappor",
+    "HadamardResponse",
+    "hadamard_entry",
+    "LaplaceHistogramRandomizer",
+    "GaussianHistogramRandomizer",
+]

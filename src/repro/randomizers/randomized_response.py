@@ -1,0 +1,162 @@
+"""Randomized response: the canonical pure ε-LDP randomizer.
+
+Two flavours:
+
+* :class:`BinaryRandomizedResponse` — Warner's mechanism on a single bit; this
+  is exactly the mechanism ``M_i`` of Theorem 5.1 (report the true bit with
+  probability ``e^ε/(e^ε+1)``, flip it otherwise).
+* :class:`KaryRandomizedResponse` — generalised randomized response over a
+  k-element domain; report the truth with probability ``e^ε/(e^ε+k-1)`` and a
+  uniformly random *other* element otherwise.  It doubles as a small-domain
+  frequency oracle building block and as the per-bucket randomizer used by
+  Hashtogram.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.randomizers.base import LocalRandomizer
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_domain_element, check_epsilon, check_positive_int
+
+
+class BinaryRandomizedResponse(LocalRandomizer):
+    """Warner's randomized response on {0, 1}.
+
+    Reports the true bit with probability ``e^ε / (e^ε + 1)`` and the flipped
+    bit otherwise; this is ε-DP with equality, making it the extremal example
+    for the composition results of Section 5.
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        self.epsilon = check_epsilon(epsilon)
+        self.delta = 0.0
+        self._keep_prob = math.exp(epsilon) / (math.exp(epsilon) + 1.0)
+
+    @property
+    def keep_probability(self) -> float:
+        """Probability of reporting the true bit."""
+        return self._keep_prob
+
+    def randomize(self, x, rng: RandomState = None) -> int:
+        x = int(self.resolve_input(x))
+        if x not in (0, 1):
+            raise ValueError("input must be a bit")
+        gen = as_generator(rng)
+        if gen.random() < self._keep_prob:
+            return x
+        return 1 - x
+
+    def randomize_many(self, bits, rng: RandomState = None) -> np.ndarray:
+        """Vectorised randomization of an array of bits (one report per entry)."""
+        gen = as_generator(rng)
+        bits = np.asarray(bits, dtype=np.int64)
+        if bits.size and not np.isin(bits, (0, 1)).all():
+            raise ValueError("inputs must be bits")
+        keep = gen.random(bits.shape) < self._keep_prob
+        return np.where(keep, bits, 1 - bits).astype(np.int64)
+
+    def log_prob(self, x, report) -> float:
+        x = int(self.resolve_input(x))
+        report = int(report)
+        if x not in (0, 1) or report not in (0, 1):
+            raise ValueError("inputs and reports must be bits")
+        p = self._keep_prob if report == x else 1.0 - self._keep_prob
+        return math.log(p)
+
+    def report_space(self) -> List[int]:
+        return [0, 1]
+
+    def unbiased_count(self, reports) -> float:
+        """Debiased estimate of the number of ones given all users' reports."""
+        reports = np.asarray(reports, dtype=float)
+        n = reports.size
+        p = self._keep_prob
+        # E[sum reports] = ones * p + (n - ones) * (1 - p)
+        return float((reports.sum() - n * (1.0 - p)) / (2.0 * p - 1.0))
+
+    @property
+    def estimator_variance_per_user(self) -> float:
+        """Variance contributed by one user to the debiased count estimator."""
+        p = self._keep_prob
+        return p * (1.0 - p) / (2.0 * p - 1.0) ** 2
+
+
+class KaryRandomizedResponse(LocalRandomizer):
+    """Generalised randomized response over the domain ``[0, k)``.
+
+    Reports the true value with probability ``e^ε/(e^ε + k - 1)``; any specific
+    other value has probability ``1/(e^ε + k - 1)``.  The likelihood ratio
+    between any two inputs for any report is at most ``e^ε``, so the mechanism
+    is ε-DP with equality.
+    """
+
+    def __init__(self, epsilon: float, domain_size: int) -> None:
+        self.epsilon = check_epsilon(epsilon)
+        self.delta = 0.0
+        self.domain_size = check_positive_int(domain_size, "domain_size")
+        exp_eps = math.exp(epsilon)
+        self._p_true = exp_eps / (exp_eps + domain_size - 1.0)
+        self._p_other = 1.0 / (exp_eps + domain_size - 1.0)
+
+    @property
+    def truth_probability(self) -> float:
+        return self._p_true
+
+    @property
+    def lie_probability(self) -> float:
+        return self._p_other
+
+    def randomize(self, x, rng: RandomState = None) -> int:
+        x = check_domain_element(self.resolve_input(x), self.domain_size)
+        gen = as_generator(rng)
+        if self.domain_size == 1:
+            return 0
+        if gen.random() < self._p_true:
+            return x
+        # Uniform over the other k-1 values.
+        other = int(gen.integers(0, self.domain_size - 1))
+        return other if other < x else other + 1
+
+    def randomize_many(self, values, rng: RandomState = None) -> np.ndarray:
+        """Vectorised randomization of an array of domain elements."""
+        gen = as_generator(rng)
+        values = np.asarray(values, dtype=np.int64)
+        if self.domain_size == 1:
+            return np.zeros_like(values)
+        keep = gen.random(values.shape) < self._p_true
+        others = gen.integers(0, self.domain_size - 1, size=values.shape)
+        others = np.where(others < values, others, others + 1)
+        return np.where(keep, values, others).astype(np.int64)
+
+    def log_prob(self, x, report) -> float:
+        x = check_domain_element(self.resolve_input(x), self.domain_size)
+        report = check_domain_element(report, self.domain_size, "report")
+        if self.domain_size == 1:
+            return 0.0
+        return math.log(self._p_true if report == x else self._p_other)
+
+    def report_space(self) -> List[int]:
+        return list(range(self.domain_size))
+
+    def unbiased_histogram(self, reports) -> np.ndarray:
+        """Debiased frequency estimates for every domain element.
+
+        With n reports, the raw count c_v of value v satisfies
+        ``E[c_v] = f_v * p_true + (n - f_v) * p_other``; inverting gives an
+        unbiased estimator of every f_v simultaneously.
+        """
+        reports = np.asarray(reports, dtype=np.int64)
+        n = reports.size
+        counts = np.bincount(reports, minlength=self.domain_size).astype(float)
+        return (counts - n * self._p_other) / (self._p_true - self._p_other)
+
+    @property
+    def estimator_variance_per_user(self) -> float:
+        """Per-user variance of the debiased frequency estimator (worst case)."""
+        p, q = self._p_true, self._p_other
+        return q * (1.0 - q) / (p - q) ** 2

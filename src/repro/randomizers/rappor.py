@@ -1,0 +1,132 @@
+"""Basic RAPPOR: the Google Chrome LDP mechanism cited in the introduction [12].
+
+The introduction motivates the heavy-hitters problem with Google's RAPPOR
+deployment.  We implement the *basic one-time RAPPOR* variant: the value is
+hashed into a Bloom filter of ``num_bits`` bits with ``num_hashes`` hash
+functions, and each Bloom-filter bit is then randomized with the permanent
+randomized response parameter ``f``:
+
+    report bit = 1 with probability 1 - f/2   if the Bloom bit is 1
+    report bit = 1 with probability f/2        if the Bloom bit is 0
+
+The privacy level of one report is ``ε = 2 h ln((1 - f/2)/(f/2))`` where h is
+the number of hash functions (Erlingsson et al., 2014).  The class exposes the
+inverse: construct from a target ε and it derives f.
+
+RAPPOR is used in this library as (a) an industrial baseline frequency oracle
+(with candidate-set decoding, see :mod:`repro.baselines.rappor_hh`) and (b) a
+non-trivial randomizer for exercising GenProt.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.hashing.kwise import KWiseHash, KWiseHashFamily
+from repro.randomizers.base import LocalRandomizer
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_domain_element, check_epsilon, check_positive_int
+
+
+class BasicRappor(LocalRandomizer):
+    """One-time basic RAPPOR over an integer domain.
+
+    Parameters
+    ----------
+    epsilon:
+        Target privacy budget; the flip probability f is derived from it.
+    domain_size:
+        Size of the value domain |X|.
+    num_bits:
+        Bloom filter width (m in the RAPPOR paper).
+    num_hashes:
+        Number of Bloom hash functions (h).
+    rng:
+        Randomness used to sample the (public) Bloom hash functions.
+    """
+
+    def __init__(self, epsilon: float, domain_size: int, num_bits: int = 128,
+                 num_hashes: int = 2, rng: RandomState = None) -> None:
+        self.epsilon = check_epsilon(epsilon)
+        self.delta = 0.0
+        self.domain_size = check_positive_int(domain_size, "domain_size")
+        self.num_bits = check_positive_int(num_bits, "num_bits")
+        self.num_hashes = check_positive_int(num_hashes, "num_hashes")
+        # epsilon = 2 h ln((1 - f/2) / (f/2))  =>  f = 2 / (exp(eps / 2h) + 1)
+        self.flip_probability = 2.0 / (math.exp(epsilon / (2.0 * num_hashes)) + 1.0)
+        family = KWiseHashFamily.create(domain_size, num_bits, independence=2)
+        self._hashes: List[KWiseHash] = family.sample_many(num_hashes, rng)
+
+    # ----- encoding ------------------------------------------------------------
+
+    def bloom_bits(self, x: int) -> np.ndarray:
+        """The deterministic Bloom-filter encoding of ``x`` (before privatisation)."""
+        x = check_domain_element(self.resolve_input(x), self.domain_size)
+        bits = np.zeros(self.num_bits, dtype=np.int8)
+        for h in self._hashes:
+            bits[int(h(x))] = 1
+        return bits
+
+    def randomize(self, x, rng: RandomState = None) -> np.ndarray:
+        gen = as_generator(rng)
+        bloom = self.bloom_bits(self.resolve_input(x))
+        f = self.flip_probability
+        prob_one = np.where(bloom == 1, 1.0 - f / 2.0, f / 2.0)
+        return (gen.random(self.num_bits) < prob_one).astype(np.int8)
+
+    def log_prob(self, x, report) -> float:
+        bloom = self.bloom_bits(self.resolve_input(x))
+        report = np.asarray(report, dtype=np.int64)
+        if report.shape != (self.num_bits,):
+            raise ValueError("report must be a length-num_bits bit vector")
+        f = self.flip_probability
+        prob_one = np.where(bloom == 1, 1.0 - f / 2.0, f / 2.0)
+        probs = np.where(report == 1, prob_one, 1.0 - prob_one)
+        return float(np.log(probs).sum())
+
+    def report_space(self) -> Optional[List]:
+        if self.num_bits > 16:
+            return None
+        space = []
+        for mask in range(1 << self.num_bits):
+            space.append(np.array([(mask >> j) & 1 for j in range(self.num_bits)],
+                                  dtype=np.int8))
+        return space
+
+    @property
+    def report_bits(self) -> float:
+        return float(self.num_bits)
+
+    # ----- decoding over a candidate set -----------------------------------------
+
+    def candidate_design_matrix(self, candidates) -> np.ndarray:
+        """Bloom encodings of a candidate set, stacked as a (len(candidates), m) matrix."""
+        candidates = list(candidates)
+        if not candidates:
+            return np.zeros((0, self.num_bits))
+        return np.stack([self.bloom_bits(int(c)) for c in candidates]).astype(float)
+
+    def estimate_candidate_frequencies(self, reports, candidates) -> np.ndarray:
+        """Estimate candidate frequencies from aggregated reports.
+
+        First debias the per-bit counts (each report bit equals the Bloom bit
+        with probability 1 - f/2), then solve the least-squares system
+        ``design^T freq ≈ debiased_counts``.  This mirrors RAPPOR's regression
+        decoding restricted to a known candidate list.
+        """
+        reports = np.asarray(reports, dtype=float)
+        if reports.ndim != 2 or reports.shape[1] != self.num_bits:
+            raise ValueError("reports must be an (n, num_bits) array")
+        n = reports.shape[0]
+        f = self.flip_probability
+        bit_counts = reports.sum(axis=0)
+        # E[count_j] = t_j (1 - f/2) + (n - t_j) (f/2) where t_j = #users whose bloom bit j is 1
+        debiased = (bit_counts - n * f / 2.0) / (1.0 - f)
+        design = self.candidate_design_matrix(candidates)
+        if design.size == 0:
+            return np.zeros(0)
+        solution, *_ = np.linalg.lstsq(design.T, debiased, rcond=None)
+        return solution

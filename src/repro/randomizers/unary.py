@@ -1,0 +1,129 @@
+"""Unary-encoding local randomizers (basic and optimised).
+
+Both randomizers one-hot encode the user's value over a domain of size k and
+then flip every bit independently:
+
+* :class:`UnaryEncoding` (symmetric / "basic RAPPOR" flavour) keeps a one-bit
+  with probability ``e^{ε/2}/(e^{ε/2}+1)`` and reports a zero-bit as one with
+  the complementary probability, so each of the two differing coordinates
+  contributes ε/2 of privacy loss.
+* :class:`OptimizedUnaryEncoding` (OUE, Wang et al.) keeps a one-bit with
+  probability 1/2 and flips a zero-bit with probability ``1/(e^ε+1)``,
+  minimising estimator variance at the same ε.
+
+These serve as the small-domain frequency oracle of Theorem 3.8 (the
+per-bucket randomizer inside Hashtogram) and as industrial-baseline
+components.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.randomizers.base import LocalRandomizer
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_domain_element, check_epsilon, check_positive_int
+
+
+class _BitFlipEncoding(LocalRandomizer):
+    """Shared machinery: one-hot encode then flip bits with probabilities (p, q).
+
+    ``p`` is the probability of reporting 1 on the true coordinate, ``q`` the
+    probability of reporting 1 on any other coordinate.
+    """
+
+    def __init__(self, epsilon: float, domain_size: int, p: float, q: float) -> None:
+        self.epsilon = check_epsilon(epsilon)
+        self.delta = 0.0
+        self.domain_size = check_positive_int(domain_size, "domain_size")
+        self._p = float(p)
+        self._q = float(q)
+
+    @property
+    def p(self) -> float:
+        """Probability that the true coordinate reports 1."""
+        return self._p
+
+    @property
+    def q(self) -> float:
+        """Probability that a non-true coordinate reports 1."""
+        return self._q
+
+    def randomize(self, x, rng: RandomState = None) -> np.ndarray:
+        x = check_domain_element(self.resolve_input(x), self.domain_size)
+        gen = as_generator(rng)
+        bits = (gen.random(self.domain_size) < self._q).astype(np.int8)
+        bits[x] = 1 if gen.random() < self._p else 0
+        return bits
+
+    def log_prob(self, x, report) -> float:
+        x = check_domain_element(self.resolve_input(x), self.domain_size)
+        report = np.asarray(report, dtype=np.int64)
+        if report.shape != (self.domain_size,):
+            raise ValueError("report must be a length-k bit vector")
+        total = 0.0
+        for j in range(self.domain_size):
+            prob_one = self._p if j == x else self._q
+            prob = prob_one if report[j] == 1 else 1.0 - prob_one
+            if prob <= 0.0:
+                return -math.inf
+            total += math.log(prob)
+        return total
+
+    def report_space(self) -> Optional[List]:
+        if self.domain_size > 16:
+            return None
+        space = []
+        for mask in range(1 << self.domain_size):
+            space.append(np.array([(mask >> j) & 1 for j in range(self.domain_size)],
+                                  dtype=np.int8))
+        return space
+
+    @property
+    def report_bits(self) -> float:
+        return float(self.domain_size)
+
+    def unbiased_histogram(self, reports) -> np.ndarray:
+        """Debiased frequency estimates from a stack of bit-vector reports.
+
+        ``reports`` is an (n, k) array; the column sums c_v satisfy
+        ``E[c_v] = f_v p + (n - f_v) q``.
+        """
+        reports = np.asarray(reports, dtype=float)
+        if reports.ndim != 2 or reports.shape[1] != self.domain_size:
+            raise ValueError("reports must be an (n, k) array")
+        n = reports.shape[0]
+        counts = reports.sum(axis=0)
+        return (counts - n * self._q) / (self._p - self._q)
+
+    @property
+    def estimator_variance_per_user(self) -> float:
+        """Per-user variance of the debiased estimator for a non-held element."""
+        return self._q * (1.0 - self._q) / (self._p - self._q) ** 2
+
+
+class UnaryEncoding(_BitFlipEncoding):
+    """Symmetric unary encoding (each differing coordinate spends ε/2)."""
+
+    def __init__(self, epsilon: float, domain_size: int) -> None:
+        half = math.exp(epsilon / 2.0)
+        p = half / (half + 1.0)
+        q = 1.0 / (half + 1.0)
+        super().__init__(epsilon, domain_size, p, q)
+
+
+class OptimizedUnaryEncoding(_BitFlipEncoding):
+    """Optimised unary encoding (OUE): p = 1/2, q = 1/(e^ε + 1).
+
+    Changing the input toggles exactly two coordinates; the worst likelihood
+    ratio is ``(p/q) * ((1-q)/(1-p)) = e^ε``, so the mechanism is ε-DP while
+    minimising the variance ``q(1-q)/(p-q)^2 = 4e^ε/(e^ε-1)^2`` per user.
+    """
+
+    def __init__(self, epsilon: float, domain_size: int) -> None:
+        p = 0.5
+        q = 1.0 / (math.exp(epsilon) + 1.0)
+        super().__init__(epsilon, domain_size, p, q)

@@ -1,0 +1,19 @@
+"""Structural results on local privacy (Sections 5 and 6).
+
+* :mod:`repro.structure.composed_rr` — Theorem 5.1: a pure
+  ``6ε sqrt(k ln(1/β))``-DP algorithm whose output is β-close in total
+  variation to the k-fold composition of randomized response.
+* :mod:`repro.structure.genprot` — Algorithm GenProt (Theorem 6.1): the
+  generic rejection-sampling transformation from any non-interactive
+  (ε, δ)-LDP protocol to a pure 10ε-LDP protocol with O(log log n)-bit
+  reports and negligible utility loss.
+"""
+
+from repro.structure.composed_rr import ApproximateComposedRandomizedResponse
+from repro.structure.genprot import GenProt, GenProtReport
+
+__all__ = [
+    "ApproximateComposedRandomizedResponse",
+    "GenProt",
+    "GenProtReport",
+]

@@ -1,0 +1,241 @@
+"""Approximate composed randomized response (Theorem 5.1).
+
+The paper exhibits, for every β > 0, a *pure* ``ε̃ = 6ε sqrt(k ln(1/β))``-DP
+algorithm M̃ on k-bit inputs whose output is, with probability 1-β, identical
+in distribution to the k-fold composition M = (M_1, ..., M_k) of binary
+randomized response — i.e. pure local privacy already enjoys the sqrt(k)
+advanced-composition behaviour for this canonical mechanism.
+
+Construction (Algorithm M̃): sample y ~ M(x); if the Hamming distance
+d_H(x, y) lies in the "good spherical shell"
+
+    G_x = { y : k/(e^ε+1) - sqrt(k ln(2/β)/2) <= d_H(x,y) <= k/(e^ε+1) + sqrt(k ln(2/β)/2) }
+
+output y, otherwise output a uniform element of {0,1}^k \\ G_x.
+
+Because every probability in the construction depends on y only through
+d_H(x, y), all quantities (likelihoods, TV distance to the true composition,
+worst-case privacy ratios) are computed exactly by summing over the k+1
+distance classes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.special import gammaln, logsumexp
+
+from repro.randomizers.base import LocalRandomizer
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_epsilon, check_positive_int, check_probability
+
+
+def _log_binom(k: int, d: np.ndarray) -> np.ndarray:
+    """log C(k, d), vectorised."""
+    d = np.asarray(d, dtype=float)
+    return gammaln(k + 1) - gammaln(d + 1) - gammaln(k - d + 1)
+
+
+class ApproximateComposedRandomizedResponse(LocalRandomizer):
+    """The pure-DP surrogate M̃ for the k-fold composition of randomized response.
+
+    Parameters
+    ----------
+    num_bits:
+        k — the number of composed randomized-response invocations.
+    epsilon:
+        Per-bit privacy parameter ε of the underlying randomized response.
+    beta:
+        Accuracy parameter: M̃(x) agrees with M(x) in distribution except with
+        probability β.
+
+    Notes
+    -----
+    ``epsilon`` (the attribute inherited from :class:`LocalRandomizer`) is set
+    to the *composed* guarantee ε̃ = 6ε sqrt(k ln(1/β)) proved in Theorem 5.1;
+    the per-bit parameter is kept in :attr:`per_bit_epsilon`.
+    """
+
+    def __init__(self, num_bits: int, epsilon: float, beta: float) -> None:
+        self.num_bits = check_positive_int(num_bits, "num_bits")
+        self.per_bit_epsilon = check_epsilon(epsilon)
+        self.beta = check_probability(beta, "beta", allow_zero=False, allow_one=False)
+        self.delta = 0.0
+        self.epsilon = self.composed_epsilon
+
+        k = self.num_bits
+        self._flip_prob = 1.0 / (math.exp(epsilon) + 1.0)
+        self._keep_prob = 1.0 - self._flip_prob
+        center = k * self._flip_prob
+        half_width = math.sqrt(k * math.log(2.0 / beta) / 2.0)
+        self._low = center - half_width
+        self._high = center + half_width
+
+        distances = np.arange(k + 1)
+        self._in_shell = (distances >= self._low) & (distances <= self._high)
+        self._log_counts = _log_binom(k, distances)
+        self._log_pmf = (self._log_counts
+                         + distances * math.log(self._flip_prob)
+                         + (k - distances) * math.log(self._keep_prob))
+        # Probability that M(x) leaves the good shell, and the size of the
+        # complement — both independent of x by symmetry.
+        outside = ~self._in_shell
+        if outside.any():
+            self._log_prob_outside = float(logsumexp(self._log_pmf[outside]))
+            self._log_complement_size = float(logsumexp(self._log_counts[outside]))
+        else:  # the shell covers everything: M̃ is exactly M
+            self._log_prob_outside = -math.inf
+            self._log_complement_size = -math.inf
+
+    # ----- theorem-level quantities --------------------------------------------------
+
+    @property
+    def composed_epsilon(self) -> float:
+        """Theorem 5.1's privacy guarantee ε̃ = 6ε sqrt(k ln(1/β))."""
+        return 6.0 * self.per_bit_epsilon * math.sqrt(
+            self.num_bits * math.log(1.0 / self.beta))
+
+    @property
+    def shell_bounds(self) -> Tuple[float, float]:
+        """The Hamming-distance band defining the good shell G_x."""
+        return self._low, self._high
+
+    def theorem_conditions_hold(self) -> bool:
+        """Whether (β, ε, k) satisfy the hypotheses of Theorem 5.1.
+
+        The theorem requires ``β < (ε sqrt(k) / 2(k+1))^{2/3}`` and
+        ``ε̃ = 6ε sqrt(k ln(1/β)) <= 1``.
+        """
+        k = self.num_bits
+        beta_cap = (self.per_bit_epsilon * math.sqrt(k) / (2.0 * (k + 1))) ** (2.0 / 3.0)
+        return self.beta < beta_cap and self.composed_epsilon <= 1.0
+
+    def escape_probability(self) -> float:
+        """Pr[M(x) ∉ G_x] — also an upper bound on the TV distance to M(x)."""
+        return math.exp(self._log_prob_outside) if np.isfinite(self._log_prob_outside) else 0.0
+
+    # ----- the true composition M ------------------------------------------------------
+
+    def compose_true(self, x: Sequence[int], rng: RandomState = None) -> np.ndarray:
+        """Sample from the exact composition M(x) = (M_1(x), ..., M_k(x))."""
+        bits = self._validate_bits(x)
+        gen = as_generator(rng)
+        flips = gen.random(self.num_bits) < self._flip_prob
+        return np.where(flips, 1 - bits, bits).astype(np.int8)
+
+    # ----- LocalRandomizer interface ------------------------------------------------------
+
+    @property
+    def null_input(self) -> Tuple[int, ...]:
+        return tuple([0] * self.num_bits)
+
+    def randomize(self, x, rng: RandomState = None) -> np.ndarray:
+        bits = self._validate_bits(self.resolve_input(x))
+        gen = as_generator(rng)
+        sample = self.compose_true(bits, gen)
+        distance = int(np.count_nonzero(sample != bits))
+        if self._in_shell[distance]:
+            return sample
+        return self._sample_outside_shell(bits, gen)
+
+    def _sample_outside_shell(self, bits: np.ndarray, gen: np.random.Generator) -> np.ndarray:
+        """Uniform sample from {0,1}^k \\ G_x, by distance class then positions."""
+        outside = np.nonzero(~self._in_shell)[0]
+        if outside.size == 0:  # pragma: no cover - shell covers everything
+            return self.compose_true(bits, gen)
+        log_weights = self._log_counts[outside]
+        weights = np.exp(log_weights - log_weights.max())
+        weights /= weights.sum()
+        distance = int(gen.choice(outside, p=weights))
+        positions = gen.choice(self.num_bits, size=distance, replace=False)
+        out = bits.copy()
+        out[positions] = 1 - out[positions]
+        return out.astype(np.int8)
+
+    def log_prob(self, x, report) -> float:
+        bits = self._validate_bits(self.resolve_input(x))
+        report_bits = self._validate_bits(report)
+        distance = int(np.count_nonzero(report_bits != bits))
+        if self._in_shell[distance]:
+            return (distance * math.log(self._flip_prob)
+                    + (self.num_bits - distance) * math.log(self._keep_prob))
+        return self._log_prob_outside - self._log_complement_size
+
+    def report_space(self) -> Optional[List]:
+        if self.num_bits > 14:
+            return None
+        space = []
+        for mask in range(1 << self.num_bits):
+            space.append(np.array([(mask >> j) & 1 for j in range(self.num_bits)],
+                                  dtype=np.int8))
+        return space
+
+    @property
+    def report_bits(self) -> float:
+        return float(self.num_bits)
+
+    # ----- exact analyses ------------------------------------------------------------------
+
+    def tv_distance_to_composition(self) -> float:
+        """Exact total variation distance between M̃(x) and M(x) (independent of x).
+
+        Summed over the distance classes outside the shell:
+        ``TV = (1/2) Σ_d C(k,d) | P_out/|complement| - flip^d keep^{k-d} |``.
+        """
+        outside = np.nonzero(~self._in_shell)[0]
+        if outside.size == 0:
+            return 0.0
+        uniform_log_prob = self._log_prob_outside - self._log_complement_size
+        total = 0.0
+        k = self.num_bits
+        for d in outside:
+            count = math.exp(self._log_counts[d])
+            p_tilde = math.exp(uniform_log_prob)
+            p_true = math.exp(d * math.log(self._flip_prob)
+                              + (k - d) * math.log(self._keep_prob))
+            total += count * abs(p_tilde - p_true)
+        return 0.5 * total
+
+    def worst_case_privacy_loss(self, group_distance: Optional[int] = None) -> float:
+        """Exact worst-case privacy loss ``max_y ln(P[M̃(x)=y]/P[M̃(x')=y])``.
+
+        ``group_distance`` is the Hamming distance between x and x' (defaults
+        to the worst case k).  The maximisation runs over the joint distance
+        profile (d_H(x, y), d_H(x', y)) which, for inputs at distance h, ranges
+        over all pairs (d, d') with ``|d - d'| <= h`` and ``d + d' >= h`` and
+        matching parity; probabilities depend only on the profile.
+        """
+        k = self.num_bits
+        h = k if group_distance is None else int(group_distance)
+        if not 1 <= h <= k:
+            raise ValueError("group_distance must lie in [1, k]")
+        uniform_log_prob = self._log_prob_outside - self._log_complement_size
+
+        def log_prob_at_distance(d: int) -> float:
+            if self._in_shell[d]:
+                return (d * math.log(self._flip_prob)
+                        + (k - d) * math.log(self._keep_prob))
+            return uniform_log_prob
+
+        worst = 0.0
+        for d in range(k + 1):
+            for d_prime in range(k + 1):
+                if abs(d - d_prime) > h or d + d_prime < h:
+                    continue
+                if (d + d_prime - h) % 2 != 0:
+                    continue
+                loss = abs(log_prob_at_distance(d) - log_prob_at_distance(d_prime))
+                worst = max(worst, loss)
+        return worst
+
+    # ----- helpers ---------------------------------------------------------------------------
+
+    def _validate_bits(self, bits) -> np.ndarray:
+        arr = np.asarray(bits, dtype=np.int64).ravel()
+        if arr.shape != (self.num_bits,):
+            raise ValueError(f"expected {self.num_bits} bits, got shape {arr.shape}")
+        if arr.size and not np.isin(arr, (0, 1)).all():
+            raise ValueError("inputs must be bit vectors")
+        return arr.astype(np.int8)

@@ -1,0 +1,210 @@
+"""Algorithm GenProt (Section 6): approximate-to-pure LDP transformation.
+
+Given any non-interactive (ε, δ)-LDP protocol M with local randomizers A_i,
+GenProt produces a pure 10ε-LDP protocol with essentially the same utility:
+
+1. For every user i and candidate index t ∈ [T], an *input-independent* public
+   string ``y_{i,t} ~ A_i(⊥)`` is published.
+2. User i computes, for each t, the rejection-sampling probability
+   ``p_{i,t} = (1/2) Pr[A_i(x_i) = y_{i,t}] / Pr[A_i(⊥) = y_{i,t}]``,
+   clamped to ``[e^{-2ε}/2, e^{2ε}/2]`` (values outside the range are replaced
+   by 1/2 — this is where approximate privacy's rare bad outcomes are removed,
+   which is why the result is *purely* private).
+3. She samples a Bernoulli bit b_{i,t} for each t, lets H_i be the accepted
+   indices (or all of [T] if none were accepted), and sends a uniformly random
+   ``g_i ∈ H_i`` — just ``ceil(log2 T)`` bits.
+4. The server runs the original post-processing on ``(y_{1,g_1}, ..., y_{n,g_n})``.
+
+Theorem 6.1: the transformation is 10ε-LDP whenever ``ε <= 1/4`` and
+``T >= 5 ln(1/ε)``, and the output distribution is within total variation
+``n((1/2+ε)^T + 6Tδe^ε/(1-e^{-ε}))`` of the original protocol's.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.bounds import genprot_report_bits, genprot_tv_distance
+from repro.randomizers.base import LocalRandomizer
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_positive_int, check_probability
+
+
+@dataclass(frozen=True)
+class GenProtReport:
+    """What one user sends (the index g_i) plus the surrogate report it selects.
+
+    ``selected_report`` is ``public_strings[chosen_index]`` — the value the
+    server feeds to the original protocol's post-processing.  ``accepted`` is
+    whether H_i was non-empty (it is public information in the sense that it
+    can be derived from g_i and the public strings only with the user's help;
+    it is kept for diagnostics and the utility accounting of Lemma 6.4).
+    """
+
+    chosen_index: int
+    selected_report: object
+    accepted: bool
+
+
+class GenProt:
+    """The GenProt transformation applied to a single local randomizer type.
+
+    Parameters
+    ----------
+    randomizer:
+        The (ε, δ)-LDP local randomizer A to be transformed.  It must be able
+        to evaluate ``log_prob`` (the rejection probabilities need the
+        likelihood ratio) and to sample with input ``None`` (the ⊥ input).
+    num_candidates:
+        The paper's T.  ``None`` derives ``T = ceil(2 ln(2 n / β))`` at run
+        time from the utility target ``beta`` (Theorem 6.1's discussion).
+    beta:
+        Target total-variation utility loss used when deriving T.
+    """
+
+    def __init__(self, randomizer: LocalRandomizer,
+                 num_candidates: Optional[int] = None,
+                 beta: float = 0.05) -> None:
+        if not isinstance(randomizer, LocalRandomizer):
+            raise TypeError("randomizer must be a LocalRandomizer")
+        self.randomizer = randomizer
+        self.base_epsilon = float(randomizer.epsilon)
+        self.base_delta = float(randomizer.delta)
+        self.beta = check_probability(beta, "beta", allow_zero=False, allow_one=False)
+        if num_candidates is not None:
+            check_positive_int(num_candidates, "num_candidates")
+        self._num_candidates = num_candidates
+
+    # ----- parameters ------------------------------------------------------------------
+
+    def candidates_for(self, num_users: int) -> int:
+        """T for a given number of users.
+
+        Chosen so that the empty-acceptance term of Theorem 6.1 satisfies
+        ``n (1/2 + ε)^T <= β/2``, i.e. ``T = ln(2n/β) / ln(1/(1/2 + ε))``
+        (the paper's ``T = 2 ln(2n/β)`` corresponds to the small-ε limit), and
+        at least the theorem's minimum ``5 ln(1/ε)``.
+        """
+        check_positive_int(num_users, "num_users")
+        if self._num_candidates is not None:
+            return self._num_candidates
+        rate = math.log(1.0 / (0.5 + min(self.base_epsilon, 0.49)))
+        derived = int(math.ceil(math.log(2.0 * num_users / self.beta) / rate))
+        return max(derived, self.minimum_candidates())
+
+    def minimum_candidates(self) -> int:
+        """Theorem 6.1's lower bound on T: ``5 ln(1/ε)`` (and at least 2)."""
+        return max(2, int(math.ceil(5.0 * math.log(1.0 / min(self.base_epsilon, 0.9999)))))
+
+    @property
+    def transformed_epsilon(self) -> float:
+        """The pure-DP guarantee of the transformed protocol: 10ε."""
+        return 10.0 * self.base_epsilon
+
+    def report_bits(self, num_users: int) -> int:
+        """Per-user communication of the transformed protocol: ceil(log2 T) bits."""
+        return genprot_report_bits(self.candidates_for(num_users))
+
+    def utility_bound(self, num_users: int) -> float:
+        """Theorem 6.1's TV-distance bound between the transformed and original protocols."""
+        return genprot_tv_distance(num_users, self.base_epsilon, self.base_delta,
+                                   self.candidates_for(num_users))
+
+    def theorem_conditions_hold(self, num_users: int) -> bool:
+        """Whether (ε, δ, T) satisfy the hypotheses of Theorem 6.1."""
+        T = self.candidates_for(num_users)
+        if self.base_epsilon > 0.25:
+            return False
+        if T < 5.0 * math.log(1.0 / self.base_epsilon):
+            return False
+        if self.base_delta > 0:
+            cap = (1.0 - math.exp(-self.base_epsilon)) / (
+                4.0 * self.base_delta * math.exp(self.base_epsilon) * num_users)
+            if T > cap:
+                return False
+        return True
+
+    # ----- per-user transformation ----------------------------------------------------------
+
+    def transform_user(self, x, rng: RandomState = None,
+                       num_candidates: Optional[int] = None) -> GenProtReport:
+        """Run steps 1-2 of GenProt for a single user holding ``x``."""
+        gen = as_generator(rng)
+        T = num_candidates or self.candidates_for(1024)
+        public_strings = [self.randomizer.randomize(None, gen) for _ in range(T)]
+        return self._select(x, public_strings, gen)
+
+    def _select(self, x, public_strings: Sequence, gen: np.random.Generator) -> GenProtReport:
+        epsilon = self.base_epsilon
+        low = math.exp(-2.0 * epsilon) / 2.0
+        high = math.exp(2.0 * epsilon) / 2.0
+        probabilities = np.empty(len(public_strings))
+        for t, y in enumerate(public_strings):
+            log_ratio = (self.randomizer.log_prob(x, y)
+                         - self.randomizer.log_prob(None, y))
+            p = 0.5 * math.exp(log_ratio)
+            if not low <= p <= high:
+                p = 0.5
+            probabilities[t] = p
+        accepted_bits = gen.random(len(public_strings)) < probabilities
+        accepted_indices = np.nonzero(accepted_bits)[0]
+        accepted = accepted_indices.size > 0
+        pool = accepted_indices if accepted else np.arange(len(public_strings))
+        chosen = int(pool[gen.integers(0, pool.size)])
+        return GenProtReport(chosen_index=chosen,
+                             selected_report=public_strings[chosen],
+                             accepted=accepted)
+
+    # ----- whole-protocol execution -----------------------------------------------------------
+
+    def run(self, values: Sequence, rng: RandomState = None) -> List[GenProtReport]:
+        """Transform every user's report; the caller aggregates the surrogates.
+
+        ``values[i]`` is user i's input to the original randomizer.  The
+        returned reports' ``selected_report`` fields are distributed (up to the
+        Theorem 6.1 TV bound) like ``A_1(x_1), ..., A_n(x_n)``, so any
+        post-processing of the original protocol can be applied to them
+        unchanged — that is the content of Lemma 6.4.
+        """
+        gen = as_generator(rng)
+        values = list(values)
+        T = self.candidates_for(max(len(values), 1))
+        reports = []
+        for x in values:
+            public_strings = [self.randomizer.randomize(None, gen) for _ in range(T)]
+            reports.append(self._select(x, public_strings, gen))
+        return reports
+
+    def surrogate_reports(self, values: Sequence, rng: RandomState = None) -> List:
+        """Convenience: just the selected surrogate reports, in user order."""
+        return [r.selected_report for r in self.run(values, rng)]
+
+    # ----- privacy audit ------------------------------------------------------------------------
+
+    def empirical_index_privacy(self, x, x_prime, num_trials: int = 2000,
+                                num_candidates: Optional[int] = None,
+                                rng: RandomState = None) -> float:
+        """Empirical bound on the privacy loss of the *sent message* g_i.
+
+        For a fixed draw of the public strings the user's message is her index
+        g_i ∈ [T]; this estimates ``max_g ln(Pr[g | x] / Pr[g | x'])`` by
+        Monte-Carlo over ``num_trials`` resamplings of the selection
+        randomness, holding the public strings fixed (as the privacy proof of
+        Lemma 6.2 does).  The estimate should stay below 10ε + sampling noise.
+        """
+        gen = as_generator(rng)
+        T = num_candidates or self.candidates_for(1024)
+        public_strings = [self.randomizer.randomize(None, gen) for _ in range(T)]
+        counts_x = np.zeros(T)
+        counts_x_prime = np.zeros(T)
+        for _ in range(num_trials):
+            counts_x[self._select(x, public_strings, gen).chosen_index] += 1
+            counts_x_prime[self._select(x_prime, public_strings, gen).chosen_index] += 1
+        # Laplace smoothing keeps the ratio finite for unvisited indices.
+        p = (counts_x + 1.0) / (num_trials + T)
+        q = (counts_x_prime + 1.0) / (num_trials + T)
+        return float(np.max(np.abs(np.log(p / q))))

@@ -1,0 +1,43 @@
+"""Shared utilities: random number handling, bit manipulation, validation, timing.
+
+These helpers are deliberately small and dependency-free so that every other
+subpackage (hashing, codes, randomizers, frequency oracles, the heavy-hitters
+protocol itself) can rely on them without import cycles.
+"""
+
+from repro.utils.rng import RandomState, as_generator, spawn_generators
+from repro.utils.bits import (
+    bits_needed,
+    int_to_symbols,
+    symbols_to_int,
+    int_to_bits,
+    bits_to_int,
+)
+from repro.utils.validation import (
+    check_probability,
+    check_positive,
+    check_positive_int,
+    check_epsilon,
+    check_delta,
+    check_in_range,
+)
+from repro.utils.timer import Timer, ResourceMeter
+
+__all__ = [
+    "RandomState",
+    "as_generator",
+    "spawn_generators",
+    "bits_needed",
+    "int_to_symbols",
+    "symbols_to_int",
+    "int_to_bits",
+    "bits_to_int",
+    "check_probability",
+    "check_positive",
+    "check_positive_int",
+    "check_epsilon",
+    "check_delta",
+    "check_in_range",
+    "Timer",
+    "ResourceMeter",
+]

@@ -1,0 +1,87 @@
+"""Bit and symbol manipulation helpers.
+
+The heavy-hitters protocol represents domain elements ``x`` in ``[0, |X|)`` as
+``M`` symbols over an alphabet ``[W]`` (Section 3.1.1 of the paper) and the
+Reed-Solomon outer code works with fixed-width field symbols.  These helpers
+convert between integers, bit vectors, and symbol vectors deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def bits_needed(value: int) -> int:
+    """Number of bits needed to represent values in ``[0, value)`` (at least 1)."""
+    if value <= 0:
+        raise ValueError("value must be positive")
+    return max((value - 1).bit_length(), 1)
+
+
+def int_to_bits(value: int, width: int) -> List[int]:
+    """Little-endian bit decomposition of ``value`` padded to ``width`` bits."""
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Inverse of :func:`int_to_bits` (little-endian)."""
+    value = 0
+    for i, b in enumerate(bits):
+        if b not in (0, 1):
+            raise ValueError("bits must be 0/1")
+        value |= (int(b) & 1) << i
+    return value
+
+
+def int_to_symbols(value: int, num_symbols: int, alphabet_size: int) -> List[int]:
+    """Decompose ``value`` into ``num_symbols`` base-``alphabet_size`` digits.
+
+    Little-endian: the first symbol is the least-significant digit.  Raises if
+    ``value`` does not fit.
+    """
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if alphabet_size < 2:
+        raise ValueError("alphabet_size must be at least 2")
+    if num_symbols < 1:
+        raise ValueError("num_symbols must be at least 1")
+    symbols = []
+    remaining = value
+    for _ in range(num_symbols):
+        symbols.append(remaining % alphabet_size)
+        remaining //= alphabet_size
+    if remaining != 0:
+        raise ValueError(
+            f"value {value} does not fit in {num_symbols} symbols over "
+            f"alphabet of size {alphabet_size}"
+        )
+    return symbols
+
+
+def symbols_to_int(symbols: Sequence[int], alphabet_size: int) -> int:
+    """Inverse of :func:`int_to_symbols`."""
+    value = 0
+    for i, s in enumerate(symbols):
+        s = int(s)
+        if not 0 <= s < alphabet_size:
+            raise ValueError(f"symbol {s} outside alphabet [0, {alphabet_size})")
+        value += s * (alphabet_size**i)
+    return value
+
+
+def hamming_distance(a: Sequence[int], b: Sequence[int]) -> int:
+    """Number of coordinates on which two equal-length sequences disagree."""
+    if len(a) != len(b):
+        raise ValueError("sequences must have equal length")
+    return sum(1 for x, y in zip(a, b) if x != y)
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two >= value (value must be positive)."""
+    if value <= 0:
+        raise ValueError("value must be positive")
+    return 1 << (value - 1).bit_length()

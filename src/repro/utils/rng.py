@@ -1,0 +1,84 @@
+"""Random number generation helpers.
+
+Every randomized component in the library accepts an optional ``rng`` argument
+that may be ``None`` (fresh entropy), an integer seed, or a
+``numpy.random.Generator``.  Centralising the coercion here keeps protocol code
+reproducible: an experiment seeds a single generator and spawns independent
+child generators for users, hash functions, and the server.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+# Anything we accept where randomness is required.
+RandomState = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_generator(rng: RandomState = None) -> np.random.Generator:
+    """Coerce ``rng`` into a ``numpy.random.Generator``.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` for fresh OS entropy, an ``int`` seed, a ``SeedSequence``, or
+        an existing ``Generator`` (returned unchanged).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.default_rng(rng)
+    if rng is None or isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(rng)
+    raise TypeError(f"Cannot interpret {type(rng)!r} as a random generator")
+
+
+def spawn_generators(rng: RandomState, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators from ``rng``.
+
+    Used to give each simulated user (and each hash function) its own stream so
+    that per-user randomization is independent, mirroring the local model where
+    each user randomizes on her own device.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    parent = as_generator(rng)
+    seeds = parent.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def random_odd_integer(rng: RandomState, bits: int) -> int:
+    """Return a uniformly random odd integer with at most ``bits`` bits."""
+    gen = as_generator(rng)
+    value = int(gen.integers(0, 1 << max(bits - 1, 1)))
+    return (value << 1) | 1
+
+
+def sample_distinct(rng: RandomState, low: int, high: int, count: int) -> np.ndarray:
+    """Sample ``count`` distinct integers uniformly from ``[low, high)``."""
+    if high - low < count:
+        raise ValueError("range too small to sample distinct values")
+    gen = as_generator(rng)
+    return gen.choice(np.arange(low, high), size=count, replace=False)
+
+
+def bernoulli(rng: RandomState, p: float, size: Optional[int] = None):
+    """Sample Bernoulli(p) variates as ``int`` (scalar) or ``np.ndarray``."""
+    gen = as_generator(rng)
+    if size is None:
+        return int(gen.random() < p)
+    return (gen.random(size) < p).astype(np.int64)
+
+
+def choice_weighted(rng: RandomState, items: Iterable, weights: Iterable[float]):
+    """Pick one item with the given (unnormalised) weights."""
+    gen = as_generator(rng)
+    items = list(items)
+    w = np.asarray(list(weights), dtype=float)
+    if w.sum() <= 0:
+        raise ValueError("weights must have positive sum")
+    w = w / w.sum()
+    idx = gen.choice(len(items), p=w)
+    return items[idx]

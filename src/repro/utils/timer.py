@@ -1,0 +1,106 @@
+"""Lightweight timing and resource metering.
+
+Table 1 of the paper compares protocols on server time, user time, server
+memory, and communication per user.  :class:`ResourceMeter` accumulates these
+quantities while a protocol runs so that the Table 1 benchmark can report the
+same rows the paper does.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class Timer:
+    """Context manager measuring wall-clock time in seconds.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class ResourceMeter:
+    """Accumulates the resource columns of Table 1 for a protocol execution.
+
+    Attributes
+    ----------
+    server_time_s:
+        Total wall-clock time spent in server-side aggregation and decoding.
+    user_time_s:
+        Total wall-clock time spent across all simulated users; divide by the
+        number of users for the per-user figure.
+    communication_bits:
+        Total number of bits sent from users to the server.
+    public_randomness_bits:
+        Number of public random bits the protocol consumed (hash seeds etc.).
+    server_memory_items:
+        Peak number of scalar values retained by the server-side data
+        structures (a machine-independent proxy for memory).
+    counters:
+        Free-form named counters for protocol-specific accounting.
+    """
+
+    server_time_s: float = 0.0
+    user_time_s: float = 0.0
+    communication_bits: int = 0
+    public_randomness_bits: int = 0
+    server_memory_items: int = 0
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def add_server_time(self, seconds: float) -> None:
+        self.server_time_s += float(seconds)
+
+    def add_user_time(self, seconds: float) -> None:
+        self.user_time_s += float(seconds)
+
+    def add_communication(self, bits: int) -> None:
+        self.communication_bits += int(bits)
+
+    def add_public_randomness(self, bits: int) -> None:
+        self.public_randomness_bits += int(bits)
+
+    def observe_server_memory(self, items: int) -> None:
+        self.server_memory_items = max(self.server_memory_items, int(items))
+
+    def bump(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def per_user_communication_bits(self, num_users: int) -> float:
+        if num_users <= 0:
+            raise ValueError("num_users must be positive")
+        return self.communication_bits / num_users
+
+    def per_user_time_s(self, num_users: int) -> float:
+        if num_users <= 0:
+            raise ValueError("num_users must be positive")
+        return self.user_time_s / num_users
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten into a plain dictionary (used by benchmark reporting)."""
+        out = {
+            "server_time_s": self.server_time_s,
+            "user_time_s": self.user_time_s,
+            "communication_bits": float(self.communication_bits),
+            "public_randomness_bits": float(self.public_randomness_bits),
+            "server_memory_items": float(self.server_memory_items),
+        }
+        out.update(self.counters)
+        return out

@@ -1,0 +1,96 @@
+"""Argument validation helpers shared across the library.
+
+All public constructors validate their parameters eagerly so that protocol
+misconfiguration (e.g. a negative privacy budget) fails loudly at setup time
+rather than corrupting an experiment silently.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+
+def check_probability(value: float, name: str = "probability", *, allow_zero: bool = True,
+                      allow_one: bool = True) -> float:
+    """Validate that ``value`` lies in [0, 1] (optionally excluding endpoints)."""
+    value = float(value)
+    if math.isnan(value):
+        raise ValueError(f"{name} must not be NaN")
+    low_ok = value > 0 or (allow_zero and value == 0)
+    high_ok = value < 1 or (allow_one and value == 1)
+    if not (low_ok and high_ok):
+        raise ValueError(f"{name} must lie in the unit interval, got {value}")
+    return value
+
+
+def check_positive(value: float, name: str = "value") -> float:
+    """Validate that ``value`` is a finite, strictly positive float."""
+    value = float(value)
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value}")
+    return value
+
+
+def check_positive_int(value: int, name: str = "value") -> int:
+    """Validate that ``value`` is a strictly positive integer."""
+    if int(value) != value or value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value}")
+    return int(value)
+
+
+def check_nonnegative_int(value: int, name: str = "value") -> int:
+    """Validate that ``value`` is a non-negative integer."""
+    if int(value) != value or value < 0:
+        raise ValueError(f"{name} must be a non-negative integer, got {value}")
+    return int(value)
+
+
+def check_epsilon(epsilon: float, name: str = "epsilon") -> float:
+    """Validate a (pure) differential-privacy parameter ε > 0."""
+    return check_positive(epsilon, name)
+
+
+def check_delta(delta: float, name: str = "delta") -> float:
+    """Validate an approximate-DP parameter δ in [0, 1)."""
+    delta = float(delta)
+    if math.isnan(delta) or delta < 0 or delta >= 1:
+        raise ValueError(f"{name} must lie in [0, 1), got {delta}")
+    return delta
+
+
+def check_in_range(value: float, low: float, high: float, name: str = "value") -> float:
+    """Validate low <= value <= high."""
+    value = float(value)
+    if not low <= value <= high:
+        raise ValueError(f"{name} must lie in [{low}, {high}], got {value}")
+    return value
+
+
+def check_domain_element(x: int, domain_size: int, name: str = "x") -> int:
+    """Validate that ``x`` is an integer in ``[0, domain_size)``."""
+    if int(x) != x:
+        raise ValueError(f"{name} must be an integer, got {x!r}")
+    x = int(x)
+    if not 0 <= x < domain_size:
+        raise ValueError(f"{name}={x} outside domain [0, {domain_size})")
+    return x
+
+
+def check_same_length(a, b, name_a: str = "a", name_b: str = "b") -> None:
+    """Validate that two sequences have the same length."""
+    if len(a) != len(b):
+        raise ValueError(f"{name_a} and {name_b} must have the same length "
+                         f"({len(a)} != {len(b)})")
+
+
+def coalesce(value, default):
+    """Return ``value`` if it is not None, otherwise ``default``."""
+    return default if value is None else value
+
+
+def check_optional_positive_int(value: Optional[int], name: str) -> Optional[int]:
+    """Validate that ``value`` is None or a positive integer."""
+    if value is None:
+        return None
+    return check_positive_int(value, name)

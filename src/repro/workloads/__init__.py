@@ -1,0 +1,35 @@
+"""Synthetic workloads standing in for industrial telemetry data.
+
+The paper's motivating applications are Chrome URL telemetry and iOS new-word
+discovery; neither dataset is public, so the benchmarks use synthetic
+equivalents (DESIGN.md, substitution 3):
+
+* :func:`zipf_workload` — Zipf-distributed values over a large domain, the
+  standard model of URL/word popularity;
+* :func:`planted_workload` — explicitly planted heavy hitters over a uniform
+  or Zipfian background, so that recall at a known frequency is measurable;
+* :mod:`repro.workloads.datasets` — generators producing string-keyed
+  "URL"/"word" datasets together with the integer encoding the protocols use.
+"""
+
+from repro.workloads.distributions import (
+    zipf_workload,
+    uniform_workload,
+    planted_workload,
+    PlantedWorkload,
+)
+from repro.workloads.datasets import (
+    synthetic_url_dataset,
+    synthetic_word_dataset,
+    StringDomain,
+)
+
+__all__ = [
+    "zipf_workload",
+    "uniform_workload",
+    "planted_workload",
+    "PlantedWorkload",
+    "synthetic_url_dataset",
+    "synthetic_word_dataset",
+    "StringDomain",
+]

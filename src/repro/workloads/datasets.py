@@ -1,0 +1,151 @@
+"""String-keyed synthetic datasets (URL telemetry, new-word discovery).
+
+The industrial deployments the paper cites operate on strings: Chrome home
+pages (RAPPOR [12]) and newly typed words (Apple [33]).  The protocols in this
+library operate on integer domains, so :class:`StringDomain` provides the
+string <-> integer mapping: strings are embedded into ``[0, |X|)`` via their
+character encoding (injectively for bounded-length strings over a fixed
+alphabet), which is how "the space of all reasonable-length URL domains"
+becomes the integer domain X of the analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_positive_int
+from repro.workloads.distributions import planted_workload
+
+
+@dataclass(frozen=True)
+class StringDomain:
+    """Injective encoding of bounded-length strings into an integer domain.
+
+    Strings over ``alphabet`` of length at most ``max_length`` are encoded as
+    integers base ``len(alphabet) + 1`` (the +1 reserves digit 0 as the
+    end-of-string marker, which keeps the encoding prefix-free and injective).
+    """
+
+    alphabet: str
+    max_length: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.max_length, "max_length")
+        if len(set(self.alphabet)) != len(self.alphabet) or not self.alphabet:
+            raise ValueError("alphabet must be non-empty with distinct characters")
+
+    @property
+    def base(self) -> int:
+        return len(self.alphabet) + 1
+
+    @property
+    def domain_size(self) -> int:
+        """Number of representable strings (the |X| of the protocols)."""
+        return self.base ** self.max_length
+
+    def encode(self, text: str) -> int:
+        """Map a string to its integer identifier."""
+        if len(text) > self.max_length:
+            raise ValueError(f"string longer than max_length={self.max_length}")
+        value = 0
+        for position, char in enumerate(text):
+            digit = self.alphabet.index(char) + 1
+            value += digit * (self.base ** position)
+        return value
+
+    def decode(self, value: int) -> str:
+        """Inverse of :meth:`encode`."""
+        if not 0 <= value < self.domain_size:
+            raise ValueError("value outside the string domain")
+        chars: List[str] = []
+        remaining = int(value)
+        while remaining:
+            digit = remaining % self.base
+            remaining //= self.base
+            if digit == 0:
+                raise ValueError("value does not encode a valid string")
+            chars.append(self.alphabet[digit - 1])
+        return "".join(chars)
+
+
+_URL_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789-."
+_WORD_ALPHABET = "abcdefghijklmnopqrstuvwxyz'"
+
+
+def _random_strings(count: int, alphabet: str, min_length: int, max_length: int,
+                    gen: np.random.Generator) -> List[str]:
+    out = []
+    for _ in range(count):
+        length = int(gen.integers(min_length, max_length + 1))
+        letters = gen.integers(0, len(alphabet), size=length)
+        out.append("".join(alphabet[i] for i in letters))
+    return out
+
+
+def synthetic_url_dataset(num_users: int, num_popular: int = 8,
+                          popular_mass: float = 0.6, max_length: int = 10,
+                          rng: RandomState = None
+                          ) -> Tuple[np.ndarray, StringDomain, Dict[str, int]]:
+    """A Chrome-telemetry-like dataset: popular home-page URLs plus a long tail.
+
+    Returns ``(values, domain, popular)`` where ``values`` are the per-user
+    integer-encoded URLs, ``domain`` is the string codec, and ``popular`` maps
+    each planted popular URL string to its exact multiplicity.
+    """
+    check_positive_int(num_users, "num_users")
+    check_positive_int(num_popular, "num_popular")
+    gen = as_generator(rng)
+    domain = StringDomain(alphabet=_URL_ALPHABET, max_length=max_length)
+
+    popular_urls = [f"{name}.com" for name in
+                    _random_strings(num_popular, _URL_ALPHABET[:26], 3, max_length - 4, gen)]
+    # Zipf-shaped split of the popular mass over the popular URLs.
+    ranks = np.arange(1, num_popular + 1, dtype=float)
+    weights = ranks ** -1.0
+    fractions = popular_mass * weights / weights.sum()
+
+    workload = planted_workload(
+        num_users=num_users,
+        domain_size=domain.domain_size,
+        heavy_fractions=list(fractions),
+        heavy_elements=[domain.encode(url) for url in popular_urls],
+        background="uniform",
+        rng=gen,
+    )
+    popular = {url: workload.true_frequency(domain.encode(url)) for url in popular_urls}
+    return workload.values, domain, popular
+
+
+def synthetic_word_dataset(num_users: int, new_words: Sequence[str] | None = None,
+                           adoption: float = 0.5, max_length: int = 10,
+                           rng: RandomState = None
+                           ) -> Tuple[np.ndarray, StringDomain, Dict[str, int]]:
+    """An iOS-new-word-discovery-like dataset: a few trending words plus noise.
+
+    ``adoption`` is the total fraction of users typing one of the trending
+    words; the remainder type effectively unique strings.
+    """
+    check_positive_int(num_users, "num_users")
+    gen = as_generator(rng)
+    domain = StringDomain(alphabet=_WORD_ALPHABET, max_length=max_length)
+    if new_words is None:
+        new_words = _random_strings(5, _WORD_ALPHABET[:26], 4, max_length, gen)
+    new_words = list(new_words)
+    ranks = np.arange(1, len(new_words) + 1, dtype=float)
+    weights = ranks ** -1.2
+    fractions = adoption * weights / weights.sum()
+
+    workload = planted_workload(
+        num_users=num_users,
+        domain_size=domain.domain_size,
+        heavy_fractions=list(fractions),
+        heavy_elements=[domain.encode(word) for word in new_words],
+        background="uniform",
+        rng=gen,
+    )
+    trending = {word: workload.true_frequency(domain.encode(word)) for word in new_words}
+    return workload.values, domain, trending

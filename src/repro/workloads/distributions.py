@@ -1,0 +1,150 @@
+"""Synthetic value distributions for heavy-hitters experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_positive_int, check_probability
+
+
+def uniform_workload(num_users: int, domain_size: int,
+                     rng: RandomState = None) -> np.ndarray:
+    """Every user holds an independent uniform value — the no-heavy-hitters case."""
+    check_positive_int(num_users, "num_users")
+    check_positive_int(domain_size, "domain_size")
+    gen = as_generator(rng)
+    return gen.integers(0, domain_size, size=num_users, dtype=np.int64)
+
+
+def zipf_workload(num_users: int, domain_size: int, exponent: float = 1.1,
+                  support: int = 10_000, rng: RandomState = None,
+                  shuffle_ids: bool = True) -> np.ndarray:
+    """Zipf-distributed values over a (large) domain.
+
+    A Zipf(``exponent``) distribution over ``support`` popular items is
+    sampled; the popular items are mapped to ``support`` distinct identifiers
+    spread over the full domain (uniformly random distinct ids when
+    ``shuffle_ids`` is true, the low integers otherwise).  This models URL /
+    word popularity: a small head of very frequent values inside an enormous
+    identifier space.
+    """
+    check_positive_int(num_users, "num_users")
+    check_positive_int(domain_size, "domain_size")
+    check_positive_int(support, "support")
+    if exponent <= 0:
+        raise ValueError("exponent must be positive")
+    support = min(support, domain_size)
+    gen = as_generator(rng)
+    ranks = np.arange(1, support + 1, dtype=float)
+    probabilities = ranks ** (-exponent)
+    probabilities /= probabilities.sum()
+    indices = gen.choice(support, size=num_users, p=probabilities)
+    if shuffle_ids:
+        if domain_size <= 2 * support:
+            ids = gen.permutation(domain_size)[:support]
+        else:
+            ids = np.unique(gen.integers(0, domain_size, size=3 * support))
+            gen.shuffle(ids)
+            while ids.size < support:  # pragma: no cover - astronomically unlikely
+                extra = gen.integers(0, domain_size, size=support)
+                ids = np.unique(np.concatenate([ids, extra]))
+            ids = ids[:support]
+    else:
+        ids = np.arange(support)
+    return ids[indices].astype(np.int64)
+
+
+@dataclass(frozen=True)
+class PlantedWorkload:
+    """A workload with explicitly planted heavy hitters.
+
+    Attributes
+    ----------
+    values:
+        The per-user values (length n).
+    heavy_elements:
+        The planted heavy elements, heaviest first.
+    heavy_frequencies:
+        Exact multiplicities of the planted elements.
+    """
+
+    values: np.ndarray
+    heavy_elements: tuple
+    heavy_frequencies: tuple
+
+    @property
+    def num_users(self) -> int:
+        return int(self.values.size)
+
+    def true_frequency(self, x: int) -> int:
+        return int(np.count_nonzero(self.values == int(x)))
+
+    def as_dict(self) -> Dict[int, int]:
+        return {int(x): int(f) for x, f in zip(self.heavy_elements, self.heavy_frequencies)}
+
+
+def planted_workload(num_users: int, domain_size: int,
+                     heavy_fractions: Sequence[float],
+                     background: str = "uniform",
+                     background_support: int = 10_000,
+                     heavy_elements: Optional[Sequence[int]] = None,
+                     rng: RandomState = None) -> PlantedWorkload:
+    """Plant heavy hitters with the given frequency fractions over a background.
+
+    Parameters
+    ----------
+    heavy_fractions:
+        Fraction of users assigned to each planted element (e.g. ``[0.15, 0.1]``
+        plants two heavy hitters holding 15% and 10% of the users).  Their sum
+        must be below 1.
+    background:
+        ``"uniform"`` or ``"zipf"`` distribution for the remaining users.
+    heavy_elements:
+        Identifiers for the planted elements (random distinct ids by default).
+    """
+    check_positive_int(num_users, "num_users")
+    check_positive_int(domain_size, "domain_size")
+    fractions = [check_probability(f, "heavy fraction", allow_zero=False,
+                                   allow_one=False) for f in heavy_fractions]
+    if sum(fractions) >= 1.0:
+        raise ValueError("heavy fractions must sum to less than 1")
+    gen = as_generator(rng)
+
+    if heavy_elements is None:
+        heavy_elements = []
+        seen = set()
+        while len(heavy_elements) < len(fractions):
+            candidate = int(gen.integers(0, domain_size))
+            if candidate not in seen:
+                seen.add(candidate)
+                heavy_elements.append(candidate)
+    heavy_elements = [int(x) for x in heavy_elements]
+    if len(heavy_elements) != len(fractions):
+        raise ValueError("need exactly one element per heavy fraction")
+
+    counts = [int(round(f * num_users)) for f in fractions]
+    total_heavy = sum(counts)
+    num_background = num_users - total_heavy
+    if background == "uniform":
+        tail = uniform_workload(max(num_background, 1), domain_size, gen)[:num_background]
+    elif background == "zipf":
+        tail = zipf_workload(max(num_background, 1), domain_size,
+                             support=background_support, rng=gen)[:num_background]
+    else:
+        raise ValueError("background must be 'uniform' or 'zipf'")
+
+    segments: List[np.ndarray] = [np.full(c, x, dtype=np.int64)
+                                  for x, c in zip(heavy_elements, counts)]
+    segments.append(tail.astype(np.int64))
+    values = np.concatenate(segments)
+    gen.shuffle(values)
+
+    order = np.argsort(-np.asarray(counts))
+    heavy_sorted = tuple(heavy_elements[i] for i in order)
+    counts_sorted = tuple(int(counts[i]) for i in order)
+    return PlantedWorkload(values=values, heavy_elements=heavy_sorted,
+                           heavy_frequencies=counts_sorted)

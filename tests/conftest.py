@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite.
+
+Every randomized test takes an explicit seed so failures are reproducible;
+the fixtures below centralise the seeds and a few small synthetic workloads
+used across modules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.distributions import planted_workload
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests that need ad-hoc randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_planted_workload():
+    """A small workload with two planted heavy hitters over a 2^16 domain."""
+    return planted_workload(
+        num_users=4_000,
+        domain_size=1 << 16,
+        heavy_fractions=[0.3, 0.2],
+        heavy_elements=[4242, 31337],
+        rng=7,
+    )
+
+
+@pytest.fixture
+def medium_planted_workload():
+    """A medium workload with three planted heavy hitters over a 2^20 domain."""
+    return planted_workload(
+        num_users=30_000,
+        domain_size=1 << 20,
+        heavy_fractions=[0.25, 0.18, 0.12],
+        heavy_elements=[891944, 667902, 535965],
+        rng=11,
+    )

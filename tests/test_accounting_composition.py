@@ -1,0 +1,70 @@
+"""Tests for standard composition and central-model group privacy."""
+
+import math
+
+import pytest
+
+from repro.accounting.composition import (
+    advanced_composition,
+    basic_composition,
+    central_group_privacy,
+    composition_crossover,
+)
+
+
+class TestBasicComposition:
+    def test_linear_in_k(self):
+        assert basic_composition(10, 0.1) == (pytest.approx(1.0), 0.0)
+        assert basic_composition(3, 0.5, 1e-6) == (pytest.approx(1.5),
+                                                   pytest.approx(3e-6))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            basic_composition(0, 0.1)
+        with pytest.raises(ValueError):
+            basic_composition(2, -0.1)
+        with pytest.raises(ValueError):
+            basic_composition(2, 0.1, delta=2.0)
+
+
+class TestAdvancedComposition:
+    def test_formula(self):
+        k, eps, delta_prime = 100, 0.1, 1e-6
+        eps_prime, delta_total = advanced_composition(k, eps, 0.0, delta_prime)
+        expected = k * eps**2 / 2 + eps * math.sqrt(2 * k * math.log(1 / delta_prime))
+        assert eps_prime == pytest.approx(expected)
+        assert delta_total == pytest.approx(delta_prime)
+
+    def test_beats_basic_for_large_k(self):
+        k, eps = 10_000, 0.01
+        adv, _ = advanced_composition(k, eps, 0.0, 1e-9)
+        basic, _ = basic_composition(k, eps)
+        assert adv < basic
+
+    def test_delta_accumulates(self):
+        _, delta_total = advanced_composition(5, 0.1, 1e-8, 1e-6)
+        assert delta_total == pytest.approx(5e-8 + 1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            advanced_composition(5, 0.1, 0.0, 0.0)
+
+
+class TestCentralGroupPrivacy:
+    def test_pure_case_linear(self):
+        assert central_group_privacy(7, 0.2) == (pytest.approx(1.4), 0.0)
+
+    def test_approximate_case_amplifies_delta(self):
+        eps_k, delta_k = central_group_privacy(3, 0.5, 1e-9)
+        assert eps_k == pytest.approx(1.5)
+        assert delta_k == pytest.approx(3 * math.exp(2 * 0.5) * 1e-9)
+
+
+class TestCrossover:
+    def test_crossover_exists_and_is_consistent(self):
+        k = composition_crossover(0.1, 1e-6)
+        adv_at_k, _ = advanced_composition(k, 0.1, 0.0, 1e-6)
+        assert adv_at_k < k * 0.1
+        if k > 1:
+            adv_before, _ = advanced_composition(k - 1, 0.1, 0.0, 1e-6)
+            assert adv_before >= (k - 1) * 0.1

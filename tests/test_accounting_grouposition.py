@@ -1,0 +1,109 @@
+"""Tests for advanced grouposition (Theorems 4.2 / 4.3) and its empirical analyzer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.accounting.composition import central_group_privacy
+from repro.accounting.grouposition import (
+    GroupPrivacyAnalyzer,
+    advanced_grouposition,
+    advanced_grouposition_approximate,
+    grouposition_advantage,
+)
+from repro.randomizers.randomized_response import BinaryRandomizedResponse
+
+
+class TestAnalyticBounds:
+    def test_formula(self):
+        k, eps, delta = 100, 0.1, 1e-6
+        expected = k * eps**2 / 2 + eps * math.sqrt(2 * k * math.log(1 / delta))
+        assert advanced_grouposition(k, eps, delta) == pytest.approx(expected)
+
+    def test_beats_central_for_large_groups(self):
+        """The Section 4 headline: sqrt(k) scaling beats the central kε."""
+        eps, delta = 0.1, 1e-6
+        k = 10_000
+        local = advanced_grouposition(k, eps, delta)
+        central, _ = central_group_privacy(k, eps)
+        assert local < central
+        assert grouposition_advantage(k, eps, delta) > 1.0
+
+    def test_small_groups_can_be_worse(self):
+        """For k = 1 the deviation term makes the bound worse than ε itself."""
+        assert advanced_grouposition(1, 0.1, 1e-6) > 0.1
+
+    def test_sqrt_k_scaling(self):
+        """Quadrupling k should roughly double the bound (for small ε)."""
+        eps, delta = 0.01, 1e-6
+        ratio = (advanced_grouposition(4_000, eps, delta)
+                 / advanced_grouposition(1_000, eps, delta))
+        assert 1.8 < ratio < 2.3
+
+    def test_approximate_version(self):
+        eps_prime, delta_prime = advanced_grouposition_approximate(
+            50, 0.1, delta=1e-8, delta_prime=1e-6)
+        assert eps_prime == pytest.approx(advanced_grouposition(50, 0.1, 1e-6))
+        assert delta_prime == pytest.approx(1e-8 + 50 * 1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            advanced_grouposition(0, 0.1, 1e-6)
+        with pytest.raises(ValueError):
+            advanced_grouposition(10, 0.1, 0.0)
+        with pytest.raises(ValueError):
+            advanced_grouposition_approximate(10, 0.1, delta=1.5, delta_prime=1e-6)
+
+
+class TestGroupPrivacyAnalyzer:
+    def test_empirical_loss_within_bounds(self):
+        """The measured group loss must sit between 0 and the central kε bound,
+        and its (1-δ)-quantile must respect the Theorem 4.2 bound."""
+        epsilon, delta, k = 0.2, 0.05, 64
+        analyzer = GroupPrivacyAnalyzer(BinaryRandomizedResponse(epsilon))
+        estimate = analyzer.empirical_group_epsilon([0] * k, [1] * k, delta,
+                                                    num_samples=20_000, rng=0)
+        assert estimate.group_size == k
+        bound = advanced_grouposition(k, epsilon, delta)
+        assert estimate.quantile <= bound + 1e-9
+        assert estimate.maximum <= k * epsilon + 1e-9
+
+    def test_quantile_grows_sublinearly_in_k(self):
+        """Doubling k four times should grow the loss quantile like sqrt(k),
+        clearly slower than linearly."""
+        epsilon, delta = 0.1, 0.05
+        analyzer = GroupPrivacyAnalyzer(BinaryRandomizedResponse(epsilon))
+        estimates = analyzer.sweep_group_sizes([16, 256], delta,
+                                               num_samples=20_000, rng=1)
+        ratio = estimates[1].quantile / max(estimates[0].quantile, 1e-9)
+        assert ratio < 8.0  # linear scaling would give 16
+
+    def test_identical_databases_have_zero_loss(self):
+        analyzer = GroupPrivacyAnalyzer(BinaryRandomizedResponse(0.5))
+        losses = analyzer.sample_group_losses([0, 1, 0], [0, 1, 0], 100, rng=2)
+        assert np.allclose(losses, 0.0)
+
+    def test_exact_moments_match_theory(self):
+        """Exact per-coordinate mean loss is the KL divergence of RR, bounded
+        by ε²/2 (Bun-Steinke); variance is bounded by ε²."""
+        epsilon, k = 0.3, 10
+        analyzer = GroupPrivacyAnalyzer(BinaryRandomizedResponse(epsilon))
+        mean, variance = analyzer.exact_loss_moments([0] * k, [1] * k)
+        assert 0 < mean <= k * epsilon**2 / 2 + 1e-12
+        assert 0 < variance <= k * epsilon**2
+
+    def test_length_mismatch_rejected(self):
+        analyzer = GroupPrivacyAnalyzer(BinaryRandomizedResponse(0.5))
+        with pytest.raises(ValueError):
+            analyzer.sample_group_losses([0, 1], [0], 10)
+
+    def test_requires_randomizers(self):
+        with pytest.raises(ValueError):
+            GroupPrivacyAnalyzer([])
+
+    def test_per_user_randomizers_cycled(self):
+        randomizers = [BinaryRandomizedResponse(0.1), BinaryRandomizedResponse(0.4)]
+        analyzer = GroupPrivacyAnalyzer(randomizers)
+        assert analyzer._randomizer_for(0) is randomizers[0]
+        assert analyzer._randomizer_for(3) is randomizers[1]

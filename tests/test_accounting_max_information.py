@@ -1,0 +1,74 @@
+"""Tests for the max-information bounds (Theorem 4.5)."""
+
+import numpy as np
+import pytest
+
+from repro.accounting.max_information import (
+    central_max_information,
+    central_max_information_product,
+    crossover_beta,
+    generalization_error_bound,
+    ldp_max_information,
+    max_information_from_losses,
+)
+
+
+class TestAnalyticBounds:
+    def test_ldp_bound_formula(self):
+        n, eps, beta = 1_000, 0.1, 0.05
+        expected = n * eps**2 / 2 + eps * np.sqrt(2 * n * np.log(1 / beta))
+        assert ldp_max_information(n, eps, beta) == pytest.approx(expected)
+
+    def test_ldp_beats_central_for_small_epsilon(self):
+        """For small ε the LDP bound ~ nε²/2 is far below the central εn."""
+        n, eps, beta = 100_000, 0.01, 0.01
+        assert ldp_max_information(n, eps, beta) < central_max_information(n, eps)
+
+    def test_ldp_matches_central_product_shape(self):
+        """The LDP bound matches the central bound that only holds for product
+        distributions (up to constants)."""
+        n, eps, beta = 10_000, 0.05, 0.05
+        ldp = ldp_max_information(n, eps, beta)
+        product = central_max_information_product(n, eps, beta)
+        assert 0.2 < ldp / product < 2.0
+
+    def test_crossover_beta(self):
+        n, eps = 10_000, 0.1
+        beta_star = crossover_beta(n, eps)
+        if 0 < beta_star < 1:
+            above = ldp_max_information(n, eps, min(beta_star * 2, 0.999999))
+            assert above <= central_max_information(n, eps) * 1.001
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ldp_max_information(0, 0.1, 0.05)
+        with pytest.raises(ValueError):
+            ldp_max_information(10, 0.1, 0.0)
+        with pytest.raises(ValueError):
+            central_max_information(10, -1.0)
+
+
+class TestEmpiricalEstimation:
+    def test_quantile_semantics(self):
+        losses = np.linspace(0, 1, 101)
+        assert max_information_from_losses(losses, beta=0.1) == pytest.approx(0.9)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            max_information_from_losses([], 0.1)
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ValueError):
+            max_information_from_losses([1.0], 0.0)
+
+
+class TestGeneralization:
+    def test_generalization_bound(self):
+        assert generalization_error_bound(0.0, 0.01) == pytest.approx(0.01)
+        assert generalization_error_bound(1.0, 0.01) == pytest.approx(0.01 * np.e)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generalization_error_bound(-1.0, 0.1)
+        with pytest.raises(ValueError):
+            generalization_error_bound(1.0, 1.5)

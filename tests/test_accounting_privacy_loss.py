@@ -1,0 +1,94 @@
+"""Tests for the privacy loss random variable helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.accounting.privacy_loss import (
+    exact_expected_privacy_loss,
+    exact_privacy_loss_distribution,
+    expected_privacy_loss_bound,
+    privacy_loss_samples,
+    summarize_losses,
+    worst_case_privacy_loss_bound,
+)
+from repro.randomizers.randomized_response import BinaryRandomizedResponse
+from repro.randomizers.laplace import LaplaceHistogramRandomizer
+
+
+class TestBounds:
+    def test_expected_loss_bound(self):
+        assert expected_privacy_loss_bound(0.4) == pytest.approx(0.08)
+        with pytest.raises(ValueError):
+            expected_privacy_loss_bound(0)
+
+    def test_worst_case_bound(self):
+        assert worst_case_privacy_loss_bound(0.7) == 0.7
+
+
+class TestExactDistribution:
+    def test_randomized_response_losses(self):
+        epsilon = 0.5
+        randomizer = BinaryRandomizedResponse(epsilon)
+        losses, probabilities = exact_privacy_loss_distribution(randomizer, 0, 1)
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert np.abs(losses).max() == pytest.approx(epsilon)
+
+    def test_expected_loss_below_bun_steinke_bound(self):
+        """E[L] <= ε²/2 (Proposition 3.3 of [5]) — the key fact behind Thm 4.2."""
+        for epsilon in (0.1, 0.3, 0.8):
+            randomizer = BinaryRandomizedResponse(epsilon)
+            kl = exact_expected_privacy_loss(randomizer, 0, 1)
+            assert 0 < kl <= expected_privacy_loss_bound(epsilon) + 1e-12
+
+    def test_non_enumerable_space_rejected(self):
+        randomizer = LaplaceHistogramRandomizer(1.0, 4)
+        with pytest.raises(ValueError):
+            exact_privacy_loss_distribution(randomizer, 0, 1)
+
+
+class TestSampling:
+    def test_samples_bounded_by_epsilon(self, rng):
+        epsilon = 0.6
+        randomizer = BinaryRandomizedResponse(epsilon)
+        losses = privacy_loss_samples(randomizer, 0, 1, 2_000, rng)
+        assert np.abs(losses).max() <= epsilon + 1e-12
+
+    def test_sample_mean_close_to_exact(self, rng):
+        epsilon = 0.5
+        randomizer = BinaryRandomizedResponse(epsilon)
+        losses = privacy_loss_samples(randomizer, 0, 1, 50_000, rng)
+        exact = exact_expected_privacy_loss(randomizer, 0, 1)
+        assert abs(losses.mean() - exact) < 0.01
+
+    def test_validation(self, rng):
+        randomizer = BinaryRandomizedResponse(0.5)
+        with pytest.raises(ValueError):
+            privacy_loss_samples(randomizer, 0, 1, 0, rng)
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        summary = summarize_losses([-0.5, 0.1, 0.4, 0.5])
+        assert summary.num_samples == 4
+        assert summary.max_abs == pytest.approx(0.5)
+        assert summary.mean == pytest.approx(0.125)
+        assert not summary.exceeds_pure_bound(0.5)
+        assert summary.exceeds_pure_bound(0.4)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize_losses([])
+
+    def test_quantiles_ordered(self):
+        summary = summarize_losses(np.linspace(-1, 1, 1000))
+        assert summary.quantile_95 <= summary.quantile_99
+
+    def test_expected_loss_mean_is_kl_for_rr(self):
+        """Cross-check: for RR the KL divergence has a closed form."""
+        epsilon = 0.7
+        p = math.exp(epsilon) / (math.exp(epsilon) + 1)
+        closed_form = (2 * p - 1) * epsilon
+        randomizer = BinaryRandomizedResponse(epsilon)
+        assert exact_expected_privacy_loss(randomizer, 0, 1) == pytest.approx(closed_form)

@@ -1,0 +1,115 @@
+"""Tests for the Table 1 / theorem-statement bound formulas."""
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    advanced_grouposition_epsilon,
+    central_grouposition_epsilon,
+    central_max_information_bound,
+    composed_rr_epsilon,
+    frequency_oracle_error,
+    frequency_oracle_error_small_domain,
+    genprot_report_bits,
+    genprot_tv_distance,
+    heavy_hitter_error_bassily_et_al,
+    heavy_hitter_error_bassily_smith,
+    heavy_hitter_error_this_work,
+    lower_bound_error,
+    max_information_bound,
+    table1_error_comparison,
+    table1_rows,
+)
+
+
+N, DOMAIN, EPS, BETA = 100_000, 1 << 20, 1.0, 0.05
+
+
+class TestErrorFormulas:
+    def test_this_work_formula(self):
+        expected = math.sqrt(N * math.log(DOMAIN / BETA))
+        assert heavy_hitter_error_this_work(N, DOMAIN, EPS, BETA) == pytest.approx(expected)
+
+    def test_epsilon_scaling(self):
+        assert heavy_hitter_error_this_work(N, DOMAIN, 2.0, BETA) == pytest.approx(
+            heavy_hitter_error_this_work(N, DOMAIN, 1.0, BETA) / 2)
+
+    def test_this_work_beats_bassily_et_al(self):
+        """The paper's improvement: dropping the extra sqrt(log(1/beta))."""
+        ours = heavy_hitter_error_this_work(N, DOMAIN, EPS, BETA)
+        theirs = heavy_hitter_error_bassily_et_al(N, DOMAIN, EPS, BETA)
+        assert ours < theirs
+        assert theirs / ours == pytest.approx(math.sqrt(math.log(1 / BETA)))
+
+    def test_beta_dependence_ordering_for_small_beta(self):
+        """For very small beta the ordering is: this work < [3] < [4]."""
+        beta = 1e-9
+        ours = heavy_hitter_error_this_work(N, DOMAIN, EPS, beta)
+        bnst = heavy_hitter_error_bassily_et_al(N, DOMAIN, EPS, beta)
+        bs = heavy_hitter_error_bassily_smith(N, DOMAIN, EPS, beta)
+        assert ours < bnst < bs
+
+    def test_upper_bound_matches_lower_bound_shape(self):
+        """Theorem 3.13 and Theorem 7.2 agree up to the constant."""
+        upper = heavy_hitter_error_this_work(N, DOMAIN, EPS, BETA)
+        lower = lower_bound_error(N, DOMAIN, EPS, BETA)
+        assert upper == pytest.approx(lower)
+
+    def test_frequency_oracle_errors(self):
+        general = frequency_oracle_error(N, DOMAIN, EPS, BETA)
+        small = frequency_oracle_error_small_domain(N, EPS, BETA)
+        assert small < general
+        tiny_domain = frequency_oracle_error(N, 16, EPS, BETA)
+        assert tiny_domain < general
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heavy_hitter_error_this_work(0, DOMAIN, EPS, BETA)
+        with pytest.raises(ValueError):
+            heavy_hitter_error_this_work(N, DOMAIN, EPS, 0.0)
+
+
+class TestStructuralFormulas:
+    def test_grouposition_epsilons(self):
+        local = advanced_grouposition_epsilon(100, 0.1, 1e-6)
+        central = central_grouposition_epsilon(100, 0.1)
+        assert local < central
+
+    def test_max_information_bounds(self):
+        ldp = max_information_bound(10_000, 0.01, 0.05)
+        central = central_max_information_bound(10_000, 0.01)
+        assert ldp < central
+
+    def test_composed_rr_epsilon(self):
+        assert composed_rr_epsilon(25, 0.1, math.exp(-1)) == pytest.approx(
+            6 * 0.1 * 5)
+
+    def test_genprot_formulas(self):
+        tv = genprot_tv_distance(1_000, 0.1, 1e-9, 20)
+        assert 0 < tv < 1
+        assert genprot_report_bits(20) == 5
+        assert genprot_report_bits(2) == 1
+
+
+class TestTable1:
+    def test_three_rows_in_paper_order(self):
+        rows = table1_rows()
+        assert [row.name for row in rows] == ["this_work", "bassily_et_al",
+                                              "bassily_smith"]
+
+    def test_row_error_dispatch(self):
+        rows = {row.name: row for row in table1_rows()}
+        assert rows["this_work"].error(N, DOMAIN, EPS, BETA) == pytest.approx(
+            heavy_hitter_error_this_work(N, DOMAIN, EPS, BETA))
+        assert rows["bassily_smith"].error(N, DOMAIN, EPS, BETA) == pytest.approx(
+            heavy_hitter_error_bassily_smith(N, DOMAIN, EPS, BETA))
+
+    def test_comparison_sweep(self):
+        betas = [0.1, 0.01, 0.001]
+        table = table1_error_comparison(N, DOMAIN, EPS, betas)
+        assert set(table) == {"this_work", "bassily_et_al", "bassily_smith"}
+        for series in table.values():
+            assert len(series) == 3
+            # error grows as beta shrinks
+            assert series[0] < series[2]

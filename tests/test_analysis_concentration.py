@@ -1,0 +1,118 @@
+"""Tests for the concentration-inequality toolbox (Theorems 3.9-3.12)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.concentration import (
+    bernstein_limited_independence,
+    binomial_anticoncentration_lower,
+    binomial_entropy_lower_tail,
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    hoeffding_tail,
+    poisson_tail_lower,
+    poisson_tail_upper,
+    poissonization_penalty,
+)
+
+
+class TestChernoff:
+    def test_upper_tail_formula(self):
+        assert chernoff_upper_tail(100, 0.5) == pytest.approx(math.exp(-0.25 * 100 / 3))
+
+    def test_lower_tail_formula(self):
+        assert chernoff_lower_tail(100, 0.5) == pytest.approx(math.exp(-0.25 * 100 / 2))
+
+    def test_limited_independence_requirement(self):
+        # ceil(mu * alpha) = 50-wise independence required.
+        assert chernoff_upper_tail(100, 0.5, independence=50) > 0
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(100, 0.5, independence=10)
+
+    def test_bounds_are_valid_against_simulation(self):
+        """The bound must upper-bound the empirical tail of a true binomial."""
+        rng = np.random.default_rng(0)
+        n, p, alpha = 2_000, 0.1, 0.3
+        mu = n * p
+        samples = rng.binomial(n, p, size=20_000)
+        empirical_upper = np.mean(samples >= mu * (1 + alpha))
+        empirical_lower = np.mean(samples <= mu * (1 - alpha))
+        assert empirical_upper <= chernoff_upper_tail(mu, alpha) + 0.01
+        assert empirical_lower <= chernoff_lower_tail(mu, alpha) + 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(0, 0.5)
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(10, 1.5)
+
+
+class TestPoisson:
+    def test_tail_formulas(self):
+        assert poisson_tail_upper(50, 0.2) == pytest.approx(math.exp(-0.04 * 50 / 2))
+        assert poisson_tail_lower(50, 0.2) == pytest.approx(math.exp(-0.04 * 50 / 2))
+
+    def test_bounds_valid_against_simulation(self):
+        rng = np.random.default_rng(1)
+        mu, alpha = 40, 0.3
+        samples = rng.poisson(mu, size=20_000)
+        assert np.mean(samples >= mu * (1 + alpha)) <= poisson_tail_upper(mu, alpha) + 0.01
+        assert np.mean(samples <= mu * (1 - alpha)) <= poisson_tail_lower(mu, alpha) + 0.01
+
+    def test_poissonization_penalty(self):
+        assert poissonization_penalty(100) == pytest.approx(math.e * 10)
+        assert poissonization_penalty(0) == pytest.approx(math.e)
+        with pytest.raises(ValueError):
+            poissonization_penalty(-1)
+
+
+class TestBernstein:
+    def test_decreases_with_deviation(self):
+        loose = bernstein_limited_independence(sigma=10, bound=1, k=4, deviation=50)
+        tight = bernstein_limited_independence(sigma=10, bound=1, k=4, deviation=200)
+        assert tight < loose
+
+    def test_clipped_at_one(self):
+        assert bernstein_limited_independence(sigma=10, bound=1, k=4, deviation=1) == 1.0
+
+    def test_requires_even_k(self):
+        with pytest.raises(ValueError):
+            bernstein_limited_independence(sigma=1, bound=1, k=3, deviation=10)
+        with pytest.raises(ValueError):
+            bernstein_limited_independence(sigma=-1, bound=1, k=4, deviation=10)
+
+    def test_valid_against_simulation(self):
+        """Check on bounded iid variables (which are in particular k-wise independent)."""
+        rng = np.random.default_rng(2)
+        n = 400
+        samples = rng.uniform(-1, 1, size=(20_000, n)).sum(axis=1)
+        sigma = math.sqrt(n / 3)
+        deviation = 6 * sigma
+        empirical = np.mean(np.abs(samples) > deviation)
+        bound = bernstein_limited_independence(sigma=sigma, bound=1, k=4,
+                                               deviation=deviation)
+        assert empirical <= bound + 0.01
+
+
+class TestHoeffdingAndAnticoncentration:
+    def test_hoeffding_formula(self):
+        assert hoeffding_tail(100, 0.5, 10.0) == pytest.approx(
+            math.exp(-100 / (2 * 100 * 0.25)))
+
+    def test_hoeffding_validation(self):
+        with pytest.raises(ValueError):
+            hoeffding_tail(0, 1.0, 1.0)
+
+    def test_entropy_lower_tail_range(self):
+        value = binomial_entropy_lower_tail(100, 1.0)
+        assert 0 < value < 1
+        with pytest.raises(ValueError):
+            binomial_entropy_lower_tail(100, 6.0)
+
+    def test_binomial_anticoncentration_range_check(self):
+        value = binomial_anticoncentration_lower(1_000, 0.5, 50.0)
+        assert 0 < value < 1
+        with pytest.raises(ValueError):
+            binomial_anticoncentration_lower(1_000, 0.5, 1.0)

@@ -1,0 +1,94 @@
+"""Tests for heavy-hitter scoring metrics (Definition 3.1 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    empirical_failure_rate,
+    frequency_estimation_errors,
+    heavy_elements,
+    mean_squared_frequency_error,
+    score_heavy_hitters,
+    true_frequencies,
+    worst_case_frequency_error,
+)
+
+
+DATA = [1] * 50 + [2] * 30 + [3] * 5 + [9] * 15
+
+
+class TestGroundTruthHelpers:
+    def test_true_frequencies(self):
+        freq = true_frequencies(DATA)
+        assert freq == {1: 50, 2: 30, 3: 5, 9: 15}
+
+    def test_heavy_elements(self):
+        assert heavy_elements(DATA, 15) == [1, 2, 9]
+        assert heavy_elements(DATA, 100) == []
+
+    def test_frequency_estimation_errors(self):
+        errors = frequency_estimation_errors({1: 45.0, 7: 3.0}, DATA)
+        assert errors == {1: 5.0, 7: 3.0}
+
+
+class TestScoreHeavyHitters:
+    def test_perfect_output(self):
+        estimates = {1: 50.0, 2: 30.0, 9: 15.0}
+        score = score_heavy_hitters(estimates, DATA, threshold=15)
+        assert score.recall == 1.0
+        assert score.succeeded
+        assert score.max_estimation_error == 0.0
+        assert score.missed_heavy == ()
+        assert score.list_size == 3
+        assert score.false_positive_mass == 0.0
+
+    def test_missing_heavy_element(self):
+        estimates = {1: 50.0, 2: 30.0}
+        score = score_heavy_hitters(estimates, DATA, threshold=15)
+        assert score.missed_heavy == (9,)
+        assert score.recall == pytest.approx(2 / 3)
+        assert not score.succeeded
+        # 9 has frequency 15, so detection threshold becomes 16.
+        assert score.detection_threshold == 16.0
+
+    def test_estimation_error_and_false_positives(self):
+        estimates = {1: 40.0, 1000: 12.0}
+        score = score_heavy_hitters(estimates, DATA, threshold=45)
+        assert score.max_estimation_error == pytest.approx(12.0)
+        assert score.false_positive_mass == pytest.approx(12.0)
+
+    def test_no_heavy_elements_means_recall_one(self):
+        score = score_heavy_hitters({}, DATA, threshold=1000)
+        assert score.recall == 1.0
+        assert score.succeeded
+
+    def test_empty_estimates(self):
+        score = score_heavy_hitters({}, DATA, threshold=15)
+        assert score.max_estimation_error == 0.0
+        assert score.recall == 0.0
+
+
+class TestOracleMetrics:
+    def test_worst_case_error(self):
+        estimates = {1: 48.0, 2: 33.0}
+        worst = worst_case_frequency_error(estimates, DATA, query_set=[1, 2, 3])
+        assert worst == pytest.approx(5.0)  # element 3 estimated as 0, truth 5
+
+    def test_mean_squared_error(self):
+        estimates = {1: 48.0}
+        mse = mean_squared_frequency_error(estimates, DATA, query_set=[1, 3])
+        assert mse == pytest.approx((4.0 + 25.0) / 2)
+
+    def test_empty_query_set(self):
+        assert mean_squared_frequency_error({}, DATA, []) == 0.0
+
+
+class TestFailureRate:
+    def test_failure_rate(self):
+        good = score_heavy_hitters({1: 50.0, 2: 30.0, 9: 15.0}, DATA, 15)
+        bad = score_heavy_hitters({}, DATA, 15)
+        assert empirical_failure_rate([good, good, bad, bad]) == pytest.approx(0.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            empirical_failure_rate([])

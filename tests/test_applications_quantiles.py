@@ -1,0 +1,119 @@
+"""Tests for the private range-count / quantile application."""
+
+import numpy as np
+import pytest
+
+from repro.applications.quantiles import (
+    HierarchicalRangeOracle,
+    PrivateQuantileEstimator,
+)
+
+
+def gaussian_values(rng, n=40_000, domain=1024, mean=600, std=80):
+    values = np.clip(rng.normal(mean, std, size=n), 0, domain - 1)
+    return values.astype(np.int64)
+
+
+class TestHierarchicalRangeOracle:
+    def test_range_counts_accurate(self, rng):
+        domain = 1024
+        values = gaussian_values(rng, domain=domain)
+        oracle = HierarchicalRangeOracle(domain, epsilon=2.0)
+        oracle.collect(values, rng)
+        bound = oracle.expected_range_error(beta=0.01)
+        for lo, hi in [(0, 512), (512, 1024), (500, 700), (0, 1024)]:
+            true = int(np.count_nonzero((values >= lo) & (values < hi)))
+            assert abs(oracle.range_count(lo, hi) - true) < max(bound, 1_500)
+
+    def test_prefix_counts_monotone_in_expectation(self, rng):
+        domain = 256
+        values = rng.integers(0, domain, size=20_000)
+        oracle = HierarchicalRangeOracle(domain, epsilon=2.0)
+        oracle.collect(values, rng)
+        quarter = oracle.prefix_count(64)
+        full = oracle.prefix_count(256)
+        assert full > quarter
+        assert abs(full - 20_000) < 6_000
+
+    def test_empty_range_is_zero(self, rng):
+        oracle = HierarchicalRangeOracle(64, epsilon=1.0)
+        oracle.collect(rng.integers(0, 64, 1_000), rng)
+        assert oracle.range_count(10, 10) == 0.0
+        assert oracle.range_count(20, 10) == 0.0
+
+    def test_histogram_at_resolution(self, rng):
+        domain = 64
+        values = rng.integers(0, domain, size=5_000)
+        oracle = HierarchicalRangeOracle(domain, epsilon=2.0)
+        oracle.collect(values, rng)
+        top_level = oracle.num_levels - 1
+        coarse = oracle.histogram_at_resolution(top_level)
+        assert coarse.shape == (1,)
+        finest = oracle.histogram_at_resolution(0)
+        assert finest.shape[0] == 64 // oracle.finest_resolution
+        with pytest.raises(ValueError):
+            oracle.histogram_at_resolution(oracle.num_levels)
+
+    def test_max_levels_cap(self, rng):
+        oracle = HierarchicalRangeOracle(1024, epsilon=1.0, max_levels=4)
+        assert oracle.num_levels == 4
+        oracle.collect(rng.integers(0, 1024, 2_000), rng)
+        assert oracle.finest_resolution > 1
+
+    def test_validation(self, rng):
+        oracle = HierarchicalRangeOracle(64, epsilon=1.0)
+        with pytest.raises(RuntimeError):
+            oracle.range_count(0, 10)
+        with pytest.raises(ValueError):
+            oracle.collect(np.array([]), rng)
+        with pytest.raises(ValueError):
+            oracle.collect(np.array([64]), rng)
+        with pytest.raises(ValueError):
+            HierarchicalRangeOracle(0, 1.0)
+
+
+class TestPrivateQuantileEstimator:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        rng = np.random.default_rng(3)
+        values = gaussian_values(rng, n=40_000, domain=1024, mean=600, std=80)
+        estimator = PrivateQuantileEstimator(domain_size=1024, epsilon=2.0)
+        estimator.collect(values, rng=4)
+        return values, estimator
+
+    def test_median_close_to_truth(self, fitted):
+        values, estimator = fitted
+        true_median = float(np.median(values))
+        assert abs(estimator.median() - true_median) < 60
+
+    def test_rank_error_small(self, fitted):
+        values, estimator = fitted
+        # Rank error within a few percent of n for the quartiles.
+        for q in (0.25, 0.5, 0.75):
+            assert estimator.rank_error(values, q) < 0.06 * values.size
+
+    def test_quantiles_are_monotone(self, fitted):
+        _, estimator = fitted
+        results = estimator.quantiles([0.1, 0.25, 0.5, 0.75, 0.9])
+        ordered = [results[q] for q in sorted(results)]
+        assert ordered == sorted(ordered)
+
+    def test_extreme_quantiles_within_domain(self, fitted):
+        _, estimator = fitted
+        assert 0 <= estimator.quantile(0.01) < estimator.domain_size
+        assert 0 <= estimator.quantile(0.99) < estimator.domain_size
+
+    def test_invalid_quantile_rejected(self, fitted):
+        _, estimator = fitted
+        with pytest.raises(ValueError):
+            estimator.quantile(0.0)
+        with pytest.raises(ValueError):
+            estimator.quantile(1.0)
+
+    def test_skewed_distribution(self):
+        rng = np.random.default_rng(8)
+        values = np.minimum(rng.exponential(60, size=30_000), 1023).astype(np.int64)
+        estimator = PrivateQuantileEstimator(domain_size=1024, epsilon=2.0)
+        estimator.collect(values, rng=9)
+        true_median = float(np.median(values))
+        assert abs(estimator.median() - true_median) < 60

@@ -1,0 +1,61 @@
+"""Tests for the domain-scan (Bassily-Smith-style) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bassily_smith import DomainScanHeavyHitters
+
+
+class TestGuards:
+    def test_refuses_huge_domains(self):
+        with pytest.raises(ValueError):
+            DomainScanHeavyHitters(domain_size=1 << 30, epsilon=1.0)
+
+    def test_repetitions_from_beta(self):
+        assert DomainScanHeavyHitters(1 << 12, 1.0, beta=0.5).repetitions_for_beta() == 1
+        assert DomainScanHeavyHitters(1 << 12, 1.0, beta=1e-3).repetitions_for_beta() >= 9
+
+    def test_explicit_repetitions(self):
+        protocol = DomainScanHeavyHitters(1 << 12, 1.0, num_repetitions=3)
+        assert protocol.repetitions_for_beta() == 3
+
+
+class TestExecution:
+    @pytest.fixture(scope="class")
+    def executed(self):
+        rng = np.random.default_rng(4)
+        domain = 1 << 12
+        values = rng.integers(0, domain, size=20_000)
+        values[:6_000] = 99
+        values[6_000:10_000] = 1234
+        protocol = DomainScanHeavyHitters(domain_size=domain, epsilon=2.0,
+                                          num_repetitions=2)
+        result = protocol.run(values, rng=5)
+        return values, result
+
+    def test_finds_heavy_elements(self, executed):
+        _, result = executed
+        assert 99 in result.estimates
+        assert 1234 in result.estimates
+
+    def test_estimates_close_to_truth(self, executed):
+        _, result = executed
+        assert abs(result.estimates[99] - 6_000) < 3_000
+        assert abs(result.estimates[1234] - 4_000) < 3_000
+
+    def test_output_does_not_explode(self, executed):
+        _, result = executed
+        # The noise floor should exclude the overwhelming majority of the domain.
+        assert result.list_size < 300
+
+    def test_server_memory_scales_with_domain(self, executed):
+        _, result = executed
+        # The scan stores an estimate per domain element - the cost profile the
+        # paper criticises.
+        assert result.meter.server_memory_items >= 1 << 12
+
+    def test_metadata(self, executed):
+        _, result = executed
+        assert result.metadata["scanned_domain"] == 1 << 12
+        assert result.metadata["repetitions"] == 2
+        assert result.protocol == "domain_scan_bs"

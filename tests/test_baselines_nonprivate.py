@@ -1,0 +1,119 @@
+"""Tests for the non-private streaming baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.nonprivate import (
+    CountMinSketch,
+    CountSketch,
+    ExactCounter,
+    MisraGries,
+    SpaceSaving,
+)
+
+
+def zipf_stream(rng, size=20_000, domain=1 << 16):
+    ranks = np.arange(1, 101, dtype=float)
+    probs = ranks ** -1.5
+    probs /= probs.sum()
+    return rng.choice(100, size=size, p=probs).astype(np.int64), domain
+
+
+class TestExactCounter:
+    def test_counts(self):
+        counter = ExactCounter().update([1, 1, 2, 3, 3, 3])
+        assert counter.estimate(3) == 3
+        assert counter.estimate(99) == 0
+        assert counter.total == 6
+        assert counter.heavy_hitters(2) == {1: 2, 3: 3}
+        assert counter.top(1) == {3: 3}
+
+
+class TestMisraGries:
+    def test_never_misses_frequent_elements(self, rng):
+        stream, _ = zipf_stream(rng)
+        summary = MisraGries(num_counters=20).update(stream)
+        exact = ExactCounter().update(stream)
+        threshold = len(stream) / 21
+        for element, count in exact.heavy_hitters(threshold).items():
+            assert element in summary.candidates()
+
+    def test_undercount_bound(self, rng):
+        stream, _ = zipf_stream(rng, size=5_000)
+        summary = MisraGries(num_counters=10).update(stream)
+        exact = ExactCounter().update(stream)
+        for element in summary.candidates():
+            estimate = summary.estimate(element)
+            truth = exact.estimate(element)
+            assert estimate <= truth
+            assert truth - estimate <= summary.max_undercount
+
+    def test_counter_budget_respected(self, rng):
+        stream, _ = zipf_stream(rng, size=2_000)
+        summary = MisraGries(num_counters=5).update(stream)
+        assert len(summary.candidates()) <= 5
+
+
+class TestSpaceSaving:
+    def test_overestimates_and_never_misses(self, rng):
+        stream, _ = zipf_stream(rng)
+        summary = SpaceSaving(num_counters=20).update(stream)
+        exact = ExactCounter().update(stream)
+        threshold = len(stream) / 20
+        for element, count in exact.heavy_hitters(threshold).items():
+            assert element in summary.candidates()
+            assert summary.estimate(element) >= count
+            assert summary.guaranteed_count(element) <= count
+
+    def test_counter_budget(self, rng):
+        stream, _ = zipf_stream(rng, size=3_000)
+        summary = SpaceSaving(num_counters=8).update(stream)
+        assert len(summary.candidates()) <= 8
+
+    def test_absent_element(self):
+        assert SpaceSaving(4).estimate(99) == 0.0
+        assert SpaceSaving(4).guaranteed_count(99) == 0.0
+
+
+class TestCountMinSketch:
+    def test_never_underestimates(self, rng):
+        stream, domain = zipf_stream(rng, size=10_000)
+        sketch = CountMinSketch(domain, width=256, depth=4, rng=0).update(stream)
+        exact = ExactCounter().update(stream)
+        for element in range(50):
+            assert sketch.estimate(element) >= exact.estimate(element)
+
+    def test_error_bounded_by_stream_length_over_width(self, rng):
+        stream, domain = zipf_stream(rng, size=10_000)
+        sketch = CountMinSketch(domain, width=512, depth=5, rng=1).update(stream)
+        exact = ExactCounter().update(stream)
+        slack = 4 * len(stream) / 512
+        for element in range(50):
+            assert sketch.estimate(element) - exact.estimate(element) <= slack
+
+
+class TestCountSketch:
+    def test_roughly_unbiased(self, rng):
+        stream, domain = zipf_stream(rng, size=10_000)
+        sketch = CountSketch(domain, width=512, depth=7, rng=2).update(stream)
+        exact = ExactCounter().update(stream)
+        heavy = max(range(100), key=exact.estimate)
+        error = abs(sketch.estimate(heavy) - exact.estimate(heavy))
+        assert error < 6 * len(stream) / np.sqrt(512)
+
+    def test_absent_element_small_estimate(self, rng):
+        stream, domain = zipf_stream(rng, size=5_000)
+        sketch = CountSketch(domain, width=512, depth=7, rng=3).update(stream)
+        assert abs(sketch.estimate(domain - 1)) < 6 * len(stream) / np.sqrt(512)
+
+
+class TestValidation:
+    def test_positive_parameters_required(self):
+        with pytest.raises(ValueError):
+            MisraGries(0)
+        with pytest.raises(ValueError):
+            SpaceSaving(0)
+        with pytest.raises(ValueError):
+            CountMinSketch(10, 0, 2)
+        with pytest.raises(ValueError):
+            CountSketch(10, 4, 0)

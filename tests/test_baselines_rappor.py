@@ -1,0 +1,62 @@
+"""Tests for the RAPPOR heavy-hitters baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rappor_hh import RapporHeavyHitters
+
+
+class TestConfiguration:
+    def test_requires_candidates_for_large_domains(self):
+        with pytest.raises(ValueError):
+            RapporHeavyHitters(domain_size=1 << 20, epsilon=1.0)
+
+    def test_large_domain_with_candidates_is_fine(self):
+        protocol = RapporHeavyHitters(domain_size=1 << 20, epsilon=1.0,
+                                      candidates=[1, 2, 3])
+        assert protocol.candidates == [1, 2, 3]
+
+    def test_small_domain_defaults_to_full_scan(self):
+        protocol = RapporHeavyHitters(domain_size=64, epsilon=1.0)
+        assert len(protocol.candidates) == 64
+
+
+class TestExecution:
+    @pytest.fixture(scope="class")
+    def executed(self):
+        rng = np.random.default_rng(1)
+        domain = 1 << 14
+        values = rng.integers(0, domain, size=8_000)
+        values[:3_000] = 4242
+        candidates = [4242, 5, 77, 900, 16000]
+        protocol = RapporHeavyHitters(domain_size=domain, epsilon=3.0,
+                                      candidates=candidates, num_bits=128)
+        result = protocol.run(values, rng=2)
+        return values, candidates, result
+
+    def test_heavy_candidate_found(self, executed):
+        _, _, result = executed
+        assert 4242 in result.estimates
+        assert abs(result.estimates[4242] - 3_000) < 1_200
+
+    def test_only_candidates_can_appear(self, executed):
+        _, candidates, result = executed
+        assert set(result.estimates).issubset(set(candidates))
+
+    def test_communication_is_bloom_width(self, executed):
+        values, _, result = executed
+        assert result.communication_bits_per_user() == pytest.approx(128.0)
+
+    def test_metadata(self, executed):
+        _, candidates, result = executed
+        assert result.metadata["num_candidates"] == len(candidates)
+        assert result.protocol == "rappor"
+
+    def test_custom_threshold_respected(self):
+        rng = np.random.default_rng(3)
+        domain = 1 << 10
+        values = rng.integers(0, domain, size=2_000)
+        protocol = RapporHeavyHitters(domain_size=domain, epsilon=2.0,
+                                      candidates=[1, 2, 3], threshold=1e9)
+        result = protocol.run(values, rng=4)
+        assert result.estimates == {}

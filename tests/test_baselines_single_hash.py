@@ -1,0 +1,82 @@
+"""Tests for the single-hash (Bassily et al. [3]-style) baseline."""
+
+import pytest
+
+from repro.baselines.single_hash import SingleHashHeavyHitters
+from repro.workloads.distributions import planted_workload
+
+
+class TestDimensions:
+    def test_symbol_decomposition(self):
+        protocol = SingleHashHeavyHitters(domain_size=1 << 20, epsilon=1.0,
+                                          symbol_bits=4)
+        assert protocol.alphabet_size == 16
+        assert protocol.num_symbols == 5
+
+    def test_repetitions_track_beta(self):
+        lenient = SingleHashHeavyHitters(1 << 16, 1.0, beta=0.25)
+        strict = SingleHashHeavyHitters(1 << 16, 1.0, beta=1e-4)
+        assert strict.repetitions_for_beta() > lenient.repetitions_for_beta()
+
+    def test_explicit_repetitions_override(self):
+        protocol = SingleHashHeavyHitters(1 << 16, 1.0, beta=1e-6, num_repetitions=2)
+        assert protocol.repetitions_for_beta() == 2
+
+
+class TestExecution:
+    @pytest.fixture(scope="class")
+    def executed(self):
+        workload = planted_workload(num_users=30_000, domain_size=1 << 16,
+                                    heavy_fractions=[0.3, 0.2],
+                                    heavy_elements=[4242, 31337], rng=5)
+        protocol = SingleHashHeavyHitters(domain_size=1 << 16, epsilon=2.0,
+                                          beta=0.2, symbol_bits=4)
+        result = protocol.run(workload.values, rng=6)
+        return workload, protocol, result
+
+    def test_recovers_planted_heavy_hitters(self, executed):
+        workload, _, result = executed
+        for element in workload.heavy_elements:
+            assert element in result.estimates
+
+    def test_estimates_reasonable(self, executed):
+        workload, _, result = executed
+        for element, frequency in workload.as_dict().items():
+            assert abs(result.estimates[element] - frequency) < 0.5 * frequency
+
+    def test_metadata(self, executed):
+        _, protocol, result = executed
+        assert result.metadata["repetitions"] == protocol.repetitions_for_beta()
+        assert result.metadata["num_symbols"] == protocol.num_symbols
+        assert result.protocol == "single_hash_bnst"
+
+    def test_resources_tracked(self, executed):
+        _, _, result = executed
+        assert result.meter.communication_bits > 0
+        assert result.meter.public_randomness_bits > 0
+        assert result.meter.server_memory_items > 0
+
+    def test_candidate_count_bounded_by_hash_range(self, executed):
+        _, protocol, result = executed
+        repetitions = result.metadata["repetitions"]
+        hash_range = result.metadata["hash_range"]
+        assert len(result.candidates) <= repetitions * hash_range
+
+
+class TestBetaDependence:
+    def test_more_repetitions_split_budget_further(self):
+        """The structural weakness the paper fixes: smaller beta means more
+        repetitions, so each repetition sees fewer users."""
+        workload = planted_workload(num_users=20_000, domain_size=1 << 16,
+                                    heavy_fractions=[0.35],
+                                    heavy_elements=[777], rng=8)
+        lenient = SingleHashHeavyHitters(1 << 16, 2.0, num_repetitions=1)
+        strict = SingleHashHeavyHitters(1 << 16, 2.0, num_repetitions=6)
+        lenient_result = lenient.run(workload.values, rng=9)
+        strict_result = strict.run(workload.values, rng=9)
+        # With 6x the repetitions each (repetition, coordinate) group holds 6x
+        # fewer users, so the per-group noise floor is higher relative to signal.
+        assert strict_result.metadata["repetitions"] == 6
+        assert lenient_result.metadata["repetitions"] == 1
+        # Both should still find a 35% heavy hitter.
+        assert 777 in lenient_result.estimates

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_parses(self):
+        args = build_parser().parse_args(["run", "table1", "--quick"])
+        assert args.experiment == "table1"
+        assert args.quick
+
+
+class TestListCommand:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+
+class TestRunCommand:
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "does-not-exist"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_quick_composed_rr(self, capsys):
+        assert main(["run", "composed-rr", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "E7" in out
+        assert "worst_case_loss" in out
+
+    def test_quick_lower_bound_has_two_tables(self, capsys):
+        assert main(["run", "lower-bound", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "E9a" in out and "E9b" in out
+
+    def test_quick_frequency_oracle(self, capsys):
+        assert main(["run", "frequency-oracle", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "hashtogram" in out
+
+    def test_every_experiment_is_registered_with_description(self):
+        for name, (description, runner) in EXPERIMENTS.items():
+            assert description
+            assert callable(runner)
+
+
+class TestQuickstartCommand:
+    def test_quickstart_small(self, capsys):
+        assert main(["quickstart", "--num-users", "15000", "--epsilon", "4.0"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered heavy hitters" in out
+        assert "communication per user" in out

@@ -1,0 +1,135 @@
+"""Tests for repro.codes.gf: prime-field scalar, polynomial, and linear algebra."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codes.gf import PrimeField
+
+
+FIELD = PrimeField(101)
+
+
+class TestScalarArithmetic:
+    def test_rejects_composite_modulus(self):
+        with pytest.raises(ValueError):
+            PrimeField(100)
+
+    def test_add_sub_mul(self):
+        assert FIELD.add(60, 50) == 9
+        assert FIELD.sub(3, 10) == 94
+        assert FIELD.mul(20, 6) == 19
+
+    def test_inverse(self):
+        for a in range(1, 101):
+            assert FIELD.mul(a, FIELD.inv(a)) == 1
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            FIELD.inv(0)
+
+    def test_division(self):
+        assert FIELD.mul(FIELD.div(7, 3), 3) == 7
+
+
+class TestPolynomialArithmetic:
+    def test_trim(self):
+        assert PrimeField.poly_trim([1, 2, 0, 0]) == [1, 2]
+        assert PrimeField.poly_trim([0, 0]) == []
+
+    def test_degree(self):
+        assert FIELD.poly_degree([]) == -1
+        assert FIELD.poly_degree([5]) == 0
+        assert FIELD.poly_degree([0, 0, 3]) == 2
+
+    def test_eval_horner(self):
+        # p(x) = 3 + 2x + x^2 at x = 4 -> 3 + 8 + 16 = 27
+        assert FIELD.poly_eval([3, 2, 1], 4) == 27
+
+    def test_add_sub(self):
+        a, b = [1, 2, 3], [4, 5]
+        assert FIELD.poly_add(a, b) == [5, 7, 3]
+        assert FIELD.poly_sub(FIELD.poly_add(a, b), b) == a
+
+    def test_mul(self):
+        # (1 + x)(1 - x) = 1 - x^2
+        assert FIELD.poly_mul([1, 1], [1, 100]) == [1, 0, 100]
+
+    def test_divmod_round_trip(self):
+        a = [3, 1, 4, 1, 5]
+        b = [2, 7, 1]
+        q, r = FIELD.poly_divmod(a, b)
+        reconstructed = FIELD.poly_add(FIELD.poly_mul(q, b), r)
+        assert reconstructed == FIELD.poly_trim(a)
+
+    def test_divmod_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            FIELD.poly_divmod([1, 2], [])
+
+    def test_exact_division(self):
+        product = FIELD.poly_mul([1, 2, 3], [4, 5])
+        assert FIELD.poly_divides_exactly(product, [4, 5]) == [1, 2, 3]
+        assert FIELD.poly_divides_exactly([1, 0, 1], [1, 1]) is None
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=6),
+           st.lists(st.integers(0, 100), min_size=1, max_size=6))
+    @settings(max_examples=50)
+    def test_mul_degree_property(self, a, b):
+        product = FIELD.poly_mul(a, b)
+        da, db = FIELD.poly_degree(a), FIELD.poly_degree(b)
+        if da < 0 or db < 0:
+            assert product == []
+        else:
+            assert FIELD.poly_degree(product) == da + db
+
+
+class TestInterpolation:
+    def test_recovers_polynomial(self):
+        poly = [7, 0, 13, 2]
+        xs = [0, 1, 2, 3]
+        ys = [FIELD.poly_eval(poly, x) for x in xs]
+        assert FIELD.lagrange_interpolate(xs, ys) == poly
+
+    def test_rejects_duplicate_points(self):
+        with pytest.raises(ValueError):
+            FIELD.lagrange_interpolate([1, 1], [2, 3])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            FIELD.lagrange_interpolate([1, 2], [3])
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=5))
+    @settings(max_examples=40)
+    def test_interpolation_property(self, coefficients):
+        poly = FIELD.poly_trim(coefficients)
+        degree = max(len(poly), 1)
+        xs = list(range(degree))
+        ys = [FIELD.poly_eval(poly, x) for x in xs]
+        recovered = FIELD.lagrange_interpolate(xs, ys)
+        assert recovered == poly
+
+
+class TestLinearSystem:
+    def test_solves_invertible_system(self):
+        matrix = [[2, 1], [1, 3]]
+        rhs = [5, 10]
+        solution = FIELD.solve_linear_system(matrix, rhs)
+        assert solution is not None
+        for row, target in zip(matrix, rhs):
+            acc = sum(c * s for c, s in zip(row, solution)) % 101
+            assert acc == target % 101
+
+    def test_underdetermined_returns_some_solution(self):
+        matrix = [[1, 1, 0]]
+        rhs = [7]
+        solution = FIELD.solve_linear_system(matrix, rhs)
+        assert solution is not None
+        assert sum(c * s for c, s in zip([1, 1, 0], solution)) % 101 == 7
+
+    def test_inconsistent_returns_none(self):
+        matrix = [[1, 1], [2, 2]]
+        rhs = [1, 3]
+        assert FIELD.solve_linear_system(matrix, rhs) is None
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            FIELD.solve_linear_system([[1, 2]], [1, 2])

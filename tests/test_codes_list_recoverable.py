@@ -1,0 +1,170 @@
+"""Tests for the unique-list-recoverable code (Theorem 3.6 / Appendix B)."""
+
+import numpy as np
+import pytest
+
+from repro.codes.list_recoverable import (
+    ListRecoveryParameters,
+    UniqueListRecoverableCode,
+)
+
+
+def make_code(domain_size=1 << 16, num_coordinates=8, hash_range=32, list_size=8,
+              alpha=0.25, expander_degree=3, rng=0):
+    return UniqueListRecoverableCode.create(
+        domain_size=domain_size,
+        num_coordinates=num_coordinates,
+        hash_range=hash_range,
+        list_size=list_size,
+        alpha=alpha,
+        expander_degree=expander_degree,
+        rng=rng,
+    )
+
+
+def lists_from_elements(code, elements, num_coordinates=None):
+    """Build the decoder's input lists containing exactly the given elements."""
+    M = num_coordinates or code.num_coordinates
+    lists = [[] for _ in range(M)]
+    for x in elements:
+        for m, symbol in enumerate(code.encode(x)):
+            if all(existing_y != symbol.y for existing_y, _ in lists[m]):
+                lists[m].append((symbol.y, symbol.z))
+    return lists
+
+
+class TestParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ListRecoveryParameters(domain_size=0, num_coordinates=4, hash_range=8,
+                                   list_size=4, alpha=0.2, expander_degree=2,
+                                   max_output_size=8)
+        with pytest.raises(ValueError):
+            ListRecoveryParameters(domain_size=10, num_coordinates=4, hash_range=8,
+                                   list_size=4, alpha=1.0, expander_degree=2,
+                                   max_output_size=8)
+
+    def test_hash_count_must_match(self):
+        params = ListRecoveryParameters(domain_size=100, num_coordinates=4,
+                                        hash_range=8, list_size=4, alpha=0.2,
+                                        expander_degree=2, max_output_size=8)
+        with pytest.raises(ValueError):
+            UniqueListRecoverableCode(params, hashes=[lambda x: 0], rng=0)
+
+
+class TestEncoding:
+    def test_encoding_shapes(self):
+        code = make_code()
+        encoding = code.encode(12345)
+        assert len(encoding) == code.num_coordinates
+        for symbol in encoding:
+            assert 0 <= symbol.y < code.params.hash_range
+            assert 0 <= symbol.z < code.z_alphabet_size
+
+    def test_encode_tilde_consistent_with_encode(self):
+        code = make_code()
+        x = 54321
+        tilde = code.encode_tilde(x)
+        full = code.encode(x)
+        assert [symbol.z for symbol in full] == tilde
+        assert [symbol.y for symbol in full] == [int(code.hashes[m](x))
+                                                 for m in range(code.num_coordinates)]
+
+    def test_pack_unpack_round_trip(self):
+        code = make_code()
+        chunk, neighbors = 7, (3, 11, 30)
+        packed = code._pack_z(chunk, neighbors)
+        assert code._unpack_z(packed) == (chunk, neighbors)
+
+    def test_z_contains_chunks_and_neighbor_hashes(self):
+        code = make_code()
+        x = 999
+        chunks = code.encode_chunks(x)
+        for m, z in enumerate(code.encode_tilde(x)):
+            chunk, neighbor_hashes = code._unpack_z(z)
+            assert chunk == chunks[m]
+            expected = tuple(int(code.hashes[j](x))
+                             for j in code.expander.neighbors(m))
+            assert neighbor_hashes == expected
+
+    def test_rejects_out_of_domain(self):
+        code = make_code()
+        with pytest.raises(ValueError):
+            code.encode(1 << 16)
+        with pytest.raises(ValueError):
+            code.encode(-1)
+
+
+class TestDecoding:
+    def test_recovers_single_element_from_clean_lists(self):
+        code = make_code()
+        lists = lists_from_elements(code, [40_000])
+        assert 40_000 in code.decode(lists)
+
+    def test_recovers_multiple_elements(self):
+        code = make_code(hash_range=64, list_size=16)
+        elements = [11, 22_222, 44_444, 65_000]
+        lists = lists_from_elements(code, elements)
+        decoded = code.decode(lists)
+        for x in elements:
+            assert x in decoded
+
+    def test_recovers_despite_corrupted_coordinates(self):
+        code = make_code(num_coordinates=10, alpha=0.25)
+        x = 31_337
+        lists = lists_from_elements(code, [x])
+        # Corrupt one coordinate (10%) by removing the element's entry entirely.
+        lists[0] = []
+        # Corrupt a second coordinate by replacing z with garbage at the same y.
+        y1, z1 = lists[1][0]
+        lists[1][0] = (y1, (z1 + 1) % code.z_alphabet_size)
+        decoded = code.decode(lists)
+        assert x in decoded
+
+    def test_does_not_return_elements_with_too_little_agreement(self):
+        code = make_code(num_coordinates=8, alpha=0.25)
+        x = 12_321
+        lists = lists_from_elements(code, [x])
+        # Keep only 3 of 8 coordinates: below the (1 - alpha) threshold.
+        for m in range(3, 8):
+            lists[m] = []
+        assert x not in code.decode(lists)
+
+    def test_empty_lists_decode_to_nothing(self):
+        code = make_code()
+        lists = [[] for _ in range(code.num_coordinates)]
+        assert code.decode(lists) == []
+
+    def test_noise_entries_do_not_block_recovery(self):
+        code = make_code(hash_range=64, list_size=12, rng=3)
+        x = 23_456
+        lists = lists_from_elements(code, [x])
+        rng = np.random.default_rng(0)
+        for m in range(code.num_coordinates):
+            used = {y for y, _ in lists[m]}
+            while len(lists[m]) < 6:
+                y = int(rng.integers(0, 64))
+                if y in used:
+                    continue
+                used.add(y)
+                lists[m].append((y, int(rng.integers(0, code.z_alphabet_size))))
+        assert x in code.decode(lists)
+
+    def test_duplicate_y_entries_are_ignored(self):
+        code = make_code()
+        x = 777
+        lists = lists_from_elements(code, [x])
+        # Append a conflicting duplicate y in every list; the first entry wins.
+        for m in range(code.num_coordinates):
+            y, z = lists[m][0]
+            lists[m].append((y, (z + 5) % code.z_alphabet_size))
+        assert x in code.decode(lists)
+
+    def test_output_size_capped(self):
+        code = make_code(hash_range=128, list_size=4)
+        assert code.params.max_output_size == 16
+
+    def test_wrong_number_of_lists_rejected(self):
+        code = make_code()
+        with pytest.raises(ValueError):
+            code.decode([[]])

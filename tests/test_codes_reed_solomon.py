@@ -1,0 +1,119 @@
+"""Tests for repro.codes.reed_solomon: encoding, error correction, batch encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codes.reed_solomon import DecodingFailure, ReedSolomonCode
+
+
+CODE = ReedSolomonCode.for_domain(domain_size=1 << 20, num_chunks=10, rate=0.5)
+
+
+class TestConstruction:
+    def test_for_domain_dimensions(self):
+        assert CODE.codeword_length == 10
+        assert CODE.message_length == 5
+        assert CODE.max_domain_size >= 1 << 20
+        assert CODE.prime > CODE.codeword_length
+
+    def test_rate_and_correction_budget(self):
+        assert CODE.rate == pytest.approx(0.5)
+        assert CODE.max_correctable_errors == 2
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            ReedSolomonCode(message_length=5, codeword_length=3, prime=101)
+        with pytest.raises(ValueError):
+            ReedSolomonCode(message_length=2, codeword_length=200, prime=101)
+        with pytest.raises(ValueError):
+            ReedSolomonCode.for_domain(100, 10, rate=0.0)
+
+
+class TestEncodeDecode:
+    def test_round_trip_no_errors(self):
+        for value in [0, 1, 12345, (1 << 20) - 1]:
+            codeword = CODE.encode_int(value)
+            assert len(codeword) == CODE.codeword_length
+            assert CODE.decode_int(codeword) == value
+
+    def test_corrects_errors_within_budget(self):
+        value = 987654
+        codeword = CODE.encode_int(value)
+        corrupted = list(codeword)
+        corrupted[1] = (corrupted[1] + 5) % CODE.prime
+        corrupted[7] = (corrupted[7] + 9) % CODE.prime
+        assert CODE.decode_int(corrupted) == value
+
+    def test_corrects_erasures(self):
+        value = 271828
+        codeword = CODE.encode_int(value)
+        erased = list(codeword)
+        erased[0] = None
+        erased[3] = None
+        erased[9] = None
+        assert CODE.decode_int(erased) == value
+
+    def test_corrects_mixed_error_and_erasure(self):
+        value = 31415
+        codeword = CODE.encode_int(value)
+        received = list(codeword)
+        received[2] = None
+        received[5] = (received[5] + 1) % CODE.prime
+        assert CODE.decode_int(received) == value
+
+    def test_too_many_erasures_fails(self):
+        value = 555
+        codeword = CODE.encode_int(value)
+        received = [None] * 6 + list(codeword[6:])
+        with pytest.raises(DecodingFailure):
+            CODE.decode(received)
+
+    def test_message_length_validated(self):
+        with pytest.raises(ValueError):
+            CODE.encode([1, 2, 3])
+        with pytest.raises(ValueError):
+            CODE.decode([0] * 3)
+
+    def test_distinct_values_have_distant_codewords(self):
+        """Minimum distance of RS is M - k + 1 = 6 for this code."""
+        a = CODE.encode_int(111)
+        b = CODE.encode_int(222)
+        distance = sum(1 for x, y in zip(a, b) if x != y)
+        assert distance >= CODE.codeword_length - CODE.message_length + 1
+
+    @given(st.integers(min_value=0, max_value=(1 << 20) - 1),
+           st.sets(st.integers(min_value=0, max_value=9), max_size=2),
+           st.integers(min_value=1, max_value=100))
+    @settings(max_examples=40, deadline=None)
+    def test_error_correction_property(self, value, error_positions, shift):
+        codeword = CODE.encode_int(value)
+        corrupted = list(codeword)
+        for position in error_positions:
+            corrupted[position] = (corrupted[position] + shift) % CODE.prime
+        assert CODE.decode_int(corrupted) == value
+
+
+class TestBatchEncoding:
+    def test_matches_scalar_encoding(self):
+        values = np.array([0, 1, 500_000, (1 << 20) - 1])
+        batch = CODE.encode_batch(values)
+        assert batch.shape == (4, CODE.codeword_length)
+        for row, value in zip(batch, values):
+            assert row.tolist() == CODE.encode_int(int(value))
+
+    def test_rejects_out_of_domain(self):
+        with pytest.raises(ValueError):
+            CODE.encode_batch(np.array([CODE.max_domain_size]))
+
+    def test_empty_batch(self):
+        batch = CODE.encode_batch(np.array([], dtype=np.int64))
+        assert batch.shape == (0, CODE.codeword_length)
+
+
+class TestSmallCode:
+    def test_rate_one_code_has_zero_budget(self):
+        code = ReedSolomonCode.for_domain(16, 4, rate=1.0)
+        assert code.max_correctable_errors == 0
+        value = 13
+        assert code.decode_int(code.encode_int(value)) == value

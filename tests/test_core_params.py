@@ -1,0 +1,90 @@
+"""Tests for ProtocolParameters derivation."""
+
+import math
+
+import pytest
+
+from repro.core.params import ProtocolParameters
+
+
+class TestDerivation:
+    def test_basic_derivation(self):
+        params = ProtocolParameters.derive(50_000, 1 << 20, epsilon=1.0, beta=0.05)
+        assert params.num_users == 50_000
+        assert params.domain_size == 1 << 20
+        assert 6 <= params.num_coordinates <= 16
+        assert params.num_buckets >= 2
+        assert params.hash_range in (16, 32)
+        assert params.list_size >= 8
+        assert params.epsilon_per_stage == pytest.approx(0.5)
+
+    def test_overrides(self):
+        params = ProtocolParameters.derive(10_000, 1 << 16, 1.0, 0.05,
+                                           num_coordinates=8, hash_range=32,
+                                           threshold_std=3.0)
+        assert params.num_coordinates == 8
+        assert params.hash_range == 32
+        assert params.threshold_std == 3.0
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(TypeError):
+            ProtocolParameters.derive(10_000, 1 << 16, 1.0, 0.05, bogus=1)
+
+    def test_notes_record_paper_formulas(self):
+        params = ProtocolParameters.derive(10_000, 1 << 20, 1.0, 0.05)
+        assert "paper_num_coordinates" in params.notes
+        assert "paper_num_buckets" in params.notes
+
+    def test_buckets_grow_with_users(self):
+        small = ProtocolParameters.derive(1_000, 1 << 20, 1.0, 0.05)
+        large = ProtocolParameters.derive(4_000_000, 1 << 20, 1.0, 0.05)
+        assert large.num_buckets >= small.num_buckets
+
+    def test_coordinates_grow_with_domain(self):
+        small = ProtocolParameters.derive(10_000, 1 << 12, 1.0, 0.05)
+        large = ProtocolParameters.derive(10_000, 1 << 30, 1.0, 0.05)
+        assert large.num_coordinates >= small.num_coordinates
+
+
+class TestValidation:
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolParameters.derive(0, 1 << 16, 1.0, 0.05)
+        with pytest.raises(ValueError):
+            ProtocolParameters.derive(100, 1 << 16, -1.0, 0.05)
+        with pytest.raises(ValueError):
+            ProtocolParameters.derive(100, 1 << 16, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            ProtocolParameters.derive(100, 1 << 16, 1.0, 0.05, code_rate=0.0)
+        with pytest.raises(ValueError):
+            ProtocolParameters.derive(100, 1 << 16, 1.0, 0.05, alpha=1.0)
+
+    def test_direct_construction_validates(self):
+        with pytest.raises(ValueError):
+            ProtocolParameters(domain_size=10, num_users=10, epsilon=1.0, beta=0.05,
+                               num_coordinates=0, num_buckets=2, hash_range=4,
+                               list_size=4)
+
+
+class TestDerivedQuantities:
+    def test_detection_threshold_formula(self):
+        params = ProtocolParameters.derive(40_000, 1 << 20, 2.0, 0.05)
+        log_domain = math.log2(1 << 20)
+        expected = (math.log2(log_domain) / 2.0) * math.sqrt(40_000 / log_domain)
+        assert params.detection_threshold() == pytest.approx(expected)
+
+    def test_theoretical_error_formula(self):
+        params = ProtocolParameters.derive(40_000, 1 << 20, 2.0, 0.05)
+        expected = 0.5 * math.sqrt(40_000 * math.log((1 << 20) / 0.05))
+        assert params.theoretical_error() == pytest.approx(expected)
+
+    def test_num_components(self):
+        params = ProtocolParameters.derive(10_000, 1 << 16, 1.0, 0.05,
+                                           expander_degree=4)
+        assert params.num_components == 5
+
+    def test_describe_is_flat(self):
+        params = ProtocolParameters.derive(10_000, 1 << 16, 1.0, 0.05)
+        described = params.describe()
+        assert described["num_coordinates"] == params.num_coordinates
+        assert all(isinstance(v, (int, float)) for v in described.values())

@@ -1,0 +1,72 @@
+"""Tests for the shared HeavyHitterProtocol base class."""
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import HeavyHitterProtocol
+from repro.core.results import HeavyHitterResult
+
+
+class TrivialProtocol(HeavyHitterProtocol):
+    """Minimal concrete protocol for testing the base-class helpers."""
+
+    name = "trivial"
+
+    def run(self, values, rng=None):
+        values = self._validate_values(values)
+        counts = np.bincount(values, minlength=self.domain_size)
+        estimates = {int(x): float(c) for x, c in enumerate(counts) if c > 0}
+        return HeavyHitterResult(estimates=estimates, protocol=self.name,
+                                 num_users=int(values.size), epsilon=self.epsilon)
+
+
+class TestValidation:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            TrivialProtocol(domain_size=0, epsilon=1.0)
+        with pytest.raises(ValueError):
+            TrivialProtocol(domain_size=10, epsilon=0.0)
+
+    def test_value_validation(self):
+        protocol = TrivialProtocol(domain_size=10, epsilon=1.0)
+        with pytest.raises(ValueError):
+            protocol.run(np.array([]))
+        with pytest.raises(ValueError):
+            protocol.run(np.array([10]))
+        with pytest.raises(ValueError):
+            protocol.run(np.array([-1]))
+        with pytest.raises(ValueError):
+            protocol.run(np.array([[1, 2], [3, 4]]))
+
+    def test_valid_run(self):
+        protocol = TrivialProtocol(domain_size=10, epsilon=1.0)
+        result = protocol.run([1, 1, 2])
+        assert result.estimates == {1: 2.0, 2: 1.0}
+
+
+class TestPartitionUsers:
+    def test_partition_covers_all_users(self):
+        assignment = HeavyHitterProtocol.partition_users(100, 7, rng=0)
+        assert assignment.shape == (100,)
+        assert set(np.unique(assignment)) == set(range(7))
+
+    def test_partition_sizes_nearly_equal(self):
+        assignment = HeavyHitterProtocol.partition_users(103, 10, rng=1)
+        sizes = np.bincount(assignment, minlength=10)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_partition_is_random(self):
+        a = HeavyHitterProtocol.partition_users(50, 5, rng=0)
+        b = HeavyHitterProtocol.partition_users(50, 5, rng=1)
+        assert not np.array_equal(a, b)
+
+    def test_partition_deterministic_for_seed(self):
+        a = HeavyHitterProtocol.partition_users(50, 5, rng=3)
+        b = HeavyHitterProtocol.partition_users(50, 5, rng=3)
+        assert np.array_equal(a, b)
+
+    def test_partition_validation(self):
+        with pytest.raises(ValueError):
+            HeavyHitterProtocol.partition_users(0, 5)
+        with pytest.raises(ValueError):
+            HeavyHitterProtocol.partition_users(10, 0)

@@ -1,0 +1,64 @@
+"""Tests for HeavyHitterResult."""
+
+import pytest
+
+from repro.core.results import HeavyHitterResult
+from repro.utils.timer import ResourceMeter
+
+
+def make_result():
+    meter = ResourceMeter()
+    meter.add_communication(1_000)
+    return HeavyHitterResult(
+        estimates={5: 120.0, 9: 340.5, 2: 80.0},
+        protocol="test",
+        num_users=100,
+        epsilon=1.0,
+        meter=meter,
+    )
+
+
+class TestViews:
+    def test_sorted_items(self):
+        result = make_result()
+        assert result.sorted_items() == [(9, 340.5), (5, 120.0), (2, 80.0)]
+
+    def test_top(self):
+        result = make_result()
+        assert result.top(2) == [(9, 340.5), (5, 120.0)]
+        assert result.top(0) == []
+        with pytest.raises(ValueError):
+            result.top(-1)
+
+    def test_above(self):
+        result = make_result()
+        assert result.above(100.0) == [(9, 340.5), (5, 120.0)]
+
+    def test_estimate_of_defaults_to_zero(self):
+        result = make_result()
+        assert result.estimate_of(9) == 340.5
+        assert result.estimate_of(12345) == 0.0
+
+    def test_list_size(self):
+        assert make_result().list_size == 3
+
+    def test_candidates_default_to_estimates(self):
+        result = make_result()
+        assert sorted(result.candidates) == [2, 5, 9]
+
+    def test_explicit_candidates_preserved(self):
+        result = HeavyHitterResult(estimates={1: 2.0}, protocol="p", num_users=10,
+                                   epsilon=1.0, candidates=[1, 7, 9])
+        assert result.candidates == [1, 7, 9]
+
+
+class TestAccounting:
+    def test_communication_per_user(self):
+        result = make_result()
+        assert result.communication_bits_per_user() == pytest.approx(10.0)
+
+    def test_as_dict(self):
+        flattened = make_result().as_dict()
+        assert flattened["protocol"] == "test"
+        assert flattened["list_size"] == 3
+        assert flattened["communication_bits"] == 1_000.0

@@ -1,0 +1,96 @@
+"""Tests for the Count-Mean-Sketch frequency oracle (Apple-style baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.frequency.count_mean_sketch import CountMeanSketchOracle
+from repro.frequency.hashtogram import HashtogramOracle
+
+
+class TestCountMeanSketch:
+    def test_heavy_element_estimated_accurately(self, rng):
+        domain = 1 << 20
+        values = rng.integers(0, domain, size=20_000)
+        values[:5_000] = 424_242
+        oracle = CountMeanSketchOracle(domain, epsilon=2.0)
+        oracle.collect(values, rng)
+        assert abs(oracle.estimate(424_242) - 5_000) < oracle.expected_error(0.001)
+
+    def test_absent_element_near_zero(self, rng):
+        domain = 1 << 18
+        values = rng.integers(0, domain // 4, size=10_000)
+        oracle = CountMeanSketchOracle(domain, epsilon=2.0)
+        oracle.collect(values, rng)
+        assert abs(oracle.estimate(domain - 1)) < oracle.expected_error(0.001)
+
+    def test_estimate_many_matches_scalar(self, rng):
+        domain = 1 << 14
+        oracle = CountMeanSketchOracle(domain, epsilon=1.0, num_hashes=8)
+        oracle.collect(rng.integers(0, domain, 4_000), rng)
+        queries = [0, 5, 99, domain - 1]
+        batch = oracle.estimate_many(queries)
+        for query, value in zip(queries, batch):
+            assert value == pytest.approx(oracle.estimate(query))
+        assert oracle.estimate_many([]).size == 0
+
+    def test_memory_independent_of_domain(self, rng):
+        small = CountMeanSketchOracle(1 << 10, epsilon=1.0, num_hashes=8,
+                                      num_buckets=64)
+        large = CountMeanSketchOracle(1 << 24, epsilon=1.0, num_hashes=8,
+                                      num_buckets=64)
+        values_small = rng.integers(0, 1 << 10, 2_000)
+        values_large = rng.integers(0, 1 << 24, 2_000)
+        small.collect(values_small, rng)
+        large.collect(values_large, rng)
+        assert small.server_state_size == large.server_state_size == 8 * 64
+
+    def test_default_buckets_scale_with_sqrt_n(self, rng):
+        oracle = CountMeanSketchOracle(1 << 16, epsilon=1.0)
+        oracle.collect(rng.integers(0, 1 << 16, 10_000), rng)
+        assert 50 <= oracle.num_buckets <= 200
+
+    def test_public_randomness_tracked(self, rng):
+        oracle = CountMeanSketchOracle(1 << 16, epsilon=1.0, num_hashes=4)
+        oracle.collect(rng.integers(0, 1 << 16, 1_000), rng)
+        assert oracle.public_randomness_bits > 0
+
+    def test_requires_collection_and_validates(self, rng):
+        oracle = CountMeanSketchOracle(100, epsilon=1.0)
+        with pytest.raises(RuntimeError):
+            oracle.estimate(0)
+        with pytest.raises(ValueError):
+            oracle.collect(np.array([100]), rng)
+        oracle.collect(rng.integers(0, 100, 500), rng)
+        with pytest.raises(ValueError):
+            oracle.estimate(101)
+        with pytest.raises(ValueError):
+            oracle.expected_error(0.0)
+
+    def test_unbiasedness_over_repetitions(self):
+        domain = 1 << 14
+        base = np.random.default_rng(1)
+        values = base.integers(0, domain, size=4_000)
+        values[:800] = 777
+        estimates = []
+        for seed in range(25):
+            oracle = CountMeanSketchOracle(domain, epsilon=2.0, num_hashes=8)
+            oracle.collect(values, np.random.default_rng(seed))
+            estimates.append(oracle.estimate(777))
+        mean = float(np.mean(estimates))
+        stderr = float(np.std(estimates) / np.sqrt(len(estimates)))
+        assert abs(mean - 800) < 4 * stderr + 10
+
+    def test_comparable_to_hashtogram(self, rng):
+        """Both industrial-style oracles should land in the same error regime."""
+        domain = 1 << 18
+        values = rng.integers(0, domain, size=20_000)
+        values[:4_000] = 55_555
+        cms = CountMeanSketchOracle(domain, epsilon=1.0)
+        hashtogram = HashtogramOracle(domain, epsilon=1.0)
+        cms.collect(values, np.random.default_rng(0))
+        hashtogram.collect(values, np.random.default_rng(0))
+        cms_error = abs(cms.estimate(55_555) - 4_000)
+        hashtogram_error = abs(hashtogram.estimate(55_555) - 4_000)
+        ceiling = 3 * max(cms.expected_error(0.01), hashtogram.expected_error(0.01))
+        assert cms_error < ceiling
+        assert hashtogram_error < ceiling

@@ -1,0 +1,126 @@
+"""Tests for the small-domain frequency oracle (Theorem 3.8 variant)."""
+
+import numpy as np
+import pytest
+
+from repro.frequency.explicit import (
+    ExplicitHistogramOracle,
+    fast_walsh_hadamard_transform,
+)
+from repro.randomizers.hadamard import hadamard_entry
+
+
+class TestFastWalshHadamardTransform:
+    def test_matches_explicit_matrix(self):
+        size = 16
+        rng = np.random.default_rng(0)
+        vector = rng.normal(size=size)
+        matrix = np.array([[hadamard_entry(r, c) for c in range(size)]
+                           for r in range(size)], dtype=float)
+        assert np.allclose(fast_walsh_hadamard_transform(vector), matrix @ vector)
+
+    def test_involution_up_to_scaling(self):
+        vector = np.arange(8, dtype=float)
+        twice = fast_walsh_hadamard_transform(fast_walsh_hadamard_transform(vector))
+        assert np.allclose(twice, 8 * vector)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            fast_walsh_hadamard_transform(np.zeros(6))
+
+    def test_does_not_mutate_input(self):
+        vector = np.ones(8)
+        fast_walsh_hadamard_transform(vector)
+        assert np.array_equal(vector, np.ones(8))
+
+
+@pytest.mark.parametrize("randomizer", ["hadamard", "oue", "krr"])
+class TestExplicitHistogramOracle:
+    def test_accuracy_within_theoretical_bound(self, randomizer, rng):
+        domain, n = 40, 20_000
+        values = rng.integers(0, domain, size=n)
+        oracle = ExplicitHistogramOracle(domain, epsilon=1.0, randomizer=randomizer)
+        oracle.collect(values, rng)
+        true = np.bincount(values, minlength=domain)
+        errors = np.abs(oracle.histogram() - true)
+        # Union bound over the domain: failure probability beta/domain per cell.
+        bound = oracle.expected_error(beta=0.01 / domain)
+        assert errors.max() < bound
+
+    def test_estimate_matches_histogram(self, randomizer, rng):
+        oracle = ExplicitHistogramOracle(10, 1.0, randomizer=randomizer)
+        oracle.collect(rng.integers(0, 10, 1_000), rng)
+        histogram = oracle.histogram()
+        for x in range(10):
+            assert oracle.estimate(x) == pytest.approx(histogram[x])
+        assert np.allclose(oracle.estimate_many(range(10)), histogram)
+
+    def test_requires_collection_before_estimation(self, randomizer):
+        oracle = ExplicitHistogramOracle(10, 1.0, randomizer=randomizer)
+        with pytest.raises(RuntimeError):
+            oracle.estimate(0)
+
+    def test_rejects_out_of_domain(self, randomizer, rng):
+        oracle = ExplicitHistogramOracle(10, 1.0, randomizer=randomizer)
+        with pytest.raises(ValueError):
+            oracle.collect(np.array([10]), rng)
+        oracle.collect(rng.integers(0, 10, 100), rng)
+        with pytest.raises(ValueError):
+            oracle.estimate(11)
+        with pytest.raises(ValueError):
+            oracle.estimate_many([0, 12])
+
+
+class TestOracleProperties:
+    def test_higher_epsilon_reduces_error(self, rng):
+        domain, n = 32, 30_000
+        values = rng.integers(0, domain, size=n)
+        true = np.bincount(values, minlength=domain)
+        errors = {}
+        for epsilon in (0.25, 4.0):
+            oracle = ExplicitHistogramOracle(domain, epsilon)
+            oracle.collect(values, np.random.default_rng(7))
+            errors[epsilon] = np.abs(oracle.histogram() - true).mean()
+        assert errors[4.0] < errors[0.25]
+
+    def test_variance_formula_decreases_with_epsilon(self):
+        low = ExplicitHistogramOracle(16, 0.5).estimator_variance_per_user
+        high = ExplicitHistogramOracle(16, 2.0).estimator_variance_per_user
+        assert high < low
+
+    def test_report_bits(self):
+        assert ExplicitHistogramOracle(100, 1.0, "oue").report_bits == 100.0
+        assert ExplicitHistogramOracle(100, 1.0, "krr").report_bits == pytest.approx(
+            np.log2(100))
+        hadamard_bits = ExplicitHistogramOracle(100, 1.0, "hadamard").report_bits
+        assert hadamard_bits == pytest.approx(np.log2(128) + 1)
+
+    def test_server_state_size(self):
+        assert ExplicitHistogramOracle(100, 1.0, "oue").server_state_size == 100
+        assert ExplicitHistogramOracle(100, 1.0, "hadamard").server_state_size == 128
+
+    def test_unknown_randomizer_rejected(self):
+        with pytest.raises(ValueError):
+            ExplicitHistogramOracle(16, 1.0, randomizer="laplace")
+
+    def test_expected_error_validates_beta(self, rng):
+        oracle = ExplicitHistogramOracle(16, 1.0)
+        oracle.collect(rng.integers(0, 16, 100), rng)
+        with pytest.raises(ValueError):
+            oracle.expected_error(0.0)
+
+    def test_unbiasedness_over_repetitions(self):
+        """Averaging the estimate of one cell over many independent runs
+        converges to the true count (the estimator is unbiased)."""
+        domain, n = 8, 2_000
+        base = np.random.default_rng(3)
+        values = base.integers(0, domain, size=n)
+        true = np.bincount(values, minlength=domain)[3]
+        estimates = []
+        for seed in range(40):
+            oracle = ExplicitHistogramOracle(domain, 1.0, randomizer="oue")
+            oracle.collect(values, np.random.default_rng(seed))
+            estimates.append(oracle.estimate(3))
+        mean = float(np.mean(estimates))
+        spread = float(np.std(estimates) / np.sqrt(len(estimates)))
+        assert abs(mean - true) < 4 * spread + 1e-9

@@ -1,0 +1,118 @@
+"""Tests for the Hashtogram frequency oracle (Theorem 3.7)."""
+
+import numpy as np
+import pytest
+
+from repro.frequency.hashtogram import HashtogramOracle
+
+
+class TestHashtogram:
+    def test_heavy_element_estimated_accurately(self, rng):
+        domain = 1 << 20
+        n = 20_000
+        values = rng.integers(0, domain, size=n)
+        values[:5_000] = 777_777
+        oracle = HashtogramOracle(domain, epsilon=1.0)
+        oracle.collect(values, rng)
+        estimate = oracle.estimate(777_777)
+        assert abs(estimate - 5_000) < oracle.expected_error(beta=0.001)
+
+    def test_absent_element_estimated_near_zero(self, rng):
+        domain = 1 << 20
+        values = rng.integers(0, domain // 2, size=10_000)
+        oracle = HashtogramOracle(domain, epsilon=1.0)
+        oracle.collect(values, rng)
+        estimate = oracle.estimate(domain - 1)
+        assert abs(estimate) < oracle.expected_error(beta=0.001)
+
+    def test_estimate_many_matches_scalar(self, rng):
+        domain = 1 << 16
+        oracle = HashtogramOracle(domain, epsilon=1.0)
+        oracle.collect(rng.integers(0, domain, 5_000), rng)
+        queries = [0, 17, 999, domain - 1]
+        batch = oracle.estimate_many(queries)
+        for q, value in zip(queries, batch):
+            assert value == pytest.approx(oracle.estimate(q))
+
+    def test_estimate_many_empty(self, rng):
+        oracle = HashtogramOracle(1 << 16, epsilon=1.0)
+        oracle.collect(rng.integers(0, 1 << 16, 1_000), rng)
+        assert oracle.estimate_many([]).size == 0
+
+    def test_server_memory_is_sublinear_in_domain(self, rng):
+        domain = 1 << 20
+        n = 10_000
+        oracle = HashtogramOracle(domain, epsilon=1.0)
+        oracle.collect(rng.integers(0, domain, n), rng)
+        # O~(sqrt(n)) buckets per repetition, far below the domain size.
+        assert oracle.server_state_size < domain / 100
+        assert oracle.server_state_size >= oracle.num_repetitions
+
+    def test_default_bucket_count_scales_with_sqrt_n(self, rng):
+        oracle = HashtogramOracle(1 << 20, epsilon=1.0)
+        oracle.collect(rng.integers(0, 1 << 20, 10_000), rng)
+        assert 50 <= oracle.num_buckets <= 200
+
+    def test_explicit_bucket_count_respected(self, rng):
+        oracle = HashtogramOracle(1 << 16, epsilon=1.0, num_buckets=64)
+        oracle.collect(rng.integers(0, 1 << 16, 2_000), rng)
+        assert oracle.num_buckets == 64
+
+    def test_public_randomness_tracked(self, rng):
+        oracle = HashtogramOracle(1 << 16, epsilon=1.0, num_repetitions=3)
+        oracle.collect(rng.integers(0, 1 << 16, 1_000), rng)
+        assert oracle.public_randomness_bits > 0
+
+    def test_requires_collection(self):
+        oracle = HashtogramOracle(1 << 10, epsilon=1.0)
+        with pytest.raises(RuntimeError):
+            oracle.estimate(0)
+
+    def test_rejects_out_of_domain(self, rng):
+        oracle = HashtogramOracle(100, epsilon=1.0)
+        with pytest.raises(ValueError):
+            oracle.collect(np.array([100]), rng)
+        oracle.collect(rng.integers(0, 100, 500), rng)
+        with pytest.raises(ValueError):
+            oracle.estimate(100)
+
+    def test_error_grows_with_smaller_epsilon(self):
+        domain = 1 << 16
+        base = np.random.default_rng(5)
+        values = base.integers(0, domain, size=20_000)
+        values[:4_000] = 42
+        errors = {}
+        for epsilon in (0.25, 2.0):
+            oracle = HashtogramOracle(domain, epsilon=epsilon)
+            oracle.collect(values, np.random.default_rng(9))
+            errors[epsilon] = abs(oracle.estimate(42) - 4_000)
+        # Not a strict guarantee per-sample, but with 8x the epsilon the error
+        # bound shrinks by 8x; compare against the bounds rather than samples.
+        low_bound = HashtogramOracle(domain, 0.25)
+        high_bound = HashtogramOracle(domain, 2.0)
+        low_bound.collect(values, np.random.default_rng(1))
+        high_bound.collect(values, np.random.default_rng(1))
+        assert high_bound.expected_error(0.05) < low_bound.expected_error(0.05)
+
+    def test_more_repetitions_increase_public_randomness(self, rng):
+        few = HashtogramOracle(1 << 16, 1.0, num_repetitions=2)
+        many = HashtogramOracle(1 << 16, 1.0, num_repetitions=8)
+        values = rng.integers(0, 1 << 16, 2_000)
+        few.collect(values, np.random.default_rng(0))
+        many.collect(values, np.random.default_rng(0))
+        assert many.public_randomness_bits > few.public_randomness_bits
+
+    def test_unbiasedness_over_repetitions(self):
+        """The Hashtogram estimator is unbiased: averaging over runs converges."""
+        domain = 1 << 14
+        base = np.random.default_rng(2)
+        values = base.integers(0, domain, size=3_000)
+        values[:600] = 1234
+        estimates = []
+        for seed in range(30):
+            oracle = HashtogramOracle(domain, epsilon=1.0, num_repetitions=3)
+            oracle.collect(values, np.random.default_rng(seed))
+            estimates.append(oracle.estimate(1234))
+        mean = float(np.mean(estimates))
+        stderr = float(np.std(estimates) / np.sqrt(len(estimates)))
+        assert abs(mean - 600) < 4 * stderr + 5

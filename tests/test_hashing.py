@@ -1,0 +1,142 @@
+"""Tests for repro.hashing: primes and k-wise independent hash families."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hashing.kwise import (
+    KWiseHashFamily,
+    kwise_hash,
+    pairwise_hash,
+    sign_hash,
+    total_description_bits,
+)
+from repro.hashing.primes import is_prime, next_prime, previous_prime
+
+
+class TestPrimes:
+    def test_small_primes(self):
+        primes = [2, 3, 5, 7, 11, 13, 97, 101, 7919]
+        for p in primes:
+            assert is_prime(p)
+
+    def test_small_composites(self):
+        for c in [0, 1, 4, 6, 9, 91, 561, 7917]:
+            assert not is_prime(c)
+
+    def test_large_prime_and_composite(self):
+        assert is_prime(2**31 - 1)          # Mersenne prime
+        assert not is_prime(2**31 - 3)
+
+    def test_next_prime(self):
+        assert next_prime(1) == 2
+        assert next_prime(14) == 17
+        assert next_prime(17) == 17
+        assert next_prime(1 << 20) == 1048583
+
+    def test_previous_prime(self):
+        assert previous_prime(17) == 17
+        assert previous_prime(16) == 13
+        with pytest.raises(ValueError):
+            previous_prime(1)
+
+    @given(st.integers(min_value=2, max_value=10**6))
+    @settings(max_examples=50)
+    def test_next_prime_property(self, n):
+        p = next_prime(n)
+        assert p >= n
+        assert is_prime(p)
+
+
+class TestKWiseHash:
+    def test_range_respected(self):
+        h = pairwise_hash(10_000, 37, rng=0)
+        values = h(np.arange(1000))
+        assert values.min() >= 0 and values.max() < 37
+
+    def test_scalar_and_vector_agree(self):
+        h = pairwise_hash(10_000, 64, rng=1)
+        xs = np.arange(50)
+        vector = h(xs)
+        scalars = np.array([h(int(x)) for x in xs])
+        assert np.array_equal(vector, scalars)
+
+    def test_determinism(self):
+        h = pairwise_hash(1 << 20, 128, rng=3)
+        assert h(123456) == h(123456)
+
+    def test_different_samples_differ(self):
+        family = KWiseHashFamily.create(1 << 16, 97, independence=2)
+        h1, h2 = family.sample_many(2, rng=5)
+        xs = np.arange(200)
+        assert not np.array_equal(h1(xs), h2(xs))
+
+    def test_rejects_negative_inputs(self):
+        h = pairwise_hash(100, 10, rng=0)
+        with pytest.raises(ValueError):
+            h(np.array([-1, 3]))
+
+    def test_description_bits_scale_with_independence(self):
+        pair = pairwise_hash(1 << 20, 16, rng=0)
+        eightwise = kwise_hash(1 << 20, 16, independence=8, rng=0)
+        assert eightwise.description_bits == 4 * pair.description_bits
+        assert total_description_bits([pair, eightwise]) == (
+            pair.description_bits + eightwise.description_bits)
+
+    def test_approximate_uniformity(self):
+        """Bucket loads of a pairwise hash should be near-uniform."""
+        h = pairwise_hash(1 << 20, 16, rng=11)
+        values = h(np.arange(16_000))
+        counts = np.bincount(values, minlength=16)
+        assert counts.min() > 500
+        assert counts.max() < 1500
+
+    def test_pairwise_collision_rate(self):
+        """Empirical collision probability of random pairs is close to 1/range."""
+        rng = np.random.default_rng(0)
+        collisions = 0
+        trials = 400
+        for seed in range(trials):
+            h = pairwise_hash(1 << 16, 32, rng=seed)
+            x, y = rng.integers(0, 1 << 16, size=2)
+            while x == y:
+                y = rng.integers(0, 1 << 16)
+            collisions += int(h(int(x)) == h(int(y)))
+        # Expected collision rate 1/32 = 0.03125; allow generous sampling slack.
+        assert collisions / trials < 0.09
+
+    def test_large_prime_path(self):
+        """Domains above 2^31 exercise the object-dtype evaluation path."""
+        h = pairwise_hash(1 << 40, 64, rng=2)
+        values = h(np.array([0, 1, (1 << 40) - 1]))
+        assert values.min() >= 0 and values.max() < 64
+
+
+class TestSignHash:
+    def test_values_are_signs(self):
+        s = sign_hash(1 << 16, rng=0)
+        values = s(np.arange(1000))
+        assert set(np.unique(values)).issubset({-1, 1})
+
+    def test_balance(self):
+        s = sign_hash(1 << 16, rng=1)
+        values = s(np.arange(10_000))
+        assert abs(values.mean()) < 0.1
+
+    def test_scalar(self):
+        s = sign_hash(1 << 16, rng=2)
+        assert s(5) in (-1, 1)
+
+
+class TestFamilyValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            KWiseHashFamily.create(0, 10)
+        with pytest.raises(ValueError):
+            KWiseHashFamily.create(10, 0)
+        with pytest.raises(ValueError):
+            KWiseHashFamily.create(10, 10, independence=0)
+
+    def test_prime_exceeds_domain_and_range(self):
+        family = KWiseHashFamily.create(1000, 2000, independence=3)
+        assert family.prime >= 2000

@@ -1,0 +1,131 @@
+"""End-to-end tests for PrivateExpanderSketch (the paper's main protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import score_heavy_hitters
+from repro.core.heavy_hitters import PrivateExpanderSketch
+from repro.workloads.distributions import planted_workload
+
+
+class TestSmallDomainFallback:
+    def test_small_domain_enumeration(self, rng):
+        domain = 256
+        values = rng.integers(0, domain, size=5_000)
+        values[:2_000] = 17
+        protocol = PrivateExpanderSketch(domain_size=domain, epsilon=1.0)
+        result = protocol.run(values, rng=1)
+        assert result.metadata["mode"] == "small_domain_enumeration"
+        assert 17 in result.estimates
+        assert abs(result.estimates[17] - 2_000) < 1_000
+        assert result.oracle is not None
+
+    def test_fallback_can_be_disabled(self, rng):
+        domain = 256
+        values = rng.integers(0, domain, size=2_000)
+        protocol = PrivateExpanderSketch(domain_size=domain, epsilon=1.0,
+                                         small_domain_cutoff=0,
+                                         num_coordinates=6)
+        result = protocol.run(values, rng=2)
+        assert result.metadata.get("mode") != "small_domain_enumeration"
+
+
+class TestFullProtocol:
+    @pytest.fixture(scope="class")
+    def executed(self):
+        """One medium protocol run shared by the assertions below (runs take ~1s).
+
+        The planted frequencies sit comfortably above the protocol's practical
+        detection threshold at this scale (roughly 10-15% of n for n = 30k and
+        epsilon = 4; see EXPERIMENTS.md for the measured threshold curve).
+        """
+        workload = planted_workload(num_users=30_000, domain_size=1 << 20,
+                                    heavy_fractions=[0.3, 0.24, 0.18],
+                                    heavy_elements=[891944, 667902, 535965],
+                                    rng=11)
+        protocol = PrivateExpanderSketch(domain_size=1 << 20, epsilon=4.0, beta=0.05)
+        result = protocol.run(workload.values, rng=3)
+        return workload, protocol, result
+
+    def test_recovers_all_planted_heavy_hitters(self, executed):
+        workload, _, result = executed
+        for element in workload.heavy_elements:
+            assert element in result.estimates
+
+    def test_estimates_are_accurate(self, executed):
+        workload, protocol, result = executed
+        params = protocol.parameters_for(workload.num_users)
+        bound = 6.0 * params.theoretical_error()
+        for element, frequency in workload.as_dict().items():
+            assert abs(result.estimates[element] - frequency) < bound
+
+    def test_list_size_is_bounded(self, executed):
+        workload, protocol, result = executed
+        params = protocol.parameters_for(workload.num_users)
+        assert result.list_size <= params.num_buckets * 4 * params.list_size
+
+    def test_score_against_definition(self, executed):
+        workload, _, result = executed
+        threshold = min(workload.heavy_frequencies)
+        score = score_heavy_hitters(result.estimates, workload.values, threshold)
+        assert score.recall == 1.0
+        assert score.succeeded
+
+    def test_resource_accounting_populated(self, executed):
+        workload, _, result = executed
+        meter = result.meter
+        assert meter.communication_bits > 0
+        assert meter.public_randomness_bits > 0
+        assert meter.server_memory_items > 0
+        assert meter.user_time_s > 0
+        assert meter.server_time_s > 0
+        # Communication per user is a small constant number of bits (two
+        # Hadamard-response style reports), far below log |X| * anything big.
+        assert result.communication_bits_per_user() < 200
+
+    def test_server_memory_bounded_by_one_coordinate_oracle(self, executed):
+        """The server streams one coordinate at a time: its peak memory is a
+        single coordinate oracle (B*Y*Z cells, padded) plus the final
+        Hashtogram, not the sum over all M coordinates."""
+        _, _, result = executed
+        num_cells = result.metadata["num_cells"]
+        assert result.meter.server_memory_items < 2.5 * num_cells
+        num_coordinates = result.metadata["parameters"]["num_coordinates"]
+        assert result.meter.server_memory_items < num_coordinates * num_cells / 2
+
+    def test_metadata_contains_parameters(self, executed):
+        _, protocol, result = executed
+        assert "parameters" in result.metadata
+        assert result.metadata["parameters"]["epsilon"] == protocol.epsilon
+        assert len(result.metadata["group_sizes"]) == (
+            result.metadata["parameters"]["num_coordinates"])
+
+    def test_final_oracle_usable_for_extra_queries(self, executed):
+        workload, _, result = executed
+        # Querying an element that never occurs should give a small estimate.
+        absent = 123_457
+        assert absent not in set(workload.values.tolist())
+        assert abs(result.oracle.estimate(absent)) < 3_000
+
+
+class TestConfiguration:
+    def test_cell_guard_triggers(self):
+        protocol = PrivateExpanderSketch(domain_size=1 << 20, epsilon=1.0,
+                                         small_domain_cutoff=0,
+                                         hash_range=256, expander_degree=4,
+                                         max_cells=1 << 20)
+        with pytest.raises(ValueError):
+            protocol.run(np.zeros(100, dtype=np.int64), rng=0)
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(ValueError):
+            PrivateExpanderSketch(domain_size=1 << 16, epsilon=1.0, beta=0.0)
+
+    def test_explicit_parameters_used(self):
+        from repro.core.params import ProtocolParameters
+
+        params = ProtocolParameters.derive(1_000, 1 << 16, 1.0, 0.05,
+                                           num_coordinates=6, num_buckets=3)
+        protocol = PrivateExpanderSketch(domain_size=1 << 16, epsilon=1.0,
+                                         params=params)
+        assert protocol.parameters_for(999_999) is params

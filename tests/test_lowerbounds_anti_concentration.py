@@ -1,0 +1,142 @@
+"""Tests for the anti-concentration toolbox (Theorem 7.5 / A.5, Corollary 7.6)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lowerbounds.anti_concentration import (
+    binomial_tail_lower_bound,
+    corollary_interval_halfwidth,
+    empirical_escape_probability,
+    interval_escape_probability,
+    poisson_binomial_moments,
+    poisson_binomial_pmf,
+    theorem_a5_conditions_hold,
+    uniform_tail_lower_bound,
+)
+
+
+class TestPoissonBinomial:
+    def test_pmf_sums_to_one(self):
+        pmf = poisson_binomial_pmf([0.2, 0.5, 0.9])
+        assert pmf.sum() == pytest.approx(1.0)
+        assert pmf.shape == (4,)
+
+    def test_matches_binomial_for_equal_probs(self):
+        pmf = poisson_binomial_pmf([0.5] * 4)
+        expected = np.array([1, 4, 6, 4, 1]) / 16
+        assert np.allclose(pmf, expected)
+
+    def test_moments(self):
+        mean, variance = poisson_binomial_moments([0.2, 0.5, 0.9])
+        assert mean == pytest.approx(1.6)
+        assert variance == pytest.approx(0.2 * 0.8 + 0.25 + 0.9 * 0.1)
+
+    def test_rejects_invalid_probability(self):
+        with pytest.raises(ValueError):
+            poisson_binomial_pmf([0.5, 1.2])
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=20))
+    @settings(max_examples=50)
+    def test_pmf_property(self, probs):
+        pmf = poisson_binomial_pmf(probs)
+        assert pmf.min() >= -1e-12
+        assert pmf.sum() == pytest.approx(1.0)
+        mean, _ = poisson_binomial_moments(probs)
+        assert np.dot(np.arange(pmf.size), pmf) == pytest.approx(mean)
+
+
+class TestEscapeProbability:
+    def test_whole_support_gives_zero(self):
+        assert interval_escape_probability([0.5] * 5, 0, 5) == pytest.approx(0.0)
+
+    def test_empty_interval_gives_one(self):
+        assert interval_escape_probability([0.5] * 5, 10, 11) == pytest.approx(1.0)
+
+    def test_symmetric_case(self):
+        escape = interval_escape_probability([0.5] * 10, 4, 6)
+        pmf = poisson_binomial_pmf([0.5] * 10)
+        assert escape == pytest.approx(1.0 - pmf[4:7].sum())
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            interval_escape_probability([0.5], 2, 1)
+
+
+class TestCorollary76:
+    def test_halfwidth_formula(self):
+        assert corollary_interval_halfwidth(100.0, 0.1, constant=0.5) == pytest.approx(
+            0.5 * math.sqrt(100.0 * math.log(10.0)))
+
+    def test_anti_concentration_holds_for_fair_coins(self):
+        """An interval of the Corollary 7.6 width around the mean is escaped
+        with probability at least beta (for fair coins, where the corollary's
+        constants are comfortable)."""
+        num_bits = 400
+        probabilities = [0.5] * num_bits
+        mean, variance = poisson_binomial_moments(probabilities)
+        for beta in (0.3, 0.1, 0.01):
+            halfwidth = corollary_interval_halfwidth(variance, beta, constant=0.5)
+            escape = interval_escape_probability(probabilities,
+                                                 mean - halfwidth, mean + halfwidth)
+            assert escape >= beta
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            corollary_interval_halfwidth(-1.0, 0.1)
+        with pytest.raises(ValueError):
+            corollary_interval_halfwidth(1.0, 0.0)
+
+
+class TestTheoremA5Conditions:
+    def test_beta_range(self):
+        assert theorem_a5_conditions_hold(1000, 0.05)
+        assert not theorem_a5_conditions_hold(10, 1e-9)
+
+    def test_mean_range(self):
+        assert not theorem_a5_conditions_hold(100, 0.1, means=[0.05, 0.5])
+        assert theorem_a5_conditions_hold(100, 0.1, means=[0.3, 0.5])
+
+
+class TestClassicalLowerBounds:
+    def test_binomial_tail_lower_bound_is_valid(self):
+        """The Klein-Young bound must actually lower-bound the exact tail."""
+        n, p = 200, 0.5
+        deviation = 20.0
+        bound = binomial_tail_lower_bound(n, p, deviation)
+        pmf = poisson_binomial_pmf([p] * n)
+        exact_tail = pmf[: int(n * p - deviation) + 1].sum()
+        assert bound <= exact_tail + 1e-12
+
+    def test_binomial_tail_validity_range(self):
+        with pytest.raises(ValueError):
+            binomial_tail_lower_bound(100, 0.5, 1.0)   # below sqrt(3np)
+        with pytest.raises(ValueError):
+            binomial_tail_lower_bound(100, 0.7, 10.0)  # p > 1/2
+
+    def test_uniform_tail_lower_bound_is_valid(self):
+        """Lemma 5.5 must lower-bound the exact uniform-bits tail."""
+        k, shift = 64, 1.0
+        bound = uniform_tail_lower_bound(k, shift)
+        pmf = poisson_binomial_pmf([0.5] * k)
+        threshold = k / 2 + shift * math.sqrt(k)
+        exact = pmf[int(math.ceil(threshold)):].sum()
+        assert bound <= exact + 1e-12
+
+    def test_uniform_tail_validation(self):
+        with pytest.raises(ValueError):
+            uniform_tail_lower_bound(16, 3.0)
+
+
+class TestEmpiricalEscape:
+    def test_fraction_computation(self):
+        samples = [0, 1, 2, 3, 10]
+        assert empirical_escape_probability(samples, 2, 1.5) == pytest.approx(2 / 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            empirical_escape_probability([], 0, 1)
+        with pytest.raises(ValueError):
+            empirical_escape_probability([1.0], 0, -1)

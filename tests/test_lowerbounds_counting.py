@@ -1,0 +1,92 @@
+"""Tests for the Theorem 7.2 counting lower-bound experiment."""
+
+import numpy as np
+import pytest
+
+from repro.lowerbounds.counting import (
+    CountingLowerBoundExperiment,
+    randomized_response_count,
+    replicated_database,
+)
+
+
+class TestReplicatedDatabase:
+    def test_shapes_and_replication(self):
+        source, replicated = replicated_database(10, 100, rng=0)
+        assert source.shape == (10,)
+        assert replicated.shape == (100,)
+        # Each source bit appears exactly n/m = 10 times.
+        assert replicated.sum() == source.sum() * 10
+
+    def test_uneven_replication(self):
+        source, replicated = replicated_database(7, 100, rng=1)
+        assert replicated.shape == (100,)
+        counts = [np.count_nonzero(replicated == bit) for bit in (0, 1)]
+        assert sum(counts) == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replicated_database(200, 100)
+        with pytest.raises(ValueError):
+            replicated_database(0, 100)
+
+
+class TestCountingProtocol:
+    def test_estimate_is_accurate(self, rng):
+        database = np.zeros(50_000, dtype=np.int64)
+        database[:20_000] = 1
+        estimate = randomized_response_count(database, epsilon=1.0, rng=rng)
+        assert abs(estimate - 20_000) < 2_500
+
+    def test_estimate_unbiased_over_trials(self):
+        database = np.concatenate([np.ones(500, dtype=np.int64),
+                                   np.zeros(500, dtype=np.int64)])
+        estimates = [randomized_response_count(database, 0.5, rng=seed)
+                     for seed in range(60)]
+        assert abs(np.mean(estimates) - 500) < 60
+
+
+class TestExperiment:
+    def test_source_size_formula(self):
+        experiment = CountingLowerBoundExperiment(num_users=10_000, epsilon=0.5,
+                                                  replication_constant=1.0)
+        assert experiment.num_source_bits == 2_500
+
+    def test_source_size_clamped(self):
+        tiny = CountingLowerBoundExperiment(num_users=100, epsilon=0.1)
+        assert tiny.num_source_bits == 8
+        huge = CountingLowerBoundExperiment(num_users=100, epsilon=10.0)
+        assert huge.num_source_bits == 100
+
+    def test_trials_and_quantiles(self):
+        experiment = CountingLowerBoundExperiment(num_users=4_000, epsilon=1.0)
+        summary = experiment.run_trials(num_trials=50, rng=3)
+        assert summary.errors_on_users.shape == (50,)
+        assert summary.errors_on_source.shape == (50,)
+        assert summary.quantile(0.5) <= summary.quantile(0.05)
+        assert 0.0 <= summary.exceed_probability(0.0) <= 1.0
+
+    def test_measured_error_respects_lower_bound_shape(self):
+        """The measured (1-beta)-quantile error of the optimal counting
+        protocol must lie above the lower-bound curve (with its unspecified
+        constant set conservatively) and below the matching upper bound."""
+        experiment = CountingLowerBoundExperiment(num_users=8_000, epsilon=1.0)
+        betas = [0.3, 0.1]
+        table = experiment.comparison_table(betas, num_trials=80, rng=5)
+        for beta, measured, bound in zip(table["beta"], table["measured_quantile"],
+                                         table["lower_bound"]):
+            assert measured >= bound * 0.5
+            assert measured <= experiment.upper_bound_error(beta) * 1.5
+
+    def test_upper_bound_grows_as_beta_shrinks(self):
+        experiment = CountingLowerBoundExperiment(num_users=8_000, epsilon=1.0)
+        assert experiment.upper_bound_error(0.01) > experiment.upper_bound_error(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountingLowerBoundExperiment(0, 1.0)
+        with pytest.raises(ValueError):
+            CountingLowerBoundExperiment(100, 1.0, replication_constant=0.0)
+        experiment = CountingLowerBoundExperiment(100, 1.0)
+        with pytest.raises(ValueError):
+            experiment.run_trials(0)

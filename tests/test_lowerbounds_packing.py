@@ -1,0 +1,61 @@
+"""Tests for the packing lower bounds implied by advanced grouposition."""
+
+import math
+
+import pytest
+
+from repro.lowerbounds.packing import (
+    packing_advantage,
+    packing_lower_bound_users,
+    selection_lower_bound_central,
+    selection_lower_bound_local,
+)
+
+
+class TestSelectionBounds:
+    def test_central_bound_formula(self):
+        bound = selection_lower_bound_central(1024, 0.5)
+        assert bound == pytest.approx(math.log(1024 * (2 / 3)) / 0.5)
+
+    def test_local_bound_exceeds_central(self):
+        """The Section 1.1 observation: packing bounds are stronger locally."""
+        for epsilon in (0.05, 0.1, 0.5):
+            local = selection_lower_bound_local(1 << 20, epsilon)
+            central = selection_lower_bound_central(1 << 20, epsilon)
+            assert local > central
+
+    def test_local_bound_scales_like_inverse_epsilon_squared(self):
+        a = selection_lower_bound_local(1 << 20, 0.1)
+        b = selection_lower_bound_local(1 << 20, 0.05)
+        # Halving epsilon should roughly quadruple the requirement (between 2x and 6x
+        # because of the sqrt cross-term).
+        assert 2.0 < b / a < 6.0
+
+    def test_central_bound_scales_like_inverse_epsilon(self):
+        a = selection_lower_bound_central(1 << 20, 0.1)
+        b = selection_lower_bound_central(1 << 20, 0.05)
+        assert b / a == pytest.approx(2.0)
+
+    def test_bounds_grow_with_alternatives(self):
+        assert (selection_lower_bound_local(1 << 30, 0.1)
+                > selection_lower_bound_local(1 << 10, 0.1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            selection_lower_bound_central(0, 0.1)
+        with pytest.raises(ValueError):
+            selection_lower_bound_local(10, 0.1, failure_probability=1.0)
+
+
+class TestPackingUsers:
+    def test_model_selection(self):
+        local = packing_lower_bound_users(1 << 16, 0.1, model="local")
+        central = packing_lower_bound_users(1 << 16, 0.1, model="central")
+        assert local > central
+        with pytest.raises(ValueError):
+            packing_lower_bound_users(1 << 16, 0.1, model="other")
+
+    def test_advantage_roughly_two_over_epsilon(self):
+        epsilon = 0.01
+        advantage = packing_advantage(1 << 20, epsilon)
+        assert 0.5 / epsilon < advantage < 4.0 / epsilon

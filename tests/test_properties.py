@@ -1,0 +1,115 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants.
+
+Module-level tests already include targeted hypothesis properties; this module
+collects the invariants that tie several components together:
+
+* any k-wise hash stays inside its declared range for arbitrary inputs;
+* Reed-Solomon round-trips survive arbitrary error patterns within budget;
+* the unique-list-recoverable code recovers any domain element from its own
+  clean encoding;
+* local randomizers never exceed their declared ε on enumerable spaces;
+* frequency-oracle estimates are finite and anchored near the truth for
+  deterministic (single-value) databases;
+* heavy-hitter scoring is consistent with exhaustive recomputation.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.metrics import score_heavy_hitters, true_frequencies
+from repro.codes.list_recoverable import UniqueListRecoverableCode
+from repro.codes.reed_solomon import ReedSolomonCode
+from repro.frequency.explicit import ExplicitHistogramOracle
+from repro.hashing.kwise import KWiseHashFamily
+from repro.randomizers.randomized_response import KaryRandomizedResponse
+from repro.structure.composed_rr import ApproximateComposedRandomizedResponse
+
+
+RS_CODE = ReedSolomonCode.for_domain(domain_size=1 << 16, num_chunks=8, rate=0.5)
+LR_CODE = UniqueListRecoverableCode.create(
+    domain_size=1 << 14, num_coordinates=8, hash_range=32, list_size=8, rng=123)
+
+
+@given(domain_bits=st.integers(min_value=4, max_value=30),
+       range_size=st.integers(min_value=2, max_value=1024),
+       independence=st.integers(min_value=2, max_value=8),
+       seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_hash_range_invariant(domain_bits, range_size, independence, seed):
+    family = KWiseHashFamily.create(1 << domain_bits, range_size, independence)
+    h = family.sample(seed)
+    xs = np.random.default_rng(seed).integers(0, 1 << domain_bits, size=64)
+    values = h(xs)
+    assert values.min() >= 0
+    assert values.max() < range_size
+
+
+@given(value=st.integers(min_value=0, max_value=(1 << 16) - 1),
+       errors=st.dictionaries(st.integers(min_value=0, max_value=7),
+                              st.integers(min_value=1, max_value=96),
+                              max_size=2))
+@settings(max_examples=60, deadline=None)
+def test_reed_solomon_roundtrip_with_errors(value, errors):
+    codeword = RS_CODE.encode_int(value)
+    corrupted = list(codeword)
+    for position, shift in errors.items():
+        corrupted[position] = (corrupted[position] + shift) % RS_CODE.prime
+    assert RS_CODE.decode_int(corrupted) == value
+
+
+@given(value=st.integers(min_value=0, max_value=(1 << 14) - 1))
+@settings(max_examples=40, deadline=None)
+def test_list_recovery_from_clean_encoding(value):
+    lists = [[(symbol.y, symbol.z)] for symbol in LR_CODE.encode(value)]
+    assert value in LR_CODE.decode(lists)
+
+
+@given(epsilon=st.floats(min_value=0.1, max_value=2.0),
+       domain_size=st.integers(min_value=2, max_value=10))
+@settings(max_examples=30, deadline=None)
+def test_randomizer_privacy_never_exceeds_epsilon(epsilon, domain_size):
+    randomizer = KaryRandomizedResponse(epsilon, domain_size)
+    assert randomizer.verify_pure_dp(range(domain_size)) <= epsilon + 1e-9
+
+
+@given(epsilon=st.floats(min_value=0.05, max_value=0.3),
+       num_bits=st.integers(min_value=4, max_value=10),
+       beta=st.floats(min_value=0.01, max_value=0.2))
+@settings(max_examples=25, deadline=None)
+def test_composed_rr_privacy_bound_property(epsilon, num_bits, beta):
+    mechanism = ApproximateComposedRandomizedResponse(num_bits, epsilon, beta)
+    assert mechanism.worst_case_privacy_loss() <= mechanism.composed_epsilon + 1e-9
+    assert mechanism.tv_distance_to_composition() <= mechanism.escape_probability() + 1e-12
+
+
+@given(domain_size=st.integers(min_value=2, max_value=64),
+       value=st.data(),
+       epsilon=st.floats(min_value=0.5, max_value=4.0),
+       seed=st.integers(min_value=0, max_value=1_000))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_oracle_single_value_database(domain_size, value, epsilon, seed):
+    """A database where everyone holds the same value: the oracle's estimate of
+    that value must be positive and dominate the estimate of absent values."""
+    held = value.draw(st.integers(min_value=0, max_value=domain_size - 1))
+    n = 4_000
+    oracle = ExplicitHistogramOracle(domain_size, epsilon)
+    oracle.collect(np.full(n, held), np.random.default_rng(seed))
+    estimates = oracle.histogram()
+    assert np.isfinite(estimates).all()
+    assert estimates[held] > 0.5 * n
+    assert estimates[held] == estimates.max()
+
+
+@given(data=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=300),
+       threshold=st.integers(min_value=1, max_value=30))
+@settings(max_examples=50)
+def test_score_heavy_hitters_consistency(data, threshold):
+    """Scoring with the exact frequencies as estimates must always succeed."""
+    estimates = {x: float(c) for x, c in true_frequencies(data).items()}
+    score = score_heavy_hitters(estimates, data, threshold)
+    assert score.recall == 1.0
+    assert score.max_estimation_error == 0.0
+    assert score.succeeded
+    # Recomputed list size matches the number of distinct elements.
+    assert score.list_size == len(estimates)

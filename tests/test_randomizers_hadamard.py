@@ -1,0 +1,88 @@
+"""Tests for the Hadamard-response randomizer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.randomizers.hadamard import HadamardResponse, hadamard_entry
+
+
+class TestHadamardEntry:
+    def test_first_row_and_column_are_ones(self):
+        for i in range(16):
+            assert hadamard_entry(0, i) == 1
+            assert hadamard_entry(i, 0) == 1
+
+    def test_symmetry(self):
+        for r in range(8):
+            for c in range(8):
+                assert hadamard_entry(r, c) == hadamard_entry(c, r)
+
+    def test_orthogonality(self):
+        size = 16
+        matrix = np.array([[hadamard_entry(r, c) for c in range(size)]
+                           for r in range(size)])
+        product = matrix @ matrix.T
+        assert np.array_equal(product, size * np.eye(size, dtype=int))
+
+
+class TestHadamardResponse:
+    def test_padding_to_power_of_two(self):
+        randomizer = HadamardResponse(1.0, 10)
+        assert randomizer.padded_size == 16
+        assert HadamardResponse(1.0, 31).padded_size == 32
+
+    def test_report_structure(self, rng):
+        randomizer = HadamardResponse(1.0, 10)
+        row, bit = randomizer.randomize(3, rng)
+        assert 0 <= row < 16
+        assert bit in (-1, 1)
+
+    def test_probabilities_sum_to_one(self):
+        randomizer = HadamardResponse(1.0, 6)
+        total = sum(randomizer.prob(2, report) for report in randomizer.report_space())
+        assert total == pytest.approx(1.0)
+
+    def test_exact_privacy(self):
+        randomizer = HadamardResponse(1.3, 6)
+        assert randomizer.verify_pure_dp(range(6)) == pytest.approx(1.3, rel=1e-9)
+
+    def test_report_bits_constant_in_domain(self):
+        small = HadamardResponse(1.0, 10)
+        large = HadamardResponse(1.0, 1000)
+        assert small.report_bits == math.log2(16) + 1
+        assert large.report_bits == math.log2(1024) + 1
+
+    def test_unbiased_frequency(self, rng):
+        randomizer = HadamardResponse(2.0, 20)
+        values = np.concatenate([np.full(3_000, 7), rng.integers(0, 20, 5_000)])
+        reports = [randomizer.randomize(int(v), rng) for v in values]
+        estimate = randomizer.unbiased_frequency(reports, 7)
+        true = float(np.count_nonzero(values == 7))
+        tolerance = 5 * math.sqrt(values.size * randomizer.estimator_variance_per_user)
+        assert abs(estimate - true) < tolerance
+
+    def test_unbiased_histogram_matches_per_value(self, rng):
+        randomizer = HadamardResponse(1.5, 8)
+        values = rng.integers(0, 8, size=2_000)
+        reports = [randomizer.randomize(int(v), rng) for v in values]
+        histogram = randomizer.unbiased_histogram(reports)
+        assert histogram.shape == (8,)
+        assert histogram[3] == pytest.approx(
+            randomizer.unbiased_frequency(reports, 3))
+
+    def test_attenuation_formula(self):
+        randomizer = HadamardResponse(1.0, 4)
+        assert randomizer.attenuation == pytest.approx(
+            (math.e - 1.0) / (math.e + 1.0))
+
+    def test_rejects_invalid_reports(self):
+        randomizer = HadamardResponse(1.0, 4)
+        with pytest.raises(ValueError):
+            randomizer.log_prob(0, (100, 1))
+        with pytest.raises(ValueError):
+            randomizer.log_prob(0, (0, 0))
+
+    def test_large_domain_has_no_enumerable_space(self):
+        assert HadamardResponse(1.0, 1000).report_space() is None

@@ -1,0 +1,93 @@
+"""Tests for the additive-noise (Laplace / Gaussian) histogram randomizers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.randomizers.laplace import (
+    GaussianHistogramRandomizer,
+    LaplaceHistogramRandomizer,
+)
+
+
+class TestLaplaceHistogramRandomizer:
+    def test_report_shape(self, rng):
+        randomizer = LaplaceHistogramRandomizer(1.0, 8)
+        report = randomizer.randomize(3, rng)
+        assert report.shape == (8,)
+
+    def test_scale(self):
+        randomizer = LaplaceHistogramRandomizer(0.5, 4)
+        assert randomizer.scale == pytest.approx(4.0)
+
+    def test_density_ratio_bounded_by_epsilon(self, rng):
+        """For any report, the log-density ratio between neighbouring inputs
+        is bounded by epsilon (L1 sensitivity 2, scale 2/eps)."""
+        epsilon = 0.8
+        randomizer = LaplaceHistogramRandomizer(epsilon, 6)
+        for _ in range(50):
+            report = randomizer.randomize(2, rng)
+            loss = randomizer.privacy_loss(2, 5, report)
+            assert abs(loss) <= epsilon + 1e-9
+
+    def test_unbiased_histogram(self, rng):
+        randomizer = LaplaceHistogramRandomizer(2.0, 5)
+        values = rng.integers(0, 5, size=3_000)
+        reports = np.stack([randomizer.randomize(int(v), rng) for v in values])
+        estimates = randomizer.unbiased_histogram(reports)
+        true = np.bincount(values, minlength=5)
+        tolerance = 5 * math.sqrt(3_000 * randomizer.estimator_variance_per_user)
+        assert np.abs(estimates - true).max() < tolerance
+
+    def test_continuous_report_space(self):
+        randomizer = LaplaceHistogramRandomizer(1.0, 4)
+        assert randomizer.report_space() is None
+        assert randomizer.delta == 0.0
+
+    def test_validates_shapes(self):
+        randomizer = LaplaceHistogramRandomizer(1.0, 4)
+        with pytest.raises(ValueError):
+            randomizer.log_prob(0, np.zeros(3))
+        with pytest.raises(ValueError):
+            randomizer.unbiased_histogram(np.zeros((5, 3)))
+
+
+class TestGaussianHistogramRandomizer:
+    def test_requires_positive_delta(self):
+        with pytest.raises(ValueError):
+            GaussianHistogramRandomizer(1.0, 0.0, 4)
+
+    def test_sigma_formula(self):
+        epsilon, delta = 1.0, 1e-5
+        randomizer = GaussianHistogramRandomizer(epsilon, delta, 4)
+        expected = math.sqrt(2 * math.log(1.25 / delta)) * math.sqrt(2.0) / epsilon
+        assert randomizer.sigma == pytest.approx(expected)
+
+    def test_is_approximately_private_not_purely(self, rng):
+        """The Gaussian mechanism has unbounded privacy loss (it is (eps, delta)
+        but not pure); extreme reports must show losses above epsilon."""
+        randomizer = GaussianHistogramRandomizer(0.5, 1e-3, 2)
+        # Construct a report far in the direction distinguishing inputs 0 and 1.
+        report = np.array([60.0, -60.0])
+        loss = randomizer.privacy_loss(0, 1, report)
+        assert loss > 0.5
+
+    def test_typical_loss_is_small(self, rng):
+        randomizer = GaussianHistogramRandomizer(0.5, 1e-3, 2)
+        losses = randomizer.sample_privacy_losses(0, 1, 500, rng)
+        # The 90th percentile of the loss should be within the (eps, delta) regime.
+        assert np.quantile(losses, 0.9) < 0.5 + 1e-9
+
+    def test_unbiased_histogram(self, rng):
+        randomizer = GaussianHistogramRandomizer(2.0, 1e-4, 4)
+        values = rng.integers(0, 4, size=2_000)
+        reports = np.stack([randomizer.randomize(int(v), rng) for v in values])
+        estimates = randomizer.unbiased_histogram(reports)
+        true = np.bincount(values, minlength=4)
+        tolerance = 5 * math.sqrt(2_000) * randomizer.sigma
+        assert np.abs(estimates - true).max() < tolerance
+
+    def test_delta_recorded(self):
+        randomizer = GaussianHistogramRandomizer(1.0, 1e-6, 4)
+        assert randomizer.delta == 1e-6

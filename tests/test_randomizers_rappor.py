@@ -1,0 +1,85 @@
+"""Tests for the basic RAPPOR randomizer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.randomizers.rappor import BasicRappor
+
+
+class TestBloomEncoding:
+    def test_bloom_bits_deterministic_and_bounded(self):
+        randomizer = BasicRappor(1.0, 1 << 16, num_bits=64, num_hashes=2, rng=0)
+        bits = randomizer.bloom_bits(12345)
+        assert bits.shape == (64,)
+        assert bits.sum() <= 2
+        assert np.array_equal(bits, randomizer.bloom_bits(12345))
+
+    def test_different_values_usually_differ(self):
+        randomizer = BasicRappor(1.0, 1 << 16, num_bits=128, num_hashes=2, rng=0)
+        assert not np.array_equal(randomizer.bloom_bits(1), randomizer.bloom_bits(2))
+
+
+class TestPrivacy:
+    def test_flip_probability_from_epsilon(self):
+        epsilon, hashes = 2.0, 2
+        randomizer = BasicRappor(epsilon, 1000, num_bits=32, num_hashes=hashes, rng=0)
+        f = randomizer.flip_probability
+        implied_epsilon = 2 * hashes * math.log((1 - f / 2) / (f / 2))
+        assert implied_epsilon == pytest.approx(epsilon)
+
+    def test_exact_privacy_small_instance(self):
+        randomizer = BasicRappor(1.5, 16, num_bits=8, num_hashes=1, rng=1)
+        worst = randomizer.verify_pure_dp(range(8))
+        assert worst <= 1.5 + 1e-9
+
+    def test_log_prob_normalises(self):
+        randomizer = BasicRappor(1.0, 8, num_bits=6, num_hashes=1, rng=2)
+        total = sum(randomizer.prob(3, report) for report in randomizer.report_space())
+        assert total == pytest.approx(1.0)
+
+
+class TestReports:
+    def test_report_shape(self, rng):
+        randomizer = BasicRappor(1.0, 1 << 12, num_bits=64, rng=0)
+        report = randomizer.randomize(100, rng)
+        assert report.shape == (64,)
+        assert set(np.unique(report)).issubset({0, 1})
+
+    def test_report_bits(self):
+        randomizer = BasicRappor(1.0, 100, num_bits=256, rng=0)
+        assert randomizer.report_bits == 256.0
+
+    def test_log_prob_validates_shape(self):
+        randomizer = BasicRappor(1.0, 100, num_bits=16, rng=0)
+        with pytest.raises(ValueError):
+            randomizer.log_prob(0, np.zeros(8))
+
+
+class TestCandidateDecoding:
+    def test_recovers_dominant_candidate(self, rng):
+        domain = 1 << 12
+        randomizer = BasicRappor(3.0, domain, num_bits=128, num_hashes=2, rng=5)
+        heavy = 999
+        values = np.concatenate([
+            np.full(3_000, heavy),
+            rng.integers(0, domain, size=2_000),
+        ])
+        reports = np.stack([randomizer.randomize(int(v), rng) for v in values])
+        candidates = [heavy, 5, 77, 1234, 4000]
+        estimates = randomizer.estimate_candidate_frequencies(reports, candidates)
+        by_candidate = dict(zip(candidates, estimates))
+        assert by_candidate[heavy] == max(estimates)
+        assert by_candidate[heavy] > 1_500
+
+    def test_empty_candidates(self):
+        randomizer = BasicRappor(1.0, 100, num_bits=16, rng=0)
+        estimates = randomizer.estimate_candidate_frequencies(
+            np.zeros((10, 16)), [])
+        assert estimates.size == 0
+
+    def test_rejects_bad_report_matrix(self):
+        randomizer = BasicRappor(1.0, 100, num_bits=16, rng=0)
+        with pytest.raises(ValueError):
+            randomizer.estimate_candidate_frequencies(np.zeros((10, 8)), [1])

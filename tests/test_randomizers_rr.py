@@ -1,0 +1,126 @@
+"""Tests for randomized response (binary and k-ary)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.randomizers.randomized_response import (
+    BinaryRandomizedResponse,
+    KaryRandomizedResponse,
+)
+
+
+class TestBinaryRandomizedResponse:
+    def test_output_is_bit(self, rng):
+        randomizer = BinaryRandomizedResponse(1.0)
+        assert randomizer.randomize(0, rng) in (0, 1)
+        assert randomizer.randomize(1, rng) in (0, 1)
+
+    def test_probabilities_sum_to_one(self):
+        randomizer = BinaryRandomizedResponse(0.7)
+        for x in (0, 1):
+            total = sum(randomizer.prob(x, y) for y in randomizer.report_space())
+            assert total == pytest.approx(1.0)
+
+    def test_exact_privacy_equals_epsilon(self):
+        for epsilon in (0.3, 1.0, 2.5):
+            randomizer = BinaryRandomizedResponse(epsilon)
+            worst = randomizer.verify_pure_dp([0, 1])
+            assert worst == pytest.approx(epsilon, rel=1e-9)
+
+    def test_keep_probability(self):
+        randomizer = BinaryRandomizedResponse(1.0)
+        assert randomizer.keep_probability == pytest.approx(math.e / (math.e + 1))
+
+    def test_unbiased_count(self, rng):
+        randomizer = BinaryRandomizedResponse(2.0)
+        bits = np.zeros(20_000, dtype=np.int64)
+        bits[:6_000] = 1
+        reports = randomizer.randomize_many(bits, rng)
+        estimate = randomizer.unbiased_count(reports)
+        tolerance = 4 * math.sqrt(20_000 * randomizer.estimator_variance_per_user)
+        assert abs(estimate - 6_000) < tolerance
+
+    def test_empirical_flip_rate(self, rng):
+        randomizer = BinaryRandomizedResponse(1.0)
+        reports = randomizer.randomize_many(np.ones(20_000, dtype=np.int64), rng)
+        keep_rate = reports.mean()
+        assert abs(keep_rate - randomizer.keep_probability) < 0.02
+
+    def test_rejects_non_bits(self, rng):
+        randomizer = BinaryRandomizedResponse(1.0)
+        with pytest.raises(ValueError):
+            randomizer.randomize(2, rng)
+        with pytest.raises(ValueError):
+            randomizer.randomize_many(np.array([0, 3]), rng)
+        with pytest.raises(ValueError):
+            randomizer.log_prob(0, 5)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            BinaryRandomizedResponse(0.0)
+
+    def test_null_input_resolves(self, rng):
+        randomizer = BinaryRandomizedResponse(1.0)
+        assert randomizer.randomize(None, rng) in (0, 1)
+
+
+class TestKaryRandomizedResponse:
+    def test_output_in_domain(self, rng):
+        randomizer = KaryRandomizedResponse(1.0, 10)
+        for x in range(10):
+            assert 0 <= randomizer.randomize(x, rng) < 10
+
+    def test_probabilities_sum_to_one(self):
+        randomizer = KaryRandomizedResponse(0.8, 7)
+        for x in range(7):
+            total = sum(randomizer.prob(x, y) for y in randomizer.report_space())
+            assert total == pytest.approx(1.0)
+
+    def test_exact_privacy_equals_epsilon(self):
+        randomizer = KaryRandomizedResponse(1.5, 6)
+        assert randomizer.verify_pure_dp(range(6)) == pytest.approx(1.5, rel=1e-9)
+
+    def test_truth_probability_formula(self):
+        randomizer = KaryRandomizedResponse(1.0, 5)
+        expected = math.e / (math.e + 4)
+        assert randomizer.truth_probability == pytest.approx(expected)
+        assert randomizer.lie_probability == pytest.approx(1.0 / (math.e + 4))
+
+    def test_unbiased_histogram(self, rng):
+        randomizer = KaryRandomizedResponse(2.0, 8)
+        values = rng.integers(0, 8, size=30_000)
+        reports = randomizer.randomize_many(values, rng)
+        estimates = randomizer.unbiased_histogram(reports)
+        true = np.bincount(values, minlength=8)
+        tolerance = 5 * math.sqrt(30_000 * randomizer.estimator_variance_per_user)
+        assert np.abs(estimates - true).max() < tolerance
+
+    def test_degenerate_single_element_domain(self, rng):
+        randomizer = KaryRandomizedResponse(1.0, 1)
+        assert randomizer.randomize(0, rng) == 0
+        assert randomizer.log_prob(0, 0) == 0.0
+
+    def test_randomize_many_shape_and_domain(self, rng):
+        randomizer = KaryRandomizedResponse(1.0, 12)
+        values = rng.integers(0, 12, size=500)
+        reports = randomizer.randomize_many(values, rng)
+        assert reports.shape == values.shape
+        assert reports.min() >= 0 and reports.max() < 12
+
+    def test_rejects_out_of_domain(self, rng):
+        randomizer = KaryRandomizedResponse(1.0, 4)
+        with pytest.raises(ValueError):
+            randomizer.randomize(4, rng)
+        with pytest.raises(ValueError):
+            randomizer.log_prob(0, 9)
+
+    @given(st.floats(min_value=0.1, max_value=3.0),
+           st.integers(min_value=2, max_value=12))
+    @settings(max_examples=25, deadline=None)
+    def test_privacy_property(self, epsilon, domain_size):
+        randomizer = KaryRandomizedResponse(epsilon, domain_size)
+        worst = randomizer.verify_pure_dp(range(domain_size))
+        assert worst <= epsilon + 1e-9

@@ -1,0 +1,94 @@
+"""Tests for unary-encoding randomizers (SUE and OUE)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.randomizers.unary import OptimizedUnaryEncoding, UnaryEncoding
+
+
+class TestUnaryEncoding:
+    def test_report_shape_and_type(self, rng):
+        randomizer = UnaryEncoding(1.0, 12)
+        report = randomizer.randomize(5, rng)
+        assert report.shape == (12,)
+        assert set(np.unique(report)).issubset({0, 1})
+
+    def test_bit_probabilities(self):
+        randomizer = UnaryEncoding(2.0, 4)
+        half = math.exp(1.0)
+        assert randomizer.p == pytest.approx(half / (half + 1))
+        assert randomizer.q == pytest.approx(1 / (half + 1))
+
+    def test_privacy_at_most_epsilon(self):
+        randomizer = UnaryEncoding(1.2, 4)
+        worst = randomizer.verify_pure_dp(range(4))
+        assert worst <= 1.2 + 1e-9
+
+    def test_privacy_is_tight(self):
+        """The worst-case ratio should actually achieve epsilon (up to fp error)."""
+        randomizer = UnaryEncoding(1.2, 4)
+        worst = randomizer.verify_pure_dp(range(4))
+        assert worst == pytest.approx(1.2, rel=1e-6)
+
+    def test_log_prob_normalisation(self):
+        randomizer = UnaryEncoding(1.0, 3)
+        for x in range(3):
+            total = sum(randomizer.prob(x, report) for report in randomizer.report_space())
+            assert total == pytest.approx(1.0)
+
+    def test_unbiased_histogram(self, rng):
+        randomizer = UnaryEncoding(2.0, 6)
+        values = rng.integers(0, 6, size=4_000)
+        reports = np.stack([randomizer.randomize(int(v), rng) for v in values])
+        estimates = randomizer.unbiased_histogram(reports)
+        true = np.bincount(values, minlength=6)
+        tolerance = 5 * math.sqrt(4_000 * randomizer.estimator_variance_per_user)
+        assert np.abs(estimates - true).max() < tolerance
+
+    def test_report_space_none_for_large_domains(self):
+        assert UnaryEncoding(1.0, 32).report_space() is None
+
+    def test_rejects_bad_report_shape(self):
+        randomizer = UnaryEncoding(1.0, 4)
+        with pytest.raises(ValueError):
+            randomizer.log_prob(0, np.zeros(5))
+        with pytest.raises(ValueError):
+            randomizer.unbiased_histogram(np.zeros((3, 5)))
+
+
+class TestOptimizedUnaryEncoding:
+    def test_parameters(self):
+        randomizer = OptimizedUnaryEncoding(1.0, 8)
+        assert randomizer.p == pytest.approx(0.5)
+        assert randomizer.q == pytest.approx(1.0 / (math.e + 1.0))
+
+    def test_privacy_at_most_epsilon(self):
+        randomizer = OptimizedUnaryEncoding(0.9, 5)
+        assert randomizer.verify_pure_dp(range(5)) <= 0.9 + 1e-9
+
+    def test_variance_lower_than_sue(self):
+        """OUE's whole point: lower estimator variance at the same epsilon."""
+        epsilon = 1.0
+        sue = UnaryEncoding(epsilon, 16)
+        oue = OptimizedUnaryEncoding(epsilon, 16)
+        assert oue.estimator_variance_per_user < sue.estimator_variance_per_user
+
+    def test_oue_variance_formula(self):
+        epsilon = 1.5
+        oue = OptimizedUnaryEncoding(epsilon, 16)
+        expected = 4.0 * math.exp(epsilon) / (math.exp(epsilon) - 1.0) ** 2
+        assert oue.estimator_variance_per_user == pytest.approx(expected)
+
+    def test_unbiased_histogram(self, rng):
+        randomizer = OptimizedUnaryEncoding(1.5, 5)
+        values = rng.integers(0, 5, size=5_000)
+        reports = np.stack([randomizer.randomize(int(v), rng) for v in values])
+        estimates = randomizer.unbiased_histogram(reports)
+        true = np.bincount(values, minlength=5)
+        tolerance = 5 * math.sqrt(5_000 * randomizer.estimator_variance_per_user)
+        assert np.abs(estimates - true).max() < tolerance
+
+    def test_report_bits(self):
+        assert OptimizedUnaryEncoding(1.0, 20).report_bits == 20.0

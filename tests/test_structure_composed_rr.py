@@ -1,0 +1,129 @@
+"""Tests for the approximate composed randomized response (Theorem 5.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.structure.composed_rr import ApproximateComposedRandomizedResponse
+
+
+class TestConstruction:
+    def test_composed_epsilon_formula(self):
+        m = ApproximateComposedRandomizedResponse(num_bits=25, epsilon=0.1, beta=0.05)
+        expected = 6 * 0.1 * math.sqrt(25 * math.log(1 / 0.05))
+        assert m.composed_epsilon == pytest.approx(expected)
+        assert m.epsilon == pytest.approx(expected)
+
+    def test_shell_is_centred_on_expected_distance(self):
+        k, eps, beta = 32, 0.2, 0.05
+        m = ApproximateComposedRandomizedResponse(k, eps, beta)
+        low, high = m.shell_bounds
+        center = k / (math.exp(eps) + 1)
+        half = math.sqrt(k * math.log(2 / beta) / 2)
+        assert low == pytest.approx(center - half)
+        assert high == pytest.approx(center + half)
+
+    def test_theorem_conditions_checker(self):
+        # Tiny epsilon and a large k with moderate beta violate beta's cap or
+        # eps_tilde <= 1; the checker just needs to be consistent.
+        m = ApproximateComposedRandomizedResponse(16, 0.05, 0.05)
+        assert isinstance(m.theorem_conditions_hold(), bool)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ApproximateComposedRandomizedResponse(0, 0.1, 0.05)
+        with pytest.raises(ValueError):
+            ApproximateComposedRandomizedResponse(4, 0.0, 0.05)
+        with pytest.raises(ValueError):
+            ApproximateComposedRandomizedResponse(4, 0.1, 0.0)
+
+
+class TestDistribution:
+    def test_probabilities_sum_to_one_small_k(self):
+        m = ApproximateComposedRandomizedResponse(num_bits=8, epsilon=0.2, beta=0.1)
+        x = tuple([0] * 8)
+        total = sum(m.prob(x, report) for report in m.report_space())
+        assert total == pytest.approx(1.0)
+
+    def test_accuracy_conditioned_on_good_shell(self, rng):
+        """Conditioned on landing in the shell, M~(x) equals M(x) exactly; the
+        escape probability is at most beta."""
+        m = ApproximateComposedRandomizedResponse(num_bits=64, epsilon=0.1, beta=0.05)
+        assert m.escape_probability() <= 0.05 + 1e-12
+        assert m.tv_distance_to_composition() <= m.escape_probability() + 1e-12
+
+    def test_tv_distance_small(self):
+        m = ApproximateComposedRandomizedResponse(num_bits=32, epsilon=0.1, beta=0.05)
+        assert m.tv_distance_to_composition() < 0.05
+
+    def test_samples_match_distance_distribution(self, rng):
+        """Empirical Hamming-distance distribution of M~(x) matches Binomial
+        (conditioned on the shell, which holds with prob >= 1 - beta)."""
+        k, eps, beta = 40, 0.2, 0.05
+        m = ApproximateComposedRandomizedResponse(k, eps, beta)
+        x = np.zeros(k, dtype=np.int8)
+        flip = 1 / (math.exp(eps) + 1)
+        distances = [int(m.randomize(x, rng).sum()) for _ in range(2_000)]
+        mean = np.mean(distances)
+        assert abs(mean - k * flip) < 4 * math.sqrt(k * flip * (1 - flip) / 2_000) + k * beta
+
+    def test_compose_true_flip_rate(self, rng):
+        k, eps = 200, 0.5
+        m = ApproximateComposedRandomizedResponse(k, eps, 0.05)
+        x = np.zeros(k, dtype=np.int8)
+        sample = m.compose_true(x, rng)
+        flip_rate = sample.mean()
+        assert abs(flip_rate - 1 / (math.exp(eps) + 1)) < 0.1
+
+
+class TestPrivacy:
+    @pytest.mark.parametrize("k,eps,beta", [(16, 0.05, 0.05), (32, 0.1, 0.05),
+                                            (64, 0.05, 0.01), (8, 0.2, 0.1)])
+    def test_worst_case_loss_below_theorem_bound(self, k, eps, beta):
+        """The exact worst-case privacy loss (over all input pairs and outputs)
+        stays below the Theorem 5.1 guarantee 6 eps sqrt(k ln(1/beta))."""
+        m = ApproximateComposedRandomizedResponse(k, eps, beta)
+        worst = m.worst_case_privacy_loss()
+        assert worst <= m.composed_epsilon + 1e-9
+
+    def test_loss_far_below_basic_composition(self):
+        """The whole point of Section 5: the loss is ~sqrt(k) eps, not k eps."""
+        k, eps, beta = 64, 0.05, 0.01
+        m = ApproximateComposedRandomizedResponse(k, eps, beta)
+        assert m.worst_case_privacy_loss() < k * eps / 2
+
+    def test_loss_monotone_in_group_distance(self):
+        m = ApproximateComposedRandomizedResponse(16, 0.1, 0.05)
+        close = m.worst_case_privacy_loss(group_distance=1)
+        far = m.worst_case_privacy_loss(group_distance=16)
+        assert close <= far + 1e-12
+
+    def test_exhaustive_privacy_check_small_k(self):
+        """For small k, enumerate all reports and verify pure DP at the
+        composed epsilon between two specific inputs."""
+        k = 6
+        m = ApproximateComposedRandomizedResponse(k, 0.15, 0.1)
+        x = tuple([0] * k)
+        x_prime = tuple([1] * k)
+        worst = 0.0
+        for report in m.report_space():
+            loss = abs(m.log_prob(x, report) - m.log_prob(x_prime, report))
+            worst = max(worst, loss)
+        assert worst <= m.composed_epsilon + 1e-9
+        assert worst == pytest.approx(m.worst_case_privacy_loss(), abs=1e-9)
+
+
+class TestInterface:
+    def test_report_bits(self):
+        assert ApproximateComposedRandomizedResponse(12, 0.1, 0.05).report_bits == 12.0
+
+    def test_large_k_has_no_enumerable_space(self):
+        assert ApproximateComposedRandomizedResponse(64, 0.1, 0.05).report_space() is None
+
+    def test_rejects_bad_bit_vectors(self, rng):
+        m = ApproximateComposedRandomizedResponse(4, 0.1, 0.05)
+        with pytest.raises(ValueError):
+            m.randomize([0, 1, 2, 0], rng)
+        with pytest.raises(ValueError):
+            m.randomize([0, 1], rng)

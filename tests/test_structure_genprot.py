@@ -1,0 +1,121 @@
+"""Tests for the GenProt approximate-to-pure transformation (Theorem 6.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.randomizers.laplace import GaussianHistogramRandomizer
+from repro.randomizers.randomized_response import BinaryRandomizedResponse
+from repro.structure.genprot import GenProt
+
+
+class TestParameters:
+    def test_transformed_epsilon(self):
+        base = BinaryRandomizedResponse(0.2)
+        assert GenProt(base).transformed_epsilon == pytest.approx(2.0)
+
+    def test_candidate_derivation(self):
+        base = BinaryRandomizedResponse(0.1)
+        genprot = GenProt(base, beta=0.05)
+        derived = genprot.candidates_for(10_000)
+        assert derived >= genprot.minimum_candidates()
+        assert derived >= 2 * math.log(2 * 10_000 / 0.05) - 1
+
+    def test_explicit_candidates_respected(self):
+        base = BinaryRandomizedResponse(0.1)
+        assert GenProt(base, num_candidates=17).candidates_for(10**6) == 17
+
+    def test_report_bits_are_loglog_scale(self):
+        base = BinaryRandomizedResponse(0.1)
+        genprot = GenProt(base, beta=0.05)
+        bits = genprot.report_bits(1_000_000)
+        # T = O(log n) so the report is O(log log n) bits - single digits here.
+        assert bits <= 8
+
+    def test_utility_bound_small_for_tiny_delta(self):
+        base = GaussianHistogramRandomizer(0.2, 1e-9, 4)
+        genprot = GenProt(base, beta=0.05)
+        assert genprot.utility_bound(1_000) < 0.1
+
+    def test_theorem_conditions(self):
+        ok = GenProt(BinaryRandomizedResponse(0.2), beta=0.05)
+        assert ok.theorem_conditions_hold(1_000)
+        too_big_eps = GenProt(BinaryRandomizedResponse(0.5), beta=0.05)
+        assert not too_big_eps.theorem_conditions_hold(1_000)
+
+    def test_rejects_non_randomizer(self):
+        with pytest.raises(TypeError):
+            GenProt(object())
+
+
+class TestPrivacy:
+    def test_index_privacy_within_bound_rr_base(self):
+        base = BinaryRandomizedResponse(0.2)
+        genprot = GenProt(base, beta=0.05)
+        loss = genprot.empirical_index_privacy(0, 1, num_trials=4_000, rng=0)
+        # Theorem 6.1 guarantees 10 eps = 2.0; Monte-Carlo noise stays well below.
+        assert loss < genprot.transformed_epsilon
+
+    def test_index_privacy_within_bound_gaussian_base(self):
+        base = GaussianHistogramRandomizer(0.2, 1e-4, 4)
+        genprot = GenProt(base, beta=0.05)
+        loss = genprot.empirical_index_privacy(0, 1, num_trials=3_000, rng=1)
+        assert loss < genprot.transformed_epsilon
+
+    def test_clipping_keeps_probabilities_in_range(self, rng):
+        """Internal check: the rejection probabilities are clamped into
+        [e^{-2eps}/2, e^{2eps}/2] (or reset to 1/2), which is what makes the
+        transformed protocol purely private."""
+        base = GaussianHistogramRandomizer(0.25, 1e-3, 3)
+        genprot = GenProt(base, num_candidates=12)
+        report = genprot.transform_user(1, rng, num_candidates=12)
+        assert 0 <= report.chosen_index < 12
+
+
+class TestUtility:
+    def test_surrogate_reports_distributed_like_original_rr(self):
+        """For a binary RR base the surrogate report distribution must match
+        A(x) up to the Theorem 6.1 TV bound plus sampling noise."""
+        epsilon = 0.25
+        base = BinaryRandomizedResponse(epsilon)
+        genprot = GenProt(base, beta=0.01)
+        num_users = 4_000
+        values = [1] * num_users
+        reports = genprot.surrogate_reports(values, rng=2)
+        ones = sum(int(r) for r in reports)
+        expected = num_users * base.keep_probability
+        sampling_slack = 4 * math.sqrt(num_users * 0.25)
+        tv_slack = num_users * genprot.utility_bound(num_users)
+        assert abs(ones - expected) < sampling_slack + tv_slack
+
+    def test_counting_through_transformation(self):
+        """End-to-end: estimate a count from the transformed reports and check
+        it is as accurate as the original protocol would be."""
+        epsilon = 0.25
+        base = BinaryRandomizedResponse(epsilon)
+        genprot = GenProt(base, beta=0.01)
+        num_users, num_ones = 4_000, 2_400
+        values = [1] * num_ones + [0] * (num_users - num_ones)
+        reports = np.array(genprot.surrogate_reports(values, rng=3), dtype=np.int64)
+        estimate = base.unbiased_count(reports)
+        tolerance = 5 * math.sqrt(num_users * base.estimator_variance_per_user)
+        assert abs(estimate - num_ones) < tolerance
+
+    def test_run_returns_one_report_per_user(self):
+        base = BinaryRandomizedResponse(0.2)
+        genprot = GenProt(base, num_candidates=8)
+        reports = genprot.run([0, 1, 0, 1], rng=4)
+        assert len(reports) == 4
+        for report in reports:
+            assert report.selected_report in (0, 1)
+            assert 0 <= report.chosen_index < 8
+
+    def test_acceptance_is_common(self):
+        """With T = O(log n) candidates the no-acceptance event (H_i empty) is
+        rare - that is the (1/2 + eps)^T term of the utility bound."""
+        base = BinaryRandomizedResponse(0.2)
+        genprot = GenProt(base, beta=0.01)
+        reports = genprot.run([1] * 300, rng=5)
+        accepted = sum(1 for r in reports if r.accepted)
+        assert accepted >= 290

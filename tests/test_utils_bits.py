@@ -1,0 +1,111 @@
+"""Tests for repro.utils.bits: integer/bit/symbol conversions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bits import (
+    bits_needed,
+    bits_to_int,
+    hamming_distance,
+    int_to_bits,
+    int_to_symbols,
+    next_power_of_two,
+    symbols_to_int,
+)
+
+
+class TestBitsNeeded:
+    def test_small_values(self):
+        assert bits_needed(1) == 1
+        assert bits_needed(2) == 1
+        assert bits_needed(3) == 2
+        assert bits_needed(256) == 8
+        assert bits_needed(257) == 9
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            bits_needed(0)
+        with pytest.raises(ValueError):
+            bits_needed(-5)
+
+
+class TestBitConversions:
+    def test_round_trip_explicit(self):
+        assert int_to_bits(13, 4) == [1, 0, 1, 1]
+        assert bits_to_int([1, 0, 1, 1]) == 13
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2, 1])
+
+    @given(st.integers(min_value=0, max_value=2**40 - 1))
+    def test_round_trip_property(self, value):
+        bits = int_to_bits(value, 40)
+        assert bits_to_int(bits) == value
+
+
+class TestSymbolConversions:
+    def test_round_trip_explicit(self):
+        symbols = int_to_symbols(1000, 4, 10)
+        assert symbols == [0, 0, 0, 1]
+        assert symbols_to_int(symbols, 10) == 1000
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            int_to_symbols(1000, 2, 10)
+
+    def test_rejects_bad_symbol(self):
+        with pytest.raises(ValueError):
+            symbols_to_int([11], 10)
+
+    def test_rejects_small_alphabet(self):
+        with pytest.raises(ValueError):
+            int_to_symbols(3, 4, 1)
+
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=2, max_value=97))
+    def test_round_trip_property(self, value, alphabet):
+        num_symbols = 1
+        while alphabet**num_symbols <= value:
+            num_symbols += 1
+        symbols = int_to_symbols(value, num_symbols, alphabet)
+        assert all(0 <= s < alphabet for s in symbols)
+        assert symbols_to_int(symbols, alphabet) == value
+
+
+class TestHammingDistance:
+    def test_basic(self):
+        assert hamming_distance([1, 0, 1], [1, 1, 1]) == 1
+        assert hamming_distance([0, 0], [0, 0]) == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_distance([1], [1, 0])
+
+
+class TestNextPowerOfTwo:
+    def test_values(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(2) == 2
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(1023) == 1024
+        assert next_power_of_two(1024) == 1024
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+    @given(st.integers(min_value=1, max_value=2**30))
+    def test_property(self, value):
+        power = next_power_of_two(value)
+        assert power >= value
+        assert power & (power - 1) == 0
+        assert power < 2 * value

@@ -1,0 +1,86 @@
+"""Tests for repro.utils.rng: generator coercion and child spawning."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    as_generator,
+    bernoulli,
+    choice_weighted,
+    random_odd_integer,
+    sample_distinct,
+    spawn_generators,
+)
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, 10)
+        b = as_generator(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(5)
+        assert isinstance(as_generator(seq), np.random.Generator)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            as_generator("not a seed")
+
+
+class TestSpawnGenerators:
+    def test_count_and_independence(self):
+        children = spawn_generators(0, 3)
+        assert len(children) == 3
+        draws = [g.integers(0, 2**32) for g in children]
+        assert len(set(draws)) == 3
+
+    def test_deterministic_given_seed(self):
+        a = [g.integers(0, 1000) for g in spawn_generators(9, 4)]
+        b = [g.integers(0, 1000) for g in spawn_generators(9, 4)]
+        assert a == b
+
+    def test_zero_children(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+
+class TestSamplingHelpers:
+    def test_random_odd_integer_is_odd(self):
+        for seed in range(10):
+            assert random_odd_integer(seed, 16) % 2 == 1
+
+    def test_sample_distinct(self):
+        values = sample_distinct(3, 0, 100, 20)
+        assert len(set(values.tolist())) == 20
+        assert values.min() >= 0 and values.max() < 100
+
+    def test_sample_distinct_range_too_small(self):
+        with pytest.raises(ValueError):
+            sample_distinct(3, 0, 5, 10)
+
+    def test_bernoulli_scalar_and_vector(self):
+        assert bernoulli(0, 1.0) == 1
+        assert bernoulli(0, 0.0) == 0
+        draws = bernoulli(1, 0.5, size=1000)
+        assert draws.shape == (1000,)
+        assert 300 < draws.sum() < 700
+
+    def test_choice_weighted_prefers_heavy_weight(self):
+        gen = np.random.default_rng(2)
+        picks = [choice_weighted(gen, ["a", "b"], [0.99, 0.01]) for _ in range(200)]
+        assert picks.count("a") > 150
+
+    def test_choice_weighted_rejects_zero_weights(self):
+        with pytest.raises(ValueError):
+            choice_weighted(0, ["a"], [0.0])

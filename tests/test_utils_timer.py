@@ -1,0 +1,59 @@
+"""Tests for repro.utils.timer: Timer and ResourceMeter accounting."""
+
+import pytest
+
+from repro.utils.timer import ResourceMeter, Timer
+
+
+class TestTimer:
+    def test_measures_non_negative_time(self):
+        with Timer() as timer:
+            total = sum(range(10_000))
+        assert total == sum(range(10_000))
+        assert timer.elapsed >= 0.0
+
+
+class TestResourceMeter:
+    def test_accumulation(self):
+        meter = ResourceMeter()
+        meter.add_server_time(0.5)
+        meter.add_server_time(0.25)
+        meter.add_user_time(1.0)
+        meter.add_communication(100)
+        meter.add_communication(28)
+        meter.add_public_randomness(64)
+        meter.observe_server_memory(10)
+        meter.observe_server_memory(5)  # smaller value must not shrink the peak
+        meter.bump("decodes")
+        meter.bump("decodes", 2)
+
+        assert meter.server_time_s == pytest.approx(0.75)
+        assert meter.user_time_s == pytest.approx(1.0)
+        assert meter.communication_bits == 128
+        assert meter.public_randomness_bits == 64
+        assert meter.server_memory_items == 10
+        assert meter.counters["decodes"] == 3
+
+    def test_per_user_quantities(self):
+        meter = ResourceMeter()
+        meter.add_communication(1000)
+        meter.add_user_time(2.0)
+        assert meter.per_user_communication_bits(10) == pytest.approx(100.0)
+        assert meter.per_user_time_s(10) == pytest.approx(0.2)
+
+    def test_per_user_rejects_zero_users(self):
+        meter = ResourceMeter()
+        with pytest.raises(ValueError):
+            meter.per_user_communication_bits(0)
+        with pytest.raises(ValueError):
+            meter.per_user_time_s(0)
+
+    def test_as_dict_contains_counters(self):
+        meter = ResourceMeter()
+        meter.bump("lists_built", 4)
+        flattened = meter.as_dict()
+        assert flattened["lists_built"] == 4
+        assert set(flattened) >= {
+            "server_time_s", "user_time_s", "communication_bits",
+            "public_randomness_bits", "server_memory_items",
+        }

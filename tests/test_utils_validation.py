@@ -1,0 +1,107 @@
+"""Tests for repro.utils.validation."""
+
+import math
+
+import pytest
+
+from repro.utils.validation import (
+    check_delta,
+    check_domain_element,
+    check_epsilon,
+    check_in_range,
+    check_nonnegative_int,
+    check_optional_positive_int,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_same_length,
+    coalesce,
+)
+
+
+class TestCheckProbability:
+    def test_accepts_unit_interval(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+        assert check_probability(0.5) == 0.5
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_probability(-0.1)
+        with pytest.raises(ValueError):
+            check_probability(1.1)
+
+    def test_endpoint_exclusion(self):
+        with pytest.raises(ValueError):
+            check_probability(0.0, allow_zero=False)
+        with pytest.raises(ValueError):
+            check_probability(1.0, allow_one=False)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_probability(math.nan)
+
+
+class TestNumericChecks:
+    def test_check_positive(self):
+        assert check_positive(2.5) == 2.5
+        for bad in (0, -1, math.inf, math.nan):
+            with pytest.raises(ValueError):
+                check_positive(bad)
+
+    def test_check_positive_int(self):
+        assert check_positive_int(3) == 3
+        for bad in (0, -2, 2.5):
+            with pytest.raises(ValueError):
+                check_positive_int(bad)
+
+    def test_check_nonnegative_int(self):
+        assert check_nonnegative_int(0) == 0
+        with pytest.raises(ValueError):
+            check_nonnegative_int(-1)
+
+    def test_check_epsilon(self):
+        assert check_epsilon(0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_epsilon(0)
+
+    def test_check_delta(self):
+        assert check_delta(0.0) == 0.0
+        assert check_delta(1e-6) == 1e-6
+        with pytest.raises(ValueError):
+            check_delta(1.0)
+        with pytest.raises(ValueError):
+            check_delta(-1e-9)
+
+    def test_check_in_range(self):
+        assert check_in_range(0.5, 0, 1) == 0.5
+        with pytest.raises(ValueError):
+            check_in_range(1.5, 0, 1)
+
+
+class TestDomainChecks:
+    def test_check_domain_element(self):
+        assert check_domain_element(3, 10) == 3
+        with pytest.raises(ValueError):
+            check_domain_element(10, 10)
+        with pytest.raises(ValueError):
+            check_domain_element(-1, 10)
+        with pytest.raises(ValueError):
+            check_domain_element(1.5, 10)
+
+    def test_check_same_length(self):
+        check_same_length([1, 2], [3, 4])
+        with pytest.raises(ValueError):
+            check_same_length([1], [1, 2])
+
+
+class TestMisc:
+    def test_coalesce(self):
+        assert coalesce(None, 5) == 5
+        assert coalesce(0, 5) == 0
+
+    def test_check_optional_positive_int(self):
+        assert check_optional_positive_int(None, "x") is None
+        assert check_optional_positive_int(4, "x") == 4
+        with pytest.raises(ValueError):
+            check_optional_positive_int(0, "x")

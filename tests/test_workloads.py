@@ -1,0 +1,141 @@
+"""Tests for synthetic workloads and string-domain datasets."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.datasets import (
+    StringDomain,
+    synthetic_url_dataset,
+    synthetic_word_dataset,
+)
+from repro.workloads.distributions import (
+    planted_workload,
+    uniform_workload,
+    zipf_workload,
+)
+
+
+class TestUniformWorkload:
+    def test_shape_and_range(self):
+        values = uniform_workload(5_000, 1 << 16, rng=0)
+        assert values.shape == (5_000,)
+        assert values.min() >= 0 and values.max() < (1 << 16)
+
+    def test_no_heavy_hitters(self):
+        values = uniform_workload(5_000, 1 << 16, rng=1)
+        counts = np.bincount(values, minlength=1 << 16)
+        assert counts.max() < 20
+
+
+class TestZipfWorkload:
+    def test_shape_and_domain(self):
+        values = zipf_workload(10_000, 1 << 20, rng=0)
+        assert values.shape == (10_000,)
+        assert values.min() >= 0 and values.max() < (1 << 20)
+
+    def test_is_skewed(self):
+        values = zipf_workload(20_000, 1 << 20, exponent=1.5, rng=1)
+        _, counts = np.unique(values, return_counts=True)
+        assert counts.max() > 20_000 / 50  # the head is genuinely heavy
+
+    def test_support_limits_distinct_values(self):
+        values = zipf_workload(5_000, 1 << 20, support=100, rng=2)
+        assert np.unique(values).size <= 100
+
+    def test_unshuffled_ids_are_low_integers(self):
+        values = zipf_workload(1_000, 1 << 20, support=50, shuffle_ids=False, rng=3)
+        assert values.max() < 50
+
+    def test_small_domain(self):
+        values = zipf_workload(1_000, 64, support=1_000, rng=4)
+        assert values.max() < 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_workload(100, 1 << 10, exponent=0.0)
+
+
+class TestPlantedWorkload:
+    def test_frequencies_match_requested_fractions(self):
+        workload = planted_workload(10_000, 1 << 20, [0.2, 0.1],
+                                    heavy_elements=[5, 9], rng=0)
+        assert workload.num_users == 10_000
+        assert workload.true_frequency(5) == 2_000
+        assert workload.true_frequency(9) == 1_000
+        assert workload.as_dict() == {5: 2_000, 9: 1_000}
+
+    def test_heavy_elements_sorted_by_frequency(self):
+        workload = planted_workload(10_000, 1 << 20, [0.1, 0.3],
+                                    heavy_elements=[7, 8], rng=1)
+        assert workload.heavy_elements == (8, 7)
+        assert workload.heavy_frequencies == (3_000, 1_000)
+
+    def test_random_heavy_elements_are_distinct(self):
+        workload = planted_workload(1_000, 1 << 10, [0.1] * 5, rng=2)
+        assert len(set(workload.heavy_elements)) == 5
+
+    def test_zipf_background(self):
+        workload = planted_workload(5_000, 1 << 16, [0.2], background="zipf", rng=3)
+        assert workload.values.shape == (5_000,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            planted_workload(100, 1 << 10, [0.7, 0.5])
+        with pytest.raises(ValueError):
+            planted_workload(100, 1 << 10, [0.2], heavy_elements=[1, 2])
+        with pytest.raises(ValueError):
+            planted_workload(100, 1 << 10, [0.2], background="exponential")
+
+
+class TestStringDomain:
+    def test_round_trip(self):
+        domain = StringDomain(alphabet="abc", max_length=5)
+        for text in ["", "a", "abc", "cabba"]:
+            assert domain.decode(domain.encode(text)) == text
+
+    def test_distinct_strings_distinct_codes(self):
+        domain = StringDomain(alphabet="ab", max_length=4)
+        strings = ["", "a", "b", "aa", "ab", "ba", "bb", "abab"]
+        codes = {domain.encode(s) for s in strings}
+        assert len(codes) == len(strings)
+
+    def test_domain_size(self):
+        domain = StringDomain(alphabet="ab", max_length=3)
+        assert domain.domain_size == 27
+        for value in range(domain.domain_size):
+            try:
+                text = domain.decode(value)
+            except ValueError:
+                continue
+            assert domain.encode(text) == value
+
+    def test_length_limit(self):
+        domain = StringDomain(alphabet="ab", max_length=2)
+        with pytest.raises(ValueError):
+            domain.encode("aaa")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StringDomain(alphabet="aa", max_length=3)
+        with pytest.raises(ValueError):
+            StringDomain(alphabet="ab", max_length=0)
+
+
+class TestSyntheticDatasets:
+    def test_url_dataset(self):
+        values, domain, popular = synthetic_url_dataset(5_000, num_popular=4, rng=0)
+        assert values.shape == (5_000,)
+        assert len(popular) == 4
+        assert sum(popular.values()) > 0.4 * 5_000
+        for url, count in popular.items():
+            assert np.count_nonzero(values == domain.encode(url)) == count
+
+    def test_word_dataset(self):
+        values, domain, trending = synthetic_word_dataset(
+            4_000, new_words=["covfefe", "rizz"], adoption=0.5, rng=1)
+        assert values.shape == (4_000,)
+        assert set(trending) == {"covfefe", "rizz"}
+        total = sum(trending.values())
+        assert abs(total - 2_000) < 10
+        for word, count in trending.items():
+            assert np.count_nonzero(values == domain.encode(word)) == count
