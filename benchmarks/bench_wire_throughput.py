@@ -1,0 +1,90 @@
+"""Benchmark W1: wire-API ingestion throughput versus the legacy one-shot path.
+
+Measures, per protocol, how many already-encoded reports per second a single
+``ServerAggregator.absorb_batch`` ingests, next to the wall-clock of the
+legacy ``collect()`` simulation (which additionally pays for client-side
+encoding and finalization).  Server-side ingestion is the quantity a sharded
+deployment scales by adding workers, so future PRs can track it here.
+
+The invariant asserted below is the acceptance bar of the wire redesign:
+ingestion alone is never slower than the full legacy simulation.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import report, run_once
+
+from repro.frequency.count_mean_sketch import CountMeanSketchOracle
+from repro.frequency.explicit import ExplicitHistogramOracle
+from repro.frequency.hashtogram import HashtogramOracle
+from repro.protocol import (
+    CountMeanSketchParams,
+    ExplicitHistogramParams,
+    HashtogramParams,
+)
+
+NUM_USERS = 100_000
+SEED = 0
+
+
+def _cases():
+    return [
+        ("explicit/hadamard", 1 << 10,
+         lambda: ExplicitHistogramOracle(1 << 10, 1.0),
+         lambda: ExplicitHistogramParams(1 << 10, 1.0)),
+        ("hashtogram", 1 << 20,
+         lambda: HashtogramOracle(1 << 20, 1.0, num_buckets=256),
+         lambda: HashtogramParams.create(1 << 20, 1.0, num_buckets=256,
+                                         rng=SEED)),
+        ("count_mean_sketch", 1 << 20,
+         lambda: CountMeanSketchOracle(1 << 20, 1.0, num_hashes=16,
+                                       num_buckets=256),
+         lambda: CountMeanSketchParams.create(1 << 20, 1.0, num_hashes=16,
+                                              num_buckets=256, rng=SEED)),
+    ]
+
+
+def _measure():
+    rows = []
+    rng = np.random.default_rng(SEED)
+    for name, domain, oracle_factory, params_factory in _cases():
+        values = rng.integers(0, domain, size=NUM_USERS)
+
+        oracle = oracle_factory()
+        start = time.perf_counter()
+        oracle.collect(values, np.random.default_rng(1))
+        collect_s = time.perf_counter() - start
+
+        params = params_factory()
+        encode_start = time.perf_counter()
+        batch = params.make_encoder().encode_batch(values,
+                                                   np.random.default_rng(1))
+        encode_s = time.perf_counter() - encode_start
+
+        aggregator = params.make_aggregator()
+        start = time.perf_counter()
+        aggregator.absorb_batch(batch)
+        absorb_s = time.perf_counter() - start
+
+        rows.append({
+            "protocol": name,
+            "num_users": NUM_USERS,
+            "collect_s": round(collect_s, 4),
+            "encode_s": round(encode_s, 4),
+            "absorb_s": round(absorb_s, 4),
+            "absorb_reports_per_s": int(NUM_USERS / max(absorb_s, 1e-9)),
+            "report_bits": round(params.report_bits, 1),
+        })
+    return rows
+
+
+def test_wire_throughput(benchmark):
+    rows = run_once(benchmark, _measure)
+    report(benchmark, "W1: absorb_batch ingestion vs legacy collect", rows)
+    for row in rows:
+        # Ingestion of pre-encoded reports must not be slower than the legacy
+        # one-shot simulation (which encodes, ingests, and finalizes).
+        assert row["absorb_s"] <= row["collect_s"], row
+        assert row["absorb_reports_per_s"] > 0

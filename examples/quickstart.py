@@ -1,17 +1,32 @@
 """Quickstart: locally private heavy hitters in a dozen lines.
 
 Scenario: 60,000 users each hold one item from a domain of a million possible
-values; a handful of items are genuinely popular.  The untrusted server runs
-``PrivateExpanderSketch`` — every user sends a single differentially private
-report (a few dozen bits) and the server recovers the popular items and their
-approximate frequencies without ever seeing anyone's true value.
+values; a handful of items are genuinely popular.  The untrusted server never
+sees anyone's true value:
+
+1. the server *publishes* serializable public parameters (hash seeds, bucket
+   counts, ε) — ``PublicParams.to_dict()`` is the payload clients download;
+2. every user runs a *stateless client encoder* on her own device and ships a
+   single differentially private report (a few dozen bits);
+3. the server *absorbs* the report stream into a compact aggregate, and
+   *finalizes* it into frequency estimates for the recovered popular items.
+
+The one-shot ``protocol.run(values)`` used below is the simulation
+convenience that performs exactly those three steps in-process (see
+``examples/sharded_aggregation.py`` for driving the wire API explicitly with
+K shard workers).
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import PrivateExpanderSketch, planted_workload, score_heavy_hitters
+from repro import (
+    HashtogramParams,
+    PrivateExpanderSketch,
+    planted_workload,
+    score_heavy_hitters,
+)
 
 NUM_USERS = 60_000
 DOMAIN_SIZE = 1 << 20      # |X| = ~1M possible items
@@ -30,6 +45,19 @@ def main() -> None:
     )
     print(f"planted heavy hitters (item -> true count): {workload.as_dict()}")
 
+    # ----- the client/server wire API, in miniature --------------------------------
+    # The same decomposition underlies every protocol in the library: the
+    # server publishes parameters, each client encodes one report, the server
+    # aggregates.  Here: one user's Hashtogram report, end to end.
+    params = HashtogramParams.create(DOMAIN_SIZE, EPSILON, num_buckets=256,
+                                     rng=0)
+    payload = params.to_dict()                      # ship this to clients
+    encoder = HashtogramParams.from_dict(payload).make_encoder()
+    report = encoder.encode(workload.values[0], rng=42, user_index=0)
+    print(f"\none user's wire report ({params.report_bits:.0f} bits): "
+          f"{report.to_dict()}")
+
+    # ----- full protocol, one-shot simulation ---------------------------------------
     protocol = PrivateExpanderSketch(domain_size=DOMAIN_SIZE, epsilon=EPSILON,
                                      beta=BETA)
     result = protocol.run(workload.values, rng=1)

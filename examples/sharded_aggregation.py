@@ -1,0 +1,96 @@
+"""Sharded server-side aggregation through the wire API.
+
+A production LDP collector does not see the population as one array: millions
+of client reports arrive interleaved at whatever ingestion worker happens to
+be closest, and the workers' partial aggregates are merged later.  This
+example drives exactly that topology for the Hashtogram frequency oracle and
+for the full PrivateExpanderSketch heavy-hitters protocol:
+
+1. the server samples public parameters once and publishes ``to_dict()``;
+2. clients encode their reports (here: one vectorized ``encode_batch`` call,
+   standing in for millions of independent ``encode`` calls);
+3. the report stream is scattered across K shard aggregators;
+4. shard states are merged — the merge is commutative, associative, and
+   *exact* (integer arithmetic), so the merged estimate equals single-server
+   aggregation bit for bit;
+5. ``finalize()`` turns the merged aggregate into a fitted estimator.
+
+Run with::
+
+    python examples/sharded_aggregation.py
+"""
+
+import numpy as np
+
+from repro import (
+    HashtogramParams,
+    PrivateExpanderSketch,
+    merge_aggregators,
+    planted_workload,
+)
+
+NUM_USERS = 40_000
+DOMAIN_SIZE = 1 << 20
+EPSILON = 4.0
+NUM_SHARDS = 4
+
+
+def sharded_frequency_oracle(workload) -> None:
+    print(f"--- Hashtogram over {NUM_SHARDS} shards ---")
+    params = HashtogramParams.create(DOMAIN_SIZE, EPSILON, num_buckets=256,
+                                     rng=0)
+    payload = params.to_dict()                       # published to clients
+    print(f"published parameters: {len(str(payload))} serialized chars, "
+          f"{params.report_bits:.0f} bits per report")
+
+    # Clients encode.  In a real deployment every user calls encode() on her
+    # own device; encode_batch is the simulation of those n independent calls.
+    encoder = HashtogramParams.from_dict(payload).make_encoder()
+    batch = encoder.encode_batch(workload.values, rng=1)
+
+    # Reports land on K independent ingestion workers in arbitrary chunks.
+    shards = [params.make_aggregator() for _ in range(NUM_SHARDS)]
+    for shard, part in zip(shards, batch.split(NUM_SHARDS)):
+        shard.absorb_batch(part)
+
+    # Merging is exact: compare against one server absorbing everything.
+    merged = merge_aggregators(shards)
+    single = params.make_aggregator().absorb_batch(batch)
+    queries = list(workload.heavy_elements) + [12_345]
+    sharded_estimates = merged.finalize().estimate_many(queries)
+    single_estimates = single.finalize().estimate_many(queries)
+    assert np.array_equal(sharded_estimates, single_estimates)
+    print("merged K-shard aggregate == single-server aggregate (bit for bit)")
+
+    for item, estimate in zip(queries, sharded_estimates):
+        print(f"  item {item:>8d}: estimate = {estimate:9.1f}   "
+              f"true = {workload.true_frequency(item)}")
+
+
+def sharded_heavy_hitters(workload) -> None:
+    print(f"\n--- PrivateExpanderSketch over {NUM_SHARDS} shards ---")
+    protocol = PrivateExpanderSketch(domain_size=DOMAIN_SIZE, epsilon=EPSILON)
+    wire = protocol.public_params(NUM_USERS, rng=2)
+
+    batch = wire.make_encoder().encode_batch(workload.values, rng=3)
+    shards = [wire.make_aggregator() for _ in range(NUM_SHARDS)]
+    for shard, part in zip(shards, batch.split(NUM_SHARDS)):
+        shard.absorb_batch(part)
+    result = merge_aggregators(shards).finalize()
+
+    print(f"recovered {result.list_size} candidates; top 5:")
+    for item, estimate in result.top(5):
+        print(f"  item {item:>8d}: estimate = {estimate:9.0f}   "
+              f"true = {workload.true_frequency(item)}")
+
+
+def main() -> None:
+    workload = planted_workload(num_users=NUM_USERS, domain_size=DOMAIN_SIZE,
+                                heavy_fractions=[0.3, 0.2, 0.12], rng=7)
+    print(f"planted heavy hitters: {workload.as_dict()}\n")
+    sharded_frequency_oracle(workload)
+    sharded_heavy_hitters(workload)
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,9 @@ response, and a generic approximate-to-pure transformation.
 This package implements all of it:
 
 ========================  =====================================================
+``repro.protocol``        Client/server wire API: serializable ``PublicParams``,
+                          stateless ``ClientEncoder``, mergeable
+                          ``ServerAggregator`` for every protocol below
 ``repro.core``            PrivateExpanderSketch (Section 3.3) and its parameters
 ``repro.frequency``       Hashtogram frequency oracles (Theorems 3.7/3.8)
 ``repro.randomizers``     Local randomizers (RR, unary, RAPPOR, Hadamard, ...)
@@ -25,6 +28,42 @@ This package implements all of it:
 ``repro.workloads``       Synthetic Zipf / planted / URL / word workloads
 ``repro.analysis``        Concentration bounds, Table 1 formulas, HH metrics
 ========================  =====================================================
+
+Deployment model
+----------------
+
+The local model is client/server by construction, and the primary API mirrors
+that.  A deployment has three roles:
+
+1. **Server (setup).** Publish serializable public parameters — hash seeds,
+   bucket counts, ε, the repetition-assignment policy::
+
+       from repro import HashtogramParams
+       params = HashtogramParams.create(domain_size=1 << 20, epsilon=1.0,
+                                        num_buckets=256, rng=0)
+       payload = params.to_dict()          # JSON-safe; ship to every client
+
+2. **Clients (encode).** Each of the n users rebuilds the parameters, runs the
+   stateless encoder on her own device, and ships one short report::
+
+       encoder = HashtogramParams.from_dict(payload).make_encoder()
+       report = encoder.encode(value, rng)          # a few bits on the wire
+
+3. **Server (aggregate + estimate).** Any number of shard workers ``absorb``
+   reports as they arrive; shard states ``merge`` commutatively and
+   associatively (exact integer arithmetic, so K shards reproduce one server
+   bit for bit); ``finalize()`` debiases into a fitted oracle::
+
+       from repro import merge_aggregators
+       shards = [params.make_aggregator() for _ in range(4)]
+       ...                                           # shards absorb reports
+       oracle = merge_aggregators(shards).finalize()
+       oracle.estimate(x)
+
+The one-shot ``FrequencyOracle.collect(values)`` and
+``HeavyHitterProtocol.run(values)`` entry points remain as simulation
+conveniences, implemented exactly as ``encode_batch → absorb_batch →
+finalize`` on this wire API.
 
 Quickstart::
 
@@ -43,6 +82,20 @@ from repro.core import (
     ProtocolParameters,
     HeavyHitterProtocol,
     HeavyHitterResult,
+)
+from repro.protocol import (
+    ClientEncoder,
+    CountMeanSketchParams,
+    ExpanderSketchParams,
+    ExplicitHistogramParams,
+    HashtogramParams,
+    PublicParams,
+    RapporParams,
+    Report,
+    ReportBatch,
+    ServerAggregator,
+    SingleHashParams,
+    merge_aggregators,
 )
 from repro.frequency import (
     CountMeanSketchOracle,
@@ -80,6 +133,18 @@ __all__ = [
     "ProtocolParameters",
     "HeavyHitterProtocol",
     "HeavyHitterResult",
+    "PublicParams",
+    "ClientEncoder",
+    "ServerAggregator",
+    "Report",
+    "ReportBatch",
+    "merge_aggregators",
+    "ExplicitHistogramParams",
+    "HashtogramParams",
+    "CountMeanSketchParams",
+    "RapporParams",
+    "ExpanderSketchParams",
+    "SingleHashParams",
     "ExplicitHistogramOracle",
     "HashtogramOracle",
     "CountMeanSketchOracle",

@@ -22,6 +22,10 @@ import numpy as np
 
 def true_frequencies(data: Sequence[int]) -> Dict[int, int]:
     """Exact multiplicities ``f_S(x)`` of every element appearing in ``data``."""
+    arr = np.asarray(data)
+    if arr.dtype.kind in "iu" and arr.ndim == 1:
+        elements, counts = np.unique(arr, return_counts=True)
+        return {int(x): int(c) for x, c in zip(elements, counts)}
     return dict(Counter(int(x) for x in data))
 
 
@@ -108,32 +112,42 @@ def score_heavy_hitters(estimates: Mapping[int, float], data: Sequence[int],
     )
 
 
+def query_errors(oracle_estimates: Mapping[int, float], data: Sequence[int],
+                 query_set: Iterable[int]) -> np.ndarray:
+    """Vectorized absolute errors of an estimate table over a query set.
+
+    The estimate table is anything mapping elements to estimates — a plain
+    dict, a :class:`~repro.core.results.HeavyHitterResult`'s ``estimates``,
+    or the output of a fitted oracle's batch ``estimate_many`` zipped with
+    its queries.  Unlisted queries count as estimate 0.
+    """
+    freq = true_frequencies(data)
+    queries = np.asarray(list(query_set), dtype=np.int64)
+    if queries.size == 0:
+        return np.zeros(0)
+    estimates = np.array([float(oracle_estimates.get(int(x), 0.0))
+                          for x in queries.tolist()])
+    truth = np.array([freq.get(int(x), 0) for x in queries.tolist()],
+                     dtype=float)
+    return np.abs(estimates - truth)
+
+
 def worst_case_frequency_error(oracle_estimates: Mapping[int, float],
                                data: Sequence[int],
                                query_set: Iterable[int]) -> float:
     """Worst-case error of a frequency oracle over an explicit query set."""
-    freq = true_frequencies(data)
-    worst = 0.0
-    for x in query_set:
-        x = int(x)
-        est = float(oracle_estimates.get(x, 0.0))
-        worst = max(worst, abs(est - freq.get(x, 0)))
-    return worst
+    errors = query_errors(oracle_estimates, data, query_set)
+    return float(errors.max()) if errors.size else 0.0
 
 
 def mean_squared_frequency_error(oracle_estimates: Mapping[int, float],
                                  data: Sequence[int],
                                  query_set: Iterable[int]) -> float:
     """Mean squared error of a frequency oracle over an explicit query set."""
-    freq = true_frequencies(data)
-    errs = []
-    for x in query_set:
-        x = int(x)
-        est = float(oracle_estimates.get(x, 0.0))
-        errs.append((est - freq.get(x, 0)) ** 2)
-    if not errs:
+    errors = query_errors(oracle_estimates, data, query_set)
+    if errors.size == 0:
         return 0.0
-    return float(np.mean(errs))
+    return float(np.mean(errors**2))
 
 
 def empirical_failure_rate(scores: Sequence[HeavyHitterScore]) -> float:

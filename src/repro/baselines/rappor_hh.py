@@ -17,8 +17,8 @@ import numpy as np
 
 from repro.core.protocol import HeavyHitterProtocol
 from repro.core.results import HeavyHitterResult
-from repro.randomizers.rappor import BasicRappor
-from repro.utils.rng import RandomState, as_generator, spawn_generators
+from repro.protocol.rappor import RapporParams
+from repro.utils.rng import RandomState, as_generator
 from repro.utils.timer import ResourceMeter, Timer
 from repro.utils.validation import check_positive_int
 
@@ -60,31 +60,37 @@ class RapporHeavyHitters(HeavyHitterProtocol):
             candidates = range(domain_size)
         self.candidates = [int(c) for c in candidates]
 
+    def public_params(self, rng: RandomState = None) -> RapporParams:
+        """Sample the serializable wire parameters (the Bloom hash functions)."""
+        return RapporParams.create(self.domain_size, self.epsilon,
+                                   num_bits=self.num_bits,
+                                   num_hashes=self.num_hashes, rng=rng)
+
     def run(self, values: Sequence[int], rng: RandomState = None) -> HeavyHitterResult:
+        """One-shot simulation: ``encode_batch → absorb_batch → finalize``."""
         gen = as_generator(rng)
         values = self._validate_values(values)
         num_users = int(values.size)
         meter = ResourceMeter()
 
-        randomizer = BasicRappor(self.epsilon, self.domain_size,
-                                 num_bits=self.num_bits, num_hashes=self.num_hashes,
-                                 rng=gen)
+        wire = self.public_params(rng=gen)
 
         with Timer() as user_timer:
-            # Simulate each user's Bloom-filter report.  The per-bit flip is a
-            # function of the user's Bloom bits only, so we vectorise by value:
-            # users sharing a value share a Bloom pattern.
-            reports = np.empty((num_users, self.num_bits), dtype=np.int8)
-            unique_values, inverse = np.unique(values, return_inverse=True)
-            blooms = np.stack([randomizer.bloom_bits(int(v)) for v in unique_values])
-            f = randomizer.flip_probability
-            prob_one = np.where(blooms[inverse] == 1, 1.0 - f / 2.0, f / 2.0)
-            reports = (gen.random((num_users, self.num_bits)) < prob_one).astype(np.int8)
+            # Each user Bloom-encodes and bit-flips on her own device; the
+            # encoder vectorises by value (shared values share Bloom patterns).
+            batch = wire.make_encoder().encode_batch(values, gen)
         meter.add_user_time(user_timer.elapsed)
-        meter.add_communication(num_users * self.num_bits)
+        meter.add_communication(int(wire.report_bits * num_users))
+        meter.add_public_randomness(wire.public_randomness_bits)
+
+        with Timer() as ingest_timer:
+            aggregator = wire.make_aggregator()
+            aggregator.absorb_batch(batch)
+        meter.add_server_time(ingest_timer.elapsed)
 
         with Timer() as server_timer:
-            raw = randomizer.estimate_candidate_frequencies(reports, self.candidates)
+            aggregate = aggregator.finalize()
+            raw = aggregate.estimate_candidates(self.candidates)
             noise_floor = (self.threshold if self.threshold is not None
                            else 2.0 * np.sqrt(max(num_users, 1)))
             estimates: Dict[int, float] = {
@@ -105,5 +111,7 @@ class RapporHeavyHitters(HeavyHitterProtocol):
                 "num_hashes": self.num_hashes,
                 "num_candidates": len(self.candidates),
                 "noise_floor": float(noise_floor),
+                "report_bits": float(wire.report_bits),
+                "server_state_size": int(aggregator.state_size),
             },
         )

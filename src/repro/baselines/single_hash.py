@@ -16,25 +16,25 @@ construction surveyed in Section 3.1.1:
   this repetition that costs the extra ``sqrt(log(1/β))`` in the error, since
   the users (and privacy budget) are split across repetitions.
 
-Users are partitioned across (repetition, coordinate) pairs; each user spends
-ε/2 on her coordinate report and ε/2 on the final estimation oracle, exactly
-mirroring the budget split of PrivateExpanderSketch so that the comparison
-isolates the structural difference (one shared hash + repetitions versus
-per-coordinate hashes + list-recoverable code).
+Users are round-robin partitioned across (repetition, coordinate) pairs; each
+user spends ε/2 on her coordinate report and ε/2 on the final estimation
+oracle, exactly mirroring the budget split of PrivateExpanderSketch so that
+the comparison isolates the structural difference (one shared hash +
+repetitions versus per-coordinate hashes + list-recoverable code).
+
+The wire-level decomposition lives in
+:class:`repro.protocol.heavy_hitters.SingleHashParams`; :meth:`run` is the
+one-shot simulation built on it.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence
-
-import numpy as np
+from typing import Sequence
 
 from repro.core.protocol import HeavyHitterProtocol
 from repro.core.results import HeavyHitterResult
-from repro.frequency.explicit import ExplicitHistogramOracle
-from repro.frequency.hashtogram import HashtogramOracle
-from repro.hashing.kwise import KWiseHashFamily
+from repro.protocol.heavy_hitters import SingleHashParams
 from repro.utils.bits import bits_needed
 from repro.utils.rng import RandomState, as_generator
 from repro.utils.timer import ResourceMeter, Timer
@@ -90,117 +90,43 @@ class SingleHashHeavyHitters(HeavyHitterProtocol):
             return check_positive_int(self.num_repetitions, "num_repetitions")
         return max(1, int(round(math.log2(1.0 / self.beta))))
 
+    # ----- wire parameters ------------------------------------------------------
+
+    def public_params(self, num_users: int,
+                      rng: RandomState = None) -> SingleHashParams:
+        """Sample the serializable wire parameters for a ``num_users`` run."""
+        hash_range = self.hash_range or max(16, int(math.ceil(math.sqrt(num_users))))
+        return SingleHashParams.create(
+            num_users, self.domain_size, self.epsilon,
+            repetitions=self.repetitions_for_beta(),
+            num_symbols=self.num_symbols, symbol_bits=self.symbol_bits,
+            hash_range=hash_range, threshold_std=self.threshold_std, rng=rng)
+
     # ----- execution ----------------------------------------------------------------
 
     def run(self, values: Sequence[int], rng: RandomState = None) -> HeavyHitterResult:
+        """One-shot simulation: ``encode_batch → absorb_batch → finalize``."""
         gen = as_generator(rng)
         values = self._validate_values(values)
         num_users = int(values.size)
         meter = ResourceMeter()
 
-        repetitions = self.repetitions_for_beta()
-        num_symbols = self.num_symbols
-        alphabet = self.alphabet_size
-        hash_range = self.hash_range or max(16, int(math.ceil(math.sqrt(num_users))))
-        epsilon_stage = self.epsilon / 2.0
-
-        # Decompose every value into its symbols once, vectorised.
-        symbols = np.empty((num_users, num_symbols), dtype=np.int64)
-        remaining = values.copy()
-        for m in range(num_symbols):
-            symbols[:, m] = remaining & (alphabet - 1)
-            remaining >>= self.symbol_bits
-
-        # ----- public randomness -----------------------------------------------------
         with Timer() as setup_timer:
-            family = KWiseHashFamily.create(self.domain_size, hash_range, independence=2)
-            hashes = family.sample_many(repetitions, gen)
-            groups = self.partition_users(num_users, repetitions * num_symbols, gen)
+            wire = self.public_params(num_users, rng=gen)
         meter.bump("setup_time_s", setup_timer.elapsed)
-        meter.add_public_randomness(sum(h.description_bits for h in hashes))
+        meter.add_public_randomness(wire.public_randomness_bits)
 
-        # ----- stage 1: per-(repetition, coordinate) oracles ---------------------------
-        cells_per_oracle = hash_range * alphabet
-        oracles: List[List[ExplicitHistogramOracle]] = []
-        group_sizes: List[int] = []
         with Timer() as user_timer:
-            hash_values = np.stack([np.asarray(h(values)) for h in hashes])
-            for r in range(repetitions):
-                row: List[ExplicitHistogramOracle] = []
-                for m in range(num_symbols):
-                    group = r * num_symbols + m
-                    mask = groups == group
-                    members = np.nonzero(mask)[0]
-                    group_sizes.append(int(members.size))
-                    cells = (hash_values[r, members] * alphabet
-                             + symbols[members, m]).astype(np.int64)
-                    oracle = ExplicitHistogramOracle(cells_per_oracle, epsilon_stage,
-                                                     randomizer="hadamard")
-                    oracle.collect(cells, gen)
-                    row.append(oracle)
-                oracles.append(row)
+            batch = wire.make_encoder().encode_batch(values, gen)
         meter.add_user_time(user_timer.elapsed)
-        meter.add_communication(int(sum(
-            oracles[r][m].report_bits * group_sizes[r * num_symbols + m]
-            for r in range(repetitions) for m in range(num_symbols))))
+        meter.add_communication(int(wire.report_bits * num_users))
 
-        # ----- stage 2: reconstruct one candidate per (repetition, hash value) -----------
-        with Timer() as reconstruct_timer:
-            candidates: List[int] = []
-            seen = set()
-            for r in range(repetitions):
-                reconstructed = np.zeros(hash_range, dtype=np.int64)
-                passes_threshold = np.ones(hash_range, dtype=bool)
-                for m in range(num_symbols):
-                    oracle = oracles[r][m]
-                    size = group_sizes[r * num_symbols + m]
-                    cell_std = math.sqrt(max(size, 1)
-                                         * oracle.estimator_variance_per_user)
-                    table = oracle.histogram().reshape(hash_range, alphabet)
-                    best_symbol = table.argmax(axis=1)
-                    best_value = table.max(axis=1)
-                    passes_threshold &= best_value >= self.threshold_std * cell_std
-                    reconstructed |= best_symbol << (m * self.symbol_bits)
-                for t in range(hash_range):
-                    candidate = int(reconstructed[t])
-                    if not passes_threshold[t]:
-                        continue
-                    if candidate < self.domain_size and candidate not in seen:
-                        seen.add(candidate)
-                        candidates.append(candidate)
-        meter.add_server_time(reconstruct_timer.elapsed)
+        with Timer() as ingest_timer:
+            aggregator = wire.make_aggregator()
+            aggregator.absorb_batch(batch)
+        meter.add_server_time(ingest_timer.elapsed)
 
-        # ----- stage 3: final estimation oracle -------------------------------------------
-        with Timer() as final_timer:
-            final_oracle = HashtogramOracle(self.domain_size, epsilon_stage)
-            final_oracle.collect(values, gen)
-        meter.add_user_time(final_timer.elapsed)
-        meter.add_communication(int(final_oracle.report_bits * num_users))
-        meter.add_public_randomness(final_oracle.public_randomness_bits)
-
-        with Timer() as estimate_timer:
-            estimates: Dict[int, float] = {}
-            if candidates:
-                estimated = final_oracle.estimate_many(candidates)
-                estimates = {int(x): float(a) for x, a in zip(candidates, estimated)}
-        meter.add_server_time(estimate_timer.elapsed)
-
-        meter.observe_server_memory(
-            sum(o.server_state_size for row in oracles for o in row)
-            + final_oracle.server_state_size)
-
-        return HeavyHitterResult(
-            estimates=estimates,
-            protocol=self.name,
-            num_users=num_users,
-            epsilon=self.epsilon,
-            meter=meter,
-            candidates=candidates,
-            oracle=final_oracle,
-            metadata={
-                "repetitions": repetitions,
-                "hash_range": hash_range,
-                "num_symbols": num_symbols,
-                "alphabet_size": alphabet,
-            },
-        )
+        with Timer() as finalize_timer:
+            result = aggregator.finalize(meter=meter)
+        meter.add_server_time(finalize_timer.elapsed)
+        return result

@@ -7,9 +7,12 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli run grouposition        # Section 4 experiment
     python -m repro.cli run table1 --quick      # smaller, faster configuration
     python -m repro.cli quickstart              # the README quickstart, end to end
+    python -m repro.cli simulate --shards 4     # sharded wire-API aggregation
 
 Every experiment prints the same table that ``pytest benchmarks/`` produces
-and that EXPERIMENTS.md records.
+and that EXPERIMENTS.md records.  ``simulate`` drives the client/server wire
+API end to end: publish public parameters, encode one report per user, ingest
+the report stream on K independent shard aggregators, merge, and estimate.
 """
 
 from __future__ import annotations
@@ -196,6 +199,73 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_simulate(args) -> int:
+    """Drive the wire API: params -> encode_batch -> sharded absorb -> merge."""
+    import time
+
+    import numpy as np
+
+    from repro.analysis.metrics import true_frequencies
+    from repro.protocol import (
+        CountMeanSketchParams,
+        ExplicitHistogramParams,
+        HashtogramParams,
+        merge_aggregators,
+    )
+    from repro.utils.rng import as_generator
+    from repro.workloads.distributions import zipf_workload
+
+    if args.shards < 1:
+        print("simulate: --shards must be at least 1", file=sys.stderr)
+        return 2
+    if args.num_users < 1:
+        print("simulate: --num-users must be at least 1", file=sys.stderr)
+        return 2
+
+    gen = as_generator(args.seed)
+    domain_size = args.domain_size
+    values = zipf_workload(args.num_users, domain_size,
+                           support=min(2_000, domain_size), rng=gen)
+
+    if args.protocol == "explicit":
+        params = ExplicitHistogramParams(domain_size, args.epsilon)
+    elif args.protocol == "cms":
+        params = CountMeanSketchParams.create(
+            domain_size, args.epsilon,
+            num_buckets=max(16, int(np.ceil(np.sqrt(args.num_users)))), rng=gen)
+    else:  # hashtogram
+        params = HashtogramParams.create(
+            domain_size, args.epsilon,
+            num_buckets=max(16, int(np.ceil(np.sqrt(args.num_users)))), rng=gen)
+
+    encode_start = time.perf_counter()
+    batch = params.make_encoder().encode_batch(values, gen)
+    encode_elapsed = time.perf_counter() - encode_start
+
+    shards = [params.make_aggregator() for _ in range(args.shards)]
+    ingest_start = time.perf_counter()
+    for shard, part in zip(shards, batch.split(args.shards)):
+        shard.absorb_batch(part)
+    ingest_elapsed = time.perf_counter() - ingest_start
+    oracle = merge_aggregators(shards).finalize()
+
+    truth = true_frequencies(values)
+    top = sorted(truth.items(), key=lambda kv: -kv[1])[:5]
+    queries = [x for x, _ in top]
+    estimates = oracle.estimate_many(queries)
+    rows = [{"item": x, "true_count": truth[x], "estimate": round(float(a), 1)}
+            for x, a in zip(queries, estimates)]
+    print(format_table(rows, title=(
+        f"simulate: {args.protocol} over {args.shards} shard(s), "
+        f"n={args.num_users}, |X|={domain_size}, eps={args.epsilon}")))
+    throughput = args.num_users / max(ingest_elapsed, 1e-9)
+    print(f"\nreport size: {params.report_bits:.1f} bits/user; "
+          f"server state: {oracle.server_state_size} scalars")
+    print(f"client encoding: {encode_elapsed:.3f}s; sharded ingestion: "
+          f"{ingest_elapsed:.3f}s ({throughput:,.0f} reports/s)")
+    return 0
+
+
 def _cmd_quickstart(args) -> int:
     from repro import PrivateExpanderSketch, planted_workload
 
@@ -236,6 +306,19 @@ def build_parser() -> argparse.ArgumentParser:
     quickstart_parser.add_argument("--num-users", type=int, default=60_000)
     quickstart_parser.add_argument("--epsilon", type=float, default=4.0)
     quickstart_parser.set_defaults(func=_cmd_quickstart)
+
+    simulate_parser = subparsers.add_parser(
+        "simulate",
+        help="drive the client/server wire API with sharded aggregation")
+    simulate_parser.add_argument("--protocol", default="hashtogram",
+                                 choices=["hashtogram", "explicit", "cms"])
+    simulate_parser.add_argument("--shards", type=int, default=4,
+                                 help="number of independent shard aggregators")
+    simulate_parser.add_argument("--num-users", type=int, default=30_000)
+    simulate_parser.add_argument("--domain-size", type=int, default=1 << 16)
+    simulate_parser.add_argument("--epsilon", type=float, default=1.0)
+    simulate_parser.add_argument("--seed", type=int, default=0)
+    simulate_parser.set_defaults(func=_cmd_simulate)
 
     return parser
 

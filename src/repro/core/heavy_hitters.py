@@ -3,11 +3,12 @@
 The execution follows the paper's algorithm box step by step:
 
 Public randomness
-    A random partition of the users into M groups I_1, ..., I_M, pairwise
+    A round-robin partition of the users into M groups I_1, ..., I_M, pairwise
     independent hashes ``h_1, ..., h_M : X -> [Y]``, and an
     O(log|X|)-wise independent partition hash ``g : X -> [B]``.  The
     unique-list-recoverable code (Enc, Dec) of Theorem 3.6 is built on the
-    h_m's.
+    h_m's.  All of it is packaged as serializable wire parameters
+    (:class:`~repro.protocol.heavy_hitters.ExpanderSketchParams`).
 
 Step 1
     For every coordinate m, the users in I_m run a frequency oracle with
@@ -31,22 +32,33 @@ Step 5
 
 Each user participates in exactly one coordinate oracle and the final oracle,
 spending ε/2 + ε/2 = ε, so the protocol is ε-LDP exactly as in the paper.
+
+:meth:`PrivateExpanderSketch.run` is the one-shot simulation entry point: it
+encodes every user through the stateless wire encoder
+(``encode_batch``), then streams the server side one coordinate at a time so
+its peak memory stays a single coordinate oracle.  A sharded deployment
+instead uses :class:`~repro.protocol.heavy_hitters.ExpanderSketchAggregator`
+(``absorb_batch`` on each shard, ``merge``, ``finalize``), which reproduces
+``run()``'s estimates bit for bit from the same encoded reports.
 """
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.codes.list_recoverable import ListRecoveryParameters, UniqueListRecoverableCode
 from repro.core.params import ProtocolParameters
 from repro.core.protocol import HeavyHitterProtocol
 from repro.core.results import HeavyHitterResult
-from repro.frequency.explicit import ExplicitHistogramOracle
 from repro.frequency.hashtogram import HashtogramOracle
-from repro.hashing.kwise import KWiseHashFamily
+from repro.protocol.heavy_hitters import (
+    ExpanderSketchParams,
+    append_coordinate_lists,
+    decode_candidate_lists,
+    final_subbatch,
+    stage1_subbatch,
+)
 from repro.utils.rng import RandomState, as_generator
 from repro.utils.timer import ResourceMeter, Timer
 from repro.utils.validation import check_probability
@@ -101,6 +113,14 @@ class PrivateExpanderSketch(HeavyHitterProtocol):
         return ProtocolParameters.derive(num_users, self.domain_size, self.epsilon,
                                          self.beta, **self._overrides)
 
+    def public_params(self, num_users: int,
+                      rng: RandomState = None) -> ExpanderSketchParams:
+        """Sample the serializable wire parameters for a ``num_users`` run."""
+        return ExpanderSketchParams.create(num_users, self.domain_size,
+                                           self.epsilon,
+                                           self.parameters_for(num_users),
+                                           rng=rng)
+
     # ----- execution -------------------------------------------------------------------
 
     def run(self, values: Sequence[int], rng: RandomState = None) -> HeavyHitterResult:
@@ -112,97 +132,65 @@ class PrivateExpanderSketch(HeavyHitterProtocol):
         if 0 < self.small_domain_cutoff >= self.domain_size:
             return self._run_small_domain(values, gen, meter)
 
-        params = self.parameters_for(num_users)
-
         # ----- public randomness -----------------------------------------------------
         with Timer() as setup_timer:
-            partition_family = KWiseHashFamily.create(
-                self.domain_size, params.num_buckets,
-                independence=params.partition_independence)
-            partition_hash = partition_family.sample(gen)
-            coordinate_family = KWiseHashFamily.create(
-                self.domain_size, params.hash_range, independence=2)
-            coordinate_hashes = coordinate_family.sample_many(params.num_coordinates, gen)
-            code = UniqueListRecoverableCode(
-                ListRecoveryParameters(
-                    domain_size=self.domain_size,
-                    num_coordinates=params.num_coordinates,
-                    hash_range=params.hash_range,
-                    list_size=params.list_size,
-                    alpha=params.alpha,
-                    expander_degree=params.expander_degree,
-                    max_output_size=4 * params.list_size,
-                ),
-                coordinate_hashes,
-                rng=gen,
-                rate=params.code_rate,
-            )
-            assignment = self.partition_users(num_users, params.num_coordinates, gen)
-        meter.add_public_randomness(
-            partition_hash.description_bits
-            + sum(h.description_bits for h in coordinate_hashes))
+            wire = self.public_params(num_users, rng=gen)
+        params = wire.params
+        meter.add_public_randomness(wire.public_randomness_bits)
         meter.bump("setup_time_s", setup_timer.elapsed)
 
-        num_cells = (params.num_buckets * params.hash_range * code.z_alphabet_size)
+        num_cells = wire.num_cells
         if num_cells > self.max_cells:
             raise ValueError(
                 f"per-coordinate oracle domain has {num_cells} cells "
                 f"(> max_cells={self.max_cells}); reduce hash_range or "
                 f"expander_degree, or increase num_coordinates")
 
-        # ----- steps 1-3: per-coordinate oracles and their lists L^b_m -------------------
-        # The server processes one coordinate at a time and keeps only the
-        # (y, z) lists, so its working memory never holds more than a single
-        # coordinate oracle (plus the final-stage Hashtogram below).
+        # ----- client side: every user encodes one wire report -------------------------
+        with Timer() as user_timer:
+            batch = wire.make_encoder().encode_batch(values, gen)
+        meter.add_user_time(user_timer.elapsed)
+        meter.add_communication(int(wire.report_bits * num_users))
+
+        # ----- steps 1-3: per-coordinate ingestion and the lists L^b_m -----------------
+        # The one-shot simulation streams one coordinate at a time and keeps
+        # only the (y, z) lists, so its working memory never holds more than a
+        # single coordinate aggregator (plus the final-stage Hashtogram
+        # below).  Sharded deployments use ExpanderSketchAggregator instead.
+        coordinates = np.asarray(batch.columns["coordinate"], dtype=np.int64)
         group_sizes: List[int] = []
         lists: List[List[List[tuple]]] = [
             [[] for _ in range(params.num_coordinates)]
             for _ in range(params.num_buckets)]
         peak_oracle_state = 0
-        with Timer() as derive_timer:
-            partition_values = np.asarray(partition_hash(values))
-            chunks = code.outer_code.encode_batch(values)  # (n, M)
-        meter.add_user_time(derive_timer.elapsed)
         for m in range(params.num_coordinates):
-            members = values[assignment == m]
-            member_chunks = chunks[assignment == m, m]
-            member_buckets = partition_values[assignment == m]
-            group_sizes.append(int(members.size))
-            oracle = ExplicitHistogramOracle(num_cells, params.epsilon_per_stage,
-                                             randomizer=params.oracle_randomizer)
-            with Timer() as user_timer:
-                cells = self._derive_cells(members, member_buckets, member_chunks,
-                                           m, code, params)
-                oracle.collect(cells, gen)
-            meter.add_user_time(user_timer.elapsed)
-            meter.add_communication(int(oracle.report_bits * members.size))
-            peak_oracle_state = max(peak_oracle_state, oracle.server_state_size)
+            aggregator = wire.stage1.make_aggregator()
+            with Timer() as ingest_timer:
+                aggregator.absorb_batch(
+                    stage1_subbatch(batch, coordinates == m,
+                                    wire.stage1.protocol))
+            meter.add_server_time(ingest_timer.elapsed)
+            group_sizes.append(aggregator.num_reports)
+            peak_oracle_state = max(peak_oracle_state, aggregator.state_size)
             with Timer() as list_timer:
-                self._append_coordinate_lists(oracle, int(members.size), m, code,
-                                              params, lists)
+                append_coordinate_lists(aggregator.finalize(),
+                                        aggregator.num_reports, m, wire.code,
+                                        params, lists)
             meter.add_server_time(list_timer.elapsed)
 
         # ----- step 4: decode every bucket --------------------------------------------------
         with Timer() as decode_timer:
-            candidates: List[int] = []
-            seen = set()
-            for bucket in range(params.num_buckets):
-                for candidate in code.decode(lists[bucket]):
-                    if candidate not in seen:
-                        seen.add(candidate)
-                        candidates.append(candidate)
+            candidates = decode_candidate_lists(wire.code, lists,
+                                                params.num_buckets)
         meter.add_server_time(decode_timer.elapsed)
 
         # ----- step 5: final frequency estimates --------------------------------------------
         with Timer() as final_timer:
-            final_oracle = HashtogramOracle(
-                self.domain_size, params.epsilon_per_stage,
-                num_repetitions=params.final_oracle_repetitions,
-                num_buckets=params.final_oracle_buckets)
-            final_oracle.collect(values, gen)
-        meter.add_user_time(final_timer.elapsed)
-        meter.add_communication(int(final_oracle.report_bits * num_users))
-        meter.add_public_randomness(final_oracle.public_randomness_bits)
+            final_aggregator = wire.final.make_aggregator()
+            final_aggregator.absorb_batch(
+                final_subbatch(batch, wire.final.protocol))
+            final_oracle: HashtogramOracle = final_aggregator.finalize()
+        meter.add_server_time(final_timer.elapsed)
 
         with Timer() as estimate_timer:
             estimates: Dict[int, float] = {}
@@ -213,7 +201,7 @@ class PrivateExpanderSketch(HeavyHitterProtocol):
 
         meter.observe_server_memory(
             peak_oracle_state
-            + final_oracle.server_state_size
+            + final_aggregator.state_size
             + sum(len(per_coord) * 2
                   for per_bucket in lists for per_coord in per_bucket))
 
@@ -228,62 +216,15 @@ class PrivateExpanderSketch(HeavyHitterProtocol):
             metadata={"parameters": params.describe(),
                       "group_sizes": group_sizes,
                       "num_cells": num_cells,
+                      "report_bits": wire.report_bits,
+                      "server_state_size": (peak_oracle_state
+                                            + final_aggregator.state_size),
                       "list_sizes": [len(per_coord)
                                      for per_bucket in lists
                                      for per_coord in per_bucket]},
         )
 
     # ----- internals ----------------------------------------------------------------------
-
-    @staticmethod
-    def _derive_cells(members: np.ndarray, buckets: np.ndarray, chunks: np.ndarray,
-                      coordinate: int, code: UniqueListRecoverableCode,
-                      params: ProtocolParameters) -> np.ndarray:
-        """Map each member's value to its oracle cell ((b, y, z) flattened)."""
-        if members.size == 0:
-            return members
-        hash_range = params.hash_range
-        y_values = np.asarray(code.hashes[coordinate](members))
-        # Packed z = chunk + prime * (neighbour hashes in base Y), matching
-        # UniqueListRecoverableCode._pack_z.
-        neighbor_part = np.zeros(members.size, dtype=np.int64)
-        for neighbor in reversed(code.expander.neighbors(coordinate)):
-            neighbor_part = (neighbor_part * hash_range
-                             + np.asarray(code.hashes[neighbor](members)))
-        z_values = neighbor_part * code.outer_code.prime + chunks
-        cells = (buckets * hash_range + y_values) * code.z_alphabet_size + z_values
-        return cells.astype(np.int64)
-
-    @staticmethod
-    def _append_coordinate_lists(oracle: ExplicitHistogramOracle, group_size: int,
-                                 coordinate: int, code: UniqueListRecoverableCode,
-                                 params: ProtocolParameters,
-                                 lists: List[List[List[tuple]]]) -> None:
-        """Steps 2-3 for one coordinate: fill ``lists[b][coordinate]`` for every bucket.
-
-        For every (b, y) the arg-max over z is taken (step 3a); the pair is kept
-        if its estimate clears the detection threshold, largest estimates first,
-        up to the list budget ℓ (step 3b).
-        """
-        num_buckets = params.num_buckets
-        hash_range = params.hash_range
-        z_size = code.z_alphabet_size
-        cell_std = math.sqrt(max(group_size, 1) * oracle.estimator_variance_per_user)
-        threshold = params.threshold_std * cell_std
-        histogram = oracle.histogram().reshape(num_buckets, hash_range, z_size)
-        best_z = histogram.argmax(axis=2)
-        best_value = np.take_along_axis(histogram, best_z[:, :, None], axis=2)[:, :, 0]
-        for bucket in range(num_buckets):
-            order = np.argsort(-best_value[bucket])
-            entries = []
-            for y in order:
-                value = best_value[bucket, y]
-                if value < threshold:
-                    break
-                entries.append((int(y), int(best_z[bucket, y])))
-                if len(entries) >= params.list_size:
-                    break
-            lists[bucket][coordinate] = entries
 
     def _run_small_domain(self, values: np.ndarray, gen: np.random.Generator,
                           meter: ResourceMeter) -> HeavyHitterResult:
@@ -319,5 +260,7 @@ class PrivateExpanderSketch(HeavyHitterProtocol):
             candidates=list(estimates),
             oracle=oracle,
             metadata={"mode": "small_domain_enumeration",
-                      "noise_floor": float(noise_floor)},
+                      "noise_floor": float(noise_floor),
+                      "report_bits": float(oracle.report_bits),
+                      "server_state_size": int(oracle.server_state_size)},
         )

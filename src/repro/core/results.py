@@ -9,7 +9,9 @@ callers can issue further queries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from repro.utils.timer import ResourceMeter
 
@@ -77,6 +79,29 @@ class HeavyHitterResult:
         (Section 3: ``f̂(x) = a`` if (x, a) ∈ Est, else 0).
         """
         return float(self.estimates.get(int(x), 0.0))
+
+    def estimate_many(self, xs: Iterable[int],
+                      use_oracle: bool = False) -> np.ndarray:
+        """Vectorized frequency estimates for a batch of queries.
+
+        With ``use_oracle=False`` (default) the listed value (or 0) is
+        returned for every query, matching :meth:`estimate_of`.  With
+        ``use_oracle=True`` and a retained final frequency oracle, unlisted
+        queries are answered through the oracle's batch ``estimate_many``
+        path instead of 0.
+        """
+        xs = np.asarray(list(xs) if not isinstance(xs, np.ndarray) else xs,
+                        dtype=np.int64)
+        if xs.size == 0:
+            return np.zeros(0)
+        if use_oracle and self.oracle is not None:
+            listed = np.array([x in self.estimates for x in xs.tolist()])
+            out = np.asarray(self.oracle.estimate_many(xs), dtype=float)
+            if listed.any():
+                out[listed] = [self.estimates[int(x)] for x in xs[listed]]
+            return out
+        return np.array([self.estimates.get(int(x), 0.0) for x in xs.tolist()],
+                        dtype=float)
 
     @property
     def list_size(self) -> int:

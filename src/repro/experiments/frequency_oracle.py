@@ -42,9 +42,10 @@ class FrequencyOracleConfig:
 
 def _oracle_errors(oracle, values, queries) -> Dict[str, float]:
     truth = true_frequencies(values)
-    estimates = oracle.estimate_many(queries)
-    errors = np.array([abs(est - truth.get(int(q), 0))
-                       for q, est in zip(queries, estimates)])
+    estimates = np.asarray(oracle.estimate_many(queries), dtype=float)
+    true_counts = np.array([truth.get(int(q), 0) for q in np.asarray(queries)],
+                           dtype=float)
+    errors = np.abs(estimates - true_counts)
     return {
         "max_error": float(errors.max()),
         "rms_error": float(np.sqrt((errors**2).mean())),

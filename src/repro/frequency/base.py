@@ -13,16 +13,24 @@ from repro.utils.rng import RandomState
 class FrequencyOracle(abc.ABC):
     """A locally private protocol estimating element frequencies (Definition 3.2).
 
-    Life-cycle:
+    The deployment-shaped API lives in :mod:`repro.protocol`: the server
+    publishes serializable ``PublicParams``, each client encodes one report
+    with a stateless ``ClientEncoder``, and sharded ``ServerAggregator``
+    workers ``absorb`` reports, ``merge``, and ``finalize()`` into a fitted
+    oracle.  This class is the *query* interface those aggregators finalize
+    into, plus a one-shot simulation convenience:
 
     1. construct with a privacy budget and domain description;
-    2. :meth:`collect` the (true) values of the participating users — this
-       simulates each user's local randomization and the server's aggregation,
-       and may be called once per protocol execution;
+    2. :meth:`collect` the (true) values of the participating users — a thin
+       compatibility shim implemented exactly as
+       ``encode_batch → absorb_batch → finalize`` over the wire protocol, so
+       it may be called once per protocol execution and reproduces a sharded
+       deployment bit for bit;
     3. :meth:`estimate` the frequency of any domain element.
 
     Implementations record the resource quantities needed for Table 1
-    (communication per user, server state size) as attributes.
+    (communication per user, server state size) as attributes, derived from
+    the actual serialized report size and retained aggregator state.
     """
 
     #: privacy parameter ε of the whole oracle (each user's report is ε-DP)
@@ -36,8 +44,10 @@ class FrequencyOracle(abc.ABC):
     def collect(self, values: Sequence[int], rng: RandomState = None) -> None:
         """Simulate the protocol on the given (distributed) database.
 
-        ``values[i]`` is user i's true value; the method randomizes each value
-        locally and aggregates the reports server-side.
+        ``values[i]`` is user i's true value; the method encodes each value
+        through the oracle's wire-level client encoder and ingests the
+        resulting reports with a single server aggregator
+        (``encode_batch → absorb_batch → finalize``).
         """
 
     @abc.abstractmethod

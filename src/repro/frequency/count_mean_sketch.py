@@ -26,7 +26,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.frequency.base import FrequencyOracle
-from repro.hashing.kwise import KWiseHash, KWiseHashFamily
+from repro.hashing.kwise import KWiseHash
 from repro.utils.rng import RandomState, as_generator
 from repro.utils.validation import check_domain_element, check_epsilon, check_positive_int
 
@@ -66,40 +66,52 @@ class CountMeanSketchOracle(FrequencyOracle):
         self._p = half / (half + 1.0)
         self._q = 1.0 / (half + 1.0)
 
+    # ----- wire protocol --------------------------------------------------------------
+
+    def public_params(self, num_users: Optional[int] = None,
+                      rng: RandomState = None):
+        """Sample wire-level public parameters for this oracle configuration."""
+        from repro.protocol.count_mean_sketch import CountMeanSketchParams
+        num_buckets = self.num_buckets
+        if num_buckets is None:
+            n = int(num_users) if num_users is not None else 1
+            num_buckets = max(16, int(math.ceil(math.sqrt(max(n, 1)))))
+        return CountMeanSketchParams.create(self.domain_size, self.epsilon,
+                                            num_hashes=self.num_hashes,
+                                            num_buckets=num_buckets, rng=rng)
+
+    def _load_wire_aggregate(self, aggregator) -> None:
+        """Adopt a finalized wire aggregate (hash rows + debiased table)."""
+        params = aggregator.params
+        self.num_buckets = params.num_buckets
+        self._hashes = list(params.hashes)
+        self._debiased = aggregator.debiased()
+        self._row_counts = aggregator._row_counts.copy()
+        self._num_users = aggregator.num_reports
+        self._report_bits = params.report_bits
+        self._server_state_size = aggregator.state_size
+
     # ----- collection ----------------------------------------------------------------
 
     def collect(self, values: Sequence[int], rng: RandomState = None) -> None:
+        """Simulate the full protocol: ``encode_batch → absorb_batch → finalize``.
+
+        The generator first samples the published hash rows
+        (:meth:`public_params`), then drives the stateless per-user
+        :class:`~repro.protocol.count_mean_sketch.CountMeanSketchEncoder`.
+        """
         gen = as_generator(rng)
         values = np.asarray(values, dtype=np.int64)
-        if values.size and (values.min() < 0 or values.max() >= self.domain_size):
-            raise ValueError("values outside the declared domain")
-        self._num_users = int(values.size)
-        if self.num_buckets is None:
-            self.num_buckets = max(16, int(math.ceil(math.sqrt(max(self._num_users, 1)))))
-
-        family = KWiseHashFamily.create(self.domain_size, self.num_buckets,
-                                        independence=2)
-        self._hashes = family.sample_many(self.num_hashes, gen)
-
-        # Each user picks one hash row; the noisy one-hot aggregate of a row is
-        # sampled from its exact distribution: the count of ones in bucket b is
-        # Binomial(#users hashing to b, p) + Binomial(#other users in row, q).
-        row_assignment = gen.integers(0, self.num_hashes, size=self._num_users)
-        debiased = np.zeros((self.num_hashes, self.num_buckets))
-        row_counts = np.zeros(self.num_hashes, dtype=np.int64)
-        for row in range(self.num_hashes):
-            members = values[row_assignment == row]
-            row_counts[row] = members.size
-            bucket_truth = np.bincount(np.asarray(self._hashes[row](members))
-                                       if members.size else np.zeros(0, dtype=np.int64),
-                                       minlength=self.num_buckets)
-            ones = (gen.binomial(bucket_truth, self._p)
-                    + gen.binomial(members.size - bucket_truth, self._q))
-            debiased[row] = (ones - members.size * self._q) / (self._p - self._q)
-        self._debiased = debiased
-        self._row_counts = row_counts
-        self._report_bits = float(self.num_buckets) + math.log2(max(self.num_hashes, 2))
-        self._server_state_size = int(self.num_hashes * self.num_buckets)
+        params = self.public_params(num_users=int(values.size), rng=gen)
+        encoder = params.make_encoder()
+        aggregator = params.make_aggregator()
+        # Stream in chunks: each report is an m-bit vector, so one monolithic
+        # encode of the whole population would materialize O(n * m) memory.
+        chunk = max(1024, 4_000_000 // max(params.num_buckets, 1))
+        for start in range(0, int(values.size), chunk):
+            aggregator.absorb_batch(encoder.encode_batch(
+                values[start:start + chunk], gen, first_user_index=start))
+        self._load_wire_aggregate(aggregator)
 
     # ----- estimation -----------------------------------------------------------------
 

@@ -11,11 +11,11 @@ interchangeable local randomizers, and the server debiases the aggregate:
 * ``"krr"`` — generalised (k-ary) randomized response: log k bits of
   communication, best for very small domains.
 
-The server aggregate of each scheme is a deterministic function of independent
-per-user reports; :meth:`collect` samples the aggregate from its exact
-distribution (per-user sampling for Hadamard, per-value binomial/multinomial
-sampling for OUE/KRR), which is statistically identical to materialising every
-individual report and much faster for large n.
+The wire-level client/server decomposition lives in
+:mod:`repro.protocol.explicit`: :meth:`collect` is a simulation convenience
+implemented exactly as ``encode_batch → absorb_batch → finalize`` over the
+same :class:`~repro.protocol.explicit.ExplicitHistogramParams`, so a sharded
+deployment reproduces ``collect()``'s estimates bit for bit.
 """
 
 from __future__ import annotations
@@ -96,61 +96,46 @@ class ExplicitHistogramOracle(FrequencyOracle):
             self._report_bits = max(math.log2(domain_size), 1.0)
             self._server_state_size = domain_size
 
+    # ----- wire protocol --------------------------------------------------------
+
+    def public_params(self):
+        """The wire-level public parameters of this oracle configuration."""
+        from repro.protocol.explicit import ExplicitHistogramParams
+        return ExplicitHistogramParams(self.domain_size, self.epsilon,
+                                       self.randomizer)
+
+    def _load_wire_aggregate(self, histogram: np.ndarray, num_users: int,
+                             state_size: int) -> None:
+        """Adopt a finalized server aggregate (the wire path's last step)."""
+        self._histogram = np.asarray(histogram, dtype=float)
+        self._num_users = int(num_users)
+        self._server_state_size = int(state_size)
+
     # ----- collection -----------------------------------------------------------
 
     def collect(self, values: Sequence[int], rng: RandomState = None) -> None:
+        """Simulate the full protocol: ``encode_batch → absorb_batch → finalize``.
+
+        Each user's report is individually materialized through the stateless
+        :class:`~repro.protocol.explicit.ExplicitHistogramEncoder` and
+        ingested by a single
+        :class:`~repro.protocol.explicit.ExplicitHistogramAggregator`.
+        Encoding is streamed in chunks so the OUE variant's k-bit reports
+        never materialize an O(n * k) matrix for the whole population.
+        """
         gen = as_generator(rng)
         values = np.asarray(values, dtype=np.int64)
-        if values.size and (values.min() < 0 or values.max() >= self.domain_size):
-            raise ValueError("values outside the declared domain")
-        self._num_users = int(values.size)
-        if self.randomizer == "hadamard":
-            self._collect_hadamard(values, gen)
-        elif self.randomizer == "oue":
-            self._collect_oue(values, gen)
-        else:
-            self._collect_krr(values, gen)
-
-    def _collect_hadamard(self, values: np.ndarray, gen: np.random.Generator) -> None:
-        n = values.size
-        columns = values + 1  # column 0 of the Hadamard matrix carries no signal
-        rows = gen.integers(0, self._padded, size=n)
-        parity = np.bitwise_count(np.bitwise_and(rows, columns)) & 1
-        true_bits = 1 - 2 * parity.astype(np.int64)
-        keep = gen.random(n) < self._keep_prob
-        bits = np.where(keep, true_bits, -true_bits)
-        accumulator = np.zeros(self._padded, dtype=float)
-        np.add.at(accumulator, rows, bits)
-        transformed = fast_walsh_hadamard_transform(accumulator)
-        estimates = transformed / self._attenuation
-        self._histogram = estimates[1: self.domain_size + 1]
-
-    def _collect_oue(self, values: np.ndarray, gen: np.random.Generator) -> None:
-        n = values.size
-        true_counts = np.bincount(values, minlength=self.domain_size)
-        ones_from_true = gen.binomial(true_counts, self._p)
-        ones_from_noise = gen.binomial(n - true_counts, self._q)
-        column_counts = ones_from_true + ones_from_noise
-        self._histogram = (column_counts - n * self._q) / (self._p - self._q)
-
-    def _collect_krr(self, values: np.ndarray, gen: np.random.Generator) -> None:
-        n = values.size
-        k = self.domain_size
-        true_counts = np.bincount(values, minlength=k)
-        reported = np.zeros(k, dtype=np.int64)
-        if k == 1:
-            reported[0] = n
-        else:
-            kept = gen.binomial(true_counts, self._p)
-            reported += kept
-            for value in np.nonzero(true_counts)[0]:
-                liars = int(true_counts[value] - kept[value])
-                if liars == 0:
-                    continue
-                probs = np.full(k, 1.0 / (k - 1))
-                probs[value] = 0.0
-                reported += gen.multinomial(liars, probs)
-        self._histogram = (reported - n * self._q) / (self._p - self._q)
+        params = self.public_params()
+        encoder = params.make_encoder()
+        aggregator = params.make_aggregator()
+        width = self.domain_size if self.randomizer == "oue" else 1
+        chunk = max(1024, 4_000_000 // max(width, 1))
+        for start in range(0, int(values.size), chunk):
+            aggregator.absorb_batch(encoder.encode_batch(
+                values[start:start + chunk], gen, first_user_index=start))
+        self._load_wire_aggregate(aggregator.histogram(),
+                                  aggregator.num_reports,
+                                  aggregator.state_size)
 
     # ----- estimation -------------------------------------------------------------
 

@@ -16,6 +16,11 @@ Construction (following Bassily-Nissim-Stemmer-Thakurta [3]):
 The server memory is ``num_repetitions * 2 * num_buckets`` scalars — with the
 default ``num_buckets ≈ sqrt(n)`` this is the ``O~(sqrt(n))`` row of Table 1 —
 and each query costs O(num_repetitions) time.
+
+The wire-level client/server decomposition lives in
+:mod:`repro.protocol.hashtogram`; :meth:`HashtogramOracle.collect` is the
+one-shot simulation convenience built on it
+(``encode_batch → absorb_batch → finalize``).
 """
 
 from __future__ import annotations
@@ -27,7 +32,7 @@ import numpy as np
 
 from repro.frequency.base import FrequencyOracle
 from repro.frequency.explicit import ExplicitHistogramOracle
-from repro.hashing.kwise import KWiseHash, KWiseHashFamily, SignHash, sign_hash
+from repro.hashing.kwise import KWiseHash, SignHash
 from repro.utils.rng import RandomState, as_generator
 from repro.utils.validation import check_domain_element, check_epsilon, check_positive_int
 
@@ -70,48 +75,59 @@ class HashtogramOracle(FrequencyOracle):
         self._inner_oracles: List[ExplicitHistogramOracle] = []
         self._rep_sizes: List[int] = []
 
+    # ----- wire protocol --------------------------------------------------------------
+
+    def public_params(self, num_users: Optional[int] = None,
+                      rng: RandomState = None):
+        """Sample wire-level public parameters for this oracle configuration.
+
+        ``num_users`` resolves the default ``num_buckets ≈ sqrt(n)`` when no
+        explicit bucket count was given.
+        """
+        from repro.protocol.hashtogram import HashtogramParams
+        num_buckets = self.num_buckets
+        if num_buckets is None:
+            n = int(num_users) if num_users is not None else 1
+            num_buckets = max(16, int(math.ceil(math.sqrt(max(n, 1)))))
+        return HashtogramParams.create(self.domain_size, self.epsilon,
+                                       num_repetitions=self.num_repetitions,
+                                       num_buckets=num_buckets,
+                                       inner_randomizer=self.inner_randomizer,
+                                       rng=rng)
+
+    def _load_wire_aggregate(self, aggregator) -> None:
+        """Adopt a finalized wire aggregate (hashes + inner oracles + sizes)."""
+        params = aggregator.params
+        self.num_buckets = params.num_buckets
+        self._bucket_hashes = list(params.bucket_hashes)
+        self._sign_hashes = list(params.sign_hashes)
+        self._inner_oracles = [inner.finalize() for inner in aggregator._inner]
+        self._rep_sizes = aggregator.repetition_sizes
+        self._num_users = aggregator.num_reports
+        self._report_bits = params.report_bits
+        self._server_state_size = aggregator.state_size
+
     # ----- collection ---------------------------------------------------------------
 
     def collect(self, values: Sequence[int], rng: RandomState = None) -> None:
+        """Simulate the full protocol: ``encode_batch → absorb_batch → finalize``.
+
+        The same generator first samples the published hash functions
+        (:meth:`public_params`) and then drives every user's stateless
+        :class:`~repro.protocol.hashtogram.HashtogramEncoder`, so a manual
+        wire-level run with the same seed reproduces ``collect`` bit for bit.
+        """
         gen = as_generator(rng)
         values = np.asarray(values, dtype=np.int64)
-        if values.size and (values.min() < 0 or values.max() >= self.domain_size):
-            raise ValueError("values outside the declared domain")
-        self._num_users = int(values.size)
-        n = self._num_users
-        if self.num_buckets is None:
-            self.num_buckets = max(16, int(math.ceil(math.sqrt(max(n, 1)))))
-
-        bucket_family = KWiseHashFamily.create(self.domain_size, self.num_buckets,
-                                               independence=2)
-        self._bucket_hashes = bucket_family.sample_many(self.num_repetitions, gen)
-        self._sign_hashes = [sign_hash(self.domain_size, gen)
-                             for _ in range(self.num_repetitions)]
-
-        # Round-robin partition of users into repetitions.
-        assignment = np.arange(n) % self.num_repetitions
-        self._inner_oracles = []
-        self._rep_sizes = []
-        for t in range(self.num_repetitions):
-            members = values[assignment == t]
-            self._rep_sizes.append(int(members.size))
-            oracle = ExplicitHistogramOracle(2 * self.num_buckets, self.epsilon,
-                                             randomizer=self.inner_randomizer)
-            cells = self._cells(members, t)
-            oracle.collect(cells, gen)
-            self._inner_oracles.append(oracle)
-
-        self._report_bits = (self._inner_oracles[0].report_bits
-                             if self._inner_oracles else float("nan"))
-        self._server_state_size = sum(o.server_state_size for o in self._inner_oracles)
-
-    def _cells(self, values: np.ndarray, repetition: int) -> np.ndarray:
-        """Map values to their (bucket, sign) cell index in repetition t."""
-        if values.size == 0:
-            return values
-        buckets = np.asarray(self._bucket_hashes[repetition](values))
-        signs = np.asarray(self._sign_hashes[repetition](values))
-        return (2 * buckets + (signs > 0).astype(np.int64)).astype(np.int64)
+        params = self.public_params(num_users=int(values.size), rng=gen)
+        encoder = params.make_encoder()
+        aggregator = params.make_aggregator()
+        width = 2 * params.num_buckets if params.inner_randomizer == "oue" else 1
+        chunk = max(1024, 4_000_000 // max(width, 1))
+        for start in range(0, int(values.size), chunk):
+            aggregator.absorb_batch(encoder.encode_batch(
+                values[start:start + chunk], gen, first_user_index=start))
+        self._load_wire_aggregate(aggregator)
 
     # ----- estimation -----------------------------------------------------------------
 
@@ -120,6 +136,8 @@ class HashtogramOracle(FrequencyOracle):
         x = check_domain_element(x, self.domain_size)
         total = 0.0
         for t, oracle in enumerate(self._inner_oracles):
+            if oracle.num_users == 0:
+                continue  # an empty repetition contributes no signal
             bucket = int(self._bucket_hashes[t](x))
             sign = int(self._sign_hashes[t](x))
             plus = oracle.estimate(2 * bucket + 1)
@@ -136,6 +154,8 @@ class HashtogramOracle(FrequencyOracle):
             raise ValueError("queries outside the declared domain")
         totals = np.zeros(xs.shape, dtype=float)
         for t, oracle in enumerate(self._inner_oracles):
+            if oracle.num_users == 0:
+                continue  # an empty repetition contributes no signal
             buckets = np.asarray(self._bucket_hashes[t](xs))
             signs = np.asarray(self._sign_hashes[t](xs)).astype(float)
             plus = oracle.estimate_many(2 * buckets + 1)

@@ -1,0 +1,202 @@
+"""Wire protocol for the small-domain explicit histogram oracle (Theorem 3.8).
+
+Three interchangeable local randomizers share one parameter/report format:
+
+* ``"hadamard"`` — the report is a uniformly random Hadamard row index plus
+  one (possibly flipped) ±1 entry: ``log2(padded) + 1`` bits on the wire.
+* ``"oue"`` — the report is the full k-bit noisy one-hot vector.
+* ``"krr"`` — the report is a single (possibly lied-about) domain element:
+  ``log2 k`` bits.
+
+Aggregation is exact integer accumulation (signed counts per Hadamard row,
+per-column one counts, or a value histogram); debiasing happens only in
+``finalize()``, so shard merges are bit-exact.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.protocol.wire import (
+    ClientEncoder,
+    PublicParams,
+    Report,
+    ReportBatch,
+    ServerAggregator,
+    register_protocol,
+)
+from repro.utils.bits import next_power_of_two
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_epsilon, check_positive_int
+
+
+@register_protocol
+class ExplicitHistogramParams(PublicParams):
+    """Public parameters of the small-domain oracle.
+
+    The small-domain protocol needs no public randomness beyond the
+    configuration itself (the Hadamard row choice is each user's *local*
+    randomness), so serialization is just the three scalars.
+    """
+
+    protocol = "explicit_histogram"
+
+    def __init__(self, domain_size: int, epsilon: float,
+                 randomizer: str = "hadamard") -> None:
+        self.domain_size = check_positive_int(domain_size, "domain_size")
+        self.epsilon = check_epsilon(epsilon)
+        if randomizer not in ("hadamard", "oue", "krr"):
+            raise ValueError("randomizer must be 'hadamard', 'oue' or 'krr'")
+        self.randomizer = randomizer
+
+        exp_eps = math.exp(epsilon)
+        if randomizer == "hadamard":
+            self.padded = next_power_of_two(domain_size + 1)
+            self.keep_prob = exp_eps / (exp_eps + 1.0)
+            self.attenuation = (exp_eps - 1.0) / (exp_eps + 1.0)
+        elif randomizer == "oue":
+            self.p = 0.5
+            self.q = 1.0 / (exp_eps + 1.0)
+        else:  # krr
+            self.p = exp_eps / (exp_eps + domain_size - 1.0)
+            self.q = 1.0 / (exp_eps + domain_size - 1.0)
+
+    # ----- serialization ---------------------------------------------------------
+
+    def _payload_dict(self) -> Dict[str, object]:
+        return {"domain_size": self.domain_size,
+                "epsilon": self.epsilon,
+                "randomizer": self.randomizer}
+
+    @classmethod
+    def _from_payload(cls, payload: Dict[str, object]) -> "ExplicitHistogramParams":
+        return cls(int(payload["domain_size"]), float(payload["epsilon"]),
+                   str(payload["randomizer"]))
+
+    # ----- factories -------------------------------------------------------------
+
+    def make_encoder(self) -> "ExplicitHistogramEncoder":
+        return ExplicitHistogramEncoder(self)
+
+    def make_aggregator(self) -> "ExplicitHistogramAggregator":
+        return ExplicitHistogramAggregator(self)
+
+    # ----- accounting ------------------------------------------------------------
+
+    @property
+    def report_bits(self) -> float:
+        """Wire size of one report: the serialized payload width in bits."""
+        if self.randomizer == "hadamard":
+            return math.log2(self.padded) + 1.0          # row index + sign bit
+        if self.randomizer == "oue":
+            return float(self.domain_size)               # one bit per column
+        return max(math.log2(self.domain_size), 1.0)     # the reported value
+
+    @property
+    def state_size(self) -> int:
+        """Number of scalars a server retains for these parameters."""
+        return self.padded if self.randomizer == "hadamard" else self.domain_size
+
+
+class ExplicitHistogramEncoder(ClientEncoder):
+    """Stateless per-user randomizer of the small-domain oracle."""
+
+    params: ExplicitHistogramParams
+
+    def encode_batch(self, values: Sequence[int], rng: RandomState = None,
+                     first_user_index: int = 0) -> ReportBatch:
+        gen = as_generator(rng)
+        params = self.params
+        values = np.asarray(values, dtype=np.int64)
+        if values.size and (values.min() < 0 or values.max() >= params.domain_size):
+            raise ValueError("values outside the declared domain")
+        n = values.size
+        if params.randomizer == "hadamard":
+            # Column 0 of the Hadamard matrix carries no signal, shift by one.
+            rows = gen.integers(0, params.padded, size=n)
+            parity = np.bitwise_count(np.bitwise_and(rows, values + 1)) & 1
+            true_bits = (1 - 2 * parity.astype(np.int64)).astype(np.int8)
+            keep = gen.random(n) < params.keep_prob
+            bits = np.where(keep, true_bits, -true_bits).astype(np.int8)
+            return ReportBatch(params.protocol, {"row": rows, "bit": bits})
+        if params.randomizer == "oue":
+            onehot = values[:, None] == np.arange(params.domain_size)[None, :]
+            uniform = gen.random((n, params.domain_size))
+            bits = np.where(onehot, uniform < params.p,
+                            uniform < params.q).astype(np.uint8)
+            return ReportBatch(params.protocol, {"bits": bits})
+        # krr: report the truth w.p. p, otherwise one of the k-1 other values
+        # uniformly (each specific lie has probability q).
+        k = params.domain_size
+        if k == 1:
+            reported = np.zeros(n, dtype=np.int64)
+        else:
+            keep = gen.random(n) < params.p
+            lies = gen.integers(0, k - 1, size=n)
+            lies += (lies >= values).astype(np.int64)
+            reported = np.where(keep, values, lies)
+        return ReportBatch(params.protocol, {"value": reported})
+
+
+class ExplicitHistogramAggregator(ServerAggregator):
+    """Exact integer accumulation of small-domain reports."""
+
+    params: ExplicitHistogramParams
+
+    def __init__(self, params: ExplicitHistogramParams) -> None:
+        super().__init__(params)
+        if params.randomizer == "hadamard":
+            self._accumulator = np.zeros(params.padded, dtype=np.int64)
+        elif params.randomizer == "oue":
+            self._accumulator = np.zeros(params.domain_size, dtype=np.int64)
+        else:
+            self._accumulator = np.zeros(params.domain_size, dtype=np.int64)
+
+    def _absorb_columns(self, batch: ReportBatch) -> None:
+        if self.params.randomizer == "hadamard":
+            np.add.at(self._accumulator,
+                      np.asarray(batch.columns["row"], dtype=np.int64),
+                      np.asarray(batch.columns["bit"], dtype=np.int64))
+        elif self.params.randomizer == "oue":
+            self._accumulator += batch.columns["bits"].sum(axis=0, dtype=np.int64)
+        else:
+            self._accumulator += np.bincount(
+                np.asarray(batch.columns["value"], dtype=np.int64),
+                minlength=self.params.domain_size)
+
+    def _merge_impl(self, other: "ExplicitHistogramAggregator"
+                    ) -> "ExplicitHistogramAggregator":
+        merged = ExplicitHistogramAggregator(self.params)
+        merged._accumulator = self._accumulator + other._accumulator
+        return merged
+
+    # ----- estimation ---------------------------------------------------------------
+
+    def histogram(self) -> np.ndarray:
+        """Debiased frequency estimates for the whole domain."""
+        params = self.params
+        n = self.num_reports
+        if params.randomizer == "hadamard":
+            from repro.frequency.explicit import fast_walsh_hadamard_transform
+            transformed = fast_walsh_hadamard_transform(
+                self._accumulator.astype(float))
+            estimates = transformed / params.attenuation
+            return estimates[1: params.domain_size + 1]
+        return (self._accumulator - n * params.q) / (params.p - params.q)
+
+    def finalize(self):
+        """Fitted :class:`~repro.frequency.explicit.ExplicitHistogramOracle`."""
+        from repro.frequency.explicit import ExplicitHistogramOracle
+        oracle = ExplicitHistogramOracle(self.params.domain_size,
+                                         self.params.epsilon,
+                                         randomizer=self.params.randomizer)
+        oracle._load_wire_aggregate(self.histogram(), self.num_reports,
+                                    self.state_size)
+        return oracle
+
+    @property
+    def state_size(self) -> int:
+        return int(self._accumulator.size)

@@ -1,0 +1,226 @@
+"""Wire protocol for the general-domain Hashtogram oracle (Theorem 3.7).
+
+The server publishes, per repetition t, a pairwise independent bucket hash
+``h_t`` and a 4-wise independent sign hash ``s_t``; a user assigned to
+repetition t encodes the (bucket, sign) cell of her value through the
+small-domain protocol over ``2 * num_buckets`` cells.
+
+Repetition assignment is part of the public parameters: the default
+``"round_robin"`` policy derives the repetition from the user's index, so the
+report itself carries only the inner small-domain payload (the repetition is
+implied by who sent it); the ``"uniform"`` policy has each user draw her
+repetition locally and ship it alongside the report.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.hashing.kwise import KWiseHash, KWiseHashFamily, SignHash, sign_hash
+from repro.protocol.explicit import ExplicitHistogramParams
+from repro.protocol.wire import (
+    ClientEncoder,
+    PublicParams,
+    ReportBatch,
+    ServerAggregator,
+    kwise_hash_from_dict,
+    kwise_hash_to_dict,
+    register_protocol,
+    sign_hash_from_dict,
+    sign_hash_to_dict,
+)
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_epsilon, check_positive_int
+
+_ASSIGNMENTS = ("round_robin", "uniform")
+
+
+@register_protocol
+class HashtogramParams(PublicParams):
+    """Public parameters of the Hashtogram oracle: hashes + configuration."""
+
+    protocol = "hashtogram"
+
+    def __init__(self, domain_size: int, epsilon: float, num_repetitions: int,
+                 num_buckets: int, bucket_hashes: Sequence[KWiseHash],
+                 sign_hashes: Sequence[SignHash],
+                 inner_randomizer: str = "hadamard",
+                 assignment: str = "round_robin") -> None:
+        self.domain_size = check_positive_int(domain_size, "domain_size")
+        self.epsilon = check_epsilon(epsilon)
+        self.num_repetitions = check_positive_int(num_repetitions, "num_repetitions")
+        self.num_buckets = check_positive_int(num_buckets, "num_buckets")
+        if len(bucket_hashes) != num_repetitions or len(sign_hashes) != num_repetitions:
+            raise ValueError("need one bucket hash and one sign hash per repetition")
+        self.bucket_hashes = list(bucket_hashes)
+        self.sign_hashes = list(sign_hashes)
+        if assignment not in _ASSIGNMENTS:
+            raise ValueError(f"assignment must be one of {_ASSIGNMENTS}")
+        self.assignment = assignment
+        self.inner = ExplicitHistogramParams(2 * num_buckets, epsilon,
+                                             inner_randomizer)
+
+    @property
+    def inner_randomizer(self) -> str:
+        return self.inner.randomizer
+
+    @classmethod
+    def create(cls, domain_size: int, epsilon: float, num_repetitions: int = 5,
+               num_buckets: int = 16, inner_randomizer: str = "hadamard",
+               assignment: str = "round_robin",
+               rng: RandomState = None) -> "HashtogramParams":
+        """Sample fresh public randomness (the published hash functions)."""
+        gen = as_generator(rng)
+        bucket_family = KWiseHashFamily.create(domain_size, num_buckets,
+                                               independence=2)
+        bucket_hashes = bucket_family.sample_many(num_repetitions, gen)
+        sign_hashes = [sign_hash(domain_size, gen) for _ in range(num_repetitions)]
+        return cls(domain_size, epsilon, num_repetitions, num_buckets,
+                   bucket_hashes, sign_hashes, inner_randomizer, assignment)
+
+    # ----- serialization ---------------------------------------------------------
+
+    def _payload_dict(self) -> Dict[str, object]:
+        return {"domain_size": self.domain_size,
+                "epsilon": self.epsilon,
+                "num_repetitions": self.num_repetitions,
+                "num_buckets": self.num_buckets,
+                "inner_randomizer": self.inner_randomizer,
+                "assignment": self.assignment,
+                "bucket_hashes": [kwise_hash_to_dict(h) for h in self.bucket_hashes],
+                "sign_hashes": [sign_hash_to_dict(s) for s in self.sign_hashes]}
+
+    @classmethod
+    def _from_payload(cls, payload: Dict[str, object]) -> "HashtogramParams":
+        return cls(int(payload["domain_size"]), float(payload["epsilon"]),
+                   int(payload["num_repetitions"]), int(payload["num_buckets"]),
+                   [kwise_hash_from_dict(h) for h in payload["bucket_hashes"]],
+                   [sign_hash_from_dict(s) for s in payload["sign_hashes"]],
+                   str(payload["inner_randomizer"]), str(payload["assignment"]))
+
+    # ----- factories -------------------------------------------------------------
+
+    def make_encoder(self) -> "HashtogramEncoder":
+        return HashtogramEncoder(self)
+
+    def make_aggregator(self) -> "HashtogramAggregator":
+        return HashtogramAggregator(self)
+
+    # ----- accounting ------------------------------------------------------------
+
+    @property
+    def report_bits(self) -> float:
+        """Wire size of one report.
+
+        Under round-robin assignment the repetition is a public function of
+        the user's index, so only the inner payload travels; under uniform
+        assignment the report also carries the repetition tag.
+        """
+        bits = self.inner.report_bits
+        if self.assignment == "uniform":
+            bits += math.log2(max(self.num_repetitions, 2))
+        return bits
+
+    @property
+    def public_randomness_bits(self) -> int:
+        """Bits of public randomness consumed by the published hashes."""
+        return int(sum(h.description_bits for h in self.bucket_hashes)
+                   + sum(s.description_bits for s in self.sign_hashes))
+
+    # ----- helpers ---------------------------------------------------------------
+
+    def cells_for(self, values: np.ndarray, repetition: int) -> np.ndarray:
+        """Map values to their (bucket, sign) cell index in one repetition."""
+        if values.size == 0:
+            return values
+        buckets = np.asarray(self.bucket_hashes[repetition](values))
+        signs = np.asarray(self.sign_hashes[repetition](values))
+        return (2 * buckets + (signs > 0).astype(np.int64)).astype(np.int64)
+
+
+class HashtogramEncoder(ClientEncoder):
+    """Stateless Hashtogram client: pick a repetition, hash, run the inner
+    small-domain randomizer on the resulting cell."""
+
+    params: HashtogramParams
+
+    def _draw_user_index(self, gen: np.random.Generator) -> int:
+        if self.params.assignment == "round_robin":
+            return int(gen.integers(0, self.params.num_repetitions))
+        return 0
+
+    def encode_batch(self, values: Sequence[int], rng: RandomState = None,
+                     first_user_index: int = 0) -> ReportBatch:
+        gen = as_generator(rng)
+        params = self.params
+        values = np.asarray(values, dtype=np.int64)
+        if values.size and (values.min() < 0 or values.max() >= params.domain_size):
+            raise ValueError("values outside the declared domain")
+        n = values.size
+        reps = params.num_repetitions
+        if params.assignment == "round_robin":
+            assignment = (first_user_index + np.arange(n)) % reps
+        else:
+            assignment = gen.integers(0, reps, size=n)
+        cells = np.zeros(n, dtype=np.int64)
+        for t in range(reps):
+            mask = assignment == t
+            if mask.any():
+                cells[mask] = params.cells_for(values[mask], t)
+        inner = params.inner.make_encoder().encode_batch(cells, gen)
+        columns = {"repetition": assignment.astype(np.int64)}
+        columns.update(inner.columns)
+        return ReportBatch(params.protocol, columns)
+
+
+class HashtogramAggregator(ServerAggregator):
+    """One inner small-domain aggregator per repetition."""
+
+    params: HashtogramParams
+
+    def __init__(self, params: HashtogramParams) -> None:
+        super().__init__(params)
+        self._inner = [params.inner.make_aggregator()
+                       for _ in range(params.num_repetitions)]
+
+    def _absorb_columns(self, batch: ReportBatch) -> None:
+        reps = np.asarray(batch.columns["repetition"], dtype=np.int64)
+        inner_columns = {key: col for key, col in batch.columns.items()
+                         if key != "repetition"}
+        for t in range(self.params.num_repetitions):
+            mask = reps == t
+            if mask.any():
+                sub = ReportBatch(self.params.inner.protocol,
+                                  {key: col[mask]
+                                   for key, col in inner_columns.items()})
+                self._inner[t].absorb_batch(sub)
+
+    def _merge_impl(self, other: "HashtogramAggregator") -> "HashtogramAggregator":
+        merged = HashtogramAggregator(self.params)
+        merged._inner = [mine.merge(theirs)
+                         for mine, theirs in zip(self._inner, other._inner)]
+        return merged
+
+    # ----- estimation ---------------------------------------------------------------
+
+    @property
+    def repetition_sizes(self) -> List[int]:
+        """Number of reports absorbed into each repetition."""
+        return [agg.num_reports for agg in self._inner]
+
+    def finalize(self):
+        """Fitted :class:`~repro.frequency.hashtogram.HashtogramOracle`."""
+        from repro.frequency.hashtogram import HashtogramOracle
+        oracle = HashtogramOracle(self.params.domain_size, self.params.epsilon,
+                                  num_repetitions=self.params.num_repetitions,
+                                  num_buckets=self.params.num_buckets,
+                                  inner_randomizer=self.params.inner_randomizer)
+        oracle._load_wire_aggregate(self)
+        return oracle
+
+    @property
+    def state_size(self) -> int:
+        return int(sum(agg.state_size for agg in self._inner))

@@ -1,0 +1,670 @@
+"""Wire protocols for the heavy-hitters constructions.
+
+Both the paper's :class:`PrivateExpanderSketch` (Section 3.3) and the
+single-hash baseline of Bassily et al. [3] decompose into the same wire
+shape: every user sends one stage-1 report (a small-domain report on a
+derived cell, privacy ε/2) concatenated with one stage-2 report (a Hashtogram
+report on the original value, privacy ε/2).  The server's aggregate is a
+collection of exact integer small-domain accumulators — one per coordinate or
+per (repetition, symbol) group — plus the final Hashtogram accumulator, so
+shard aggregators merge bit-exactly.
+
+Coordinate/group assignment is a published pairwise-independent hash of the
+public user index — the stateless counterpart of the paper's random user
+partition.  Unlike plain round-robin it is not a function of input *order*,
+so group membership stays value-independent even when record order correlates
+with the held values; the reports themselves carry only the randomized
+payloads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.codes.list_recoverable import (
+    ListRecoveryParameters,
+    UniqueListRecoverableCode,
+)
+from repro.core.params import ProtocolParameters
+from repro.core.results import HeavyHitterResult
+from repro.hashing.kwise import KWiseHash, KWiseHashFamily
+from repro.protocol.explicit import ExplicitHistogramParams
+from repro.protocol.hashtogram import HashtogramParams
+from repro.protocol.wire import (
+    ClientEncoder,
+    PublicParams,
+    ReportBatch,
+    ServerAggregator,
+    kwise_hash_from_dict,
+    kwise_hash_to_dict,
+    register_protocol,
+)
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.timer import ResourceMeter
+
+_STAGE1_PREFIX = "s1_"
+_FINAL_PREFIX = "fin_"
+
+#: domain of the user-index assignment hash (indices are arbitrary client ids)
+_ASSIGNMENT_DOMAIN = 1 << 31
+
+
+def _sample_assignment_hash(num_groups: int, gen) -> KWiseHash:
+    """Pairwise-independent hash mapping user indices to groups.
+
+    This is the stateless stand-in for the paper's random partition of [n]:
+    each client derives her group from her own (arbitrary) index, and the
+    grouping is independent of both the held values and the record order.
+    """
+    family = KWiseHashFamily.create(_ASSIGNMENT_DOMAIN, num_groups,
+                                    independence=2)
+    return family.sample(gen)
+
+
+# --------------------------------------------------------------------------------------
+# shared helpers (also used by the streaming simulation paths in core/ and baselines/)
+# --------------------------------------------------------------------------------------
+
+def stage1_subbatch(batch: ReportBatch, mask: np.ndarray,
+                    stage1_protocol: str) -> ReportBatch:
+    """Extract the stage-1 report columns of the masked users."""
+    return ReportBatch(stage1_protocol,
+                       {key[len(_STAGE1_PREFIX):]: col[mask]
+                        for key, col in batch.columns.items()
+                        if key.startswith(_STAGE1_PREFIX)})
+
+
+def final_subbatch(batch: ReportBatch, final_protocol: str) -> ReportBatch:
+    """Extract the stage-2 (final-oracle) report columns of every user."""
+    return ReportBatch(final_protocol,
+                       {key[len(_FINAL_PREFIX):]: col
+                        for key, col in batch.columns.items()
+                        if key.startswith(_FINAL_PREFIX)})
+
+
+def append_coordinate_lists(oracle, group_size: int, coordinate: int,
+                            code: UniqueListRecoverableCode,
+                            params: ProtocolParameters,
+                            lists: List[List[List[tuple]]]) -> None:
+    """Steps 2-3 of PrivateExpanderSketch for one coordinate.
+
+    For every (b, y) the arg-max over z is taken (step 3a); the pair is kept
+    if its estimate clears the detection threshold, largest estimates first,
+    up to the list budget ℓ (step 3b).  Fills ``lists[b][coordinate]``.
+    """
+    num_buckets = params.num_buckets
+    hash_range = params.hash_range
+    z_size = code.z_alphabet_size
+    cell_std = math.sqrt(max(group_size, 1) * oracle.estimator_variance_per_user)
+    threshold = params.threshold_std * cell_std
+    histogram = oracle.histogram().reshape(num_buckets, hash_range, z_size)
+    best_z = histogram.argmax(axis=2)
+    best_value = np.take_along_axis(histogram, best_z[:, :, None], axis=2)[:, :, 0]
+    for bucket in range(num_buckets):
+        order = np.argsort(-best_value[bucket])
+        entries = []
+        for y in order:
+            value = best_value[bucket, y]
+            if value < threshold:
+                break
+            entries.append((int(y), int(best_z[bucket, y])))
+            if len(entries) >= params.list_size:
+                break
+        lists[bucket][coordinate] = entries
+
+
+def derive_expander_cells(values: np.ndarray, buckets: np.ndarray,
+                          chunks: np.ndarray, coordinate: int,
+                          code: UniqueListRecoverableCode,
+                          params: ProtocolParameters) -> np.ndarray:
+    """Map each member's value to its oracle cell ((b, y, z) flattened)."""
+    if values.size == 0:
+        return values
+    hash_range = params.hash_range
+    y_values = np.asarray(code.hashes[coordinate](values))
+    # Packed z = chunk + prime * (neighbour hashes in base Y), matching
+    # UniqueListRecoverableCode._pack_z.
+    neighbor_part = np.zeros(values.size, dtype=np.int64)
+    for neighbor in reversed(code.expander.neighbors(coordinate)):
+        neighbor_part = (neighbor_part * hash_range
+                         + np.asarray(code.hashes[neighbor](values)))
+    z_values = neighbor_part * code.outer_code.prime + chunks
+    cells = (buckets * hash_range + y_values) * code.z_alphabet_size + z_values
+    return cells.astype(np.int64)
+
+
+def decode_candidate_lists(code: UniqueListRecoverableCode,
+                           lists: List[List[List[tuple]]],
+                           num_buckets: int) -> List[int]:
+    """Step 4: decode every partition bucket and union the candidate sets."""
+    candidates: List[int] = []
+    seen = set()
+    for bucket in range(num_buckets):
+        for candidate in code.decode(lists[bucket]):
+            if candidate not in seen:
+                seen.add(candidate)
+                candidates.append(candidate)
+    return candidates
+
+
+def _default_final_buckets(num_users: int) -> int:
+    return max(16, int(math.ceil(math.sqrt(max(num_users, 1)))))
+
+
+# --------------------------------------------------------------------------------------
+# PrivateExpanderSketch wire protocol
+# --------------------------------------------------------------------------------------
+
+@register_protocol
+class ExpanderSketchParams(PublicParams):
+    """Public randomness and configuration of one PrivateExpanderSketch run.
+
+    Carries the random user partition policy (round-robin on the public user
+    index), the partition hash g, the per-coordinate hashes h_m, the
+    list-recoverable code (reconstructible from ``code_seed``), and the
+    final-stage Hashtogram parameters.
+    """
+
+    protocol = "expander_sketch"
+
+    def __init__(self, domain_size: int, epsilon: float,
+                 params: ProtocolParameters, partition_hash: KWiseHash,
+                 coordinate_hashes: Sequence[KWiseHash], code_seed: int,
+                 final: HashtogramParams,
+                 assignment_hash: KWiseHash) -> None:
+        self.domain_size = int(domain_size)
+        self.epsilon = float(epsilon)
+        self.params = params
+        self.partition_hash = partition_hash
+        self.coordinate_hashes = list(coordinate_hashes)
+        self.code_seed = int(code_seed)
+        self.final = final
+        self.assignment_hash = assignment_hash
+        self.code = UniqueListRecoverableCode(
+            ListRecoveryParameters(
+                domain_size=domain_size,
+                num_coordinates=params.num_coordinates,
+                hash_range=params.hash_range,
+                list_size=params.list_size,
+                alpha=params.alpha,
+                expander_degree=params.expander_degree,
+                max_output_size=4 * params.list_size,
+            ),
+            self.coordinate_hashes,
+            rng=np.random.default_rng(self.code_seed),
+            rate=params.code_rate,
+        )
+        self.stage1 = ExplicitHistogramParams(self.num_cells,
+                                              params.epsilon_per_stage,
+                                              params.oracle_randomizer)
+
+    @classmethod
+    def create(cls, num_users: int, domain_size: int, epsilon: float,
+               params: ProtocolParameters, rng: RandomState = None
+               ) -> "ExpanderSketchParams":
+        """Sample all public randomness for a run with ``num_users`` users."""
+        gen = as_generator(rng)
+        partition_family = KWiseHashFamily.create(
+            domain_size, params.num_buckets,
+            independence=params.partition_independence)
+        partition_hash = partition_family.sample(gen)
+        coordinate_family = KWiseHashFamily.create(
+            domain_size, params.hash_range, independence=2)
+        coordinate_hashes = coordinate_family.sample_many(params.num_coordinates,
+                                                          gen)
+        code_seed = int(gen.integers(0, 2**63 - 1))
+        assignment_hash = _sample_assignment_hash(params.num_coordinates, gen)
+        final = HashtogramParams.create(
+            domain_size, params.epsilon_per_stage,
+            num_repetitions=params.final_oracle_repetitions,
+            num_buckets=(params.final_oracle_buckets
+                         or _default_final_buckets(num_users)),
+            rng=gen)
+        return cls(domain_size, epsilon, params, partition_hash,
+                   coordinate_hashes, code_seed, final, assignment_hash)
+
+    # ----- serialization ---------------------------------------------------------
+
+    def _payload_dict(self) -> Dict[str, object]:
+        return {"domain_size": self.domain_size,
+                "epsilon": self.epsilon,
+                "parameters": dataclasses.asdict(self.params),
+                "partition_hash": kwise_hash_to_dict(self.partition_hash),
+                "coordinate_hashes": [kwise_hash_to_dict(h)
+                                      for h in self.coordinate_hashes],
+                "code_seed": self.code_seed,
+                "final": self.final.to_dict(),
+                "assignment_hash": kwise_hash_to_dict(self.assignment_hash)}
+
+    @classmethod
+    def _from_payload(cls, payload: Dict[str, object]) -> "ExpanderSketchParams":
+        return cls(int(payload["domain_size"]), float(payload["epsilon"]),
+                   ProtocolParameters(**payload["parameters"]),
+                   kwise_hash_from_dict(payload["partition_hash"]),
+                   [kwise_hash_from_dict(h)
+                    for h in payload["coordinate_hashes"]],
+                   int(payload["code_seed"]),
+                   HashtogramParams.from_dict(payload["final"]),
+                   kwise_hash_from_dict(payload["assignment_hash"]))
+
+    # ----- factories -------------------------------------------------------------
+
+    def make_encoder(self) -> "ExpanderSketchEncoder":
+        return ExpanderSketchEncoder(self)
+
+    def make_aggregator(self) -> "ExpanderSketchAggregator":
+        return ExpanderSketchAggregator(self)
+
+    # ----- accounting / geometry -------------------------------------------------
+
+    @property
+    def num_cells(self) -> int:
+        """Per-coordinate oracle domain size B * Y * Z."""
+        return (self.params.num_buckets * self.params.hash_range
+                * self.code.z_alphabet_size)
+
+    @property
+    def report_bits(self) -> float:
+        """Stage-1 small-domain report plus stage-2 Hashtogram report."""
+        return self.stage1.report_bits + self.final.report_bits
+
+    @property
+    def public_randomness_bits(self) -> int:
+        return int(self.partition_hash.description_bits
+                   + sum(h.description_bits for h in self.coordinate_hashes)
+                   + self.assignment_hash.description_bits
+                   + self.final.public_randomness_bits)
+
+
+class ExpanderSketchEncoder(ClientEncoder):
+    """Stateless PrivateExpanderSketch client.
+
+    User i (hashed coordinate ``a(i)``, with ``a`` the published assignment
+    hash) derives her cell ``(g(x), h_m(x), E~nc(x)_m)``, randomizes it
+    through the stage-1 small-domain protocol at ε/2, and additionally
+    randomizes her original value through the final-stage Hashtogram at ε/2.
+    """
+
+    params: ExpanderSketchParams
+
+    def _draw_user_index(self, gen: np.random.Generator) -> int:
+        return int(gen.integers(0, _ASSIGNMENT_DOMAIN))
+
+    def encode_batch(self, values: Sequence[int], rng: RandomState = None,
+                     first_user_index: int = 0) -> ReportBatch:
+        gen = as_generator(rng)
+        params = self.params
+        values = np.asarray(values, dtype=np.int64)
+        if values.size and (values.min() < 0 or values.max() >= params.domain_size):
+            raise ValueError("values outside the declared domain")
+        n = values.size
+        indices = (first_user_index + np.arange(n)) % _ASSIGNMENT_DOMAIN
+        assignment = np.asarray(params.assignment_hash(indices))
+        num_coordinates = params.params.num_coordinates
+        partition_values = np.asarray(params.partition_hash(values))
+        chunks = params.code.outer_code.encode_batch(values)  # (n, M)
+        cells = np.zeros(n, dtype=np.int64)
+        for m in range(num_coordinates):
+            mask = assignment == m
+            if mask.any():
+                cells[mask] = derive_expander_cells(
+                    values[mask], partition_values[mask], chunks[mask, m], m,
+                    params.code, params.params)
+        stage1 = params.stage1.make_encoder().encode_batch(cells, gen)
+        final = params.final.make_encoder().encode_batch(
+            values, gen, first_user_index=first_user_index)
+        columns: Dict[str, np.ndarray] = {"coordinate": assignment.astype(np.int64)}
+        columns.update({_STAGE1_PREFIX + key: col
+                        for key, col in stage1.columns.items()})
+        columns.update({_FINAL_PREFIX + key: col
+                        for key, col in final.columns.items()})
+        return ReportBatch(params.protocol, columns)
+
+
+class ExpanderSketchAggregator(ServerAggregator):
+    """Mergeable server state: M stage-1 accumulators + the final Hashtogram.
+
+    Holding every coordinate accumulator at once is what buys incremental,
+    shardable ingestion; the one-shot simulation path in
+    :meth:`repro.core.heavy_hitters.PrivateExpanderSketch.run` instead streams
+    one coordinate at a time to keep the paper's peak-memory profile.
+    """
+
+    params: ExpanderSketchParams
+
+    def __init__(self, params: ExpanderSketchParams) -> None:
+        super().__init__(params)
+        self._stage1 = [params.stage1.make_aggregator()
+                        for _ in range(params.params.num_coordinates)]
+        self._final = params.final.make_aggregator()
+
+    def _absorb_columns(self, batch: ReportBatch) -> None:
+        coordinates = np.asarray(batch.columns["coordinate"], dtype=np.int64)
+        for m in range(self.params.params.num_coordinates):
+            mask = coordinates == m
+            if mask.any():
+                self._stage1[m].absorb_batch(
+                    stage1_subbatch(batch, mask, self.params.stage1.protocol))
+        self._final.absorb_batch(
+            final_subbatch(batch, self.params.final.protocol))
+
+    def _merge_impl(self, other: "ExpanderSketchAggregator"
+                    ) -> "ExpanderSketchAggregator":
+        merged = ExpanderSketchAggregator(self.params)
+        merged._stage1 = [mine.merge(theirs)
+                          for mine, theirs in zip(self._stage1, other._stage1)]
+        merged._final = self._final.merge(other._final)
+        return merged
+
+    # ----- finalization -------------------------------------------------------------
+
+    def finalize(self, meter: Optional[ResourceMeter] = None,
+                 protocol_name: str = "private_expander_sketch"
+                 ) -> HeavyHitterResult:
+        """Steps 2-5: build the lists, decode every bucket, estimate candidates."""
+        params = self.params
+        pp = params.params
+        meter = meter if meter is not None else ResourceMeter()
+        lists: List[List[List[tuple]]] = [
+            [[] for _ in range(pp.num_coordinates)]
+            for _ in range(pp.num_buckets)]
+        group_sizes: List[int] = []
+        for m, aggregator in enumerate(self._stage1):
+            oracle = aggregator.finalize()
+            group_sizes.append(aggregator.num_reports)
+            append_coordinate_lists(oracle, aggregator.num_reports, m,
+                                    params.code, pp, lists)
+        candidates = decode_candidate_lists(params.code, lists, pp.num_buckets)
+        final_oracle = self._final.finalize()
+        estimates: Dict[int, float] = {}
+        if candidates:
+            estimated = final_oracle.estimate_many(candidates)
+            estimates = {int(x): float(a) for x, a in zip(candidates, estimated)}
+        meter.observe_server_memory(self.state_size)
+        return HeavyHitterResult(
+            estimates=estimates,
+            protocol=protocol_name,
+            num_users=self.num_reports,
+            epsilon=params.epsilon,
+            meter=meter,
+            candidates=candidates,
+            oracle=final_oracle,
+            metadata={"parameters": pp.describe(),
+                      "group_sizes": group_sizes,
+                      "num_cells": params.num_cells,
+                      "report_bits": params.report_bits,
+                      "server_state_size": self.state_size,
+                      "list_sizes": [len(per_coord)
+                                     for per_bucket in lists
+                                     for per_coord in per_bucket]},
+        )
+
+    @property
+    def state_size(self) -> int:
+        return int(sum(agg.state_size for agg in self._stage1)
+                   + self._final.state_size)
+
+
+# --------------------------------------------------------------------------------------
+# Single-hash (Bassily et al. [3]) wire protocol
+# --------------------------------------------------------------------------------------
+
+@register_protocol
+class SingleHashParams(PublicParams):
+    """Public parameters of the single-hash baseline of Section 3.1.1.
+
+    One shared hash per repetition, symbol-by-symbol reconstruction; users are
+    partitioned over the (repetition, symbol) groups by a published
+    pairwise-independent hash of their index.
+    """
+
+    protocol = "single_hash_bnst"
+
+    def __init__(self, domain_size: int, epsilon: float, repetitions: int,
+                 num_symbols: int, symbol_bits: int, hash_range: int,
+                 threshold_std: float, hashes: Sequence[KWiseHash],
+                 final: HashtogramParams,
+                 assignment_hash: KWiseHash) -> None:
+        self.domain_size = int(domain_size)
+        self.epsilon = float(epsilon)
+        self.repetitions = int(repetitions)
+        self.num_symbols = int(num_symbols)
+        self.symbol_bits = int(symbol_bits)
+        self.hash_range = int(hash_range)
+        self.threshold_std = float(threshold_std)
+        if len(hashes) != repetitions:
+            raise ValueError("need exactly one shared hash per repetition")
+        self.hashes = list(hashes)
+        self.final = final
+        self.assignment_hash = assignment_hash
+        self.stage1 = ExplicitHistogramParams(hash_range * self.alphabet_size,
+                                              epsilon / 2.0, "hadamard")
+
+    @property
+    def alphabet_size(self) -> int:
+        return 1 << self.symbol_bits
+
+    @property
+    def num_groups(self) -> int:
+        return self.repetitions * self.num_symbols
+
+    @classmethod
+    def create(cls, num_users: int, domain_size: int, epsilon: float,
+               repetitions: int, num_symbols: int, symbol_bits: int,
+               hash_range: int, threshold_std: float = 2.0,
+               rng: RandomState = None) -> "SingleHashParams":
+        """Sample the shared hashes and the final-oracle randomness."""
+        gen = as_generator(rng)
+        family = KWiseHashFamily.create(domain_size, hash_range, independence=2)
+        hashes = family.sample_many(repetitions, gen)
+        assignment_hash = _sample_assignment_hash(repetitions * num_symbols, gen)
+        final = HashtogramParams.create(
+            domain_size, epsilon / 2.0,
+            num_buckets=_default_final_buckets(num_users), rng=gen)
+        return cls(domain_size, epsilon, repetitions, num_symbols, symbol_bits,
+                   hash_range, threshold_std, hashes, final, assignment_hash)
+
+    # ----- serialization ---------------------------------------------------------
+
+    def _payload_dict(self) -> Dict[str, object]:
+        return {"domain_size": self.domain_size,
+                "epsilon": self.epsilon,
+                "repetitions": self.repetitions,
+                "num_symbols": self.num_symbols,
+                "symbol_bits": self.symbol_bits,
+                "hash_range": self.hash_range,
+                "threshold_std": self.threshold_std,
+                "hashes": [kwise_hash_to_dict(h) for h in self.hashes],
+                "final": self.final.to_dict(),
+                "assignment_hash": kwise_hash_to_dict(self.assignment_hash)}
+
+    @classmethod
+    def _from_payload(cls, payload: Dict[str, object]) -> "SingleHashParams":
+        return cls(int(payload["domain_size"]), float(payload["epsilon"]),
+                   int(payload["repetitions"]), int(payload["num_symbols"]),
+                   int(payload["symbol_bits"]), int(payload["hash_range"]),
+                   float(payload["threshold_std"]),
+                   [kwise_hash_from_dict(h) for h in payload["hashes"]],
+                   HashtogramParams.from_dict(payload["final"]),
+                   kwise_hash_from_dict(payload["assignment_hash"]))
+
+    # ----- factories -------------------------------------------------------------
+
+    def make_encoder(self) -> "SingleHashEncoder":
+        return SingleHashEncoder(self)
+
+    def make_aggregator(self) -> "SingleHashAggregator":
+        return SingleHashAggregator(self)
+
+    # ----- accounting ------------------------------------------------------------
+
+    @property
+    def report_bits(self) -> float:
+        return self.stage1.report_bits + self.final.report_bits
+
+    @property
+    def public_randomness_bits(self) -> int:
+        return int(sum(h.description_bits for h in self.hashes)
+                   + self.assignment_hash.description_bits
+                   + self.final.public_randomness_bits)
+
+    # ----- helpers ---------------------------------------------------------------
+
+    def symbols_of(self, values: np.ndarray) -> np.ndarray:
+        """Decompose every value into its ``num_symbols`` base-W symbols."""
+        symbols = np.empty((values.size, self.num_symbols), dtype=np.int64)
+        remaining = values.copy()
+        for m in range(self.num_symbols):
+            symbols[:, m] = remaining & (self.alphabet_size - 1)
+            remaining >>= self.symbol_bits
+        return symbols
+
+
+class SingleHashEncoder(ClientEncoder):
+    """Stateless single-hash client: hash, pick your symbol, randomize."""
+
+    params: SingleHashParams
+
+    def _draw_user_index(self, gen: np.random.Generator) -> int:
+        return int(gen.integers(0, _ASSIGNMENT_DOMAIN))
+
+    def encode_batch(self, values: Sequence[int], rng: RandomState = None,
+                     first_user_index: int = 0) -> ReportBatch:
+        gen = as_generator(rng)
+        params = self.params
+        values = np.asarray(values, dtype=np.int64)
+        if values.size and (values.min() < 0 or values.max() >= params.domain_size):
+            raise ValueError("values outside the declared domain")
+        n = values.size
+        indices = (first_user_index + np.arange(n)) % _ASSIGNMENT_DOMAIN
+        groups = np.asarray(params.assignment_hash(indices))
+        repetition = groups // params.num_symbols
+        symbol_index = groups % params.num_symbols
+        symbols = params.symbols_of(values)
+        cells = np.zeros(n, dtype=np.int64)
+        for r in range(params.repetitions):
+            mask = repetition == r
+            if mask.any():
+                hash_values = np.asarray(params.hashes[r](values[mask]))
+                cells[mask] = (hash_values * params.alphabet_size
+                               + symbols[mask, symbol_index[mask]])
+        stage1 = params.stage1.make_encoder().encode_batch(cells, gen)
+        final = params.final.make_encoder().encode_batch(
+            values, gen, first_user_index=first_user_index)
+        columns: Dict[str, np.ndarray] = {"group": groups.astype(np.int64)}
+        columns.update({_STAGE1_PREFIX + key: col
+                        for key, col in stage1.columns.items()})
+        columns.update({_FINAL_PREFIX + key: col
+                        for key, col in final.columns.items()})
+        return ReportBatch(params.protocol, columns)
+
+
+class SingleHashAggregator(ServerAggregator):
+    """One stage-1 accumulator per (repetition, symbol) group + final oracle."""
+
+    params: SingleHashParams
+
+    def __init__(self, params: SingleHashParams) -> None:
+        super().__init__(params)
+        self._stage1 = [params.stage1.make_aggregator()
+                        for _ in range(params.num_groups)]
+        self._final = params.final.make_aggregator()
+
+    def _absorb_columns(self, batch: ReportBatch) -> None:
+        groups = np.asarray(batch.columns["group"], dtype=np.int64)
+        for g in range(self.params.num_groups):
+            mask = groups == g
+            if mask.any():
+                self._stage1[g].absorb_batch(
+                    stage1_subbatch(batch, mask, self.params.stage1.protocol))
+        self._final.absorb_batch(
+            final_subbatch(batch, self.params.final.protocol))
+
+    def _merge_impl(self, other: "SingleHashAggregator") -> "SingleHashAggregator":
+        merged = SingleHashAggregator(self.params)
+        merged._stage1 = [mine.merge(theirs)
+                          for mine, theirs in zip(self._stage1, other._stage1)]
+        merged._final = self._final.merge(other._final)
+        return merged
+
+    # ----- finalization -------------------------------------------------------------
+
+    def reconstruct_candidates(self) -> List[int]:
+        """Stage 2: per repetition, rebuild one candidate per hash value."""
+        params = self.params
+        candidates: List[int] = []
+        seen = set()
+        for r in range(params.repetitions):
+            reconstructed = np.zeros(params.hash_range, dtype=np.int64)
+            passes_threshold = np.ones(params.hash_range, dtype=bool)
+            for m in range(params.num_symbols):
+                aggregator = self._stage1[r * params.num_symbols + m]
+                oracle = aggregator.finalize()
+                size = aggregator.num_reports
+                cell_std = math.sqrt(max(size, 1)
+                                     * oracle.estimator_variance_per_user)
+                table = oracle.histogram().reshape(params.hash_range,
+                                                   params.alphabet_size)
+                best_symbol = table.argmax(axis=1)
+                best_value = table.max(axis=1)
+                passes_threshold &= best_value >= params.threshold_std * cell_std
+                reconstructed |= best_symbol << (m * params.symbol_bits)
+            for t in range(params.hash_range):
+                candidate = int(reconstructed[t])
+                if not passes_threshold[t]:
+                    continue
+                if candidate < params.domain_size and candidate not in seen:
+                    seen.add(candidate)
+                    candidates.append(candidate)
+        return candidates
+
+    def finalize(self, meter: Optional[ResourceMeter] = None
+                 ) -> HeavyHitterResult:
+        params = self.params
+        meter = meter if meter is not None else ResourceMeter()
+        candidates = self.reconstruct_candidates()
+        final_oracle = self._final.finalize()
+        estimates: Dict[int, float] = {}
+        if candidates:
+            estimated = final_oracle.estimate_many(candidates)
+            estimates = {int(x): float(a) for x, a in zip(candidates, estimated)}
+        meter.observe_server_memory(self.state_size)
+        return HeavyHitterResult(
+            estimates=estimates,
+            protocol=params.protocol,
+            num_users=self.num_reports,
+            epsilon=params.epsilon,
+            meter=meter,
+            candidates=candidates,
+            oracle=final_oracle,
+            metadata={"repetitions": params.repetitions,
+                      "hash_range": params.hash_range,
+                      "num_symbols": params.num_symbols,
+                      "alphabet_size": params.alphabet_size,
+                      "report_bits": params.report_bits,
+                      "server_state_size": self.state_size},
+        )
+
+    @property
+    def state_size(self) -> int:
+        return int(sum(agg.state_size for agg in self._stage1)
+                   + self._final.state_size)
+
+
+__all__ = [
+    "ExpanderSketchParams",
+    "ExpanderSketchEncoder",
+    "ExpanderSketchAggregator",
+    "SingleHashParams",
+    "SingleHashEncoder",
+    "SingleHashAggregator",
+    "append_coordinate_lists",
+    "derive_expander_cells",
+    "decode_candidate_lists",
+    "stage1_subbatch",
+    "final_subbatch",
+]

@@ -1,0 +1,161 @@
+"""Wire protocol for basic RAPPOR reports (the Chrome baseline [12]).
+
+The server publishes the Bloom-filter hash functions; each user Bloom-encodes
+her value, applies permanent randomized response to every bit, and ships the
+``num_bits``-wide noisy vector.  The aggregator keeps exact integer per-bit
+one-counts; candidate-set regression decoding happens in ``finalize()``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.protocol.wire import (
+    ClientEncoder,
+    PublicParams,
+    ReportBatch,
+    ServerAggregator,
+    kwise_hash_from_dict,
+    kwise_hash_to_dict,
+    register_protocol,
+)
+from repro.randomizers.rappor import BasicRappor
+from repro.utils.rng import RandomState, as_generator
+
+
+@register_protocol
+class RapporParams(PublicParams):
+    """Public parameters of basic RAPPOR: the Bloom hashes + configuration."""
+
+    protocol = "rappor"
+
+    def __init__(self, randomizer: BasicRappor) -> None:
+        self.randomizer = randomizer
+        self.domain_size = randomizer.domain_size
+        self.epsilon = randomizer.epsilon
+        self.num_bits = randomizer.num_bits
+        self.num_hashes = randomizer.num_hashes
+
+    @classmethod
+    def create(cls, domain_size: int, epsilon: float, num_bits: int = 128,
+               num_hashes: int = 2, rng: RandomState = None) -> "RapporParams":
+        """Sample fresh public randomness (the Bloom hash functions)."""
+        return cls(BasicRappor(epsilon, domain_size, num_bits=num_bits,
+                               num_hashes=num_hashes, rng=as_generator(rng)))
+
+    # ----- serialization ---------------------------------------------------------
+
+    def _payload_dict(self) -> Dict[str, object]:
+        return {"domain_size": self.domain_size,
+                "epsilon": self.epsilon,
+                "num_bits": self.num_bits,
+                "num_hashes": self.num_hashes,
+                "bloom_hashes": [kwise_hash_to_dict(h)
+                                 for h in self.randomizer._hashes]}
+
+    @classmethod
+    def _from_payload(cls, payload: Dict[str, object]) -> "RapporParams":
+        return cls(BasicRappor(
+            float(payload["epsilon"]), int(payload["domain_size"]),
+            num_bits=int(payload["num_bits"]),
+            num_hashes=int(payload["num_hashes"]),
+            hashes=[kwise_hash_from_dict(h)
+                    for h in payload["bloom_hashes"]]))
+
+    # ----- factories -------------------------------------------------------------
+
+    def make_encoder(self) -> "RapporEncoder":
+        return RapporEncoder(self)
+
+    def make_aggregator(self) -> "RapporAggregator":
+        return RapporAggregator(self)
+
+    # ----- accounting ------------------------------------------------------------
+
+    @property
+    def report_bits(self) -> float:
+        return float(self.num_bits)
+
+    @property
+    def public_randomness_bits(self) -> int:
+        return int(sum(h.description_bits for h in self.randomizer._hashes))
+
+
+class RapporEncoder(ClientEncoder):
+    """Stateless RAPPOR client: Bloom-encode, flip every bit."""
+
+    params: RapporParams
+
+    def encode_batch(self, values: Sequence[int], rng: RandomState = None,
+                     first_user_index: int = 0) -> ReportBatch:
+        gen = as_generator(rng)
+        params = self.params
+        values = np.asarray(values, dtype=np.int64)
+        if values.size and (values.min() < 0 or values.max() >= params.domain_size):
+            raise ValueError("values outside the declared domain")
+        randomizer = params.randomizer
+        if values.size == 0:
+            bits = np.zeros((0, params.num_bits), dtype=np.uint8)
+            return ReportBatch(params.protocol, {"bits": bits})
+        # Users sharing a value share a Bloom pattern; vectorize by value.
+        unique_values, inverse = np.unique(values, return_inverse=True)
+        blooms = np.stack([randomizer.bloom_bits(int(v)) for v in unique_values])
+        f = randomizer.flip_probability
+        prob_one = np.where(blooms[inverse] == 1, 1.0 - f / 2.0, f / 2.0)
+        bits = (gen.random((values.size, params.num_bits)) < prob_one
+                ).astype(np.uint8)
+        return ReportBatch(params.protocol, {"bits": bits})
+
+
+class RapporAggregator(ServerAggregator):
+    """Exact integer per-bit one-counts of the noisy Bloom reports."""
+
+    params: RapporParams
+
+    def __init__(self, params: RapporParams) -> None:
+        super().__init__(params)
+        self._bit_counts = np.zeros(params.num_bits, dtype=np.int64)
+
+    def _absorb_columns(self, batch: ReportBatch) -> None:
+        self._bit_counts += batch.columns["bits"].sum(axis=0, dtype=np.int64)
+
+    def _merge_impl(self, other: "RapporAggregator") -> "RapporAggregator":
+        merged = RapporAggregator(self.params)
+        merged._bit_counts = self._bit_counts + other._bit_counts
+        return merged
+
+    # ----- estimation ---------------------------------------------------------------
+
+    def estimate_candidates(self, candidates: Sequence[int]) -> np.ndarray:
+        """Regression-decode the aggregate against a known candidate set."""
+        return self.params.randomizer.estimate_candidate_frequencies_from_counts(
+            self._bit_counts, self.num_reports, candidates)
+
+    def finalize(self) -> "RapporAggregate":
+        """RAPPOR has no per-element oracle: decoding needs a candidate set.
+
+        ``finalize`` therefore returns a :class:`RapporAggregate`, a small
+        frozen view exposing ``estimate_candidates``.
+        """
+        return RapporAggregate(self.params, self._bit_counts.copy(),
+                               self.num_reports)
+
+    @property
+    def state_size(self) -> int:
+        return int(self._bit_counts.size)
+
+
+class RapporAggregate:
+    """Finalized RAPPOR aggregate: debiased candidate-set estimation only."""
+
+    def __init__(self, params: RapporParams, bit_counts: np.ndarray,
+                 num_users: int) -> None:
+        self.params = params
+        self.bit_counts = bit_counts
+        self.num_users = int(num_users)
+
+    def estimate_candidates(self, candidates: Sequence[int]) -> np.ndarray:
+        return self.params.randomizer.estimate_candidate_frequencies_from_counts(
+            self.bit_counts, self.num_users, candidates)

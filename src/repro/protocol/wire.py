@@ -1,0 +1,433 @@
+"""Wire-level client/server abstractions for every LDP protocol.
+
+The paper's local model is inherently distributed: each user runs a local
+randomizer on her own device and ships one short report to a server that only
+ever sees the aggregate.  This module makes that boundary explicit:
+
+* :class:`PublicParams` — the serializable public randomness and configuration
+  a server publishes before collection starts (hash seeds, bucket counts, ε,
+  repetition-assignment policy).  ``to_dict()`` / ``from_dict()`` round-trip
+  through plain JSON-safe dictionaries so the parameters can be shipped to
+  clients over any transport.
+* :class:`ClientEncoder` — a stateless per-user object built from the public
+  parameters.  ``encode(value, rng)`` produces one small serializable
+  :class:`Report`; ``encode_batch`` is the vectorized path used by
+  simulations.
+* :class:`ServerAggregator` — incremental ingestion (``absorb`` /
+  ``absorb_batch``) into a compact integer state, plus a commutative and
+  associative ``merge`` so aggregation can be sharded across workers, and
+  ``finalize()`` which turns the aggregate into a fitted estimator
+  (a :class:`~repro.frequency.base.FrequencyOracle` or a heavy-hitters
+  result).
+
+All aggregator states are kept in exact integer arithmetic until
+``finalize()``, so splitting a report stream across K shards and merging the
+shard aggregators reproduces single-server aggregation *bit for bit*.
+
+The legacy one-shot ``FrequencyOracle.collect(values)`` /
+``HeavyHitterProtocol.run(values)`` entry points are retained as thin
+simulation conveniences implemented exactly as
+``encode_batch → absorb_batch → finalize``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type, Union
+
+import numpy as np
+
+from repro.hashing.kwise import KWiseHash, SignHash
+from repro.utils.rng import RandomState, as_generator
+
+__all__ = [
+    "Report",
+    "ReportBatch",
+    "PublicParams",
+    "ClientEncoder",
+    "ServerAggregator",
+    "merge_aggregators",
+    "register_protocol",
+    "kwise_hash_to_dict",
+    "kwise_hash_from_dict",
+    "sign_hash_to_dict",
+    "sign_hash_from_dict",
+]
+
+
+# --------------------------------------------------------------------------------------
+# hash (de)serialization helpers — PublicParams ship hash functions as coefficients
+# --------------------------------------------------------------------------------------
+
+def kwise_hash_to_dict(h: KWiseHash) -> Dict[str, object]:
+    """JSON-safe description of a k-wise independent hash function."""
+    return {"coefficients": [int(c) for c in h.coefficients],
+            "prime": int(h.prime),
+            "range_size": int(h.range_size)}
+
+
+def kwise_hash_from_dict(data: Dict[str, object]) -> KWiseHash:
+    """Rebuild a :class:`KWiseHash` from :func:`kwise_hash_to_dict` output."""
+    return KWiseHash(coefficients=tuple(int(c) for c in data["coefficients"]),
+                     prime=int(data["prime"]),
+                     range_size=int(data["range_size"]))
+
+
+def sign_hash_to_dict(s: SignHash) -> Dict[str, object]:
+    """JSON-safe description of a ±1-valued hash function."""
+    return kwise_hash_to_dict(s.base)
+
+
+def sign_hash_from_dict(data: Dict[str, object]) -> SignHash:
+    """Rebuild a :class:`SignHash` from :func:`sign_hash_to_dict` output."""
+    return SignHash(kwise_hash_from_dict(data))
+
+
+# --------------------------------------------------------------------------------------
+# reports
+# --------------------------------------------------------------------------------------
+
+class Report:
+    """One user's wire message: a protocol tag plus a small payload.
+
+    Payload entries are integers or small integer vectors; :meth:`to_dict`
+    yields a JSON-safe dictionary, so a report can be shipped over any
+    transport and re-hydrated with :meth:`from_dict`.
+    """
+
+    __slots__ = ("protocol", "payload")
+
+    def __init__(self, protocol: str, payload: Dict[str, object]) -> None:
+        self.protocol = protocol
+        self.payload = payload
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {}
+        for key, value in self.payload.items():
+            arr = np.asarray(value)
+            if arr.ndim == 0:
+                payload[key] = int(arr)
+            else:
+                payload[key] = [int(v) for v in arr.tolist()]
+        return {"protocol": self.protocol, "payload": payload}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Report":
+        payload = {key: (np.asarray(value, dtype=np.int64)
+                         if isinstance(value, (list, tuple)) else int(value))
+                   for key, value in dict(data["payload"]).items()}
+        return cls(str(data["protocol"]), payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        keys = ", ".join(sorted(self.payload))
+        return f"Report(protocol={self.protocol!r}, fields=[{keys}])"
+
+
+class ReportBatch:
+    """A columnar batch of reports (one row per user).
+
+    Columns are numpy arrays whose first axis indexes users; scalar payload
+    fields become 1-D columns and vector fields become 2-D columns.  The
+    columnar layout is what makes ``absorb_batch`` ingestion as fast as the
+    legacy one-shot simulation while every row remains an honest standalone
+    :class:`Report`.
+    """
+
+    __slots__ = ("protocol", "columns", "_num_reports")
+
+    def __init__(self, protocol: str, columns: Dict[str, np.ndarray]) -> None:
+        self.protocol = protocol
+        self.columns = {key: np.asarray(value) for key, value in columns.items()}
+        sizes = {int(col.shape[0]) for col in self.columns.values()}
+        if len(sizes) > 1:
+            raise ValueError(f"inconsistent column lengths: {sorted(sizes)}")
+        self._num_reports = sizes.pop() if sizes else 0
+
+    # ----- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._num_reports
+
+    def __iter__(self) -> Iterator[Report]:
+        for i in range(self._num_reports):
+            yield Report(self.protocol,
+                         {key: col[i] for key, col in self.columns.items()})
+
+    def to_reports(self) -> List[Report]:
+        """Materialize the batch as individual :class:`Report` objects."""
+        return list(self)
+
+    # ----- slicing / sharding ------------------------------------------------------
+
+    def select(self, index) -> "ReportBatch":
+        """Row subset (boolean mask, slice, or integer index array)."""
+        return ReportBatch(self.protocol,
+                           {key: col[index] for key, col in self.columns.items()})
+
+    def split(self, num_shards: int) -> List["ReportBatch"]:
+        """Partition the batch into ``num_shards`` contiguous shards."""
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        indices = np.array_split(np.arange(self._num_reports), num_shards)
+        return [self.select(ix) for ix in indices]
+
+    @classmethod
+    def concat(cls, batches: Sequence["ReportBatch"]) -> "ReportBatch":
+        """Concatenate batches of the same protocol."""
+        if not batches:
+            raise ValueError("need at least one batch")
+        protocol = batches[0].protocol
+        if any(b.protocol != protocol for b in batches):
+            raise ValueError("cannot concatenate batches of different protocols")
+        columns = {key: np.concatenate([b.columns[key] for b in batches])
+                   for key in batches[0].columns}
+        return cls(protocol, columns)
+
+    @classmethod
+    def from_reports(cls, reports: Iterable[Report]) -> "ReportBatch":
+        """Stack individual reports back into a columnar batch."""
+        reports = list(reports)
+        if not reports:
+            raise ValueError("need at least one report")
+        protocol = reports[0].protocol
+        if any(r.protocol != protocol for r in reports):
+            raise ValueError("cannot stack reports of different protocols")
+        columns = {key: np.stack([np.asarray(r.payload[key]) for r in reports])
+                   for key in reports[0].payload}
+        return cls(protocol, columns)
+
+    # ----- accounting ---------------------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """In-memory size of the columnar representation."""
+        return int(sum(col.nbytes for col in self.columns.values()))
+
+
+# --------------------------------------------------------------------------------------
+# public parameters + registry
+# --------------------------------------------------------------------------------------
+
+_PROTOCOL_REGISTRY: Dict[str, Type["PublicParams"]] = {}
+
+
+def register_protocol(cls: Type["PublicParams"]) -> Type["PublicParams"]:
+    """Class decorator registering a :class:`PublicParams` subclass for
+    :meth:`PublicParams.from_dict` dispatch."""
+    if not cls.protocol or cls.protocol == "abstract":
+        raise ValueError("protocol classes must define a unique `protocol` name")
+    _PROTOCOL_REGISTRY[cls.protocol] = cls
+    return cls
+
+
+class PublicParams(abc.ABC):
+    """Serializable public randomness/configuration published by the server.
+
+    Everything a client needs to encode (hash coefficients, bucket counts, ε,
+    the repetition-assignment policy) and everything a shard worker needs to
+    aggregate lives here.  Two parameter objects that serialize identically
+    are interchangeable, which is what makes shard aggregators mergeable.
+    """
+
+    #: registry key; subclasses override
+    protocol: str = "abstract"
+
+    # ----- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dictionary describing these parameters."""
+        data = {"protocol": self.protocol}
+        data.update(self._payload_dict())
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PublicParams":
+        """Rebuild parameters from :meth:`to_dict` output.
+
+        Called on the base class this dispatches on ``data["protocol"]``;
+        called on a subclass it checks the tag and rebuilds directly.
+        """
+        name = str(data.get("protocol", ""))
+        if cls is PublicParams:
+            try:
+                target = _PROTOCOL_REGISTRY[name]
+            except KeyError:
+                raise ValueError(f"unknown protocol {name!r}; registered: "
+                                 f"{sorted(_PROTOCOL_REGISTRY)}") from None
+            return target.from_dict(data)
+        if name != cls.protocol:
+            raise ValueError(f"cannot load {name!r} parameters as {cls.protocol!r}")
+        return cls._from_payload({k: v for k, v in data.items() if k != "protocol"})
+
+    @abc.abstractmethod
+    def _payload_dict(self) -> Dict[str, object]:
+        """Subclass hook: JSON-safe payload (everything except the tag)."""
+
+    @classmethod
+    @abc.abstractmethod
+    def _from_payload(cls, payload: Dict[str, object]) -> "PublicParams":
+        """Subclass hook: rebuild from :meth:`_payload_dict` output."""
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, PublicParams)
+                and other.protocol == self.protocol
+                and other.to_dict() == self.to_dict())
+
+    def __hash__(self) -> int:  # pragma: no cover - dict-keyed use is rare
+        return hash(self.protocol)
+
+    # ----- factories -------------------------------------------------------------
+
+    @abc.abstractmethod
+    def make_encoder(self) -> "ClientEncoder":
+        """Build the stateless client-side encoder for these parameters."""
+
+    @abc.abstractmethod
+    def make_aggregator(self) -> "ServerAggregator":
+        """Build an empty server-side aggregator for these parameters."""
+
+    # ----- accounting ------------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def report_bits(self) -> float:
+        """Exact wire size of one encoded report, in bits."""
+
+
+class ClientEncoder(abc.ABC):
+    """Stateless per-user encoder built from :class:`PublicParams`.
+
+    Encoders hold no mutable state: the same parameters always build an
+    equivalent encoder, and every call draws only from the ``rng`` argument,
+    mirroring randomization on the user's own device.
+    """
+
+    def __init__(self, params: PublicParams) -> None:
+        self.params = params
+
+    @property
+    def report_bits(self) -> float:
+        """Wire size of one report produced by this encoder, in bits."""
+        return self.params.report_bits
+
+    def encode(self, value: int, rng: RandomState = None,
+               user_index: Optional[int] = None) -> Report:
+        """Encode a single user's value into one wire report.
+
+        ``user_index`` feeds deterministic assignment policies (round-robin or
+        hashed repetition/coordinate assignment); when omitted, an anonymous
+        index is drawn uniformly from ``rng`` so assignments stay uniform
+        across clients that never learned an index.
+        """
+        gen = as_generator(rng)
+        if user_index is None:
+            user_index = self._draw_user_index(gen)
+        batch = self.encode_batch(np.asarray([value], dtype=np.int64), gen,
+                                  first_user_index=int(user_index))
+        return next(iter(batch))
+
+    def _draw_user_index(self, gen: np.random.Generator) -> int:
+        """Subclass hook: random index for anonymous clients.
+
+        Protocols whose assignment policy is a deterministic function of the
+        user index must override this, otherwise every anonymous client would
+        collapse into assignment slot 0.
+        """
+        return 0
+
+    @abc.abstractmethod
+    def encode_batch(self, values: Sequence[int], rng: RandomState = None,
+                     first_user_index: int = 0) -> ReportBatch:
+        """Vectorized encoding of ``values[i]`` for users ``first_user_index + i``."""
+
+
+class ServerAggregator(abc.ABC):
+    """Incremental, mergeable server-side aggregation of wire reports.
+
+    Aggregators keep exact integer state, so ``merge`` is commutative and
+    associative *bit for bit*: sharding a report stream across K workers and
+    merging their aggregators reproduces single-server ingestion exactly.
+    """
+
+    def __init__(self, params: PublicParams) -> None:
+        self.params = params
+        self.num_reports = 0
+
+    # ----- ingestion ----------------------------------------------------------------
+
+    def absorb(self, report: Report) -> "ServerAggregator":
+        """Ingest a single report (streaming path).  Returns ``self``."""
+        self.absorb_batch(ReportBatch.from_reports([report]))
+        return self
+
+    def absorb_batch(self, reports: Union[ReportBatch, Iterable[Report]]
+                     ) -> "ServerAggregator":
+        """Ingest a batch of reports (columnar fast path).  Returns ``self``."""
+        if not isinstance(reports, ReportBatch):
+            reports = list(reports)
+            if not reports:
+                return self
+            reports = ReportBatch.from_reports(reports)
+        if reports.protocol != self.params.protocol:
+            raise ValueError(f"cannot absorb {reports.protocol!r} reports into a "
+                             f"{self.params.protocol!r} aggregator")
+        if len(reports) == 0:
+            return self
+        self._absorb_columns(reports)
+        self.num_reports += len(reports)
+        return self
+
+    @abc.abstractmethod
+    def _absorb_columns(self, batch: ReportBatch) -> None:
+        """Subclass hook: fold a non-empty columnar batch into the state."""
+
+    # ----- merging ------------------------------------------------------------------
+
+    def merge(self, other: "ServerAggregator") -> "ServerAggregator":
+        """Combine two shard aggregators into a new one (state is summed).
+
+        The operation is commutative and associative; both operands are left
+        untouched.  Aggregators must have been built from equal public
+        parameters.
+        """
+        if type(other) is not type(self):
+            raise TypeError(f"cannot merge {type(other).__name__} into "
+                            f"{type(self).__name__}")
+        if other.params != self.params:
+            raise ValueError("cannot merge aggregators with different public "
+                             "parameters")
+        merged = self._merge_impl(other)
+        merged.num_reports = self.num_reports + other.num_reports
+        return merged
+
+    @abc.abstractmethod
+    def _merge_impl(self, other: "ServerAggregator") -> "ServerAggregator":
+        """Subclass hook: new aggregator whose state is the sum of both."""
+
+    # ----- finalization -------------------------------------------------------------
+
+    @abc.abstractmethod
+    def finalize(self):
+        """Debias the aggregate into a fitted estimator.
+
+        Frequency-oracle aggregators return a ready-to-query
+        :class:`~repro.frequency.base.FrequencyOracle`; heavy-hitters
+        aggregators return a :class:`~repro.core.results.HeavyHitterResult`.
+        """
+
+    # ----- accounting ---------------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def state_size(self) -> int:
+        """Number of scalars retained by this aggregator."""
+
+
+def merge_aggregators(aggregators: Sequence[ServerAggregator]) -> ServerAggregator:
+    """Fold a non-empty sequence of shard aggregators into one."""
+    if not aggregators:
+        raise ValueError("need at least one aggregator")
+    merged = aggregators[0]
+    for aggregator in aggregators[1:]:
+        merged = merged.merge(aggregator)
+    return merged

@@ -46,10 +46,14 @@ class BasicRappor(LocalRandomizer):
         Number of Bloom hash functions (h).
     rng:
         Randomness used to sample the (public) Bloom hash functions.
+    hashes:
+        Explicit Bloom hash functions (e.g. rebuilt from serialized public
+        parameters); when given, no sampling happens and ``rng`` is unused.
     """
 
     def __init__(self, epsilon: float, domain_size: int, num_bits: int = 128,
-                 num_hashes: int = 2, rng: RandomState = None) -> None:
+                 num_hashes: int = 2, rng: RandomState = None,
+                 hashes: Optional[List[KWiseHash]] = None) -> None:
         self.epsilon = check_epsilon(epsilon)
         self.delta = 0.0
         self.domain_size = check_positive_int(domain_size, "domain_size")
@@ -57,8 +61,13 @@ class BasicRappor(LocalRandomizer):
         self.num_hashes = check_positive_int(num_hashes, "num_hashes")
         # epsilon = 2 h ln((1 - f/2) / (f/2))  =>  f = 2 / (exp(eps / 2h) + 1)
         self.flip_probability = 2.0 / (math.exp(epsilon / (2.0 * num_hashes)) + 1.0)
-        family = KWiseHashFamily.create(domain_size, num_bits, independence=2)
-        self._hashes: List[KWiseHash] = family.sample_many(num_hashes, rng)
+        if hashes is not None:
+            if len(hashes) != num_hashes:
+                raise ValueError("need exactly num_hashes Bloom hash functions")
+            self._hashes: List[KWiseHash] = list(hashes)
+        else:
+            family = KWiseHashFamily.create(domain_size, num_bits, independence=2)
+            self._hashes = family.sample_many(num_hashes, rng)
 
     # ----- encoding ------------------------------------------------------------
 
@@ -110,19 +119,33 @@ class BasicRappor(LocalRandomizer):
         return np.stack([self.bloom_bits(int(c)) for c in candidates]).astype(float)
 
     def estimate_candidate_frequencies(self, reports, candidates) -> np.ndarray:
-        """Estimate candidate frequencies from aggregated reports.
+        """Estimate candidate frequencies from a stack of individual reports.
 
-        First debias the per-bit counts (each report bit equals the Bloom bit
-        with probability 1 - f/2), then solve the least-squares system
-        ``design^T freq ≈ debiased_counts``.  This mirrors RAPPOR's regression
-        decoding restricted to a known candidate list.
+        Thin wrapper over
+        :meth:`estimate_candidate_frequencies_from_counts` — the decoder only
+        ever needs the per-bit one-counts, which is exactly the state a
+        sharded :class:`~repro.protocol.rappor.RapporAggregator` keeps.
         """
         reports = np.asarray(reports, dtype=float)
         if reports.ndim != 2 or reports.shape[1] != self.num_bits:
             raise ValueError("reports must be an (n, num_bits) array")
-        n = reports.shape[0]
+        return self.estimate_candidate_frequencies_from_counts(
+            reports.sum(axis=0), reports.shape[0], candidates)
+
+    def estimate_candidate_frequencies_from_counts(
+            self, bit_counts, num_reports: int, candidates) -> np.ndarray:
+        """Estimate candidate frequencies from aggregated per-bit one-counts.
+
+        First debias the counts (each report bit equals the Bloom bit with
+        probability 1 - f/2), then solve the least-squares system
+        ``design^T freq ≈ debiased_counts``.  This mirrors RAPPOR's regression
+        decoding restricted to a known candidate list.
+        """
+        bit_counts = np.asarray(bit_counts, dtype=float)
+        if bit_counts.shape != (self.num_bits,):
+            raise ValueError("bit_counts must be a length-num_bits vector")
+        n = int(num_reports)
         f = self.flip_probability
-        bit_counts = reports.sum(axis=0)
         # E[count_j] = t_j (1 - f/2) + (n - t_j) (f/2) where t_j = #users whose bloom bit j is 1
         debiased = (bit_counts - n * f / 2.0) / (1.0 - f)
         design = self.candidate_design_matrix(candidates)
