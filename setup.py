@@ -1,5 +1,9 @@
-"""Setuptools entry point (kept so that `pip install -e .` works without the
-`wheel` package being available; all metadata lives in pyproject.toml)."""
+"""Setuptools entry point; all metadata lives in pyproject.toml.
+
+Kept for tooling that still invokes ``setup.py`` directly.  On hosts without
+a modern setuptools/wheel toolchain, skip installation entirely and run with
+``PYTHONPATH=src`` as README.md describes.
+"""
 
 from setuptools import setup
 

@@ -13,6 +13,9 @@ This package implements all of it:
 ``repro.protocol``        Client/server wire API: serializable ``PublicParams``,
                           stateless ``ClientEncoder``, mergeable
                           ``ServerAggregator`` for every protocol below
+``repro.engine``          Multiprocess simulation engine over the wire API:
+                          deterministic chunk plans, process-pool execution,
+                          bit-identical for every worker count
 ``repro.core``            PrivateExpanderSketch (Section 3.3) and its parameters
 ``repro.frequency``       Hashtogram frequency oracles (Theorems 3.7/3.8)
 ``repro.randomizers``     Local randomizers (RR, unary, RAPPOR, Hadamard, ...)
@@ -63,7 +66,8 @@ that.  A deployment has three roles:
 The one-shot ``FrequencyOracle.collect(values)`` and
 ``HeavyHitterProtocol.run(values)`` entry points remain as simulation
 conveniences, implemented exactly as ``encode_batch → absorb_batch →
-finalize`` on this wire API.
+finalize`` on this wire API; ``repro.engine.run_simulation`` executes the
+same loop across a process pool with bit-identical output.
 
 Quickstart::
 
@@ -96,6 +100,10 @@ from repro.protocol import (
     ServerAggregator,
     SingleHashParams,
     merge_aggregators,
+)
+from repro.engine import (
+    EngineResult,
+    run_simulation,
 )
 from repro.frequency import (
     CountMeanSketchOracle,
@@ -139,6 +147,8 @@ __all__ = [
     "Report",
     "ReportBatch",
     "merge_aggregators",
+    "EngineResult",
+    "run_simulation",
     "ExplicitHistogramParams",
     "HashtogramParams",
     "CountMeanSketchParams",

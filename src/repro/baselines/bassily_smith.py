@@ -69,7 +69,8 @@ class DomainScanHeavyHitters(HeavyHitterProtocol):
             return check_positive_int(self.num_repetitions, "num_repetitions")
         return max(1, int(round(math.log2(1.0 / self.beta))))
 
-    def run(self, values: Sequence[int], rng: RandomState = None) -> HeavyHitterResult:
+    def run(self, values: Sequence[int], rng: RandomState = None,
+            chunk_size: int | None = None) -> HeavyHitterResult:
         gen = as_generator(rng)
         values = self._validate_values(values)
         num_users = int(values.size)
@@ -85,7 +86,7 @@ class DomainScanHeavyHitters(HeavyHitterProtocol):
                 members = values[assignment == r]
                 group_sizes.append(int(members.size))
                 oracle = HashtogramOracle(self.domain_size, self.epsilon)
-                oracle.collect(members, gen)
+                oracle.collect(members, gen, chunk_size=chunk_size)
                 oracles.append(oracle)
         meter.add_user_time(user_timer.elapsed)
         meter.add_communication(int(sum(o.report_bits * s

@@ -66,8 +66,10 @@ class RapporHeavyHitters(HeavyHitterProtocol):
                                    num_bits=self.num_bits,
                                    num_hashes=self.num_hashes, rng=rng)
 
-    def run(self, values: Sequence[int], rng: RandomState = None) -> HeavyHitterResult:
+    def run(self, values: Sequence[int], rng: RandomState = None,
+            chunk_size: int | None = None) -> HeavyHitterResult:
         """One-shot simulation: ``encode_batch → absorb_batch → finalize``."""
+        from repro.engine.engine import encode_concat
         gen = as_generator(rng)
         values = self._validate_values(values)
         num_users = int(values.size)
@@ -78,7 +80,7 @@ class RapporHeavyHitters(HeavyHitterProtocol):
         with Timer() as user_timer:
             # Each user Bloom-encodes and bit-flips on her own device; the
             # encoder vectorises by value (shared values share Bloom patterns).
-            batch = wire.make_encoder().encode_batch(values, gen)
+            batch = encode_concat(wire, values, gen, chunk_size=chunk_size)
         meter.add_user_time(user_timer.elapsed)
         meter.add_communication(int(wire.report_bits * num_users))
         meter.add_public_randomness(wire.public_randomness_bits)

@@ -104,8 +104,10 @@ class SingleHashHeavyHitters(HeavyHitterProtocol):
 
     # ----- execution ----------------------------------------------------------------
 
-    def run(self, values: Sequence[int], rng: RandomState = None) -> HeavyHitterResult:
+    def run(self, values: Sequence[int], rng: RandomState = None,
+            chunk_size: int | None = None) -> HeavyHitterResult:
         """One-shot simulation: ``encode_batch → absorb_batch → finalize``."""
+        from repro.engine.engine import encode_concat
         gen = as_generator(rng)
         values = self._validate_values(values)
         num_users = int(values.size)
@@ -117,7 +119,7 @@ class SingleHashHeavyHitters(HeavyHitterProtocol):
         meter.add_public_randomness(wire.public_randomness_bits)
 
         with Timer() as user_timer:
-            batch = wire.make_encoder().encode_batch(values, gen)
+            batch = encode_concat(wire, values, gen, chunk_size=chunk_size)
         meter.add_user_time(user_timer.elapsed)
         meter.add_communication(int(wire.report_bits * num_users))
 

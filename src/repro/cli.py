@@ -8,11 +8,21 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli run table1 --quick      # smaller, faster configuration
     python -m repro.cli quickstart              # the README quickstart, end to end
     python -m repro.cli simulate --shards 4     # sharded wire-API aggregation
+    python -m repro.cli simulate --workers 4    # multiprocess engine simulation
+    python -m repro.cli bench                   # engine scaling -> BENCH_engine.json
 
-Every experiment prints the same table that ``pytest benchmarks/`` produces
-and that EXPERIMENTS.md records.  ``simulate`` drives the client/server wire
-API end to end: publish public parameters, encode one report per user, ingest
-the report stream on K independent shard aggregators, merge, and estimate.
+``run`` prints the same tables that ``pytest benchmarks/ --benchmark-only``
+produces; the quick configurations (``--quick``) are what
+``python benchmarks/generate_experiments_md.py --quick`` records in
+EXPERIMENTS.md at the repository root.
+
+``simulate`` drives the client/server wire API end to end: publish public
+parameters, encode one report per user, ingest the report stream, merge, and
+estimate.  ``--shards K`` scatters the reports over K in-process shard
+aggregators; ``--workers N`` runs the multiprocess engine
+(:mod:`repro.engine`) instead — its estimates are bit-identical for every N
+under the same seed.  ``bench`` sweeps the engine over worker counts and
+writes the measured throughput to ``BENCH_engine.json``.
 """
 
 from __future__ import annotations
@@ -200,23 +210,26 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    """Drive the wire API: params -> encode_batch -> sharded absorb -> merge."""
+    """Drive the wire API: params -> encode -> (sharded | multiprocess) -> merge."""
     import time
 
-    import numpy as np
-
     from repro.analysis.metrics import true_frequencies
-    from repro.protocol import (
-        CountMeanSketchParams,
-        ExplicitHistogramParams,
-        HashtogramParams,
-        merge_aggregators,
-    )
+    from repro.engine import run_simulation
+    from repro.engine.bench import build_bench_params
+    from repro.protocol import merge_aggregators
     from repro.utils.rng import as_generator
     from repro.workloads.distributions import zipf_workload
 
-    if args.shards < 1:
+    if args.shards is not None and args.workers is not None:
+        print("simulate: --shards (in-process) and --workers (multiprocess "
+              "engine) are mutually exclusive", file=sys.stderr)
+        return 2
+    shards = args.shards if args.shards is not None else 4
+    if shards < 1:
         print("simulate: --shards must be at least 1", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print("simulate: --workers must be at least 1", file=sys.stderr)
         return 2
     if args.num_users < 1:
         print("simulate: --num-users must be at least 1", file=sys.stderr)
@@ -226,28 +239,34 @@ def _cmd_simulate(args) -> int:
     domain_size = args.domain_size
     values = zipf_workload(args.num_users, domain_size,
                            support=min(2_000, domain_size), rng=gen)
+    params = build_bench_params(args.protocol, domain_size, args.epsilon,
+                                args.num_users, rng=gen)
 
-    if args.protocol == "explicit":
-        params = ExplicitHistogramParams(domain_size, args.epsilon)
-    elif args.protocol == "cms":
-        params = CountMeanSketchParams.create(
-            domain_size, args.epsilon,
-            num_buckets=max(16, int(np.ceil(np.sqrt(args.num_users)))), rng=gen)
-    else:  # hashtogram
-        params = HashtogramParams.create(
-            domain_size, args.epsilon,
-            num_buckets=max(16, int(np.ceil(np.sqrt(args.num_users)))), rng=gen)
+    if args.workers is not None:
+        # Multiprocess engine: the chunk plan and per-chunk seeds are drawn
+        # from `gen` before any work is scheduled, so the estimates are
+        # bit-identical for every --workers value.
+        result = run_simulation(params, values, rng=gen, workers=args.workers)
+        oracle = result.finalize()
+        mode = (f"{args.workers} engine worker(s), "
+                f"{result.num_chunks} chunk(s)")
+        timing = (f"engine encode+ingest: {result.ingest_s:.3f}s; merge: "
+                  f"{result.merge_s:.3f}s ({result.reports_per_s:,.0f} reports/s)")
+    else:
+        encode_start = time.perf_counter()
+        batch = params.make_encoder().encode_batch(values, gen)
+        encode_elapsed = time.perf_counter() - encode_start
 
-    encode_start = time.perf_counter()
-    batch = params.make_encoder().encode_batch(values, gen)
-    encode_elapsed = time.perf_counter() - encode_start
-
-    shards = [params.make_aggregator() for _ in range(args.shards)]
-    ingest_start = time.perf_counter()
-    for shard, part in zip(shards, batch.split(args.shards)):
-        shard.absorb_batch(part)
-    ingest_elapsed = time.perf_counter() - ingest_start
-    oracle = merge_aggregators(shards).finalize()
+        shard_aggs = [params.make_aggregator() for _ in range(shards)]
+        ingest_start = time.perf_counter()
+        for shard_agg, part in zip(shard_aggs, batch.split(shards)):
+            shard_agg.absorb_batch(part)
+        ingest_elapsed = time.perf_counter() - ingest_start
+        oracle = merge_aggregators(shard_aggs).finalize()
+        mode = f"{shards} shard(s)"
+        throughput = args.num_users / max(ingest_elapsed, 1e-9)
+        timing = (f"client encoding: {encode_elapsed:.3f}s; sharded ingestion: "
+                  f"{ingest_elapsed:.3f}s ({throughput:,.0f} reports/s)")
 
     truth = true_frequencies(values)
     top = sorted(truth.items(), key=lambda kv: -kv[1])[:5]
@@ -256,13 +275,55 @@ def _cmd_simulate(args) -> int:
     rows = [{"item": x, "true_count": truth[x], "estimate": round(float(a), 1)}
             for x, a in zip(queries, estimates)]
     print(format_table(rows, title=(
-        f"simulate: {args.protocol} over {args.shards} shard(s), "
+        f"simulate: {args.protocol} over {mode}, "
         f"n={args.num_users}, |X|={domain_size}, eps={args.epsilon}")))
-    throughput = args.num_users / max(ingest_elapsed, 1e-9)
     print(f"\nreport size: {params.report_bits:.1f} bits/user; "
           f"server state: {oracle.server_state_size} scalars")
-    print(f"client encoding: {encode_elapsed:.3f}s; sharded ingestion: "
-          f"{ingest_elapsed:.3f}s ({throughput:,.0f} reports/s)")
+    print(timing)
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    """Engine scaling sweep; writes the measured payload to BENCH_engine.json."""
+    import json
+    from pathlib import Path
+
+    from repro.engine.bench import BENCH_PROTOCOLS, run_engine_bench
+
+    try:
+        worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
+    except ValueError:
+        print("bench: --workers must be a comma-separated list of integers",
+              file=sys.stderr)
+        return 2
+    if not worker_counts or any(w < 1 for w in worker_counts):
+        print("bench: worker counts must be positive", file=sys.stderr)
+        return 2
+    protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
+    unknown = [p for p in protocols if p not in BENCH_PROTOCOLS]
+    if not protocols or unknown:
+        print(f"bench: --protocols must be a non-empty subset of "
+              f"{','.join(BENCH_PROTOCOLS)}" +
+              (f" (got {','.join(unknown)})" if unknown else ""),
+              file=sys.stderr)
+        return 2
+
+    payload = run_engine_bench(protocols=protocols, worker_counts=worker_counts,
+                               num_users=args.num_users,
+                               domain_size=args.domain_size,
+                               epsilon=args.epsilon, seed=args.seed,
+                               repeats=args.repeats)
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(format_table(payload["results"], title=(
+        f"bench: engine scaling, n={args.num_users}, |X|={args.domain_size}, "
+        f"eps={args.epsilon}, cpu_count={payload['host']['cpu_count']}")))
+    print(f"\nwrote {output}")
+    if not all(row["identical_to_1_worker"] for row in payload["results"]):
+        print("bench: parallel estimates diverged from the 1-worker run",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -309,16 +370,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     simulate_parser = subparsers.add_parser(
         "simulate",
-        help="drive the client/server wire API with sharded aggregation")
+        help="drive the client/server wire API (sharded or multiprocess)")
     simulate_parser.add_argument("--protocol", default="hashtogram",
                                  choices=["hashtogram", "explicit", "cms"])
-    simulate_parser.add_argument("--shards", type=int, default=4,
-                                 help="number of independent shard aggregators")
+    simulate_parser.add_argument("--shards", type=int, default=None,
+                                 help="number of in-process shard aggregators "
+                                      "(default 4; exclusive with --workers)")
+    simulate_parser.add_argument("--workers", type=int, default=None,
+                                 help="run the multiprocess engine with this "
+                                      "many workers (estimates are "
+                                      "bit-identical for every value; "
+                                      "exclusive with --shards)")
     simulate_parser.add_argument("--num-users", type=int, default=30_000)
     simulate_parser.add_argument("--domain-size", type=int, default=1 << 16)
     simulate_parser.add_argument("--epsilon", type=float, default=1.0)
     simulate_parser.add_argument("--seed", type=int, default=0)
     simulate_parser.set_defaults(func=_cmd_simulate)
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="engine scaling benchmark; writes BENCH_engine.json")
+    bench_parser.add_argument("--protocols", default="hashtogram",
+                              help="comma-separated subset of "
+                                   "hashtogram,explicit,cms")
+    bench_parser.add_argument("--workers", default="1,2,4",
+                              help="comma-separated worker counts to sweep")
+    bench_parser.add_argument("--num-users", type=int, default=200_000)
+    bench_parser.add_argument("--domain-size", type=int, default=1 << 16)
+    bench_parser.add_argument("--epsilon", type=float, default=1.0)
+    bench_parser.add_argument("--seed", type=int, default=0)
+    bench_parser.add_argument("--repeats", type=int, default=1,
+                              help="timings keep the best of this many runs")
+    bench_parser.add_argument("--output", default="BENCH_engine.json")
+    bench_parser.set_defaults(func=_cmd_bench)
 
     return parser
 

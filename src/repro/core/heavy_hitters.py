@@ -51,6 +51,7 @@ import numpy as np
 from repro.core.params import ProtocolParameters
 from repro.core.protocol import HeavyHitterProtocol
 from repro.core.results import HeavyHitterResult
+from repro.engine.engine import encode_concat
 from repro.frequency.hashtogram import HashtogramOracle
 from repro.protocol.heavy_hitters import (
     ExpanderSketchParams,
@@ -123,7 +124,8 @@ class PrivateExpanderSketch(HeavyHitterProtocol):
 
     # ----- execution -------------------------------------------------------------------
 
-    def run(self, values: Sequence[int], rng: RandomState = None) -> HeavyHitterResult:
+    def run(self, values: Sequence[int], rng: RandomState = None,
+            chunk_size: int | None = None) -> HeavyHitterResult:
         gen = as_generator(rng)
         values = self._validate_values(values)
         num_users = int(values.size)
@@ -147,8 +149,11 @@ class PrivateExpanderSketch(HeavyHitterProtocol):
                 f"expander_degree, or increase num_coordinates")
 
         # ----- client side: every user encodes one wire report -------------------------
+        # The engine's canonical chunk stream (per-chunk seeds pre-drawn from
+        # `gen`) makes this encoding bit-identical to a multiprocess
+        # `repro.engine.run_simulation` run with the same seed.
         with Timer() as user_timer:
-            batch = wire.make_encoder().encode_batch(values, gen)
+            batch = encode_concat(wire, values, gen, chunk_size=chunk_size)
         meter.add_user_time(user_timer.elapsed)
         meter.add_communication(int(wire.report_bits * num_users))
 

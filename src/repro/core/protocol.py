@@ -33,11 +33,18 @@ class HeavyHitterProtocol(abc.ABC):
     # ----- required interface ---------------------------------------------------
 
     @abc.abstractmethod
-    def run(self, values: Sequence[int], rng: RandomState = None) -> HeavyHitterResult:
+    def run(self, values: Sequence[int], rng: RandomState = None,
+            chunk_size: int | None = None) -> HeavyHitterResult:
         """Execute the protocol on the distributed database ``values``.
 
         ``values[i]`` is user i's private input.  The returned result contains
         the Est list of Definition 3.1 along with resource accounting.
+
+        Implementations that simulate through the wire API encode the
+        engine's canonical chunk stream (:mod:`repro.engine`); ``chunk_size``
+        overrides the canonical chunking (forwarded to inner oracles by
+        reduction-style baselines) and must match between two runs being
+        compared for bit-identical output.
         """
 
     # ----- shared helpers ----------------------------------------------------------

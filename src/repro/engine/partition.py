@@ -1,0 +1,121 @@
+"""Deterministic partitioning of a user population into encode/ingest chunks.
+
+The multiprocess engine and the legacy one-shot simulation paths
+(``FrequencyOracle.collect`` / ``HeavyHitterProtocol.run``) share one chunking
+scheme, which is what makes parallel execution reproducible:
+
+* the population ``[0, n)`` is cut into contiguous chunks of a canonical size
+  that depends only on the public parameters (``default_chunk_size``), never
+  on the worker count;
+* one 63-bit seed per chunk is drawn *up front* from the caller's generator
+  (``derive_chunk_seeds``), so chunk i's client randomness is
+  ``np.random.default_rng(seeds[i])`` no matter which process encodes it, in
+  which order;
+* chunk i's users keep their global indices (``first_user_index = start``), so
+  index-keyed assignment policies (round-robin repetitions, the published
+  assignment hash of the heavy-hitters protocols) are partition-invariant.
+
+Because every aggregator keeps exact integer state and ``merge`` is
+commutative and associative, *any* assignment of chunks to workers produces
+the same merged aggregate bit for bit — 1 worker, N workers, or the serial
+legacy path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+
+__all__ = [
+    "Chunk",
+    "default_chunk_size",
+    "derive_chunk_seeds",
+    "plan_chunks",
+    "make_plan",
+]
+
+#: soft budget (in payload units, see ``default_chunk_size``) per encoded chunk
+_TARGET_CHUNK_PAYLOAD = 4_000_000
+#: chunk row-count bounds: small enough to bound peak memory for wide reports
+#: and to give a worker pool useful scheduling granularity, large enough that
+#: per-chunk numpy dispatch overhead stays negligible
+_MIN_CHUNK_ROWS = 1_024
+_MAX_CHUNK_ROWS = 16_384
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One contiguous slice of the user population, with its client seed."""
+
+    #: position of the chunk in the plan (0-based)
+    index: int
+    #: first global user index of the chunk (inclusive)
+    start: int
+    #: last global user index of the chunk (exclusive)
+    stop: int
+    #: seed of the chunk's client-side generator
+    seed: int
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    def generator(self) -> np.random.Generator:
+        """The chunk's client-side generator (same in every process)."""
+        return np.random.default_rng(self.seed)
+
+
+def default_chunk_size(params) -> int:
+    """Canonical rows-per-chunk for the given public parameters.
+
+    Scales inversely with the report width so wide reports (e.g. the OUE
+    randomizer's k-bit vectors, RAPPOR's Bloom bits) never materialize an
+    ``O(n * k)`` batch, while narrow reports stream in large chunks.  The
+    result is a pure function of the parameters — both the serial simulation
+    shims and the multiprocess engine call this, which keeps their chunk
+    plans (and therefore their outputs) identical.
+    """
+    width = max(1, int(round(params.report_bits)))
+    rows = _TARGET_CHUNK_PAYLOAD // width
+    return max(_MIN_CHUNK_ROWS, min(_MAX_CHUNK_ROWS, rows))
+
+
+def derive_chunk_seeds(rng: RandomState, num_chunks: int) -> np.ndarray:
+    """Draw one independent 63-bit client seed per chunk from ``rng``.
+
+    The draw happens once, in chunk order, before any work is scheduled;
+    afterwards each chunk's randomness is self-contained.  Mirrors
+    :func:`repro.utils.rng.spawn_generators`.
+    """
+    if num_chunks < 0:
+        raise ValueError("num_chunks must be non-negative")
+    gen = as_generator(rng)
+    return gen.integers(0, 2**63 - 1, size=num_chunks, dtype=np.int64)
+
+
+def plan_chunks(num_users: int, chunk_size: int) -> List[range]:
+    """Cut ``[0, num_users)`` into contiguous ``range(start, stop)`` spans."""
+    if num_users < 0:
+        raise ValueError("num_users must be non-negative")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    return [range(start, min(start + chunk_size, num_users))
+            for start in range(0, num_users, chunk_size)]
+
+
+def make_plan(params, num_users: int, rng: RandomState = None,
+              chunk_size: Optional[int] = None) -> List[Chunk]:
+    """The full execution plan: chunk boundaries plus per-chunk client seeds.
+
+    ``rng`` is consumed exactly ``num_chunks`` integer draws, regardless of
+    how the chunks are later distributed across workers.
+    """
+    size = int(chunk_size) if chunk_size is not None else default_chunk_size(params)
+    spans = plan_chunks(int(num_users), size)
+    seeds = derive_chunk_seeds(rng, len(spans))
+    return [Chunk(index=i, start=span.start, stop=span.stop, seed=int(seed))
+            for i, (span, seed) in enumerate(zip(spans, seeds))]

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import abc
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -41,13 +41,18 @@ class FrequencyOracle(abc.ABC):
     domain_size: int
 
     @abc.abstractmethod
-    def collect(self, values: Sequence[int], rng: RandomState = None) -> None:
+    def collect(self, values: Sequence[int], rng: RandomState = None,
+                workers: int = 1, chunk_size: Optional[int] = None) -> None:
         """Simulate the protocol on the given (distributed) database.
 
         ``values[i]`` is user i's true value; the method encodes each value
         through the oracle's wire-level client encoder and ingests the
-        resulting reports with a single server aggregator
-        (``encode_batch → absorb_batch → finalize``).
+        resulting reports through the engine's canonical chunk plan
+        (``encode_batch → absorb_batch → finalize``;
+        :func:`repro.engine.run_simulation`).  ``workers > 1`` spreads the
+        chunks over a process pool; the fitted oracle is bit-identical for
+        every worker count, and ``chunk_size`` overrides the canonical
+        chunking (it must match between two runs being compared).
         """
 
     @abc.abstractmethod

@@ -93,24 +93,22 @@ class CountMeanSketchOracle(FrequencyOracle):
 
     # ----- collection ----------------------------------------------------------------
 
-    def collect(self, values: Sequence[int], rng: RandomState = None) -> None:
+    def collect(self, values: Sequence[int], rng: RandomState = None,
+                workers: int = 1, chunk_size: Optional[int] = None) -> None:
         """Simulate the full protocol: ``encode_batch → absorb_batch → finalize``.
 
         The generator first samples the published hash rows
-        (:meth:`public_params`), then drives the stateless per-user
-        :class:`~repro.protocol.count_mean_sketch.CountMeanSketchEncoder`.
+        (:meth:`public_params`), then seeds the engine's canonical chunk
+        plan (:func:`repro.engine.run_simulation`); chunked streaming keeps
+        the m-bit reports from materializing an O(n * m) matrix and makes
+        the result bit-identical for any ``workers`` count.
         """
+        from repro.engine import run_simulation
         gen = as_generator(rng)
         values = np.asarray(values, dtype=np.int64)
         params = self.public_params(num_users=int(values.size), rng=gen)
-        encoder = params.make_encoder()
-        aggregator = params.make_aggregator()
-        # Stream in chunks: each report is an m-bit vector, so one monolithic
-        # encode of the whole population would materialize O(n * m) memory.
-        chunk = max(1024, 4_000_000 // max(params.num_buckets, 1))
-        for start in range(0, int(values.size), chunk):
-            aggregator.absorb_batch(encoder.encode_batch(
-                values[start:start + chunk], gen, first_user_index=start))
+        aggregator = run_simulation(params, values, rng=gen, workers=workers,
+                                    chunk_size=chunk_size).aggregator
         self._load_wire_aggregate(aggregator)
 
     # ----- estimation -----------------------------------------------------------------

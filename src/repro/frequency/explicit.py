@@ -113,26 +113,22 @@ class ExplicitHistogramOracle(FrequencyOracle):
 
     # ----- collection -----------------------------------------------------------
 
-    def collect(self, values: Sequence[int], rng: RandomState = None) -> None:
+    def collect(self, values: Sequence[int], rng: RandomState = None,
+                workers: int = 1, chunk_size: Optional[int] = None) -> None:
         """Simulate the full protocol: ``encode_batch → absorb_batch → finalize``.
 
-        Each user's report is individually materialized through the stateless
-        :class:`~repro.protocol.explicit.ExplicitHistogramEncoder` and
-        ingested by a single
-        :class:`~repro.protocol.explicit.ExplicitHistogramAggregator`.
-        Encoding is streamed in chunks so the OUE variant's k-bit reports
-        never materialize an O(n * k) matrix for the whole population.
+        The simulation runs the engine's canonical chunk plan
+        (:func:`repro.engine.run_simulation`): encoding is streamed in
+        chunks with pre-drawn per-chunk seeds, so the OUE variant's k-bit
+        reports never materialize an O(n * k) matrix and the result is
+        bit-identical for any ``workers`` count.
         """
+        from repro.engine import run_simulation
         gen = as_generator(rng)
         values = np.asarray(values, dtype=np.int64)
         params = self.public_params()
-        encoder = params.make_encoder()
-        aggregator = params.make_aggregator()
-        width = self.domain_size if self.randomizer == "oue" else 1
-        chunk = max(1024, 4_000_000 // max(width, 1))
-        for start in range(0, int(values.size), chunk):
-            aggregator.absorb_batch(encoder.encode_batch(
-                values[start:start + chunk], gen, first_user_index=start))
+        aggregator = run_simulation(params, values, rng=gen, workers=workers,
+                                    chunk_size=chunk_size).aggregator
         self._load_wire_aggregate(aggregator.histogram(),
                                   aggregator.num_reports,
                                   aggregator.state_size)

@@ -109,24 +109,22 @@ class HashtogramOracle(FrequencyOracle):
 
     # ----- collection ---------------------------------------------------------------
 
-    def collect(self, values: Sequence[int], rng: RandomState = None) -> None:
+    def collect(self, values: Sequence[int], rng: RandomState = None,
+                workers: int = 1, chunk_size: Optional[int] = None) -> None:
         """Simulate the full protocol: ``encode_batch → absorb_batch → finalize``.
 
-        The same generator first samples the published hash functions
-        (:meth:`public_params`) and then drives every user's stateless
-        :class:`~repro.protocol.hashtogram.HashtogramEncoder`, so a manual
-        wire-level run with the same seed reproduces ``collect`` bit for bit.
+        The generator first samples the published hash functions
+        (:meth:`public_params`) and then seeds the engine's canonical chunk
+        plan (:func:`repro.engine.run_simulation`), so a wire-level engine
+        run with the same seed — serial or across ``workers`` processes —
+        reproduces ``collect`` bit for bit.
         """
+        from repro.engine import run_simulation
         gen = as_generator(rng)
         values = np.asarray(values, dtype=np.int64)
         params = self.public_params(num_users=int(values.size), rng=gen)
-        encoder = params.make_encoder()
-        aggregator = params.make_aggregator()
-        width = 2 * params.num_buckets if params.inner_randomizer == "oue" else 1
-        chunk = max(1024, 4_000_000 // max(width, 1))
-        for start in range(0, int(values.size), chunk):
-            aggregator.absorb_batch(encoder.encode_batch(
-                values[start:start + chunk], gen, first_user_index=start))
+        aggregator = run_simulation(params, values, rng=gen, workers=workers,
+                                    chunk_size=chunk_size).aggregator
         self._load_wire_aggregate(aggregator)
 
     # ----- estimation -----------------------------------------------------------------

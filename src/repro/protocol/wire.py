@@ -172,15 +172,25 @@ class ReportBatch:
         return [self.select(ix) for ix in indices]
 
     @classmethod
-    def concat(cls, batches: Sequence["ReportBatch"]) -> "ReportBatch":
-        """Concatenate batches of the same protocol."""
+    def concat(cls, batches: Sequence["ReportBatch"],
+               consume: bool = False) -> "ReportBatch":
+        """Concatenate batches of the same protocol.
+
+        With ``consume=True`` each source column is released as soon as it
+        has been copied, so peak memory stays one full batch plus one column
+        instead of two full copies (the source batches are left empty).
+        """
         if not batches:
             raise ValueError("need at least one batch")
         protocol = batches[0].protocol
         if any(b.protocol != protocol for b in batches):
             raise ValueError("cannot concatenate batches of different protocols")
-        columns = {key: np.concatenate([b.columns[key] for b in batches])
-                   for key in batches[0].columns}
+        if consume:
+            columns = {key: np.concatenate([b.columns.pop(key) for b in batches])
+                       for key in list(batches[0].columns)}
+        else:
+            columns = {key: np.concatenate([b.columns[key] for b in batches])
+                       for key in batches[0].columns}
         return cls(protocol, columns)
 
     @classmethod
@@ -209,6 +219,18 @@ class ReportBatch:
 # --------------------------------------------------------------------------------------
 
 _PROTOCOL_REGISTRY: Dict[str, Type["PublicParams"]] = {}
+
+
+def _unpickle_params(data: Dict[str, object]) -> "PublicParams":
+    """Pickle hook: rebuild parameters from their ``to_dict()`` payload.
+
+    Importing :mod:`repro.protocol` populates the registry with every
+    built-in protocol, so parameter objects can be unpickled in a worker
+    process that never imported the concrete protocol module.  (Third-party
+    protocols must be importable from their defining module as usual.)
+    """
+    import repro.protocol  # noqa: F401 — registers the built-in protocols
+    return PublicParams.from_dict(data)
 
 
 def register_protocol(cls: Type["PublicParams"]) -> Type["PublicParams"]:
@@ -275,6 +297,17 @@ class PublicParams(abc.ABC):
 
     def __hash__(self) -> int:  # pragma: no cover - dict-keyed use is rare
         return hash(self.protocol)
+
+    def __reduce__(self):
+        """Pickle through the JSON payload: the wire format *is* the state.
+
+        This keeps pickling stable across refactors of derived attributes
+        (rebuilt in ``__init__``) and guarantees that a parameter object
+        shipped to an engine worker process compares equal (``__eq__`` is
+        ``to_dict()`` equality) to the original — the precondition for
+        merging the worker's aggregator back into the parent's.
+        """
+        return (_unpickle_params, (self.to_dict(),))
 
     # ----- factories -------------------------------------------------------------
 

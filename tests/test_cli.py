@@ -61,3 +61,70 @@ class TestQuickstartCommand:
         out = capsys.readouterr().out
         assert "recovered heavy hitters" in out
         assert "communication per user" in out
+
+
+class TestSimulateCommand:
+    def _estimates_table(self, out: str) -> str:
+        """The output rows up to (not including) the timing lines."""
+        return out.split("\nreport size")[0]
+
+    def test_sharded_simulate(self, capsys):
+        assert main(["simulate", "--shards", "3", "--num-users", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "3 shard(s)" in out and "reports/s" in out
+
+    def test_workers_bit_identical(self, capsys):
+        base = ["simulate", "--num-users", "5000", "--domain-size", "4096"]
+        assert main(base + ["--workers", "1"]) == 0
+        out_serial = capsys.readouterr().out
+        assert main(base + ["--workers", "2"]) == 0
+        out_parallel = capsys.readouterr().out
+        assert "engine worker(s)" in out_parallel
+        assert (self._estimates_table(out_serial).replace("1 engine", "N engine")
+                == self._estimates_table(out_parallel).replace("2 engine",
+                                                               "N engine"))
+
+    def test_rejects_bad_worker_count(self, capsys):
+        assert main(["simulate", "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def test_writes_bench_json(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_engine.json"
+        assert main(["bench", "--num-users", "5000", "--workers", "1,2",
+                     "--domain-size", "4096", "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "engine scaling" in out and str(output) in out
+
+        import json
+        payload = json.loads(output.read_text())
+        assert payload["benchmark"] == "engine_scaling"
+        assert payload["host"]["cpu_count"] >= 1
+        rows = payload["results"]
+        assert [row["workers"] for row in rows] == [1, 2]
+        for row in rows:
+            assert row["protocol"] == "hashtogram"
+            assert row["reports_per_s"] > 0
+            assert row["identical_to_1_worker"] is True
+        assert rows[0]["speedup_vs_1"] == 1.0
+
+    def test_rejects_malformed_workers(self, capsys):
+        assert main(["bench", "--workers", "two"]) == 2
+        assert "comma-separated" in capsys.readouterr().err
+
+    def test_rejects_unknown_protocol(self, capsys):
+        assert main(["bench", "--protocols", "telepathy"]) == 2
+        assert "telepathy" in capsys.readouterr().err
+
+    def test_baseline_is_the_one_worker_run_regardless_of_order(self, tmp_path,
+                                                                capsys):
+        output = tmp_path / "bench.json"
+        assert main(["bench", "--num-users", "4000", "--workers", "2,1",
+                     "--domain-size", "1024", "--output", str(output)]) == 0
+        capsys.readouterr()
+        import json
+        rows = json.loads(output.read_text())["results"]
+        by_workers = {row["workers"]: row for row in rows}
+        assert by_workers[1]["speedup_vs_1"] == 1.0
+        assert by_workers[2]["identical_to_1_worker"] is True

@@ -3,8 +3,10 @@
 The three contracts the redesign promises:
 
 (a) the legacy one-shot ``collect()`` / ``run()`` entry points are *exactly*
-    the wire path: ``encode_batch → absorb_batch → finalize`` under the same
-    seed reproduces them bit for bit, including with K merged shards;
+    the wire path: the engine's canonical chunk stream
+    (``encode_concat``: per-chunk seeds pre-drawn from the caller's
+    generator) fed through ``absorb_batch → finalize`` under the same seed
+    reproduces them bit for bit, including with K merged shards;
 (b) ``merge`` is commutative and associative, and K-shard aggregation equals
     single-shard aggregation exactly;
 (c) ``PublicParams`` serialization round-trips through JSON, and reports are
@@ -19,6 +21,7 @@ import pytest
 from repro.baselines.rappor_hh import RapporHeavyHitters
 from repro.baselines.single_hash import SingleHashHeavyHitters
 from repro.core.heavy_hitters import PrivateExpanderSketch
+from repro.engine import encode_concat
 from repro.frequency.count_mean_sketch import CountMeanSketchOracle
 from repro.frequency.explicit import ExplicitHistogramOracle
 from repro.frequency.hashtogram import HashtogramOracle
@@ -35,8 +38,8 @@ from repro.protocol import (
 
 
 def _wire_estimates(params, values, seed, num_shards):
-    """encode once, scatter over shards, merge, finalize."""
-    batch = params.make_encoder().encode_batch(values, np.random.default_rng(seed))
+    """encode the canonical chunk stream, scatter over shards, merge, finalize."""
+    batch = encode_concat(params, values, np.random.default_rng(seed))
     shards = [params.make_aggregator() for _ in range(num_shards)]
     for shard, part in zip(shards, batch.split(num_shards)):
         shard.absorb_batch(part)
@@ -66,11 +69,12 @@ class TestLegacyCollectEquivalence:
         values = rng.integers(0, domain, size=6_000)
         oracle = HashtogramOracle(domain, 1.0, num_buckets=64)
         oracle.collect(values, np.random.default_rng(11))
-        # collect() first samples the published hashes, then encodes — replay
-        # the same generator through the same two steps.
+        # collect() first samples the published hashes, then encodes the
+        # engine's chunk stream — replay the same generator through the same
+        # two steps.
         gen = np.random.default_rng(11)
         params = HashtogramParams.create(domain, 1.0, num_buckets=64, rng=gen)
-        batch = params.make_encoder().encode_batch(values, gen)
+        batch = encode_concat(params, values, gen)
         shards = [params.make_aggregator() for _ in range(num_shards)]
         for shard, part in zip(shards, batch.split(num_shards)):
             shard.absorb_batch(part)
@@ -88,7 +92,7 @@ class TestLegacyCollectEquivalence:
         gen = np.random.default_rng(13)
         params = CountMeanSketchParams.create(domain, 2.0, num_hashes=8,
                                               num_buckets=64, rng=gen)
-        batch = params.make_encoder().encode_batch(values, gen)
+        batch = encode_concat(params, values, gen)
         shards = [params.make_aggregator() for _ in range(num_shards)]
         for shard, part in zip(shards, batch.split(num_shards)):
             shard.absorb_batch(part)
@@ -103,10 +107,11 @@ class TestLegacyCollectEquivalence:
         values[:2_000] = 4_242
         protocol = PrivateExpanderSketch(domain_size=domain, epsilon=4.0)
         result = protocol.run(values, rng=np.random.default_rng(3))
-        # run() consumes the generator as: sample wire params, then encode.
+        # run() consumes the generator as: sample wire params, then encode
+        # the engine's canonical chunk stream.
         gen = np.random.default_rng(3)
         wire = protocol.public_params(values.size, rng=gen)
-        batch = wire.make_encoder().encode_batch(values, gen)
+        batch = encode_concat(wire, values, gen)
         shards = [wire.make_aggregator() for _ in range(4)]
         for shard, part in zip(shards, batch.split(4)):
             shard.absorb_batch(part)
@@ -123,7 +128,7 @@ class TestLegacyCollectEquivalence:
         result = protocol.run(values, rng=np.random.default_rng(5))
         gen = np.random.default_rng(5)
         wire = protocol.public_params(values.size, rng=gen)
-        batch = wire.make_encoder().encode_batch(values, gen)
+        batch = encode_concat(wire, values, gen)
         shards = [wire.make_aggregator() for _ in range(4)]
         for shard, part in zip(shards, batch.split(4)):
             shard.absorb_batch(part)
@@ -139,7 +144,7 @@ class TestLegacyCollectEquivalence:
         result = protocol.run(values, rng=np.random.default_rng(9))
         gen = np.random.default_rng(9)
         wire = protocol.public_params(rng=gen)
-        batch = wire.make_encoder().encode_batch(values, gen)
+        batch = encode_concat(wire, values, gen)
         shards = [wire.make_aggregator() for _ in range(4)]
         for shard, part in zip(shards, batch.split(4)):
             shard.absorb_batch(part)
