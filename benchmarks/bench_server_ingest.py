@@ -1,0 +1,189 @@
+"""Benchmark W3: sustained wire ingest of the streaming aggregation server.
+
+Measures what the service layer adds on top of raw ``absorb_batch``: a real
+TCP round through length-prefixed JSON frames (base64 column encoding), the
+bounded ingestion queue, and the batched drain.  The protocol under test is
+the paper's workhorse (Hashtogram); the measured quantity is **sustained
+ingest** — reports/s from the first byte sent to the server confirming, via
+a ``sync`` barrier, that every report has been absorbed into exact integer
+state.
+
+Client-side encoding and frame serialization are done *before* the clock
+starts (a deployment's clients encode on their own devices); the timed path
+is socket write → frame read → JSON+base64 decode → ``absorb_batch`` →
+drain accounting, i.e. exactly the server's steady-state ingest loop.
+
+Run as a script to (re)generate ``BENCH_server.json``::
+
+    PYTHONPATH=src python benchmarks/bench_server_ingest.py
+
+or under pytest-benchmark (CI smoke)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_server_ingest.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+NUM_USERS = 1_000_000
+CHUNK_SIZE = 1 << 16
+SEED = 0
+
+
+def run_server_ingest_bench(protocols: Sequence[str] = ("hashtogram",),
+                            num_users: int = NUM_USERS,
+                            domain_size: int = 1 << 16,
+                            epsilon: float = 1.0, seed: int = SEED,
+                            chunk_size: int = CHUNK_SIZE,
+                            repeats: int = 3,
+                            verify_queries: int = 64) -> Dict[str, object]:
+    """Measure sustained wire ingest per protocol; returns the JSON payload.
+
+    Each repeat spawns a fresh ``repro.cli serve`` subprocess, blasts the
+    pre-encoded frames down one connection, and stops the clock when the
+    ``sync`` barrier confirms full absorption.  ``elapsed_s`` is the best of
+    ``repeats``.  Every repeat also verifies the served estimates against
+    the offline engine, bit for bit — throughput that corrupts the aggregate
+    would be meaningless.
+    """
+    from repro.cli import _spawn_server
+    from repro.engine import encode_stream, run_simulation
+    from repro.engine.bench import build_bench_params
+    from repro.server import AggregationClient, encode_frame
+    from repro.utils.rng import as_generator
+    from repro.workloads.distributions import zipf_workload
+
+    results: List[Dict[str, object]] = []
+    for protocol in protocols:
+        setup_gen = as_generator(seed)
+        values = zipf_workload(num_users, domain_size,
+                               support=min(2_000, domain_size), rng=setup_gen)
+        params = build_bench_params(protocol, domain_size, epsilon, num_users,
+                                    rng=setup_gen)
+        plan_seed = int(setup_gen.integers(0, 2**63 - 1))
+
+        batches = list(encode_stream(params, values,
+                                     rng=np.random.default_rng(plan_seed),
+                                     chunk_size=chunk_size))
+        frames = b"".join(
+            encode_frame({"type": "reports", "epoch": 0,
+                          "batch": batch.to_dict("b64")})
+            for batch in batches)
+        queries = [int(x) for x in np.random.default_rng(0).integers(
+            0, domain_size, size=verify_queries)]
+        expected = run_simulation(
+            params, values, rng=np.random.default_rng(plan_seed),
+            chunk_size=chunk_size).finalize().estimate_many(queries)
+
+        best: Optional[Dict[str, float]] = None
+        identical = True
+        for _ in range(max(1, repeats)):
+            proc, host, port = _spawn_server(params)
+            try:
+                with AggregationClient(host, port) as client:
+                    start = time.perf_counter()
+                    client.send_raw(frames)
+                    absorbed = client.sync()
+                    elapsed = time.perf_counter() - start
+                    served = client.query(queries)
+                    stats = client.stats()
+                    client.shutdown()
+                proc.wait(timeout=10)
+            finally:
+                if proc.poll() is None:
+                    proc.terminate()
+                    proc.wait(timeout=10)
+                proc.stdout.close()
+            if absorbed != num_users:
+                raise RuntimeError(f"server absorbed {absorbed} of "
+                                   f"{num_users} reports")
+            identical = identical and bool(np.array_equal(served, expected))
+            run = {"elapsed_s": elapsed, "drain_s": float(stats["drain_s"])}
+            if best is None or elapsed < best["elapsed_s"]:
+                best = run
+        results.append({
+            "protocol": protocol,
+            "num_users": int(num_users),
+            "num_frames": len(batches),
+            "wire_mb": round(len(frames) / 1e6, 1),
+            "ingest_s": round(best["elapsed_s"], 4),
+            "reports_per_s": int(num_users / max(best["elapsed_s"], 1e-9)),
+            "drain_s": round(best["drain_s"], 4),
+            "absorb_reports_per_s": int(num_users / max(best["drain_s"], 1e-9)),
+            "identical_to_offline_engine": identical,
+        })
+    return {
+        "benchmark": "server_ingest",
+        "host": {
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+            "cpu_count": os.cpu_count(),
+        },
+        "config": {
+            "num_users": int(num_users),
+            "domain_size": int(domain_size),
+            "epsilon": float(epsilon),
+            "seed": int(seed),
+            "chunk_size": int(chunk_size),
+            "repeats": int(max(1, repeats)),
+            "protocols": list(protocols),
+        },
+        "results": results,
+    }
+
+
+def _report_rows(payload: Dict[str, object]) -> List[Dict[str, object]]:
+    return list(payload["results"])
+
+
+def test_server_ingest(benchmark):
+    """CI smoke: a small run must stay bit-identical and make progress."""
+    from conftest import report, run_once
+
+    payload = run_once(benchmark, run_server_ingest_bench,
+                       num_users=200_000, repeats=1)
+    rows = _report_rows(payload)
+    report(benchmark, "W3: server wire-ingest throughput", rows)
+    for row in rows:
+        assert row["identical_to_offline_engine"], row
+        assert row["reports_per_s"] > 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--num-users", type=int, default=NUM_USERS)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--protocols", default="hashtogram")
+    parser.add_argument("--output", default="BENCH_server.json")
+    args = parser.parse_args(argv)
+
+    from repro.experiments import format_table
+
+    payload = run_server_ingest_bench(
+        protocols=[p.strip() for p in args.protocols.split(",") if p.strip()],
+        num_users=args.num_users, repeats=args.repeats)
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(format_table(_report_rows(payload),
+                       title=f"server ingest, n={args.num_users}, "
+                             f"cpu_count={payload['host']['cpu_count']}"))
+    print(f"\nwrote {args.output}")
+    if not all(row["identical_to_offline_engine"]
+               for row in payload["results"]):
+        print("bench_server_ingest: served estimates diverged from the "
+              "offline engine", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,9 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli simulate --shards 4     # sharded wire-API aggregation
     python -m repro.cli simulate --workers 4    # multiprocess engine simulation
     python -m repro.cli bench                   # engine scaling -> BENCH_engine.json
+    python -m repro.cli serve --port 7071       # asyncio report-ingestion server
+    python -m repro.cli load-test --users 100000 --workers 4
+    python -m repro.cli --list-modules          # module map (checked against docs)
 
 ``run`` prints the same tables that ``pytest benchmarks/ --benchmark-only``
 produces; the quick configurations (``--quick``) are what
@@ -23,12 +26,25 @@ aggregators; ``--workers N`` runs the multiprocess engine
 (:mod:`repro.engine`) instead — its estimates are bit-identical for every N
 under the same seed.  ``bench`` sweeps the engine over worker counts and
 writes the measured throughput to ``BENCH_engine.json``.
+
+``serve`` runs the long-lived asyncio ingestion service
+(:mod:`repro.server`): it publishes its parameters to any connecting client,
+drains report frames through a bounded queue, answers live queries, and
+checkpoints durable snapshots.  ``load-test`` spawns such a server, drives
+the engine's canonical chunk stream at it over ``--workers`` concurrent
+connections, and verifies the *served* estimates are bit-identical to the
+offline :func:`repro.engine.run_simulation` reference under the same seed.
+
+The ``--list-modules`` flag (usable without a subcommand) prints the package
+module map; with ``--check docs/architecture.md`` it verifies the map
+embedded in the architecture document has not drifted (CI runs this).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments import (
@@ -327,6 +343,301 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the asyncio report-ingestion server until shutdown."""
+    import asyncio
+    import json
+    from pathlib import Path
+
+    from repro.engine.bench import build_bench_params
+    from repro.protocol import PublicParams
+    from repro.server import AggregationServer
+
+    if args.window is not None and args.window < 1:
+        print("serve: --window must be at least 1", file=sys.stderr)
+        return 2
+    if args.restore is not None:
+        if args.params_file is not None:
+            print("serve: --restore carries its own parameters; it cannot be "
+                  "combined with --params-file", file=sys.stderr)
+            return 2
+        server = AggregationServer.restore(args.restore,
+                                           snapshot_dir=args.snapshot_dir)
+        if args.window is not None:
+            # Operator override: tighten (or widen) retention on restart.
+            server.windowed.set_window(args.window)
+    else:
+        if args.params_file is not None:
+            payload = json.loads(Path(args.params_file).read_text())
+            params = PublicParams.from_dict(payload)
+        else:
+            params = build_bench_params(args.protocol, args.domain_size,
+                                        args.epsilon, args.num_users,
+                                        rng=args.seed)
+        server = AggregationServer(params, window=args.window,
+                                   snapshot_dir=args.snapshot_dir)
+
+    async def main() -> None:
+        host, port = await server.start(args.host, args.port)
+        # Parse-friendly readiness line: `load-test` and the tests wait for it.
+        print(f"LISTENING {host} {port}", flush=True)
+        if not args.quiet:
+            print(f"serve: protocol={server.params.protocol} "
+                  f"window={server.windowed.window} "
+                  f"snapshot_dir={args.snapshot_dir} "
+                  f"restored_reports={server.windowed.num_reports}", flush=True)
+        await server.serve_until_stopped()
+        if not args.quiet:
+            print(f"serve: stopped after absorbing "
+                  f"{server.windowed.num_reports} reports", flush=True)
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _spawn_server(params, extra_args: Sequence[str] = ()) -> Tuple[object, str, int]:
+    """Start a ``repro.cli serve`` subprocess; returns (proc, host, port).
+
+    The child gets ``PYTHONPATH`` pointing at this package's source tree, so
+    it works both installed and from a checkout.
+    """
+    import json
+    import os
+    import subprocess
+    import tempfile
+
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    with tempfile.NamedTemporaryFile("w", suffix="-params.json",
+                                     delete=False) as handle:
+        json.dump(params.to_dict(), handle)
+        params_file = handle.name
+    try:
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--params-file", params_file, "--host", "127.0.0.1",
+             "--port", "0", "--quiet", *extra_args],
+            stdout=subprocess.PIPE, text=True, env=env)
+        line = proc.stdout.readline()
+        if not line.startswith("LISTENING "):
+            proc.terminate()
+            raise RuntimeError(f"server failed to start (got {line!r})")
+        _, host, port = line.split()
+        return proc, host, int(port)
+    finally:
+        # The LISTENING line is printed after the child loaded the
+        # parameters, so the file is safe to remove on every path.
+        os.unlink(params_file)
+
+
+def _cmd_load_test(args) -> int:
+    """Drive a live server with the engine's chunk stream; verify bit-identity."""
+    import os
+    import threading
+    import time
+
+    import numpy as np
+
+    from repro.analysis.metrics import true_frequencies
+    from repro.engine import encode_stream, run_simulation
+    from repro.engine.bench import build_bench_params
+    from repro.server import AggregationClient
+    from repro.utils.rng import as_generator
+    from repro.workloads.distributions import zipf_workload
+
+    users = args.users
+    workers = args.workers
+    if args.quick:
+        users = min(users, 20_000)
+        workers = min(workers, 2)
+    if users < 1 or workers < 1 or args.epochs < 1:
+        print("load-test: --users, --workers, and --epochs must be positive",
+              file=sys.stderr)
+        return 2
+
+    # Same parameter/workload derivation as `simulate`, then one shared seed
+    # for the canonical chunk plan: the wire stream and the offline engine
+    # replay identical per-chunk client randomness.
+    gen = as_generator(args.seed)
+    domain_size = args.domain_size
+    values = zipf_workload(users, domain_size,
+                           support=min(2_000, domain_size), rng=gen)
+    params = build_bench_params(args.protocol, domain_size, args.epsilon,
+                                users, rng=gen)
+    plan_seed = int(gen.integers(0, 2**63 - 1))
+
+    offline = run_simulation(params, values,
+                             rng=np.random.default_rng(plan_seed)).finalize()
+
+    encode_start = time.perf_counter()
+    batches = list(encode_stream(params, values,
+                                 rng=np.random.default_rng(plan_seed)))
+    encode_s = time.perf_counter() - encode_start
+
+    proc = None
+    if args.server is not None:
+        host, sep, port_text = args.server.rpartition(":")
+        if not sep or not host or not port_text.isdigit():
+            print(f"load-test: --server must be HOST:PORT "
+                  f"(got {args.server!r})", file=sys.stderr)
+            return 2
+        port = int(port_text)
+    else:
+        proc, host, port = _spawn_server(params)
+    try:
+        with AggregationClient(host, port) as probe:
+            published = probe.hello()
+        if published != params:
+            print("load-test: the server's published parameters do not match "
+                  "this run's; refusing to stream mismatched reports.  Start "
+                  "the server from this run's exact parameters (`load-test` "
+                  "without --server does this automatically, or use `serve "
+                  "--params-file` with the same payload)", file=sys.stderr)
+            return 1
+        # One connection per worker; chunks round-robin over the workers and
+        # (if --epochs > 1) over the epoch tags — any interleaving must
+        # produce the same merged aggregate.
+        failures: List[str] = []
+
+        def send_span(worker: int) -> None:
+            try:
+                with AggregationClient(host, port) as client:
+                    for i in range(worker, len(batches), workers):
+                        client.send_batch(batches[i], epoch=i % args.epochs)
+                    # Per-connection barrier: frames on one connection are
+                    # processed in order, so this returns only after every
+                    # batch this worker sent has been absorbed.
+                    client.sync()
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                failures.append(f"worker {worker}: {exc}")
+
+        ingest_start = time.perf_counter()
+        threads = [threading.Thread(target=send_span, args=(w,))
+                   for w in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        client = AggregationClient(host, port)
+        absorbed = client.sync()
+        ingest_s = time.perf_counter() - ingest_start
+        if failures:
+            print("load-test: " + "; ".join(failures), file=sys.stderr)
+            return 1
+        if absorbed != users:
+            print(f"load-test: server absorbed {absorbed} of {users} reports",
+                  file=sys.stderr)
+            return 1
+
+        truth = true_frequencies(values)
+        top = sorted(truth.items(), key=lambda kv: -kv[1])[:5]
+        probe = np.random.default_rng(0).integers(0, domain_size,
+                                                  size=args.queries)
+        queries = [int(x) for x, _ in top] + [int(x) for x in probe]
+        served = client.query(queries)
+        expected = offline.estimate_many(queries)
+        identical = bool(np.array_equal(served, expected))
+        stats = client.stats()
+        if proc is not None:
+            client.shutdown()
+        client.close()
+
+        rows = [{"item": x, "true_count": truth.get(x, 0),
+                 "served_estimate": round(float(a), 1)}
+                for x, a in list(zip(queries, served))[:5]]
+        print(format_table(rows, title=(
+            f"load-test: {args.protocol} x {users} users over {workers} "
+            f"connection(s), {args.epochs} epoch(s), server {host}:{port}")))
+        print(f"\nclient encoding: {encode_s:.3f}s; wire ingest+sync: "
+              f"{ingest_s:.3f}s ({users / max(ingest_s, 1e-9):,.0f} reports/s "
+              f"end-to-end); server drain: {stats['drain_s']:.3f}s "
+              f"({int(stats['reports_absorbed']) / max(float(stats['drain_s']), 1e-9):,.0f} "
+              f"reports/s absorb)")
+        print(f"served == offline engine ({len(queries)} queries): "
+              f"{'BIT-IDENTICAL' if identical else 'MISMATCH'}")
+        if not identical:
+            worst = int(np.argmax(np.abs(served - expected)))
+            print(f"load-test: first divergence at item {queries[worst]}: "
+                  f"served {served[worst]!r} != offline {expected[worst]!r}",
+                  file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        if proc is not None:
+            proc.terminate()
+            proc.wait(timeout=10)
+            proc.stdout.close()
+
+
+# --------------------------------------------------------------------------------------
+# module map (--list-modules)
+# --------------------------------------------------------------------------------------
+
+MODULE_MAP_BEGIN = "<!-- module-map:begin (generated by `repro.cli --list-modules`; verified in CI) -->"
+MODULE_MAP_END = "<!-- module-map:end -->"
+
+
+def module_map() -> List[str]:
+    """One line per module: dotted name + first docstring line.
+
+    This is the ground truth ``docs/architecture.md`` embeds; CI regenerates
+    it with ``--list-modules --check`` so the document cannot silently drift
+    from the package layout.
+    """
+    import importlib
+    import pkgutil
+
+    import repro
+
+    names = ["repro"]
+    names += sorted(info.name for info in
+                    pkgutil.walk_packages(repro.__path__, prefix="repro."))
+    lines = []
+    for name in names:
+        try:
+            module = importlib.import_module(name)
+            doc = (module.__doc__ or "").strip()
+            summary = doc.splitlines()[0].strip() if doc else "(no docstring)"
+        except Exception as exc:  # pragma: no cover - broken module
+            summary = f"(import failed: {exc})"
+        lines.append(f"{name:<38s} {summary}")
+    return lines
+
+
+def _list_modules(check_path: Optional[str]) -> int:
+    lines = module_map()
+    if check_path is None:
+        print("\n".join(lines))
+        return 0
+    text = Path(check_path).read_text()
+    if MODULE_MAP_BEGIN not in text or MODULE_MAP_END not in text:
+        print(f"--list-modules --check: {check_path} has no "
+              f"module-map markers", file=sys.stderr)
+        return 1
+    embedded = text.split(MODULE_MAP_BEGIN, 1)[1].split(MODULE_MAP_END, 1)[0]
+    embedded_lines = [line.rstrip() for line in embedded.strip().splitlines()
+                      if line.strip() and not line.startswith("```")]
+    current = [line.rstrip() for line in lines]
+    if embedded_lines != current:
+        print(f"--list-modules --check: module map in {check_path} is stale; "
+              f"regenerate with `python -m repro.cli --list-modules`",
+              file=sys.stderr)
+        for line in sorted(set(current) - set(embedded_lines)):
+            print(f"  missing: {line}", file=sys.stderr)
+        for line in sorted(set(embedded_lines) - set(current)):
+            print(f"  stale:   {line}", file=sys.stderr)
+        return 1
+    print(f"--list-modules --check: {check_path} is up to date "
+          f"({len(current)} modules)")
+    return 0
+
+
 def _cmd_quickstart(args) -> int:
     from repro import PrivateExpanderSketch, planted_workload
 
@@ -404,10 +715,86 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--output", default="BENCH_engine.json")
     bench_parser.set_defaults(func=_cmd_bench)
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the asyncio report-ingestion server (repro.server)")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=7071,
+                              help="TCP port (0 picks a free port; the bound "
+                                   "port is printed on the LISTENING line)")
+    serve_parser.add_argument("--protocol", default="hashtogram",
+                              choices=["hashtogram", "explicit", "cms"])
+    serve_parser.add_argument("--domain-size", type=int, default=1 << 16)
+    serve_parser.add_argument("--epsilon", type=float, default=1.0)
+    serve_parser.add_argument("--num-users", type=int, default=30_000,
+                              help="population hint used to size the "
+                                   "sampled parameters' bucket counts")
+    serve_parser.add_argument("--seed", type=int, default=0,
+                              help="seed of the sampled public randomness")
+    serve_parser.add_argument("--params-file", default=None,
+                              help="serve these exact public parameters "
+                                   "(JSON from PublicParams.to_dict) instead "
+                                   "of sampling fresh ones")
+    serve_parser.add_argument("--window", type=int, default=None,
+                              help="retain only the last W epochs "
+                                   "(default: unbounded)")
+    serve_parser.add_argument("--snapshot-dir", default=None,
+                              help="directory for durable snapshots "
+                                   "(enables the snapshot frame)")
+    serve_parser.add_argument("--restore", default=None,
+                              help="start from this windowed snapshot file "
+                                   "(parameters and window come from the "
+                                   "snapshot; --window overrides retention, "
+                                   "the parameter-sampling flags are unused)")
+    serve_parser.add_argument("--quiet", action="store_true",
+                              help="print only the LISTENING line")
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    load_parser = subparsers.add_parser(
+        "load-test",
+        help="drive a live server with the engine chunk stream and verify "
+             "served == offline engine, bit for bit")
+    load_parser.add_argument("--users", type=int, default=100_000)
+    load_parser.add_argument("--workers", type=int, default=4,
+                             help="concurrent sender connections")
+    load_parser.add_argument("--protocol", default="hashtogram",
+                             choices=["hashtogram", "explicit", "cms"])
+    load_parser.add_argument("--domain-size", type=int, default=1 << 16)
+    load_parser.add_argument("--epsilon", type=float, default=1.0)
+    load_parser.add_argument("--seed", type=int, default=0)
+    load_parser.add_argument("--epochs", type=int, default=1,
+                             help="spread chunks over this many epoch tags")
+    load_parser.add_argument("--queries", type=int, default=64,
+                             help="number of sampled probe queries (the top-5 "
+                                  "true heavy hitters are always queried)")
+    load_parser.add_argument("--server", default=None,
+                             help="HOST:PORT of an already-running server "
+                                  "(default: spawn one)")
+    load_parser.add_argument("--quick", action="store_true",
+                             help="CI-sized run (<= 20k users, 2 workers)")
+    load_parser.set_defaults(func=_cmd_load_test)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if "--list-modules" in argv:
+        argv.remove("--list-modules")
+        check_path = None
+        if "--check" in argv:
+            index = argv.index("--check")
+            try:
+                check_path = argv[index + 1]
+            except IndexError:
+                print("--check requires a file path", file=sys.stderr)
+                return 2
+            del argv[index:index + 2]
+        if argv:
+            print(f"--list-modules takes no other arguments (got {argv})",
+                  file=sys.stderr)
+            return 2
+        return _list_modules(check_path)
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

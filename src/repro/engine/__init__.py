@@ -17,6 +17,12 @@ Typical million-user run (see ``examples/million_user_run.py``)::
     params = HashtogramParams.create(1 << 20, 1.0, num_buckets=1024, rng=0)
     result = run_simulation(params, values, rng=1, workers=4)
     oracle = result.finalize()          # == the workers=1 run, bit for bit
+
+The same canonical chunk stream (:func:`encode_stream`) is what
+``python -m repro.cli load-test`` feeds to the live ingestion service
+(:mod:`repro.server`) — and because the plan and seeds are fixed up front,
+the *served* estimates are verifiable bit-for-bit against
+:func:`run_simulation` under the same seed (see ``docs/architecture.md``).
 """
 
 from repro.engine.engine import (

@@ -95,7 +95,11 @@ def encode_stream(params: PublicParams, values: Sequence[int],
     This is exactly what each engine worker computes for its chunks; the
     legacy one-shot simulation paths iterate it in-process, which is why
     their outputs match the multiprocess engine bit for bit under the same
-    seed.  ``rng`` is consumed only to draw the per-chunk seeds.
+    seed.  It is also the load generator of ``repro.cli load-test``: the
+    same stream shipped to a live :mod:`repro.server` ingestion service
+    must produce served estimates bit-identical to :func:`run_simulation`
+    with the same ``rng`` seed.  ``rng`` is consumed only to draw the
+    per-chunk seeds.
     """
     values = np.asarray(values, dtype=np.int64)
     plan = make_plan(params, values.size, rng, chunk_size)

@@ -90,6 +90,7 @@ class CountMeanSketchOracle(FrequencyOracle):
         self._num_users = aggregator.num_reports
         self._report_bits = params.report_bits
         self._server_state_size = aggregator.state_size
+        self._public_randomness_bits = params.public_randomness_bits
 
     # ----- collection ----------------------------------------------------------------
 
@@ -147,7 +148,8 @@ class CountMeanSketchOracle(FrequencyOracle):
 
     @property
     def public_randomness_bits(self) -> int:
-        return int(sum(h.description_bits for h in self._hashes))
+        """Cached when the wire aggregate is adopted (see the hashtogram note)."""
+        return getattr(self, "_public_randomness_bits", 0)
 
     @property
     def estimator_variance(self) -> float:

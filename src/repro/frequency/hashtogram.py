@@ -106,6 +106,7 @@ class HashtogramOracle(FrequencyOracle):
         self._num_users = aggregator.num_reports
         self._report_bits = params.report_bits
         self._server_state_size = aggregator.state_size
+        self._public_randomness_bits = params.public_randomness_bits
 
     # ----- collection ---------------------------------------------------------------
 
@@ -165,9 +166,13 @@ class HashtogramOracle(FrequencyOracle):
 
     @property
     def public_randomness_bits(self) -> int:
-        """Bits of public randomness consumed by the published hash functions."""
-        return int(sum(h.description_bits for h in self._bucket_hashes)
-                   + sum(s.description_bits for s in self._sign_hashes))
+        """Bits of public randomness consumed by the published hash functions.
+
+        Cached when the wire aggregate is adopted — re-summing
+        ``description_bits`` over the hash objects on every accounting call
+        is avoidable O(num_repetitions) work.
+        """
+        return getattr(self, "_public_randomness_bits", 0)
 
     @property
     def estimator_variance(self) -> float:

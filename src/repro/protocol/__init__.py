@@ -10,7 +10,13 @@ abstractions (see :mod:`repro.protocol.wire`):
   ``encode(value, rng) -> Report`` and the vectorized ``encode_batch``;
 * :class:`ServerAggregator` — incremental ``absorb``/``absorb_batch``
   ingestion into exact integer state, commutative/associative ``merge`` for
-  sharded aggregation, and ``finalize()`` into a fitted estimator.
+  sharded aggregation, JSON-safe ``snapshot()``/``from_snapshot()``
+  checkpoints that restore bit-identically, and ``finalize()`` into a
+  fitted estimator.
+
+The layers above: :mod:`repro.engine` runs this API across a process pool
+for simulation; :mod:`repro.server` serves it over TCP as a long-lived
+ingestion service (see ``docs/architecture.md``).
 
 Concrete wire protocols::
 

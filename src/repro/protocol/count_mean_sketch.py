@@ -1,5 +1,17 @@
 """Wire protocol for the Apple-style Count-Mean-Sketch oracle [33].
 
+**Paper reference.** Reference [33] of the paper (Apple's deployed LDP
+sketch), reproduced here as the industrial point of comparison for the
+Theorem 3.7 Hashtogram: same hash-then-randomize shape, but unary-encoded
+rows instead of the Hadamard inner protocol and mean- instead of
+median/signed-combination across rows.
+
+**Report size.** ``m + log2 k`` bits: the m-bit noisy one-hot row plus the
+row tag (k hash rows, m buckets).
+
+**Server cost.** A ``k × m`` integer table plus k per-row report counts;
+O(m) integer additions per report, O(k) work per query after finalization.
+
 The server publishes k independent bucket hashes ``h_1..h_k : X -> [m]``.
 Each user samples one hash row locally, one-hot encodes ``h_j(x)`` over the m
 buckets, flips every bit with the symmetric unary-encoding probabilities at
@@ -50,6 +62,8 @@ class CountMeanSketchParams(PublicParams):
         half = math.exp(epsilon / 2.0)
         self.p = half / (half + 1.0)
         self.q = 1.0 / (half + 1.0)
+        self._public_randomness_bits = int(sum(h.description_bits
+                                               for h in self.hashes))
 
     @classmethod
     def create(cls, domain_size: int, epsilon: float, num_hashes: int = 16,
@@ -93,7 +107,8 @@ class CountMeanSketchParams(PublicParams):
 
     @property
     def public_randomness_bits(self) -> int:
-        return int(sum(h.description_bits for h in self.hashes))
+        """Cached at construction; see the hashtogram note."""
+        return self._public_randomness_bits
 
 
 class CountMeanSketchEncoder(ClientEncoder):
@@ -146,6 +161,22 @@ class CountMeanSketchAggregator(ServerAggregator):
         merged._ones = self._ones + other._ones
         merged._row_counts = self._row_counts + other._row_counts
         return merged
+
+    # ----- snapshots ----------------------------------------------------------------
+
+    def _state_dict(self):
+        return {"ones": self._ones.tolist(),
+                "row_counts": self._row_counts.tolist()}
+
+    def _load_state(self, state) -> None:
+        ones = np.asarray(state["ones"], dtype=np.int64)
+        row_counts = np.asarray(state["row_counts"], dtype=np.int64)
+        if ones.shape != self._ones.shape or \
+                row_counts.shape != self._row_counts.shape:
+            raise ValueError("snapshot table shape does not match the "
+                             "configured (num_hashes, num_buckets)")
+        self._ones = ones
+        self._row_counts = row_counts
 
     # ----- estimation ---------------------------------------------------------------
 

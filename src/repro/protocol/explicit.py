@@ -1,16 +1,26 @@
 """Wire protocol for the small-domain explicit histogram oracle (Theorem 3.8).
 
-Three interchangeable local randomizers share one parameter/report format:
+**Paper reference.** Theorem 3.8: for domain size k ≲ n, an ε-LDP frequency
+oracle with worst-case error ``O((1/ε) sqrt(n log(k/β)))`` — the
+"explicit histogram" building block every larger construction (Hashtogram,
+the heavy-hitters stage-1 oracles) instantiates on a derived small domain.
 
-* ``"hadamard"`` — the report is a uniformly random Hadamard row index plus
-  one (possibly flipped) ±1 entry: ``log2(padded) + 1`` bits on the wire.
-* ``"oue"`` — the report is the full k-bit noisy one-hot vector.
-* ``"krr"`` — the report is a single (possibly lied-about) domain element:
-  ``log2 k`` bits.
+**Report size.** Three interchangeable local randomizers share one
+parameter/report format:
 
-Aggregation is exact integer accumulation (signed counts per Hadamard row,
-per-column one counts, or a value histogram); debiasing happens only in
-``finalize()``, so shard merges are bit-exact.
+* ``"hadamard"`` — a uniformly random Hadamard row index plus one (possibly
+  flipped) ±1 entry: ``log2(padded) + 1`` bits on the wire (the
+  communication-optimal choice, and the default);
+* ``"oue"`` — the full k-bit noisy one-hot vector: ``k`` bits;
+* ``"krr"`` — a single (possibly lied-about) domain element: ``log2 k`` bits.
+
+**Server cost.** One integer accumulator of ``padded`` (hadamard) or ``k``
+(oue/krr) scalars regardless of n; ingestion is O(1) integer additions per
+report, and ``finalize()`` pays one FWHT / debias pass of O(k log k) or
+O(k).  Aggregation is exact integer accumulation (signed counts per
+Hadamard row, per-column one counts, or a value histogram); debiasing
+happens only in ``finalize()``, so shard merges and snapshot/restore are
+bit-exact.
 """
 
 from __future__ import annotations
@@ -172,6 +182,19 @@ class ExplicitHistogramAggregator(ServerAggregator):
         merged = ExplicitHistogramAggregator(self.params)
         merged._accumulator = self._accumulator + other._accumulator
         return merged
+
+    # ----- snapshots ----------------------------------------------------------------
+
+    def _state_dict(self):
+        return {"accumulator": self._accumulator.tolist()}
+
+    def _load_state(self, state) -> None:
+        accumulator = np.asarray(state["accumulator"], dtype=np.int64)
+        if accumulator.shape != self._accumulator.shape:
+            raise ValueError(f"snapshot accumulator has shape "
+                             f"{accumulator.shape}, expected "
+                             f"{self._accumulator.shape}")
+        self._accumulator = accumulator
 
     # ----- estimation ---------------------------------------------------------------
 

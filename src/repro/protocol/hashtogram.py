@@ -1,5 +1,20 @@
 """Wire protocol for the general-domain Hashtogram oracle (Theorem 3.7).
 
+**Paper reference.** Theorem 3.7: an ε-LDP frequency oracle for *arbitrary*
+domain size |X| with worst-case error ``O((1/ε) sqrt(n log(|X|/β)))`` —
+the count-sketch-style reduction from a huge domain to R independent
+(bucket, sign) small domains, and the final estimation stage of the paper's
+heavy-hitters protocol.
+
+**Report size.** One inner small-domain report over ``2 * num_buckets``
+cells — ``log2(2B) + O(1)`` bits with the default Hadamard inner randomizer
+— i.e. O(log n) bits total with the standard ``B ≈ sqrt(n)``; under
+``"uniform"`` assignment the report additionally carries its
+``log2 R``-bit repetition tag.
+
+**Server cost.** ``R * 2B`` integer scalars (``O~(sqrt(n))`` with the
+default B — the Table 1 row); each query costs O(R) after finalization.
+
 The server publishes, per repetition t, a pairwise independent bucket hash
 ``h_t`` and a 4-wise independent sign hash ``s_t``; a user assigned to
 repetition t encodes the (bucket, sign) cell of her value through the
@@ -26,8 +41,10 @@ from repro.protocol.wire import (
     PublicParams,
     ReportBatch,
     ServerAggregator,
+    child_state,
     kwise_hash_from_dict,
     kwise_hash_to_dict,
+    load_child_state,
     register_protocol,
     sign_hash_from_dict,
     sign_hash_to_dict,
@@ -62,6 +79,12 @@ class HashtogramParams(PublicParams):
         self.assignment = assignment
         self.inner = ExplicitHistogramParams(2 * num_buckets, epsilon,
                                              inner_randomizer)
+        # Cached once: summing description_bits over the hash objects on every
+        # accounting call is O(num_repetitions) per lookup and showed up in
+        # profiles of report-cost accounting loops.
+        self._public_randomness_bits = int(
+            sum(h.description_bits for h in self.bucket_hashes)
+            + sum(s.description_bits for s in self.sign_hashes))
 
     @property
     def inner_randomizer(self) -> str:
@@ -126,9 +149,9 @@ class HashtogramParams(PublicParams):
 
     @property
     def public_randomness_bits(self) -> int:
-        """Bits of public randomness consumed by the published hashes."""
-        return int(sum(h.description_bits for h in self.bucket_hashes)
-                   + sum(s.description_bits for s in self.sign_hashes))
+        """Bits of public randomness consumed by the published hashes
+        (computed once at construction)."""
+        return self._public_randomness_bits
 
     # ----- helpers ---------------------------------------------------------------
 
@@ -203,6 +226,19 @@ class HashtogramAggregator(ServerAggregator):
         merged._inner = [mine.merge(theirs)
                          for mine, theirs in zip(self._inner, other._inner)]
         return merged
+
+    # ----- snapshots ----------------------------------------------------------------
+
+    def _state_dict(self):
+        return {"inner": [child_state(agg) for agg in self._inner]}
+
+    def _load_state(self, state) -> None:
+        inner = list(state["inner"])
+        if len(inner) != len(self._inner):
+            raise ValueError(f"snapshot has {len(inner)} repetitions, "
+                             f"expected {len(self._inner)}")
+        for aggregator, payload in zip(self._inner, inner):
+            load_child_state(aggregator, payload)
 
     # ----- estimation ---------------------------------------------------------------
 

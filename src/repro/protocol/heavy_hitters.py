@@ -1,5 +1,22 @@
 """Wire protocols for the heavy-hitters constructions.
 
+**Paper reference.** :class:`ExpanderSketchParams` is the wire form of
+Algorithm PrivateExpanderSketch (Section 3.3) — the paper's main result,
+worst-case-optimal error ``O((1/ε) sqrt(n log(|X|/β)))`` simultaneously in
+every parameter;  :class:`SingleHashParams` is the single-hash reduction of
+Bassily et al. [3] (Section 3.1.1), the baseline it improves on.
+
+**Report size.** Both protocols ship one stage-1 small-domain report at
+privacy ε/2 plus one stage-2 Hashtogram report at ε/2 — ``O(log n)`` bits
+total with the default Hadamard randomizers (the exact width is
+``params.report_bits``).
+
+**Server cost.** One small-domain integer accumulator per coordinate /
+(repetition, symbol) group plus the final Hashtogram state; the incremental
+aggregators below hold all of them simultaneously (mergeable, snapshotable),
+while the one-shot simulation path in :mod:`repro.core.heavy_hitters`
+streams one coordinate at a time to keep the paper's peak-memory profile.
+
 Both the paper's :class:`PrivateExpanderSketch` (Section 3.3) and the
 single-hash baseline of Bassily et al. [3] decompose into the same wire
 shape: every user sends one stage-1 report (a small-domain report on a
@@ -39,8 +56,10 @@ from repro.protocol.wire import (
     PublicParams,
     ReportBatch,
     ServerAggregator,
+    child_state,
     kwise_hash_from_dict,
     kwise_hash_to_dict,
+    load_child_state,
     register_protocol,
 )
 from repro.utils.rng import RandomState, as_generator
@@ -201,6 +220,11 @@ class ExpanderSketchParams(PublicParams):
         self.stage1 = ExplicitHistogramParams(self.num_cells,
                                               params.epsilon_per_stage,
                                               params.oracle_randomizer)
+        self._public_randomness_bits = int(
+            self.partition_hash.description_bits
+            + sum(h.description_bits for h in self.coordinate_hashes)
+            + self.assignment_hash.description_bits
+            + self.final.public_randomness_bits)
 
     @classmethod
     def create(cls, num_users: int, domain_size: int, epsilon: float,
@@ -274,10 +298,8 @@ class ExpanderSketchParams(PublicParams):
 
     @property
     def public_randomness_bits(self) -> int:
-        return int(self.partition_hash.description_bits
-                   + sum(h.description_bits for h in self.coordinate_hashes)
-                   + self.assignment_hash.description_bits
-                   + self.final.public_randomness_bits)
+        """Cached at construction; see the hashtogram note."""
+        return self._public_randomness_bits
 
 
 class ExpanderSketchEncoder(ClientEncoder):
@@ -359,6 +381,21 @@ class ExpanderSketchAggregator(ServerAggregator):
                           for mine, theirs in zip(self._stage1, other._stage1)]
         merged._final = self._final.merge(other._final)
         return merged
+
+    # ----- snapshots ----------------------------------------------------------------
+
+    def _state_dict(self):
+        return {"stage1": [child_state(agg) for agg in self._stage1],
+                "final": child_state(self._final)}
+
+    def _load_state(self, state) -> None:
+        stage1 = list(state["stage1"])
+        if len(stage1) != len(self._stage1):
+            raise ValueError(f"snapshot has {len(stage1)} coordinate "
+                             f"accumulators, expected {len(self._stage1)}")
+        for aggregator, payload in zip(self._stage1, stage1):
+            load_child_state(aggregator, payload)
+        load_child_state(self._final, dict(state["final"]))
 
     # ----- finalization -------------------------------------------------------------
 
@@ -443,6 +480,10 @@ class SingleHashParams(PublicParams):
         self.assignment_hash = assignment_hash
         self.stage1 = ExplicitHistogramParams(hash_range * self.alphabet_size,
                                               epsilon / 2.0, "hadamard")
+        self._public_randomness_bits = int(
+            sum(h.description_bits for h in self.hashes)
+            + self.assignment_hash.description_bits
+            + self.final.public_randomness_bits)
 
     @property
     def alphabet_size(self) -> int:
@@ -508,9 +549,8 @@ class SingleHashParams(PublicParams):
 
     @property
     def public_randomness_bits(self) -> int:
-        return int(sum(h.description_bits for h in self.hashes)
-                   + self.assignment_hash.description_bits
-                   + self.final.public_randomness_bits)
+        """Cached at construction; see the hashtogram note."""
+        return self._public_randomness_bits
 
     # ----- helpers ---------------------------------------------------------------
 
@@ -590,6 +630,21 @@ class SingleHashAggregator(ServerAggregator):
                           for mine, theirs in zip(self._stage1, other._stage1)]
         merged._final = self._final.merge(other._final)
         return merged
+
+    # ----- snapshots ----------------------------------------------------------------
+
+    def _state_dict(self):
+        return {"stage1": [child_state(agg) for agg in self._stage1],
+                "final": child_state(self._final)}
+
+    def _load_state(self, state) -> None:
+        stage1 = list(state["stage1"])
+        if len(stage1) != len(self._stage1):
+            raise ValueError(f"snapshot has {len(stage1)} group accumulators, "
+                             f"expected {len(self._stage1)}")
+        for aggregator, payload in zip(self._stage1, stage1):
+            load_child_state(aggregator, payload)
+        load_child_state(self._final, dict(state["final"]))
 
     # ----- finalization -------------------------------------------------------------
 

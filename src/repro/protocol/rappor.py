@@ -1,5 +1,17 @@
 """Wire protocol for basic RAPPOR reports (the Chrome baseline [12]).
 
+**Paper reference.** Reference [12] (Erlingsson-Pihur-Korolova), the
+deployed Google Chrome mechanism the paper's introduction benchmarks
+against: its error scales like the *candidate-set* decoder allows, not the
+worst-case-optimal Theorem 3.7/3.8 rates.
+
+**Report size.** ``num_bits`` bits — the full noisy Bloom filter (128 by
+default); independent of both |X| and n.
+
+**Server cost.** ``num_bits`` integer one-counts; decoding requires a known
+candidate set and one least-squares solve over it in ``finalize()`` (there
+is no per-element oracle, which is exactly the baseline's limitation).
+
 The server publishes the Bloom-filter hash functions; each user Bloom-encodes
 her value, applies permanent randomized response to every bit, and ships the
 ``num_bits``-wide noisy vector.  The aggregator keeps exact integer per-bit
@@ -37,6 +49,8 @@ class RapporParams(PublicParams):
         self.epsilon = randomizer.epsilon
         self.num_bits = randomizer.num_bits
         self.num_hashes = randomizer.num_hashes
+        self._public_randomness_bits = int(
+            sum(h.description_bits for h in randomizer._hashes))
 
     @classmethod
     def create(cls, domain_size: int, epsilon: float, num_bits: int = 128,
@@ -80,7 +94,8 @@ class RapporParams(PublicParams):
 
     @property
     def public_randomness_bits(self) -> int:
-        return int(sum(h.description_bits for h in self.randomizer._hashes))
+        """Cached at construction; see the hashtogram note."""
+        return self._public_randomness_bits
 
 
 class RapporEncoder(ClientEncoder):
@@ -125,6 +140,18 @@ class RapporAggregator(ServerAggregator):
         merged = RapporAggregator(self.params)
         merged._bit_counts = self._bit_counts + other._bit_counts
         return merged
+
+    # ----- snapshots ----------------------------------------------------------------
+
+    def _state_dict(self):
+        return {"bit_counts": self._bit_counts.tolist()}
+
+    def _load_state(self, state) -> None:
+        bit_counts = np.asarray(state["bit_counts"], dtype=np.int64)
+        if bit_counts.shape != self._bit_counts.shape:
+            raise ValueError(f"snapshot has {bit_counts.size} bit counts, "
+                             f"expected {self._bit_counts.size}")
+        self._bit_counts = bit_counts
 
     # ----- estimation ---------------------------------------------------------------
 

@@ -22,7 +22,11 @@ ever sees the aggregate.  This module makes that boundary explicit:
 
 All aggregator states are kept in exact integer arithmetic until
 ``finalize()``, so splitting a report stream across K shards and merging the
-shard aggregators reproduces single-server aggregation *bit for bit*.
+shard aggregators reproduces single-server aggregation *bit for bit*.  The
+same exact-integer state powers **durable snapshots**: ``snapshot()`` emits
+a JSON-safe checkpoint (parameters + report count + state) and
+``from_snapshot()`` rebuilds an aggregator that finalizes bit-identically —
+the crash-recovery primitive of :mod:`repro.server`.
 
 The legacy one-shot ``FrequencyOracle.collect(values)`` /
 ``HeavyHitterProtocol.run(values)`` entry points are retained as thin
@@ -33,6 +37,7 @@ simulation conveniences implemented exactly as
 from __future__ import annotations
 
 import abc
+import base64
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type, Union
 
 import numpy as np
@@ -52,7 +57,14 @@ __all__ = [
     "kwise_hash_from_dict",
     "sign_hash_to_dict",
     "sign_hash_from_dict",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
 ]
+
+#: identifying tag of an aggregator snapshot payload (see ``ServerAggregator.snapshot``)
+SNAPSHOT_FORMAT = "repro-aggregator-snapshot"
+#: snapshot payload version; bumped on any breaking change to the state layout
+SNAPSHOT_VERSION = 1
 
 
 # --------------------------------------------------------------------------------------
@@ -205,6 +217,68 @@ class ReportBatch:
         columns = {key: np.stack([np.asarray(r.payload[key]) for r in reports])
                    for key in reports[0].payload}
         return cls(protocol, columns)
+
+    # ----- wire serialization -------------------------------------------------------
+
+    def to_dict(self, encoding: str = "b64") -> Dict[str, object]:
+        """JSON-safe columnar description of the batch.
+
+        Two column encodings are supported (both JSON-safe, see
+        ``docs/wire-protocol.md`` §3.1):
+
+        * ``"b64"`` (default) — each column ships its dtype, shape, and the
+          base64 of its little-endian C-order bytes.  This is the ingestion
+          fast path: decoding is one ``base64`` pass plus ``np.frombuffer``.
+        * ``"json"`` — each column ships its values as (nested) integer
+          lists; slower but human-readable and diff-friendly.
+
+        Either encoding round-trips through :meth:`from_dict` to a batch
+        whose columns compare equal element for element and dtype for dtype.
+        """
+        if encoding not in ("b64", "json"):
+            raise ValueError("encoding must be 'b64' or 'json'")
+        columns: Dict[str, object] = {}
+        for key, col in self.columns.items():
+            if encoding == "b64":
+                data = np.ascontiguousarray(col)
+                if data.dtype.byteorder == ">":  # pragma: no cover - BE hosts
+                    data = data.astype(data.dtype.newbyteorder("<"))
+                payload: object = base64.b64encode(data.tobytes()).decode("ascii")
+                dtype = data.dtype.str
+            else:
+                payload = col.tolist()
+                dtype = col.dtype.str
+            columns[key] = {"dtype": dtype,
+                            "shape": [int(s) for s in col.shape],
+                            "data": payload}
+        return {"protocol": self.protocol,
+                "encoding": encoding,
+                "num_reports": int(self._num_reports),
+                "columns": columns}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ReportBatch":
+        """Rebuild a batch from :meth:`to_dict` output (either encoding)."""
+        encoding = str(data.get("encoding", "json"))
+        if encoding not in ("b64", "json"):
+            raise ValueError(f"unknown batch encoding {encoding!r}; "
+                             f"expected 'b64' or 'json'")
+        columns: Dict[str, np.ndarray] = {}
+        for key, spec in dict(data["columns"]).items():
+            dtype = np.dtype(str(spec["dtype"]))
+            shape = tuple(int(s) for s in spec["shape"])
+            if encoding == "b64":
+                raw = base64.b64decode(str(spec["data"]))
+                col = np.frombuffer(raw, dtype=dtype).reshape(shape)
+            else:
+                col = np.asarray(spec["data"], dtype=dtype).reshape(shape)
+            columns[key] = col
+        batch = cls(str(data["protocol"]), columns)
+        declared = int(data.get("num_reports", len(batch)))
+        if declared != len(batch):
+            raise ValueError(f"declared num_reports={declared} does not match "
+                             f"the column length {len(batch)}")
+        return batch
 
     # ----- accounting ---------------------------------------------------------------
 
@@ -437,6 +511,69 @@ class ServerAggregator(abc.ABC):
     def _merge_impl(self, other: "ServerAggregator") -> "ServerAggregator":
         """Subclass hook: new aggregator whose state is the sum of both."""
 
+    # ----- durable snapshots --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe checkpoint of the full aggregator state.
+
+        The payload carries the public parameters (``to_dict``), the report
+        count, and the exact integer state (``_state_dict``), so a server
+        can write it to disk, crash, and rebuild an aggregator that
+        finalizes **bit-identically** via :meth:`from_snapshot` — integers
+        survive JSON exactly, and no floating-point value is ever part of
+        the state.
+        """
+        return {"format": SNAPSHOT_FORMAT,
+                "version": SNAPSHOT_VERSION,
+                "params": self.params.to_dict(),
+                "num_reports": int(self.num_reports),
+                "state": self._state_dict()}
+
+    @staticmethod
+    def from_snapshot(data: Dict[str, object]) -> "ServerAggregator":
+        """Rebuild an aggregator from :meth:`snapshot` output.
+
+        Dispatches on the embedded parameters' ``protocol`` tag, so any
+        registered protocol restores through this one entry point.
+        """
+        if data.get("format") != SNAPSHOT_FORMAT:
+            raise ValueError(f"not an aggregator snapshot: "
+                             f"format={data.get('format')!r}")
+        version = int(data.get("version", 0))
+        if version != SNAPSHOT_VERSION:
+            raise ValueError(f"unsupported snapshot version {version} "
+                             f"(expected {SNAPSHOT_VERSION})")
+        params = PublicParams.from_dict(dict(data["params"]))
+        aggregator = params.make_aggregator()
+        aggregator.restore(data)
+        return aggregator
+
+    def restore(self, data: Dict[str, object]) -> "ServerAggregator":
+        """Load a snapshot into this (freshly built) aggregator in place.
+
+        The snapshot's parameters must equal this aggregator's — restoring
+        state produced under different public randomness would silently
+        decode garbage.  Returns ``self``.
+        """
+        if data.get("format") != SNAPSHOT_FORMAT:
+            raise ValueError(f"not an aggregator snapshot: "
+                             f"format={data.get('format')!r}")
+        snapshot_params = PublicParams.from_dict(dict(data["params"]))
+        if snapshot_params != self.params:
+            raise ValueError("cannot restore a snapshot taken under different "
+                             "public parameters")
+        self._load_state(dict(data["state"]))
+        self.num_reports = int(data["num_reports"])
+        return self
+
+    @abc.abstractmethod
+    def _state_dict(self) -> Dict[str, object]:
+        """Subclass hook: JSON-safe dictionary of the exact integer state."""
+
+    @abc.abstractmethod
+    def _load_state(self, state: Dict[str, object]) -> None:
+        """Subclass hook: overwrite the state with :meth:`_state_dict` output."""
+
     # ----- finalization -------------------------------------------------------------
 
     @abc.abstractmethod
@@ -464,3 +601,23 @@ def merge_aggregators(aggregators: Sequence[ServerAggregator]) -> ServerAggregat
     for aggregator in aggregators[1:]:
         merged = merged.merge(aggregator)
     return merged
+
+
+def child_state(aggregator: ServerAggregator) -> Dict[str, object]:
+    """Snapshot payload of a *nested* aggregator (state + count, no params).
+
+    Composite aggregators (Hashtogram's per-repetition inner accumulators,
+    the heavy-hitters stage-1 arrays) embed their children with this helper:
+    the children's parameters are derivable from the parent's, so only the
+    integer state and the report count are stored.
+    """
+    return {"num_reports": int(aggregator.num_reports),
+            "state": aggregator._state_dict()}
+
+
+def load_child_state(aggregator: ServerAggregator,
+                     data: Dict[str, object]) -> ServerAggregator:
+    """Inverse of :func:`child_state`: load a nested payload in place."""
+    aggregator._load_state(dict(data["state"]))
+    aggregator.num_reports = int(data["num_reports"])
+    return aggregator

@@ -1,0 +1,214 @@
+"""Clients for the streaming aggregation service.
+
+Two flavors over identical wire bytes:
+
+* :class:`AggregationClient` — blocking sockets; the right tool for scripts,
+  tests, and the thread-per-connection load generator
+  (``python -m repro.cli load-test``).
+* :class:`AsyncAggregationClient` — asyncio streams, for embedding in an
+  event loop next to other I/O.
+
+Both expose the full frame vocabulary: ``hello`` (fetch the published
+:class:`~repro.protocol.wire.PublicParams`), ``send_batch`` (fire-and-forget
+ingestion), ``sync`` (barrier: frames on one connection are processed in
+order and the reply waits for the ingestion queue to drain, so everything
+*this* connection sent beforehand is absorbed; other connections' unread
+frames may still be in flight — each sender must issue its own ``sync``),
+``query`` (live windowed estimates), ``snapshot``, ``stats``, and
+``shutdown``.  Server-side failures surface as :class:`ServerError` — the
+connection stays usable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.protocol.wire import PublicParams, ReportBatch
+from repro.server.framing import (
+    FrameError,
+    read_frame,
+    read_frame_sync,
+    write_frame,
+    write_frame_sync,
+)
+
+__all__ = ["AggregationClient", "AsyncAggregationClient", "ServerError"]
+
+
+class ServerError(RuntimeError):
+    """The server answered a request with an ``error`` frame."""
+
+
+def _check_reply(reply: Optional[Dict[str, object]],
+                 expected: str) -> Dict[str, object]:
+    if reply is None:
+        raise FrameError("server closed the connection mid-request")
+    if reply.get("type") == "error":
+        raise ServerError(str(reply.get("error")))
+    if reply.get("type") != expected:
+        raise FrameError(f"expected a {expected!r} reply, got "
+                         f"{reply.get('type')!r}")
+    return reply
+
+
+class AggregationClient:
+    """Blocking client for one server connection (usable as a context manager)."""
+
+    def __init__(self, host: str, port: int,
+                 timeout: Optional[float] = None) -> None:
+        self.host = host
+        self.port = int(port)
+        self._sock = socket.create_connection((host, self.port),
+                                              timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._stream = self._sock.makefile("rwb")
+
+    # ----- plumbing ------------------------------------------------------------------
+
+    def _request(self, frame: Dict[str, object],
+                 expected: str) -> Dict[str, object]:
+        write_frame_sync(self._stream, frame)
+        return _check_reply(read_frame_sync(self._stream), expected)
+
+    def close(self) -> None:
+        self._stream.close()
+        self._sock.close()
+
+    def __enter__(self) -> "AggregationClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ----- frame vocabulary ----------------------------------------------------------
+
+    def hello(self) -> PublicParams:
+        """Fetch the server's published public parameters."""
+        reply = self._request({"type": "hello"}, "params")
+        return PublicParams.from_dict(dict(reply["params"]))
+
+    def send_batch(self, batch: ReportBatch, epoch: int = 0,
+                   encoding: str = "b64") -> None:
+        """Ship one report batch (fire-and-forget; no reply frame)."""
+        write_frame_sync(self._stream, {"type": "reports",
+                                        "epoch": int(epoch),
+                                        "batch": batch.to_dict(encoding)})
+
+    def send_raw(self, frames: bytes) -> None:
+        """Ship pre-encoded ``reports`` frames (the benchmark fast path)."""
+        self._stream.write(frames)
+        self._stream.flush()
+
+    def sync(self) -> int:
+        """Barrier for *this connection's* prior sends; returns the absorbed count.
+
+        The server processes a connection's frames in order and replies only
+        after its ingestion queue has fully drained, so every batch sent on
+        this connection beforehand is absorbed.  Batches other connections
+        sent may still be in their sockets — each sender syncs for itself.
+        """
+        reply = self._request({"type": "sync"}, "synced")
+        return int(reply["num_reports"])
+
+    def query(self, items: Sequence[int],
+              window: Optional[int] = None) -> np.ndarray:
+        """Live frequency estimates for ``items`` over the last ``window`` epochs."""
+        frame: Dict[str, object] = {"type": "query",
+                                    "items": [int(x) for x in items]}
+        if window is not None:
+            frame["window"] = int(window)
+        reply = self._request(frame, "estimates")
+        return np.asarray(reply["estimates"], dtype=float)
+
+    def snapshot(self) -> str:
+        """Ask the server to write a durable snapshot; returns its path."""
+        reply = self._request({"type": "snapshot"}, "snapshot_written")
+        return str(reply["path"])
+
+    def stats(self) -> Dict[str, object]:
+        """Server ingestion counters and window occupancy."""
+        return self._request({"type": "stats"}, "stats")
+
+    def shutdown(self) -> int:
+        """Stop the server (drains first); returns the final report count."""
+        reply = self._request({"type": "shutdown"}, "bye")
+        return int(reply["num_reports"])
+
+
+class AsyncAggregationClient:
+    """Asyncio flavor of :class:`AggregationClient` (same frames, same server)."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncAggregationClient":
+        reader, writer = await asyncio.open_connection(host, int(port))
+        return cls(reader, writer)
+
+    async def _request(self, frame: Dict[str, object],
+                       expected: str) -> Dict[str, object]:
+        await write_frame(self._writer, frame)
+        return _check_reply(await read_frame(self._reader), expected)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "AsyncAggregationClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def hello(self) -> PublicParams:
+        reply = await self._request({"type": "hello"}, "params")
+        return PublicParams.from_dict(dict(reply["params"]))
+
+    async def send_batch(self, batch: ReportBatch, epoch: int = 0,
+                         encoding: str = "b64") -> None:
+        await write_frame(self._writer, {"type": "reports",
+                                         "epoch": int(epoch),
+                                         "batch": batch.to_dict(encoding)})
+
+    async def send_stream(self, batches, epoch: int = 0,
+                          encoding: str = "b64") -> int:
+        """Ship an iterable of batches; returns the number of reports sent."""
+        sent = 0
+        for batch in batches:
+            await self.send_batch(batch, epoch, encoding)
+            sent += len(batch)
+        return sent
+
+    async def sync(self) -> int:
+        reply = await self._request({"type": "sync"}, "synced")
+        return int(reply["num_reports"])
+
+    async def query(self, items: Sequence[int],
+                    window: Optional[int] = None) -> np.ndarray:
+        frame: Dict[str, object] = {"type": "query",
+                                    "items": [int(x) for x in items]}
+        if window is not None:
+            frame["window"] = int(window)
+        reply = await self._request(frame, "estimates")
+        return np.asarray(reply["estimates"], dtype=float)
+
+    async def snapshot(self) -> str:
+        reply = await self._request({"type": "snapshot"}, "snapshot_written")
+        return str(reply["path"])
+
+    async def stats(self) -> Dict[str, object]:
+        return await self._request({"type": "stats"}, "stats")
+
+    async def shutdown(self) -> int:
+        reply = await self._request({"type": "shutdown"}, "bye")
+        return int(reply["num_reports"])

@@ -1,0 +1,124 @@
+"""Length-prefixed JSON framing for the streaming aggregation service.
+
+Every message on a server connection — in either direction — is one *frame*:
+
+```
++----------------+---------------------------+
+| 4 bytes (!I)   | UTF-8 JSON object         |
+| payload length | {"type": ..., ...}        |
++----------------+---------------------------+
+```
+
+The payload is always a JSON object with a mandatory ``type`` field; the
+frame vocabulary (``hello`` / ``reports`` / ``sync`` / ``query`` /
+``snapshot`` / ``stats`` / ``shutdown`` and their replies) is specified in
+``docs/wire-protocol.md`` §7.  Report batches travel inside ``reports``
+frames as :meth:`repro.protocol.wire.ReportBatch.to_dict` payloads — the
+base64 column encoding by default, which keeps frame decoding one
+``json.loads`` plus one ``base64`` pass per batch.
+
+Both an asyncio flavor (:func:`read_frame` / :func:`write_frame`, used by
+the server and the async client) and a blocking flavor
+(:func:`read_frame_sync` / :func:`write_frame_sync` over a socket file
+object, used by the sync client and the load generator) are provided; the
+bytes on the wire are identical.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import BinaryIO, Dict, Optional
+
+__all__ = [
+    "FrameError",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "decode_frame",
+    "read_frame",
+    "write_frame",
+    "read_frame_sync",
+    "write_frame_sync",
+]
+
+#: hard ceiling on a single frame's payload; a larger announced length is
+#: treated as a protocol violation, not an allocation request
+MAX_FRAME_BYTES = 1 << 30
+
+_HEADER = struct.Struct("!I")
+
+
+class FrameError(ValueError):
+    """A malformed frame: bad length prefix, truncation, or invalid JSON."""
+
+
+def encode_frame(message: Dict[str, object]) -> bytes:
+    """Serialize one frame (header + compact JSON payload) to bytes."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame payload of {len(payload)} bytes exceeds the "
+                         f"{MAX_FRAME_BYTES}-byte limit")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_frame(payload: bytes) -> Dict[str, object]:
+    """Parse a frame payload; every frame must be a JSON object."""
+    try:
+        message = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise FrameError(f"invalid JSON in frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise FrameError("frame payload must be a JSON object")
+    return message
+
+
+def _check_length(length: int) -> int:
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"announced frame length {length} exceeds the "
+                         f"{MAX_FRAME_BYTES}-byte limit")
+    return length
+
+
+async def read_frame(reader: asyncio.StreamReader
+                     ) -> Optional[Dict[str, object]]:
+    """Read one frame; ``None`` on clean EOF (peer closed between frames)."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError("connection closed mid-header") from exc
+    (length,) = _HEADER.unpack(header)
+    try:
+        payload = await reader.readexactly(_check_length(length))
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError("connection closed mid-frame") from exc
+    return decode_frame(payload)
+
+
+async def write_frame(writer: asyncio.StreamWriter,
+                      message: Dict[str, object]) -> None:
+    """Write one frame and drain the transport (applies backpressure)."""
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+def read_frame_sync(stream: BinaryIO) -> Optional[Dict[str, object]]:
+    """Blocking :func:`read_frame` over a socket file object."""
+    header = stream.read(_HEADER.size)
+    if not header:
+        return None
+    if len(header) < _HEADER.size:
+        raise FrameError("connection closed mid-header")
+    (length,) = _HEADER.unpack(header)
+    payload = stream.read(_check_length(length))
+    if payload is None or len(payload) < length:
+        raise FrameError("connection closed mid-frame")
+    return decode_frame(payload)
+
+
+def write_frame_sync(stream: BinaryIO, message: Dict[str, object]) -> None:
+    """Blocking :func:`write_frame` over a socket file object."""
+    stream.write(encode_frame(message))
+    stream.flush()

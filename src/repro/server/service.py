@@ -1,0 +1,343 @@
+"""The asyncio report-ingestion server.
+
+One :class:`AggregationServer` owns a single protocol's
+:class:`~repro.server.window.WindowedAggregator` and serves any number of
+concurrent TCP connections speaking the frame protocol of
+:mod:`repro.server.framing` (specified in ``docs/wire-protocol.md`` §7):
+
+* **Ingestion** — ``reports`` frames are decoded to columnar
+  :class:`~repro.protocol.wire.ReportBatch` objects and pushed onto a
+  *bounded* queue; a connection that outruns the server suspends inside
+  ``queue.put`` and the unread bytes back up the TCP window — natural
+  backpressure, no dropped reports.
+* **Batched drain** — one drain task pops everything queued (up to
+  ``drain_reports`` rows), concatenates per epoch, and calls
+  ``absorb_batch`` once per epoch — large-batch ingestion is what keeps the
+  numpy fast path hot (see ``benchmarks/bench_server_ingest.py``).
+* **Live queries** — ``query`` frames merge the requested epoch window
+  (bit-exact, pure) and ``finalize()`` the copy while ingestion continues;
+  a client that needs every report it sent reflected first sends ``sync``,
+  which completes only once the queue has fully drained.
+* **Durable snapshots** — ``snapshot`` frames drain the queue, then write
+  the full windowed state to the configured
+  :class:`~repro.server.snapshot.SnapshotStore`; a restarted server
+  restores from the newest file and finalizes bit-identically.
+
+The event loop is single-threaded: ``absorb_batch`` / ``finalize`` run
+atomically between awaits, so no locking is needed and queries can never
+observe a half-absorbed batch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.protocol.wire import PublicParams, ReportBatch
+from repro.server.framing import FrameError, read_frame, write_frame
+from repro.server.snapshot import SnapshotStore, read_snapshot
+from repro.server.window import WindowedAggregator
+
+__all__ = ["AggregationServer", "ServerStats"]
+
+#: protocol identification string sent in every ``params`` reply
+SERVER_ID = "repro-aggregation-server/1"
+
+
+@dataclass
+class ServerStats:
+    """Ingestion counters, readable over the wire via ``stats`` frames."""
+
+    batches_received: int = 0
+    reports_received: int = 0
+    reports_absorbed: int = 0
+    reports_rejected: int = 0
+    queries_answered: int = 0
+    snapshots_written: int = 0
+    connections_total: int = 0
+    drain_s: float = 0.0
+    last_rejection: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"batches_received": self.batches_received,
+                "reports_received": self.reports_received,
+                "reports_absorbed": self.reports_absorbed,
+                "reports_rejected": self.reports_rejected,
+                "queries_answered": self.queries_answered,
+                "snapshots_written": self.snapshots_written,
+                "connections_total": self.connections_total,
+                "drain_s": round(self.drain_s, 6),
+                "last_rejection": self.last_rejection}
+
+
+@dataclass
+class _QueuedBatch:
+    epoch: int
+    batch: ReportBatch = field(repr=False)
+
+
+class AggregationServer:
+    """A long-lived ingestion endpoint for one protocol's reports.
+
+    Parameters
+    ----------
+    params:
+        Public parameters of any registered wire protocol; published to
+        clients in reply to ``hello`` frames.
+    window:
+        Epoch retention of the underlying :class:`WindowedAggregator`
+        (``None`` = unbounded).
+    snapshot_dir:
+        Directory for durable snapshots; ``None`` disables the ``snapshot``
+        frame (it returns an error).
+    queue_batches:
+        Bound of the ingestion queue, in batches.  Full queue = ingestion
+        backpressure on every sending connection.
+    drain_reports:
+        Soft cap on the rows one drain iteration concatenates before
+        calling ``absorb_batch``.
+    """
+
+    def __init__(self, params: PublicParams, *, window: Optional[int] = None,
+                 snapshot_dir: Optional[Union[str, Path]] = None,
+                 queue_batches: int = 256,
+                 drain_reports: int = 1 << 18) -> None:
+        if queue_batches < 1:
+            raise ValueError("queue_batches must be >= 1")
+        if drain_reports < 1:
+            raise ValueError("drain_reports must be >= 1")
+        self.params = params
+        self.windowed = WindowedAggregator(params, window)
+        self.stats = ServerStats()
+        self.store = (SnapshotStore(snapshot_dir)
+                      if snapshot_dir is not None else None)
+        self._queue_batches = queue_batches
+        self._drain_reports = drain_reports
+        self._queue: Optional[asyncio.Queue] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._drain_task: Optional[asyncio.Task] = None
+        self._connections: set = set()
+        self._stopping = asyncio.Event()
+
+    # ----- lifecycle ----------------------------------------------------------------
+
+    @classmethod
+    def restore(cls, snapshot_path: Union[str, Path],
+                **kwargs) -> "AggregationServer":
+        """Build a server whose state is the given windowed snapshot file."""
+        payload = read_snapshot(snapshot_path)
+        windowed = WindowedAggregator.from_snapshot(payload)
+        server = cls(windowed.params, window=windowed.window, **kwargs)
+        server.windowed = windowed
+        server.stats.reports_absorbed = windowed.num_reports
+        return server
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> Tuple[str, int]:
+        """Bind and start serving; returns the actual ``(host, port)``."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._queue = asyncio.Queue(maxsize=self._queue_batches)
+        self._drain_task = asyncio.create_task(self._drain_loop())
+        self._server = await asyncio.start_server(self._handle_connection,
+                                                  host, port)
+        sockname = self._server.sockets[0].getsockname()
+        return str(sockname[0]), int(sockname[1])
+
+    async def serve_until_stopped(self) -> None:
+        """Serve until a ``shutdown`` frame arrives or :meth:`stop` is called."""
+        if self._server is None:
+            raise RuntimeError("call start() first")
+        await self._stopping.wait()
+        await self._shutdown()
+
+    async def stop(self) -> None:
+        """Drain, stop accepting, and cancel the drain task."""
+        self._stopping.set()
+        await self._shutdown()
+
+    async def _shutdown(self) -> None:
+        if self._server is None:
+            return
+        server, self._server = self._server, None
+        server.close()
+        # Close lingering client connections before wait_closed(): since
+        # Python 3.12.1 it waits for every connection *handler* to finish,
+        # so an idle client parked in read_frame would otherwise hang the
+        # shutdown indefinitely.
+        for writer in list(self._connections):
+            writer.close()
+        await server.wait_closed()
+        await self._queue.join()
+        self._drain_task.cancel()
+        try:
+            await self._drain_task
+        except asyncio.CancelledError:
+            pass
+
+    # ----- ingestion ----------------------------------------------------------------
+
+    async def _drain_loop(self) -> None:
+        """Single consumer: pop queued batches, concatenate, absorb."""
+        loop = asyncio.get_running_loop()
+        while True:
+            first: _QueuedBatch = await self._queue.get()
+            pending = [first]
+            total = len(first.batch)
+            while total < self._drain_reports:
+                try:
+                    item = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                pending.append(item)
+                total += len(item.batch)
+            start = loop.time()
+            try:
+                by_epoch: Dict[int, List[_QueuedBatch]] = {}
+                for item in pending:
+                    by_epoch.setdefault(item.epoch, []).append(item)
+                for epoch, items in by_epoch.items():
+                    # A bad batch (stale epoch, or a well-tagged frame whose
+                    # columns don't fit the protocol) is dropped and
+                    # recorded, never raised: a dead drain task would
+                    # deadlock every later `sync`/`snapshot`/`shutdown`.
+                    size = sum(len(item.batch) for item in items)
+                    try:
+                        batch = (items[0].batch if len(items) == 1 else
+                                 ReportBatch.concat([i.batch for i in items],
+                                                    consume=True))
+                        self.windowed.absorb_batch(batch, epoch, atomic=True)
+                    except Exception as exc:  # noqa: BLE001 - accounted
+                        self.stats.reports_rejected += size
+                        self.stats.last_rejection = str(exc)
+                    else:
+                        self.stats.reports_absorbed += size
+            finally:
+                self.stats.drain_s += loop.time() - start
+                for _ in pending:
+                    self._queue.task_done()
+
+    # ----- connection handling ------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self.stats.connections_total += 1
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except FrameError as exc:
+                    await write_frame(writer, {"type": "error",
+                                               "error": str(exc)})
+                    break
+                if frame is None:
+                    break
+                if not await self._dispatch(frame, writer):
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, frame: Dict[str, object],
+                        writer: asyncio.StreamWriter) -> bool:
+        """Handle one frame; returns ``False`` to close the connection."""
+        kind = frame.get("type")
+        if kind == "reports":
+            # Fire-and-forget: a bad batch must be *accounted*, never
+            # answered — an error frame here would occupy the next request's
+            # reply slot and desynchronize the connection forever.
+            self.stats.batches_received += 1
+            try:
+                batch = ReportBatch.from_dict(dict(frame["batch"]))
+                if batch.protocol != self.params.protocol:
+                    self.stats.reports_rejected += len(batch)
+                    raise ValueError(
+                        f"cannot ingest {batch.protocol!r} reports into a "
+                        f"{self.params.protocol!r} server")
+            except Exception as exc:  # noqa: BLE001 - accounted in stats
+                self.stats.last_rejection = str(exc)
+                return True
+            self.stats.reports_received += len(batch)
+            if len(batch):
+                await self._queue.put(
+                    _QueuedBatch(int(frame.get("epoch", 0)), batch))
+            return True
+        try:
+            if kind == "hello":
+                await write_frame(writer, {
+                    "type": "params",
+                    "server": SERVER_ID,
+                    "params": self.params.to_dict(),
+                    "window": self.windowed.window})
+                return True
+            if kind == "sync":
+                await self._queue.join()
+                await write_frame(writer, {
+                    "type": "synced",
+                    "num_reports": self.windowed.num_reports})
+                return True
+            if kind == "query":
+                items = [int(x) for x in frame.get("items", [])]
+                window = frame.get("window")
+                window = int(window) if window is not None else None
+                epochs = self.windowed.select_epochs(window)
+                merged = self.windowed.merged(window)
+                if merged.num_reports == 0:
+                    # No data (fresh server or empty window): every count
+                    # estimate is exactly zero; finalizing would raise.
+                    estimates = [0.0] * len(items)
+                else:
+                    estimator = merged.finalize()
+                    estimates = [float(a)
+                                 for a in estimator.estimate_many(items)]
+                self.stats.queries_answered += 1
+                await write_frame(writer, {
+                    "type": "estimates",
+                    "items": items,
+                    "estimates": estimates,
+                    "num_reports": merged.num_reports,
+                    "epochs": epochs})
+                return True
+            if kind == "snapshot":
+                if self.store is None:
+                    raise ValueError("server was started without a snapshot "
+                                     "directory")
+                await self._queue.join()
+                path = self.store.save(self.windowed.snapshot())
+                self.stats.snapshots_written += 1
+                await write_frame(writer, {
+                    "type": "snapshot_written",
+                    "path": str(path),
+                    "num_reports": self.windowed.num_reports})
+                return True
+            if kind == "stats":
+                payload = self.stats.to_dict()
+                payload.update({
+                    "type": "stats",
+                    "protocol": self.params.protocol,
+                    "epochs": self.windowed.epochs,
+                    "window": self.windowed.window,
+                    "state_size": self.windowed.state_size,
+                    "queue_depth": self._queue.qsize()})
+                await write_frame(writer, payload)
+                return True
+            if kind == "shutdown":
+                await self._queue.join()
+                await write_frame(writer, {
+                    "type": "bye",
+                    "num_reports": self.windowed.num_reports})
+                self._stopping.set()
+                return False
+            raise ValueError(f"unknown frame type {kind!r}")
+        except Exception as exc:  # noqa: BLE001 - reported to the peer
+            await write_frame(writer, {"type": "error", "error": str(exc)})
+            return True

@@ -1,0 +1,203 @@
+"""Windowed collection: epoch-tagged aggregators with a rolling merge.
+
+The paper's protocols aggregate one static population; a telemetry service
+instead collects *forever*, and wants queries like "the heavy hitters of the
+last 24 hours".  :class:`WindowedAggregator` opens that scenario on top of
+the merge algebra of :mod:`repro.protocol`:
+
+* every report batch is tagged with an integer **epoch** (an hour, a day —
+  the caller's clock discretization; the default epoch is 0, which recovers
+  plain unwindowed collection);
+* each epoch owns one exact-integer :class:`~repro.protocol.wire.ServerAggregator`;
+* a query over the last ``w`` epochs is answered by merging those epoch
+  aggregators (commutative, associative, bit-exact) and finalizing the
+  merged copy — the per-epoch states are never mutated by queries;
+* with a retention ``window`` configured, epochs that fall out of the window
+  are dropped as newer epochs arrive, so server memory stays
+  ``window * state_size`` scalars regardless of how long the service runs.
+
+Because merging is bit-exact, a windowed server that ingested epochs
+``e-w+1 .. e`` answers exactly what a fresh single-shot server fed only
+those epochs' reports would answer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.protocol.wire import (
+    PublicParams,
+    ReportBatch,
+    ServerAggregator,
+    child_state,
+    load_child_state,
+    merge_aggregators,
+)
+
+__all__ = ["WindowedAggregator", "WINDOW_SNAPSHOT_FORMAT"]
+
+#: identifying tag of a windowed snapshot payload
+WINDOW_SNAPSHOT_FORMAT = "repro-windowed-snapshot"
+_WINDOW_SNAPSHOT_VERSION = 1
+
+
+class WindowedAggregator:
+    """A rolling collection of per-epoch aggregators for one protocol.
+
+    Parameters
+    ----------
+    params:
+        Public parameters of any registered wire protocol.
+    window:
+        Retention in epochs.  ``None`` (default) retains every epoch —
+        unbounded collection; ``w >= 1`` keeps only the ``w`` newest epoch
+        tags and rejects reports for epochs that have already been dropped.
+    """
+
+    def __init__(self, params: PublicParams,
+                 window: Optional[int] = None) -> None:
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1 (or None for unbounded)")
+        self.params = params
+        self.window = window
+        self._epochs: Dict[int, ServerAggregator] = {}
+
+    # ----- ingestion ----------------------------------------------------------------
+
+    def absorb_batch(self, batch: ReportBatch, epoch: int = 0,
+                     atomic: bool = False) -> None:
+        """Fold one batch into its epoch's aggregator (creating it on demand).
+
+        With ``atomic=True`` the epoch's integer state is backed up first
+        and rolled back if ``absorb_batch`` raises partway through — a
+        malformed batch absorbed into a *composite* aggregator (Hashtogram's
+        per-repetition accumulators, the heavy-hitters stage-1 arrays) could
+        otherwise mutate some children before failing, silently corrupting
+        the aggregate.  The ingestion server always absorbs atomically;
+        trusted in-process pipelines can skip the backup cost.
+        """
+        epoch = int(epoch)
+        aggregator = self._epochs.get(epoch)
+        fresh = aggregator is None
+        if fresh:
+            if self.window is not None and self._epochs and \
+                    epoch <= max(self._epochs) - self.window:
+                raise ValueError(
+                    f"epoch {epoch} is outside the retention window "
+                    f"(newest epoch {max(self._epochs)}, window {self.window})")
+            aggregator = self.params.make_aggregator()
+        backup = (child_state(aggregator)
+                  if atomic and not fresh else None)
+        try:
+            aggregator.absorb_batch(batch)
+        except Exception:
+            # A fresh aggregator was never registered, so only a pre-existing
+            # epoch needs its state rolled back.
+            if backup is not None:
+                load_child_state(aggregator, backup)
+            raise
+        if fresh:
+            self._epochs[epoch] = aggregator
+            self._prune()
+
+    def _prune(self) -> None:
+        if self.window is None:
+            return
+        cutoff = max(self._epochs) - self.window
+        for epoch in [e for e in self._epochs if e <= cutoff]:
+            del self._epochs[epoch]
+
+    # ----- inspection ---------------------------------------------------------------
+
+    @property
+    def epochs(self) -> List[int]:
+        """Retained epoch tags, oldest first."""
+        return sorted(self._epochs)
+
+    @property
+    def num_reports(self) -> int:
+        """Total reports across every retained epoch."""
+        return sum(agg.num_reports for agg in self._epochs.values())
+
+    @property
+    def state_size(self) -> int:
+        """Total scalars retained across every epoch aggregator."""
+        return sum(agg.state_size for agg in self._epochs.values())
+
+    # ----- windowed queries ---------------------------------------------------------
+
+    def set_window(self, window: Optional[int]) -> None:
+        """Change the retention window in place (pruning immediately).
+
+        Lets an operator tighten retention when restoring from a snapshot
+        taken under a wider (or unbounded) window.
+        """
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1 (or None for unbounded)")
+        self.window = window
+        if self._epochs:
+            self._prune()
+
+    def select_epochs(self, window: Optional[int] = None) -> List[int]:
+        """The epoch tags a query over the last ``window`` epochs covers.
+
+        Windows are *value*-based, matching retention: the selected epochs
+        are those ``> newest - window``.  With dense epoch tags that is the
+        newest ``window`` tags; with sparse tags it correctly excludes
+        epochs older than the window even when few tags exist.
+        """
+        if window is not None and window < 1:
+            raise ValueError("query window must be >= 1")
+        epochs = sorted(self._epochs)
+        if window is None or not epochs:
+            return epochs
+        cutoff = epochs[-1] - window
+        return [epoch for epoch in epochs if epoch > cutoff]
+
+    def merged(self, window: Optional[int] = None) -> ServerAggregator:
+        """Bit-exact merge of the last ``window`` epochs (default: all retained).
+
+        Returns a *new* aggregator when more than one epoch participates (the
+        merge algebra is pure); with a single epoch the live aggregator is
+        returned directly, so callers must treat the result as read-only.
+        An empty window merges to a fresh, empty aggregator.
+        """
+        selected = self.select_epochs(window)
+        if not selected:
+            return self.params.make_aggregator()
+        return merge_aggregators([self._epochs[e] for e in selected])
+
+    def finalize(self, window: Optional[int] = None):
+        """Finalize the merged last-``window``-epochs aggregate into an estimator."""
+        return self.merged(window).finalize()
+
+    # ----- durable snapshots --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe checkpoint of every retained epoch (see module docstring)."""
+        return {"format": WINDOW_SNAPSHOT_FORMAT,
+                "version": _WINDOW_SNAPSHOT_VERSION,
+                "params": self.params.to_dict(),
+                "window": self.window,
+                "epochs": [{"epoch": int(epoch),
+                            **child_state(self._epochs[epoch])}
+                           for epoch in sorted(self._epochs)]}
+
+    @staticmethod
+    def from_snapshot(data: Dict[str, object]) -> "WindowedAggregator":
+        """Rebuild a windowed collection from :meth:`snapshot` output."""
+        if data.get("format") != WINDOW_SNAPSHOT_FORMAT:
+            raise ValueError(f"not a windowed snapshot: "
+                             f"format={data.get('format')!r}")
+        version = int(data.get("version", 0))
+        if version != _WINDOW_SNAPSHOT_VERSION:
+            raise ValueError(f"unsupported windowed snapshot version {version}")
+        params = PublicParams.from_dict(dict(data["params"]))
+        window = data.get("window")
+        windowed = WindowedAggregator(
+            params, int(window) if window is not None else None)
+        for entry in data["epochs"]:
+            aggregator = params.make_aggregator()
+            load_child_state(aggregator, entry)
+            windowed._epochs[int(entry["epoch"])] = aggregator
+        return windowed

@@ -1,0 +1,477 @@
+"""Tests for the streaming aggregation service (:mod:`repro.server`).
+
+Covers the frame layer (sync and async flavors share bytes), the live
+server end to end against the offline engine (the served estimates must be
+**bit-identical** to :func:`repro.engine.run_simulation` under the same
+seed), windowed queries over epochs, error reporting, and — the durability
+contract — a server that is ``SIGKILL``-ed after a snapshot and restored
+into a fresh process finishing the collection bit-identically.
+"""
+
+import asyncio
+import io
+import json
+import os
+import signal
+import struct
+import subprocess
+import sys
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.engine import encode_stream, run_simulation
+from repro.protocol import ExplicitHistogramParams, HashtogramParams
+from repro.server import (
+    AggregationClient,
+    AggregationServer,
+    AsyncAggregationClient,
+    FrameError,
+    ServerError,
+    decode_frame,
+    encode_frame,
+    read_frame_sync,
+    write_frame_sync,
+)
+
+SRC_ROOT = str(Path(repro.__file__).resolve().parent.parent)
+
+
+# --------------------------------------------------------------------------------------
+# framing
+# --------------------------------------------------------------------------------------
+
+class TestFraming:
+    def test_sync_round_trip(self):
+        stream = io.BytesIO()
+        write_frame_sync(stream, {"type": "hello", "n": 3})
+        write_frame_sync(stream, {"type": "sync"})
+        stream.seek(0)
+        assert read_frame_sync(stream) == {"type": "hello", "n": 3}
+        assert read_frame_sync(stream) == {"type": "sync"}
+        assert read_frame_sync(stream) is None  # clean EOF
+
+    def test_async_reads_sync_bytes(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"type": "stats"}))
+            reader.feed_eof()
+            from repro.server import read_frame
+            first = await read_frame(reader)
+            second = await read_frame(reader)
+            return first, second
+        first, second = asyncio.run(run())
+        assert first == {"type": "stats"}
+        assert second is None
+
+    def test_rejects_non_object_payload(self):
+        with pytest.raises(FrameError, match="JSON object"):
+            decode_frame(b"[1, 2, 3]")
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(FrameError, match="invalid JSON"):
+            decode_frame(b"{nope")
+
+    def test_rejects_oversized_announcement(self):
+        stream = io.BytesIO(struct.pack("!I", (1 << 30) + 1) + b"x")
+        with pytest.raises(FrameError, match="limit"):
+            read_frame_sync(stream)
+
+    def test_rejects_truncated_frame(self):
+        stream = io.BytesIO(struct.pack("!I", 10) + b"{}")
+        with pytest.raises(FrameError, match="mid-frame"):
+            read_frame_sync(stream)
+
+
+# --------------------------------------------------------------------------------------
+# in-process server harness
+# --------------------------------------------------------------------------------------
+
+@contextmanager
+def running_server(params, **kwargs):
+    """Run an :class:`AggregationServer` on its own event-loop thread."""
+    server = AggregationServer(params, **kwargs)
+    started = threading.Event()
+    address = {}
+
+    def run() -> None:
+        async def main() -> None:
+            address["hp"] = await server.start("127.0.0.1", 0)
+            started.set()
+            await server.serve_until_stopped()
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(10), "server failed to start"
+    host, port = address["hp"]
+    try:
+        yield server, host, port
+    finally:
+        try:
+            with AggregationClient(host, port) as client:
+                client.shutdown()
+        except OSError:
+            pass  # already stopped by the test body
+        thread.join(10)
+        assert not thread.is_alive(), "server thread failed to stop"
+
+
+def _small_params():
+    return HashtogramParams.create(1 << 10, 1.0, num_buckets=16, rng=0)
+
+
+class TestServerEndToEnd:
+    def test_served_estimates_bit_identical_to_engine(self):
+        params = _small_params()
+        values = np.random.default_rng(5).integers(0, 1 << 10, size=12_000)
+        offline = run_simulation(params, values,
+                                 rng=np.random.default_rng(7)).finalize()
+        queries = list(range(128))
+        with running_server(params) as (_, host, port):
+            with AggregationClient(host, port) as client:
+                assert client.hello() == params
+                for batch in encode_stream(params, values,
+                                           rng=np.random.default_rng(7)):
+                    client.send_batch(batch)
+                assert client.sync() == values.size
+                served = client.query(queries)
+        assert np.array_equal(served, offline.estimate_many(queries))
+
+    def test_json_and_b64_batch_encodings_agree(self):
+        params = ExplicitHistogramParams(64, 1.0, "krr")
+        values = np.random.default_rng(0).integers(0, 64, size=2_000)
+        batch = params.make_encoder().encode_batch(values,
+                                                   np.random.default_rng(1))
+        queries = list(range(64))
+        results = {}
+        for encoding in ("b64", "json"):
+            with running_server(params) as (_, host, port):
+                with AggregationClient(host, port) as client:
+                    client.send_batch(batch, encoding=encoding)
+                    client.sync()
+                    results[encoding] = client.query(queries)
+        assert np.array_equal(results["b64"], results["json"])
+
+    def test_windowed_queries_over_epochs(self):
+        params = ExplicitHistogramParams(32, 1.0, "krr")
+        encoder = params.make_encoder()
+        per_epoch = {}
+        with running_server(params, window=10) as (_, host, port):
+            with AggregationClient(host, port) as client:
+                for epoch in range(3):
+                    values = np.random.default_rng(epoch).integers(
+                        0, 32, size=1_000)
+                    batch = encoder.encode_batch(
+                        values, np.random.default_rng(100 + epoch))
+                    per_epoch[epoch] = batch
+                    client.send_batch(batch, epoch=epoch)
+                client.sync()
+                queries = list(range(32))
+                stats = client.stats()
+                assert stats["epochs"] == [0, 1, 2]
+                all_epochs = client.query(queries)
+                newest_only = client.query(queries, window=1)
+        reference_all = params.make_aggregator()
+        for batch in per_epoch.values():
+            reference_all.absorb_batch(batch)
+        reference_newest = params.make_aggregator().absorb_batch(per_epoch[2])
+        assert np.array_equal(
+            all_epochs, reference_all.finalize().estimate_many(queries))
+        assert np.array_equal(
+            newest_only, reference_newest.finalize().estimate_many(queries))
+
+    def test_async_client(self):
+        params = ExplicitHistogramParams(32, 1.0, "krr")
+        values = np.random.default_rng(3).integers(0, 32, size=1_500)
+        batches = list(encode_stream(params, values,
+                                     rng=np.random.default_rng(4)))
+        reference = params.make_aggregator()
+        for batch in batches:
+            reference.absorb_batch(batch)
+        queries = list(range(32))
+
+        async def drive(host, port):
+            async with await AsyncAggregationClient.connect(host, port) as client:
+                assert await client.hello() == params
+                assert await client.send_stream(batches) == values.size
+                assert await client.sync() == values.size
+                stats = await client.stats()
+                assert stats["reports_absorbed"] == values.size
+                return await client.query(queries)
+
+        with running_server(params) as (_, host, port):
+            served = asyncio.run(drive(host, port))
+        assert np.array_equal(served,
+                              reference.finalize().estimate_many(queries))
+
+    def test_concurrent_connections_interleave(self):
+        params = _small_params()
+        values = np.random.default_rng(11).integers(0, 1 << 10, size=8_000)
+        offline = run_simulation(params, values, rng=np.random.default_rng(13),
+                                 chunk_size=512).finalize()
+        batches = list(encode_stream(params, values,
+                                     rng=np.random.default_rng(13),
+                                     chunk_size=512))
+        queries = list(range(64))
+        workers = 3
+        with running_server(params) as (_, host, port):
+            def send(worker):
+                with AggregationClient(host, port) as client:
+                    for i in range(worker, len(batches), workers):
+                        client.send_batch(batches[i])
+                    client.sync()
+            threads = [threading.Thread(target=send, args=(w,))
+                       for w in range(workers)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            with AggregationClient(host, port) as client:
+                assert client.sync() == values.size
+                served = client.query(queries)
+        assert np.array_equal(served, offline.estimate_many(queries))
+
+    def test_foreign_protocol_batch_is_rejected(self):
+        # `reports` frames are fire-and-forget: a foreign batch must be
+        # dropped and *accounted*, never answered — an error frame would
+        # occupy the next request's reply slot and desynchronize the
+        # connection forever.
+        params = _small_params()
+        foreign = ExplicitHistogramParams(16, 1.0, "krr")
+        batch = foreign.make_encoder().encode_batch(
+            [1, 2, 3], np.random.default_rng(0))
+        with running_server(params) as (_, host, port):
+            with AggregationClient(host, port) as client:
+                client.send_batch(batch)
+                assert client.sync() == 0
+                stats = client.stats()
+                assert stats["reports_rejected"] == len(batch)
+                assert "cannot ingest" in stats["last_rejection"]
+                # reply stream still aligned: distinct request kinds in a row
+                assert list(client.query([1, 2])) == [0.0, 0.0]
+                assert client.stats()["type"] == "stats"
+
+    def test_stale_epoch_is_dropped_not_fatal(self):
+        params = ExplicitHistogramParams(16, 1.0, "krr")
+        batch = params.make_encoder().encode_batch(
+            [1, 2, 3], np.random.default_rng(0))
+        with running_server(params, window=2) as (_, host, port):
+            with AggregationClient(host, port) as client:
+                for epoch in (5, 6, 7):
+                    client.send_batch(batch, epoch=epoch)
+                client.sync()
+                # Epoch 4 already rolled out of the window: the batch is
+                # dropped and accounted for, and the server keeps serving.
+                client.send_batch(batch, epoch=4)
+                client.sync()
+                stats = client.stats()
+                assert stats["epochs"] == [6, 7]
+                assert stats["reports_rejected"] == len(batch)
+                assert "retention window" in stats["last_rejection"]
+                assert stats["reports_absorbed"] == 3 * len(batch)
+
+    def test_malformed_columns_are_dropped_not_fatal(self):
+        # Correct protocol tag, but columns that don't fit the protocol:
+        # the drain task must reject the batch and keep serving (a dead
+        # drain would deadlock every later sync).
+        params = _small_params()
+        with running_server(params) as (_, host, port):
+            with AggregationClient(host, port) as client:
+                write_frame_sync(client._stream, {
+                    "type": "reports", "epoch": 0,
+                    "batch": {"protocol": params.protocol,
+                              "encoding": "json", "num_reports": 2,
+                              "columns": {"bogus": {"dtype": "<i8",
+                                                    "shape": [2],
+                                                    "data": [1, 2]}}}})
+                assert client.sync() == 0
+                stats = client.stats()
+                assert stats["reports_rejected"] == 2
+                assert stats["last_rejection"]
+                # and a good batch afterwards still lands
+                good = params.make_encoder().encode_batch(
+                    [1, 2, 3], np.random.default_rng(0))
+                client.send_batch(good)
+                assert client.sync() == 3
+
+    def test_shutdown_completes_with_idle_connection(self):
+        # Python >= 3.12.1: Server.wait_closed() waits for every handler,
+        # so shutdown must actively close idle connections or it hangs.
+        params = _small_params()
+        with running_server(params) as (_, host, port):
+            idle = AggregationClient(host, port)
+            try:
+                with AggregationClient(host, port) as client:
+                    assert client.shutdown() == 0
+                # running_server's finally asserts the thread stopped within
+                # its timeout, which is the actual regression check.
+            finally:
+                idle.close()
+
+    def test_query_on_empty_server_returns_zeros(self):
+        with running_server(_small_params()) as (_, host, port):
+            with AggregationClient(host, port) as client:
+                assert list(client.query([0, 1, 2])) == [0.0, 0.0, 0.0]
+
+    def test_partial_batch_failure_rolls_back_atomically(self):
+        # A hashtogram batch whose columns decode fine but whose inner
+        # payload is corrupt for one repetition must not leave the other
+        # repetitions' accumulators mutated (absorb is atomic server-side).
+        params = _small_params()
+        encoder = params.make_encoder()
+        good = encoder.encode_batch(np.arange(100) % 50,
+                                    np.random.default_rng(0))
+        corrupt = encoder.encode_batch(np.arange(100) % 50,
+                                       np.random.default_rng(1))
+        # out-of-range Hadamard rows for the *last* repetition only: earlier
+        # repetitions would absorb before the failure without rollback
+        rows = np.array(corrupt.columns["row"], copy=True)
+        last_rep = corrupt.columns["repetition"] == params.num_repetitions - 1
+        rows[last_rep] = 1 << 40
+        corrupt.columns["row"] = rows
+        queries = list(range(50))
+        with running_server(params) as (_, host, port):
+            with AggregationClient(host, port) as client:
+                client.send_batch(good)
+                client.sync()
+                before = client.query(queries)
+                client.send_batch(corrupt)
+                client.sync()
+                after = client.query(queries)
+                stats = client.stats()
+        assert stats["reports_rejected"] == len(corrupt)
+        assert stats["reports_absorbed"] == len(good)
+        assert np.array_equal(before, after)
+
+    def test_sparse_epoch_query_window_is_value_based(self):
+        params = ExplicitHistogramParams(16, 1.0, "krr")
+        batch = params.make_encoder().encode_batch(
+            [1, 2, 3], np.random.default_rng(0))
+        with running_server(params) as (_, host, port):
+            with AggregationClient(host, port) as client:
+                client.send_batch(batch, epoch=0)
+                client.send_batch(batch, epoch=50)
+                client.sync()
+                write_frame_sync(client._stream,
+                                 {"type": "query", "items": [1], "window": 24})
+                reply = read_frame_sync(client._stream)
+        # epoch 0 is 50 epochs old: a last-24-epochs query must exclude it.
+        assert reply["epochs"] == [50]
+        assert reply["num_reports"] == len(batch)
+
+    def test_unknown_batch_encoding_rejected(self):
+        from repro.protocol import ReportBatch
+        with pytest.raises(ValueError, match="unknown batch encoding"):
+            ReportBatch.from_dict({"protocol": "x", "encoding": "base64",
+                                   "num_reports": 0, "columns": {}})
+
+    def test_snapshot_without_store_errors(self):
+        with running_server(_small_params()) as (_, host, port):
+            with AggregationClient(host, port) as client:
+                with pytest.raises(ServerError, match="snapshot"):
+                    client.snapshot()
+
+    def test_unknown_frame_type_errors(self):
+        with running_server(_small_params()) as (_, host, port):
+            with AggregationClient(host, port) as client:
+                write_frame_sync(client._stream, {"type": "subscribe"})
+                reply = read_frame_sync(client._stream)
+                assert reply["type"] == "error"
+                assert "unknown frame type" in reply["error"]
+
+    def test_in_process_snapshot_restore(self, tmp_path):
+        params = _small_params()
+        values = np.random.default_rng(17).integers(0, 1 << 10, size=6_000)
+        batches = list(encode_stream(params, values,
+                                     rng=np.random.default_rng(19)))
+        queries = list(range(64))
+        with running_server(params, snapshot_dir=tmp_path) as (_, host, port):
+            with AggregationClient(host, port) as client:
+                for batch in batches[:len(batches) // 2]:
+                    client.send_batch(batch)
+                client.sync()
+                snapshot_path = client.snapshot()
+        restored = AggregationServer.restore(snapshot_path)
+        for batch in batches[len(batches) // 2:]:
+            restored.windowed.absorb_batch(batch)
+        straight = params.make_aggregator()
+        for batch in batches:
+            straight.absorb_batch(batch)
+        assert np.array_equal(
+            restored.windowed.finalize().estimate_many(queries),
+            straight.finalize().estimate_many(queries))
+
+
+# --------------------------------------------------------------------------------------
+# kill -9 and restore, across real processes
+# --------------------------------------------------------------------------------------
+
+def _spawn_serve(extra_args, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--host", "127.0.0.1",
+         "--port", "0", "--quiet", *extra_args],
+        stdout=subprocess.PIPE, text=True, env=env, cwd=tmp_path)
+    line = proc.stdout.readline()
+    assert line.startswith("LISTENING "), f"unexpected first line {line!r}"
+    _, host, port = line.split()
+    return proc, host, int(port)
+
+
+class TestKillAndRestore:
+    def test_sigkill_then_restore_is_bit_identical(self, tmp_path):
+        params = ExplicitHistogramParams(256, 1.0, "hadamard")
+        params_file = tmp_path / "params.json"
+        params_file.write_text(json.dumps(params.to_dict()))
+        snapshot_dir = tmp_path / "ckpt"
+
+        values = np.random.default_rng(23).integers(0, 256, size=10_000)
+        batches = list(encode_stream(params, values,
+                                     rng=np.random.default_rng(29)))
+        half = len(batches) // 2
+        queries = list(range(256))
+
+        proc, host, port = _spawn_serve(
+            ["--params-file", str(params_file),
+             "--snapshot-dir", str(snapshot_dir)], tmp_path)
+        try:
+            with AggregationClient(host, port) as client:
+                for batch in batches[:half]:
+                    client.send_batch(batch)
+                client.sync()
+                snapshot_path = client.snapshot()
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=10)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup on failure
+                proc.kill()
+            proc.stdout.close()
+
+        proc, host, port = _spawn_serve(
+            ["--restore", snapshot_path,
+             "--snapshot-dir", str(snapshot_dir)], tmp_path)
+        try:
+            with AggregationClient(host, port) as client:
+                assert client.sync() == sum(len(b) for b in batches[:half])
+                for batch in batches[half:]:
+                    client.send_batch(batch)
+                assert client.sync() == values.size
+                served = client.query(queries)
+                client.shutdown()
+            proc.wait(timeout=10)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.stdout.close()
+
+        straight = params.make_aggregator()
+        for batch in batches:
+            straight.absorb_batch(batch)
+        assert np.array_equal(served,
+                              straight.finalize().estimate_many(queries))

@@ -1,0 +1,235 @@
+"""Durable snapshot round-trips for every registered wire protocol.
+
+The contract under test (``docs/wire-protocol.md`` §6): for any aggregator,
+
+    absorb(S1) -> snapshot -> JSON -> restore -> absorb(S2) -> finalize
+
+is **bit-identical** to ``absorb(S1 + S2) -> finalize`` on an aggregator
+that never checkpointed — the snapshot carries exact integer state, and
+integers survive JSON exactly.  Also covered: the windowed (epoch-rolled)
+collection built on the same state hooks, and the atomic on-disk store.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines.single_hash import SingleHashHeavyHitters
+from repro.core.heavy_hitters import PrivateExpanderSketch
+from repro.protocol import (
+    CountMeanSketchParams,
+    ExplicitHistogramParams,
+    HashtogramParams,
+    RapporParams,
+    ServerAggregator,
+)
+from repro.server.snapshot import SnapshotStore, read_snapshot, write_snapshot
+from repro.server.window import WindowedAggregator
+
+DOMAIN = 1 << 12
+
+
+def _frequency_cases():
+    return [
+        ("explicit/hadamard", ExplicitHistogramParams(256, 1.0, "hadamard")),
+        ("explicit/oue", ExplicitHistogramParams(64, 1.0, "oue")),
+        ("explicit/krr", ExplicitHistogramParams(64, 1.0, "krr")),
+        ("hashtogram",
+         HashtogramParams.create(DOMAIN, 1.0, num_buckets=16, rng=0)),
+        ("cms", CountMeanSketchParams.create(DOMAIN, 1.0, num_hashes=4,
+                                             num_buckets=16, rng=0)),
+    ]
+
+
+def _heavy_hitter_cases(num_users):
+    expander = PrivateExpanderSketch(domain_size=1 << 16, epsilon=4.0)
+    single = SingleHashHeavyHitters(domain_size=1 << 16, epsilon=4.0,
+                                    num_repetitions=2)
+    return [
+        ("expander_sketch",
+         expander.public_params(num_users, rng=np.random.default_rng(3))),
+        ("single_hash",
+         single.public_params(num_users, rng=np.random.default_rng(5))),
+    ]
+
+
+def _two_halves(params, num_users, rng):
+    """Two encoded batches covering one population of ``num_users``."""
+    values = rng.integers(0, params.domain_size, size=num_users)
+    values[: num_users // 4] = params.domain_size // 2  # a planted heavy hitter
+    encoder = params.make_encoder()
+    half = num_users // 2
+    first = encoder.encode_batch(values[:half], np.random.default_rng(21))
+    second = encoder.encode_batch(values[half:], np.random.default_rng(22),
+                                  first_user_index=half)
+    return first, second
+
+
+def _checkpointed_vs_straight(params, first, second):
+    """Finalized outputs of the checkpointed and never-checkpointed paths."""
+    checkpointed = params.make_aggregator().absorb_batch(first)
+    payload = json.loads(json.dumps(checkpointed.snapshot()))
+    restored = ServerAggregator.from_snapshot(payload)
+    assert restored.num_reports == len(first)
+    restored.absorb_batch(second)
+    straight = params.make_aggregator().absorb_batch(first).absorb_batch(second)
+    return restored.finalize(), straight.finalize()
+
+
+class TestAggregatorSnapshotRoundTrip:
+    @pytest.mark.parametrize("name,params", _frequency_cases(),
+                             ids=[name for name, _ in _frequency_cases()])
+    def test_frequency_protocols_bit_identical(self, rng, name, params):
+        first, second = _two_halves(params, 4_000, rng)
+        restored, straight = _checkpointed_vs_straight(params, first, second)
+        queries = np.arange(min(params.domain_size, 256))
+        assert np.array_equal(restored.estimate_many(queries),
+                              straight.estimate_many(queries))
+
+    def test_rappor_bit_identical(self, rng):
+        params = RapporParams.create(512, 2.0, num_bits=64, rng=0)
+        first, second = _two_halves(params, 3_000, rng)
+        restored, straight = _checkpointed_vs_straight(params, first, second)
+        candidates = list(range(64))
+        assert np.array_equal(restored.estimate_candidates(candidates),
+                              straight.estimate_candidates(candidates))
+
+    @pytest.mark.parametrize("index", [0, 1], ids=["expander", "single_hash"])
+    def test_heavy_hitters_bit_identical(self, rng, index):
+        num_users = 8_000
+        name, params = _heavy_hitter_cases(num_users)[index]
+        first, second = _two_halves(params, num_users, rng)
+        restored, straight = _checkpointed_vs_straight(params, first, second)
+        assert restored.estimates == straight.estimates
+        assert restored.candidates == straight.candidates
+
+    def test_snapshot_is_json_safe(self, rng):
+        params = HashtogramParams.create(DOMAIN, 1.0, num_buckets=16, rng=0)
+        first, _ = _two_halves(params, 2_000, rng)
+        payload = params.make_aggregator().absorb_batch(first).snapshot()
+        assert payload == json.loads(json.dumps(payload))
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError, match="not an aggregator snapshot"):
+            ServerAggregator.from_snapshot({"format": "something-else"})
+
+    def test_rejects_wrong_version(self):
+        params = ExplicitHistogramParams(16, 1.0)
+        payload = params.make_aggregator().snapshot()
+        payload["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            ServerAggregator.from_snapshot(payload)
+
+    def test_rejects_mismatched_params(self):
+        payload = ExplicitHistogramParams(16, 1.0).make_aggregator().snapshot()
+        other = ExplicitHistogramParams(32, 1.0).make_aggregator()
+        with pytest.raises(ValueError, match="different public parameters"):
+            other.restore(payload)
+
+    def test_rejects_truncated_state(self):
+        params = ExplicitHistogramParams(16, 1.0)
+        payload = params.make_aggregator().snapshot()
+        payload["state"]["accumulator"] = payload["state"]["accumulator"][:3]
+        with pytest.raises(ValueError, match="shape"):
+            ServerAggregator.from_snapshot(payload)
+
+
+class TestWindowedAggregator:
+    def _params(self):
+        return ExplicitHistogramParams(64, 1.0, "krr")
+
+    def _batch(self, params, seed, n=500):
+        values = np.random.default_rng(seed).integers(0, 64, size=n)
+        return params.make_encoder().encode_batch(values,
+                                                  np.random.default_rng(seed))
+
+    def test_windowed_merge_equals_manual_merge(self):
+        params = self._params()
+        windowed = WindowedAggregator(params)
+        manual = params.make_aggregator()
+        for epoch in range(4):
+            batch = self._batch(params, epoch)
+            windowed.absorb_batch(batch, epoch)
+            manual.absorb_batch(batch)
+        assert windowed.epochs == [0, 1, 2, 3]
+        assert windowed.num_reports == manual.num_reports
+        queries = np.arange(64)
+        assert np.array_equal(windowed.finalize().estimate_many(queries),
+                              manual.finalize().estimate_many(queries))
+
+    def test_query_window_selects_newest_epochs(self):
+        params = self._params()
+        windowed = WindowedAggregator(params)
+        last_two = params.make_aggregator()
+        for epoch in range(4):
+            batch = self._batch(params, epoch)
+            windowed.absorb_batch(batch, epoch)
+            if epoch >= 2:
+                last_two.absorb_batch(batch)
+        assert windowed.select_epochs(2) == [2, 3]
+        queries = np.arange(64)
+        assert np.array_equal(windowed.finalize(2).estimate_many(queries),
+                              last_two.finalize().estimate_many(queries))
+
+    def test_retention_drops_old_epochs(self):
+        params = self._params()
+        windowed = WindowedAggregator(params, window=2)
+        for epoch in range(5):
+            windowed.absorb_batch(self._batch(params, epoch), epoch)
+        assert windowed.epochs == [3, 4]
+        with pytest.raises(ValueError, match="retention window"):
+            windowed.absorb_batch(self._batch(params, 9), epoch=1)
+
+    def test_epoch_gaps_count_numerically(self):
+        params = self._params()
+        windowed = WindowedAggregator(params, window=3)
+        windowed.absorb_batch(self._batch(params, 0), epoch=10)
+        windowed.absorb_batch(self._batch(params, 1), epoch=14)
+        # 14 - window(3) = 11 > 10: the old epoch falls out despite only two tags.
+        assert windowed.epochs == [14]
+
+    def test_empty_window_finalizes_fresh(self):
+        params = self._params()
+        windowed = WindowedAggregator(params)
+        assert windowed.merged().num_reports == 0
+
+    def test_snapshot_round_trip_bit_identical(self):
+        params = self._params()
+        windowed = WindowedAggregator(params, window=8)
+        for epoch in range(3):
+            windowed.absorb_batch(self._batch(params, epoch), epoch)
+        payload = json.loads(json.dumps(windowed.snapshot()))
+        restored = WindowedAggregator.from_snapshot(payload)
+        assert restored.window == 8
+        assert restored.epochs == windowed.epochs
+        extra = self._batch(params, 77)
+        windowed.absorb_batch(extra, 3)
+        restored.absorb_batch(extra, 3)
+        queries = np.arange(64)
+        assert np.array_equal(restored.finalize().estimate_many(queries),
+                              windowed.finalize().estimate_many(queries))
+
+    def test_snapshot_rejects_wrong_format(self):
+        with pytest.raises(ValueError, match="not a windowed snapshot"):
+            WindowedAggregator.from_snapshot({"format": "nope"})
+
+
+class TestSnapshotStore:
+    def test_atomic_write_and_read(self, tmp_path):
+        path = write_snapshot(tmp_path / "snap.json", {"a": [1, 2, 3]})
+        assert read_snapshot(path) == {"a": [1, 2, 3]}
+        assert not (tmp_path / "snap.json.tmp").exists()
+
+    def test_sequence_numbers_and_pruning(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=2)
+        paths = [store.save({"seq": i}) for i in range(4)]
+        assert paths[-1].name == "snapshot-000004.json"
+        remaining = sorted(p.name for p in tmp_path.iterdir())
+        assert remaining == ["snapshot-000003.json", "snapshot-000004.json"]
+        assert store.load_latest() == {"seq": 3}
+
+    def test_empty_store(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        assert store.latest() is None
+        assert store.load_latest() is None
