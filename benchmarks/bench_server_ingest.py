@@ -1,17 +1,28 @@
 """Benchmark W3: sustained wire ingest of the streaming aggregation server.
 
 Measures what the service layer adds on top of raw ``absorb_batch``: a real
-TCP round through length-prefixed JSON frames (base64 column encoding), the
-bounded ingestion queue, and the batched drain.  The protocol under test is
-the paper's workhorse (Hashtogram); the measured quantity is **sustained
-ingest** — reports/s from the first byte sent to the server confirming, via
-a ``sync`` barrier, that every report has been absorbed into exact integer
-state.
+TCP round through length-prefixed frames, the bounded ingestion queue, and
+the batched drain — in **both** ``reports`` wire formats:
+
+* ``json`` — the legacy b64-columnar JSON frames (one ``json.loads`` plus a
+  base64 pass per batch on the server);
+* ``binary`` — the zero-copy columnar frames of ``docs/wire-protocol.md``
+  §8 (raw narrowed little-endian columns behind a struct header, decoded
+  into read-only ``np.frombuffer`` views).
+
+The protocol under test is the paper's workhorse (Hashtogram); the measured
+quantity is **sustained ingest** — reports/s from the first byte sent to
+the server confirming, via a ``sync`` barrier, that every report has been
+absorbed into exact integer state.  One row per (protocol, wire format)
+records the wire bytes and the throughput, so ``BENCH_server.json`` shows
+the binary/json ratio directly; CI fails if the binary encoding is not at
+least 3x smaller on the wire than the b64-JSON frames (see ``--check`` and
+the assertions in ``main``).
 
 Client-side encoding and frame serialization are done *before* the clock
 starts (a deployment's clients encode on their own devices); the timed path
-is socket write → frame read → JSON+base64 decode → ``absorb_batch`` →
-drain accounting, i.e. exactly the server's steady-state ingest loop.
+is socket write → frame read → decode → ``absorb_batch`` → drain
+accounting, i.e. exactly the server's steady-state ingest loop.
 
 Run as a script to (re)generate ``BENCH_server.json``::
 
@@ -38,6 +49,10 @@ import numpy as np
 NUM_USERS = 1_000_000
 CHUNK_SIZE = 1 << 16
 SEED = 0
+WIRE_FORMATS = ("json", "binary")
+#: CI gate: binary frames must be at least this many times smaller on the
+#: wire than the b64-JSON frames for the same batches
+MIN_WIRE_SHRINK = 3.0
 
 
 def run_server_ingest_bench(protocols: Sequence[str] = ("hashtogram",),
@@ -46,8 +61,10 @@ def run_server_ingest_bench(protocols: Sequence[str] = ("hashtogram",),
                             epsilon: float = 1.0, seed: int = SEED,
                             chunk_size: int = CHUNK_SIZE,
                             repeats: int = 3,
-                            verify_queries: int = 64) -> Dict[str, object]:
-    """Measure sustained wire ingest per protocol; returns the JSON payload.
+                            verify_queries: int = 64,
+                            wire_formats: Sequence[str] = WIRE_FORMATS
+                            ) -> Dict[str, object]:
+    """Measure sustained wire ingest per (protocol, wire format).
 
     Each repeat spawns a fresh ``repro.cli serve`` subprocess, blasts the
     pre-encoded frames down one connection, and stops the clock when the
@@ -59,7 +76,7 @@ def run_server_ingest_bench(protocols: Sequence[str] = ("hashtogram",),
     from repro.cli import _spawn_server
     from repro.engine import encode_stream, run_simulation
     from repro.engine.bench import build_bench_params
-    from repro.server import AggregationClient, encode_frame
+    from repro.server import AggregationClient, encode_reports_frame
     from repro.utils.rng import as_generator
     from repro.workloads.distributions import zipf_workload
 
@@ -75,53 +92,54 @@ def run_server_ingest_bench(protocols: Sequence[str] = ("hashtogram",),
         batches = list(encode_stream(params, values,
                                      rng=np.random.default_rng(plan_seed),
                                      chunk_size=chunk_size))
-        frames = b"".join(
-            encode_frame({"type": "reports", "epoch": 0,
-                          "batch": batch.to_dict("b64")})
-            for batch in batches)
         queries = [int(x) for x in np.random.default_rng(0).integers(
             0, domain_size, size=verify_queries)]
         expected = run_simulation(
             params, values, rng=np.random.default_rng(plan_seed),
             chunk_size=chunk_size).finalize().estimate_many(queries)
 
-        best: Optional[Dict[str, float]] = None
-        identical = True
-        for _ in range(max(1, repeats)):
-            proc, host, port = _spawn_server(params)
-            try:
-                with AggregationClient(host, port) as client:
-                    start = time.perf_counter()
-                    client.send_raw(frames)
-                    absorbed = client.sync()
-                    elapsed = time.perf_counter() - start
-                    served = client.query(queries)
-                    stats = client.stats()
-                    client.shutdown()
-                proc.wait(timeout=10)
-            finally:
-                if proc.poll() is None:
-                    proc.terminate()
+        for wire_format in wire_formats:
+            frames = b"".join(
+                encode_reports_frame(batch, 0, wire_format)
+                for batch in batches)
+            best: Optional[Dict[str, float]] = None
+            identical = True
+            for _ in range(max(1, repeats)):
+                proc, host, port = _spawn_server(params)
+                try:
+                    with AggregationClient(host, port) as client:
+                        start = time.perf_counter()
+                        client.send_raw(frames)
+                        absorbed = client.sync()
+                        elapsed = time.perf_counter() - start
+                        served = client.query(queries)
+                        stats = client.stats()
+                        client.shutdown()
                     proc.wait(timeout=10)
-                proc.stdout.close()
-            if absorbed != num_users:
-                raise RuntimeError(f"server absorbed {absorbed} of "
-                                   f"{num_users} reports")
-            identical = identical and bool(np.array_equal(served, expected))
-            run = {"elapsed_s": elapsed, "drain_s": float(stats["drain_s"])}
-            if best is None or elapsed < best["elapsed_s"]:
-                best = run
-        results.append({
-            "protocol": protocol,
-            "num_users": int(num_users),
-            "num_frames": len(batches),
-            "wire_mb": round(len(frames) / 1e6, 1),
-            "ingest_s": round(best["elapsed_s"], 4),
-            "reports_per_s": int(num_users / max(best["elapsed_s"], 1e-9)),
-            "drain_s": round(best["drain_s"], 4),
-            "absorb_reports_per_s": int(num_users / max(best["drain_s"], 1e-9)),
-            "identical_to_offline_engine": identical,
-        })
+                finally:
+                    if proc.poll() is None:
+                        proc.terminate()
+                        proc.wait(timeout=10)
+                    proc.stdout.close()
+                if absorbed != num_users:
+                    raise RuntimeError(f"server absorbed {absorbed} of "
+                                       f"{num_users} reports")
+                identical = identical and bool(np.array_equal(served, expected))
+                run = {"elapsed_s": elapsed, "drain_s": float(stats["drain_s"])}
+                if best is None or elapsed < best["elapsed_s"]:
+                    best = run
+            results.append({
+                "protocol": protocol,
+                "wire_format": wire_format,
+                "num_users": int(num_users),
+                "num_frames": len(batches),
+                "wire_mb": round(len(frames) / 1e6, 2),
+                "ingest_s": round(best["elapsed_s"], 4),
+                "reports_per_s": int(num_users / max(best["elapsed_s"], 1e-9)),
+                "drain_s": round(best["drain_s"], 4),
+                "absorb_reports_per_s": int(num_users / max(best["drain_s"], 1e-9)),
+                "identical_to_offline_engine": identical,
+            })
     return {
         "benchmark": "server_ingest",
         "host": {
@@ -137,6 +155,7 @@ def run_server_ingest_bench(protocols: Sequence[str] = ("hashtogram",),
             "chunk_size": int(chunk_size),
             "repeats": int(max(1, repeats)),
             "protocols": list(protocols),
+            "wire_formats": list(wire_formats),
         },
         "results": results,
     }
@@ -146,8 +165,32 @@ def _report_rows(payload: Dict[str, object]) -> List[Dict[str, object]]:
     return list(payload["results"])
 
 
+def check_wire_shrink(payload: Dict[str, object],
+                      min_shrink: float = MIN_WIRE_SHRINK) -> List[str]:
+    """CI gate: per protocol, binary wire bytes must be ≥ ``min_shrink``×
+    smaller than the b64-JSON frames.  Returns the violations (empty = ok)."""
+    by_protocol: Dict[str, Dict[str, float]] = {}
+    for row in payload["results"]:
+        by_protocol.setdefault(str(row["protocol"]), {})[
+            str(row.get("wire_format", "json"))] = float(row["wire_mb"])
+    failures = []
+    for protocol, sizes in by_protocol.items():
+        if "json" not in sizes or "binary" not in sizes:
+            failures.append(f"{protocol}: missing a wire format "
+                            f"(have {sorted(sizes)})")
+            continue
+        shrink = sizes["json"] / max(sizes["binary"], 1e-9)
+        if shrink < min_shrink:
+            failures.append(
+                f"{protocol}: binary frames are only {shrink:.2f}x smaller "
+                f"than b64-JSON ({sizes['binary']} MB vs {sizes['json']} MB; "
+                f"required >= {min_shrink}x)")
+    return failures
+
+
 def test_server_ingest(benchmark):
-    """CI smoke: a small run must stay bit-identical and make progress."""
+    """CI smoke: both formats must stay bit-identical, make progress, and
+    the binary frames must hold the ≥3× wire shrink."""
     from conftest import report, run_once
 
     payload = run_once(benchmark, run_server_ingest_bench,
@@ -157,6 +200,7 @@ def test_server_ingest(benchmark):
     for row in rows:
         assert row["identical_to_offline_engine"], row
         assert row["reports_per_s"] > 0
+    assert not check_wire_shrink(payload)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -165,7 +209,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--protocols", default="hashtogram")
     parser.add_argument("--output", default="BENCH_server.json")
+    parser.add_argument("--check", metavar="BENCH_JSON", default=None,
+                        help="do not run the benchmark; verify an existing "
+                             "payload against the wire-shrink gate and exit")
     args = parser.parse_args(argv)
+
+    if args.check is not None:
+        failures = check_wire_shrink(json.loads(Path(args.check).read_text()))
+        for failure in failures:
+            print(f"bench_server_ingest --check: {failure}", file=sys.stderr)
+        print(f"bench_server_ingest --check: {args.check} "
+              f"{'FAILED' if failures else 'ok'}")
+        return 1 if failures else 0
 
     from repro.experiments import format_table
 
@@ -182,7 +237,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("bench_server_ingest: served estimates diverged from the "
               "offline engine", file=sys.stderr)
         return 1
-    return 0
+    failures = check_wire_shrink(payload)
+    for failure in failures:
+        print(f"bench_server_ingest: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

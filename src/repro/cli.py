@@ -12,6 +12,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli bench                   # engine scaling -> BENCH_engine.json
     python -m repro.cli serve --port 7071       # asyncio report-ingestion server
     python -m repro.cli load-test --users 100000 --workers 4
+    python -m repro.cli load-test --wire-format binary   # zero-copy frames
     python -m repro.cli --list-modules          # module map (checked against docs)
 
 ``run`` prints the same tables that ``pytest benchmarks/ --benchmark-only``
@@ -34,6 +35,9 @@ checkpoints durable snapshots.  ``load-test`` spawns such a server, drives
 the engine's canonical chunk stream at it over ``--workers`` concurrent
 connections, and verifies the *served* estimates are bit-identical to the
 offline :func:`repro.engine.run_simulation` reference under the same seed.
+Both speak either ``reports`` wire format (``--wire-format``): the
+compatibility-default JSON frames or the zero-copy binary columnar frames
+of ``docs/wire-protocol.md`` §8 — bit-identical aggregates either way.
 
 The ``--list-modules`` flag (usable without a subcommand) prints the package
 module map; with ``--check docs/architecture.md`` it verifies the map
@@ -324,11 +328,16 @@ def _cmd_bench(args) -> int:
               file=sys.stderr)
         return 2
 
+    # `--wire-format json` keeps the legacy object result channel (worker
+    # aggregators pickle whole, parameters travelling as their JSON payload);
+    # `binary` ships packed integer-state blobs (repro.protocol.binary).
+    result_format = "binary" if args.wire_format == "binary" else "pickle"
     payload = run_engine_bench(protocols=protocols, worker_counts=worker_counts,
                                num_users=args.num_users,
                                domain_size=args.domain_size,
                                epsilon=args.epsilon, seed=args.seed,
-                               repeats=args.repeats)
+                               repeats=args.repeats,
+                               result_format=result_format)
     output = Path(args.output)
     output.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -356,13 +365,17 @@ def _cmd_serve(args) -> int:
     if args.window is not None and args.window < 1:
         print("serve: --window must be at least 1", file=sys.stderr)
         return 2
+    wire_formats = (("json", "binary") if args.wire_format == "both"
+                    else (args.wire_format,))
     if args.restore is not None:
         if args.params_file is not None:
             print("serve: --restore carries its own parameters; it cannot be "
                   "combined with --params-file", file=sys.stderr)
             return 2
         server = AggregationServer.restore(args.restore,
-                                           snapshot_dir=args.snapshot_dir)
+                                           snapshot_dir=args.snapshot_dir,
+                                           snapshot_format=args.snapshot_format,
+                                           wire_formats=wire_formats)
         if args.window is not None:
             # Operator override: tighten (or widen) retention on restart.
             server.windowed.set_window(args.window)
@@ -375,7 +388,9 @@ def _cmd_serve(args) -> int:
                                         args.epsilon, args.num_users,
                                         rng=args.seed)
         server = AggregationServer(params, window=args.window,
-                                   snapshot_dir=args.snapshot_dir)
+                                   snapshot_dir=args.snapshot_dir,
+                                   snapshot_format=args.snapshot_format,
+                                   wire_formats=wire_formats)
 
     async def main() -> None:
         host, port = await server.start(args.host, args.port)
@@ -384,6 +399,7 @@ def _cmd_serve(args) -> int:
         if not args.quiet:
             print(f"serve: protocol={server.params.protocol} "
                   f"window={server.windowed.window} "
+                  f"wire_formats={','.join(server.wire_formats)} "
                   f"snapshot_dir={args.snapshot_dir} "
                   f"restored_reports={server.windowed.num_reports}", flush=True)
         await server.serve_until_stopped()
@@ -491,7 +507,10 @@ def _cmd_load_test(args) -> int:
     else:
         proc, host, port = _spawn_server(params)
     try:
-        with AggregationClient(host, port) as probe:
+        # hello doubles as wire-format negotiation: a server that does not
+        # accept this run's format fails here, not batch by silent batch.
+        with AggregationClient(host, port,
+                               wire_format=args.wire_format) as probe:
             published = probe.hello()
         if published != params:
             print("load-test: the server's published parameters do not match "
@@ -507,7 +526,8 @@ def _cmd_load_test(args) -> int:
 
         def send_span(worker: int) -> None:
             try:
-                with AggregationClient(host, port) as client:
+                with AggregationClient(host, port,
+                                       wire_format=args.wire_format) as client:
                     for i in range(worker, len(batches), workers):
                         client.send_batch(batches[i], epoch=i % args.epochs)
                     # Per-connection barrier: frames on one connection are
@@ -553,7 +573,8 @@ def _cmd_load_test(args) -> int:
                 for x, a in list(zip(queries, served))[:5]]
         print(format_table(rows, title=(
             f"load-test: {args.protocol} x {users} users over {workers} "
-            f"connection(s), {args.epochs} epoch(s), server {host}:{port}")))
+            f"connection(s), {args.epochs} epoch(s), "
+            f"{args.wire_format} frames, server {host}:{port}")))
         print(f"\nclient encoding: {encode_s:.3f}s; wire ingest+sync: "
               f"{ingest_s:.3f}s ({users / max(ingest_s, 1e-9):,.0f} reports/s "
               f"end-to-end); server drain: {stats['drain_s']:.3f}s "
@@ -712,6 +733,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--seed", type=int, default=0)
     bench_parser.add_argument("--repeats", type=int, default=1,
                               help="timings keep the best of this many runs")
+    bench_parser.add_argument("--wire-format", default="binary",
+                              choices=["json", "binary"],
+                              help="worker->parent result channel: binary "
+                                   "packed-state blobs (default) or the "
+                                   "legacy pickled-aggregator channel whose "
+                                   "parameters travel as their JSON payload")
     bench_parser.add_argument("--output", default="BENCH_engine.json")
     bench_parser.set_defaults(func=_cmd_bench)
 
@@ -741,6 +768,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--snapshot-dir", default=None,
                               help="directory for durable snapshots "
                                    "(enables the snapshot frame)")
+    serve_parser.add_argument("--snapshot-format", default="json",
+                              choices=["json", "binary"],
+                              help="on-disk snapshot encoding (restore "
+                                   "sniffs the format, so either kind of "
+                                   "file restores)")
+    serve_parser.add_argument("--wire-format", default="both",
+                              choices=["json", "binary", "both"],
+                              help="reports frame formats to accept "
+                                   "(advertised in the hello reply; "
+                                   "default: both)")
     serve_parser.add_argument("--restore", default=None,
                               help="start from this windowed snapshot file "
                                    "(parameters and window come from the "
@@ -762,6 +799,12 @@ def build_parser() -> argparse.ArgumentParser:
     load_parser.add_argument("--domain-size", type=int, default=1 << 16)
     load_parser.add_argument("--epsilon", type=float, default=1.0)
     load_parser.add_argument("--seed", type=int, default=0)
+    load_parser.add_argument("--wire-format", default="json",
+                             choices=["json", "binary"],
+                             help="reports frame format the sender "
+                                  "connections use (binary: zero-copy "
+                                  "columnar frames, docs/wire-protocol.md "
+                                  "paragraph 8)")
     load_parser.add_argument("--epochs", type=int, default=1,
                              help="spread chunks over this many epoch tags")
     load_parser.add_argument("--queries", type=int, default=64,

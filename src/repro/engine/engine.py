@@ -19,6 +19,14 @@ Because the chunk plan and the chunk seeds never depend on the worker count,
 ``run_simulation(..., workers=1)`` — and to the legacy serial
 ``FrequencyOracle.collect`` / ``HeavyHitterProtocol.run`` shims, which stream
 the same plan through :func:`encode_stream`.
+
+The worker→parent result channel defaults to the binary state container of
+:mod:`repro.protocol.binary` (``result_format="binary"``): each worker
+returns one packed blob of its exact integer state and the parent rebuilds
+the shard aggregator from the parameters it already holds, instead of
+unpickling — and therefore re-deriving — a full parameter object per
+worker result.  ``result_format="pickle"`` keeps the legacy object channel;
+both merge bit-identically (``tests/test_wire_binary.py``).
 """
 
 from __future__ import annotations
@@ -31,15 +39,22 @@ from typing import Iterator, List, Optional, Sequence
 import numpy as np
 
 from repro.engine.partition import Chunk, make_plan
+from repro.protocol.binary import pack_state, unpack_state
 from repro.protocol.wire import (
     PublicParams,
     ReportBatch,
     ServerAggregator,
+    child_state,
+    load_child_state,
     merge_aggregators,
 )
 from repro.utils.rng import RandomState
 
-__all__ = ["EngineResult", "run_simulation", "encode_stream", "encode_concat"]
+__all__ = ["EngineResult", "RESULT_FORMATS", "run_simulation",
+           "encode_stream", "encode_concat"]
+
+#: worker→parent result channel codecs accepted by :func:`run_simulation`
+RESULT_FORMATS = ("binary", "pickle")
 
 
 def _ingest_span(params: PublicParams, values_span: np.ndarray,
@@ -57,6 +72,28 @@ def _ingest_span(params: PublicParams, values_span: np.ndarray,
         aggregator.absorb_batch(encoder.encode_batch(
             local, chunk.generator(), first_user_index=chunk.start))
     return aggregator
+
+
+def _ingest_span_packed(params: PublicParams, values_span: np.ndarray,
+                        chunks: Sequence[Chunk], span_start: int) -> bytes:
+    """:func:`_ingest_span` returning a packed binary state blob instead of
+    the aggregator object.
+
+    Pickling the aggregator ships its public parameters with it (through
+    their ``to_dict()`` payload), so the parent re-runs parameter
+    construction once *per worker result* — for the expander sketch that
+    rebuilds the entire list-recoverable code each time.  The binary state
+    channel ships only the report count and the packed integer state; the
+    parent rebuilds each shard aggregator from the parameters it already
+    holds, bit-identically.
+    """
+    aggregator = _ingest_span(params, values_span, chunks, span_start)
+    return pack_state(child_state(aggregator))
+
+
+def _unpack_span(params: PublicParams, blob: bytes) -> ServerAggregator:
+    """Parent body: rebuild a worker's shard aggregator from its state blob."""
+    return load_child_state(params.make_aggregator(), unpack_state(blob))
 
 
 @dataclass
@@ -132,7 +169,8 @@ def encode_concat(params: PublicParams, values: Sequence[int],
 
 def run_simulation(params: PublicParams, values: Sequence[int],
                    rng: RandomState = None, workers: int = 1,
-                   chunk_size: Optional[int] = None) -> EngineResult:
+                   chunk_size: Optional[int] = None,
+                   result_format: str = "binary") -> EngineResult:
     """Simulate one full collection round, optionally across processes.
 
     Parameters
@@ -151,6 +189,13 @@ def run_simulation(params: PublicParams, values: Sequence[int],
     chunk_size:
         Rows per chunk; default
         :func:`repro.engine.partition.default_chunk_size`.
+    result_format:
+        Worker→parent result channel: ``"binary"`` (default) ships each
+        worker's exact integer state as one packed blob
+        (:mod:`repro.protocol.binary`) and rebuilds the shard aggregator
+        from the parent's own parameters; ``"pickle"`` is the legacy
+        object channel (the aggregator pickles whole, parameters included).
+        Both channels merge to bit-identical results.
 
     Returns
     -------
@@ -160,6 +205,9 @@ def run_simulation(params: PublicParams, values: Sequence[int],
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if result_format not in RESULT_FORMATS:
+        raise ValueError(f"result_format must be one of {RESULT_FORMATS}, "
+                         f"got {result_format!r}")
     values = np.asarray(values, dtype=np.int64)
     plan = make_plan(params, values.size, rng, chunk_size)
 
@@ -181,15 +229,21 @@ def run_simulation(params: PublicParams, values: Sequence[int],
     spans: List[List[Chunk]] = [list(part) for part in
                                 np.array_split(np.asarray(plan, dtype=object),
                                                num_tasks)]
+    worker = (_ingest_span_packed if result_format == "binary"
+              else _ingest_span)
     start = time.perf_counter()
     with ProcessPoolExecutor(max_workers=num_tasks) as executor:
         futures = []
         for span in spans:
             span_start, span_stop = span[0].start, span[-1].stop
             futures.append(executor.submit(
-                _ingest_span, params, values[span_start:span_stop], span,
+                worker, params, values[span_start:span_stop], span,
                 span_start))
-        partials = [future.result() for future in futures]
+        results = [future.result() for future in futures]
+    if result_format == "binary":
+        partials = [_unpack_span(params, result) for result in results]
+    else:
+        partials = results
     ingest_s = time.perf_counter() - start
 
     start = time.perf_counter()

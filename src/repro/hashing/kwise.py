@@ -51,6 +51,17 @@ class KWiseHash:
     prime: int
     range_size: int
 
+    def __post_init__(self) -> None:
+        # Horner state cached once per hash: the reversed coefficients as
+        # plain ints.  `_evaluate` used to walk `reversed(self.coefficients)`
+        # (rebuilding the reversed view and re-normalizing each coefficient
+        # on every call); with millions of per-chunk evaluations the cached
+        # tuple is measurably cheaper and also powers the allocation-free
+        # scalar path below.  (frozen dataclass: set via object.__setattr__;
+        # not a field, so eq/repr/asdict are unchanged.)
+        object.__setattr__(self, "_rev_coefficients",
+                           tuple(int(c) for c in reversed(self.coefficients)))
+
     @property
     def independence(self) -> int:
         """The k of the k-wise independent family this was drawn from."""
@@ -63,6 +74,11 @@ class KWiseHash:
 
     def __call__(self, x: ArrayLike) -> Union[int, np.ndarray]:
         """Evaluate the hash on a scalar or an array of domain elements."""
+        if isinstance(x, (int, np.integer)):
+            # Fast scalar path: pure-int Horner, no np.atleast_1d allocation.
+            if x < 0:
+                raise ValueError("hash inputs must be non-negative integers")
+            return self._evaluate_scalar(int(x))
         scalar = np.isscalar(x)
         arr = np.atleast_1d(np.asarray(x, dtype=np.int64))
         if arr.size and (arr.min() < 0):
@@ -72,6 +88,17 @@ class KWiseHash:
             return int(out[0])
         return out
 
+    def _evaluate_scalar(self, x: int) -> int:
+        # Python ints are exact for any prime, so one code path serves both
+        # the word-sized and the >2^31 primes; results match `_evaluate`
+        # bit for bit (int64 arithmetic never overflows for p < 2^31).
+        p = self.prime
+        x_mod = x % p
+        value = 0
+        for coef in self._rev_coefficients:
+            value = (value * x_mod + coef) % p
+        return value % self.range_size
+
     def _evaluate(self, arr: np.ndarray) -> np.ndarray:
         p = self.prime
         # Horner evaluation modulo p.  Use object dtype when p^2 could
@@ -79,12 +106,12 @@ class KWiseHash:
         if p < (1 << 31):
             vals = np.zeros(arr.shape, dtype=np.int64)
             x_mod = arr % p
-            for coef in reversed(self.coefficients):
+            for coef in self._rev_coefficients:
                 vals = (vals * x_mod + coef) % p
             return (vals % self.range_size).astype(np.int64)
         vals = np.zeros(arr.shape, dtype=object)
         x_mod = arr.astype(object) % p
-        for coef in reversed(self.coefficients):
+        for coef in self._rev_coefficients:
             vals = (vals * x_mod + coef) % p
         return np.array([int(v) % self.range_size for v in vals], dtype=np.int64)
 

@@ -14,6 +14,13 @@ abstractions (see :mod:`repro.protocol.wire`):
   checkpoints that restore bit-identically, and ``finalize()`` into a
   fitted estimator.
 
+Report batches and aggregator state have two interchangeable wire forms:
+the JSON-safe dictionaries above (debug-friendly, the compatibility
+default) and the zero-copy binary columnar codec of
+:mod:`repro.protocol.binary` (raw little-endian columns behind a struct
+header; several times smaller and decode-free on ingest).  Both round-trip
+to bit-identical aggregates.
+
 The layers above: :mod:`repro.engine` runs this API across a process pool
 for simulation; :mod:`repro.server` serves it over TCP as a long-lived
 ingestion service (see ``docs/architecture.md``).
@@ -54,6 +61,14 @@ from repro.protocol.wire import (
     merge_aggregators,
     register_protocol,
 )
+from repro.protocol.binary import (
+    BinaryFormatError,
+    decode_reports_payload,
+    encode_reports_payload,
+    is_binary_payload,
+    pack_state,
+    unpack_state,
+)
 from repro.protocol.explicit import (
     ExplicitHistogramAggregator,
     ExplicitHistogramEncoder,
@@ -92,6 +107,12 @@ __all__ = [
     "ServerAggregator",
     "merge_aggregators",
     "register_protocol",
+    "BinaryFormatError",
+    "decode_reports_payload",
+    "encode_reports_payload",
+    "is_binary_payload",
+    "pack_state",
+    "unpack_state",
     "ExplicitHistogramParams",
     "ExplicitHistogramEncoder",
     "ExplicitHistogramAggregator",

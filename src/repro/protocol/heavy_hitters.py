@@ -123,17 +123,20 @@ def append_coordinate_lists(oracle, group_size: int, coordinate: int,
     histogram = oracle.histogram().reshape(num_buckets, hash_range, z_size)
     best_z = histogram.argmax(axis=2)
     best_value = np.take_along_axis(histogram, best_z[:, :, None], axis=2)[:, :, 0]
+    # One batched rank over every bucket at once (argsort of a row equals
+    # argsort along axis=1, so tie order is unchanged).  The descending sort
+    # makes the entries clearing the threshold a prefix of each row, so the
+    # old walk-until-below-threshold loop reduces to a per-bucket count.
+    order = np.argsort(-best_value, axis=1)
+    ranked_value = np.take_along_axis(best_value, order, axis=1)
+    ranked_z = np.take_along_axis(best_z, order, axis=1)
+    keep = np.minimum((ranked_value >= threshold).sum(axis=1),
+                      params.list_size)
     for bucket in range(num_buckets):
-        order = np.argsort(-best_value[bucket])
-        entries = []
-        for y in order:
-            value = best_value[bucket, y]
-            if value < threshold:
-                break
-            entries.append((int(y), int(best_z[bucket, y])))
-            if len(entries) >= params.list_size:
-                break
-        lists[bucket][coordinate] = entries
+        count = int(keep[bucket])
+        lists[bucket][coordinate] = [
+            (int(y), int(z)) for y, z in zip(order[bucket, :count],
+                                             ranked_z[bucket, :count])]
 
 
 def derive_expander_cells(values: np.ndarray, buckets: np.ndarray,
@@ -668,11 +671,11 @@ class SingleHashAggregator(ServerAggregator):
                 best_value = table.max(axis=1)
                 passes_threshold &= best_value >= params.threshold_std * cell_std
                 reconstructed |= best_symbol << (m * params.symbol_bits)
-            for t in range(params.hash_range):
-                candidate = int(reconstructed[t])
-                if not passes_threshold[t]:
-                    continue
-                if candidate < params.domain_size and candidate not in seen:
+            # Batched filter over all hash values at once; the survivors are
+            # walked in hash-value order, matching the old scalar loop.
+            valid = passes_threshold & (reconstructed < params.domain_size)
+            for candidate in reconstructed[valid].tolist():
+                if candidate not in seen:
                     seen.add(candidate)
                     candidates.append(candidate)
         return candidates

@@ -20,7 +20,7 @@ from repro.randomizers.randomized_response import (
 )
 from repro.randomizers.unary import UnaryEncoding, OptimizedUnaryEncoding
 from repro.randomizers.rappor import BasicRappor
-from repro.randomizers.hadamard import HadamardResponse, hadamard_entry
+from repro.randomizers.hadamard import HadamardResponse, hadamard_entry, hadamard_matrix
 from repro.randomizers.laplace import LaplaceHistogramRandomizer, GaussianHistogramRandomizer
 
 __all__ = [
@@ -33,6 +33,7 @@ __all__ = [
     "BasicRappor",
     "HadamardResponse",
     "hadamard_entry",
+    "hadamard_matrix",
     "LaplaceHistogramRandomizer",
     "GaussianHistogramRandomizer",
 ]

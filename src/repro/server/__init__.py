@@ -6,7 +6,9 @@ clients streams :class:`~repro.protocol.wire.ReportBatch` payloads to, with
 live queries, durable crash-safe snapshots, and windowed (epoch-rolled)
 collection.  The layer map (see ``docs/architecture.md``):
 
-* :mod:`repro.server.framing` — length-prefixed JSON frames (the transport);
+* :mod:`repro.server.framing` — length-prefixed frames (the transport):
+  JSON control frames plus zero-copy binary ``reports`` frames
+  (``docs/wire-protocol.md`` §8), distinguished by the payload magic byte;
 * :mod:`repro.server.window`  — :class:`WindowedAggregator`, epoch-tagged
   aggregators with a rolling bit-exact merge;
 * :mod:`repro.server.snapshot` — atomic durable snapshot files
@@ -43,9 +45,11 @@ from repro.server.client import (
     ServerError,
 )
 from repro.server.framing import (
+    WIRE_FORMATS,
     FrameError,
     decode_frame,
     encode_frame,
+    encode_reports_frame,
     read_frame,
     read_frame_sync,
     write_frame,
@@ -63,9 +67,11 @@ __all__ = [
     "ServerError",
     "ServerStats",
     "SnapshotStore",
+    "WIRE_FORMATS",
     "WindowedAggregator",
     "decode_frame",
     "encode_frame",
+    "encode_reports_frame",
     "read_frame",
     "read_frame_sync",
     "read_snapshot",

@@ -17,6 +17,13 @@ frames may still be in flight — each sender must issue its own ``sync``),
 ``query`` (live windowed estimates), ``snapshot``, ``stats``, and
 ``shutdown``.  Server-side failures surface as :class:`ServerError` — the
 connection stays usable.
+
+Report batches ship in the client's ``wire_format``: ``"json"`` (default;
+the b64-columnar JSON frame) or ``"binary"`` (the zero-copy columnar frame
+of ``docs/wire-protocol.md`` §8 — no JSON, no base64, and typically several
+times smaller and faster to ingest).  ``hello`` doubles as format
+negotiation: the reply advertises the server's accepted formats and the
+client raises if its own format is not among them.
 """
 
 from __future__ import annotations
@@ -29,7 +36,9 @@ import numpy as np
 
 from repro.protocol.wire import PublicParams, ReportBatch
 from repro.server.framing import (
+    WIRE_FORMATS,
     FrameError,
+    encode_reports_frame,
     read_frame,
     read_frame_sync,
     write_frame,
@@ -41,6 +50,21 @@ __all__ = ["AggregationClient", "AsyncAggregationClient", "ServerError"]
 
 class ServerError(RuntimeError):
     """The server answered a request with an ``error`` frame."""
+
+
+def _check_wire_format(wire_format: str) -> str:
+    if wire_format not in WIRE_FORMATS:
+        raise ValueError(f"wire_format must be one of {WIRE_FORMATS}, "
+                         f"got {wire_format!r}")
+    return wire_format
+
+
+def _check_negotiated(reply: Dict[str, object], wire_format: str) -> tuple:
+    advertised = tuple(reply.get("wire_formats", ("json",)))
+    if wire_format not in advertised:
+        raise ServerError(f"server does not accept {wire_format!r} reports "
+                          f"frames (advertised: {advertised})")
+    return advertised
 
 
 def _check_reply(reply: Optional[Dict[str, object]],
@@ -59,9 +83,12 @@ class AggregationClient:
     """Blocking client for one server connection (usable as a context manager)."""
 
     def __init__(self, host: str, port: int,
-                 timeout: Optional[float] = None) -> None:
+                 timeout: Optional[float] = None,
+                 wire_format: str = "json") -> None:
         self.host = host
         self.port = int(port)
+        self.wire_format = _check_wire_format(wire_format)
+        self.server_wire_formats: Optional[tuple] = None
         self._sock = socket.create_connection((host, self.port),
                                               timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -87,16 +114,29 @@ class AggregationClient:
     # ----- frame vocabulary ----------------------------------------------------------
 
     def hello(self) -> PublicParams:
-        """Fetch the server's published public parameters."""
+        """Fetch the server's published parameters and negotiate the format.
+
+        The reply advertises the server's accepted ``wire_formats`` (stored
+        on ``self.server_wire_formats``); if this client's own format is
+        not among them a :class:`ServerError` is raised up front instead of
+        every later batch being silently rejected.
+        """
         reply = self._request({"type": "hello"}, "params")
+        self.server_wire_formats = _check_negotiated(reply, self.wire_format)
         return PublicParams.from_dict(dict(reply["params"]))
 
     def send_batch(self, batch: ReportBatch, epoch: int = 0,
-                   encoding: str = "b64") -> None:
-        """Ship one report batch (fire-and-forget; no reply frame)."""
-        write_frame_sync(self._stream, {"type": "reports",
-                                        "epoch": int(epoch),
-                                        "batch": batch.to_dict(encoding)})
+                   encoding: str = "b64",
+                   wire_format: Optional[str] = None) -> None:
+        """Ship one report batch (fire-and-forget; no reply frame).
+
+        ``wire_format`` defaults to the connection's; ``encoding`` selects
+        the JSON column encoding and is ignored for binary frames.
+        """
+        wire_format = _check_wire_format(wire_format or self.wire_format)
+        self._stream.write(encode_reports_frame(batch, epoch, wire_format,
+                                                encoding))
+        self._stream.flush()
 
     def send_raw(self, frames: bytes) -> None:
         """Ship pre-encoded ``reports`` frames (the benchmark fast path)."""
@@ -143,14 +183,18 @@ class AsyncAggregationClient:
     """Asyncio flavor of :class:`AggregationClient` (same frames, same server)."""
 
     def __init__(self, reader: asyncio.StreamReader,
-                 writer: asyncio.StreamWriter) -> None:
+                 writer: asyncio.StreamWriter,
+                 wire_format: str = "json") -> None:
         self._reader = reader
         self._writer = writer
+        self.wire_format = _check_wire_format(wire_format)
+        self.server_wire_formats: Optional[tuple] = None
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "AsyncAggregationClient":
+    async def connect(cls, host: str, port: int,
+                      wire_format: str = "json") -> "AsyncAggregationClient":
         reader, writer = await asyncio.open_connection(host, int(port))
-        return cls(reader, writer)
+        return cls(reader, writer, wire_format)
 
     async def _request(self, frame: Dict[str, object],
                        expected: str) -> Dict[str, object]:
@@ -172,20 +216,24 @@ class AsyncAggregationClient:
 
     async def hello(self) -> PublicParams:
         reply = await self._request({"type": "hello"}, "params")
+        self.server_wire_formats = _check_negotiated(reply, self.wire_format)
         return PublicParams.from_dict(dict(reply["params"]))
 
     async def send_batch(self, batch: ReportBatch, epoch: int = 0,
-                         encoding: str = "b64") -> None:
-        await write_frame(self._writer, {"type": "reports",
-                                         "epoch": int(epoch),
-                                         "batch": batch.to_dict(encoding)})
+                         encoding: str = "b64",
+                         wire_format: Optional[str] = None) -> None:
+        wire_format = _check_wire_format(wire_format or self.wire_format)
+        self._writer.write(encode_reports_frame(batch, epoch, wire_format,
+                                                encoding))
+        await self._writer.drain()
 
     async def send_stream(self, batches, epoch: int = 0,
-                          encoding: str = "b64") -> int:
+                          encoding: str = "b64",
+                          wire_format: Optional[str] = None) -> int:
         """Ship an iterable of batches; returns the number of reports sent."""
         sent = 0
         for batch in batches:
-            await self.send_batch(batch, epoch, encoding)
+            await self.send_batch(batch, epoch, encoding, wire_format)
             sent += len(batch)
         return sent
 

@@ -1,21 +1,32 @@
-"""Length-prefixed JSON framing for the streaming aggregation service.
+"""Length-prefixed framing for the streaming aggregation service.
 
 Every message on a server connection — in either direction — is one *frame*:
+a 4-byte big-endian payload length followed by the payload.  Two frame
+classes share the prefix and are told apart by the payload's first byte:
 
 ```
 +----------------+---------------------------+
-| 4 bytes (!I)   | UTF-8 JSON object         |
+| 4 bytes (!I)   | UTF-8 JSON object         |   first byte '{' (0x7B)
 | payload length | {"type": ..., ...}        |
 +----------------+---------------------------+
+| 4 bytes (!I)   | binary columnar payload   |   first byte 0xB1
+| payload length | (repro.protocol.binary)   |
++----------------+---------------------------+
 ```
 
-The payload is always a JSON object with a mandatory ``type`` field; the
-frame vocabulary (``hello`` / ``reports`` / ``sync`` / ``query`` /
-``snapshot`` / ``stats`` / ``shutdown`` and their replies) is specified in
-``docs/wire-protocol.md`` §7.  Report batches travel inside ``reports``
-frames as :meth:`repro.protocol.wire.ReportBatch.to_dict` payloads — the
-base64 column encoding by default, which keeps frame decoding one
-``json.loads`` plus one ``base64`` pass per batch.
+JSON frames carry the full control vocabulary (``hello`` / ``reports`` /
+``sync`` / ``query`` / ``snapshot`` / ``stats`` / ``shutdown`` and their
+replies, specified in ``docs/wire-protocol.md`` §7).  Binary frames carry
+only ``reports``: the batch columns travel as raw little-endian bytes
+behind a fixed struct header (``docs/wire-protocol.md`` §8) and decode to
+**read-only zero-copy** numpy views — no JSON, no base64, no intermediate
+dict.  ``decode_frame`` normalizes both classes to the same message shape;
+a binary ``reports`` message carries an already-decoded
+:class:`~repro.protocol.wire.ReportBatch` under ``"batch"``.
+
+The JSON ``reports`` path remains the default and the compatibility/debug
+format; clients opt into binary per connection (``wire_format="binary"``)
+after ``hello`` advertises the server's accepted formats.
 
 Both an asyncio flavor (:func:`read_frame` / :func:`write_frame`, used by
 the server and the async client) and a blocking flavor
@@ -31,10 +42,20 @@ import json
 import struct
 from typing import BinaryIO, Dict, Optional
 
+from repro.protocol.binary import (
+    BinaryFormatError,
+    decode_reports_payload,
+    encode_reports_payload,
+    is_binary_payload,
+)
+from repro.protocol.wire import ReportBatch
+
 __all__ = [
     "FrameError",
     "MAX_FRAME_BYTES",
+    "WIRE_FORMATS",
     "encode_frame",
+    "encode_reports_frame",
     "decode_frame",
     "read_frame",
     "write_frame",
@@ -43,18 +64,24 @@ __all__ = [
 ]
 
 #: hard ceiling on a single frame's payload; a larger announced length is
-#: treated as a protocol violation, not an allocation request
+#: treated as a protocol violation, not an allocation request.  The binary
+#: writer checks its *announced* size against this limit before serializing
+#: a single column byte.
 MAX_FRAME_BYTES = 1 << 30
+
+#: the wire formats a `reports` frame can travel in
+WIRE_FORMATS = ("json", "binary")
 
 _HEADER = struct.Struct("!I")
 
 
 class FrameError(ValueError):
-    """A malformed frame: bad length prefix, truncation, or invalid JSON."""
+    """A malformed frame: bad length prefix, truncation, invalid JSON, or a
+    corrupted/oversized binary payload."""
 
 
 def encode_frame(message: Dict[str, object]) -> bytes:
-    """Serialize one frame (header + compact JSON payload) to bytes."""
+    """Serialize one JSON frame (header + compact JSON payload) to bytes."""
     payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
     if len(payload) > MAX_FRAME_BYTES:
         raise FrameError(f"frame payload of {len(payload)} bytes exceeds the "
@@ -62,8 +89,46 @@ def encode_frame(message: Dict[str, object]) -> bytes:
     return _HEADER.pack(len(payload)) + payload
 
 
+def encode_reports_frame(batch: ReportBatch, epoch: int = 0,
+                         wire_format: str = "json",
+                         encoding: str = "b64") -> bytes:
+    """Serialize one ``reports`` frame in the chosen wire format.
+
+    ``wire_format="json"`` produces the legacy JSON frame with the given
+    column ``encoding`` (``"b64"`` or ``"json"``); ``"binary"`` produces a
+    binary frame whose announced size is validated against
+    :data:`MAX_FRAME_BYTES` *before* any column is serialized.
+    """
+    if wire_format == "json":
+        return encode_frame({"type": "reports", "epoch": int(epoch),
+                             "batch": batch.to_dict(encoding)})
+    if wire_format != "binary":
+        raise ValueError(f"wire_format must be one of {WIRE_FORMATS}, "
+                         f"got {wire_format!r}")
+    try:
+        payload = encode_reports_payload(batch, epoch,
+                                         max_bytes=MAX_FRAME_BYTES)
+    except BinaryFormatError as exc:
+        raise FrameError(str(exc)) from exc
+    return _HEADER.pack(len(payload)) + payload
+
+
 def decode_frame(payload: bytes) -> Dict[str, object]:
-    """Parse a frame payload; every frame must be a JSON object."""
+    """Parse a frame payload of either class into one message dictionary.
+
+    JSON payloads must be JSON objects and are returned as-is.  Binary
+    payloads decode to ``{"type": "reports", "epoch": e, "batch": <batch>,
+    "wire_format": "binary"}`` where ``batch`` is a ready
+    :class:`~repro.protocol.wire.ReportBatch` whose columns are read-only
+    zero-copy views over ``payload``.
+    """
+    if is_binary_payload(payload):
+        try:
+            epoch, batch = decode_reports_payload(payload)
+        except ValueError as exc:  # includes BinaryFormatError
+            raise FrameError(f"invalid binary frame: {exc}") from exc
+        return {"type": "reports", "epoch": epoch, "batch": batch,
+                "wire_format": "binary"}
     try:
         message = json.loads(payload)
     except json.JSONDecodeError as exc:
@@ -99,7 +164,7 @@ async def read_frame(reader: asyncio.StreamReader
 
 async def write_frame(writer: asyncio.StreamWriter,
                       message: Dict[str, object]) -> None:
-    """Write one frame and drain the transport (applies backpressure)."""
+    """Write one JSON frame and drain the transport (applies backpressure)."""
     writer.write(encode_frame(message))
     await writer.drain()
 

@@ -1,12 +1,26 @@
 """Durable snapshot files for the aggregation service.
 
-A snapshot is the JSON payload of
-:meth:`repro.server.window.WindowedAggregator.snapshot` written to disk.
-Because every aggregator keeps exact integer state and integers survive JSON
-exactly, ``restore → absorb more → finalize`` is **bit-identical** to a
-server that never crashed (asserted per protocol in
-``tests/test_snapshot.py`` and end-to-end, across a ``SIGKILL``, in
-``tests/test_server.py``).
+A snapshot is the payload of
+:meth:`repro.server.window.WindowedAggregator.snapshot` written to disk in
+one of two encodings:
+
+* ``"json"`` (default) — the payload as one compact JSON document, exactly
+  as before: human-readable, diff-friendly, and integer-exact.
+* ``"binary"`` — the same payload through the columnar state container of
+  :mod:`repro.protocol.binary` (``pack_state``): the large integer
+  accumulator arrays ship as narrowed raw little-endian bytes behind a
+  struct header instead of million-element JSON lists, which makes
+  checkpointing large aggregators several times smaller and faster.
+
+Because every aggregator keeps exact integer state and integers survive
+both encodings exactly, ``restore → absorb more → finalize`` is
+**bit-identical** to a server that never crashed (asserted per protocol in
+``tests/test_snapshot.py`` and ``tests/test_wire_binary.py``, and
+end-to-end, across a ``SIGKILL``, in ``tests/test_server.py``).
+:func:`read_snapshot` sniffs the format from the file's first byte (JSON
+documents start with ``{``, binary containers with the ``0xB1`` magic), so
+either kind of file is a valid restore point regardless of how the server
+is configured today.
 
 Files are written atomically (temp file + ``os.replace``) so a crash during
 checkpointing can never leave a truncated snapshot as the newest one, and
@@ -22,42 +36,70 @@ import re
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-__all__ = ["SnapshotStore", "read_snapshot", "write_snapshot"]
+from repro.protocol.binary import is_binary_payload, pack_state, unpack_state
 
-_SNAPSHOT_NAME = re.compile(r"^snapshot-(\d{6})\.json$")
+__all__ = ["SnapshotStore", "SNAPSHOT_FORMATS", "read_snapshot",
+           "write_snapshot"]
+
+#: supported on-disk snapshot encodings
+SNAPSHOT_FORMATS = ("json", "binary")
+
+_SNAPSHOT_NAME = re.compile(r"^snapshot-(\d{6})\.(json|bin)$")
+_SUFFIXES = {"json": ".json", "binary": ".bin"}
 
 
-def write_snapshot(path: Union[str, Path], payload: Dict[str, object]) -> Path:
+def write_snapshot(path: Union[str, Path], payload: Dict[str, object],
+                   format: str = "json") -> Path:
     """Atomically write one snapshot payload to ``path``."""
+    if format not in SNAPSHOT_FORMATS:
+        raise ValueError(f"snapshot format must be one of {SNAPSHOT_FORMATS}, "
+                         f"got {format!r}")
     path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(payload, separators=(",", ":")) + "\n")
+    if format == "binary":
+        tmp.write_bytes(pack_state(payload))
+    else:
+        tmp.write_text(json.dumps(payload, separators=(",", ":")) + "\n")
     os.replace(tmp, path)
     return path
 
 
 def read_snapshot(path: Union[str, Path]) -> Dict[str, object]:
-    """Read one snapshot payload written by :func:`write_snapshot`."""
-    payload = json.loads(Path(path).read_text())
+    """Read one snapshot payload written by :func:`write_snapshot`.
+
+    The encoding is sniffed from the first byte, so JSON and binary
+    snapshots restore through the same entry point.
+    """
+    raw = Path(path).read_bytes()
+    if is_binary_payload(raw):
+        payload = unpack_state(raw)
+    else:
+        payload = json.loads(raw)
     if not isinstance(payload, dict):
-        raise ValueError(f"{path}: snapshot payload must be a JSON object")
+        raise ValueError(f"{path}: snapshot payload must be an object")
     return payload
 
 
 class SnapshotStore:
     """A directory of numbered snapshots with bounded history.
 
-    ``save`` writes ``snapshot-000001.json``, ``snapshot-000002.json``, ...
-    atomically and deletes everything older than the newest ``keep`` files;
-    ``latest`` / ``load_latest`` pick the highest sequence number, which —
-    thanks to the atomic writes — is always a complete payload.
+    ``save`` writes ``snapshot-000001.json`` / ``snapshot-000001.bin``
+    (depending on the configured ``format``) atomically and deletes
+    everything older than the newest ``keep`` files; ``latest`` /
+    ``load_latest`` pick the highest sequence number across both suffixes,
+    which — thanks to the atomic writes — is always a complete payload.
     """
 
-    def __init__(self, directory: Union[str, Path], keep: int = 3) -> None:
+    def __init__(self, directory: Union[str, Path], keep: int = 3,
+                 format: str = "json") -> None:
         if keep < 1:
             raise ValueError("keep must be >= 1")
+        if format not in SNAPSHOT_FORMATS:
+            raise ValueError(f"snapshot format must be one of "
+                             f"{SNAPSHOT_FORMATS}, got {format!r}")
         self.directory = Path(directory)
         self.keep = keep
+        self.format = format
         self.directory.mkdir(parents=True, exist_ok=True)
 
     def _numbered(self) -> List[Path]:
@@ -75,8 +117,8 @@ class SnapshotStore:
         next_seq = 1
         if existing:
             next_seq = int(_SNAPSHOT_NAME.match(existing[-1].name).group(1)) + 1
-        path = write_snapshot(self.directory / f"snapshot-{next_seq:06d}.json",
-                              payload)
+        name = f"snapshot-{next_seq:06d}{_SUFFIXES[self.format]}"
+        path = write_snapshot(self.directory / name, payload, self.format)
         for stale in self._numbered()[:-self.keep]:
             stale.unlink(missing_ok=True)
         return path

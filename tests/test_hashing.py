@@ -111,6 +111,30 @@ class TestKWiseHash:
         values = h(np.array([0, 1, (1 << 40) - 1]))
         assert values.min() >= 0 and values.max() < 64
 
+    def test_scalar_fast_path_matches_vector(self):
+        """The allocation-free scalar Horner path must agree with the
+        vectorized evaluation bit for bit, for both prime regimes."""
+        for h in (kwise_hash(1 << 20, 97, independence=5, rng=7),
+                  pairwise_hash(1 << 40, 64, rng=2)):
+            xs = list(range(64)) + [h.prime - 1, h.prime, h.prime + 13]
+            vector = h(np.asarray(xs, dtype=np.int64))
+            for i, x in enumerate(xs):
+                assert h(int(x)) == int(vector[i])     # python int scalar
+                assert h(np.int64(x)) == int(vector[i])  # numpy int scalar
+
+    def test_scalar_fast_path_rejects_negative(self):
+        h = pairwise_hash(100, 10, rng=0)
+        with pytest.raises(ValueError):
+            h(-1)
+
+    def test_cached_coefficients_survive_pickle(self):
+        import pickle
+        h = kwise_hash(1 << 16, 32, independence=4, rng=9)
+        clone = pickle.loads(pickle.dumps(h))
+        assert clone == h
+        assert clone(12345) == h(12345)
+        assert np.array_equal(clone(np.arange(100)), h(np.arange(100)))
+
 
 class TestSignHash:
     def test_values_are_signs(self):

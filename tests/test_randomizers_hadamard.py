@@ -5,7 +5,27 @@ import math
 import numpy as np
 import pytest
 
-from repro.randomizers.hadamard import HadamardResponse, hadamard_entry
+from repro.randomizers.hadamard import (
+    HadamardResponse,
+    hadamard_entry,
+    hadamard_matrix,
+)
+
+
+class TestHadamardMatrix:
+    def test_sylvester_build_matches_entry_definition(self):
+        # Regression for the vectorized build: the Sylvester recursion must
+        # reproduce (-1)^{popcount(r & c)} entry for entry.
+        for order in (1, 2, 4, 8, 32, 128):
+            matrix = hadamard_matrix(order)
+            reference = np.array([[hadamard_entry(r, c) for c in range(order)]
+                                  for r in range(order)])
+            assert np.array_equal(matrix, reference)
+
+    def test_rejects_non_power_of_two(self):
+        for order in (0, 3, 12, -4):
+            with pytest.raises(ValueError, match="power of two"):
+                hadamard_matrix(order)
 
 
 class TestHadamardEntry:
@@ -69,8 +89,15 @@ class TestHadamardResponse:
         reports = [randomizer.randomize(int(v), rng) for v in values]
         histogram = randomizer.unbiased_histogram(reports)
         assert histogram.shape == (8,)
-        assert histogram[3] == pytest.approx(
-            randomizer.unbiased_frequency(reports, 3))
+        # the matmul path accumulates exact ±1 integer sums, so it matches
+        # the per-value estimator bit for bit, not just approximately
+        for v in range(8):
+            assert histogram[v] == randomizer.unbiased_frequency(reports, v)
+
+    def test_unbiased_histogram_empty_reports(self):
+        randomizer = HadamardResponse(1.5, 8)
+        assert np.array_equal(randomizer.unbiased_histogram([]),
+                              np.zeros(8))
 
     def test_attenuation_formula(self):
         randomizer = HadamardResponse(1.0, 4)

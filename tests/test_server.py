@@ -157,6 +157,43 @@ class TestServerEndToEnd:
                     results[encoding] = client.query(queries)
         assert np.array_equal(results["b64"], results["json"])
 
+    def test_binary_wire_format_bit_identical_to_json(self):
+        params = _small_params()
+        values = np.random.default_rng(21).integers(0, 1 << 10, size=6_000)
+        batches = list(encode_stream(params, values,
+                                     rng=np.random.default_rng(22)))
+        queries = list(range(128))
+        results = {}
+        for wire_format in ("json", "binary"):
+            with running_server(params) as (_, host, port):
+                with AggregationClient(host, port,
+                                       wire_format=wire_format) as client:
+                    assert client.hello() == params  # negotiates the format
+                    assert "binary" in client.server_wire_formats
+                    for batch in batches:
+                        client.send_batch(batch)
+                    assert client.sync() == values.size
+                    results[wire_format] = client.query(queries)
+        assert np.array_equal(results["binary"], results["json"])
+
+    def test_binary_frames_rejected_when_disabled(self):
+        params = _small_params()
+        batch = params.make_encoder().encode_batch(
+            [1, 2, 3], np.random.default_rng(0))
+        with running_server(params, wire_formats=("json",)) as (_, host, port):
+            with AggregationClient(host, port,
+                                   wire_format="binary") as client:
+                with pytest.raises(ServerError, match="does not accept"):
+                    client.hello()  # negotiation fails up front
+                client.send_batch(batch)  # forced anyway: dropped + accounted
+                assert client.sync() == 0
+                stats = client.stats()
+                assert stats["reports_rejected"] == len(batch)
+                assert "disabled" in stats["last_rejection"]
+                # json frames on the same connection still land
+                client.send_batch(batch, wire_format="json")
+                assert client.sync() == len(batch)
+
     def test_windowed_queries_over_epochs(self):
         params = ExplicitHistogramParams(32, 1.0, "krr")
         encoder = params.make_encoder()
