@@ -1,0 +1,187 @@
+"""Benchmark W4: sustained wire ingest through the sharded cluster tier.
+
+Measures what the router adds on top of a single server: the routing peek
+(a few header bytes per frame), the verbatim re-framed forward to the
+owning shard, the per-shard journal append, and — on query — the
+state-pull/exact-merge round across every shard.  One row per shard count
+(1 = a plain ``serve`` process, the single-server reference; K > 1 = a
+``serve-cluster`` router with K shard subprocesses) records end-to-end
+ingest throughput and whether the served estimates stayed bit-identical to
+the offline engine, which is the only regime in which the numbers mean
+anything.
+
+On a 1-core CI host every shard shares the core with the router and the
+client, so the cluster rows measure *overhead*, not scaling; on a real
+multicore host the shards absorb in parallel.  Run as a script to print
+the table and write ``BENCH_cluster.json``::
+
+    PYTHONPATH=src python benchmarks/bench_cluster_ingest.py
+
+or under pytest-benchmark (CI smoke)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_cluster_ingest.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+NUM_USERS = 200_000
+CHUNK_SIZE = 1 << 14
+SHARD_COUNTS = (1, 2, 3)
+SEED = 0
+
+
+def run_cluster_ingest_bench(shard_counts: Sequence[int] = SHARD_COUNTS,
+                             num_users: int = NUM_USERS,
+                             domain_size: int = 1 << 16,
+                             epsilon: float = 1.0, seed: int = SEED,
+                             chunk_size: int = CHUNK_SIZE,
+                             wire_format: str = "binary",
+                             verify_queries: int = 64) -> Dict[str, object]:
+    """Measure cluster wire ingest per shard count (1 = single server)."""
+    from repro.cli import _spawn_server
+    from repro.engine import encode_stream, make_plan, run_simulation
+    from repro.engine.bench import build_bench_params
+    from repro.server import AggregationClient, encode_reports_frame
+    from repro.utils.rng import as_generator
+    from repro.workloads.distributions import zipf_workload
+
+    setup_gen = as_generator(seed)
+    values = zipf_workload(num_users, domain_size,
+                           support=min(2_000, domain_size), rng=setup_gen)
+    params = build_bench_params("hashtogram", domain_size, epsilon, num_users,
+                                rng=setup_gen)
+    plan_seed = int(setup_gen.integers(0, 2**63 - 1))
+
+    batches = list(encode_stream(params, values,
+                                 rng=np.random.default_rng(plan_seed),
+                                 chunk_size=chunk_size))
+    # canonical routing keys: replay the same plan the stream encoded
+    routes = [chunk.route_key for chunk in
+              make_plan(params, num_users, rng=np.random.default_rng(plan_seed),
+                        chunk_size=chunk_size)]
+    frames = b"".join(
+        encode_reports_frame(batch, 0, wire_format, route=route)
+        for batch, route in zip(batches, routes))
+    queries = [int(x) for x in np.random.default_rng(0).integers(
+        0, domain_size, size=verify_queries)]
+    expected = run_simulation(
+        params, values, rng=np.random.default_rng(plan_seed),
+        chunk_size=chunk_size).finalize().estimate_many(queries)
+
+    results: List[Dict[str, object]] = []
+    for shards in shard_counts:
+        if shards == 1:
+            proc, host, port = _spawn_server(params)
+        else:
+            proc, host, port = _spawn_server(
+                params, ("--shards", str(shards)), verb="serve-cluster")
+        try:
+            with AggregationClient(host, port) as client:
+                start_t = time.perf_counter()
+                client.send_raw(frames)
+                absorbed = client.sync()
+                ingest_s = time.perf_counter() - start_t
+                query_start = time.perf_counter()
+                served = client.query(queries)
+                query_s = time.perf_counter() - query_start
+                client.shutdown()
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.terminate()
+                proc.wait(timeout=10)
+            proc.stdout.close()
+        if absorbed != num_users:
+            raise RuntimeError(f"{shards} shard(s): absorbed {absorbed} of "
+                               f"{num_users} reports")
+        results.append({
+            "shards": int(shards),
+            "num_users": int(num_users),
+            "num_frames": len(batches),
+            "wire_format": wire_format,
+            "ingest_s": round(ingest_s, 4),
+            "reports_per_s": int(num_users / max(ingest_s, 1e-9)),
+            "merged_query_s": round(query_s, 4),
+            "identical_to_offline_engine": bool(
+                np.array_equal(served, expected)),
+        })
+    return {
+        "benchmark": "cluster_ingest",
+        "host": {
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+            "cpu_count": os.cpu_count(),
+        },
+        "config": {
+            "num_users": int(num_users),
+            "domain_size": int(domain_size),
+            "epsilon": float(epsilon),
+            "seed": int(seed),
+            "chunk_size": int(chunk_size),
+            "wire_format": wire_format,
+            "shard_counts": [int(s) for s in shard_counts],
+        },
+        "results": results,
+    }
+
+
+def test_cluster_ingest(benchmark):
+    """CI smoke: every shard count must stay bit-identical to the engine."""
+    from conftest import report, run_once
+
+    payload = run_once(benchmark, run_cluster_ingest_bench,
+                       shard_counts=(1, 2), num_users=40_000)
+    rows = list(payload["results"])
+    report(benchmark, "W4: cluster wire-ingest throughput", rows)
+    for row in rows:
+        assert row["identical_to_offline_engine"], row
+        assert row["reports_per_s"] > 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--num-users", type=int, default=NUM_USERS)
+    parser.add_argument("--shards", default="1,2,3",
+                        help="comma-separated shard counts (1 = one server)")
+    parser.add_argument("--wire-format", default="binary",
+                        choices=["json", "binary"])
+    parser.add_argument("--output", default="BENCH_cluster.json")
+    args = parser.parse_args(argv)
+
+    from repro.experiments import format_table
+
+    try:
+        shard_counts = [int(s) for s in args.shards.split(",") if s.strip()]
+    except ValueError:
+        print("bench_cluster_ingest: --shards must be a comma-separated "
+              "list of integers", file=sys.stderr)
+        return 2
+    payload = run_cluster_ingest_bench(shard_counts=shard_counts,
+                                       num_users=args.num_users,
+                                       wire_format=args.wire_format)
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(format_table(list(payload["results"]),
+                       title=f"cluster ingest, n={args.num_users}, "
+                             f"cpu_count={payload['host']['cpu_count']}"))
+    print(f"\nwrote {args.output}")
+    if not all(row["identical_to_offline_engine"]
+               for row in payload["results"]):
+        print("bench_cluster_ingest: served estimates diverged from the "
+              "offline engine", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,7 +17,10 @@ absorbed into exact integer state.  One row per (protocol, wire format)
 records the wire bytes and the throughput, so ``BENCH_server.json`` shows
 the binary/json ratio directly; CI fails if the binary encoding is not at
 least 3x smaller on the wire than the b64-JSON frames (see ``--check`` and
-the assertions in ``main``).
+the assertions in ``main``), or — against the committed
+``BENCH_baseline.json`` reference (``--check ... --baseline ...``) — if
+ingest throughput drops more than 40% below baseline (engine numbers are
+gated the same way via ``--engine``).
 
 Client-side encoding and frame serialization are done *before* the clock
 starts (a deployment's clients encode on their own devices); the timed path
@@ -165,6 +168,70 @@ def _report_rows(payload: Dict[str, object]) -> List[Dict[str, object]]:
     return list(payload["results"])
 
 
+#: CI regression gate: measured throughput may drop at most this fraction
+#: below the committed BENCH_baseline.json figure before the gate fails
+MAX_THROUGHPUT_DROP = 0.40
+
+
+def check_throughput_regression(payload: Dict[str, object],
+                                baseline: Dict[str, object],
+                                max_drop: float = None) -> List[str]:
+    """CI gate: binary-format ingest must stay within ``max_drop`` of baseline.
+
+    ``baseline`` is the committed ``BENCH_baseline.json``: per protocol, the
+    reference ``reports_per_s`` for each wire format under ``"server"``.
+    Only throughput *drops* fail — faster hosts pass trivially; the gate
+    exists so a change that tanks the zero-copy ingest path (the 4.3× win
+    of the binary format) cannot land silently.  Returns the violations
+    (empty = ok).
+    """
+    if max_drop is None:
+        max_drop = float(baseline.get("max_drop", MAX_THROUGHPUT_DROP))
+    measured: Dict[str, Dict[str, float]] = {}
+    for row in payload["results"]:
+        measured.setdefault(str(row["protocol"]), {})[
+            str(row.get("wire_format", "json"))] = float(row["reports_per_s"])
+    failures = []
+    for protocol, formats in dict(baseline.get("server", {})).items():
+        for wire_format, reference in dict(formats).items():
+            floor = (1.0 - max_drop) * float(reference)
+            got = measured.get(protocol, {}).get(wire_format)
+            if got is None:
+                failures.append(f"{protocol}/{wire_format}: no measured row "
+                                f"(baseline {reference:,.0f} reports/s)")
+            elif got < floor:
+                failures.append(
+                    f"{protocol}/{wire_format}: ingest throughput regressed "
+                    f"to {got:,.0f} reports/s (< {floor:,.0f}; baseline "
+                    f"{float(reference):,.0f}, max drop {max_drop:.0%})")
+    return failures
+
+
+def check_engine_regression(payload: Dict[str, object],
+                            baseline: Dict[str, object],
+                            max_drop: float = None) -> List[str]:
+    """Same gate for ``BENCH_engine.json``: 1-worker engine throughput."""
+    if max_drop is None:
+        max_drop = float(baseline.get("max_drop", MAX_THROUGHPUT_DROP))
+    measured: Dict[str, float] = {}
+    for row in payload["results"]:
+        if int(row.get("workers", 0)) == 1:
+            measured[str(row["protocol"])] = float(row["reports_per_s"])
+    failures = []
+    for protocol, reference in dict(baseline.get("engine", {})).items():
+        floor = (1.0 - max_drop) * float(reference)
+        got = measured.get(protocol)
+        if got is None:
+            failures.append(f"engine/{protocol}: no measured 1-worker row "
+                            f"(baseline {float(reference):,.0f} reports/s)")
+        elif got < floor:
+            failures.append(
+                f"engine/{protocol}: 1-worker throughput regressed to "
+                f"{got:,.0f} reports/s (< {floor:,.0f}; baseline "
+                f"{float(reference):,.0f}, max drop {max_drop:.0%})")
+    return failures
+
+
 def check_wire_shrink(payload: Dict[str, object],
                       min_shrink: float = MIN_WIRE_SHRINK) -> List[str]:
     """CI gate: per protocol, binary wire bytes must be ≥ ``min_shrink``×
@@ -211,11 +278,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--output", default="BENCH_server.json")
     parser.add_argument("--check", metavar="BENCH_JSON", default=None,
                         help="do not run the benchmark; verify an existing "
-                             "payload against the wire-shrink gate and exit")
+                             "payload against the wire-shrink gate (and, "
+                             "with --baseline, the throughput-regression "
+                             "gate) and exit")
+    parser.add_argument("--baseline", metavar="BASELINE_JSON", default=None,
+                        help="committed BENCH_baseline.json to gate --check "
+                             "throughput against (fails on a drop larger "
+                             "than the baseline's max_drop, default 40%%)")
+    parser.add_argument("--engine", metavar="BENCH_ENGINE_JSON", default=None,
+                        help="also gate this BENCH_engine.json payload "
+                             "against the baseline's engine numbers "
+                             "(requires --check and --baseline)")
     args = parser.parse_args(argv)
 
     if args.check is not None:
-        failures = check_wire_shrink(json.loads(Path(args.check).read_text()))
+        payload = json.loads(Path(args.check).read_text())
+        failures = check_wire_shrink(payload)
+        if args.baseline is not None:
+            baseline = json.loads(Path(args.baseline).read_text())
+            failures += check_throughput_regression(payload, baseline)
+            if args.engine is not None:
+                engine_payload = json.loads(Path(args.engine).read_text())
+                failures += check_engine_regression(engine_payload, baseline)
+        elif args.engine is not None:
+            print("bench_server_ingest --check: --engine requires --baseline",
+                  file=sys.stderr)
+            return 2
         for failure in failures:
             print(f"bench_server_ingest --check: {failure}", file=sys.stderr)
         print(f"bench_server_ingest --check: {args.check} "

@@ -11,8 +11,10 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli simulate --workers 4    # multiprocess engine simulation
     python -m repro.cli bench                   # engine scaling -> BENCH_engine.json
     python -m repro.cli serve --port 7071       # asyncio report-ingestion server
+    python -m repro.cli serve-cluster --shards 3    # router + 3 shard servers
     python -m repro.cli load-test --users 100000 --workers 4
     python -m repro.cli load-test --wire-format binary   # zero-copy frames
+    python -m repro.cli load-test --cluster 3   # sharded cluster, bit-identical
     python -m repro.cli --list-modules          # module map (checked against docs)
 
 ``run`` prints the same tables that ``pytest benchmarks/ --benchmark-only``
@@ -38,6 +40,14 @@ offline :func:`repro.engine.run_simulation` reference under the same seed.
 Both speak either ``reports`` wire format (``--wire-format``): the
 compatibility-default JSON frames or the zero-copy binary columnar frames
 of ``docs/wire-protocol.md`` §8 — bit-identical aggregates either way.
+
+``serve-cluster`` scales ``serve`` horizontally (:mod:`repro.cluster`): a
+router process hash-partitions ``reports`` frames across ``--shards``
+freshly spawned shard servers, answers queries by pulling and exactly
+merging every shard's integer state, and restarts a dead shard from its
+snapshot (replaying the router's frame journal).  ``load-test --cluster K``
+drives such a cluster through the very same client code path and asserts
+the served estimates still equal the offline engine bit for bit.
 
 The ``--list-modules`` flag (usable without a subcommand) prints the package
 module map; with ``--check docs/architecture.md`` it verifies the map
@@ -414,38 +424,102 @@ def _cmd_serve(args) -> int:
     return 0
 
 
-def _spawn_server(params, extra_args: Sequence[str] = ()) -> Tuple[object, str, int]:
-    """Start a ``repro.cli serve`` subprocess; returns (proc, host, port).
+def _cmd_serve_cluster(args) -> int:
+    """Run a router in front of N freshly spawned shard servers."""
+    import asyncio
+    import json
+    import tempfile
+    from pathlib import Path
 
-    The child gets ``PYTHONPATH`` pointing at this package's source tree, so
-    it works both installed and from a checkout.
+    from repro.cluster import ClusterRouter, ClusterSupervisor
+    from repro.engine.bench import build_bench_params
+    from repro.protocol import PublicParams
+
+    if args.shards < 1:
+        print("serve-cluster: --shards must be at least 1", file=sys.stderr)
+        return 2
+    if args.window is not None and args.window < 1:
+        print("serve-cluster: --window must be at least 1", file=sys.stderr)
+        return 2
+    if args.checkpoint_reports < 1:
+        print("serve-cluster: --checkpoint-reports must be at least 1",
+              file=sys.stderr)
+        return 2
+    if args.params_file is not None:
+        payload = json.loads(Path(args.params_file).read_text())
+        params = PublicParams.from_dict(payload)
+    else:
+        params = build_bench_params(args.protocol, args.domain_size,
+                                    args.epsilon, args.num_users,
+                                    rng=args.seed)
+    ephemeral_base = args.base_dir is None
+    base_dir = args.base_dir or tempfile.mkdtemp(prefix="repro-cluster-")
+    wire_formats = (("json", "binary") if args.wire_format == "both"
+                    else (args.wire_format,))
+    supervisor = ClusterSupervisor(params, args.shards, base_dir,
+                                   window=args.window,
+                                   wire_format=args.wire_format,
+                                   snapshot_format=args.snapshot_format)
+    try:
+        supervisor.start()
+        router = ClusterRouter(params, supervisor=supervisor, rng=args.seed,
+                               wire_formats=wire_formats,
+                               checkpoint_reports=args.checkpoint_reports,
+                               window=args.window)
+
+        async def main() -> None:
+            host, port = await router.start(args.host, args.port)
+            # Same parse-friendly readiness line as `serve`: `load-test
+            # --cluster` and the tests wait for it.
+            print(f"LISTENING {host} {port}", flush=True)
+            if not args.quiet:
+                endpoints = ",".join(f"{h}:{p}"
+                                     for h, p in supervisor.endpoints())
+                print(f"serve-cluster: protocol={params.protocol} "
+                      f"shards={args.shards} window={args.window} "
+                      f"wire_formats={','.join(wire_formats)} "
+                      f"base_dir={base_dir} endpoints={endpoints}", flush=True)
+            await router.serve_until_stopped()
+            if not args.quiet:
+                print(f"serve-cluster: stopped after forwarding "
+                      f"{router.stats.reports_forwarded} reports "
+                      f"({router.stats.shard_restarts} shard restart(s))",
+                      flush=True)
+
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        supervisor.stop()
+        if ephemeral_base:
+            # The default base dir is a fresh temp directory; snapshots in
+            # it only serve intra-run crash recovery, so remove it on exit
+            # (pass --base-dir to keep the cluster home across runs).
+            import shutil
+            shutil.rmtree(base_dir, ignore_errors=True)
+    return 0
+
+
+def _spawn_server(params, extra_args: Sequence[str] = (),
+                  verb: str = "serve") -> Tuple[object, str, int]:
+    """Start a ``repro.cli`` server subprocess; returns (proc, host, port).
+
+    ``verb`` selects the service flavor (``serve`` or ``serve-cluster``);
+    either way the child is waited on until its ``LISTENING`` line appears
+    (see :func:`repro.cluster.supervisor.spawn_server_process`).
     """
     import json
     import os
-    import subprocess
     import tempfile
 
-    import repro
+    from repro.cluster.supervisor import spawn_server_process
 
-    src_root = str(Path(repro.__file__).resolve().parent.parent)
-    env = dict(os.environ)
-    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
     with tempfile.NamedTemporaryFile("w", suffix="-params.json",
                                      delete=False) as handle:
         json.dump(params.to_dict(), handle)
         params_file = handle.name
     try:
-        proc = subprocess.Popen(
-            [sys.executable, "-m", "repro.cli", "serve",
-             "--params-file", params_file, "--host", "127.0.0.1",
-             "--port", "0", "--quiet", *extra_args],
-            stdout=subprocess.PIPE, text=True, env=env)
-        line = proc.stdout.readline()
-        if not line.startswith("LISTENING "):
-            proc.terminate()
-            raise RuntimeError(f"server failed to start (got {line!r})")
-        _, host, port = line.split()
-        return proc, host, int(port)
+        return spawn_server_process(verb, params_file, extra_args)
     finally:
         # The LISTENING line is printed after the child loaded the
         # parameters, so the file is safe to remove on every path.
@@ -461,7 +535,7 @@ def _cmd_load_test(args) -> int:
     import numpy as np
 
     from repro.analysis.metrics import true_frequencies
-    from repro.engine import encode_stream, run_simulation
+    from repro.engine import encode_stream, make_plan, run_simulation
     from repro.engine.bench import build_bench_params
     from repro.server import AggregationClient
     from repro.utils.rng import as_generator
@@ -475,6 +549,13 @@ def _cmd_load_test(args) -> int:
     if users < 1 or workers < 1 or args.epochs < 1:
         print("load-test: --users, --workers, and --epochs must be positive",
               file=sys.stderr)
+        return 2
+    if args.cluster is not None and args.server is not None:
+        print("load-test: --cluster spawns its own router; it cannot be "
+              "combined with --server", file=sys.stderr)
+        return 2
+    if args.cluster is not None and args.cluster < 1:
+        print("load-test: --cluster must be at least 1", file=sys.stderr)
         return 2
 
     # Same parameter/workload derivation as `simulate`, then one shared seed
@@ -495,6 +576,12 @@ def _cmd_load_test(args) -> int:
     batches = list(encode_stream(params, values,
                                  rng=np.random.default_rng(plan_seed)))
     encode_s = time.perf_counter() - encode_start
+    # Shard-routing keys from the canonical plan (one batch per chunk; a
+    # fresh generator with the same seed replays the identical plan the
+    # stream used).  A cluster router partitions on them; a single server
+    # ignores them.
+    routes = [chunk.route_key for chunk in
+              make_plan(params, users, rng=np.random.default_rng(plan_seed))]
 
     proc = None
     if args.server is not None:
@@ -504,8 +591,12 @@ def _cmd_load_test(args) -> int:
                   f"(got {args.server!r})", file=sys.stderr)
             return 2
         port = int(port_text)
+    elif args.cluster is not None:
+        proc, host, port = _spawn_server(
+            params, ("--shards", str(args.cluster)), verb="serve-cluster")
     else:
         proc, host, port = _spawn_server(params)
+    server_stopped = False
     try:
         # hello doubles as wire-format negotiation: a server that does not
         # accept this run's format fails here, not batch by silent batch.
@@ -529,7 +620,8 @@ def _cmd_load_test(args) -> int:
                 with AggregationClient(host, port,
                                        wire_format=args.wire_format) as client:
                     for i in range(worker, len(batches), workers):
-                        client.send_batch(batches[i], epoch=i % args.epochs)
+                        client.send_batch(batches[i], epoch=i % args.epochs,
+                                          route=routes[i])
                     # Per-connection barrier: frames on one connection are
                     # processed in order, so this returns only after every
                     # batch this worker sent has been absorbed.
@@ -566,15 +658,18 @@ def _cmd_load_test(args) -> int:
         stats = client.stats()
         if proc is not None:
             client.shutdown()
+            server_stopped = True
         client.close()
 
         rows = [{"item": x, "true_count": truth.get(x, 0),
                  "served_estimate": round(float(a), 1)}
                 for x, a in list(zip(queries, served))[:5]]
+        target = (f"cluster of {args.cluster} shard(s) at {host}:{port}"
+                  if args.cluster is not None else f"server {host}:{port}")
         print(format_table(rows, title=(
             f"load-test: {args.protocol} x {users} users over {workers} "
             f"connection(s), {args.epochs} epoch(s), "
-            f"{args.wire_format} frames, server {host}:{port}")))
+            f"{args.wire_format} frames, {target}")))
         print(f"\nclient encoding: {encode_s:.3f}s; wire ingest+sync: "
               f"{ingest_s:.3f}s ({users / max(ingest_s, 1e-9):,.0f} reports/s "
               f"end-to-end); server drain: {stats['drain_s']:.3f}s "
@@ -591,8 +686,20 @@ def _cmd_load_test(args) -> int:
         return 0
     finally:
         if proc is not None:
-            proc.terminate()
-            proc.wait(timeout=10)
+            # After an acknowledged `shutdown` frame, give the child a
+            # grace period to exit on its own: `serve-cluster` still has
+            # to stop its shards and remove its ephemeral base dir, and an
+            # immediate SIGTERM would race that cleanup.
+            import subprocess
+            try:
+                if server_stopped:
+                    proc.wait(timeout=10)
+                else:
+                    proc.terminate()
+                    proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                proc.wait(timeout=10)
             proc.stdout.close()
 
 
@@ -787,6 +894,52 @@ def build_parser() -> argparse.ArgumentParser:
                               help="print only the LISTENING line")
     serve_parser.set_defaults(func=_cmd_serve)
 
+    cluster_parser = subparsers.add_parser(
+        "serve-cluster",
+        help="run a sharded cluster: a router fronting N shard servers "
+             "(repro.cluster)")
+    cluster_parser.add_argument("--shards", type=int, default=3,
+                                help="number of shard server subprocesses")
+    cluster_parser.add_argument("--host", default="127.0.0.1")
+    cluster_parser.add_argument("--port", type=int, default=7070,
+                                help="router TCP port (0 picks a free port; "
+                                     "shards always bind free ports)")
+    cluster_parser.add_argument("--protocol", default="hashtogram",
+                                choices=["hashtogram", "explicit", "cms"])
+    cluster_parser.add_argument("--domain-size", type=int, default=1 << 16)
+    cluster_parser.add_argument("--epsilon", type=float, default=1.0)
+    cluster_parser.add_argument("--num-users", type=int, default=30_000,
+                                help="population hint used to size the "
+                                     "sampled parameters' bucket counts")
+    cluster_parser.add_argument("--seed", type=int, default=0,
+                                help="seed of the sampled public randomness "
+                                     "and the published shard partition")
+    cluster_parser.add_argument("--params-file", default=None,
+                                help="serve these exact public parameters "
+                                     "(JSON from PublicParams.to_dict)")
+    cluster_parser.add_argument("--window", type=int, default=None,
+                                help="per-shard epoch retention "
+                                     "(default: unbounded)")
+    cluster_parser.add_argument("--base-dir", default=None,
+                                help="cluster home on disk (params file + "
+                                     "one snapshot dir per shard; default: "
+                                     "a fresh temp directory)")
+    cluster_parser.add_argument("--snapshot-format", default="json",
+                                choices=["json", "binary"],
+                                help="shard snapshot encoding")
+    cluster_parser.add_argument("--wire-format", default="both",
+                                choices=["json", "binary", "both"],
+                                help="reports frame formats the router and "
+                                     "its shards accept")
+    cluster_parser.add_argument("--checkpoint-reports", type=int,
+                                default=1 << 16,
+                                help="auto-checkpoint a shard once this many "
+                                     "reports are journaled for it (bounds "
+                                     "replay after a shard crash)")
+    cluster_parser.add_argument("--quiet", action="store_true",
+                                help="print only the LISTENING line")
+    cluster_parser.set_defaults(func=_cmd_serve_cluster)
+
     load_parser = subparsers.add_parser(
         "load-test",
         help="drive a live server with the engine chunk stream and verify "
@@ -813,6 +966,10 @@ def build_parser() -> argparse.ArgumentParser:
     load_parser.add_argument("--server", default=None,
                              help="HOST:PORT of an already-running server "
                                   "(default: spawn one)")
+    load_parser.add_argument("--cluster", type=int, default=None, metavar="K",
+                             help="spawn a serve-cluster of K shards and "
+                                  "drive its router instead of a single "
+                                  "server (exclusive with --server)")
     load_parser.add_argument("--quick", action="store_true",
                              help="CI-sized run (<= 20k users, 2 workers)")
     load_parser.set_defaults(func=_cmd_load_test)

@@ -1,0 +1,66 @@
+"""Sharded cluster serving: a router tier over N shard aggregation servers.
+
+This package is the first step from "a server" to "a fleet".  It scales the
+streaming aggregation service of :mod:`repro.server` horizontally by
+exploiting the property the wire API was designed around — every
+aggregator's state is exact integers and ``merge`` is a commutative,
+associative sum — so splitting the report stream across K independent shard
+servers loses nothing: merging the K shard states reproduces single-server
+aggregation **bit for bit**.
+
+* :class:`~repro.cluster.supervisor.ClusterSupervisor` — spawns and
+  monitors the N shard subprocesses (each a full ``repro.cli serve``
+  service with its own snapshot directory) and restarts a dead shard from
+  its newest snapshot.
+* :class:`~repro.cluster.router.ClusterRouter` — the single endpoint
+  clients talk to: hash-partitions ``reports`` frames across the shards
+  with the published pairwise-independent
+  :class:`~repro.engine.partition.ShardPartition` (forwarding payload bytes
+  verbatim — no column decode), answers ``query`` by pulling every shard's
+  packed state and merging exactly, and journals forwarded frames so a
+  killed shard converges bit-identically after snapshot-restore replay.
+
+Quick start (or ``python -m repro.cli serve-cluster --shards 3`` /
+``load-test --cluster 3``)::
+
+    import asyncio
+    from repro.cluster import ClusterRouter, ClusterSupervisor
+    from repro.protocol import HashtogramParams
+
+    params = HashtogramParams.create(1 << 16, 1.0, num_buckets=64, rng=0)
+
+    async def main():
+        with ClusterSupervisor(params, 3, "cluster-home") as supervisor:
+            supervisor.start()
+            router = ClusterRouter(params, supervisor=supervisor, rng=0)
+            host, port = await router.start()
+            # ... AggregationClient(host, port) works unchanged ...
+            await router.serve_until_stopped()
+
+The cluster guarantee, asserted end-to-end by ``load-test --cluster``: the
+served estimates equal the offline :func:`repro.engine.run_simulation`
+estimates bit for bit, for any shard count, any frame interleaving, and
+through a shard crash mid-ingest.
+"""
+
+from repro.cluster.router import (
+    ROUTER_ID,
+    ClusterError,
+    ClusterRouter,
+    RouterStats,
+)
+from repro.cluster.supervisor import (
+    ClusterSupervisor,
+    ShardHandle,
+    spawn_server_process,
+)
+
+__all__ = [
+    "ROUTER_ID",
+    "ClusterError",
+    "ClusterRouter",
+    "ClusterSupervisor",
+    "RouterStats",
+    "ShardHandle",
+    "spawn_server_process",
+]

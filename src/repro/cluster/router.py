@@ -1,0 +1,772 @@
+"""The cluster router: one endpoint fronting N shard aggregation servers.
+
+:class:`ClusterRouter` speaks the exact frame protocol of
+:mod:`repro.server` on its client side — ``hello`` / ``reports`` / ``sync``
+/ ``query`` / ``stats`` / ``snapshot`` / ``shutdown`` — so every existing
+client (:class:`~repro.server.client.AggregationClient`, the load
+generator, the benchmarks) works against a cluster unchanged.  Behind that
+endpoint:
+
+* **Routing** — each ``reports`` frame is assigned to a shard by the
+  published pairwise-independent
+  :class:`~repro.engine.partition.ShardPartition` applied to the frame's
+  shard-routing header (``docs/wire-protocol.md`` §8.1); frames without a
+  routing key fall back to round-robin.  Either way the frame's *payload
+  bytes are forwarded verbatim* (:func:`~repro.server.framing.frame_bytes`)
+  — the router peeks a few header bytes and never decodes a column, so the
+  zero-copy ingest pipeline of the binary wire format extends end-to-end
+  through the cluster tier.
+* **Exact merged queries** — ``query`` pulls every shard's packed
+  exact-integer aggregator state (the ``state`` frame), merges the K states
+  with the commutative integer-sum merge, and finalizes once.  A K-shard
+  cluster therefore answers **bit-identically** to one server that ingested
+  everything — and to the offline engine
+  (:func:`repro.engine.run_simulation`) under the same seed, which
+  ``python -m repro.cli load-test --cluster K`` asserts.  Windowed queries
+  stay exact across shards: the router resolves the global newest epoch
+  first and passes every shard the same absolute ``min_epoch`` cutoff.
+* **Failure handling** — every frame forwarded to a shard is kept in that
+  shard's *journal* until the shard acknowledges a snapshot barrier
+  (auto-checkpoint after ``checkpoint_reports`` journaled reports, or an
+  explicit client ``snapshot``).  When a fan-out detects a dead shard, the
+  :class:`~repro.cluster.supervisor.ClusterSupervisor` restarts it from its
+  newest snapshot, the router replays the journal (everything since that
+  snapshot), and a ``sync`` barrier confirms convergence — the revived
+  shard's integer state is exactly what it would have been without the
+  crash, so cluster answers remain bit-identical through a kill.
+
+Connections to shards are pooled: one persistent, ordered connection per
+shard, reused for every forward and fan-out rather than dialed per
+request.  Ordering is load-bearing — a shard connection that delivers
+journal frames *before* the snapshot barrier frame is what makes "journal
+cleared at the barrier" an exact statement — so the pool holds exactly one
+connection per shard, serialized by a per-shard lock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.partition import ShardPartition
+from repro.protocol.binary import (
+    BinaryFormatError,
+    is_binary_payload,
+    pack_state,
+    peek_reports_header,
+    unpack_state,
+)
+from repro.protocol.wire import (
+    PublicParams,
+    child_state,
+    load_child_state,
+    merge_aggregators,
+)
+from repro.server.framing import (
+    WIRE_FORMATS,
+    FrameError,
+    frame_bytes,
+    read_frame,
+    read_frame_payload,
+    write_frame,
+)
+from repro.utils.rng import RandomState
+
+__all__ = ["ClusterError", "ClusterRouter", "RouterStats", "ROUTER_ID"]
+
+#: protocol identification string sent in every router ``params`` reply
+ROUTER_ID = "repro-cluster-router/1"
+
+#: transport-level failures that trigger shard revival on fan-out
+_SHARD_FAILURES = (OSError, FrameError, asyncio.IncompleteReadError)
+
+
+class ClusterError(RuntimeError):
+    """A shard is unreachable and cannot be revived."""
+
+
+@dataclass
+class RouterStats:
+    """Router-side counters, served inside the ``stats`` reply."""
+
+    connections_total: int = 0
+    frames_forwarded: int = 0
+    reports_forwarded: int = 0
+    frames_unrouted: int = 0
+    frames_rejected: int = 0
+    queries_answered: int = 0
+    shard_restarts: int = 0
+    journal_replayed_frames: int = 0
+    journal_replayed_reports: int = 0
+    checkpoints: int = 0
+    last_rejection: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "connections_total": self.connections_total,
+            "frames_forwarded": self.frames_forwarded,
+            "reports_forwarded": self.reports_forwarded,
+            "frames_unrouted": self.frames_unrouted,
+            "frames_rejected": self.frames_rejected,
+            "queries_answered": self.queries_answered,
+            "shard_restarts": self.shard_restarts,
+            "journal_replayed_frames": self.journal_replayed_frames,
+            "journal_replayed_reports": self.journal_replayed_reports,
+            "checkpoints": self.checkpoints,
+            "last_rejection": self.last_rejection,
+        }
+
+
+class _ShardLink:
+    """One pooled, ordered connection to a shard, plus its frame journal."""
+
+    def __init__(self, index: int, host: str, port: int) -> None:
+        self.index = index
+        self.host = host
+        self.port = int(port)
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.lock = asyncio.Lock()
+        #: raw frame payloads (and their report counts) forwarded since the
+        #: shard's last acknowledged snapshot barrier
+        self.journal: List[Tuple[bytes, int]] = []
+        self.journal_reports = 0
+        self.reports_forwarded = 0
+
+    async def connect(self) -> None:
+        await self.close()
+        self.reader, self.writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (OSError, asyncio.IncompleteReadError):
+                pass
+        self.reader = None
+        self.writer = None
+
+
+class ClusterRouter:
+    """Route ``reports`` frames across shards; answer queries by exact merge.
+
+    Parameters
+    ----------
+    params:
+        Public parameters every shard serves (published to clients in the
+        ``hello`` reply, exactly like a single server).
+    endpoints:
+        ``(host, port)`` of each shard server.  Defaults to the
+        supervisor's endpoints.
+    supervisor:
+        A started :class:`~repro.cluster.supervisor.ClusterSupervisor`.
+        Optional — without one the router still routes and queries, but a
+        dead shard is an error instead of a restart.
+    partition:
+        The published routing partition; sampled from ``rng`` when omitted.
+    rng:
+        Seed/generator for sampling the default partition.
+    wire_formats:
+        ``reports`` formats accepted from clients (advertised in ``hello``).
+    checkpoint_reports:
+        Auto-checkpoint threshold: once a shard's journal holds at least
+        this many reports, the router requests a shard snapshot and clears
+        the journal.  Bounds both journal memory and replay time.
+    window:
+        Retention the shards were started with (published in ``hello``).
+    """
+
+    def __init__(
+        self,
+        params: PublicParams,
+        endpoints: Optional[Sequence[Tuple[str, int]]] = None,
+        *,
+        supervisor=None,
+        partition: Optional[ShardPartition] = None,
+        rng: RandomState = None,
+        wire_formats: Sequence[str] = WIRE_FORMATS,
+        checkpoint_reports: int = 1 << 16,
+        window: Optional[int] = None,
+    ) -> None:
+        if endpoints is None:
+            if supervisor is None:
+                raise ValueError("need shard endpoints or a supervisor")
+            endpoints = supervisor.endpoints()
+        if not endpoints:
+            raise ValueError("need at least one shard endpoint")
+        self.wire_formats = tuple(wire_formats)
+        if not self.wire_formats or any(
+            fmt not in WIRE_FORMATS for fmt in self.wire_formats
+        ):
+            raise ValueError(
+                f"wire_formats must be a non-empty subset of {WIRE_FORMATS}, "
+                f"got {wire_formats!r}"
+            )
+        if checkpoint_reports < 1:
+            raise ValueError("checkpoint_reports must be >= 1")
+        self.params = params
+        self.supervisor = supervisor
+        self.partition = (
+            partition
+            if partition is not None
+            else ShardPartition.sample(len(endpoints), rng)
+        )
+        if self.partition.num_shards != len(endpoints):
+            raise ValueError(
+                f"partition routes over {self.partition.num_shards} shards "
+                f"but {len(endpoints)} endpoints were given"
+            )
+        self.window = window
+        self.checkpoint_reports = int(checkpoint_reports)
+        self.stats = RouterStats()
+        self.links = [
+            _ShardLink(i, host, port) for i, (host, port) in enumerate(endpoints)
+        ]
+        self._round_robin = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set = set()
+        self._stopping = asyncio.Event()
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.links)
+
+    # ----- lifecycle ------------------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Connect to every shard, verify parameters, bind, and serve."""
+        if self._server is not None:
+            raise RuntimeError("router already started")
+        for link in self.links:
+            await link.connect()
+            reply = await self._request_on_link(link, {"type": "hello"}, "params")
+            published = PublicParams.from_dict(dict(reply["params"]))
+            if published != self.params:
+                raise ClusterError(
+                    f"shard {link.index} at {link.host}:{link.port} serves "
+                    f"different public parameters than this router"
+                )
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        return str(sockname[0]), int(sockname[1])
+
+    async def serve_until_stopped(self) -> None:
+        """Serve until a ``shutdown`` frame arrives or :meth:`stop` is called."""
+        if self._server is None:
+            raise RuntimeError("call start() first")
+        await self._stopping.wait()
+        await self._shutdown()
+
+    async def stop(self) -> None:
+        """Stop accepting clients and close the shard connections."""
+        self._stopping.set()
+        await self._shutdown()
+
+    async def _shutdown(self) -> None:
+        if self._server is None:
+            return
+        server, self._server = self._server, None
+        server.close()
+        for writer in list(self._connections):
+            writer.close()
+        await server.wait_closed()
+        for link in self.links:
+            await link.close()
+
+    # ----- shard fan-out plumbing -----------------------------------------------------
+
+    async def _request_on_link(
+        self,
+        link: _ShardLink,
+        frame: Dict[str, object],
+        expected: str,
+    ) -> Dict[str, object]:
+        """One request/reply on an (assumed healthy) shard connection."""
+        await write_frame(link.writer, frame)
+        reply = await read_frame(link.reader)
+        if reply is None:
+            raise FrameError(
+                f"shard {link.index} closed the connection mid-request"
+            )
+        if reply.get("type") == "error":
+            raise ClusterError(f"shard {link.index}: {reply.get('error')}")
+        if reply.get("type") != expected:
+            raise FrameError(
+                f"shard {link.index}: expected a {expected!r} reply, got "
+                f"{reply.get('type')!r}"
+            )
+        return reply
+
+    async def _revive_locked(self, link: _ShardLink) -> None:
+        """Restart a dead shard from its snapshot and replay the journal.
+
+        Caller holds ``link.lock``.  The supervisor restores the shard's
+        newest snapshot — the state at the last cleared journal barrier —
+        and the journal replay re-forwards everything since, so the revived
+        shard converges to the exact pre-crash integer state; the closing
+        ``sync`` barrier both confirms absorption and surfaces a second
+        failure immediately.
+        """
+        if self.supervisor is None:
+            raise ClusterError(
+                f"shard {link.index} at {link.host}:{link.port} is down and "
+                f"no supervisor is attached"
+            )
+        self.stats.shard_restarts += 1
+        loop = asyncio.get_running_loop()
+        host, port = await loop.run_in_executor(
+            None, self.supervisor.restart, link.index
+        )
+        link.host, link.port = host, int(port)
+        await link.connect()
+        for payload, num_reports in link.journal:
+            link.writer.write(frame_bytes(payload))
+            self.stats.journal_replayed_frames += 1
+            self.stats.journal_replayed_reports += num_reports
+        await link.writer.drain()
+        await self._request_on_link(link, {"type": "sync"}, "synced")
+
+    async def _request(
+        self,
+        link: _ShardLink,
+        frame: Dict[str, object],
+        expected: str,
+        revive: bool = True,
+    ) -> Dict[str, object]:
+        """Fan-out request with dead-shard detection and one revival retry."""
+        async with link.lock:
+            try:
+                return await self._request_on_link(link, frame, expected)
+            except _SHARD_FAILURES:
+                if not revive:
+                    raise
+                await self._revive_locked(link)
+                return await self._request_on_link(link, frame, expected)
+
+    async def _fan_out(self, coros) -> List[Dict[str, object]]:
+        """Gather shard requests without cancelling the stragglers.
+
+        A plain ``gather`` cancels in-flight requests when one fails, which
+        would abandon pooled connections mid-reply and desynchronize them;
+        here every request runs to completion and the first failure is
+        raised only afterwards.
+        """
+        results = await asyncio.gather(*coros, return_exceptions=True)
+        for result in results:
+            if isinstance(result, BaseException):
+                raise result
+        return list(results)
+
+    async def _checkpoint_locked(self, link: _ShardLink) -> str:
+        """Snapshot one shard and clear its journal (caller holds the lock).
+
+        The shard connection is ordered, so every journaled frame reaches
+        the shard before the ``snapshot`` frame; the acknowledged snapshot
+        therefore covers the whole journal, and clearing it is exact.
+        """
+        reply = await self._request_on_link(
+            link, {"type": "snapshot"}, "snapshot_written"
+        )
+        link.journal.clear()
+        link.journal_reports = 0
+        self.stats.checkpoints += 1
+        return str(reply["path"])
+
+    async def _forward(
+        self, link: _ShardLink, payload: bytes, num_reports: int
+    ) -> None:
+        """Journal and forward one ``reports`` payload to its shard."""
+        async with link.lock:
+            link.journal.append((payload, num_reports))
+            link.journal_reports += num_reports
+            link.reports_forwarded += num_reports
+            try:
+                link.writer.write(frame_bytes(payload))
+                await link.writer.drain()
+            except _SHARD_FAILURES:
+                # The failed frame is already journaled, so revival's
+                # replay delivers it along with everything else pending.
+                await self._revive_locked(link)
+            if link.journal_reports >= self.checkpoint_reports:
+                try:
+                    await self._checkpoint_locked(link)
+                except _SHARD_FAILURES:
+                    await self._revive_locked(link)
+                    await self._checkpoint_locked(link)
+        self.stats.frames_forwarded += 1
+        self.stats.reports_forwarded += num_reports
+
+    # ----- client connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.stats.connections_total += 1
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    payload = await read_frame_payload(reader)
+                except FrameError as exc:
+                    await write_frame(writer, {"type": "error", "error": str(exc)})
+                    break
+                if payload is None:
+                    break
+                if not await self._dispatch(payload, writer):
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _reject(self, reason: str) -> None:
+        self.stats.frames_rejected += 1
+        self.stats.last_rejection = reason
+
+    def _pick_shard(self, route: Optional[int]) -> _ShardLink:
+        if route is not None:
+            return self.links[self.partition.shard_of(route)]
+        # No routing key: any assignment is exact (merge is an integer
+        # sum); round-robin keeps the shards balanced.
+        self.stats.frames_unrouted += 1
+        link = self.links[self._round_robin % self.num_shards]
+        self._round_robin += 1
+        return link
+
+    async def _dispatch(self, payload: bytes, writer: asyncio.StreamWriter) -> bool:
+        """Handle one client frame; returns ``False`` to close the connection."""
+        # Reports frames: peek the routing header and forward the payload
+        # bytes verbatim — fire-and-forget, like the single-server path.
+        if is_binary_payload(payload):
+            try:
+                header = peek_reports_header(payload)
+            except BinaryFormatError as exc:
+                self._reject(str(exc))
+                return True
+            if "binary" not in self.wire_formats:
+                self._reject(
+                    f"'binary' reports frames are disabled on this router "
+                    f"(accepted: {self.wire_formats})"
+                )
+                return True
+            if header["protocol"] != self.params.protocol:
+                self._reject(
+                    f"cannot route {header['protocol']!r} reports through a "
+                    f"{self.params.protocol!r} cluster"
+                )
+                return True
+            link = self._pick_shard(header["route"])
+            await self._forward(link, payload, int(header["num_reports"]))
+            return True
+        try:
+            message = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            await write_frame(
+                writer, {"type": "error", "error": f"invalid JSON in frame: {exc}"}
+            )
+            return False
+        if not isinstance(message, dict):
+            await write_frame(
+                writer,
+                {"type": "error", "error": "frame payload must be a JSON object"},
+            )
+            return False
+        if message.get("type") == "reports":
+            batch = message.get("batch")
+            num_reports = (
+                int(batch.get("num_reports", 0)) if isinstance(batch, dict) else 0
+            )
+            if "json" not in self.wire_formats:
+                self._reject(
+                    f"'json' reports frames are disabled on this router "
+                    f"(accepted: {self.wire_formats})"
+                )
+                return True
+            protocol = batch.get("protocol") if isinstance(batch, dict) else None
+            if protocol != self.params.protocol:
+                self._reject(
+                    f"cannot route {protocol!r} reports through a "
+                    f"{self.params.protocol!r} cluster"
+                )
+                return True
+            route = message.get("route")
+            link = self._pick_shard(int(route) if route is not None else None)
+            await self._forward(link, payload, num_reports)
+            return True
+        try:
+            return await self._dispatch_control(message, writer)
+        except Exception as exc:  # noqa: BLE001 - reported to the peer
+            await write_frame(writer, {"type": "error", "error": str(exc)})
+            return True
+
+    # ----- control frames -------------------------------------------------------------
+
+    async def _dispatch_control(
+        self,
+        message: Dict[str, object],
+        writer: asyncio.StreamWriter,
+    ) -> bool:
+        kind = message.get("type")
+        if kind == "hello":
+            await write_frame(
+                writer,
+                {
+                    "type": "params",
+                    "server": ROUTER_ID,
+                    "params": self.params.to_dict(),
+                    "window": self.window,
+                    "wire_formats": list(self.wire_formats),
+                    "cluster": {
+                        "num_shards": self.num_shards,
+                        "partition": self.partition.to_dict(),
+                    },
+                },
+            )
+            return True
+        if kind == "sync":
+            replies = await self._fan_out(
+                self._request(link, {"type": "sync"}, "synced")
+                for link in self.links
+            )
+            await write_frame(
+                writer,
+                {
+                    "type": "synced",
+                    "num_reports": sum(int(r["num_reports"]) for r in replies),
+                },
+            )
+            return True
+        if kind == "query":
+            items = [int(x) for x in message.get("items", [])]
+            window = message.get("window")
+            window = int(window) if window is not None else None
+            merged, epochs = await self._merged_aggregator(window, None)
+            if merged.num_reports == 0:
+                estimates = [0.0] * len(items)
+            else:
+                estimator = merged.finalize()
+                estimates = [float(a) for a in estimator.estimate_many(items)]
+            self.stats.queries_answered += 1
+            await write_frame(
+                writer,
+                {
+                    "type": "estimates",
+                    "items": items,
+                    "estimates": estimates,
+                    "num_reports": int(merged.num_reports),
+                    "epochs": epochs,
+                },
+            )
+            return True
+        if kind == "state":
+            # Cluster-level state pull: merge the shards' packed states and
+            # re-pack the merged exact-integer state — the same frame a
+            # shard answers, so clusters compose (a router can front
+            # routers) and protocols whose finalized estimator is not
+            # item-queryable (RAPPOR) still get exact cluster reads.
+            window = message.get("window")
+            window = int(window) if window is not None else None
+            min_epoch = message.get("min_epoch")
+            min_epoch = int(min_epoch) if min_epoch is not None else None
+            if window is not None and min_epoch is not None:
+                raise ValueError("window and min_epoch are mutually exclusive")
+            merged, epochs = await self._merged_aggregator(window, min_epoch)
+            blob = pack_state(child_state(merged))
+            self.stats.queries_answered += 1
+            await write_frame(
+                writer,
+                {
+                    "type": "state",
+                    "protocol": self.params.protocol,
+                    "epochs": epochs,
+                    "num_reports": int(merged.num_reports),
+                    "state": base64.b64encode(blob).decode("ascii"),
+                },
+            )
+            return True
+        if kind == "stats":
+            await write_frame(writer, await self._merged_stats())
+            return True
+        if kind == "snapshot":
+            paths = []
+            for link in self.links:
+                async with link.lock:
+                    try:
+                        paths.append(await self._checkpoint_locked(link))
+                    except _SHARD_FAILURES:
+                        await self._revive_locked(link)
+                        paths.append(await self._checkpoint_locked(link))
+            num_reports = sum(
+                int(r["num_reports"])
+                for r in await self._fan_out(
+                    self._request(link, {"type": "sync"}, "synced")
+                    for link in self.links
+                )
+            )
+            await write_frame(
+                writer,
+                {
+                    "type": "snapshot_written",
+                    "path": (
+                        str(self.supervisor.base_dir)
+                        if self.supervisor is not None
+                        else paths[0]
+                    ),
+                    "paths": paths,
+                    "num_reports": num_reports,
+                },
+            )
+            return True
+        if kind == "shutdown":
+            total = 0
+            for link in self.links:
+                try:
+                    reply = await self._request(
+                        link, {"type": "shutdown"}, "bye", revive=False
+                    )
+                    total += int(reply["num_reports"])
+                except (*_SHARD_FAILURES, ClusterError):
+                    pass  # already dead; the supervisor reaps it below
+            if self.supervisor is not None:
+                loop = asyncio.get_running_loop()
+                await loop.run_in_executor(None, self.supervisor.stop)
+            await write_frame(writer, {"type": "bye", "num_reports": total})
+            self._stopping.set()
+            return False
+        raise ValueError(f"unknown frame type {kind!r}")
+
+    # ----- merged queries -------------------------------------------------------------
+
+    async def _pull_states(
+        self, min_epoch: Optional[int]
+    ) -> List[Dict[str, object]]:
+        frame: Dict[str, object] = {"type": "state"}
+        if min_epoch is not None:
+            frame["min_epoch"] = int(min_epoch)
+        return await self._fan_out(
+            self._request(link, frame, "state") for link in self.links
+        )
+
+    async def _pull_windowed(self, window: int) -> List[Dict[str, object]]:
+        """Resolve a relative window to one absolute cutoff, then pull.
+
+        The cutoff and the pulled states must describe the same moment, or
+        a window-``w`` reply could merge epochs outside the window (a
+        single server computes both atomically).  So: drain every shard
+        first (the ``sync`` barrier — per-connection ordering already put
+        this client's prior frames ahead of it), resolve the global newest
+        epoch from post-drain stats, pull with the absolute cutoff, and —
+        if a concurrent sender landed a brand-new epoch in between, which
+        the pulled epochs expose — re-resolve against the newer state.
+        """
+        if window < 1:
+            raise ValueError("query window must be >= 1")
+        await self._fan_out(
+            self._request(link, {"type": "sync"}, "synced")
+            for link in self.links
+        )
+        pulls: List[Dict[str, object]] = []
+        for _ in range(3):
+            replies = await self._fan_out(
+                self._request(link, {"type": "stats"}, "stats")
+                for link in self.links
+            )
+            newest = [max(r["epochs"]) for r in replies if r["epochs"]]
+            cutoff = max(newest) - window if newest else None
+            pulls = await self._pull_states(cutoff)
+            top = max(
+                (int(e) for pull in pulls for e in pull["epochs"]),
+                default=None,
+            )
+            if top is None or (newest and top <= max(newest)):
+                return pulls
+        return pulls
+
+    async def _merged_aggregator(
+        self,
+        window: Optional[int],
+        min_epoch: Optional[int],
+    ):
+        """Pull every shard's packed state and merge exactly.
+
+        The shard-side ``state`` handler drains its ingestion queue first,
+        and each shard connection delivers frames in order, so the pulled
+        states reflect every frame this router forwarded before the query.
+        A relative ``window`` is resolved to one absolute ``min_epoch``
+        cutoff against the *global* newest epoch, keeping the selection
+        identical to a single server that held all shards' epochs.
+        """
+        if window is not None:
+            pulls = await self._pull_windowed(window)
+        else:
+            pulls = await self._pull_states(min_epoch)
+        shards = []
+        for pull in pulls:
+            aggregator = self.params.make_aggregator()
+            state = unpack_state(base64.b64decode(str(pull["state"])))
+            load_child_state(aggregator, state)
+            shards.append(aggregator)
+        merged = merge_aggregators(shards)
+        epochs = sorted({int(e) for pull in pulls for e in pull["epochs"]})
+        return merged, epochs
+
+    async def _merged_stats(self) -> Dict[str, object]:
+        """Sum the shard counters; attach per-shard and router detail."""
+        replies = await self._fan_out(
+            self._request(link, {"type": "stats"}, "stats") for link in self.links
+        )
+        summed = {
+            key: sum(int(r.get(key, 0)) for r in replies)
+            for key in (
+                "batches_received",
+                "reports_received",
+                "reports_absorbed",
+                "reports_rejected",
+                "queries_answered",
+                "snapshots_written",
+                "connections_total",
+                "state_size",
+                "queue_depth",
+            )
+        }
+        summed["drain_s"] = round(
+            sum(float(r.get("drain_s", 0.0)) for r in replies), 6
+        )
+        summed.update(
+            {
+                "type": "stats",
+                "server": ROUTER_ID,
+                "protocol": self.params.protocol,
+                "window": self.window,
+                "epochs": sorted(
+                    {int(e) for r in replies for e in r.get("epochs", [])}
+                ),
+                "router": self.stats.to_dict(),
+                "shards": [
+                    {
+                        "shard": link.index,
+                        "host": link.host,
+                        "port": link.port,
+                        "reports_absorbed": int(r.get("reports_absorbed", 0)),
+                        "journal_reports": link.journal_reports,
+                    }
+                    for link, r in zip(self.links, replies)
+                ],
+            }
+        )
+        return summed

@@ -1,0 +1,226 @@
+"""Shard process supervision for the sharded serving tier.
+
+A cluster (``docs/architecture.md``) is one router process in front of N
+*shard* servers, where every shard is a complete, unmodified
+:class:`~repro.server.service.AggregationServer` — same frame protocol, same
+snapshot store, same exact-integer aggregator state.  This module owns the
+process-management half of that picture:
+
+* :func:`spawn_server_process` starts one ``python -m repro.cli`` server
+  subprocess (``serve`` or ``serve-cluster``) and blocks until its
+  parse-friendly ``LISTENING host port`` readiness line appears — the same
+  contract ``repro.cli load-test`` and the benchmarks rely on.
+* :class:`ClusterSupervisor` spawns the N shards of one cluster, each with
+  its own snapshot directory under a shared base directory, polls them for
+  liveness, and — the crash-recovery half of the router's failure story —
+  **restarts a dead shard from its newest snapshot**.  The router then
+  replays its journal of unacknowledged frames, so the revived shard
+  converges to exactly the state it would have had without the crash (see
+  :mod:`repro.cluster.router`).
+
+The supervisor is deliberately synchronous (plain ``subprocess``): restarts
+are rare and take a server start-up, so the router calls it through
+``run_in_executor`` rather than complicating shard management with asyncio.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.server.snapshot import SnapshotStore
+
+__all__ = ["ClusterSupervisor", "ShardHandle", "spawn_server_process"]
+
+
+def spawn_server_process(
+    verb: str = "serve",
+    params_file: Optional[Union[str, Path]] = None,
+    extra_args: Sequence[str] = (),
+) -> Tuple[subprocess.Popen, str, int]:
+    """Start a ``repro.cli`` server subprocess; returns ``(proc, host, port)``.
+
+    The child gets ``PYTHONPATH`` pointing at this package's source tree, so
+    it works both installed and from a checkout.  The child binds port 0 and
+    announces the actual port on its ``LISTENING`` line, which this function
+    waits for — on any other first line the child is terminated and a
+    ``RuntimeError`` carries the line for diagnosis.
+    """
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    argv = [sys.executable, "-m", "repro.cli", verb]
+    if params_file is not None:
+        argv += ["--params-file", str(params_file)]
+    argv += ["--host", "127.0.0.1", "--port", "0", "--quiet", *extra_args]
+    proc = subprocess.Popen(argv, stdout=subprocess.PIPE, text=True, env=env)
+    line = proc.stdout.readline()
+    if not line.startswith("LISTENING "):
+        proc.terminate()
+        proc.wait(timeout=10)
+        proc.stdout.close()
+        raise RuntimeError(f"server failed to start (got {line!r})")
+    _, host, port = line.split()
+    return proc, host, int(port)
+
+
+@dataclass
+class ShardHandle:
+    """One supervised shard: its subprocess, endpoint, and snapshot home."""
+
+    index: int
+    snapshot_dir: Path
+    proc: subprocess.Popen
+    host: str
+    port: int
+    restarts: int = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+
+class ClusterSupervisor:
+    """Spawn, monitor, and snapshot-restart the N shard servers of a cluster.
+
+    Parameters
+    ----------
+    params:
+        Public parameters every shard serves (written once to
+        ``base_dir/params.json``; restarts without a usable snapshot reuse
+        it, so a shard always comes back with the exact same parameters).
+    num_shards:
+        Number of shard servers.
+    base_dir:
+        Home of the cluster on disk: the shared params file plus one
+        ``shard-K`` snapshot directory per shard.
+    window / wire_format / snapshot_format:
+        Passed through to every shard's ``serve`` invocation.
+    """
+
+    def __init__(
+        self,
+        params,
+        num_shards: int,
+        base_dir: Union[str, Path],
+        *,
+        window: Optional[int] = None,
+        wire_format: str = "both",
+        snapshot_format: str = "json",
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.params = params
+        self.num_shards = int(num_shards)
+        self.base_dir = Path(base_dir)
+        self.window = window
+        self.wire_format = wire_format
+        self.snapshot_format = snapshot_format
+        self.shards: List[ShardHandle] = []
+        self.base_dir.mkdir(parents=True, exist_ok=True)
+        self.params_file = self.base_dir / "params.json"
+        self.params_file.write_text(json.dumps(params.to_dict()))
+
+    def _serve_args(self, shard_dir: Path) -> List[str]:
+        args = [
+            "--snapshot-dir",
+            str(shard_dir),
+            "--snapshot-format",
+            self.snapshot_format,
+            "--wire-format",
+            self.wire_format,
+        ]
+        if self.window is not None:
+            args += ["--window", str(self.window)]
+        return args
+
+    # ----- lifecycle ------------------------------------------------------------------
+
+    def start(self) -> List[Tuple[str, int]]:
+        """Spawn every shard; returns their ``(host, port)`` endpoints."""
+        if self.shards:
+            raise RuntimeError("supervisor already started")
+        for index in range(self.num_shards):
+            shard_dir = self.base_dir / f"shard-{index}"
+            proc, host, port = spawn_server_process(
+                "serve", self.params_file, self._serve_args(shard_dir)
+            )
+            self.shards.append(
+                ShardHandle(
+                    index=index,
+                    snapshot_dir=shard_dir,
+                    proc=proc,
+                    host=host,
+                    port=port,
+                )
+            )
+        return self.endpoints()
+
+    def endpoints(self) -> List[Tuple[str, int]]:
+        """Current ``(host, port)`` of every shard, in shard order."""
+        return [(shard.host, shard.port) for shard in self.shards]
+
+    def poll(self) -> List[int]:
+        """Indices of shards whose process has exited."""
+        return [shard.index for shard in self.shards if not shard.alive]
+
+    def restart(self, index: int) -> Tuple[str, int]:
+        """Restart one shard from its newest snapshot (fresh if none exists).
+
+        The dead (or wedged) process is reaped first; the replacement
+        restores the newest snapshot in the shard's own directory, so its
+        state is exactly the last acknowledged snapshot barrier — the
+        router's journal replay covers everything since.
+        """
+        shard = self.shards[index]
+        self._reap(shard)
+        store = SnapshotStore(shard.snapshot_dir, format=self.snapshot_format)
+        latest = store.latest()
+        if latest is not None:
+            extra = ["--restore", str(latest), *self._serve_args(shard.snapshot_dir)]
+            proc, host, port = spawn_server_process("serve", None, extra)
+        else:
+            proc, host, port = spawn_server_process(
+                "serve", self.params_file, self._serve_args(shard.snapshot_dir)
+            )
+        shard.proc, shard.host, shard.port = proc, host, port
+        shard.restarts += 1
+        return host, port
+
+    def kill(self, index: int, sig: int = signal.SIGKILL) -> None:
+        """Send ``sig`` to one shard (the chaos hook used by the tests)."""
+        shard = self.shards[index]
+        if shard.alive:
+            shard.proc.send_signal(sig)
+            shard.proc.wait(timeout=10)
+
+    def stop(self) -> None:
+        """Terminate and reap every shard."""
+        for shard in self.shards:
+            self._reap(shard)
+
+    @staticmethod
+    def _reap(shard: ShardHandle) -> None:
+        if shard.alive:
+            shard.proc.terminate()
+            try:
+                shard.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck child
+                shard.proc.kill()
+                shard.proc.wait(timeout=10)
+        if shard.proc.stdout is not None:
+            shard.proc.stdout.close()
+
+    def __enter__(self) -> "ClusterSupervisor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

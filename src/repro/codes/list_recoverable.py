@@ -31,7 +31,7 @@ from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
 from repro.codes.reed_solomon import DecodingFailure, ReedSolomonCode
 from repro.graphs.expanders import ExpanderGraph, random_regular_expander
 from repro.graphs.spectral_cluster import SpectralClusterer
-from repro.hashing.kwise import KWiseHash, KWiseHashFamily
+from repro.hashing.kwise import KWiseHashFamily
 from repro.utils.rng import RandomState, as_generator
 from repro.utils.validation import check_positive_int, check_probability
 

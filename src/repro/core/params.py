@@ -21,7 +21,6 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
-from repro.utils.bits import next_power_of_two
 from repro.utils.validation import (
     check_epsilon,
     check_positive_int,

@@ -33,6 +33,7 @@ from repro.engine.engine import (
 )
 from repro.engine.partition import (
     Chunk,
+    ShardPartition,
     default_chunk_size,
     derive_chunk_seeds,
     make_plan,
@@ -43,6 +44,7 @@ from repro.engine.bench import run_engine_bench
 __all__ = [
     "Chunk",
     "EngineResult",
+    "ShardPartition",
     "default_chunk_size",
     "derive_chunk_seeds",
     "encode_concat",

@@ -28,15 +28,23 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.hashing.kwise import KWiseHash
 from repro.utils.rng import RandomState, as_generator
 
 __all__ = [
     "Chunk",
+    "ShardPartition",
+    "ROUTE_PRIME",
     "default_chunk_size",
     "derive_chunk_seeds",
     "plan_chunks",
     "make_plan",
 ]
+
+#: field modulus of the shard-routing hash (the Mersenne prime 2^61 - 1);
+#: route keys are reduced modulo this before hashing, so any 63-bit key —
+#: a chunk's first user index, a device id — is a valid routing input
+ROUTE_PRIME = (1 << 61) - 1
 
 #: soft budget (in payload units, see ``default_chunk_size``) per encoded chunk
 _TARGET_CHUNK_PAYLOAD = 4_000_000
@@ -64,9 +72,76 @@ class Chunk:
     def size(self) -> int:
         return self.stop - self.start
 
+    @property
+    def route_key(self) -> int:
+        """The chunk's canonical shard-routing key: its first user index.
+
+        Stamped onto ``reports`` frames (the shard-routing header of
+        ``docs/wire-protocol.md``) so a cluster router partitions the
+        canonical chunk stream with :class:`ShardPartition` exactly as the
+        engine partitions users into chunks — a pure function of the public
+        plan, never of connection order.
+        """
+        return self.start
+
     def generator(self) -> np.random.Generator:
         """The chunk's client-side generator (same in every process)."""
         return np.random.default_rng(self.seed)
+
+
+@dataclass(frozen=True)
+class ShardPartition:
+    """A published pairwise-independent partition of route keys into shards.
+
+    This is the same partition device the protocols already rely on — a
+    pairwise-independent polynomial hash over a prime field
+    (:mod:`repro.hashing.kwise`), published as plain coefficients — applied
+    to *shard routing*: ``shard_of(key)`` maps any 63-bit route key (a
+    chunk's :attr:`Chunk.route_key`, a device id) to one of ``num_shards``
+    shards.  Because the hash is stateless and serializable, every router
+    replica (and a router restarted after a crash) routes the same key to
+    the same shard; and because aggregator merges are exact, *any* routing
+    still finalizes bit-identically — stability is an operational nicety
+    (shard-local snapshots keep covering the same key range), not a
+    correctness requirement.
+    """
+
+    hash: KWiseHash
+
+    @property
+    def num_shards(self) -> int:
+        return int(self.hash.range_size)
+
+    @classmethod
+    def sample(cls, num_shards: int, rng: RandomState = None) -> "ShardPartition":
+        """Draw a fresh partition over ``[0, num_shards)`` from ``rng``."""
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        gen = as_generator(rng)
+        coefficients = (int(gen.integers(0, ROUTE_PRIME)),
+                        int(gen.integers(1, ROUTE_PRIME)))
+        return cls(KWiseHash(coefficients=coefficients, prime=ROUTE_PRIME,
+                             range_size=int(num_shards)))
+
+    def shard_of(self, key: int) -> int:
+        """Shard index of one route key (deterministic, order-free)."""
+        return int(self.hash(int(key) % ROUTE_PRIME))
+
+    # ----- serialization (published alongside the cluster parameters) ---------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe description (hash coefficients travel as plain ints)."""
+        return {"coefficients": [int(c) for c in self.hash.coefficients],
+                "prime": int(self.hash.prime),
+                "num_shards": self.num_shards}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardPartition":
+        """Rebuild a partition from :meth:`to_dict` output."""
+        return cls(KWiseHash(
+            coefficients=tuple(int(c) for c in data["coefficients"]),
+            prime=int(data["prime"]),
+            range_size=int(data["num_shards"])))
 
 
 def default_chunk_size(params) -> int:

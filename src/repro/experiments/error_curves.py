@@ -20,7 +20,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-import numpy as np
 
 from repro.analysis.bounds import (
     heavy_hitter_error_bassily_et_al,

@@ -19,7 +19,7 @@ simulated in-process; the comparison of interest is the *relative* profile
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

@@ -73,12 +73,14 @@ __all__ = [
     "BINARY_MAGIC",
     "BINARY_VERSION",
     "BinaryFormatError",
+    "FLAG_ROUTED",
     "KIND_REPORTS",
     "KIND_STATE",
     "decode_reports_payload",
     "encode_reports_payload",
     "is_binary_payload",
     "pack_state",
+    "peek_reports_header",
     "unpack_state",
 ]
 
@@ -90,11 +92,16 @@ BINARY_VERSION = 1
 KIND_REPORTS = 1
 #: payload kind: a packed state container (snapshots, engine results)
 KIND_STATE = 2
+#: header flag (kind=1 only): a shard-routing key (i64) follows the fixed
+#: reports header — see ``docs/wire-protocol.md`` §8.1
+FLAG_ROUTED = 0x01
 
 _HEADER = struct.Struct("<BBBB")
 _REPORTS_FIXED = struct.Struct("<qQHH")
+_ROUTE_FIELD = struct.Struct("<q")
 _STATE_FIXED = struct.Struct("<II")
 _ALIGNMENT = 8
+_KNOWN_FLAGS = {KIND_REPORTS: FLAG_ROUTED, KIND_STATE: 0}
 
 #: value-preserving narrowing ladder, smallest first; unsigned wins ties
 _NARROW_CANDIDATES = tuple(np.dtype(code) for code in
@@ -264,36 +271,48 @@ def _read_column(reader: _Reader, named: bool) -> Tuple[str, np.ndarray]:
 # --------------------------------------------------------------------------------------
 
 def encode_reports_payload(batch: ReportBatch, epoch: int = 0,
-                           max_bytes: Optional[int] = None) -> bytes:
+                           max_bytes: Optional[int] = None,
+                           route: Optional[int] = None) -> bytes:
     """Serialize one batch (plus its epoch tag) to a binary frame payload.
 
     ``max_bytes`` is enforced against the *announced* size before any
     column bytes are written, so an oversized batch costs a header
-    computation, not a full serialization pass.
+    computation, not a full serialization pass.  A non-``None`` ``route``
+    sets :data:`FLAG_ROUTED` and appends the shard-routing key (i64) to the
+    fixed header — a cluster router reads it with
+    :func:`peek_reports_header` and forwards the payload verbatim, without
+    decoding a single column.
     """
     specs = [_ColumnSpec(name, col) for name, col in batch.columns.items()]
     proto = batch.protocol.encode("utf-8")
     if len(proto) > 0xFFFF or len(specs) > 0xFFFF:
         raise BinaryFormatError("protocol tag or column count exceeds the "
                                 "binary frame limits")
-    table_start = _HEADER.size + _REPORTS_FIXED.size + len(proto)
+    flags = 0 if route is None else FLAG_ROUTED
+    route_size = 0 if route is None else _ROUTE_FIELD.size
+    table_start = _HEADER.size + _REPORTS_FIXED.size + route_size + len(proto)
     total = _layout(specs, table_start, named=True)
     if max_bytes is not None and total > max_bytes:
         raise BinaryFormatError(
             f"announced binary frame payload of {total} bytes exceeds the "
             f"{max_bytes}-byte limit")
     out = bytearray(total)
-    _HEADER.pack_into(out, 0, BINARY_MAGIC, BINARY_VERSION, KIND_REPORTS, 0)
+    _HEADER.pack_into(out, 0, BINARY_MAGIC, BINARY_VERSION, KIND_REPORTS,
+                      flags)
     _REPORTS_FIXED.pack_into(out, _HEADER.size, int(epoch), len(batch),
                              len(proto), len(specs))
     pos = _HEADER.size + _REPORTS_FIXED.size
+    if route is not None:
+        _ROUTE_FIELD.pack_into(out, pos, int(route))
+        pos += _ROUTE_FIELD.size
     out[pos:pos + len(proto)] = proto
     _write_columns(out, table_start, specs, named=True)
     return bytes(out)
 
 
-def _check_header(reader: _Reader, expected_kind: int) -> None:
-    magic, version, kind, _flags = reader.unpack(_HEADER)
+def _check_header(reader: _Reader, expected_kind: int) -> int:
+    """Validate magic/version/kind; returns the (validated) flags byte."""
+    magic, version, kind, flags = reader.unpack(_HEADER)
     if magic != BINARY_MAGIC:
         raise BinaryFormatError(f"not a binary payload (magic 0x{magic:02x})")
     if version != BINARY_VERSION:
@@ -302,6 +321,41 @@ def _check_header(reader: _Reader, expected_kind: int) -> None:
     if kind != expected_kind:
         raise BinaryFormatError(f"unexpected binary payload kind {kind} "
                                 f"(expected {expected_kind})")
+    if flags & ~_KNOWN_FLAGS[expected_kind]:
+        raise BinaryFormatError(f"unknown header flags 0x{flags:02x} for "
+                                f"payload kind {kind}")
+    return flags
+
+
+def _read_reports_fixed(reader: _Reader) -> Tuple[int, Optional[int], int,
+                                                  int, int]:
+    """Header + fixed fields of a reports payload: ``(epoch, route,
+    num_reports, proto_len, num_columns)``."""
+    flags = _check_header(reader, KIND_REPORTS)
+    epoch, num_reports, proto_len, num_columns = reader.unpack(_REPORTS_FIXED)
+    route: Optional[int] = None
+    if flags & FLAG_ROUTED:
+        (route,) = reader.unpack(_ROUTE_FIELD)
+        route = int(route)
+    return int(epoch), route, int(num_reports), proto_len, num_columns
+
+
+def peek_reports_header(payload: bytes) -> Dict[str, object]:
+    """Read only the fixed header of a binary reports payload.
+
+    Returns ``{"epoch", "route", "num_reports", "protocol"}`` without
+    touching the column table or the data region — this is the routing fast
+    path: a cluster router peeks a few dozen bytes, picks a shard, and
+    forwards the payload bytes untouched.
+    """
+    try:
+        reader = _Reader(payload)
+        epoch, route, num_reports, proto_len, _ = _read_reports_fixed(reader)
+        protocol = reader.take(proto_len, "protocol tag").decode("utf-8")
+    except (struct.error, UnicodeDecodeError) as exc:
+        raise BinaryFormatError(f"malformed binary payload: {exc}") from exc
+    return {"epoch": epoch, "route": route, "num_reports": num_reports,
+            "protocol": protocol}
 
 
 def decode_reports_payload(payload: bytes) -> Tuple[int, ReportBatch]:
@@ -310,13 +364,15 @@ def decode_reports_payload(payload: bytes) -> Tuple[int, ReportBatch]:
     Every decoded column is a read-only zero-copy ``np.frombuffer`` view
     over ``payload``; the caller must keep the buffer alive for as long as
     the batch (aggregators copy into their own state on absorb, so the
-    normal ingest path never extends the buffer's lifetime).
+    normal ingest path never extends the buffer's lifetime).  A routed
+    payload (:data:`FLAG_ROUTED`) decodes identically — the routing key is
+    addressed to routers, not aggregators; read it with
+    :func:`peek_reports_header`.
     """
     try:
         reader = _Reader(payload)
-        _check_header(reader, KIND_REPORTS)
-        epoch, num_reports, proto_len, num_columns = reader.unpack(
-            _REPORTS_FIXED)
+        epoch, _route, num_reports, proto_len, num_columns = \
+            _read_reports_fixed(reader)
         protocol = reader.take(proto_len, "protocol tag").decode("utf-8")
         columns: Dict[str, np.ndarray] = {}
         for _ in range(num_columns):

@@ -30,7 +30,7 @@ repetition locally and ship it alongside the report.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

@@ -50,7 +50,9 @@ from repro.server.framing import (
     decode_frame,
     encode_frame,
     encode_reports_frame,
+    frame_bytes,
     read_frame,
+    read_frame_payload,
     read_frame_sync,
     write_frame,
     write_frame_sync,
@@ -72,7 +74,9 @@ __all__ = [
     "decode_frame",
     "encode_frame",
     "encode_reports_frame",
+    "frame_bytes",
     "read_frame",
+    "read_frame_payload",
     "read_frame_sync",
     "read_snapshot",
     "write_frame",

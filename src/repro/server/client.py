@@ -29,11 +29,13 @@ client raises if its own format is not among them.
 from __future__ import annotations
 
 import asyncio
+import base64
 import socket
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.protocol.binary import unpack_state
 from repro.protocol.wire import PublicParams, ReportBatch
 from repro.server.framing import (
     WIRE_FORMATS,
@@ -127,15 +129,19 @@ class AggregationClient:
 
     def send_batch(self, batch: ReportBatch, epoch: int = 0,
                    encoding: str = "b64",
-                   wire_format: Optional[str] = None) -> None:
+                   wire_format: Optional[str] = None,
+                   route: Optional[int] = None) -> None:
         """Ship one report batch (fire-and-forget; no reply frame).
 
         ``wire_format`` defaults to the connection's; ``encoding`` selects
-        the JSON column encoding and is ignored for binary frames.
+        the JSON column encoding and is ignored for binary frames.  A
+        non-``None`` ``route`` stamps the shard-routing header (used when
+        the peer is a :class:`~repro.cluster.ClusterRouter`; a plain server
+        ignores it).
         """
         wire_format = _check_wire_format(wire_format or self.wire_format)
         self._stream.write(encode_reports_frame(batch, epoch, wire_format,
-                                                encoding))
+                                                encoding, route=route))
         self._stream.flush()
 
     def send_raw(self, frames: bytes) -> None:
@@ -163,6 +169,25 @@ class AggregationClient:
             frame["window"] = int(window)
         reply = self._request(frame, "estimates")
         return np.asarray(reply["estimates"], dtype=float)
+
+    def pull_state(self, window: Optional[int] = None,
+                   min_epoch: Optional[int] = None) -> Dict[str, object]:
+        """Pull the merged exact-integer aggregator state (drains first).
+
+        Returns the reply dictionary with ``"state"`` already unpacked to a
+        ``child_state`` payload — load it with
+        ``load_child_state(params.make_aggregator(), reply["state"])``.
+        This is the cluster router's query primitive: pull every shard's
+        state, merge, finalize once.
+        """
+        frame: Dict[str, object] = {"type": "state"}
+        if window is not None:
+            frame["window"] = int(window)
+        if min_epoch is not None:
+            frame["min_epoch"] = int(min_epoch)
+        reply = self._request(frame, "state")
+        reply["state"] = unpack_state(base64.b64decode(str(reply["state"])))
+        return reply
 
     def snapshot(self) -> str:
         """Ask the server to write a durable snapshot; returns its path."""
@@ -221,10 +246,11 @@ class AsyncAggregationClient:
 
     async def send_batch(self, batch: ReportBatch, epoch: int = 0,
                          encoding: str = "b64",
-                         wire_format: Optional[str] = None) -> None:
+                         wire_format: Optional[str] = None,
+                         route: Optional[int] = None) -> None:
         wire_format = _check_wire_format(wire_format or self.wire_format)
         self._writer.write(encode_reports_frame(batch, epoch, wire_format,
-                                                encoding))
+                                                encoding, route=route))
         await self._writer.drain()
 
     async def send_stream(self, batches, epoch: int = 0,
@@ -249,6 +275,17 @@ class AsyncAggregationClient:
             frame["window"] = int(window)
         reply = await self._request(frame, "estimates")
         return np.asarray(reply["estimates"], dtype=float)
+
+    async def pull_state(self, window: Optional[int] = None,
+                         min_epoch: Optional[int] = None) -> Dict[str, object]:
+        frame: Dict[str, object] = {"type": "state"}
+        if window is not None:
+            frame["window"] = int(window)
+        if min_epoch is not None:
+            frame["min_epoch"] = int(min_epoch)
+        reply = await self._request(frame, "state")
+        reply["state"] = unpack_state(base64.b64decode(str(reply["state"])))
+        return reply
 
     async def snapshot(self) -> str:
         reply = await self._request({"type": "snapshot"}, "snapshot_written")

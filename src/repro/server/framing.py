@@ -57,7 +57,9 @@ __all__ = [
     "encode_frame",
     "encode_reports_frame",
     "decode_frame",
+    "frame_bytes",
     "read_frame",
+    "read_frame_payload",
     "write_frame",
     "read_frame_sync",
     "write_frame_sync",
@@ -91,25 +93,48 @@ def encode_frame(message: Dict[str, object]) -> bytes:
 
 def encode_reports_frame(batch: ReportBatch, epoch: int = 0,
                          wire_format: str = "json",
-                         encoding: str = "b64") -> bytes:
+                         encoding: str = "b64",
+                         route: Optional[int] = None) -> bytes:
     """Serialize one ``reports`` frame in the chosen wire format.
 
     ``wire_format="json"`` produces the legacy JSON frame with the given
     column ``encoding`` (``"b64"`` or ``"json"``); ``"binary"`` produces a
     binary frame whose announced size is validated against
     :data:`MAX_FRAME_BYTES` *before* any column is serialized.
+
+    A non-``None`` ``route`` stamps the shard-routing header onto the frame
+    (JSON: a top-level ``"route"`` key; binary: the ``FLAG_ROUTED`` header
+    field) — a cluster router partitions on it without decoding columns,
+    and a plain :class:`~repro.server.service.AggregationServer` ignores it.
     """
     if wire_format == "json":
-        return encode_frame({"type": "reports", "epoch": int(epoch),
-                             "batch": batch.to_dict(encoding)})
+        message = {"type": "reports", "epoch": int(epoch),
+                   "batch": batch.to_dict(encoding)}
+        if route is not None:
+            message["route"] = int(route)
+        return encode_frame(message)
     if wire_format != "binary":
         raise ValueError(f"wire_format must be one of {WIRE_FORMATS}, "
                          f"got {wire_format!r}")
     try:
         payload = encode_reports_payload(batch, epoch,
-                                         max_bytes=MAX_FRAME_BYTES)
+                                         max_bytes=MAX_FRAME_BYTES,
+                                         route=route)
     except BinaryFormatError as exc:
         raise FrameError(str(exc)) from exc
+    return _HEADER.pack(len(payload)) + payload
+
+
+def frame_bytes(payload: bytes) -> bytes:
+    """Wrap an already-encoded frame payload in its length prefix.
+
+    The cluster router's forwarding primitive: a received ``reports``
+    payload is re-framed and shipped to its shard byte-for-byte, without a
+    decode/re-encode round trip.
+    """
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame payload of {len(payload)} bytes exceeds the "
+                         f"{MAX_FRAME_BYTES}-byte limit")
     return _HEADER.pack(len(payload)) + payload
 
 
@@ -145,9 +170,13 @@ def _check_length(length: int) -> int:
     return length
 
 
-async def read_frame(reader: asyncio.StreamReader
-                     ) -> Optional[Dict[str, object]]:
-    """Read one frame; ``None`` on clean EOF (peer closed between frames)."""
+async def read_frame_payload(reader: asyncio.StreamReader) -> Optional[bytes]:
+    """Read one frame's raw payload bytes; ``None`` on clean EOF.
+
+    The router-side primitive: the payload is returned *undecoded* so it
+    can be forwarded verbatim (:func:`frame_bytes`) after peeking only the
+    routing header.
+    """
     try:
         header = await reader.readexactly(_HEADER.size)
     except asyncio.IncompleteReadError as exc:
@@ -156,9 +185,17 @@ async def read_frame(reader: asyncio.StreamReader
         raise FrameError("connection closed mid-header") from exc
     (length,) = _HEADER.unpack(header)
     try:
-        payload = await reader.readexactly(_check_length(length))
+        return await reader.readexactly(_check_length(length))
     except asyncio.IncompleteReadError as exc:
         raise FrameError("connection closed mid-frame") from exc
+
+
+async def read_frame(reader: asyncio.StreamReader
+                     ) -> Optional[Dict[str, object]]:
+    """Read one frame; ``None`` on clean EOF (peer closed between frames)."""
+    payload = await read_frame_payload(reader)
+    if payload is None:
+        return None
     return decode_frame(payload)
 
 

@@ -36,11 +36,13 @@ observe a half-absorbed batch.
 from __future__ import annotations
 
 import asyncio
+import base64
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.protocol.wire import PublicParams, ReportBatch
+from repro.protocol.binary import pack_state
+from repro.protocol.wire import PublicParams, ReportBatch, child_state
 from repro.server.framing import (
     WIRE_FORMATS,
     FrameError,
@@ -274,6 +276,26 @@ class AggregationServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
+    async def _answer_query(self, writer: asyncio.StreamWriter,
+                            items: List[int], epochs: List[int],
+                            merged) -> bool:
+        """Finalize a merged window and reply with an ``estimates`` frame."""
+        if merged.num_reports == 0:
+            # No data (fresh server or empty window): every count
+            # estimate is exactly zero; finalizing would raise.
+            estimates = [0.0] * len(items)
+        else:
+            estimator = merged.finalize()
+            estimates = [float(a) for a in estimator.estimate_many(items)]
+        self.stats.queries_answered += 1
+        await write_frame(writer, {
+            "type": "estimates",
+            "items": items,
+            "estimates": estimates,
+            "num_reports": merged.num_reports,
+            "epochs": epochs})
+        return True
+
     async def _dispatch(self, frame: Dict[str, object],
                         writer: asyncio.StreamWriter) -> bool:
         """Handle one frame; returns ``False`` to close the connection."""
@@ -331,21 +353,28 @@ class AggregationServer:
                 window = int(window) if window is not None else None
                 epochs = self.windowed.select_epochs(window)
                 merged = self.windowed.merged(window)
-                if merged.num_reports == 0:
-                    # No data (fresh server or empty window): every count
-                    # estimate is exactly zero; finalizing would raise.
-                    estimates = [0.0] * len(items)
-                else:
-                    estimator = merged.finalize()
-                    estimates = [float(a)
-                                 for a in estimator.estimate_many(items)]
+                return await self._answer_query(writer, items, epochs, merged)
+            if kind == "state":
+                # State pull (the cluster router's query path): drain, merge
+                # the selected epochs, and ship the exact integer state as
+                # one packed binary blob.  The puller merges blobs from K
+                # shards and finalizes — bit-identical to one server that
+                # ingested everything, because merge is an integer sum.
+                await self._queue.join()
+                window = frame.get("window")
+                window = int(window) if window is not None else None
+                min_epoch = frame.get("min_epoch")
+                min_epoch = int(min_epoch) if min_epoch is not None else None
+                epochs = self.windowed.select_epochs(window, min_epoch)
+                merged = self.windowed.merged(window, min_epoch)
+                blob = pack_state(child_state(merged))
                 self.stats.queries_answered += 1
                 await write_frame(writer, {
-                    "type": "estimates",
-                    "items": items,
-                    "estimates": estimates,
+                    "type": "state",
+                    "protocol": self.params.protocol,
+                    "epochs": epochs,
                     "num_reports": merged.num_reports,
-                    "epochs": epochs})
+                    "state": base64.b64encode(blob).decode("ascii")})
                 return True
             if kind == "snapshot":
                 if self.store is None:

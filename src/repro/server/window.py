@@ -138,23 +138,35 @@ class WindowedAggregator:
         if self._epochs:
             self._prune()
 
-    def select_epochs(self, window: Optional[int] = None) -> List[int]:
+    def select_epochs(self, window: Optional[int] = None,
+                      min_epoch: Optional[int] = None) -> List[int]:
         """The epoch tags a query over the last ``window`` epochs covers.
 
         Windows are *value*-based, matching retention: the selected epochs
         are those ``> newest - window``.  With dense epoch tags that is the
         newest ``window`` tags; with sparse tags it correctly excludes
         epochs older than the window even when few tags exist.
+
+        ``min_epoch`` is the *absolute* form of the same cutoff: it selects
+        the epochs ``> min_epoch`` regardless of what this aggregator's
+        newest epoch is.  A cluster router uses it to make windowed queries
+        exact across shards — ``window`` is relative to each shard's own
+        newest epoch, so the router computes the global newest once and
+        passes every shard the same absolute cutoff.  The two selectors are
+        mutually exclusive.
         """
+        if window is not None and min_epoch is not None:
+            raise ValueError("window and min_epoch are mutually exclusive")
         if window is not None and window < 1:
             raise ValueError("query window must be >= 1")
         epochs = sorted(self._epochs)
-        if window is None or not epochs:
+        if not epochs or (window is None and min_epoch is None):
             return epochs
-        cutoff = epochs[-1] - window
+        cutoff = epochs[-1] - window if min_epoch is None else int(min_epoch)
         return [epoch for epoch in epochs if epoch > cutoff]
 
-    def merged(self, window: Optional[int] = None) -> ServerAggregator:
+    def merged(self, window: Optional[int] = None,
+               min_epoch: Optional[int] = None) -> ServerAggregator:
         """Bit-exact merge of the last ``window`` epochs (default: all retained).
 
         Returns a *new* aggregator when more than one epoch participates (the
@@ -162,14 +174,15 @@ class WindowedAggregator:
         returned directly, so callers must treat the result as read-only.
         An empty window merges to a fresh, empty aggregator.
         """
-        selected = self.select_epochs(window)
+        selected = self.select_epochs(window, min_epoch)
         if not selected:
             return self.params.make_aggregator()
         return merge_aggregators([self._epochs[e] for e in selected])
 
-    def finalize(self, window: Optional[int] = None):
+    def finalize(self, window: Optional[int] = None,
+                 min_epoch: Optional[int] = None):
         """Finalize the merged last-``window``-epochs aggregate into an estimator."""
-        return self.merged(window).finalize()
+        return self.merged(window, min_epoch).finalize()
 
     # ----- durable snapshots --------------------------------------------------------
 

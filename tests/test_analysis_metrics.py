@@ -1,6 +1,5 @@
 """Tests for heavy-hitter scoring metrics (Definition 3.1 semantics)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.metrics import (

@@ -6,9 +6,6 @@ predicts (who is smaller than whom).  The benchmark harness runs the same
 drivers at full scale.
 """
 
-import numpy as np
-import pytest
-
 from repro.experiments import (
     ComposedRRConfig,
     ErrorCurveConfig,

@@ -4,7 +4,6 @@ import networkx as nx
 import pytest
 
 from repro.graphs.expanders import (
-    ExpanderGraph,
     expander_mixing_lower_bound,
     neighbor_map,
     random_regular_expander,

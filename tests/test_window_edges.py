@@ -1,0 +1,136 @@
+"""Edge cases of :mod:`repro.server.window` retention and restore.
+
+Satellite coverage for the boundary behavior the service relies on:
+eviction *exactly at* the retention boundary, queries over windows whose
+epochs have been fully or partially evicted, and a snapshot taken on one
+side of an epoch roll restoring bit-identically on the other side.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.protocol import ExplicitHistogramParams
+from repro.server.window import WindowedAggregator
+
+PARAMS = ExplicitHistogramParams(64, 1.0, "hadamard")
+QUERIES = list(range(32))
+
+
+def _batch(seed, n=200):
+    gen = np.random.default_rng(seed)
+    values = gen.integers(0, PARAMS.domain_size, size=n)
+    return PARAMS.make_encoder().encode_batch(values, gen)
+
+
+class TestRetentionBoundary:
+    def test_eviction_exactly_at_boundary(self):
+        windowed = WindowedAggregator(PARAMS, window=3)
+        for epoch in (0, 1, 2):
+            windowed.absorb_batch(_batch(epoch), epoch=epoch)
+        assert windowed.epochs == [0, 1, 2]
+        # epoch 3 arrives: the cutoff is max - window = 0, and the epoch
+        # *exactly at* the cutoff is evicted (retention keeps epochs
+        # strictly newer than newest - window)
+        windowed.absorb_batch(_batch(3), epoch=3)
+        assert windowed.epochs == [1, 2, 3]
+
+    def test_absorb_exactly_at_cutoff_rejected(self):
+        windowed = WindowedAggregator(PARAMS, window=3)
+        windowed.absorb_batch(_batch(0), epoch=3)
+        # newest=3, window=3: epoch 0 sits exactly at the cutoff and is
+        # already outside retention; epoch 1 is the oldest acceptable tag
+        with pytest.raises(ValueError, match="outside the retention window"):
+            windowed.absorb_batch(_batch(1), epoch=0)
+        windowed.absorb_batch(_batch(2), epoch=1)
+        assert windowed.epochs == [1, 3]
+
+    def test_rejected_stale_epoch_leaves_state_untouched(self):
+        windowed = WindowedAggregator(PARAMS, window=2)
+        windowed.absorb_batch(_batch(0), epoch=5)
+        before = windowed.finalize().estimate_many(QUERIES)
+        with pytest.raises(ValueError, match="outside the retention window"):
+            windowed.absorb_batch(_batch(1), epoch=3)
+        assert windowed.num_reports == 200
+        assert np.array_equal(windowed.finalize().estimate_many(QUERIES),
+                              before)
+
+
+class TestEvictedWindowQueries:
+    def test_query_over_fully_evicted_window_is_empty(self):
+        windowed = WindowedAggregator(PARAMS, window=2)
+        windowed.absorb_batch(_batch(0), epoch=0)
+        windowed.absorb_batch(_batch(1), epoch=10)  # evicts epoch 0
+        assert windowed.epochs == [10]
+        # everything at or before the newest epoch's cutoff is gone; an
+        # absolute cutoff past the newest epoch selects nothing
+        assert windowed.select_epochs(min_epoch=10) == []
+        merged = windowed.merged(min_epoch=10)
+        assert merged.num_reports == 0
+        assert merged.state_size >= 0  # a fresh, empty aggregator
+
+    def test_partially_evicted_window_equals_fresh_server(self):
+        # A windowed server that evicted old epochs answers exactly like a
+        # fresh server fed only the retained epochs' reports (the module
+        # docstring's guarantee), even when the query window reaches past
+        # the evicted history.
+        batches = {epoch: _batch(epoch) for epoch in (0, 1, 5, 6)}
+        windowed = WindowedAggregator(PARAMS, window=2)
+        for epoch, batch in sorted(batches.items()):
+            windowed.absorb_batch(batch, epoch=epoch)
+        assert windowed.epochs == [5, 6]
+        fresh = WindowedAggregator(PARAMS)
+        for epoch in (5, 6):
+            fresh.absorb_batch(batches[epoch], epoch=epoch)
+        served = windowed.finalize(window=10).estimate_many(QUERIES)
+        assert np.array_equal(served,
+                              fresh.finalize(window=10).estimate_many(QUERIES))
+
+    def test_sparse_tags_exclude_old_epochs_from_value_window(self):
+        windowed = WindowedAggregator(PARAMS)
+        windowed.absorb_batch(_batch(0), epoch=0)
+        windowed.absorb_batch(_batch(1), epoch=100)
+        # value-based window: epoch 0 is 100 epochs old, so a window of 50
+        # covers only the newest tag even though just two tags exist
+        assert windowed.select_epochs(window=50) == [100]
+        only_new = WindowedAggregator(PARAMS)
+        only_new.absorb_batch(_batch(1), epoch=100)
+        assert np.array_equal(
+            windowed.finalize(window=50).estimate_many(QUERIES),
+            only_new.finalize().estimate_many(QUERIES))
+
+
+class TestSnapshotAcrossEpochRoll:
+    def test_restore_then_roll_bit_identical(self):
+        # snapshot before an eviction-triggering epoch arrives; the
+        # restored collection must evict and finalize exactly like one
+        # that never checkpointed
+        checkpointed = WindowedAggregator(PARAMS, window=2)
+        straight = WindowedAggregator(PARAMS, window=2)
+        for epoch in (1, 2):
+            checkpointed.absorb_batch(_batch(epoch), epoch=epoch)
+            straight.absorb_batch(_batch(epoch), epoch=epoch)
+        payload = json.loads(json.dumps(checkpointed.snapshot()))
+        restored = WindowedAggregator.from_snapshot(payload)
+        assert restored.window == 2
+        assert restored.epochs == [1, 2]
+        for windowed in (restored, straight):
+            windowed.absorb_batch(_batch(3), epoch=3)  # rolls epoch 1 out
+        assert restored.epochs == straight.epochs == [2, 3]
+        assert np.array_equal(restored.finalize().estimate_many(QUERIES),
+                              straight.finalize().estimate_many(QUERIES))
+
+    def test_restore_tightened_window_prunes_immediately(self):
+        wide = WindowedAggregator(PARAMS, window=5)
+        for epoch in range(5):
+            wide.absorb_batch(_batch(epoch), epoch=epoch)
+        restored = WindowedAggregator.from_snapshot(
+            json.loads(json.dumps(wide.snapshot())))
+        restored.set_window(2)
+        assert restored.epochs == [3, 4]
+        reference = WindowedAggregator(PARAMS)
+        for epoch in (3, 4):
+            reference.absorb_batch(_batch(epoch), epoch=epoch)
+        assert np.array_equal(restored.finalize().estimate_many(QUERIES),
+                              reference.finalize().estimate_many(QUERIES))
