@@ -72,7 +72,7 @@ def run_cluster_ingest_bench(shard_counts: Sequence[int] = SHARD_COUNTS,
                         chunk_size=chunk_size)]
     frames = b"".join(
         encode_reports_frame(batch, 0, wire_format, route=route)
-        for batch, route in zip(batches, routes))
+        for batch, route in zip(batches, routes, strict=True))
     queries = [int(x) for x in np.random.default_rng(0).integers(
         0, domain_size, size=verify_queries)]
     expected = run_simulation(

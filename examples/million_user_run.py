@@ -57,7 +57,7 @@ def main(argv) -> None:
     top = sorted(truth.items(), key=lambda kv: -kv[1])[:5]
     estimates = oracle.estimate_many([x for x, _ in top])
     print("top-5 estimates:")
-    for (item, count), estimate in zip(top, estimates):
+    for (item, count), estimate in zip(top, estimates, strict=True):
         print(f"  item {item:>8d}: estimate = {estimate:10.1f}   true = {count}")
 
     if verify:

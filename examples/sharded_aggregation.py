@@ -50,7 +50,7 @@ def sharded_frequency_oracle(workload) -> None:
 
     # Reports land on K independent ingestion workers in arbitrary chunks.
     shards = [params.make_aggregator() for _ in range(NUM_SHARDS)]
-    for shard, part in zip(shards, batch.split(NUM_SHARDS)):
+    for shard, part in zip(shards, batch.split(NUM_SHARDS), strict=True):
         shard.absorb_batch(part)
 
     # Merging is exact: compare against one server absorbing everything.
@@ -62,7 +62,7 @@ def sharded_frequency_oracle(workload) -> None:
     assert np.array_equal(sharded_estimates, single_estimates)
     print("merged K-shard aggregate == single-server aggregate (bit for bit)")
 
-    for item, estimate in zip(queries, sharded_estimates):
+    for item, estimate in zip(queries, sharded_estimates, strict=True):
         print(f"  item {item:>8d}: estimate = {estimate:9.1f}   "
               f"true = {workload.true_frequency(item)}")
 
@@ -74,7 +74,7 @@ def sharded_heavy_hitters(workload) -> None:
 
     batch = wire.make_encoder().encode_batch(workload.values, rng=3)
     shards = [wire.make_aggregator() for _ in range(NUM_SHARDS)]
-    for shard, part in zip(shards, batch.split(NUM_SHARDS)):
+    for shard, part in zip(shards, batch.split(NUM_SHARDS), strict=True):
         shard.absorb_batch(part)
     result = merge_aggregators(shards).finalize()
 

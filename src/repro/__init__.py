@@ -81,12 +81,33 @@ Quickstart::
     print(result.top(5))
 """
 
+from repro.accounting import (
+    GroupPrivacyAnalyzer,
+    advanced_grouposition,
+    advanced_grouposition_approximate,
+    ldp_max_information,
+)
+from repro.analysis import score_heavy_hitters, table1_rows
+from repro.applications import HierarchicalRangeOracle, PrivateQuantileEstimator
+from repro.baselines import (
+    DomainScanHeavyHitters,
+    RapporHeavyHitters,
+    SingleHashHeavyHitters,
+)
 from repro.core import (
-    PrivateExpanderSketch,
-    ProtocolParameters,
     HeavyHitterProtocol,
     HeavyHitterResult,
+    PrivateExpanderSketch,
+    ProtocolParameters,
 )
+from repro.engine import EngineResult, run_simulation
+from repro.frequency import (
+    CountMeanSketchOracle,
+    ExplicitHistogramOracle,
+    FrequencyOracle,
+    HashtogramOracle,
+)
+from repro.lowerbounds import CountingLowerBoundExperiment
 from repro.protocol import (
     ClientEncoder,
     CountMeanSketchParams,
@@ -101,38 +122,14 @@ from repro.protocol import (
     SingleHashParams,
     merge_aggregators,
 )
-from repro.engine import (
-    EngineResult,
-    run_simulation,
-)
-from repro.frequency import (
-    CountMeanSketchOracle,
-    ExplicitHistogramOracle,
-    FrequencyOracle,
-    HashtogramOracle,
-)
-from repro.applications import HierarchicalRangeOracle, PrivateQuantileEstimator
-from repro.baselines import (
-    SingleHashHeavyHitters,
-    DomainScanHeavyHitters,
-    RapporHeavyHitters,
-)
 from repro.structure import ApproximateComposedRandomizedResponse, GenProt
-from repro.accounting import (
-    advanced_grouposition,
-    advanced_grouposition_approximate,
-    GroupPrivacyAnalyzer,
-    ldp_max_information,
-)
-from repro.lowerbounds import CountingLowerBoundExperiment
 from repro.workloads import (
-    zipf_workload,
-    uniform_workload,
     planted_workload,
     synthetic_url_dataset,
     synthetic_word_dataset,
+    uniform_workload,
+    zipf_workload,
 )
-from repro.analysis import score_heavy_hitters, table1_rows
 
 __version__ = "1.0.0"
 

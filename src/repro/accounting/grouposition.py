@@ -116,7 +116,8 @@ class GroupPrivacyAnalyzer:
             raise ValueError("databases must have the same length")
         check_positive_int(num_samples, "num_samples")
         gen = as_generator(rng)
-        differing = [i for i, (a, b) in enumerate(zip(x, x_prime)) if a != b]
+        differing = [i for i, (a, b) in enumerate(zip(x, x_prime, strict=True))
+                     if a != b]
         totals = np.zeros(num_samples)
         for index in differing:
             randomizer = self._randomizer_for(index)
@@ -136,7 +137,7 @@ class GroupPrivacyAnalyzer:
         """The empirical (1-δ)-quantile of the cumulative privacy loss."""
         check_probability(delta, "delta", allow_zero=False, allow_one=False)
         losses = self.sample_group_losses(x, x_prime, num_samples, rng)
-        group_size = sum(1 for a, b in zip(x, x_prime) if a != b)
+        group_size = sum(1 for a, b in zip(x, x_prime, strict=True) if a != b)
         return GroupLossEstimate(
             group_size=group_size,
             quantile=float(np.quantile(losses, 1.0 - delta)),
@@ -156,7 +157,7 @@ class GroupPrivacyAnalyzer:
         """
         mean = 0.0
         variance = 0.0
-        for index, (a, b) in enumerate(zip(x, x_prime)):
+        for index, (a, b) in enumerate(zip(x, x_prime, strict=True)):
             if a == b:
                 continue
             randomizer = self._randomizer_for(index)

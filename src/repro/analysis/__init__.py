@@ -12,29 +12,29 @@
   estimation error, list-size budget).
 """
 
-from repro.analysis.concentration import (
-    chernoff_upper_tail,
-    chernoff_lower_tail,
-    poisson_tail_upper,
-    poisson_tail_lower,
-    poissonization_penalty,
-    bernstein_limited_independence,
-    hoeffding_tail,
-)
 from repro.analysis.bounds import (
-    heavy_hitter_error_this_work,
+    Table1Row,
+    frequency_oracle_error,
     heavy_hitter_error_bassily_et_al,
     heavy_hitter_error_bassily_smith,
-    frequency_oracle_error,
+    heavy_hitter_error_this_work,
     lower_bound_error,
-    Table1Row,
     table1_rows,
+)
+from repro.analysis.concentration import (
+    bernstein_limited_independence,
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    hoeffding_tail,
+    poisson_tail_lower,
+    poisson_tail_upper,
+    poissonization_penalty,
 )
 from repro.analysis.metrics import (
     HeavyHitterScore,
+    frequency_estimation_errors,
     score_heavy_hitters,
     true_frequencies,
-    frequency_estimation_errors,
 )
 
 __all__ = [

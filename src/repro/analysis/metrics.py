@@ -25,7 +25,7 @@ def true_frequencies(data: Sequence[int]) -> Dict[int, int]:
     arr = np.asarray(data)
     if arr.dtype.kind in "iu" and arr.ndim == 1:
         elements, counts = np.unique(arr, return_counts=True)
-        return {int(x): int(c) for x, c in zip(elements, counts)}
+        return {int(x): int(c) for x, c in zip(elements, counts, strict=True)}
     return dict(Counter(int(x) for x in data))
 
 

@@ -14,16 +14,16 @@
   error floor without privacy.
 """
 
-from repro.baselines.single_hash import SingleHashHeavyHitters
 from repro.baselines.bassily_smith import DomainScanHeavyHitters
-from repro.baselines.rappor_hh import RapporHeavyHitters
 from repro.baselines.nonprivate import (
+    CountMinSketch,
+    CountSketch,
     ExactCounter,
     MisraGries,
     SpaceSaving,
-    CountMinSketch,
-    CountSketch,
 )
+from repro.baselines.rappor_hh import RapporHeavyHitters
+from repro.baselines.single_hash import SingleHashHeavyHitters
 
 __all__ = [
     "SingleHashHeavyHitters",

@@ -89,8 +89,9 @@ class DomainScanHeavyHitters(HeavyHitterProtocol):
                 oracle.collect(members, gen, chunk_size=chunk_size)
                 oracles.append(oracle)
         meter.add_user_time(user_timer.elapsed)
-        meter.add_communication(int(sum(o.report_bits * s
-                                        for o, s in zip(oracles, group_sizes))))
+        meter.add_communication(int(sum(
+            o.report_bits * s
+            for o, s in zip(oracles, group_sizes, strict=True))))
         meter.add_public_randomness(sum(o.public_randomness_bits for o in oracles))
 
         # ----- the domain scan (the expensive part) -------------------------------------
@@ -104,7 +105,7 @@ class DomainScanHeavyHitters(HeavyHitterProtocol):
             combined = np.median(scaled, axis=0)
             noise_floor = float(np.median(
                 [o.expected_error(self.beta) * num_users / max(s, 1)
-                 for o, s in zip(oracles, group_sizes)]))
+                 for o, s in zip(oracles, group_sizes, strict=True)]))
             keep = combined >= noise_floor
             estimates: Dict[int, float] = {
                 int(x): float(combined[x]) for x in np.nonzero(keep)[0]}

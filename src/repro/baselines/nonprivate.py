@@ -168,7 +168,7 @@ class CountSketch:
 
     def update(self, values: Sequence[int]) -> "CountSketch":
         values = np.asarray(values, dtype=np.int64)
-        for row, (h, s) in enumerate(zip(self._hashes, self._signs)):
+        for row, (h, s) in enumerate(zip(self._hashes, self._signs, strict=True)):
             buckets = np.asarray(h(values))
             signs = np.asarray(s(values))
             np.add.at(self._table[row], buckets, signs)
@@ -177,5 +177,6 @@ class CountSketch:
     def estimate(self, x: int) -> float:
         x = int(x)
         per_row = [self._table[row, int(h(x))] * int(s(x))
-                   for row, (h, s) in enumerate(zip(self._hashes, self._signs))]
+                   for row, (h, s) in enumerate(
+                       zip(self._hashes, self._signs, strict=True))]
         return float(np.median(per_row))

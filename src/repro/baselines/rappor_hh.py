@@ -96,7 +96,7 @@ class RapporHeavyHitters(HeavyHitterProtocol):
             noise_floor = (self.threshold if self.threshold is not None
                            else 2.0 * np.sqrt(max(num_users, 1)))
             estimates: Dict[int, float] = {
-                int(c): float(a) for c, a in zip(self.candidates, raw)
+                int(c): float(a) for c, a in zip(self.candidates, raw, strict=True)
                 if a >= noise_floor}
         meter.add_server_time(server_timer.elapsed)
         meter.observe_server_memory(self.num_bits + len(self.candidates))

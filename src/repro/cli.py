@@ -289,7 +289,7 @@ def _cmd_simulate(args) -> int:
 
         shard_aggs = [params.make_aggregator() for _ in range(shards)]
         ingest_start = time.perf_counter()
-        for shard_agg, part in zip(shard_aggs, batch.split(shards)):
+        for shard_agg, part in zip(shard_aggs, batch.split(shards), strict=True):
             shard_agg.absorb_batch(part)
         ingest_elapsed = time.perf_counter() - ingest_start
         oracle = merge_aggregators(shard_aggs).finalize()
@@ -303,7 +303,7 @@ def _cmd_simulate(args) -> int:
     queries = [x for x, _ in top]
     estimates = oracle.estimate_many(queries)
     rows = [{"item": x, "true_count": truth[x], "estimate": round(float(a), 1)}
-            for x, a in zip(queries, estimates)]
+            for x, a in zip(queries, estimates, strict=True)]
     print(format_table(rows, title=(
         f"simulate: {args.protocol} over {mode}, "
         f"n={args.num_users}, |X|={domain_size}, eps={args.epsilon}")))
@@ -663,7 +663,7 @@ def _cmd_load_test(args) -> int:
 
         rows = [{"item": x, "true_count": truth.get(x, 0),
                  "served_estimate": round(float(a), 1)}
-                for x, a in list(zip(queries, served))[:5]]
+                for x, a in list(zip(queries, served, strict=True))[:5]]
         target = (f"cluster of {args.cluster} shard(s) at {host}:{port}"
                   if args.cluster is not None else f"server {host}:{port}")
         print(format_table(rows, title=(

@@ -49,7 +49,10 @@ import asyncio
 import base64
 import json
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Awaitable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.cluster.supervisor import ClusterSupervisor
 
 from repro.engine.partition import ShardPartition
 from repro.protocol.binary import (
@@ -61,6 +64,7 @@ from repro.protocol.binary import (
 )
 from repro.protocol.wire import (
     PublicParams,
+    ServerAggregator,
     child_state,
     load_child_state,
     merge_aggregators,
@@ -143,14 +147,15 @@ class _ShardLink:
         )
 
     async def close(self) -> None:
-        if self.writer is not None:
-            self.writer.close()
+        # detach before the first await: a connect() racing this close()
+        # must never have its fresh streams nulled by a stale close
+        writer, self.reader, self.writer = self.writer, None, None
+        if writer is not None:
+            writer.close()
             try:
-                await self.writer.wait_closed()
+                await writer.wait_closed()
             except (OSError, asyncio.IncompleteReadError):
                 pass
-        self.reader = None
-        self.writer = None
 
 
 class ClusterRouter:
@@ -187,7 +192,7 @@ class ClusterRouter:
         params: PublicParams,
         endpoints: Optional[Sequence[Tuple[str, int]]] = None,
         *,
-        supervisor=None,
+        supervisor: Optional["ClusterSupervisor"] = None,
         partition: Optional[ShardPartition] = None,
         rng: RandomState = None,
         wire_formats: Sequence[str] = WIRE_FORMATS,
@@ -230,6 +235,9 @@ class ClusterRouter:
         ]
         self._round_robin = 0
         self._server: Optional[asyncio.base_events.Server] = None
+        #: claimed synchronously at the top of start(), before its first
+        #: await, so concurrent start() calls cannot both pass the guard
+        self._started = False
         self._connections: set = set()
         self._stopping = asyncio.Event()
 
@@ -241,8 +249,9 @@ class ClusterRouter:
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
         """Connect to every shard, verify parameters, bind, and serve."""
-        if self._server is not None:
+        if self._started:
             raise RuntimeError("router already started")
+        self._started = True
         for link in self.links:
             await link.connect()
             reply = await self._request_on_link(link, {"type": "hello"}, "params")
@@ -351,7 +360,8 @@ class ClusterRouter:
                 await self._revive_locked(link)
                 return await self._request_on_link(link, frame, expected)
 
-    async def _fan_out(self, coros) -> List[Dict[str, object]]:
+    async def _fan_out(self, coros: Iterable[Awaitable[Dict[str, object]]]
+                       ) -> List[Dict[str, object]]:
         """Gather shard requests without cancelling the stragglers.
 
         A plain ``gather`` cancels in-flight requests when one fails, which
@@ -701,7 +711,7 @@ class ClusterRouter:
         self,
         window: Optional[int],
         min_epoch: Optional[int],
-    ):
+    ) -> Tuple[ServerAggregator, List[int]]:
         """Pull every shard's packed state and merge exactly.
 
         The shard-side ``state`` handler drains its ingestion queue first,
@@ -765,7 +775,7 @@ class ClusterRouter:
                         "reports_absorbed": int(r.get("reports_absorbed", 0)),
                         "journal_reports": link.journal_reports,
                     }
-                    for link, r in zip(self.links, replies)
+                    for link, r in zip(self.links, replies, strict=True)
                 ],
             }
         )

@@ -17,12 +17,12 @@ Layers, bottom-up:
 """
 
 from repro.codes.gf import PrimeField
-from repro.codes.reed_solomon import ReedSolomonCode, DecodingFailure
 from repro.codes.list_recoverable import (
-    UniqueListRecoverableCode,
-    ListRecoveryParameters,
     EncodedSymbol,
+    ListRecoveryParameters,
+    UniqueListRecoverableCode,
 )
+from repro.codes.reed_solomon import DecodingFailure, ReedSolomonCode
 
 __all__ = [
     "PrimeField",

@@ -139,7 +139,7 @@ class PrimeField:
         if len(set(x % self.p for x in xs)) != len(xs):
             raise ValueError("interpolation points must be distinct")
         result: List[int] = []
-        for i, (xi, yi) in enumerate(zip(xs, ys)):
+        for i, (xi, yi) in enumerate(zip(xs, ys, strict=True)):
             # Basis polynomial prod_{j != i} (x - xj) / (xi - xj)
             basis = [1]
             denom = 1

@@ -219,7 +219,7 @@ class ReedSolomonCode:
         poly = gf.lagrange_interpolate(xs, ys)
         if gf.poly_degree(poly) >= k:
             return None
-        for pos, val in zip(positions, values):
+        for pos, val in zip(positions, values, strict=True):
             if gf.poly_eval(poly, pos) != val:
                 return None
         padded = list(poly) + [0] * (k - len(poly))
@@ -242,7 +242,7 @@ class ReedSolomonCode:
 
         matrix: List[List[int]] = []
         rhs: List[int] = []
-        for x, r in zip(positions, values):
+        for x, r in zip(positions, values, strict=True):
             row = [0] * unknowns
             # Q coefficients: + x^j
             power = 1
@@ -271,7 +271,7 @@ class ReedSolomonCode:
         # Verify the error budget: the number of disagreeing positions must be
         # at most num_errors, otherwise this is a spurious solution.
         disagreements = 0
-        for x, r in zip(positions, values):
+        for x, r in zip(positions, values, strict=True):
             if gf.poly_eval(message_poly, x) != r:
                 disagreements += 1
         if disagreements > num_errors:

@@ -11,10 +11,10 @@
 * :mod:`repro.core.heavy_hitters` — Algorithm PrivateExpanderSketch itself.
 """
 
+from repro.core.heavy_hitters import PrivateExpanderSketch
 from repro.core.params import ProtocolParameters
 from repro.core.protocol import HeavyHitterProtocol
 from repro.core.results import HeavyHitterResult
-from repro.core.heavy_hitters import PrivateExpanderSketch
 
 __all__ = [
     "ProtocolParameters",

@@ -201,7 +201,8 @@ class PrivateExpanderSketch(HeavyHitterProtocol):
             estimates: Dict[int, float] = {}
             if candidates:
                 estimated = final_oracle.estimate_many(candidates)
-                estimates = {int(x): float(a) for x, a in zip(candidates, estimated)}
+                estimates = {int(x): float(a)
+                             for x, a in zip(candidates, estimated, strict=True)}
         meter.add_server_time(estimate_timer.elapsed)
 
         meter.observe_server_memory(

@@ -25,6 +25,7 @@ the *served* estimates are verifiable bit-for-bit against
 :func:`run_simulation` under the same seed (see ``docs/architecture.md``).
 """
 
+from repro.engine.bench import run_engine_bench
 from repro.engine.engine import (
     EngineResult,
     encode_concat,
@@ -39,7 +40,6 @@ from repro.engine.partition import (
     make_plan,
     plan_chunks,
 )
-from repro.engine.bench import run_engine_bench
 
 __all__ = [
     "Chunk",

@@ -193,4 +193,4 @@ def make_plan(params, num_users: int, rng: RandomState = None,
     spans = plan_chunks(int(num_users), size)
     seeds = derive_chunk_seeds(rng, len(spans))
     return [Chunk(index=i, start=span.start, stop=span.stop, seed=int(seed))
-            for i, (span, seed) in enumerate(zip(spans, seeds))]
+            for i, (span, seed) in enumerate(zip(spans, seeds, strict=True))]

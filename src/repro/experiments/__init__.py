@@ -23,32 +23,35 @@ Experiment index (see DESIGN.md for the full mapping):
 ===========  ================================================================
 """
 
-from repro.experiments.reporting import format_table, format_markdown_table
-from repro.experiments.table1 import Table1Config, run_table1, theoretical_rows
-from repro.experiments.error_curves import (
-    ErrorCurveConfig,
-    run_error_vs_beta,
-    run_error_vs_n,
-    run_error_vs_epsilon,
-)
-from repro.experiments.frequency_oracle import FrequencyOracleConfig, run_frequency_oracle
-from repro.experiments.grouposition import GroupositionConfig, run_grouposition
-from repro.experiments.max_information import MaxInformationConfig, run_max_information
-from repro.experiments.composed_rr import ComposedRRConfig, run_composed_rr
-from repro.experiments.genprot import GenProtConfig, run_genprot
-from repro.experiments.lower_bound import (
-    LowerBoundConfig,
-    run_counting_lower_bound,
-    run_anti_concentration,
-    run_lower_bound,
-)
-from repro.experiments.list_recovery import ListRecoveryConfig, run_list_recovery
 from repro.experiments.ablations import (
     HashingAblationConfig,
     HashtogramAblationConfig,
     run_hashing_ablation,
     run_hashtogram_ablation,
 )
+from repro.experiments.composed_rr import ComposedRRConfig, run_composed_rr
+from repro.experiments.error_curves import (
+    ErrorCurveConfig,
+    run_error_vs_beta,
+    run_error_vs_epsilon,
+    run_error_vs_n,
+)
+from repro.experiments.frequency_oracle import (
+    FrequencyOracleConfig,
+    run_frequency_oracle,
+)
+from repro.experiments.genprot import GenProtConfig, run_genprot
+from repro.experiments.grouposition import GroupositionConfig, run_grouposition
+from repro.experiments.list_recovery import ListRecoveryConfig, run_list_recovery
+from repro.experiments.lower_bound import (
+    LowerBoundConfig,
+    run_anti_concentration,
+    run_counting_lower_bound,
+    run_lower_bound,
+)
+from repro.experiments.max_information import MaxInformationConfig, run_max_information
+from repro.experiments.reporting import format_markdown_table, format_table
+from repro.experiments.table1 import Table1Config, run_table1, theoretical_rows
 
 __all__ = [
     "format_table",

@@ -103,7 +103,7 @@ def run_hashtogram_ablation(config: HashtogramAblationConfig | None = None
             oracle.collect(values, gen)
             estimates = oracle.estimate_many(queries)
             errors = np.array([abs(est - truth.get(int(q), 0))
-                               for q, est in zip(queries, estimates)])
+                               for q, est in zip(queries, estimates, strict=True)])
             rows.append({
                 "num_buckets": buckets,
                 "num_repetitions": repetitions,

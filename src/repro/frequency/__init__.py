@@ -20,9 +20,9 @@ paper's analysis uses:
 """
 
 from repro.frequency.base import FrequencyOracle
+from repro.frequency.count_mean_sketch import CountMeanSketchOracle
 from repro.frequency.explicit import ExplicitHistogramOracle
 from repro.frequency.hashtogram import HashtogramOracle
-from repro.frequency.count_mean_sketch import CountMeanSketchOracle
 
 __all__ = [
     "FrequencyOracle",

@@ -185,7 +185,7 @@ class HashtogramOracle(FrequencyOracle):
         if not self._inner_oracles:
             return float("nan")
         total = 0.0
-        for oracle, n_t in zip(self._inner_oracles, self._rep_sizes):
+        for oracle, n_t in zip(self._inner_oracles, self._rep_sizes, strict=True):
             total += 2.0 * n_t * oracle.estimator_variance_per_user
             total += n_t / max(self.num_buckets, 1)
         return total

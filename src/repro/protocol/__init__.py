@@ -52,15 +52,6 @@ Typical sharded deployment::
     oracle.estimate(x)
 """
 
-from repro.protocol.wire import (
-    ClientEncoder,
-    PublicParams,
-    Report,
-    ReportBatch,
-    ServerAggregator,
-    merge_aggregators,
-    register_protocol,
-)
 from repro.protocol.binary import (
     BinaryFormatError,
     decode_reports_payload,
@@ -68,6 +59,11 @@ from repro.protocol.binary import (
     is_binary_payload,
     pack_state,
     unpack_state,
+)
+from repro.protocol.count_mean_sketch import (
+    CountMeanSketchAggregator,
+    CountMeanSketchEncoder,
+    CountMeanSketchParams,
 )
 from repro.protocol.explicit import (
     ExplicitHistogramAggregator,
@@ -79,17 +75,6 @@ from repro.protocol.hashtogram import (
     HashtogramEncoder,
     HashtogramParams,
 )
-from repro.protocol.count_mean_sketch import (
-    CountMeanSketchAggregator,
-    CountMeanSketchEncoder,
-    CountMeanSketchParams,
-)
-from repro.protocol.rappor import (
-    RapporAggregate,
-    RapporAggregator,
-    RapporEncoder,
-    RapporParams,
-)
 from repro.protocol.heavy_hitters import (
     ExpanderSketchAggregator,
     ExpanderSketchEncoder,
@@ -97,6 +82,21 @@ from repro.protocol.heavy_hitters import (
     SingleHashAggregator,
     SingleHashEncoder,
     SingleHashParams,
+)
+from repro.protocol.rappor import (
+    RapporAggregate,
+    RapporAggregator,
+    RapporEncoder,
+    RapporParams,
+)
+from repro.protocol.wire import (
+    ClientEncoder,
+    PublicParams,
+    Report,
+    ReportBatch,
+    ServerAggregator,
+    merge_aggregators,
+    register_protocol,
 )
 
 __all__ = [

@@ -224,7 +224,8 @@ class HashtogramAggregator(ServerAggregator):
     def _merge_impl(self, other: "HashtogramAggregator") -> "HashtogramAggregator":
         merged = HashtogramAggregator(self.params)
         merged._inner = [mine.merge(theirs)
-                         for mine, theirs in zip(self._inner, other._inner)]
+                         for mine, theirs
+                         in zip(self._inner, other._inner, strict=True)]
         return merged
 
     # ----- snapshots ----------------------------------------------------------------
@@ -237,7 +238,7 @@ class HashtogramAggregator(ServerAggregator):
         if len(inner) != len(self._inner):
             raise ValueError(f"snapshot has {len(inner)} repetitions, "
                              f"expected {len(self._inner)}")
-        for aggregator, payload in zip(self._inner, inner):
+        for aggregator, payload in zip(self._inner, inner, strict=True):
             load_child_state(aggregator, payload)
 
     # ----- estimation ---------------------------------------------------------------

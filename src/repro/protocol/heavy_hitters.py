@@ -136,7 +136,7 @@ def append_coordinate_lists(oracle, group_size: int, coordinate: int,
         count = int(keep[bucket])
         lists[bucket][coordinate] = [
             (int(y), int(z)) for y, z in zip(order[bucket, :count],
-                                             ranked_z[bucket, :count])]
+                                             ranked_z[bucket, :count], strict=True)]
 
 
 def derive_expander_cells(values: np.ndarray, buckets: np.ndarray,
@@ -381,7 +381,8 @@ class ExpanderSketchAggregator(ServerAggregator):
                     ) -> "ExpanderSketchAggregator":
         merged = ExpanderSketchAggregator(self.params)
         merged._stage1 = [mine.merge(theirs)
-                          for mine, theirs in zip(self._stage1, other._stage1)]
+                          for mine, theirs
+                          in zip(self._stage1, other._stage1, strict=True)]
         merged._final = self._final.merge(other._final)
         return merged
 
@@ -396,7 +397,7 @@ class ExpanderSketchAggregator(ServerAggregator):
         if len(stage1) != len(self._stage1):
             raise ValueError(f"snapshot has {len(stage1)} coordinate "
                              f"accumulators, expected {len(self._stage1)}")
-        for aggregator, payload in zip(self._stage1, stage1):
+        for aggregator, payload in zip(self._stage1, stage1, strict=True):
             load_child_state(aggregator, payload)
         load_child_state(self._final, dict(state["final"]))
 
@@ -423,7 +424,8 @@ class ExpanderSketchAggregator(ServerAggregator):
         estimates: Dict[int, float] = {}
         if candidates:
             estimated = final_oracle.estimate_many(candidates)
-            estimates = {int(x): float(a) for x, a in zip(candidates, estimated)}
+            estimates = {int(x): float(a)
+                         for x, a in zip(candidates, estimated, strict=True)}
         meter.observe_server_memory(self.state_size)
         return HeavyHitterResult(
             estimates=estimates,
@@ -630,7 +632,8 @@ class SingleHashAggregator(ServerAggregator):
     def _merge_impl(self, other: "SingleHashAggregator") -> "SingleHashAggregator":
         merged = SingleHashAggregator(self.params)
         merged._stage1 = [mine.merge(theirs)
-                          for mine, theirs in zip(self._stage1, other._stage1)]
+                          for mine, theirs
+                          in zip(self._stage1, other._stage1, strict=True)]
         merged._final = self._final.merge(other._final)
         return merged
 
@@ -645,7 +648,7 @@ class SingleHashAggregator(ServerAggregator):
         if len(stage1) != len(self._stage1):
             raise ValueError(f"snapshot has {len(stage1)} group accumulators, "
                              f"expected {len(self._stage1)}")
-        for aggregator, payload in zip(self._stage1, stage1):
+        for aggregator, payload in zip(self._stage1, stage1, strict=True):
             load_child_state(aggregator, payload)
         load_child_state(self._final, dict(state["final"]))
 
@@ -689,7 +692,8 @@ class SingleHashAggregator(ServerAggregator):
         estimates: Dict[int, float] = {}
         if candidates:
             estimated = final_oracle.estimate_many(candidates)
-            estimates = {int(x): float(a) for x, a in zip(candidates, estimated)}
+            estimates = {int(x): float(a)
+                         for x, a in zip(candidates, estimated, strict=True)}
         meter.observe_server_memory(self.state_size)
         return HeavyHitterResult(
             estimates=estimates,

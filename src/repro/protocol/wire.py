@@ -38,7 +38,19 @@ from __future__ import annotations
 
 import abc
 import base64
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+)
 
 import numpy as np
 
@@ -171,7 +183,8 @@ class ReportBatch:
 
     # ----- slicing / sharding ------------------------------------------------------
 
-    def select(self, index) -> "ReportBatch":
+    def select(self, index: Union[slice, Sequence[int],
+                                  np.ndarray]) -> "ReportBatch":
         """Row subset (boolean mask, slice, or integer index array)."""
         return ReportBatch(self.protocol,
                            {key: col[index] for key, col in self.columns.items()})
@@ -372,7 +385,9 @@ class PublicParams(abc.ABC):
     def __hash__(self) -> int:  # pragma: no cover - dict-keyed use is rare
         return hash(self.protocol)
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[Callable[[Dict[str, object]],
+                                           "PublicParams"],
+                                  Tuple[Dict[str, object]]]:
         """Pickle through the JSON payload: the wire format *is* the state.
 
         This keeps pickling stable across refactors of derived attributes
@@ -577,7 +592,7 @@ class ServerAggregator(abc.ABC):
     # ----- finalization -------------------------------------------------------------
 
     @abc.abstractmethod
-    def finalize(self):
+    def finalize(self) -> Any:
         """Debias the aggregate into a fitted estimator.
 
         Frequency-oracle aggregators return a ready-to-query

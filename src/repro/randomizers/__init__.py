@@ -14,14 +14,17 @@ under any input, so that rejection-sampling probabilities
 """
 
 from repro.randomizers.base import LocalRandomizer, ReportSpace
+from repro.randomizers.hadamard import HadamardResponse, hadamard_entry, hadamard_matrix
+from repro.randomizers.laplace import (
+    GaussianHistogramRandomizer,
+    LaplaceHistogramRandomizer,
+)
 from repro.randomizers.randomized_response import (
     BinaryRandomizedResponse,
     KaryRandomizedResponse,
 )
-from repro.randomizers.unary import UnaryEncoding, OptimizedUnaryEncoding
 from repro.randomizers.rappor import BasicRappor
-from repro.randomizers.hadamard import HadamardResponse, hadamard_entry, hadamard_matrix
-from repro.randomizers.laplace import LaplaceHistogramRandomizer, GaussianHistogramRandomizer
+from repro.randomizers.unary import OptimizedUnaryEncoding, UnaryEncoding
 
 __all__ = [
     "LocalRandomizer",

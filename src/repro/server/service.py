@@ -149,6 +149,11 @@ class AggregationServer:
         self._drain_task: Optional[asyncio.Task] = None
         self._connections: set = set()
         self._stopping = asyncio.Event()
+        #: claimed synchronously at the top of start(), before its first
+        #: await, so concurrent start() calls cannot both pass the guard
+        self._started = False
+        #: serializes snapshot captures with their executor-side disk write
+        self._snapshot_lock = asyncio.Lock()
 
     # ----- lifecycle ----------------------------------------------------------------
 
@@ -166,8 +171,9 @@ class AggregationServer:
     async def start(self, host: str = "127.0.0.1",
                     port: int = 0) -> Tuple[str, int]:
         """Bind and start serving; returns the actual ``(host, port)``."""
-        if self._server is not None:
+        if self._started:
             raise RuntimeError("server already started")
+        self._started = True
         self._queue = asyncio.Queue(maxsize=self._queue_batches)
         self._drain_task = asyncio.create_task(self._drain_loop())
         self._server = await asyncio.start_server(self._handle_connection,
@@ -381,7 +387,12 @@ class AggregationServer:
                     raise ValueError("server was started without a snapshot "
                                      "directory")
                 await self._queue.join()
-                path = self.store.save(self.windowed.snapshot())
+                async with self._snapshot_lock:
+                    # capture synchronously (atomic w.r.t. the drain loop),
+                    # then push the disk write off the event loop
+                    payload = self.windowed.snapshot()
+                    path = await asyncio.get_running_loop().run_in_executor(
+                        None, self.store.save, payload)
                 self.stats.snapshots_written += 1
                 await write_frame(writer, {
                     "type": "snapshot_written",

@@ -1,0 +1,2 @@
+"""Developer tooling that ships with the repo (not part of the protocol
+runtime): currently the static-analysis suite, ``repro.tools.lint``."""

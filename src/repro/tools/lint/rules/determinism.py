@@ -1,0 +1,182 @@
+"""RPL1 — determinism: seeded randomness must flow in as a parameter.
+
+The reproduction's headline guarantee — served answers equal the offline
+engine bit for bit, for any worker/shard count — holds only because every
+random draw in the protocol stack comes from an *explicit* generator
+argument (`rng`), seeded by the caller.  One call into process-global
+RNG state, fresh OS entropy, or the wall clock anywhere in the encode /
+aggregate path silently voids the claim, and no fixed-seed test can be
+relied on to notice (the test harness seeds the global state too).
+
+Scope: ``repro/protocol``, ``repro/engine``, ``repro/randomizers`` — the
+zones whose outputs must be a pure function of ``(params, values, rng)``.
+
+Rules
+-----
+RPL101  fresh-entropy generator: ``np.random.default_rng()`` /
+        ``as_generator(None)`` with no seed inside a deterministic zone.
+RPL102  process-global RNG: any legacy ``np.random.<draw>`` or stdlib
+        ``random.<draw>`` call — global state is shared across callers
+        and reseeded at a distance.
+RPL103  wall clock as data: ``time.time`` / ``time.time_ns`` /
+        ``datetime.now`` / ``datetime.utcnow`` (``perf_counter`` and
+        ``monotonic`` stay legal: throughput metrics are reported, never
+        folded into protocol state).
+RPL104  set-iteration-order hazard: iterating a set (``for x in {...}``,
+        ``list(set(...))``, comprehensions over sets) — iteration order
+        depends on insertion history and hash randomization; wrap in
+        ``sorted(...)`` to fix an order.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.tools.lint.engine import ModuleContext, Rule
+from repro.tools.lint.rules import register_rule
+
+_ZONES = ("protocol", "engine", "randomizers")
+
+#: legacy numpy global-state draws (numpy.random.<name>)
+_NP_GLOBAL = frozenset({
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "seed", "bytes",
+    "standard_normal", "uniform", "normal", "binomial", "poisson",
+    "geometric", "exponential", "laplace", "beta", "gamma", "get_state",
+    "set_state",
+})
+
+#: stdlib ``random`` module draws
+_STDLIB_RANDOM = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "seed", "uniform", "gauss", "normalvariate", "betavariate",
+    "expovariate", "getrandbits", "randbytes", "triangular", "vonmisesvariate",
+})
+
+#: wall-clock reads whose value would become protocol state
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns", "datetime.datetime.now",
+    "datetime.datetime.utcnow", "datetime.date.today",
+})
+
+#: callables whose argument's set-ness makes iteration order observable
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate", "iter",
+                                    "reversed"})
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """A literal set, a set comprehension, or a ``set(...)``/``frozenset(...)``
+    constructor call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+@register_rule
+class DeterminismRule(Rule):
+    family = "RPL1"
+
+    def _active(self, ctx: ModuleContext) -> bool:
+        return ctx.zone in _ZONES
+
+    # ----- RPL101/RPL102/RPL103: calls -----------------------------------------------
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        if not self._active(ctx):
+            return
+        resolved = ctx.resolve_dotted(node.func)
+        if resolved is None:
+            self._check_order_sensitive_call(node, ctx)
+            return
+        tail = resolved.rsplit(".", 1)[-1]
+
+        if resolved.startswith("numpy.random.") and tail in _NP_GLOBAL:
+            ctx.report(
+                node, "RPL102",
+                f"call into process-global RNG state `{resolved}` in a "
+                f"deterministic zone; draws must come from an explicit "
+                f"generator parameter",
+                hint="accept `rng` (see repro.utils.rng.RandomState), coerce "
+                     "with as_generator(rng), and draw from the generator")
+            return
+        if (resolved.startswith("random.") and tail in _STDLIB_RANDOM
+                and ctx.aliases.get(resolved.split(".", 1)[0]) == "random"):
+            ctx.report(
+                node, "RPL102",
+                f"stdlib global RNG call `{resolved}` in a deterministic "
+                f"zone; draws must come from an explicit numpy generator "
+                f"parameter",
+                hint="thread a seeded np.random.Generator through instead of "
+                     "the process-global `random` module")
+            return
+
+        if resolved in ("numpy.random.default_rng",
+                        "repro.utils.rng.as_generator") or tail in (
+                            "default_rng", "as_generator"):
+            fully = resolved in ("numpy.random.default_rng",
+                                 "repro.utils.rng.as_generator")
+            known = fully or tail in ("default_rng", "as_generator")
+            if known and self._unseeded(node):
+                ctx.report(
+                    node, "RPL101",
+                    f"`{resolved}` without a seed draws fresh OS entropy in "
+                    f"a deterministic zone; the generator must flow in as a "
+                    f"parameter",
+                    hint="take `rng: RandomState` as an argument and pass it "
+                         "through as_generator(rng) at the boundary")
+            return
+
+        if resolved in _WALL_CLOCK:
+            ctx.report(
+                node, "RPL103",
+                f"wall-clock read `{resolved}` in a deterministic zone "
+                f"makes derived state time-dependent",
+                hint="pass timestamps/epochs in from the caller; use "
+                     "time.perf_counter only for reported timings")
+            return
+
+        self._check_order_sensitive_call(node, ctx)
+
+    @staticmethod
+    def _unseeded(node: ast.Call) -> bool:
+        if node.keywords:
+            return False
+        if not node.args:
+            return True
+        first = node.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+
+    # ----- RPL104: set iteration ------------------------------------------------------
+
+    def _check_order_sensitive_call(self, node: ast.Call,
+                                    ctx: ModuleContext) -> None:
+        if (isinstance(node.func, ast.Name)
+                and node.func.id in _ORDER_SENSITIVE_CALLS
+                and node.args and _is_set_expr(node.args[0])):
+            self._report_set_order(node, ctx)
+
+    def visit_For(self, node: ast.For, ctx: ModuleContext) -> None:
+        if self._active(ctx) and _is_set_expr(node.iter):
+            self._report_set_order(node, ctx)
+
+    def _check_comprehension(self, node, ctx: ModuleContext) -> None:
+        if not self._active(ctx):
+            return
+        for generator in node.generators:
+            if _is_set_expr(generator.iter):
+                self._report_set_order(generator.iter, ctx)
+
+    visit_ListComp = _check_comprehension
+    visit_SetComp = _check_comprehension
+    visit_GeneratorExp = _check_comprehension
+    visit_DictComp = _check_comprehension
+
+    @staticmethod
+    def _report_set_order(node: ast.AST, ctx: ModuleContext) -> None:
+        ctx.report(
+            node, "RPL104",
+            "iteration over a set in a deterministic zone: order depends on "
+            "insertion history (and hash randomization for str keys)",
+            hint="iterate `sorted(...)` of the set so the order is a pure "
+                 "function of the contents")

@@ -1,0 +1,288 @@
+"""RPL4 — wire-schema drift: code constants must match the spec document.
+
+``docs/wire-protocol.md`` §7/§8 is the *normative* wire contract: the
+binary header layout, the magic/version/kind/flag values, the struct
+field widths, and the frame-size limit.  Three modules hard-code pieces
+of that contract — ``repro/protocol/binary.py`` (header + payload
+structs), ``repro/server/framing.py`` (length prefix + frame limit), and
+``repro/cluster/router.py`` (anything it chooses to restate).  A PR that
+edits one side but not the other ships a silent protocol fork: old
+snapshots stop restoring, routers mis-split frames, and nothing fails
+until two builds talk to each other.
+
+This rule machine-reads the spec (the §8.1 fenced layout blocks plus the
+§7 prose) into expected constants and ``struct`` format strings, then
+diffs them against the module's actual assignments.
+
+Rules
+-----
+RPL400  the schema document is missing or no longer machine-readable
+        (a required layout line disappeared or changed shape).
+RPL401  a constant/struct format in code disagrees with the document.
+RPL402  a constant/struct the document requires is absent from the module.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.tools.lint.engine import ModuleContext, Rule
+from repro.tools.lint.rules import register_rule
+
+#: spec field width -> struct format code (little-endian payload fields)
+_TYPE_CODES = {
+    "u8": "B", "i8": "b", "u16": "H", "i16": "h",
+    "u32": "I", "i32": "i", "u64": "Q", "i64": "q",
+}
+
+#: big-endian length-prefix width -> struct format
+_PREFIX_CODES = {1: "!B", 2: "!H", 4: "!I", 8: "!Q"}
+
+_FIELD = re.compile(r"\(([ui](?:8|16|32|64))\b")
+
+
+@dataclass
+class WireSchema:
+    """Machine-readable form of the spec: constants and struct formats."""
+
+    constants: Dict[str, int] = field(default_factory=dict)
+    #: module file -> {assignment name: expected struct format string}
+    structs: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    problems: List[str] = field(default_factory=list)
+
+
+def _fields_to_format(line: str) -> Optional[str]:
+    codes = [_TYPE_CODES[m] for m in _FIELD.findall(line)]
+    return "<" + "".join(codes) if codes else None
+
+
+def parse_wire_doc(text: str) -> WireSchema:
+    """Extract the schema from ``docs/wire-protocol.md``.
+
+    Anchors on the spec's own layout grammar: the ``header := ...`` block
+    of §8.1, the fixed-field lines of the kind-1/kind-2 payloads, and the
+    §7 prose sentences naming the length prefix and the frame limit.
+    Every anchor that fails to parse is recorded in ``problems`` (RPL400)
+    instead of silently weakening the check.
+    """
+    schema = WireSchema()
+    consts = schema.constants
+    binary: Dict[str, str] = {}
+    framing: Dict[str, str] = {}
+
+    def grab(name: str, pattern: str, base: int = 0) -> None:
+        found = re.search(pattern, text, flags=re.MULTILINE)
+        if found:
+            consts[name] = int(found.group(1), base)
+        else:
+            schema.problems.append(
+                f"cannot locate `{name}` (pattern {pattern!r})")
+
+    grab("BINARY_MAGIC", r"^magic\s+=\s+(0x[0-9A-Fa-f]+|\d+)", 0)
+    grab("BINARY_VERSION", r"^version\s+=\s+(\d+)")
+    grab("KIND_REPORTS", r"^kind\s+=\s+(\d+)\s+\(reports\)")
+    grab("KIND_STATE", r"^kind\s+=\s+\d+\s+\(reports\)\s*\|\s*(\d+)\s+\(state\)")
+    grab("FLAG_ROUTED", r"^flags\s+=\s+bit\s+\d+\s+\((0x[0-9A-Fa-f]+|\d+)", 0)
+
+    def grab_format(label: str, pattern: str, into: Dict[str, str],
+                    name: str) -> None:
+        found = re.search(pattern, text, flags=re.MULTILINE)
+        fmt = _fields_to_format(found.group(0)) if found else None
+        if fmt:
+            into[name] = fmt
+        else:
+            schema.problems.append(f"cannot parse the {label} layout line")
+
+    grab_format("header", r"^header\s+:=.*$", binary, "_HEADER")
+    grab_format("reports fixed-field",
+                r"^epoch\s+\(i\d+\).*num_columns\s+\(u\d+\).*$",
+                binary, "_REPORTS_FIXED")
+    grab_format("route field", r"^route\s+\(i\d+\b.*$", binary, "_ROUTE_FIELD")
+    grab_format("state fixed-field",
+                r"^skeleton_len\s+\(u\d+\).*num_columns\s+\(u\d+\).*$",
+                binary, "_STATE_FIXED")
+
+    prefix = re.search(r"(\d+)-byte big-endian payload length", text)
+    if prefix and int(prefix.group(1)) in _PREFIX_CODES:
+        framing["_HEADER"] = _PREFIX_CODES[int(prefix.group(1))]
+    else:
+        schema.problems.append("cannot locate the big-endian length-prefix "
+                               "sentence of §7")
+    limit = re.search(r"larger than 2\^(\d+) bytes", text)
+    if limit:
+        consts["MAX_FRAME_BYTES"] = 1 << int(limit.group(1))
+    else:
+        schema.problems.append("cannot locate the frame-size-limit "
+                               "sentence of §7")
+
+    schema.structs["protocol/binary.py"] = binary
+    schema.structs["server/framing.py"] = framing
+    return schema
+
+
+#: per-module required names; files listed with empty sets get drift-only
+#: checks (anything they restate must agree, nothing is mandatory)
+_REQUIRED_CONSTANTS = {
+    "protocol/binary.py": ("BINARY_MAGIC", "BINARY_VERSION", "KIND_REPORTS",
+                           "KIND_STATE", "FLAG_ROUTED"),
+    "server/framing.py": ("MAX_FRAME_BYTES",),
+    "cluster/router.py": (),
+}
+_REQUIRED_STRUCTS = {
+    "protocol/binary.py": ("_HEADER", "_REPORTS_FIXED", "_ROUTE_FIELD",
+                           "_STATE_FIXED"),
+    "server/framing.py": ("_HEADER",),
+    "cluster/router.py": (),
+}
+
+
+def _fold_int(node: ast.AST) -> Optional[int]:
+    """Constant-fold the integer expressions wire constants are written in
+    (``0xB1``, ``1 << 30``, ``-1``); anything else folds to ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return node.value
+    if isinstance(node, ast.UnaryOp):
+        operand = _fold_int(node.operand)
+        if operand is None:
+            return None
+        if isinstance(node.op, ast.USub):
+            return -operand
+        if isinstance(node.op, ast.Invert):
+            return ~operand
+        return None
+    if isinstance(node, ast.BinOp):
+        left, right = _fold_int(node.left), _fold_int(node.right)
+        if left is None or right is None:
+            return None
+        ops = {ast.LShift: lambda a, b: a << b,
+               ast.RShift: lambda a, b: a >> b,
+               ast.Add: lambda a, b: a + b,
+               ast.Sub: lambda a, b: a - b,
+               ast.Mult: lambda a, b: a * b,
+               ast.BitOr: lambda a, b: a | b,
+               ast.BitAnd: lambda a, b: a & b,
+               ast.BitXor: lambda a, b: a ^ b,
+               ast.Pow: lambda a, b: a ** b}
+        handler = ops.get(type(node.op))
+        return handler(left, right) if handler else None
+    return None
+
+
+@register_rule
+class WireSchemaRule(Rule):
+    family = "RPL4"
+
+    def __init__(self) -> None:
+        self._schemas: Dict[Path, Optional[WireSchema]] = {}
+
+    # ----- schema loading -------------------------------------------------------------
+
+    def _doc_path(self, ctx: ModuleContext) -> Optional[Path]:
+        if ctx.config.wire_doc is not None:
+            return ctx.config.wire_doc
+        for parent in ctx.path.resolve().parents:
+            candidate = parent / "docs" / "wire-protocol.md"
+            if candidate.is_file():
+                return candidate
+        return None
+
+    def _schema_for(self, doc: Path) -> Optional[WireSchema]:
+        key = doc.resolve()
+        if key not in self._schemas:
+            try:
+                self._schemas[key] = parse_wire_doc(
+                    doc.read_text(encoding="utf-8"))
+            except OSError:
+                self._schemas[key] = None
+        return self._schemas[key]
+
+    # ----- module scan ----------------------------------------------------------------
+
+    @staticmethod
+    def _module_assignments(ctx: ModuleContext) -> Tuple[
+            Dict[str, Tuple[int, ast.AST]], Dict[str, Tuple[str, ast.AST]]]:
+        """Top-level ``NAME = <int expr>`` and ``NAME = struct.Struct("...")``."""
+        ints: Dict[str, Tuple[int, ast.AST]] = {}
+        structs: Dict[str, Tuple[str, ast.AST]] = {}
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1 \
+                    or not isinstance(node.targets[0], ast.Name):
+                continue
+            name = node.targets[0].id
+            folded = _fold_int(node.value)
+            if folded is not None:
+                ints[name] = (folded, node)
+                continue
+            value = node.value
+            if isinstance(value, ast.Call) \
+                    and ctx.resolve_dotted(value.func) == "struct.Struct" \
+                    and value.args \
+                    and isinstance(value.args[0], ast.Constant) \
+                    and isinstance(value.args[0].value, str):
+                structs[name] = (value.args[0].value, node)
+        return ints, structs
+
+    def end_module(self, ctx: ModuleContext) -> None:
+        if ctx.module_file not in _REQUIRED_CONSTANTS:
+            return
+        doc = self._doc_path(ctx)
+        if doc is None or not doc.is_file():
+            ctx.report(
+                ctx.tree, "RPL400",
+                "wire-schema document docs/wire-protocol.md not found; the "
+                "binary constants of this module cannot be cross-checked",
+                hint="restore the document or pass --wire-doc")
+            return
+        schema = self._schema_for(doc)
+        if schema is None:
+            ctx.report(ctx.tree, "RPL400",
+                       f"wire-schema document {doc} is unreadable")
+            return
+        for problem in schema.problems:
+            ctx.report(
+                ctx.tree, "RPL400",
+                f"wire-schema document {doc.name} is no longer "
+                f"machine-readable: {problem}",
+                hint="keep the §7/§8.1 layout lines in the documented "
+                     "grammar — this rule parses them")
+
+        ints, structs = self._module_assignments(ctx)
+        self._check(ctx, schema.constants, ints,
+                    _REQUIRED_CONSTANTS[ctx.module_file], kind="constant")
+        expected_structs = schema.structs.get(ctx.module_file, {})
+        # drift-only modules are still held to the binary payload formats
+        if not expected_structs:
+            expected_structs = schema.structs.get("protocol/binary.py", {})
+        self._check(ctx, expected_structs, structs,
+                    _REQUIRED_STRUCTS[ctx.module_file], kind="struct format")
+
+    def _check(self, ctx: ModuleContext,
+               expected: Dict[str, Union[int, str]],
+               actual: Dict[str, Tuple[Union[int, str], ast.AST]],
+               required: Tuple[str, ...], kind: str) -> None:
+        for name, want in expected.items():
+            if name in actual:
+                got, node = actual[name]
+                if got != want:
+                    shown = (hex(want) if kind == "constant"
+                             and isinstance(want, int) and want > 9
+                             else repr(want))
+                    ctx.report(
+                        node, "RPL401",
+                        f"{kind} `{name}` = {got!r} disagrees with "
+                        f"docs/wire-protocol.md, which specifies {shown}",
+                        hint="change whichever side is wrong — and treat a "
+                             "deliberate layout change as a version bump "
+                             "(spec §8.1)")
+            elif name in required:
+                ctx.report(
+                    ctx.tree, "RPL402",
+                    f"required {kind} `{name}` (= {want!r} per "
+                    f"docs/wire-protocol.md) is not defined in this module",
+                    hint="define it at module top level so the spec "
+                         "cross-check can see it")

@@ -5,23 +5,23 @@ subpackage (hashing, codes, randomizers, frequency oracles, the heavy-hitters
 protocol itself) can rely on them without import cycles.
 """
 
-from repro.utils.rng import RandomState, as_generator, spawn_generators
 from repro.utils.bits import (
     bits_needed,
+    bits_to_int,
+    int_to_bits,
     int_to_symbols,
     symbols_to_int,
-    int_to_bits,
-    bits_to_int,
 )
+from repro.utils.rng import RandomState, as_generator, spawn_generators
+from repro.utils.timer import ResourceMeter, Timer
 from repro.utils.validation import (
-    check_probability,
+    check_delta,
+    check_epsilon,
+    check_in_range,
     check_positive,
     check_positive_int,
-    check_epsilon,
-    check_delta,
-    check_in_range,
+    check_probability,
 )
-from repro.utils.timer import Timer, ResourceMeter
 
 __all__ = [
     "RandomState",

@@ -77,7 +77,7 @@ def hamming_distance(a: Sequence[int], b: Sequence[int]) -> int:
     """Number of coordinates on which two equal-length sequences disagree."""
     if len(a) != len(b):
         raise ValueError("sequences must have equal length")
-    return sum(1 for x, y in zip(a, b) if x != y)
+    return sum(1 for x, y in zip(a, b, strict=True) if x != y)
 
 
 def next_power_of_two(value: int) -> int:

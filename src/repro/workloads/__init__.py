@@ -12,16 +12,16 @@ equivalents (DESIGN.md, substitution 3):
   "URL"/"word" datasets together with the integer encoding the protocols use.
 """
 
-from repro.workloads.distributions import (
-    zipf_workload,
-    uniform_workload,
-    planted_workload,
-    PlantedWorkload,
-)
 from repro.workloads.datasets import (
+    StringDomain,
     synthetic_url_dataset,
     synthetic_word_dataset,
-    StringDomain,
+)
+from repro.workloads.distributions import (
+    PlantedWorkload,
+    planted_workload,
+    uniform_workload,
+    zipf_workload,
 )
 
 __all__ = [

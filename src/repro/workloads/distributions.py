@@ -84,7 +84,9 @@ class PlantedWorkload:
         return int(np.count_nonzero(self.values == int(x)))
 
     def as_dict(self) -> Dict[int, int]:
-        return {int(x): int(f) for x, f in zip(self.heavy_elements, self.heavy_frequencies)}
+        return {int(x): int(f)
+                for x, f in zip(self.heavy_elements, self.heavy_frequencies,
+                                strict=True)}
 
 
 def planted_workload(num_users: int, domain_size: int,
@@ -138,7 +140,7 @@ def planted_workload(num_users: int, domain_size: int,
         raise ValueError("background must be 'uniform' or 'zipf'")
 
     segments: List[np.ndarray] = [np.full(c, x, dtype=np.int64)
-                                  for x, c in zip(heavy_elements, counts)]
+                                  for x, c in zip(heavy_elements, counts, strict=True)]
     segments.append(tail.astype(np.int64))
     values = np.concatenate(segments)
     gen.shuffle(values)

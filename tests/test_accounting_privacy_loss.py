@@ -13,8 +13,8 @@ from repro.accounting.privacy_loss import (
     summarize_losses,
     worst_case_privacy_loss_bound,
 )
-from repro.randomizers.randomized_response import BinaryRandomizedResponse
 from repro.randomizers.laplace import LaplaceHistogramRandomizer
+from repro.randomizers.randomized_response import BinaryRandomizedResponse
 
 
 class TestBounds:

@@ -21,6 +21,7 @@ import pytest
 
 from repro.baselines.single_hash import SingleHashHeavyHitters
 from repro.cluster import ClusterRouter, ClusterSupervisor
+from repro.cluster.router import _ShardLink
 from repro.core.heavy_hitters import PrivateExpanderSketch
 from repro.engine import ShardPartition, encode_stream, make_plan, run_simulation
 from repro.engine.partition import ROUTE_PRIME
@@ -36,10 +37,10 @@ from repro.protocol.binary import (
     encode_reports_payload,
     peek_reports_header,
 )
-from repro.server import AggregationClient, ServerError, decode_frame
+from repro.protocol.wire import load_child_state
+from repro.server import AggregationClient, AggregationServer, ServerError, decode_frame
 from repro.server.framing import encode_reports_frame
 from repro.server.window import WindowedAggregator
-from repro.protocol.wire import load_child_state
 
 DOMAIN = 1 << 12
 
@@ -238,7 +239,7 @@ class TestClusterBitIdentity:
             with AggregationClient(host, port) as client:
                 published = client.hello()
                 assert published == params
-                for batch, route in zip(batches, routes):
+                for batch, route in zip(batches, routes, strict=True):
                     client.send_batch(batch, route=route)
                 assert client.sync() == len(values)
                 if hasattr(offline, "estimate_many"):
@@ -268,7 +269,7 @@ class TestClusterBitIdentity:
             with AggregationClient(host, port,
                                    wire_format="binary") as client:
                 client.hello()
-                for batch, route in zip(batches, routes):
+                for batch, route in zip(batches, routes, strict=True):
                     client.send_batch(batch, route=route)
                 assert client.sync() == len(values)
                 served = client.query(queries)
@@ -314,7 +315,7 @@ class TestClusterBitIdentity:
         queries = list(range(24))
         with running_cluster(params, 2, tmp_path) as (_, _router, host, port):
             with AggregationClient(host, port) as client:
-                for i, (batch, route) in enumerate(zip(batches, routes)):
+                for i, (batch, route) in enumerate(zip(batches, routes, strict=True)):
                     client.send_batch(batch, epoch=i, route=route)
                 client.sync()
                 for window in (1, 3, None):
@@ -388,11 +389,11 @@ class TestShardFailure:
         with running_cluster(params, 2, tmp_path) as cluster:
             supervisor, router, host, port = cluster
             with AggregationClient(host, port) as client:
-                for batch, route in zip(batches[:3], routes[:3]):
+                for batch, route in zip(batches[:3], routes[:3], strict=True):
                     client.send_batch(batch, route=route)
                 client.snapshot()  # explicit barrier: journals clear
                 supervisor.kill(0)
-                for batch, route in zip(batches[3:], routes[3:]):
+                for batch, route in zip(batches[3:], routes[3:], strict=True):
                     client.send_batch(batch, route=route)
                 assert client.sync() == len(values)
                 served = client.query(queries)
@@ -458,3 +459,65 @@ class TestStatePull:
                 client.sync()
                 with pytest.raises(ServerError, match="mutually exclusive"):
                     client.pull_state(window=1, min_epoch=0)
+
+
+# --------------------------------------------------------------------------------------
+# async-safety regressions (defects found by `python -m repro.tools.lint`)
+# --------------------------------------------------------------------------------------
+
+class TestRouterAsyncSafetyRegressions:
+    """Pin the fixes for the RPL3 findings of the static-analysis suite."""
+
+    @staticmethod
+    def _params():
+        return HashtogramParams.create(DOMAIN, 1.0, num_buckets=16, rng=0)
+
+    def test_concurrent_router_start_raises_exactly_once(self):
+        # RPL302: ClusterRouter.start() used to read self._server, await
+        # the shard handshakes, then write it — two concurrent start()
+        # calls both passed the guard.
+        params = self._params()
+
+        async def main():
+            shard = AggregationServer(params)
+            host, port = await shard.start("127.0.0.1", 0)
+            router = ClusterRouter(params, endpoints=[(host, port)], rng=0)
+            results = await asyncio.gather(router.start("127.0.0.1", 0),
+                                           router.start("127.0.0.1", 0),
+                                           return_exceptions=True)
+            errors = [r for r in results
+                      if isinstance(r, RuntimeError)
+                      and "already started" in str(r)]
+            assert len(errors) == 1, results
+            await router.stop()
+            await shard.stop()
+
+        asyncio.run(main())
+
+    def test_shardlink_close_detaches_before_awaiting(self):
+        # RPL302: _ShardLink.close() used to null reader/writer only after
+        # awaiting wait_closed(), so a connect() racing the close had its
+        # fresh streams clobbered.  The streams must now be detached
+        # before the first await.
+        params = self._params()
+
+        async def main():
+            shard = AggregationServer(params)
+            host, port = await shard.start("127.0.0.1", 0)
+            link = _ShardLink(0, host, port)
+            await link.connect()
+            writer = link.writer
+            observed = {}
+            real_wait = writer.wait_closed
+
+            async def spying_wait_closed():
+                observed["writer_during_wait"] = link.writer
+                await real_wait()
+
+            writer.wait_closed = spying_wait_closed
+            await link.close()
+            assert observed["writer_during_wait"] is None
+            assert link.writer is None and link.reader is None
+            await shard.stop()
+
+        asyncio.run(main())

@@ -114,8 +114,8 @@ class TestLinearSystem:
         rhs = [5, 10]
         solution = FIELD.solve_linear_system(matrix, rhs)
         assert solution is not None
-        for row, target in zip(matrix, rhs):
-            acc = sum(c * s for c, s in zip(row, solution)) % 101
+        for row, target in zip(matrix, rhs, strict=True):
+            acc = sum(c * s for c, s in zip(row, solution, strict=True)) % 101
             assert acc == target % 101
 
     def test_underdetermined_returns_some_solution(self):
@@ -123,7 +123,7 @@ class TestLinearSystem:
         rhs = [7]
         solution = FIELD.solve_linear_system(matrix, rhs)
         assert solution is not None
-        assert sum(c * s for c, s in zip([1, 1, 0], solution)) % 101 == 7
+        assert sum(c * s for c, s in zip([1, 1, 0], solution, strict=True)) % 101 == 7
 
     def test_inconsistent_returns_none(self):
         matrix = [[1, 1], [2, 2]]

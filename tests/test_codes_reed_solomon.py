@@ -79,7 +79,7 @@ class TestEncodeDecode:
         """Minimum distance of RS is M - k + 1 = 6 for this code."""
         a = CODE.encode_int(111)
         b = CODE.encode_int(222)
-        distance = sum(1 for x, y in zip(a, b) if x != y)
+        distance = sum(1 for x, y in zip(a, b, strict=True) if x != y)
         assert distance >= CODE.codeword_length - CODE.message_length + 1
 
     @given(st.integers(min_value=0, max_value=(1 << 20) - 1),
@@ -99,7 +99,7 @@ class TestBatchEncoding:
         values = np.array([0, 1, 500_000, (1 << 20) - 1])
         batch = CODE.encode_batch(values)
         assert batch.shape == (4, CODE.codeword_length)
-        for row, value in zip(batch, values):
+        for row, value in zip(batch, values, strict=True):
             assert row.tolist() == CODE.encode_int(int(value))
 
     def test_rejects_out_of_domain(self):

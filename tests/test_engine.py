@@ -90,7 +90,7 @@ class TestPartition:
         spans = plan_chunks(10_000, 257)
         assert spans[0].start == 0 and spans[-1].stop == 10_000
         assert sum(len(s) for s in spans) == 10_000
-        for before, after in zip(spans, spans[1:]):
+        for before, after in zip(spans, spans[1:], strict=False):
             assert before.stop == after.start
 
     def test_plan_rejects_bad_inputs(self):

@@ -29,7 +29,7 @@ class TestCountMeanSketch:
         oracle.collect(rng.integers(0, domain, 4_000), rng)
         queries = [0, 5, 99, domain - 1]
         batch = oracle.estimate_many(queries)
-        for query, value in zip(queries, batch):
+        for query, value in zip(queries, batch, strict=True):
             assert value == pytest.approx(oracle.estimate(query))
         assert oracle.estimate_many([]).size == 0
 

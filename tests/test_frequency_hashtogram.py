@@ -31,7 +31,7 @@ class TestHashtogram:
         oracle.collect(rng.integers(0, domain, 5_000), rng)
         queries = [0, 17, 999, domain - 1]
         batch = oracle.estimate_many(queries)
-        for q, value in zip(queries, batch):
+        for q, value in zip(queries, batch, strict=True):
             assert value == pytest.approx(oracle.estimate(q))
 
     def test_estimate_many_empty(self, rng):

@@ -74,7 +74,7 @@ class TestExperiment:
         betas = [0.3, 0.1]
         table = experiment.comparison_table(betas, num_trials=80, rng=5)
         for beta, measured, bound in zip(table["beta"], table["measured_quantile"],
-                                         table["lower_bound"]):
+                                         table["lower_bound"], strict=True):
             assert measured >= bound * 0.5
             assert measured <= experiment.upper_bound_error(beta) * 1.5
 

@@ -41,7 +41,7 @@ def _wire_estimates(params, values, seed, num_shards):
     """encode the canonical chunk stream, scatter over shards, merge, finalize."""
     batch = encode_concat(params, values, np.random.default_rng(seed))
     shards = [params.make_aggregator() for _ in range(num_shards)]
-    for shard, part in zip(shards, batch.split(num_shards)):
+    for shard, part in zip(shards, batch.split(num_shards), strict=True):
         shard.absorb_batch(part)
     return merge_aggregators(shards).finalize()
 
@@ -76,7 +76,7 @@ class TestLegacyCollectEquivalence:
         params = HashtogramParams.create(domain, 1.0, num_buckets=64, rng=gen)
         batch = encode_concat(params, values, gen)
         shards = [params.make_aggregator() for _ in range(num_shards)]
-        for shard, part in zip(shards, batch.split(num_shards)):
+        for shard, part in zip(shards, batch.split(num_shards), strict=True):
             shard.absorb_batch(part)
         fitted = merge_aggregators(shards).finalize()
         queries = rng.integers(0, domain, size=100)
@@ -94,7 +94,7 @@ class TestLegacyCollectEquivalence:
                                               num_buckets=64, rng=gen)
         batch = encode_concat(params, values, gen)
         shards = [params.make_aggregator() for _ in range(num_shards)]
-        for shard, part in zip(shards, batch.split(num_shards)):
+        for shard, part in zip(shards, batch.split(num_shards), strict=True):
             shard.absorb_batch(part)
         fitted = merge_aggregators(shards).finalize()
         queries = rng.integers(0, domain, size=100)
@@ -113,7 +113,7 @@ class TestLegacyCollectEquivalence:
         wire = protocol.public_params(values.size, rng=gen)
         batch = encode_concat(wire, values, gen)
         shards = [wire.make_aggregator() for _ in range(4)]
-        for shard, part in zip(shards, batch.split(4)):
+        for shard, part in zip(shards, batch.split(4), strict=True):
             shard.absorb_batch(part)
         sharded = merge_aggregators(shards).finalize()
         assert sharded.estimates == result.estimates
@@ -130,7 +130,7 @@ class TestLegacyCollectEquivalence:
         wire = protocol.public_params(values.size, rng=gen)
         batch = encode_concat(wire, values, gen)
         shards = [wire.make_aggregator() for _ in range(4)]
-        for shard, part in zip(shards, batch.split(4)):
+        for shard, part in zip(shards, batch.split(4), strict=True):
             shard.absorb_batch(part)
         sharded = merge_aggregators(shards).finalize()
         assert sharded.estimates == result.estimates
@@ -146,7 +146,7 @@ class TestLegacyCollectEquivalence:
         wire = protocol.public_params(rng=gen)
         batch = encode_concat(wire, values, gen)
         shards = [wire.make_aggregator() for _ in range(4)]
-        for shard, part in zip(shards, batch.split(4)):
+        for shard, part in zip(shards, batch.split(4), strict=True):
             shard.absorb_batch(part)
         aggregate = merge_aggregators(shards).finalize()
         estimates = aggregate.estimate_candidates([77, 5, 300])
@@ -228,7 +228,8 @@ class TestSerialization:
         rebuilt = self._roundtrip(params)
         # The reconstructed hashes are behaviourally identical.
         xs = np.arange(1_000)
-        for mine, theirs in zip(params.bucket_hashes, rebuilt.bucket_hashes):
+        for mine, theirs in zip(params.bucket_hashes, rebuilt.bucket_hashes,
+                                strict=True):
             assert np.array_equal(mine(xs), theirs(xs))
 
     def test_cms_roundtrip(self):

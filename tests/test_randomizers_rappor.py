@@ -69,7 +69,7 @@ class TestCandidateDecoding:
         reports = np.stack([randomizer.randomize(int(v), rng) for v in values])
         candidates = [heavy, 5, 77, 1234, 4000]
         estimates = randomizer.estimate_candidate_frequencies(reports, candidates)
-        by_candidate = dict(zip(candidates, estimates))
+        by_candidate = dict(zip(candidates, estimates, strict=True))
         assert by_candidate[heavy] == max(estimates)
         assert by_candidate[heavy] > 1_500
 

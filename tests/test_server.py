@@ -512,3 +512,73 @@ class TestKillAndRestore:
             straight.absorb_batch(batch)
         assert np.array_equal(served,
                               straight.finalize().estimate_many(queries))
+
+
+# --------------------------------------------------------------------------------------
+# async-safety regressions (defects found by `python -m repro.tools.lint`)
+# --------------------------------------------------------------------------------------
+
+class TestAsyncSafetyRegressions:
+    """Pin the fixes for the RPL3 findings of the static-analysis suite."""
+
+    def test_concurrent_start_raises_exactly_once(self):
+        # RPL302: start() used to read self._server, await, then write it —
+        # two concurrent start() calls both passed the guard and the first
+        # bound server (and its drain task) leaked.
+        server = AggregationServer(_small_params())
+
+        async def main():
+            results = await asyncio.gather(server.start("127.0.0.1", 0),
+                                           server.start("127.0.0.1", 0),
+                                           return_exceptions=True)
+            errors = [r for r in results if isinstance(r, RuntimeError)]
+            assert len(errors) == 1, results
+            await server.stop()
+
+        asyncio.run(main())
+
+    def test_snapshot_write_does_not_block_event_loop(self, tmp_path):
+        # RPL301: the snapshot handler used to call SnapshotStore.save on
+        # the event loop; a slow disk froze every other connection.  The
+        # save now runs in an executor, so a hello on a second connection
+        # must complete while the write is still in flight.
+        gate = threading.Event()
+        entered = threading.Event()
+
+        with running_server(_small_params(),
+                            snapshot_dir=tmp_path) as (server, host, port):
+            real_save = server.store.save
+
+            def stalled_save(payload):
+                entered.set()
+                assert gate.wait(10), "test never released the save"
+                return real_save(payload)
+
+            server.store.save = stalled_save
+
+            snap_path = {}
+
+            def request_snapshot():
+                with AggregationClient(host, port) as client:
+                    snap_path["path"] = client.snapshot()
+
+            hello_ok = threading.Event()
+
+            def request_hello():
+                with AggregationClient(host, port) as client:
+                    client.hello()
+                    hello_ok.set()
+
+            snap_thread = threading.Thread(target=request_snapshot,
+                                           daemon=True)
+            snap_thread.start()
+            assert entered.wait(10), "snapshot request never reached save()"
+            try:
+                threading.Thread(target=request_hello, daemon=True).start()
+                served_while_saving = hello_ok.wait(5)
+            finally:
+                gate.set()
+            snap_thread.join(10)
+            assert served_while_saving, \
+                "hello blocked while the snapshot write was in flight"
+            assert Path(snap_path["path"]).is_file()
