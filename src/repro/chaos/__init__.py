@@ -1,0 +1,51 @@
+"""Deterministic fault injection for the cluster serving tier.
+
+The chaos harness answers one question about the sharded service
+(:mod:`repro.cluster`): does its exactness guarantee — served answers
+bit-identical to the offline engine — survive real failures, or only the
+happy path?  Every component is seeded and wall-clock-free, so a failing
+run replays from its integer seed alone (``docs/chaos.md``):
+
+* :class:`~repro.chaos.schedule.FaultSchedule` — derives *which* fault
+  fires at *which* frame count from one seed: connection resets,
+  mid-frame truncation, bit-flipped headers, stalled reads, injected
+  delays, shard SIGKILL and SIGSTOP.
+* :class:`~repro.chaos.transport.FaultyTransport` — a frame-aware asyncio
+  proxy threaded between client↔router and router↔shard connections;
+  it counts ``reports`` frames and injects the scheduled wire faults at
+  exact counts, independent of timing.
+* :class:`~repro.chaos.runner.ChaosRunner` — drives the engine's
+  canonical chunk stream through the faulted cluster and asserts the
+  served queries equal :func:`repro.engine.run_simulation` bit for bit;
+  surfaced as ``python -m repro.cli chaos-test``.
+
+The harness exists to exercise the hardening it forced: explicit
+deadlines on every cluster exchange, sequence-number idempotent journal
+replay (``docs/wire-protocol.md`` §7.1), bounded recovery ladders with
+seeded backoff, and the typed
+:class:`~repro.server.client.ShardUnavailable` failure.
+"""
+
+from repro.chaos.runner import ChaosResult, ChaosRunner, ChaosSupervisor
+from repro.chaos.schedule import (
+    CLIENT_WIRE_KINDS,
+    FAULT_KINDS,
+    PROCESS_KINDS,
+    WIRE_KINDS,
+    FaultEvent,
+    FaultSchedule,
+)
+from repro.chaos.transport import FaultyTransport
+
+__all__ = [
+    "CLIENT_WIRE_KINDS",
+    "ChaosResult",
+    "ChaosRunner",
+    "ChaosSupervisor",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultyTransport",
+    "PROCESS_KINDS",
+    "WIRE_KINDS",
+]

@@ -1,0 +1,435 @@
+"""Deterministic chaos runs: faulted cluster vs. offline engine, bit for bit.
+
+:class:`ChaosRunner` is the harness behind ``python -m repro.cli
+chaos-test``.  One run:
+
+1. derives the canonical workload exactly like ``load-test`` (same seed
+   discipline: one generator for workload + params, one shared plan seed
+   for the offline engine, the chunk stream, and the routing plan);
+2. computes the ground truth offline via
+   :func:`repro.engine.run_simulation`;
+3. starts a real cluster — :class:`~repro.cluster.ClusterSupervisor`
+   shards, :class:`~repro.cluster.ClusterRouter` — but threads **every**
+   connection through :class:`~repro.chaos.transport.FaultyTransport`
+   proxies (client↔router and router↔each-shard);
+4. streams the chunk batches while the seeded
+   :class:`~repro.chaos.schedule.FaultSchedule` injects resets, truncated
+   and corrupted frames, stalls, delays, shard SIGKILLs and SIGSTOPs;
+5. asserts the served answers equal the offline engine's **bit for bit**.
+
+The client send loop recovers from its own faults by *resume-by-count*:
+batches are sent on one ordered logical stream, so the absorbed count the
+server reports after ``sync`` is always a prefix sum of batch sizes; on
+any send failure the runner reconnects, syncs, and resumes at the first
+unabsorbed batch.  The router's sequence-number dedup (``§7.1``) makes the
+router→shard side equally exact, so the only acceptable end states are
+"bit-identical" or a typed error — never silent corruption, which is the
+whole point of the harness (``docs/chaos.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import shutil
+import signal
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.chaos.schedule import FAULT_KINDS, FaultEvent, FaultSchedule
+from repro.chaos.transport import FaultyTransport
+from repro.cluster.router import ClusterRouter
+from repro.cluster.supervisor import ClusterSupervisor
+from repro.server.client import AsyncAggregationClient, ServerError
+from repro.server.framing import FrameError
+from repro.utils.rng import as_generator
+
+__all__ = ["ChaosResult", "ChaosRunner", "ChaosSupervisor"]
+
+#: client-side failures the send loop recovers from by reconnect+resume
+_RECOVERABLE = (
+    OSError,
+    TimeoutError,
+    asyncio.TimeoutError,
+    asyncio.IncompleteReadError,
+    FrameError,
+    ServerError,
+)
+
+
+class ChaosSupervisor:
+    """A :class:`ClusterSupervisor` facade that keeps shards behind proxies.
+
+    The router talks to shard *proxies*; a restart moves the real shard to
+    a fresh port, so this wrapper retargets the shard's proxy after the
+    inner restart and hands the router back the (stable) proxy endpoint.
+    Everything else delegates, including the ``shards`` handle list the
+    router's health report reads restart counts from.
+    """
+
+    def __init__(self, inner: ClusterSupervisor,
+                 proxies: List[FaultyTransport]) -> None:
+        self.inner = inner
+        self.proxies = proxies
+
+    @property
+    def shards(self):
+        return self.inner.shards
+
+    @property
+    def base_dir(self):
+        return self.inner.base_dir
+
+    def endpoints(self) -> List[Tuple[str, int]]:
+        return [proxy.endpoint for proxy in self.proxies]
+
+    def restart(self, index: int) -> Tuple[str, int]:
+        host, port = self.inner.restart(index)
+        self.proxies[index].retarget(host, port)
+        return self.proxies[index].endpoint
+
+    def kill(self, index: int, sig: int = signal.SIGKILL) -> None:
+        self.inner.kill(index, sig)
+
+    def resume(self, index: int) -> None:
+        self.inner.resume(index)
+
+    def poll(self) -> List[int]:
+        return self.inner.poll()
+
+    def stop(self) -> None:
+        self.inner.stop()
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one chaos run (``identical`` is the acceptance bit)."""
+
+    identical: bool
+    num_users: int
+    num_batches: int
+    queries: List[int]
+    served: np.ndarray
+    expected: np.ndarray
+    fired: List[FaultEvent]
+    restarts: int
+    send_retries: int
+    schedule: FaultSchedule
+    health: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def fired_kinds(self) -> Tuple[str, ...]:
+        present = {event.kind for event in self.fired}
+        return tuple(kind for kind in FAULT_KINDS if kind in present)
+
+
+class ChaosRunner:
+    """Drive one seeded chaos run against a real faulted cluster."""
+
+    def __init__(
+        self,
+        protocol: str = "hashtogram",
+        domain_size: int = 4096,
+        epsilon: float = 1.0,
+        num_users: int = 12_000,
+        num_shards: int = 3,
+        seed: int = 7,
+        wire_format: str = "binary",
+        schedule: Optional[FaultSchedule] = None,
+        base_dir: Optional[Union[str, Path]] = None,
+        request_timeout: float = 2.0,
+        client_timeout: float = 10.0,
+        num_queries: int = 32,
+        max_retries: int = 60,
+    ) -> None:
+        self.protocol = protocol
+        self.domain_size = int(domain_size)
+        self.epsilon = float(epsilon)
+        self.num_users = int(num_users)
+        self.num_shards = int(num_shards)
+        self.seed = int(seed)
+        self.wire_format = wire_format
+        self.schedule = schedule
+        self.base_dir = base_dir
+        self.request_timeout = float(request_timeout)
+        self.client_timeout = float(client_timeout)
+        self.num_queries = int(num_queries)
+        self.max_retries = int(max_retries)
+        self._retries = 0
+        self._client: Optional[AsyncAggregationClient] = None
+        self._client_addr: Tuple[str, int] = ("", 0)
+
+    def run(self) -> ChaosResult:
+        """Execute the whole chaos run on a private event loop."""
+        return asyncio.run(self._run())
+
+    # ----- client-side retry plumbing -------------------------------------------------
+
+    async def _fresh_client(self) -> AsyncAggregationClient:
+        if self._client is not None:
+            try:
+                await self._client.close()
+            except OSError:
+                pass
+            self._client = None
+        host, port = self._client_addr
+        last: Optional[BaseException] = None
+        for _ in range(8):
+            try:
+                self._client = await AsyncAggregationClient.connect(
+                    host, port, wire_format=self.wire_format,
+                    timeout=self.client_timeout,
+                )
+                return self._client
+            except _RECOVERABLE as exc:
+                last = exc
+                await asyncio.sleep(0.1)
+        raise RuntimeError(f"could not reconnect to the router: {last!r}")
+
+    def _spend_retry(self, exc: BaseException) -> None:
+        self._retries += 1
+        if self._retries > self.max_retries:
+            raise RuntimeError(
+                f"chaos run exceeded {self.max_retries} client retries "
+                f"(last failure: {exc!r})"
+            ) from exc
+
+    async def _synced_count(self) -> int:
+        """``sync`` with reconnect-on-failure; returns the absorbed count."""
+        while True:
+            try:
+                if self._client is None:
+                    await self._fresh_client()
+                assert self._client is not None
+                return await self._client.sync()
+            except _RECOVERABLE as exc:
+                self._spend_retry(exc)
+                await self._fresh_client()
+
+    # ----- the run --------------------------------------------------------------------
+
+    async def _run(self) -> ChaosResult:
+        from repro.analysis.metrics import true_frequencies
+        from repro.engine import encode_stream, make_plan, run_simulation
+        from repro.engine.bench import build_bench_params
+        from repro.workloads.distributions import zipf_workload
+
+        # Workload + ground truth, exactly the load-test seed discipline —
+        # but with an explicit (smaller) chunk size so the stream has
+        # enough frames for every scheduled fault to land on one.
+        gen = as_generator(self.seed)
+        values = zipf_workload(self.num_users, self.domain_size,
+                               support=min(2_000, self.domain_size), rng=gen)
+        params = build_bench_params(self.protocol, self.domain_size,
+                                    self.epsilon, self.num_users, rng=gen)
+        plan_seed = int(gen.integers(0, 2**63 - 1))
+        chunk_size = max(1, self.num_users // max(1, self.num_shards * 10))
+        offline = run_simulation(
+            params, values, rng=np.random.default_rng(plan_seed),
+            chunk_size=chunk_size,
+        ).finalize()
+        batches = list(encode_stream(
+            params, values, rng=np.random.default_rng(plan_seed),
+            chunk_size=chunk_size,
+        ))
+        routes = [chunk.route_key for chunk in make_plan(
+            params, self.num_users, rng=np.random.default_rng(plan_seed),
+            chunk_size=chunk_size,
+        )]
+        cum = np.cumsum([len(batch) for batch in batches])
+
+        schedule = self.schedule
+        if schedule is None:
+            schedule = FaultSchedule.generate(
+                self.seed, num_frames=len(batches),
+                num_shards=self.num_shards,
+            )
+        process_faults = schedule.process_faults()
+
+        ephemeral = self.base_dir is None
+        base_dir = Path(
+            tempfile.mkdtemp(prefix="repro-chaos-")
+            if ephemeral else self.base_dir  # type: ignore[arg-type]
+        )
+        loop = asyncio.get_running_loop()
+        supervisor = ClusterSupervisor(params, self.num_shards, base_dir)
+        shard_proxies: List[FaultyTransport] = []
+        client_proxy: Optional[FaultyTransport] = None
+        router: Optional[ClusterRouter] = None
+        resume_tasks: List[asyncio.Task] = []
+        try:
+            endpoints = await loop.run_in_executor(None, supervisor.start)
+            for k, (host, port) in enumerate(endpoints):
+                proxy = FaultyTransport(
+                    f"shard-{k}", (host, port),
+                    faults=schedule.wire_faults(f"shard-{k}"),
+                )
+                await proxy.start()
+                shard_proxies.append(proxy)
+            chaos_supervisor = ChaosSupervisor(supervisor, shard_proxies)
+            router = ClusterRouter(
+                params,
+                endpoints=chaos_supervisor.endpoints(),
+                supervisor=chaos_supervisor,  # type: ignore[arg-type]
+                rng=self.seed,
+                connect_timeout=2.0,
+                request_timeout=self.request_timeout,
+                checkpoint_reports=max(256, self.num_users // 4),
+                backoff_base=0.02,
+            )
+            router_addr = await router.start()
+            client_proxy = FaultyTransport(
+                "client", router_addr, faults=schedule.wire_faults("client"),
+            )
+            self._client_addr = await client_proxy.start()
+
+            client = await self._fresh_client()
+            published = await client.hello()
+            if published != params:
+                raise RuntimeError("router published mismatched parameters")
+
+            # The send loop: ordered batches, process faults at their send
+            # indices, reconnect+resume-by-count on any failure.  The
+            # outer loop re-checks the absorbed count because a stalled
+            # proxy can swallow "successful" sends.
+            sent = 0
+            while True:
+                while sent < len(batches):
+                    for event in process_faults.pop(sent, []):
+                        shard = event.shard
+                        assert shard is not None
+                        if event.kind == "kill":
+                            await loop.run_in_executor(
+                                None, chaos_supervisor.kill, shard,
+                            )
+                        else:  # sigstop: freeze now, thaw after event.arg
+                            await loop.run_in_executor(
+                                None, chaos_supervisor.kill, shard,
+                                signal.SIGSTOP,
+                            )
+                            resume_tasks.append(loop.create_task(
+                                self._resume_later(
+                                    chaos_supervisor, shard, event.arg)
+                            ))
+                    try:
+                        assert self._client is not None
+                        await self._client.send_batch(
+                            batches[sent], epoch=0, route=routes[sent],
+                        )
+                        sent += 1
+                    except _RECOVERABLE as exc:
+                        self._spend_retry(exc)
+                        await self._fresh_client()
+                        absorbed = await self._synced_count()
+                        sent = int(np.searchsorted(cum, absorbed,
+                                                   side="right"))
+                absorbed = await self._synced_count()
+                if absorbed == self.num_users:
+                    break
+                self._spend_retry(RuntimeError(
+                    f"absorbed {absorbed} of {self.num_users} after full "
+                    f"send; resuming"
+                ))
+                sent = int(np.searchsorted(cum, absorbed, side="right"))
+
+            # Let every frozen shard thaw before the query phase.
+            if resume_tasks:
+                await asyncio.gather(*resume_tasks, return_exceptions=True)
+                resume_tasks.clear()
+
+            truth = true_frequencies(values)
+            top = sorted(truth.items(), key=lambda kv: -kv[1])[:5]
+            probe = np.random.default_rng(0).integers(
+                0, self.domain_size, size=self.num_queries)
+            queries = [int(x) for x, _ in top] + [int(x) for x in probe]
+            served = await self._query_with_retry(queries)
+            expected = offline.estimate_many(queries)
+            health = await self._health_with_retry()
+
+            return ChaosResult(
+                identical=bool(np.array_equal(served, expected)),
+                num_users=self.num_users,
+                num_batches=len(batches),
+                queries=queries,
+                served=np.asarray(served, dtype=float),
+                expected=np.asarray(expected, dtype=float),
+                fired=self._collect_fired(shard_proxies, client_proxy,
+                                          schedule, process_faults),
+                restarts=sum(h.restarts for h in supervisor.shards),
+                send_retries=self._retries,
+                schedule=schedule,
+                health=health,
+            )
+        finally:
+            for task in resume_tasks:
+                task.cancel()
+            if self._client is not None:
+                try:
+                    await self._client.close()
+                except OSError:
+                    pass
+                self._client = None
+            if client_proxy is not None:
+                await client_proxy.stop()
+            if router is not None:
+                await router.stop()
+            for proxy in shard_proxies:
+                await proxy.stop()
+            await loop.run_in_executor(None, supervisor.stop)
+            if ephemeral:
+                shutil.rmtree(base_dir, ignore_errors=True)
+
+    async def _resume_later(self, chaos_supervisor: ChaosSupervisor,
+                            shard: int, delay: float) -> None:
+        await asyncio.sleep(max(0.0, delay))
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, chaos_supervisor.resume, shard)
+
+    async def _query_with_retry(self, queries: List[int]) -> np.ndarray:
+        while True:
+            try:
+                if self._client is None:
+                    await self._fresh_client()
+                assert self._client is not None
+                return await self._client.query(queries)
+            except _RECOVERABLE as exc:
+                self._spend_retry(exc)
+                await self._fresh_client()
+
+    async def _health_with_retry(self) -> Dict[str, object]:
+        while True:
+            try:
+                if self._client is None:
+                    await self._fresh_client()
+                assert self._client is not None
+                return await self._client.health()
+            except _RECOVERABLE as exc:
+                self._spend_retry(exc)
+                await self._fresh_client()
+
+    @staticmethod
+    def _collect_fired(
+        shard_proxies: List[FaultyTransport],
+        client_proxy: Optional[FaultyTransport],
+        schedule: FaultSchedule,
+        unfired_process: Dict[int, List[FaultEvent]],
+    ) -> List[FaultEvent]:
+        """Everything that actually fired: proxy records + popped process faults."""
+        fired: List[FaultEvent] = []
+        for proxy in shard_proxies:
+            fired.extend(proxy.fired)
+        if client_proxy is not None:
+            fired.extend(client_proxy.fired)
+        leftover = {
+            id(event)
+            for events in unfired_process.values()
+            for event in events
+        }
+        for event in schedule.events:
+            if event.kind in ("kill", "sigstop") and id(event) not in leftover:
+                fired.append(event)
+        fired.sort(key=lambda e: (e.frame, e.target, e.kind))
+        return fired

@@ -1,0 +1,263 @@
+"""Seeded fault schedules: which fault, at which frame, against which peer.
+
+A :class:`FaultSchedule` is the deterministic heart of the chaos harness
+(``docs/chaos.md``): a list of :class:`FaultEvent` records derived from a
+single integer seed via ``numpy.random.Generator`` — no wall-clock, no OS
+entropy — so ``python -m repro.cli chaos-test --seed N`` injects the exact
+same faults at the exact same frame counts on every run, and a failure
+reproduces from nothing but its seed.
+
+Two event families share the schedule:
+
+* **wire faults** (``delay`` / ``reset`` / ``truncate`` / ``corrupt`` /
+  ``stall``) fire inside a :class:`~repro.chaos.transport.FaultyTransport`
+  proxy when its monotone ``reports``-frame counter reaches
+  ``event.frame``;
+* **process faults** (``kill`` / ``sigstop``) fire in the
+  :class:`~repro.chaos.runner.ChaosRunner` send loop when the client's
+  batch send index reaches ``event.frame``, via the cluster supervisor.
+
+``corrupt`` is deliberately excluded from the client→router leg: the
+router *silently drops* undecodable ``reports`` frames (they are
+fire-and-forget, dropped-and-accounted like the single server), so a
+corrupted client frame would be undetectable loss rather than a
+recoverable fault.  On the router→shard leg corruption is safe to inject:
+the frame is already journaled, the shard rejects-and-closes, and the
+replay redelivers the original bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+
+__all__ = [
+    "CLIENT_WIRE_KINDS",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "PROCESS_KINDS",
+    "WIRE_KINDS",
+]
+
+#: every fault kind the harness can inject, in canonical order (the
+#: generator cycles this order first, so a schedule with >= 7 events is
+#: guaranteed to cover every kind)
+FAULT_KINDS = (
+    "delay", "reset", "truncate", "corrupt", "stall", "kill", "sigstop",
+)
+
+#: kinds a :class:`~repro.chaos.transport.FaultyTransport` proxy injects
+WIRE_KINDS = ("delay", "reset", "truncate", "corrupt", "stall")
+
+#: wire kinds allowed on the client→router leg (no ``corrupt``: the router
+#: drops undecodable reports frames silently, which would be undetectable
+#: loss instead of a recoverable fault)
+CLIENT_WIRE_KINDS = ("delay", "reset", "truncate", "stall")
+
+#: kinds the runner injects through the cluster supervisor
+PROCESS_KINDS = ("kill", "sigstop")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``target`` is ``"client"`` (the client→router proxy) or ``"shard-K"``
+    (the router→shard-K proxy, or shard K's process for ``kill`` /
+    ``sigstop``).  ``frame`` is the proxy's ``reports``-frame count for
+    wire faults and the client's batch send index for process faults.
+    ``arg`` parameterizes the kind: delay duration in seconds for
+    ``delay``, SIGCONT resume delay in seconds for ``sigstop``, unused
+    otherwise.
+    """
+
+    target: str
+    frame: int
+    kind: str
+    arg: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.frame < 0:
+            raise ValueError("fault frame must be >= 0")
+        if self.kind in PROCESS_KINDS or self.kind == "corrupt":
+            if not self.target.startswith("shard-"):
+                raise ValueError(
+                    f"{self.kind!r} faults must target a shard, "
+                    f"got {self.target!r}"
+                )
+
+    @property
+    def shard(self) -> Optional[int]:
+        """Shard index for ``shard-K`` targets, ``None`` for the client."""
+        if self.target.startswith("shard-"):
+            return int(self.target.split("-", 1)[1])
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "target": self.target,
+            "frame": self.frame,
+            "kind": self.kind,
+            "arg": self.arg,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultEvent":
+        return cls(
+            target=str(data["target"]),
+            frame=int(data["frame"]),  # type: ignore[call-overload]
+            kind=str(data["kind"]),
+            arg=float(data.get("arg", 0.0)),  # type: ignore[arg-type]
+        )
+
+
+class FaultSchedule:
+    """An ordered, seed-reproducible list of :class:`FaultEvent` records."""
+
+    def __init__(self, events: Sequence[FaultEvent],
+                 seed: Optional[int] = None) -> None:
+        self.events = list(events)
+        self.seed = seed
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def kinds(self) -> Tuple[str, ...]:
+        """Distinct fault kinds present, in canonical order."""
+        present = {event.kind for event in self.events}
+        return tuple(kind for kind in FAULT_KINDS if kind in present)
+
+    def wire_faults(self, target: str) -> Dict[int, FaultEvent]:
+        """``frame -> event`` map of the wire faults aimed at ``target``."""
+        return {
+            event.frame: event
+            for event in self.events
+            if event.target == target and event.kind in WIRE_KINDS
+        }
+
+    def process_faults(self) -> Dict[int, List[FaultEvent]]:
+        """``send index -> events`` map of the kill/sigstop faults."""
+        out: Dict[int, List[FaultEvent]] = {}
+        for event in self.events:
+            if event.kind in PROCESS_KINDS:
+                out.setdefault(event.frame, []).append(event)
+        return out
+
+    @classmethod
+    def generate(
+        cls,
+        seed: RandomState,
+        num_frames: int,
+        num_shards: int,
+        extra_events: int = 3,
+    ) -> "FaultSchedule":
+        """Derive a schedule covering **every** fault kind from one seed.
+
+        The canonical :data:`FAULT_KINDS` order is cycled first — one event
+        per kind, then ``extra_events`` more drawn uniformly — so any
+        generated schedule exercises all seven kinds.  Placement keeps the
+        faults live:
+
+        * shard-leg wire faults land at frame counts 1–4, which every
+          shard's proxy reaches under any routing partition;
+        * client-leg wire faults and process faults land in the first half
+          of the client's send sequence, so they fire before the stream
+          runs out.
+
+        Events are deduplicated on ``(target, frame)``: one fault per
+        counter value keeps each firing unambiguous.
+        """
+        if num_frames < 2:
+            raise ValueError("num_frames must be >= 2 to place faults")
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        rng = as_generator(seed)
+        wanted = list(FAULT_KINDS)
+        wanted += [
+            FAULT_KINDS[int(i)]
+            for i in rng.integers(0, len(FAULT_KINDS), size=max(0, extra_events))
+        ]
+        events: List[FaultEvent] = []
+        used: set = set()
+        send_high = max(2, num_frames // 2)
+        for kind in wanted:
+            for _ in range(16):  # bounded redraws around (target, frame) clashes
+                if kind in PROCESS_KINDS or kind == "corrupt":
+                    target = f"shard-{int(rng.integers(0, num_shards))}"
+                elif kind in CLIENT_WIRE_KINDS and rng.random() < 0.5:
+                    target = "client"
+                else:
+                    target = f"shard-{int(rng.integers(0, num_shards))}"
+                if kind in PROCESS_KINDS:
+                    frame = int(rng.integers(1, send_high))
+                elif target == "client":
+                    frame = int(rng.integers(1, send_high))
+                else:
+                    frame = int(rng.integers(1, 5))
+                if (target, frame) in used:
+                    continue
+                used.add((target, frame))
+                if kind == "delay":
+                    arg = round(0.05 + 0.15 * float(rng.random()), 3)
+                elif kind == "sigstop":
+                    arg = round(0.5 + 0.5 * float(rng.random()), 3)
+                else:
+                    arg = 0.0
+                events.append(FaultEvent(target, frame, kind, arg))
+                break
+        events.sort(key=lambda e: (e.frame, e.target, e.kind))
+        seed_int = None if seed is None else (
+            int(seed) if isinstance(seed, (int, np.integer)) else None
+        )
+        return cls(events, seed=seed_int)
+
+    # ----- persistence (the CI failure artifact) --------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "digest": self.digest(),
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultSchedule":
+        events = [
+            FaultEvent.from_dict(entry)
+            for entry in data.get("events", [])  # type: ignore[union-attr]
+        ]
+        seed = data.get("seed")
+        return cls(events, seed=int(seed) if seed is not None else None)  # type: ignore[call-overload]
+
+    def digest(self) -> str:
+        """sha256 of the canonical event list — the replay fingerprint."""
+        canonical = json.dumps(
+            [event.to_dict() for event in self.events],
+            sort_keys=True, separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the schedule as JSON (uploaded by CI when a run fails)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultSchedule":
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,232 @@
+"""A frame-aware fault-injecting TCP proxy for one cluster leg.
+
+:class:`FaultyTransport` sits between two real peers — client↔router or
+router↔shard — and forwards bytes untouched *except* at scheduled frame
+counts, where it injects one wire fault (``docs/chaos.md``).  It is
+frame-aware in the client→upstream direction: that leg is parsed with the
+production :func:`~repro.server.framing.read_frame_payload`, a monotone
+counter ticks once per ``reports`` frame (control frames pass through
+uncounted), and a :class:`~repro.chaos.schedule.FaultEvent` scheduled at
+count *n* fires exactly when frame *n* arrives — deterministic under a
+fixed schedule, independent of timing.  The upstream→client direction is a
+raw byte pump; replies are never faulted.
+
+The counter spans connections: reconnecting (which recovery does) keeps
+counting where the last connection stopped, so one schedule addresses the
+whole run.  Each event fires **once** (popped on firing, recorded in
+:attr:`FaultyTransport.fired`); journal replays inflate later counts,
+which shifts — never re-fires — subsequent events.
+
+Fault kinds on this leg:
+
+* ``delay``  — hold the frame for ``arg`` seconds, then forward it.
+* ``reset``  — abort both directions mid-frame; the frame is lost.
+* ``truncate`` — forward only the first half of the framed bytes, then
+  close; the upstream peer sees a mid-frame EOF.
+* ``corrupt`` — flip every bit of the payload's first byte (``0xB1`` and
+  ``0x7B`` both become invalid magics, so the peer *must* reject — data
+  bytes are not flipped because undetectable corruption is a documented
+  non-goal, see ``docs/chaos.md``).
+* ``stall``  — swallow the frame and black-hole the connection (both
+  directions) while keeping it open: the peer's next exchange hangs until
+  its own deadline fires, which is exactly the pathology the timeout
+  hardening exists for.
+
+``retarget`` repoints the upstream endpoint — the chaos supervisor calls
+it after restarting a shard on a fresh port, so the router keeps dialing
+the *proxy* while the proxy follows the shard.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Tuple
+
+from repro.chaos.schedule import WIRE_KINDS, FaultEvent
+from repro.server.framing import FrameError, frame_bytes, read_frame_payload
+
+__all__ = ["FaultyTransport"]
+
+
+def _is_reports_payload(payload: bytes) -> bool:
+    """Frame-sniff without a decode: binary magic or an early JSON tag."""
+    if not payload:
+        return False
+    if payload[0] == 0xB1:
+        return True
+    return b'"type":"reports"' in payload[:64] or (
+        b'"type": "reports"' in payload[:64]
+    )
+
+
+class _Connection:
+    """One proxied connection: the two pumps plus the black-hole flag."""
+
+    def __init__(self, down_reader: asyncio.StreamReader,
+                 down_writer: asyncio.StreamWriter,
+                 up_reader: asyncio.StreamReader,
+                 up_writer: asyncio.StreamWriter) -> None:
+        self.down_reader = down_reader
+        self.down_writer = down_writer
+        self.up_reader = up_reader
+        self.up_writer = up_writer
+        self.blackhole = False
+
+    def abort(self) -> None:
+        for writer in (self.down_writer, self.up_writer):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+
+    def close(self) -> None:
+        # Abort-based on purpose: a graceful close waits for the write
+        # buffer to drain, and a chaos proxy's peer may (by design) never
+        # read again — teardown must not hang on an injected fault.
+        self.abort()
+        for writer in (self.down_writer, self.up_writer):
+            writer.close()
+
+
+class FaultyTransport:
+    """Fault-injecting proxy in front of one upstream ``(host, port)``."""
+
+    def __init__(self, name: str, upstream: Tuple[str, int],
+                 faults: Optional[Dict[int, FaultEvent]] = None) -> None:
+        for event in (faults or {}).values():
+            if event.kind not in WIRE_KINDS:
+                raise ValueError(
+                    f"{event.kind!r} is not a wire fault kind"
+                )
+        self.name = name
+        self.upstream = (upstream[0], int(upstream[1]))
+        self.faults = dict(faults or {})
+        #: events that actually fired, in firing order
+        self.fired: List[FaultEvent] = []
+        #: ``reports`` frames seen client→upstream, across all connections
+        self.frames = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._address: Optional[Tuple[str, int]] = None
+        self._tasks: set = set()
+        self._conns: List[_Connection] = []
+
+    @property
+    def endpoint(self) -> Tuple[str, int]:
+        if self._address is None:
+            raise RuntimeError("transport not started")
+        return self._address
+
+    def retarget(self, host: str, port: int) -> None:
+        """Point new upstream connections at a fresh ``(host, port)``."""
+        self.upstream = (host, int(port))
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> Tuple[str, int]:
+        if self._server is not None:
+            raise RuntimeError("transport already started")
+        self._server = await asyncio.start_server(self._handle, host, port)
+        sockname = self._server.sockets[0].getsockname()
+        self._address = (str(sockname[0]), int(sockname[1]))
+        return self._address
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            server, self._server = self._server, None
+            server.close()
+            await server.wait_closed()
+        for task in list(self._tasks):
+            task.cancel()
+        for task in list(self._tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._tasks.clear()
+        for conn in self._conns:
+            conn.close()
+        self._conns.clear()
+
+    # ----- per-connection plumbing ----------------------------------------------------
+
+    async def _handle(self, down_reader: asyncio.StreamReader,
+                      down_writer: asyncio.StreamWriter) -> None:
+        try:
+            up_reader, up_writer = await asyncio.open_connection(*self.upstream)
+        except OSError:
+            down_writer.close()
+            return
+        conn = _Connection(down_reader, down_writer, up_reader, up_writer)
+        self._conns.append(conn)
+        up_task = asyncio.current_task()
+        if up_task is not None:
+            self._tasks.add(up_task)
+        reply_task = asyncio.ensure_future(self._pump_replies(conn))
+        self._tasks.add(reply_task)
+        try:
+            # A black-holed (stalled) connection stays in this loop
+            # swallowing frames until the peer gives up and closes; cleanup
+            # below then runs exactly as for a normal disconnect.
+            await self._pump_frames(conn)
+        finally:
+            reply_task.cancel()
+            conn.close()
+            self._tasks.discard(reply_task)
+            if up_task is not None:
+                self._tasks.discard(up_task)
+
+    async def _pump_replies(self, conn: _Connection) -> None:
+        """upstream→client raw byte pump (replies are never faulted)."""
+        try:
+            while True:
+                chunk = await conn.up_reader.read(1 << 16)
+                if not chunk or conn.blackhole:
+                    break
+                conn.down_writer.write(chunk)
+                await conn.down_writer.drain()
+        except (OSError, asyncio.CancelledError):
+            pass
+
+    async def _pump_frames(self, conn: _Connection) -> None:
+        """client→upstream frame pump; injects the scheduled faults."""
+        try:
+            while True:
+                try:
+                    payload = await read_frame_payload(conn.down_reader)
+                except (FrameError, OSError, asyncio.IncompleteReadError):
+                    break
+                if payload is None:
+                    break
+                if conn.blackhole:
+                    continue  # swallow everything after a stall
+                event: Optional[FaultEvent] = None
+                if _is_reports_payload(payload):
+                    self.frames += 1
+                    event = self.faults.pop(self.frames, None)
+                if event is not None:
+                    self.fired.append(event)
+                    if event.kind == "delay":
+                        await asyncio.sleep(event.arg)
+                    elif event.kind == "reset":
+                        conn.abort()
+                        return
+                    elif event.kind == "truncate":
+                        framed = frame_bytes(payload)
+                        conn.up_writer.write(framed[: max(1, len(framed) // 2)])
+                        try:
+                            await conn.up_writer.drain()
+                        except OSError:
+                            pass
+                        return
+                    elif event.kind == "corrupt":
+                        mutated = bytearray(payload)
+                        mutated[0] ^= 0xFF
+                        payload = bytes(mutated)
+                    elif event.kind == "stall":
+                        conn.blackhole = True
+                        continue
+                try:
+                    conn.up_writer.write(frame_bytes(payload))
+                    await conn.up_writer.drain()
+                except OSError:
+                    break
+        except asyncio.CancelledError:
+            pass

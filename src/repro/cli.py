@@ -703,6 +703,95 @@ def _cmd_load_test(args) -> int:
             proc.stdout.close()
 
 
+def _cmd_chaos_test(args) -> int:
+    """Seeded fault-injection run; the faulted cluster must stay exact."""
+    import numpy as np
+
+    from repro.chaos import ChaosRunner, FaultSchedule
+
+    if args.cluster < 1:
+        print("chaos-test: --cluster must be at least 1", file=sys.stderr)
+        return 2
+    schedule = None
+    if args.schedule is not None:
+        schedule = FaultSchedule.load(args.schedule)
+    runner = ChaosRunner(
+        protocol=args.protocol, domain_size=args.domain_size,
+        epsilon=args.epsilon, num_users=args.users,
+        num_shards=args.cluster, seed=args.seed,
+        wire_format=args.wire_format, schedule=schedule)
+    result = runner.run()
+    schedule = result.schedule
+    if args.schedule_out is not None:
+        path = schedule.save(args.schedule_out)
+        print(f"fault schedule written to {path}")
+    rows = [{"target": event.target, "frame": event.frame,
+             "kind": event.kind, "arg": event.arg}
+            for event in result.fired]
+    print(format_table(rows, title=(
+        f"chaos-test: {args.protocol} x {result.num_users} users over "
+        f"{args.cluster} shard(s), seed {args.seed}, "
+        f"{args.wire_format} frames - faults fired")))
+    print(f"\nschedule digest: {schedule.digest()} "
+          f"(replay with --seed {args.seed})")
+    print(f"fault kinds fired: {', '.join(result.fired_kinds)} "
+          f"({len(result.fired_kinds)} distinct); shard restarts: "
+          f"{result.restarts}; client retries: {result.send_retries}")
+    print(f"served == offline engine ({len(result.queries)} queries): "
+          f"{'BIT-IDENTICAL' if result.identical else 'MISMATCH'}")
+    if not result.identical:
+        worst = int(np.argmax(np.abs(result.served - result.expected)))
+        print(f"chaos-test: first divergence at item "
+              f"{result.queries[worst]}: served {result.served[worst]!r} "
+              f"!= offline {result.expected[worst]!r}", file=sys.stderr)
+        return 1
+    if len(result.fired_kinds) < args.min_kinds:
+        print(f"chaos-test: only {len(result.fired_kinds)} distinct fault "
+              f"kinds fired (wanted >= {args.min_kinds}); the schedule "
+              f"barely exercised the cluster", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_cluster_status(args) -> int:
+    """Render a live server's (or cluster router's) ``health`` reply."""
+    from repro.server import AggregationClient
+
+    host, sep, port_text = args.server.rpartition(":")
+    if not sep or not host or not port_text.isdigit():
+        print(f"cluster-status: --server must be HOST:PORT "
+              f"(got {args.server!r})", file=sys.stderr)
+        return 2
+    with AggregationClient(host, int(port_text),
+                           timeout=args.timeout) as client:
+        health = client.health()
+    status = str(health.get("status", "ok"))
+    print(f"{health.get('server')} at {args.server}: {status}")
+    shards = health.get("shards")
+    if isinstance(shards, list) and shards:
+        rows = []
+        for entry in shards:
+            rows.append({
+                "shard": entry.get("shard"),
+                "status": entry.get("status"),
+                "endpoint": f"{entry.get('host')}:{entry.get('port')}",
+                "queue_depth": entry.get("queue_depth", "-"),
+                "num_reports": entry.get("num_reports", "-"),
+                "journal_reports": entry.get("journal_reports", 0),
+                "seq": entry.get("seq", 0),
+                "restarts": entry.get("restarts", "-"),
+                "last_fault": (entry.get("last_fault") or "")[:48],
+            })
+        print(format_table(rows,
+                           title=f"cluster-status: {len(rows)} shard(s)"))
+    else:
+        for key in ("protocol", "queue_depth", "epochs", "num_reports",
+                    "state_size", "max_seq"):
+            if key in health:
+                print(f"{key}: {health[key]}")
+    return 0 if status == "ok" else 1
+
+
 # --------------------------------------------------------------------------------------
 # module map (--list-modules)
 # --------------------------------------------------------------------------------------
@@ -973,6 +1062,42 @@ def build_parser() -> argparse.ArgumentParser:
     load_parser.add_argument("--quick", action="store_true",
                              help="CI-sized run (<= 20k users, 2 workers)")
     load_parser.set_defaults(func=_cmd_load_test)
+
+    chaos_parser = subparsers.add_parser(
+        "chaos-test",
+        help="seeded fault-injection run against a real cluster; verify "
+             "served == offline engine, bit for bit (repro.chaos)")
+    chaos_parser.add_argument("--cluster", type=int, default=3, metavar="K",
+                              help="number of shard server subprocesses")
+    chaos_parser.add_argument("--users", type=int, default=12_000)
+    chaos_parser.add_argument("--protocol", default="hashtogram",
+                              choices=["hashtogram", "explicit", "cms"])
+    chaos_parser.add_argument("--domain-size", type=int, default=4096)
+    chaos_parser.add_argument("--epsilon", type=float, default=1.0)
+    chaos_parser.add_argument("--seed", type=int, default=7,
+                              help="seed of the workload, the cluster "
+                                   "partition, AND the fault schedule - one "
+                                   "integer replays the whole run")
+    chaos_parser.add_argument("--wire-format", default="binary",
+                              choices=["json", "binary"])
+    chaos_parser.add_argument("--schedule", default=None,
+                              help="replay this saved fault-schedule JSON "
+                                   "instead of generating one from --seed")
+    chaos_parser.add_argument("--schedule-out", default=None,
+                              help="write the fault schedule JSON here (the "
+                                   "CI failure artifact)")
+    chaos_parser.add_argument("--min-kinds", type=int, default=5,
+                              help="fail unless at least this many distinct "
+                                   "fault kinds actually fired")
+    chaos_parser.set_defaults(func=_cmd_chaos_test)
+
+    status_parser = subparsers.add_parser(
+        "cluster-status",
+        help="probe a live server or cluster router with the health frame")
+    status_parser.add_argument("--server", required=True,
+                               help="HOST:PORT of the server or router")
+    status_parser.add_argument("--timeout", type=float, default=10.0)
+    status_parser.set_defaults(func=_cmd_cluster_status)
 
     return parser
 

@@ -25,15 +25,24 @@ endpoint:
   ``python -m repro.cli load-test --cluster K`` asserts.  Windowed queries
   stay exact across shards: the router resolves the global newest epoch
   first and passes every shard the same absolute ``min_epoch`` cutoff.
-* **Failure handling** — every frame forwarded to a shard is kept in that
-  shard's *journal* until the shard acknowledges a snapshot barrier
-  (auto-checkpoint after ``checkpoint_reports`` journaled reports, or an
-  explicit client ``snapshot``).  When a fan-out detects a dead shard, the
-  :class:`~repro.cluster.supervisor.ClusterSupervisor` restarts it from its
-  newest snapshot, the router replays the journal (everything since that
-  snapshot), and a ``sync`` barrier confirms convergence — the revived
-  shard's integer state is exactly what it would have been without the
-  crash, so cluster answers remain bit-identical through a kill.
+* **Failure handling** — every frame forwarded to a shard is stamped with
+  a per-link delivery sequence number (``docs/wire-protocol.md`` §7.1) and
+  kept in that shard's *journal* until the shard acknowledges a snapshot
+  barrier (auto-checkpoint after ``checkpoint_reports`` journaled reports,
+  or an explicit client ``snapshot``).  When a fan-out or forward fails,
+  recovery runs a bounded escalation ladder under seeded exponential
+  backoff: reconnect and replay the journal first, then — when a
+  :class:`~repro.cluster.supervisor.ClusterSupervisor` is attached —
+  restart the shard from its newest snapshot and replay.  Replays are
+  idempotent: the shard dedupes already-absorbed frames on the sequence
+  number, so a replay onto a *live* shard (connection reset, truncated
+  frame) absorbs only the lost suffix, while a replay onto a *restarted*
+  shard (fresh watermark) re-absorbs everything since the snapshot — both
+  converge to exactly the state the shard would have had without the
+  fault, so cluster answers remain bit-identical through kills, resets,
+  and stalls.  When the ladder is exhausted the failure surfaces as a
+  typed :class:`~repro.server.client.ShardUnavailable` within a bounded
+  deadline — never a hang, never a silently partial result.
 
 Connections to shards are pooled: one persistent, ordered connection per
 shard, reused for every forward and fan-out rather than dialed per
@@ -60,6 +69,7 @@ from repro.protocol.binary import (
     is_binary_payload,
     pack_state,
     peek_reports_header,
+    stamp_sequence,
     unpack_state,
 )
 from repro.protocol.wire import (
@@ -69,6 +79,7 @@ from repro.protocol.wire import (
     load_child_state,
     merge_aggregators,
 )
+from repro.server.client import ShardUnavailable
 from repro.server.framing import (
     WIRE_FORMATS,
     FrameError,
@@ -77,15 +88,23 @@ from repro.server.framing import (
     read_frame_payload,
     write_frame,
 )
-from repro.utils.rng import RandomState
+from repro.utils.rng import RandomState, as_generator
 
 __all__ = ["ClusterError", "ClusterRouter", "RouterStats", "ROUTER_ID"]
 
 #: protocol identification string sent in every router ``params`` reply
 ROUTER_ID = "repro-cluster-router/1"
 
-#: transport-level failures that trigger shard revival on fan-out
-_SHARD_FAILURES = (OSError, FrameError, asyncio.IncompleteReadError)
+#: transport-level failures that trigger shard recovery on fan-out.
+#: ``asyncio.TimeoutError`` is listed explicitly: on Python 3.10 it is not
+#: the builtin ``TimeoutError`` (an ``OSError`` subclass), and every shard
+#: exchange runs under an ``asyncio.wait_for`` deadline.
+_SHARD_FAILURES = (
+    OSError,
+    FrameError,
+    asyncio.IncompleteReadError,
+    asyncio.TimeoutError,
+)
 
 
 class ClusterError(RuntimeError):
@@ -135,10 +154,17 @@ class _ShardLink:
         self.writer: Optional[asyncio.StreamWriter] = None
         self.lock = asyncio.Lock()
         #: raw frame payloads (and their report counts) forwarded since the
-        #: shard's last acknowledged snapshot barrier
+        #: shard's last acknowledged snapshot barrier; payloads are stored
+        #: *after* sequence stamping so a replay redelivers identical bytes
         self.journal: List[Tuple[bytes, int]] = []
         self.journal_reports = 0
         self.reports_forwarded = 0
+        #: delivery sequence number of the last ``reports`` frame stamped
+        #: for this shard (``docs/wire-protocol.md`` §7.1); the router is
+        #: the single sequencing writer, so strictly increasing per link
+        self.seq = 0
+        #: ``repr`` of the most recent transport failure on this link
+        self.last_fault: Optional[str] = None
 
     async def connect(self) -> None:
         await self.close()
@@ -185,6 +211,22 @@ class ClusterRouter:
         the journal.  Bounds both journal memory and replay time.
     window:
         Retention the shards were started with (published in ``hello``).
+    connect_timeout:
+        Deadline (seconds) for dialing a shard connection.
+    request_timeout:
+        Deadline (seconds) for one request/reply exchange (or one forward
+        drain) on a shard connection.  A shard that accepts bytes but never
+        answers — a stalled read — surfaces as a timeout and enters
+        recovery instead of hanging the fan-out.
+    recovery_attempts:
+        Size of the recovery ladder: attempt 0 reconnects and replays the
+        journal; later attempts escalate to a supervisor restart (when one
+        is attached).  Exhausting the ladder raises
+        :class:`~repro.server.client.ShardUnavailable`.
+    backoff_base / backoff_cap:
+        Exponential backoff between recovery attempts:
+        ``min(cap, base * 2**(attempt-1))`` plus seeded jitter drawn from
+        ``rng`` — deterministic under a fixed seed, like everything else.
     """
 
     def __init__(
@@ -198,6 +240,11 @@ class ClusterRouter:
         wire_formats: Sequence[str] = WIRE_FORMATS,
         checkpoint_reports: int = 1 << 16,
         window: Optional[int] = None,
+        connect_timeout: float = 5.0,
+        request_timeout: float = 30.0,
+        recovery_attempts: int = 4,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
     ) -> None:
         if endpoints is None:
             if supervisor is None:
@@ -215,6 +262,10 @@ class ClusterRouter:
             )
         if checkpoint_reports < 1:
             raise ValueError("checkpoint_reports must be >= 1")
+        if connect_timeout <= 0 or request_timeout <= 0:
+            raise ValueError("timeouts must be positive")
+        if recovery_attempts < 1:
+            raise ValueError("recovery_attempts must be >= 1")
         self.params = params
         self.supervisor = supervisor
         self.partition = (
@@ -229,6 +280,14 @@ class ClusterRouter:
             )
         self.window = window
         self.checkpoint_reports = int(checkpoint_reports)
+        self.connect_timeout = float(connect_timeout)
+        self.request_timeout = float(request_timeout)
+        self.recovery_attempts = int(recovery_attempts)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        #: jitter source for recovery backoff; seeded from the same ``rng``
+        #: that sampled the partition, so a chaos run replays exactly
+        self._backoff_rng = as_generator(rng)
         self.stats = RouterStats()
         self.links = [
             _ShardLink(i, host, port) for i, (host, port) in enumerate(endpoints)
@@ -253,7 +312,7 @@ class ClusterRouter:
             raise RuntimeError("router already started")
         self._started = True
         for link in self.links:
-            await link.connect()
+            await asyncio.wait_for(link.connect(), self.connect_timeout)
             reply = await self._request_on_link(link, {"type": "hello"}, "params")
             published = PublicParams.from_dict(dict(reply["params"]))
             if published != self.params:
@@ -298,15 +357,34 @@ class ClusterRouter:
         frame: Dict[str, object],
         expected: str,
     ) -> Dict[str, object]:
-        """One request/reply on an (assumed healthy) shard connection."""
-        await write_frame(link.writer, frame)
-        reply = await read_frame(link.reader)
+        """One request/reply on an (assumed healthy) shard connection.
+
+        The whole exchange runs under ``request_timeout``, so a stalled
+        shard surfaces as ``asyncio.TimeoutError`` (a recoverable
+        ``_SHARD_FAILURES`` member) instead of hanging the fan-out.  An
+        ``error`` reply is *also* recoverable: the shard service answers an
+        error frame and closes on any malformed input, so an error here
+        means the pooled connection is desynchronized — reconnect, replay,
+        and a ``sync`` barrier restore it.
+        """
+        reader, writer = link.reader, link.writer
+        if reader is None or writer is None:
+            raise FrameError(f"shard {link.index} link is not connected")
+
+        async def exchange() -> Optional[Dict[str, object]]:
+            await write_frame(writer, frame)
+            return await read_frame(reader)
+
+        reply = await asyncio.wait_for(exchange(), self.request_timeout)
         if reply is None:
             raise FrameError(
                 f"shard {link.index} closed the connection mid-request"
             )
         if reply.get("type") == "error":
-            raise ClusterError(f"shard {link.index}: {reply.get('error')}")
+            raise FrameError(
+                f"shard {link.index} answered with an error: "
+                f"{reply.get('error')}"
+            )
         if reply.get("type") != expected:
             raise FrameError(
                 f"shard {link.index}: expected a {expected!r} reply, got "
@@ -314,34 +392,85 @@ class ClusterRouter:
             )
         return reply
 
-    async def _revive_locked(self, link: _ShardLink) -> None:
-        """Restart a dead shard from its snapshot and replay the journal.
+    async def _replay_locked(self, link: _ShardLink) -> None:
+        """Replay the journal on a fresh connection (caller holds the lock).
 
-        Caller holds ``link.lock``.  The supervisor restores the shard's
-        newest snapshot — the state at the last cleared journal barrier —
-        and the journal replay re-forwards everything since, so the revived
-        shard converges to the exact pre-crash integer state; the closing
-        ``sync`` barrier both confirms absorption and surfaces a second
-        failure immediately.
+        The journal holds the *stamped* payload bytes, so the shard sees an
+        exact redelivery: frames at or below its sequence watermark are
+        deduped, frames above it (or all of them, on a restarted shard
+        whose watermark reset) are absorbed.  The closing ``sync`` barrier
+        both confirms absorption and surfaces a second failure immediately.
         """
-        if self.supervisor is None:
-            raise ClusterError(
-                f"shard {link.index} at {link.host}:{link.port} is down and "
-                f"no supervisor is attached"
-            )
+        writer = link.writer
+        if writer is None:
+            raise FrameError(f"shard {link.index} link is not connected")
+        for payload, num_reports in link.journal:
+            writer.write(frame_bytes(payload))
+            self.stats.journal_replayed_frames += 1
+            self.stats.journal_replayed_reports += num_reports
+        await asyncio.wait_for(writer.drain(), self.request_timeout)
+        await self._request_on_link(link, {"type": "sync"}, "synced")
+
+    async def _reconnect_locked(self, link: _ShardLink) -> None:
+        """Dial the shard afresh and bring it up to date (lock held)."""
+        await asyncio.wait_for(link.connect(), self.connect_timeout)
+        await self._replay_locked(link)
+
+    async def _restart_locked(self, link: _ShardLink) -> None:
+        """Supervisor-restart the shard from its snapshot, then replay.
+
+        Caller holds ``link.lock`` and has checked ``self.supervisor``.
+        The supervisor restores the shard's newest snapshot — the state at
+        the last cleared journal barrier — and the replay re-forwards
+        everything since, so the revived shard converges to the exact
+        pre-fault integer state.
+        """
+        assert self.supervisor is not None
         self.stats.shard_restarts += 1
         loop = asyncio.get_running_loop()
         host, port = await loop.run_in_executor(
             None, self.supervisor.restart, link.index
         )
         link.host, link.port = host, int(port)
-        await link.connect()
-        for payload, num_reports in link.journal:
-            link.writer.write(frame_bytes(payload))
-            self.stats.journal_replayed_frames += 1
-            self.stats.journal_replayed_reports += num_reports
-        await link.writer.drain()
-        await self._request_on_link(link, {"type": "sync"}, "synced")
+        await self._reconnect_locked(link)
+
+    async def _recover_locked(
+        self, link: _ShardLink, cause: BaseException
+    ) -> None:
+        """Bounded recovery ladder with seeded backoff (caller holds lock).
+
+        Attempt 0 assumes a transport fault on a live shard: reconnect and
+        replay.  Later attempts assume the shard itself is gone (or frozen
+        — a SIGSTOPped shard accepts connections at the kernel backlog but
+        never answers the replay's ``sync``) and escalate to a supervisor
+        restart; without a supervisor they keep reconnecting.  Exhausting
+        the ladder raises :class:`ShardUnavailable` — callers get a typed
+        failure within ``recovery_attempts`` bounded-deadline attempts,
+        never a hang.
+        """
+        last: BaseException = cause
+        link.last_fault = repr(cause)
+        for attempt in range(self.recovery_attempts):
+            if attempt > 0:
+                delay = min(
+                    self.backoff_cap, self.backoff_base * 2 ** (attempt - 1)
+                ) + float(self._backoff_rng.uniform(0.0, self.backoff_base))
+                await asyncio.sleep(delay)
+            try:
+                if attempt == 0 or self.supervisor is None:
+                    await self._reconnect_locked(link)
+                else:
+                    await self._restart_locked(link)
+                return
+            except _SHARD_FAILURES as exc:
+                last = exc
+                link.last_fault = repr(exc)
+                await link.close()
+        raise ShardUnavailable(
+            f"shard {link.index} at {link.host}:{link.port} is unavailable "
+            f"after {self.recovery_attempts} recovery attempts "
+            f"(last fault: {link.last_fault})"
+        ) from last
 
     async def _request(
         self,
@@ -350,15 +479,16 @@ class ClusterRouter:
         expected: str,
         revive: bool = True,
     ) -> Dict[str, object]:
-        """Fan-out request with dead-shard detection and one revival retry."""
+        """Fan-out request with dead-shard detection and bounded recovery."""
         async with link.lock:
-            try:
+            if not revive:
                 return await self._request_on_link(link, frame, expected)
-            except _SHARD_FAILURES:
-                if not revive:
-                    raise
-                await self._revive_locked(link)
-                return await self._request_on_link(link, frame, expected)
+            for _ in range(2):
+                try:
+                    return await self._request_on_link(link, frame, expected)
+                except _SHARD_FAILURES as exc:
+                    await self._recover_locked(link, exc)
+            return await self._request_on_link(link, frame, expected)
 
     async def _fan_out(self, coros: Iterable[Awaitable[Dict[str, object]]]
                        ) -> List[Dict[str, object]]:
@@ -391,25 +521,51 @@ class ClusterRouter:
         return str(reply["path"])
 
     async def _forward(
-        self, link: _ShardLink, payload: bytes, num_reports: int
+        self,
+        link: _ShardLink,
+        payload: bytes,
+        num_reports: int,
+        message: Optional[Dict[str, object]] = None,
     ) -> None:
-        """Journal and forward one ``reports`` payload to its shard."""
+        """Stamp, journal, and forward one ``reports`` payload to its shard.
+
+        The payload is stamped with the link's next delivery sequence
+        number *before* journaling — binary frames in place via
+        :func:`~repro.protocol.binary.stamp_sequence` (an 8-byte splice, no
+        column decode), JSON frames by setting ``"seq"`` on the parsed
+        ``message`` the dispatcher already has.  Journaling the stamped
+        bytes is what makes replay-after-fault idempotent (§7.1): the shard
+        dedupes redelivered frames on the sequence number.
+        """
         async with link.lock:
+            link.seq += 1
+            if message is None:
+                payload = stamp_sequence(payload, link.seq)
+            else:
+                message["seq"] = link.seq
+                payload = json.dumps(
+                    message, separators=(",", ":")
+                ).encode("utf-8")
             link.journal.append((payload, num_reports))
             link.journal_reports += num_reports
             link.reports_forwarded += num_reports
             try:
-                link.writer.write(frame_bytes(payload))
-                await link.writer.drain()
-            except _SHARD_FAILURES:
-                # The failed frame is already journaled, so revival's
+                writer = link.writer
+                if writer is None:
+                    raise FrameError(
+                        f"shard {link.index} link is not connected"
+                    )
+                writer.write(frame_bytes(payload))
+                await asyncio.wait_for(writer.drain(), self.request_timeout)
+            except _SHARD_FAILURES as exc:
+                # The failed frame is already journaled, so recovery's
                 # replay delivers it along with everything else pending.
-                await self._revive_locked(link)
+                await self._recover_locked(link, exc)
             if link.journal_reports >= self.checkpoint_reports:
                 try:
                     await self._checkpoint_locked(link)
-                except _SHARD_FAILURES:
-                    await self._revive_locked(link)
+                except _SHARD_FAILURES as exc:
+                    await self._recover_locked(link, exc)
                     await self._checkpoint_locked(link)
         self.stats.frames_forwarded += 1
         self.stats.reports_forwarded += num_reports
@@ -480,12 +636,13 @@ class ClusterRouter:
                     f"{self.params.protocol!r} cluster"
                 )
                 return True
-            link = self._pick_shard(header["route"])
+            route = header["route"]
+            link = self._pick_shard(int(route) if route is not None else None)
             await self._forward(link, payload, int(header["num_reports"]))
             return True
         try:
             message = json.loads(payload)
-        except json.JSONDecodeError as exc:
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             await write_frame(
                 writer, {"type": "error", "error": f"invalid JSON in frame: {exc}"}
             )
@@ -516,12 +673,17 @@ class ClusterRouter:
                 return True
             route = message.get("route")
             link = self._pick_shard(int(route) if route is not None else None)
-            await self._forward(link, payload, num_reports)
+            await self._forward(link, payload, num_reports, message=message)
             return True
         try:
             return await self._dispatch_control(message, writer)
         except Exception as exc:  # noqa: BLE001 - reported to the peer
-            await write_frame(writer, {"type": "error", "error": str(exc)})
+            reply: Dict[str, object] = {"type": "error", "error": str(exc)}
+            if isinstance(exc, ShardUnavailable):
+                # Typed so clients can tell "shard down mid-query" apart
+                # from a malformed request (docs/wire-protocol.md §7).
+                reply["code"] = "shard_unavailable"
+            await write_frame(writer, reply)
             return True
 
     # ----- control frames -------------------------------------------------------------
@@ -612,14 +774,17 @@ class ClusterRouter:
         if kind == "stats":
             await write_frame(writer, await self._merged_stats())
             return True
+        if kind == "health":
+            await write_frame(writer, await self._health())
+            return True
         if kind == "snapshot":
             paths = []
             for link in self.links:
                 async with link.lock:
                     try:
                         paths.append(await self._checkpoint_locked(link))
-                    except _SHARD_FAILURES:
-                        await self._revive_locked(link)
+                    except _SHARD_FAILURES as exc:
+                        await self._recover_locked(link, exc)
                         paths.append(await self._checkpoint_locked(link))
             num_reports = sum(
                 int(r["num_reports"])
@@ -780,3 +945,57 @@ class ClusterRouter:
             }
         )
         return summed
+
+    async def _health(self) -> Dict[str, object]:
+        """Probe every shard without draining or recovering.
+
+        Health is a *read* on the cluster's failure state, so an
+        unreachable shard is reported (``status: "unreachable"``) rather
+        than recovered — recovery stays on the ingest/query paths where it
+        preserves exactness.  The dead link is closed so the next real
+        request hits the not-connected guard and recovers normally.
+        """
+        degraded = False
+        shards: List[Dict[str, object]] = []
+        for link in self.links:
+            entry: Dict[str, object] = {
+                "shard": link.index,
+                "host": link.host,
+                "port": link.port,
+                "journal_frames": len(link.journal),
+                "journal_reports": link.journal_reports,
+                "reports_forwarded": link.reports_forwarded,
+                "seq": link.seq,
+                "last_fault": link.last_fault,
+            }
+            if self.supervisor is not None:
+                entry["restarts"] = int(
+                    self.supervisor.shards[link.index].restarts
+                )
+            async with link.lock:
+                try:
+                    reply = await self._request_on_link(
+                        link, {"type": "health"}, "health"
+                    )
+                except _SHARD_FAILURES as exc:
+                    degraded = True
+                    link.last_fault = repr(exc)
+                    entry["last_fault"] = link.last_fault
+                    entry["status"] = "unreachable"
+                    entry["error"] = str(exc)
+                    await link.close()
+                else:
+                    entry["status"] = str(reply.get("status", "ok"))
+                    for key in (
+                        "queue_depth", "epochs", "num_reports", "max_seq"
+                    ):
+                        if key in reply:
+                            entry[key] = reply[key]
+            shards.append(entry)
+        return {
+            "type": "health",
+            "server": ROUTER_ID,
+            "status": "degraded" if degraded else "ok",
+            "num_shards": self.num_shards,
+            "shards": shards,
+        }

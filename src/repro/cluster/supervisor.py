@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import os
+import select
 import signal
 import subprocess
 import sys
@@ -39,18 +40,25 @@ from repro.server.snapshot import SnapshotStore
 __all__ = ["ClusterSupervisor", "ShardHandle", "spawn_server_process"]
 
 
+#: how long a spawned server may take to print its ``LISTENING`` line
+STARTUP_TIMEOUT = 30.0
+
+
 def spawn_server_process(
     verb: str = "serve",
     params_file: Optional[Union[str, Path]] = None,
     extra_args: Sequence[str] = (),
+    startup_timeout: float = STARTUP_TIMEOUT,
 ) -> Tuple[subprocess.Popen, str, int]:
     """Start a ``repro.cli`` server subprocess; returns ``(proc, host, port)``.
 
     The child gets ``PYTHONPATH`` pointing at this package's source tree, so
     it works both installed and from a checkout.  The child binds port 0 and
     announces the actual port on its ``LISTENING`` line, which this function
-    waits for — on any other first line the child is terminated and a
-    ``RuntimeError`` carries the line for diagnosis.
+    waits for — at most ``startup_timeout`` seconds (a wedged child is
+    killed and ``TimeoutError`` raised; the old behavior blocked forever on
+    a child that never printed).  On any other first line the child is
+    terminated and a ``RuntimeError`` carries the line for diagnosis.
     """
     import repro
 
@@ -62,6 +70,13 @@ def spawn_server_process(
         argv += ["--params-file", str(params_file)]
     argv += ["--host", "127.0.0.1", "--port", "0", "--quiet", *extra_args]
     proc = subprocess.Popen(argv, stdout=subprocess.PIPE, text=True, env=env)
+    ready, _, _ = select.select([proc.stdout], [], [], startup_timeout)
+    if not ready:
+        proc.kill()
+        proc.wait(timeout=10)
+        proc.stdout.close()
+        raise TimeoutError(f"server did not print its LISTENING line within "
+                           f"{startup_timeout}s")
     line = proc.stdout.readline()
     if not line.startswith("LISTENING "):
         proc.terminate()
@@ -196,11 +211,23 @@ class ClusterSupervisor:
         return host, port
 
     def kill(self, index: int, sig: int = signal.SIGKILL) -> None:
-        """Send ``sig`` to one shard (the chaos hook used by the tests)."""
+        """Send ``sig`` to one shard (the chaos hook used by the tests).
+
+        Only fatal signals are awaited; a ``SIGSTOP`` leaves the process
+        alive-but-frozen by design (waiting on it would block forever), to
+        be thawed by :meth:`resume` or escalated to :meth:`restart`.
+        """
         shard = self.shards[index]
         if shard.alive:
             shard.proc.send_signal(sig)
-            shard.proc.wait(timeout=10)
+            if sig in (signal.SIGKILL, signal.SIGTERM, signal.SIGINT):
+                shard.proc.wait(timeout=10)
+
+    def resume(self, index: int) -> None:
+        """SIGCONT one shard (undo a :meth:`kill` with ``SIGSTOP``)."""
+        shard = self.shards[index]
+        if shard.alive:
+            shard.proc.send_signal(signal.SIGCONT)
 
     def stop(self) -> None:
         """Terminate and reap every shard."""
@@ -210,6 +237,12 @@ class ClusterSupervisor:
     @staticmethod
     def _reap(shard: ShardHandle) -> None:
         if shard.alive:
+            try:
+                # A SIGSTOPped child never handles SIGTERM; thaw it first so
+                # the graceful path below works on frozen shards too.
+                shard.proc.send_signal(signal.SIGCONT)
+            except (ProcessLookupError, OSError):  # pragma: no cover - raced
+                pass
             shard.proc.terminate()
             try:
                 shard.proc.wait(timeout=10)

@@ -28,10 +28,12 @@ magnitude faster.  This module removes the serialization layer entirely:
 Frame layout (normative; also specified in ``docs/wire-protocol.md`` §8)::
 
     payload := header body
-    header  := magic=0xB1 (u8) version=1 (u8) kind (u8) flags=0 (u8)
+    header  := magic=0xB1 (u8) version=1 (u8) kind (u8) flags (u8)
 
     kind=1 (reports) body:
         epoch (i64) num_reports (u64) proto_len (u16) num_columns (u16)
+        route (i64, present iff flags & FLAG_ROUTED)
+        seq (u64, present iff flags & FLAG_SEQUENCED)
         protocol (utf-8)
         column table: { name_len (u16) name (utf-8)
                         dtype_len (u8) dtype (ascii, numpy form e.g. "<i8")
@@ -74,6 +76,7 @@ __all__ = [
     "BINARY_VERSION",
     "BinaryFormatError",
     "FLAG_ROUTED",
+    "FLAG_SEQUENCED",
     "KIND_REPORTS",
     "KIND_STATE",
     "decode_reports_payload",
@@ -81,6 +84,7 @@ __all__ = [
     "is_binary_payload",
     "pack_state",
     "peek_reports_header",
+    "stamp_sequence",
     "unpack_state",
 ]
 
@@ -95,13 +99,18 @@ KIND_STATE = 2
 #: header flag (kind=1 only): a shard-routing key (i64) follows the fixed
 #: reports header — see ``docs/wire-protocol.md`` §8.1
 FLAG_ROUTED = 0x01
+#: header flag (kind=1 only): a delivery sequence number (u64) follows the
+#: fixed reports header (after the route field when both flags are set) —
+#: see ``docs/wire-protocol.md`` §7.1
+FLAG_SEQUENCED = 0x02
 
 _HEADER = struct.Struct("<BBBB")
 _REPORTS_FIXED = struct.Struct("<qQHH")
 _ROUTE_FIELD = struct.Struct("<q")
+_SEQ_FIELD = struct.Struct("<Q")
 _STATE_FIXED = struct.Struct("<II")
 _ALIGNMENT = 8
-_KNOWN_FLAGS = {KIND_REPORTS: FLAG_ROUTED, KIND_STATE: 0}
+_KNOWN_FLAGS = {KIND_REPORTS: FLAG_ROUTED | FLAG_SEQUENCED, KIND_STATE: 0}
 
 #: value-preserving narrowing ladder, smallest first; unsigned wins ties
 _NARROW_CANDIDATES = tuple(np.dtype(code) for code in
@@ -272,7 +281,8 @@ def _read_column(reader: _Reader, named: bool) -> Tuple[str, np.ndarray]:
 
 def encode_reports_payload(batch: ReportBatch, epoch: int = 0,
                            max_bytes: Optional[int] = None,
-                           route: Optional[int] = None) -> bytes:
+                           route: Optional[int] = None,
+                           seq: Optional[int] = None) -> bytes:
     """Serialize one batch (plus its epoch tag) to a binary frame payload.
 
     ``max_bytes`` is enforced against the *announced* size before any
@@ -281,16 +291,25 @@ def encode_reports_payload(batch: ReportBatch, epoch: int = 0,
     sets :data:`FLAG_ROUTED` and appends the shard-routing key (i64) to the
     fixed header — a cluster router reads it with
     :func:`peek_reports_header` and forwards the payload verbatim, without
-    decoding a single column.
+    decoding a single column.  A non-``None`` ``seq`` sets
+    :data:`FLAG_SEQUENCED` and appends the delivery sequence number (u64)
+    the router uses for exact redelivery detection after journal replay;
+    normal senders leave it unset and let the router stamp forwarded frames
+    (:func:`stamp_sequence`).
     """
     specs = [_ColumnSpec(name, col) for name, col in batch.columns.items()]
     proto = batch.protocol.encode("utf-8")
     if len(proto) > 0xFFFF or len(specs) > 0xFFFF:
         raise BinaryFormatError("protocol tag or column count exceeds the "
                                 "binary frame limits")
-    flags = 0 if route is None else FLAG_ROUTED
+    if seq is not None and not 0 <= int(seq) < 1 << 64:
+        raise BinaryFormatError(f"sequence number {seq} does not fit u64")
+    flags = ((0 if route is None else FLAG_ROUTED)
+             | (0 if seq is None else FLAG_SEQUENCED))
     route_size = 0 if route is None else _ROUTE_FIELD.size
-    table_start = _HEADER.size + _REPORTS_FIXED.size + route_size + len(proto)
+    seq_size = 0 if seq is None else _SEQ_FIELD.size
+    table_start = (_HEADER.size + _REPORTS_FIXED.size + route_size + seq_size
+                   + len(proto))
     total = _layout(specs, table_start, named=True)
     if max_bytes is not None and total > max_bytes:
         raise BinaryFormatError(
@@ -305,6 +324,9 @@ def encode_reports_payload(batch: ReportBatch, epoch: int = 0,
     if route is not None:
         _ROUTE_FIELD.pack_into(out, pos, int(route))
         pos += _ROUTE_FIELD.size
+    if seq is not None:
+        _SEQ_FIELD.pack_into(out, pos, int(seq))
+        pos += _SEQ_FIELD.size
     out[pos:pos + len(proto)] = proto
     _write_columns(out, table_start, specs, named=True)
     return bytes(out)
@@ -327,9 +349,10 @@ def _check_header(reader: _Reader, expected_kind: int) -> int:
     return flags
 
 
-def _read_reports_fixed(reader: _Reader) -> Tuple[int, Optional[int], int,
+def _read_reports_fixed(reader: _Reader) -> Tuple[int, Optional[int],
+                                                  Optional[int], int,
                                                   int, int]:
-    """Header + fixed fields of a reports payload: ``(epoch, route,
+    """Header + fixed fields of a reports payload: ``(epoch, route, seq,
     num_reports, proto_len, num_columns)``."""
     flags = _check_header(reader, KIND_REPORTS)
     epoch, num_reports, proto_len, num_columns = reader.unpack(_REPORTS_FIXED)
@@ -337,25 +360,84 @@ def _read_reports_fixed(reader: _Reader) -> Tuple[int, Optional[int], int,
     if flags & FLAG_ROUTED:
         (route,) = reader.unpack(_ROUTE_FIELD)
         route = int(route)
-    return int(epoch), route, int(num_reports), proto_len, num_columns
+    seq: Optional[int] = None
+    if flags & FLAG_SEQUENCED:
+        (seq,) = reader.unpack(_SEQ_FIELD)
+        seq = int(seq)
+    return int(epoch), route, seq, int(num_reports), proto_len, num_columns
 
 
 def peek_reports_header(payload: bytes) -> Dict[str, object]:
     """Read only the fixed header of a binary reports payload.
 
-    Returns ``{"epoch", "route", "num_reports", "protocol"}`` without
+    Returns ``{"epoch", "route", "seq", "num_reports", "protocol"}`` without
     touching the column table or the data region — this is the routing fast
     path: a cluster router peeks a few dozen bytes, picks a shard, and
     forwards the payload bytes untouched.
     """
     try:
         reader = _Reader(payload)
-        epoch, route, num_reports, proto_len, _ = _read_reports_fixed(reader)
+        epoch, route, seq, num_reports, proto_len, _ = \
+            _read_reports_fixed(reader)
         protocol = reader.take(proto_len, "protocol tag").decode("utf-8")
     except (struct.error, UnicodeDecodeError) as exc:
         raise BinaryFormatError(f"malformed binary payload: {exc}") from exc
-    return {"epoch": epoch, "route": route, "num_reports": num_reports,
-            "protocol": protocol}
+    return {"epoch": epoch, "route": route, "seq": seq,
+            "num_reports": num_reports, "protocol": protocol}
+
+
+def stamp_sequence(payload: bytes, seq: int) -> bytes:
+    """Return a copy of a kind-1 payload carrying delivery sequence ``seq``.
+
+    This is the router's redelivery-detection primitive: a forwarded
+    ``reports`` payload is stamped once, journaled *stamped*, and any
+    journal replay redelivers byte-identical frames, so a shard can drop
+    already-absorbed duplicates exactly (``docs/wire-protocol.md`` §7.1).
+    Stamping an unsequenced payload inserts the 8-byte seq field after the
+    fixed fields (and the route field, when present) and shifts every
+    column-table offset by 8 — offsets stay 8-byte aligned because the
+    field width equals the alignment unit.  Stamping an already-sequenced
+    payload overwrites the field in place (same length, same offsets).
+    """
+    if not 0 <= int(seq) < 1 << 64:
+        raise BinaryFormatError(f"sequence number {seq} does not fit u64")
+    reader = _Reader(payload)
+    flags = _check_header(reader, KIND_REPORTS)
+    _, _, proto_len, num_columns = reader.unpack(_REPORTS_FIXED)
+    if flags & FLAG_ROUTED:
+        reader.unpack(_ROUTE_FIELD)
+    pos = reader.pos  # where the seq field lives (or is inserted)
+    if flags & FLAG_SEQUENCED:
+        out = bytearray(payload)
+        if pos + _SEQ_FIELD.size > len(out):
+            raise BinaryFormatError("truncated binary payload: seq field "
+                                    "ends past the frame")
+        _SEQ_FIELD.pack_into(out, pos, int(seq))
+        return bytes(out)
+    out = bytearray(len(payload) + _SEQ_FIELD.size)
+    out[:pos] = payload[:pos]
+    out[3] = flags | FLAG_SEQUENCED
+    _SEQ_FIELD.pack_into(out, pos, int(seq))
+    out[pos + _SEQ_FIELD.size:] = payload[pos:]
+    # Column offsets are absolute; walk the (shifted) table and move each
+    # one past the inserted field.
+    cursor = pos + _SEQ_FIELD.size + proto_len
+    try:
+        for _ in range(num_columns):
+            (name_len,) = struct.unpack_from("<H", out, cursor)
+            cursor += 2 + name_len
+            (dtype_len,) = struct.unpack_from("<B", out, cursor)
+            cursor += 1 + dtype_len
+            (ndim,) = struct.unpack_from("<B", out, cursor)
+            cursor += 1 + 8 * ndim
+            (offset,) = struct.unpack_from("<Q", out, cursor)
+            struct.pack_into("<Q", out, cursor, offset + _SEQ_FIELD.size)
+            cursor += 16
+    except struct.error as exc:
+        raise BinaryFormatError(
+            f"malformed binary payload: column table ends past the frame "
+            f"({exc})") from exc
+    return bytes(out)
 
 
 def decode_reports_payload(payload: bytes) -> Tuple[int, ReportBatch]:
@@ -364,14 +446,15 @@ def decode_reports_payload(payload: bytes) -> Tuple[int, ReportBatch]:
     Every decoded column is a read-only zero-copy ``np.frombuffer`` view
     over ``payload``; the caller must keep the buffer alive for as long as
     the batch (aggregators copy into their own state on absorb, so the
-    normal ingest path never extends the buffer's lifetime).  A routed
-    payload (:data:`FLAG_ROUTED`) decodes identically — the routing key is
-    addressed to routers, not aggregators; read it with
+    normal ingest path never extends the buffer's lifetime).  A routed or
+    sequenced payload (:data:`FLAG_ROUTED` / :data:`FLAG_SEQUENCED`)
+    decodes identically — routing keys and sequence numbers are addressed
+    to routers and dedup logic, not aggregators; read them with
     :func:`peek_reports_header`.
     """
     try:
         reader = _Reader(payload)
-        epoch, _route, num_reports, proto_len, num_columns = \
+        epoch, _route, _seq, num_reports, proto_len, num_columns = \
             _read_reports_fixed(reader)
         protocol = reader.take(proto_len, "protocol tag").decode("utf-8")
         columns: Dict[str, np.ndarray] = {}

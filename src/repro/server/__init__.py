@@ -43,6 +43,7 @@ from repro.server.client import (
     AggregationClient,
     AsyncAggregationClient,
     ServerError,
+    ShardUnavailable,
 )
 from repro.server.framing import (
     WIRE_FORMATS,
@@ -67,6 +68,7 @@ __all__ = [
     "AsyncAggregationClient",
     "FrameError",
     "ServerError",
+    "ShardUnavailable",
     "ServerStats",
     "SnapshotStore",
     "WIRE_FORMATS",

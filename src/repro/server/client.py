@@ -14,9 +14,17 @@ ingestion), ``sync`` (barrier: frames on one connection are processed in
 order and the reply waits for the ingestion queue to drain, so everything
 *this* connection sent beforehand is absorbed; other connections' unread
 frames may still be in flight — each sender must issue its own ``sync``),
-``query`` (live windowed estimates), ``snapshot``, ``stats``, and
-``shutdown``.  Server-side failures surface as :class:`ServerError` — the
-connection stays usable.
+``query`` (live windowed estimates), ``snapshot``, ``stats``, ``health``
+(liveness probe; against a cluster router it carries per-shard status),
+and ``shutdown``.  Server-side failures surface as :class:`ServerError` —
+the connection stays usable — and a cluster router that exhausted its
+recovery deadline against a dead shard surfaces as the typed
+:class:`ShardUnavailable` subclass.
+
+Both flavors apply a default I/O deadline (:data:`DEFAULT_TIMEOUT`) to
+connect and to every request/reply exchange, so a stalled peer raises
+:class:`TimeoutError` instead of hanging the caller forever; pass
+``timeout=None`` to opt back into unbounded blocking.
 
 Report batches ship in the client's ``wire_format``: ``"json"`` (default;
 the b64-columnar JSON frame) or ``"binary"`` (the zero-copy columnar frame
@@ -47,11 +55,22 @@ from repro.server.framing import (
     write_frame_sync,
 )
 
-__all__ = ["AggregationClient", "AsyncAggregationClient", "ServerError"]
+__all__ = ["AggregationClient", "AsyncAggregationClient", "DEFAULT_TIMEOUT",
+           "ServerError", "ShardUnavailable"]
+
+#: default connect/request deadline, seconds; ``timeout=None`` disables
+DEFAULT_TIMEOUT = 60.0
 
 
 class ServerError(RuntimeError):
     """The server answered a request with an ``error`` frame."""
+
+
+class ShardUnavailable(ServerError):
+    """A cluster router exhausted its bounded recovery deadline against a
+    dead or stalled shard (error frames carrying ``"code":
+    "shard_unavailable"``).  The query was refused whole — never answered
+    from a silently partial merge."""
 
 
 def _check_wire_format(wire_format: str) -> str:
@@ -74,6 +93,8 @@ def _check_reply(reply: Optional[Dict[str, object]],
     if reply is None:
         raise FrameError("server closed the connection mid-request")
     if reply.get("type") == "error":
+        if reply.get("code") == "shard_unavailable":
+            raise ShardUnavailable(str(reply.get("error")))
         raise ServerError(str(reply.get("error")))
     if reply.get("type") != expected:
         raise FrameError(f"expected a {expected!r} reply, got "
@@ -85,12 +106,16 @@ class AggregationClient:
     """Blocking client for one server connection (usable as a context manager)."""
 
     def __init__(self, host: str, port: int,
-                 timeout: Optional[float] = None,
+                 timeout: Optional[float] = DEFAULT_TIMEOUT,
                  wire_format: str = "json") -> None:
         self.host = host
         self.port = int(port)
+        self.timeout = timeout
         self.wire_format = _check_wire_format(wire_format)
         self.server_wire_formats: Optional[tuple] = None
+        # The timeout sticks to the socket: every subsequent send/recv
+        # (not just connect) raises TimeoutError after `timeout` seconds
+        # of stall, so a wedged server cannot hang the caller.
         self._sock = socket.create_connection((host, self.port),
                                               timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -198,6 +223,10 @@ class AggregationClient:
         """Server ingestion counters and window occupancy."""
         return self._request({"type": "stats"}, "stats")
 
+    def health(self) -> Dict[str, object]:
+        """Liveness probe; a cluster router replies with per-shard status."""
+        return self._request({"type": "health"}, "health")
+
     def shutdown(self) -> int:
         """Stop the server (drains first); returns the final report count."""
         reply = self._request({"type": "shutdown"}, "bye")
@@ -209,22 +238,50 @@ class AsyncAggregationClient:
 
     def __init__(self, reader: asyncio.StreamReader,
                  writer: asyncio.StreamWriter,
-                 wire_format: str = "json") -> None:
+                 wire_format: str = "json",
+                 timeout: Optional[float] = DEFAULT_TIMEOUT) -> None:
         self._reader = reader
         self._writer = writer
         self.wire_format = _check_wire_format(wire_format)
+        self.timeout = timeout
         self.server_wire_formats: Optional[tuple] = None
 
     @classmethod
     async def connect(cls, host: str, port: int,
-                      wire_format: str = "json") -> "AsyncAggregationClient":
-        reader, writer = await asyncio.open_connection(host, int(port))
-        return cls(reader, writer, wire_format)
+                      wire_format: str = "json",
+                      timeout: Optional[float] = DEFAULT_TIMEOUT
+                      ) -> "AsyncAggregationClient":
+        open_conn = asyncio.open_connection(host, int(port))
+        if timeout is None:
+            reader, writer = await open_conn
+        else:
+            try:
+                reader, writer = await asyncio.wait_for(open_conn, timeout)
+            except asyncio.TimeoutError:
+                # On 3.10 asyncio.TimeoutError is not the builtin; normalize
+                # so callers catch one exception type on every Python.
+                raise TimeoutError(
+                    f"connect to {host}:{port} timed out after "
+                    f"{timeout}s") from None
+        return cls(reader, writer, wire_format, timeout)
+
+    async def _deadline(self, awaitable, what: str):
+        if self.timeout is None:
+            return await awaitable
+        try:
+            return await asyncio.wait_for(awaitable, self.timeout)
+        except asyncio.TimeoutError:
+            raise TimeoutError(f"{what} timed out after "
+                               f"{self.timeout}s") from None
 
     async def _request(self, frame: Dict[str, object],
                        expected: str) -> Dict[str, object]:
-        await write_frame(self._writer, frame)
-        return _check_reply(await read_frame(self._reader), expected)
+        async def exchange() -> Optional[Dict[str, object]]:
+            await write_frame(self._writer, frame)
+            return await read_frame(self._reader)
+        reply = await self._deadline(exchange(),
+                                     f"{frame.get('type')!r} request")
+        return _check_reply(reply, expected)
 
     async def close(self) -> None:
         self._writer.close()
@@ -251,7 +308,7 @@ class AsyncAggregationClient:
         wire_format = _check_wire_format(wire_format or self.wire_format)
         self._writer.write(encode_reports_frame(batch, epoch, wire_format,
                                                 encoding, route=route))
-        await self._writer.drain()
+        await self._deadline(self._writer.drain(), "reports send")
 
     async def send_stream(self, batches, epoch: int = 0,
                           encoding: str = "b64",
@@ -293,6 +350,9 @@ class AsyncAggregationClient:
 
     async def stats(self) -> Dict[str, object]:
         return await self._request({"type": "stats"}, "stats")
+
+    async def health(self) -> Dict[str, object]:
+        return await self._request({"type": "health"}, "health")
 
     async def shutdown(self) -> int:
         reply = await self._request({"type": "shutdown"}, "bye")

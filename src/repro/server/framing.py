@@ -47,6 +47,7 @@ from repro.protocol.binary import (
     decode_reports_payload,
     encode_reports_payload,
     is_binary_payload,
+    peek_reports_header,
 )
 from repro.protocol.wire import ReportBatch
 
@@ -94,7 +95,8 @@ def encode_frame(message: Dict[str, object]) -> bytes:
 def encode_reports_frame(batch: ReportBatch, epoch: int = 0,
                          wire_format: str = "json",
                          encoding: str = "b64",
-                         route: Optional[int] = None) -> bytes:
+                         route: Optional[int] = None,
+                         seq: Optional[int] = None) -> bytes:
     """Serialize one ``reports`` frame in the chosen wire format.
 
     ``wire_format="json"`` produces the legacy JSON frame with the given
@@ -106,12 +108,18 @@ def encode_reports_frame(batch: ReportBatch, epoch: int = 0,
     (JSON: a top-level ``"route"`` key; binary: the ``FLAG_ROUTED`` header
     field) — a cluster router partitions on it without decoding columns,
     and a plain :class:`~repro.server.service.AggregationServer` ignores it.
+    A non-``None`` ``seq`` stamps the delivery sequence number (JSON: a
+    top-level ``"seq"`` key; binary: the ``FLAG_SEQUENCED`` header field)
+    used for exact redelivery detection on journal replay (§7.1); normal
+    clients leave it to the router.
     """
     if wire_format == "json":
         message = {"type": "reports", "epoch": int(epoch),
                    "batch": batch.to_dict(encoding)}
         if route is not None:
             message["route"] = int(route)
+        if seq is not None:
+            message["seq"] = int(seq)
         return encode_frame(message)
     if wire_format != "binary":
         raise ValueError(f"wire_format must be one of {WIRE_FORMATS}, "
@@ -119,7 +127,7 @@ def encode_reports_frame(batch: ReportBatch, epoch: int = 0,
     try:
         payload = encode_reports_payload(batch, epoch,
                                          max_bytes=MAX_FRAME_BYTES,
-                                         route=route)
+                                         route=route, seq=seq)
     except BinaryFormatError as exc:
         raise FrameError(str(exc)) from exc
     return _HEADER.pack(len(payload)) + payload
@@ -145,18 +153,31 @@ def decode_frame(payload: bytes) -> Dict[str, object]:
     payloads decode to ``{"type": "reports", "epoch": e, "batch": <batch>,
     "wire_format": "binary"}`` where ``batch`` is a ready
     :class:`~repro.protocol.wire.ReportBatch` whose columns are read-only
-    zero-copy views over ``payload``.
+    zero-copy views over ``payload``; a routed/sequenced payload also
+    carries its ``"route"`` / ``"seq"`` header fields, mirroring the JSON
+    top-level keys.
     """
     if is_binary_payload(payload):
         try:
+            header = peek_reports_header(payload)
             epoch, batch = decode_reports_payload(payload)
         except ValueError as exc:  # includes BinaryFormatError
             raise FrameError(f"invalid binary frame: {exc}") from exc
-        return {"type": "reports", "epoch": epoch, "batch": batch,
-                "wire_format": "binary"}
+        message: Dict[str, object] = {"type": "reports", "epoch": epoch,
+                                      "batch": batch,
+                                      "wire_format": "binary"}
+        if header["route"] is not None:
+            message["route"] = header["route"]
+        if header["seq"] is not None:
+            message["seq"] = header["seq"]
+        return message
     try:
         message = json.loads(payload)
-    except json.JSONDecodeError as exc:
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        # UnicodeDecodeError: json.loads decodes raw bytes itself, and
+        # garbage that is neither the binary magic nor UTF-8 (e.g. a
+        # corrupted-in-flight frame) must reject cleanly, not crash the
+        # connection handler.
         raise FrameError(f"invalid JSON in frame: {exc}") from exc
     if not isinstance(message, dict):
         raise FrameError("frame payload must be a JSON object")

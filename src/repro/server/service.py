@@ -66,6 +66,7 @@ class ServerStats:
     reports_received: int = 0
     reports_absorbed: int = 0
     reports_rejected: int = 0
+    reports_deduped: int = 0
     queries_answered: int = 0
     snapshots_written: int = 0
     connections_total: int = 0
@@ -77,6 +78,7 @@ class ServerStats:
                 "reports_received": self.reports_received,
                 "reports_absorbed": self.reports_absorbed,
                 "reports_rejected": self.reports_rejected,
+                "reports_deduped": self.reports_deduped,
                 "queries_answered": self.queries_answered,
                 "snapshots_written": self.snapshots_written,
                 "connections_total": self.connections_total,
@@ -154,6 +156,10 @@ class AggregationServer:
         self._started = False
         #: serializes snapshot captures with their executor-side disk write
         self._snapshot_lock = asyncio.Lock()
+        #: highest delivery sequence number accepted (spec §7.1); in-memory
+        #: only — a restarted shard must re-absorb its journal replay onto
+        #: the restored snapshot, so forgetting the watermark is correct
+        self._max_seq: Optional[int] = None
 
     # ----- lifecycle ----------------------------------------------------------------
 
@@ -333,6 +339,17 @@ class AggregationServer:
             except Exception as exc:  # noqa: BLE001 - accounted in stats
                 self.stats.last_rejection = str(exc)
                 return True
+            seq = frame.get("seq")
+            if seq is not None:
+                # Exact redelivery detection (spec §7.1): the router stamps
+                # a strictly increasing per-link counter, so on journal
+                # replay a not-larger number means this exact batch was
+                # already absorbed — drop it, account it, stay silent.
+                seq = int(seq)
+                if self._max_seq is not None and seq <= self._max_seq:
+                    self.stats.reports_deduped += len(batch)
+                    return True
+                self._max_seq = seq
             self.stats.reports_received += len(batch)
             if len(batch):
                 await self._queue.put(
@@ -398,6 +415,21 @@ class AggregationServer:
                     "type": "snapshot_written",
                     "path": str(path),
                     "num_reports": self.windowed.num_reports})
+                return True
+            if kind == "health":
+                # Liveness probe: answered from in-memory counters without
+                # touching the queue — must stay responsive while a `sync`
+                # would block behind a deep backlog.
+                await write_frame(writer, {
+                    "type": "health",
+                    "server": SERVER_ID,
+                    "status": "ok",
+                    "protocol": self.params.protocol,
+                    "queue_depth": self._queue.qsize(),
+                    "epochs": self.windowed.epochs,
+                    "num_reports": self.windowed.num_reports,
+                    "state_size": self.windowed.state_size,
+                    "max_seq": self._max_seq})
                 return True
             if kind == "stats":
                 payload = self.stats.to_dict()

@@ -87,6 +87,8 @@ def parse_wire_doc(text: str) -> WireSchema:
     grab("KIND_REPORTS", r"^kind\s+=\s+(\d+)\s+\(reports\)")
     grab("KIND_STATE", r"^kind\s+=\s+\d+\s+\(reports\)\s*\|\s*(\d+)\s+\(state\)")
     grab("FLAG_ROUTED", r"^flags\s+=\s+bit\s+\d+\s+\((0x[0-9A-Fa-f]+|\d+)", 0)
+    grab("FLAG_SEQUENCED",
+         r"^\s*bit\s+\d+\s+\((0x[0-9A-Fa-f]+|\d+)[^)]*\):\s+FLAG_SEQUENCED", 0)
 
     def grab_format(label: str, pattern: str, into: Dict[str, str],
                     name: str) -> None:
@@ -102,6 +104,7 @@ def parse_wire_doc(text: str) -> WireSchema:
                 r"^epoch\s+\(i\d+\).*num_columns\s+\(u\d+\).*$",
                 binary, "_REPORTS_FIXED")
     grab_format("route field", r"^route\s+\(i\d+\b.*$", binary, "_ROUTE_FIELD")
+    grab_format("seq field", r"^seq\s+\(u\d+\b.*$", binary, "_SEQ_FIELD")
     grab_format("state fixed-field",
                 r"^skeleton_len\s+\(u\d+\).*num_columns\s+\(u\d+\).*$",
                 binary, "_STATE_FIXED")
@@ -128,13 +131,13 @@ def parse_wire_doc(text: str) -> WireSchema:
 #: checks (anything they restate must agree, nothing is mandatory)
 _REQUIRED_CONSTANTS = {
     "protocol/binary.py": ("BINARY_MAGIC", "BINARY_VERSION", "KIND_REPORTS",
-                           "KIND_STATE", "FLAG_ROUTED"),
+                           "KIND_STATE", "FLAG_ROUTED", "FLAG_SEQUENCED"),
     "server/framing.py": ("MAX_FRAME_BYTES",),
     "cluster/router.py": (),
 }
 _REQUIRED_STRUCTS = {
     "protocol/binary.py": ("_HEADER", "_REPORTS_FIXED", "_ROUTE_FIELD",
-                           "_STATE_FIXED"),
+                           "_SEQ_FIELD", "_STATE_FIXED"),
     "server/framing.py": ("_HEADER",),
     "cluster/router.py": (),
 }

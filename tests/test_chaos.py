@@ -1,0 +1,224 @@
+"""Tests for the deterministic fault-injection harness (:mod:`repro.chaos`).
+
+Three layers: the seeded :class:`~repro.chaos.schedule.FaultSchedule`
+(same seed → byte-identical schedule and digest, every generated schedule
+covers all seven fault kinds), the frame-aware
+:class:`~repro.chaos.transport.FaultyTransport` proxy (clean passthrough,
+pop-once fault firing, monotone frame counter across reconnects), and —
+marked ``chaos`` — a full :class:`~repro.chaos.runner.ChaosRunner` run
+asserting the faulted cluster still answers **bit-identically** to the
+offline engine.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    CLIENT_WIRE_KINDS,
+    FAULT_KINDS,
+    PROCESS_KINDS,
+    WIRE_KINDS,
+    ChaosRunner,
+    FaultEvent,
+    FaultSchedule,
+    FaultyTransport,
+)
+from repro.protocol import HashtogramParams
+from repro.server import AsyncAggregationClient, FrameError
+from test_server import running_server
+
+
+def _params():
+    return HashtogramParams.create(1 << 10, 1.0, num_buckets=16, rng=0)
+
+
+def _batch(params, seed=3, n=800):
+    gen = np.random.default_rng(seed)
+    values = gen.integers(0, params.domain_size, size=n)
+    return params.make_encoder().encode_batch(values, gen)
+
+
+# --------------------------------------------------------------------------------------
+# the seeded schedule
+# --------------------------------------------------------------------------------------
+
+class TestFaultSchedule:
+    def test_same_seed_same_schedule_and_digest(self):
+        a = FaultSchedule.generate(7, num_frames=24, num_shards=3)
+        b = FaultSchedule.generate(7, num_frames=24, num_shards=3)
+        assert a.events == b.events
+        assert a.digest() == b.digest()
+        assert a.seed == 7
+
+    def test_different_seeds_differ(self):
+        a = FaultSchedule.generate(7, num_frames=24, num_shards=3)
+        b = FaultSchedule.generate(8, num_frames=24, num_shards=3)
+        assert a.digest() != b.digest()
+
+    def test_generated_schedule_covers_every_kind(self):
+        for seed in range(5):
+            schedule = FaultSchedule.generate(seed, num_frames=20,
+                                              num_shards=2)
+            assert set(schedule.kinds) == set(FAULT_KINDS), seed
+
+    def test_round_trip_preserves_digest(self, tmp_path):
+        schedule = FaultSchedule.generate(11, num_frames=16, num_shards=2)
+        clone = FaultSchedule.from_dict(schedule.to_dict())
+        assert clone.events == schedule.events
+        assert clone.seed == schedule.seed
+        path = schedule.save(tmp_path / "sched.json")
+        loaded = FaultSchedule.load(path)
+        assert loaded.events == schedule.events
+        assert loaded.digest() == schedule.digest()
+        # the saved artifact embeds the digest it will replay under
+        assert json.loads(path.read_text())["digest"] == schedule.digest()
+
+    def test_fault_maps_partition_by_family(self):
+        schedule = FaultSchedule.generate(13, num_frames=20, num_shards=2)
+        wire = {e for target in ("client", "shard-0", "shard-1")
+                for e in schedule.wire_faults(target).values()}
+        process = {e for events in schedule.process_faults().values()
+                   for e in events}
+        assert all(e.kind in WIRE_KINDS for e in wire)
+        assert all(e.kind in PROCESS_KINDS for e in process)
+        assert wire | process == set(schedule.events)
+        assert not (wire & process)
+        # the client leg never sees a corrupt fault (undetectable loss)
+        assert all(e.kind in CLIENT_WIRE_KINDS
+                   for e in schedule.wire_faults("client").values())
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent("client", 1, "explode")
+        with pytest.raises(ValueError, match="frame must be"):
+            FaultEvent("client", -1, "delay")
+        for kind in ("kill", "sigstop", "corrupt"):
+            with pytest.raises(ValueError, match="must target a shard"):
+                FaultEvent("client", 1, kind)
+        assert FaultEvent("shard-2", 1, "kill").shard == 2
+        assert FaultEvent("client", 1, "stall").shard is None
+
+    def test_generate_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError, match="num_frames"):
+            FaultSchedule.generate(0, num_frames=1, num_shards=2)
+        with pytest.raises(ValueError, match="num_shards"):
+            FaultSchedule.generate(0, num_frames=10, num_shards=0)
+
+
+# --------------------------------------------------------------------------------------
+# the fault-injecting proxy
+# --------------------------------------------------------------------------------------
+
+class TestFaultyTransport:
+    def test_rejects_process_kind_faults(self):
+        with pytest.raises(ValueError, match="not a wire fault"):
+            FaultyTransport("client", ("127.0.0.1", 1),
+                            {1: FaultEvent("shard-0", 1, "kill")})
+
+    def test_clean_passthrough_is_invisible(self):
+        params = _params()
+        batch = _batch(params)
+        queries = list(range(32))
+        expected = (params.make_aggregator().absorb_batch(batch)
+                    .finalize().estimate_many(queries))
+
+        async def main():
+            with running_server(params) as (_, host, port):
+                proxy = FaultyTransport("client", (host, port))
+                phost, pport = await proxy.start()
+                client = await AsyncAggregationClient.connect(
+                    phost, pport, timeout=10.0)
+                try:
+                    assert await client.hello() == params
+                    await client.send_batch(batch)
+                    assert await client.sync() == len(batch)
+                    served = await client.query(queries)
+                finally:
+                    await client.close()
+                    await proxy.stop()
+                # only the reports frame ticked the counter; control
+                # frames (hello/sync/query) pass through uncounted
+                assert proxy.frames == 1
+                assert proxy.fired == []
+                return served
+
+        assert np.array_equal(asyncio.run(main()), expected)
+
+    def test_reset_fires_once_then_counter_keeps_running(self):
+        params = _params()
+        batch = _batch(params)
+        event = FaultEvent("client", 1, "reset")
+
+        async def main():
+            with running_server(params) as (_, host, port):
+                proxy = FaultyTransport("client", (host, port), {1: event})
+                phost, pport = await proxy.start()
+                client = await AsyncAggregationClient.connect(
+                    phost, pport, timeout=5.0)
+                try:
+                    with pytest.raises((OSError, TimeoutError, FrameError,
+                                        asyncio.IncompleteReadError)):
+                        await client.send_batch(batch)  # frame 1 → reset
+                        await client.sync()
+                finally:
+                    await client.close()
+                assert proxy.fired == [event]
+                # pop-once: a fresh connection through the same proxy is
+                # clean, and the frame counter spans connections
+                retry = await AsyncAggregationClient.connect(
+                    phost, pport, timeout=10.0)
+                try:
+                    await retry.send_batch(batch)
+                    absorbed = await retry.sync()
+                finally:
+                    await retry.close()
+                    await proxy.stop()
+                assert absorbed == len(batch)
+                assert proxy.frames == 2
+
+        asyncio.run(main())
+
+    def test_delay_fault_forwards_intact(self):
+        params = _params()
+        batch = _batch(params)
+        event = FaultEvent("client", 1, "delay", 0.05)
+
+        async def main():
+            with running_server(params) as (_, host, port):
+                proxy = FaultyTransport("client", (host, port), {1: event})
+                phost, pport = await proxy.start()
+                client = await AsyncAggregationClient.connect(
+                    phost, pport, timeout=10.0)
+                try:
+                    await client.send_batch(batch)
+                    absorbed = await client.sync()
+                finally:
+                    await client.close()
+                    await proxy.stop()
+                assert absorbed == len(batch)  # delayed, not lost
+                assert proxy.fired == [event]
+
+        asyncio.run(main())
+
+
+# --------------------------------------------------------------------------------------
+# the full harness (marked: spawns a real faulted cluster, takes ~30s)
+# --------------------------------------------------------------------------------------
+
+@pytest.mark.chaos
+@pytest.mark.slow
+class TestChaosRunnerIntegration:
+    def test_seeded_run_is_bit_identical_under_faults(self, tmp_path):
+        runner = ChaosRunner(num_users=4_000, num_shards=2, seed=7,
+                             domain_size=1024, base_dir=tmp_path)
+        result = runner.run()
+        assert result.identical
+        assert np.array_equal(result.served, result.expected)
+        # the acceptance bar: at least five distinct kinds actually fired
+        assert len(result.fired_kinds) >= 5
+        assert result.schedule.seed == 7
+        assert result.health.get("status") == "ok"
+        assert result.num_users == 4_000

@@ -14,6 +14,7 @@ query path is built on.
 
 import asyncio
 import threading
+import time
 from contextlib import contextmanager
 
 import numpy as np
@@ -38,7 +39,13 @@ from repro.protocol.binary import (
     peek_reports_header,
 )
 from repro.protocol.wire import load_child_state
-from repro.server import AggregationClient, AggregationServer, ServerError, decode_frame
+from repro.server import (
+    AggregationClient,
+    AggregationServer,
+    ServerError,
+    ShardUnavailable,
+    decode_frame,
+)
 from repro.server.framing import encode_reports_frame
 from repro.server.window import WindowedAggregator
 
@@ -96,7 +103,8 @@ class TestRoutedFrames:
         params, batch = _small_batch()
         payload = encode_reports_payload(batch, epoch=5, route=4096)
         header = peek_reports_header(payload)
-        assert header == {"epoch": 5, "route": 4096, "num_reports": len(batch),
+        assert header == {"epoch": 5, "route": 4096, "seq": None,
+                          "num_reports": len(batch),
                           "protocol": params.protocol}
         epoch, decoded = decode_reports_payload(payload)
         assert epoch == 5
@@ -119,7 +127,7 @@ class TestRoutedFrames:
     def test_unknown_flag_bits_rejected(self):
         _, batch = _small_batch()
         payload = bytearray(encode_reports_payload(batch))
-        payload[3] = 0x02  # an undefined flag bit
+        payload[3] = 0x04  # an undefined flag bit
         with pytest.raises(BinaryFormatError, match="unknown header flags"):
             decode_reports_payload(bytes(payload))
         with pytest.raises(BinaryFormatError, match="unknown header flags"):
@@ -222,6 +230,7 @@ CLUSTER_PROTOCOLS = ["explicit", "hashtogram", "cms", "rappor",
                      "expander_sketch", "single_hash"]
 
 
+@pytest.mark.cluster
 class TestClusterBitIdentity:
     @pytest.mark.parametrize("name", CLUSTER_PROTOCOLS)
     def test_cluster_matches_offline_engine(self, tmp_path, name):
@@ -340,6 +349,7 @@ class TestClusterBitIdentity:
 # shard failure: SIGKILL mid-ingest, snapshot-restore, journal replay
 # --------------------------------------------------------------------------------------
 
+@pytest.mark.cluster
 class TestShardFailure:
     def test_kill_one_shard_mid_ingest_converges(self, tmp_path):
         params = _cluster_case("hashtogram")
@@ -398,6 +408,89 @@ class TestShardFailure:
                 assert client.sync() == len(values)
                 served = client.query(queries)
         assert np.array_equal(served, offline.estimate_many(queries))
+
+
+@pytest.mark.cluster
+class TestShardUnavailableAndHealth:
+    """The bounded recovery ladder and the ``health`` fan-out frame."""
+
+    def test_dead_shard_without_supervisor_raises_typed_error(self, tmp_path):
+        # No supervisor: the ladder can only reconnect, never restart, so a
+        # SIGKILL-ed shard must surface as a typed ShardUnavailable reply —
+        # within a bounded time, not a hang.
+        params = _cluster_case("hashtogram")
+        supervisor = ClusterSupervisor(params, 2, tmp_path)
+        supervisor.start()
+        try:
+            router = ClusterRouter(params, endpoints=supervisor.endpoints(),
+                                   rng=0, connect_timeout=0.5,
+                                   request_timeout=1.0, recovery_attempts=2,
+                                   backoff_base=0.01)
+            started = threading.Event()
+            address = {}
+
+            def run() -> None:
+                async def main() -> None:
+                    address["hp"] = await router.start("127.0.0.1", 0)
+                    started.set()
+                    await router.serve_until_stopped()
+                asyncio.run(main())
+
+            thread = threading.Thread(target=run, daemon=True)
+            thread.start()
+            assert started.wait(30), "router failed to start"
+            host, port = address["hp"]
+            with AggregationClient(host, port, timeout=30.0) as client:
+                assert client.query([0, 1, 2]) is not None  # cluster is up
+                supervisor.kill(1)
+                begin = time.monotonic()
+                with pytest.raises(ShardUnavailable, match="shard 1"):
+                    client.query([0, 1, 2])
+                assert time.monotonic() - begin < 15.0
+                # the typed error is also a ServerError (one except clause
+                # catches both), and the cluster stays up for a shutdown
+                assert issubclass(ShardUnavailable, ServerError)
+                client.shutdown()
+            thread.join(30)
+        finally:
+            supervisor.stop()
+
+    def test_health_fanout_and_recovery(self, tmp_path):
+        params = _cluster_case("hashtogram")
+        values = _workload(params, 800)
+        batches, routes = _routed_stream(params, values, 19, 100)
+        with running_cluster(params, 2, tmp_path) as cluster:
+            supervisor, router, host, port = cluster
+            with AggregationClient(host, port) as client:
+                reply = client.health()
+                assert reply["type"] == "health"
+                assert reply["status"] == "ok"
+                assert reply["num_shards"] == 2
+                assert [s["status"] for s in reply["shards"]] == ["ok", "ok"]
+
+                supervisor.kill(1)
+                degraded = client.health()
+                assert degraded["status"] == "degraded"
+                by_shard = {s["shard"]: s for s in degraded["shards"]}
+                assert by_shard[0]["status"] == "ok"
+                assert by_shard[1]["status"] == "unreachable"
+                assert by_shard[1]["last_fault"]
+
+                # ingest traffic drives the recovery ladder (restart +
+                # journal replay); health then reports all-ok again
+                for batch, route in zip(batches, routes, strict=True):
+                    client.send_batch(batch, route=route)
+                assert client.sync() == len(values)
+                recovered = client.health()
+                assert recovered["status"] == "ok"
+                by_shard = {s["shard"]: s for s in recovered["shards"]}
+                assert by_shard[1]["restarts"] >= 1
+                assert all(s["status"] == "ok"
+                           for s in recovered["shards"])
+                # the router stamps a strictly increasing seq per link
+                assert all(s["seq"] >= 0 for s in recovered["shards"])
+                assert sum(s["num_reports"]
+                           for s in recovered["shards"]) == len(values)
 
 
 # --------------------------------------------------------------------------------------

@@ -14,6 +14,7 @@ collects the invariants that tie several components together:
 """
 
 import numpy as np
+import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.analysis.metrics import score_heavy_hitters, true_frequencies
@@ -113,3 +114,139 @@ def test_score_heavy_hitters_consistency(data, threshold):
     assert score.succeeded
     # Recomputed list size matches the number of distinct elements.
     assert score.list_size == len(estimates)
+
+
+# --------------------------------------------------------------------------------------
+# merge algebra of the aggregator tier (the cluster's exactness foundation)
+# --------------------------------------------------------------------------------------
+#
+# The sharded cluster (and the chaos harness on top of it) is exact only
+# because aggregator state is a commutative monoid under absorb/merge:
+# any partition of the report stream across shards, absorbed in any
+# interleaving and merged in any order, must reproduce the single-server
+# state bit for bit.  These properties pin that algebra for every
+# registered protocol, with hypothesis choosing the partition.
+
+def _protocol_cases():
+    from repro.baselines.single_hash import SingleHashHeavyHitters
+    from repro.core.heavy_hitters import PrivateExpanderSketch
+    from repro.protocol import (
+        CountMeanSketchParams,
+        ExplicitHistogramParams,
+        HashtogramParams,
+        RapporParams,
+    )
+
+    expander = PrivateExpanderSketch(domain_size=1 << 12, epsilon=4.0)
+    single = SingleHashHeavyHitters(domain_size=1 << 12, epsilon=4.0,
+                                    num_repetitions=2)
+    return [
+        ("explicit", ExplicitHistogramParams(64, 1.0, "hadamard")),
+        ("hashtogram",
+         HashtogramParams.create(1 << 10, 1.0, num_buckets=16, rng=0)),
+        ("cms", CountMeanSketchParams.create(1 << 10, 1.0, num_hashes=4,
+                                             num_buckets=16, rng=0)),
+        ("rappor", RapporParams.create(256, 2.0, num_bits=64, rng=0)),
+        ("expander_sketch",
+         expander.public_params(800, rng=np.random.default_rng(3))),
+        ("single_hash",
+         single.public_params(800, rng=np.random.default_rng(5))),
+    ]
+
+
+PROTOCOL_CASES = _protocol_cases()
+PROTOCOL_IDS = [name for name, _ in PROTOCOL_CASES]
+
+
+def _encoded_batches(params, sizes, seed):
+    batches = []
+    for i, n in enumerate(sizes):
+        gen = np.random.default_rng((seed, i))
+        values = gen.integers(0, params.domain_size, size=n)
+        batches.append(params.make_encoder().encode_batch(values, gen))
+    return batches
+
+
+@pytest.mark.parametrize("name,params", PROTOCOL_CASES, ids=PROTOCOL_IDS)
+@given(data=st.data())
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_merge_algebra_is_commutative_and_associative(name, params, data):
+    """Any shard partition, any absorb interleaving, any merge order —
+    one snapshot."""
+    seed = data.draw(st.integers(min_value=0, max_value=2**31 - 1),
+                     label="seed")
+    num_batches = data.draw(st.integers(min_value=2, max_value=5),
+                            label="num_batches")
+    sizes = data.draw(st.lists(st.integers(min_value=1, max_value=60),
+                               min_size=num_batches, max_size=num_batches),
+                      label="sizes")
+    batches = _encoded_batches(params, sizes, seed)
+
+    reference = params.make_aggregator()
+    for batch in batches:
+        reference.absorb_batch(batch)
+    expected = reference.snapshot()
+
+    # absorb commutes: a permuted interleaving gives the same state
+    order = data.draw(st.permutations(range(num_batches)), label="order")
+    permuted = params.make_aggregator()
+    for i in order:
+        permuted.absorb_batch(batches[i])
+    assert permuted.snapshot() == expected
+
+    # merge commutes and associates across an arbitrary 3-way partition
+    assignment = data.draw(st.lists(st.integers(min_value=0, max_value=2),
+                                    min_size=num_batches,
+                                    max_size=num_batches),
+                           label="assignment")
+    shards = [params.make_aggregator() for _ in range(3)]
+    for i, batch in enumerate(batches):
+        shards[assignment[i]].absorb_batch(batch)
+    a, b, c = (shards[g] for g in data.draw(st.permutations(range(3)),
+                                            label="merge_order"))
+    left = a.merge(b).merge(c)
+    right = a.merge(b.merge(c))
+    assert left.snapshot() == expected
+    assert right.snapshot() == expected
+    assert left.num_reports == sum(sizes)
+
+
+@pytest.mark.parametrize("name,params", PROTOCOL_CASES, ids=PROTOCOL_IDS)
+@given(data=st.data())
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_snapshot_restore_mid_sequence_is_invisible(name, params, data):
+    """Checkpoint/restart at any point in the stream must not perturb the
+    final state — the invariant shard recovery (restore + journal replay)
+    is built on."""
+    import json
+
+    from repro.protocol import ServerAggregator
+
+    seed = data.draw(st.integers(min_value=0, max_value=2**31 - 1),
+                     label="seed")
+    num_batches = data.draw(st.integers(min_value=2, max_value=5),
+                            label="num_batches")
+    sizes = data.draw(st.lists(st.integers(min_value=1, max_value=60),
+                               min_size=num_batches, max_size=num_batches),
+                      label="sizes")
+    cut = data.draw(st.integers(min_value=0, max_value=num_batches),
+                    label="cut")
+    batches = _encoded_batches(params, sizes, seed)
+
+    straight = params.make_aggregator()
+    for batch in batches:
+        straight.absorb_batch(batch)
+
+    before = params.make_aggregator()
+    for batch in batches[:cut]:
+        before.absorb_batch(batch)
+    # through JSON, exactly as the on-disk snapshot store round-trips it
+    blob = json.loads(json.dumps(before.snapshot()))
+    revived = ServerAggregator.from_snapshot(blob)
+    for batch in batches[cut:]:
+        revived.absorb_batch(batch)
+
+    assert revived.snapshot() == straight.snapshot()
+    assert revived.num_reports == sum(sizes)

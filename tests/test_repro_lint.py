@@ -288,10 +288,12 @@ BINARY_MODULE = """\
     KIND_REPORTS = 1
     KIND_STATE = 2
     FLAG_ROUTED = 0x01
+    FLAG_SEQUENCED = 0x02
 
     _HEADER = struct.Struct("<BBBB")
     _REPORTS_FIXED = struct.Struct("<qQHH")
     _ROUTE_FIELD = struct.Struct("<q")
+    _SEQ_FIELD = struct.Struct("<Q")
     _STATE_FIXED = struct.Struct("<II")
 """
 
@@ -309,12 +311,12 @@ class TestWireSchemaRules:
         assert schema.problems == []
         assert schema.constants == {
             "BINARY_MAGIC": 0xB1, "BINARY_VERSION": 1, "KIND_REPORTS": 1,
-            "KIND_STATE": 2, "FLAG_ROUTED": 0x01,
+            "KIND_STATE": 2, "FLAG_ROUTED": 0x01, "FLAG_SEQUENCED": 0x02,
             "MAX_FRAME_BYTES": 1 << 30,
         }
         assert schema.structs["protocol/binary.py"] == {
             "_HEADER": "<BBBB", "_REPORTS_FIXED": "<qQHH",
-            "_ROUTE_FIELD": "<q", "_STATE_FIXED": "<II",
+            "_ROUTE_FIELD": "<q", "_SEQ_FIELD": "<Q", "_STATE_FIXED": "<II",
         }
         assert schema.structs["server/framing.py"] == {"_HEADER": "!I"}
 
@@ -341,7 +343,7 @@ class TestWireSchemaRules:
         assert "_REPORTS_FIXED" in diags[0].message
 
     def test_missing_required_constant(self, tmp_path):
-        doctored = BINARY_MODULE.replace("FLAG_ROUTED = 0x01\n", "")
+        doctored = BINARY_MODULE.replace("    FLAG_ROUTED = 0x01\n", "")
         diags = run_lint(tmp_path, {"repro/protocol/binary.py": doctored},
                          wire_doc=WIRE_DOC)
         assert codes(diags) == ["RPL402"]

@@ -13,6 +13,7 @@ import io
 import json
 import os
 import signal
+import socket
 import struct
 import subprocess
 import sys
@@ -34,6 +35,7 @@ from repro.server import (
     ServerError,
     decode_frame,
     encode_frame,
+    encode_reports_frame,
     read_frame_sync,
     write_frame_sync,
 )
@@ -582,3 +584,106 @@ class TestAsyncSafetyRegressions:
             assert served_while_saving, \
                 "hello blocked while the snapshot write was in flight"
             assert Path(snap_path["path"]).is_file()
+
+
+# --------------------------------------------------------------------------------------
+# delivery sequencing, health, and client deadlines (the cluster-hardening tier)
+# --------------------------------------------------------------------------------------
+
+class TestSequencingAndHealth:
+    """Spec §7.1: a not-larger ``seq`` is an exact redelivery — drop it."""
+
+    def _stamped(self, params, seed, seq, wire_format):
+        values = np.random.default_rng(seed).integers(0, 1 << 10, size=1_200)
+        batch = params.make_encoder().encode_batch(values,
+                                                   np.random.default_rng(seed))
+        return batch, encode_reports_frame(batch, wire_format=wire_format,
+                                           seq=seq)
+
+    @pytest.mark.parametrize("wire_format", ["json", "binary"])
+    def test_sequenced_redelivery_dropped_exactly(self, wire_format):
+        params = _small_params()
+        batch1, frame1 = self._stamped(params, 3, 1, wire_format)
+        batch2, frame2 = self._stamped(params, 4, 2, wire_format)
+        queries = list(range(64))
+        expected = (params.make_aggregator().absorb_batch(batch1)
+                    .absorb_batch(batch2).finalize().estimate_many(queries))
+        with running_server(params) as (_, host, port):
+            with AggregationClient(host, port) as client:
+                client.send_raw(frame1)
+                assert client.sync() == len(batch1)
+                client.send_raw(frame1)  # byte-identical redelivery (replay)
+                assert client.sync() == len(batch1)
+                client.send_raw(frame2)  # watermark advances: absorbed
+                assert client.sync() == len(batch1) + len(batch2)
+                assert client.stats()["reports_deduped"] == len(batch1)
+                assert client.health()["max_seq"] == 2
+                served = client.query(queries)
+        assert np.array_equal(served, expected)
+
+    def test_unsequenced_frames_never_deduped(self):
+        # Plain clients don't stamp seq; identical frames must all absorb.
+        params = _small_params()
+        batch, _ = self._stamped(params, 5, 1, "json")
+        frame = encode_reports_frame(batch)  # no seq field
+        with running_server(params) as (_, host, port):
+            with AggregationClient(host, port) as client:
+                client.send_raw(frame)
+                client.send_raw(frame)
+                assert client.sync() == 2 * len(batch)
+                assert client.stats()["reports_deduped"] == 0
+
+    def test_health_probe_reports_watermark(self):
+        params = _small_params()
+        batch, frame = self._stamped(params, 6, 7, "binary")
+        with running_server(params) as (_, host, port):
+            with AggregationClient(host, port) as client:
+                reply = client.health()
+                assert reply["status"] == "ok"
+                assert reply["protocol"] == params.protocol
+                assert reply["max_seq"] is None
+                assert reply["num_reports"] == 0
+                client.send_raw(frame)
+                client.sync()
+                reply = client.health()
+                assert reply["max_seq"] == 7
+                assert reply["num_reports"] == len(batch)
+
+
+class TestClientDeadlines:
+    """A wedged server must surface as ``TimeoutError``, never a silent hang."""
+
+    @contextmanager
+    def _black_hole(self):
+        # A listener whose kernel backlog completes the TCP handshake but
+        # whose owner never accepts, reads, or writes a byte — the stalled
+        # server pathology the timeout hardening exists for.
+        sock = socket.socket()
+        try:
+            sock.bind(("127.0.0.1", 0))
+            sock.listen(1)
+            yield sock.getsockname()
+        finally:
+            sock.close()
+
+    def test_sync_client_times_out_on_stalled_server(self):
+        with self._black_hole() as (host, port):
+            client = AggregationClient(host, port, timeout=0.5)
+            try:
+                with pytest.raises(TimeoutError):
+                    client.hello()
+            finally:
+                client.close()
+
+    def test_async_client_times_out_on_stalled_server(self):
+        async def main():
+            with self._black_hole() as (host, port):
+                client = await AsyncAggregationClient.connect(host, port,
+                                                              timeout=0.5)
+                try:
+                    with pytest.raises(TimeoutError):
+                        await client.hello()
+                finally:
+                    await client.close()
+
+        asyncio.run(main())

@@ -34,6 +34,8 @@ from repro.protocol.binary import (
     encode_reports_payload,
     is_binary_payload,
     pack_state,
+    peek_reports_header,
+    stamp_sequence,
     unpack_state,
 )
 from repro.server import (
@@ -135,6 +137,62 @@ class TestCrossFormatMatrix:
         epoch, decoded = decode_reports_payload(encode_reports_payload(batch))
         assert len(decoded) == 0
         assert set(decoded.columns) == set(batch.columns)
+
+
+class TestSequencedFrames:
+    """The §8.1 delivery-sequence field and the router's stamping primitive."""
+
+    def _params(self):
+        return HashtogramParams.create(DOMAIN, 1.0, num_buckets=16, rng=0)
+
+    def test_stamp_unrouted_matches_direct_encode(self):
+        batch = _batch(self._params(), n=400)
+        plain = encode_reports_payload(batch, epoch=3)
+        stamped = stamp_sequence(plain, 17)
+        assert stamped == encode_reports_payload(batch, epoch=3, seq=17)
+        header = peek_reports_header(stamped)
+        assert header["seq"] == 17
+        assert header["route"] is None
+        # the stamped frame still decodes to the identical batch
+        epoch, decoded = decode_reports_payload(stamped)
+        assert epoch == 3
+        for key, col in batch.columns.items():
+            assert np.array_equal(decoded.columns[key], col)
+
+    def test_stamp_routed_matches_direct_encode(self):
+        batch = _batch(self._params(), n=400)
+        plain = encode_reports_payload(batch, epoch=1, route=-9)
+        stamped = stamp_sequence(plain, 2**63)
+        assert stamped == encode_reports_payload(batch, epoch=1, route=-9,
+                                                 seq=2**63)
+        header = peek_reports_header(stamped)
+        assert header == {"epoch": 1, "route": -9, "seq": 2**63,
+                          "num_reports": 400, "protocol": "hashtogram"}
+
+    def test_restamp_overwrites_in_place(self):
+        batch = _batch(self._params(), n=200)
+        once = stamp_sequence(encode_reports_payload(batch), 5)
+        twice = stamp_sequence(once, 6)
+        assert len(twice) == len(once)
+        assert twice == encode_reports_payload(batch, seq=6)
+
+    def test_unsequenced_frames_peek_none(self):
+        payload = encode_reports_payload(_batch(self._params(), n=50))
+        assert peek_reports_header(payload)["seq"] is None
+
+    def test_seq_out_of_u64_range_rejected(self):
+        payload = encode_reports_payload(_batch(self._params(), n=50))
+        with pytest.raises(BinaryFormatError):
+            stamp_sequence(payload, -1)
+        with pytest.raises(BinaryFormatError):
+            stamp_sequence(payload, 1 << 64)
+
+    def test_undefined_flag_bit_rejected(self):
+        payload = bytearray(
+            encode_reports_payload(_batch(self._params(), n=50)))
+        payload[3] |= 0x04  # first flag bit outside ROUTED|SEQUENCED
+        with pytest.raises(BinaryFormatError):
+            decode_reports_payload(bytes(payload))
 
 
 class TestBinaryErrorPaths:
