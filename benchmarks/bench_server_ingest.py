@@ -232,6 +232,57 @@ def check_engine_regression(payload: Dict[str, object],
     return failures
 
 
+def check_transport_regression(payload: Dict[str, object],
+                               baseline: Dict[str, object],
+                               max_drop: float = None) -> List[str]:
+    """Gate for ``BENCH_transport.json`` (the transport-matrix artifact).
+
+    Two checks against the baseline's ``"transport"`` section: per-backend
+    wire-throughput floors (``reports_per_s``, with the usual ``max_drop``
+    headroom), and the headline structural claim — the same-host shm ring
+    must move frames at least ``min_shm_speedup_vs_tcp`` times faster than
+    TCP loopback.  The ratio is same-run shm/tcp, so host-wide noise that
+    slows both backends together cannot fail it.  Returns the violations
+    (empty = ok).
+    """
+    if max_drop is None:
+        max_drop = float(baseline.get("max_drop", MAX_THROUGHPUT_DROP))
+    spec = dict(baseline.get("transport", {}))
+    if not spec:
+        return []
+    measured: Dict[str, float] = {
+        str(row["transport"]): float(row["reports_per_s"])
+        for row in payload["results"]}
+    failures = []
+    for transport, reference in dict(spec.get("reports_per_s", {})).items():
+        floor = (1.0 - max_drop) * float(reference)
+        got = measured.get(transport)
+        if got is None:
+            failures.append(f"transport/{transport}: no measured row "
+                            f"(baseline {float(reference):,.0f} reports/s)")
+        elif got < floor:
+            failures.append(
+                f"transport/{transport}: wire throughput regressed to "
+                f"{got:,.0f} reports/s (< {floor:,.0f}; baseline "
+                f"{float(reference):,.0f}, max drop {max_drop:.0%})")
+    min_speedup = spec.get("min_shm_speedup_vs_tcp")
+    if min_speedup is not None:
+        if "tcp" in measured and "shm" in measured:
+            speedup = measured["shm"] / max(measured["tcp"], 1e-9)
+            if speedup < float(min_speedup):
+                failures.append(
+                    f"transport/shm: only {speedup:.2f}x faster than TCP "
+                    f"loopback (required >= {float(min_speedup)}x)")
+        else:
+            failures.append("transport: speedup gate needs both a tcp and "
+                            f"an shm row (have {sorted(measured)})")
+    for row in payload["results"]:
+        if not row.get("identical_to_offline_engine", False):
+            failures.append(f"transport/{row['transport']}: served estimates "
+                            f"diverged from the offline engine")
+    return failures
+
+
 def check_wire_shrink(payload: Dict[str, object],
                       min_shrink: float = MIN_WIRE_SHRINK) -> List[str]:
     """CI gate: per protocol, binary wire bytes must be ≥ ``min_shrink``×
@@ -289,6 +340,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="also gate this BENCH_engine.json payload "
                              "against the baseline's engine numbers "
                              "(requires --check and --baseline)")
+    parser.add_argument("--transport-matrix", metavar="BENCH_TRANSPORT_JSON",
+                        default=None,
+                        help="also gate this BENCH_transport.json payload "
+                             "against the baseline's transport floors and "
+                             "the shm-vs-tcp speedup (requires --check and "
+                             "--baseline)")
     args = parser.parse_args(argv)
 
     if args.check is not None:
@@ -300,9 +357,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if args.engine is not None:
                 engine_payload = json.loads(Path(args.engine).read_text())
                 failures += check_engine_regression(engine_payload, baseline)
-        elif args.engine is not None:
-            print("bench_server_ingest --check: --engine requires --baseline",
-                  file=sys.stderr)
+            if args.transport_matrix is not None:
+                transport_payload = json.loads(
+                    Path(args.transport_matrix).read_text())
+                failures += check_transport_regression(transport_payload,
+                                                       baseline)
+        elif args.engine is not None or args.transport_matrix is not None:
+            print("bench_server_ingest --check: --engine and "
+                  "--transport-matrix require --baseline", file=sys.stderr)
             return 2
         for failure in failures:
             print(f"bench_server_ingest --check: {failure}", file=sys.stderr)

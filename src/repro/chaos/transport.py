@@ -1,4 +1,4 @@
-"""A frame-aware fault-injecting TCP proxy for one cluster leg.
+"""A frame-aware fault-injecting proxy for one cluster leg.
 
 :class:`FaultyTransport` sits between two real peers — client↔router or
 router↔shard — and forwards bytes untouched *except* at scheduled frame
@@ -10,6 +10,14 @@ uncounted), and a :class:`~repro.chaos.schedule.FaultEvent` scheduled at
 count *n* fires exactly when frame *n* arrives — deterministic under a
 fixed schedule, independent of timing.  The upstream→client direction is a
 raw byte pump; replies are never faulted.
+
+The proxy speaks :mod:`repro.transport` on both sides, so the leg it
+faults may be TCP *or* the same-host shared-memory ring: ``upstream`` is
+either a ``(host, port)`` pair (TCP, the historical form) or any transport
+address (``"shm://name"``), and ``start(listen="shm://...")`` accepts on a
+ring instead of a socket.  The pumps only consume the duck-typed stream
+surface every backend provides, so the fault kinds behave identically —
+a ``reset`` aborts a ring link exactly like it aborts a socket.
 
 The counter spans connections: reconnecting (which recovery does) keeps
 counting where the last connection stopped, so one schedule addresses the
@@ -33,17 +41,20 @@ Fault kinds on this leg:
   hardening exists for.
 
 ``retarget`` repoints the upstream endpoint — the chaos supervisor calls
-it after restarting a shard on a fresh port, so the router keeps dialing
-the *proxy* while the proxy follows the shard.
+it after restarting a shard on a fresh port (or a fresh ring generation),
+so the router keeps dialing the *proxy* while the proxy follows the shard.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.chaos.schedule import WIRE_KINDS, FaultEvent
 from repro.server.framing import FrameError, frame_bytes, read_frame_payload
+from repro.transport import Listener
+from repro.transport import dial as transport_dial
+from repro.transport import serve as transport_serve
 
 __all__ = ["FaultyTransport"]
 
@@ -60,12 +71,14 @@ def _is_reports_payload(payload: bytes) -> bool:
 
 
 class _Connection:
-    """One proxied connection: the two pumps plus the black-hole flag."""
+    """One proxied connection: the two pumps plus the black-hole flag.
 
-    def __init__(self, down_reader: asyncio.StreamReader,
-                 down_writer: asyncio.StreamWriter,
-                 up_reader: asyncio.StreamReader,
-                 up_writer: asyncio.StreamWriter) -> None:
+    Readers/writers are duck-typed transport streams — real asyncio TCP
+    streams or the shm ring shims; both expose ``transport.abort()``.
+    """
+
+    def __init__(self, down_reader: Any, down_writer: Any,
+                 up_reader: Any, up_writer: Any) -> None:
         self.down_reader = down_reader
         self.down_writer = down_writer
         self.up_reader = up_reader
@@ -88,9 +101,14 @@ class _Connection:
 
 
 class FaultyTransport:
-    """Fault-injecting proxy in front of one upstream ``(host, port)``."""
+    """Fault-injecting proxy in front of one upstream endpoint.
 
-    def __init__(self, name: str, upstream: Tuple[str, int],
+    ``upstream`` is a ``(host, port)`` pair (TCP) or a transport address
+    string (``"tcp://host:port"``, ``"shm://name"``).
+    """
+
+    def __init__(self, name: str,
+                 upstream: Union[Tuple[str, int], str],
                  faults: Optional[Dict[int, FaultEvent]] = None) -> None:
         for event in (faults or {}).values():
             if event.kind not in WIRE_KINDS:
@@ -98,41 +116,68 @@ class FaultyTransport:
                     f"{event.kind!r} is not a wire fault kind"
                 )
         self.name = name
-        self.upstream = (upstream[0], int(upstream[1]))
+        self.upstream_address = self._as_address(upstream)
         self.faults = dict(faults or {})
         #: events that actually fired, in firing order
         self.fired: List[FaultEvent] = []
         #: ``reports`` frames seen client→upstream, across all connections
         self.frames = 0
-        self._server: Optional[asyncio.base_events.Server] = None
+        self._listener: Optional[Listener] = None
+        #: the dialable address this proxy accepts on, once started
+        self.address: Optional[str] = None
         self._address: Optional[Tuple[str, int]] = None
         self._tasks: set = set()
         self._conns: List[_Connection] = []
 
+    @staticmethod
+    def _as_address(upstream: Union[Tuple[str, int], str]) -> str:
+        if isinstance(upstream, str):
+            return upstream
+        host, port = upstream
+        return f"tcp://{host}:{int(port)}"
+
     @property
     def endpoint(self) -> Tuple[str, int]:
+        """The TCP ``(host, port)`` accepted on (shm proxies: ``address``)."""
         if self._address is None:
-            raise RuntimeError("transport not started")
+            raise RuntimeError("transport not started, or listening on a "
+                               "non-TCP address — use .address")
         return self._address
 
-    def retarget(self, host: str, port: int) -> None:
-        """Point new upstream connections at a fresh ``(host, port)``."""
-        self.upstream = (host, int(port))
+    def retarget(self, host: Union[str, Tuple[str, int]],
+                 port: Optional[int] = None) -> None:
+        """Point new upstream connections at a fresh endpoint.
 
-    async def start(self, host: str = "127.0.0.1",
-                    port: int = 0) -> Tuple[str, int]:
-        if self._server is not None:
+        Accepts the historical ``retarget(host, port)`` form, a
+        ``(host, port)`` pair, or a full transport address string (the shm
+        form — a restarted shard binds a fresh ring name).
+        """
+        if port is not None:
+            self.upstream_address = self._as_address((str(host), port))
+        else:
+            self.upstream_address = self._as_address(host)
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0, *,
+                    listen: Optional[str] = None) -> Tuple[str, int]:
+        """Bind the accept side; ``listen`` overrides the default TCP bind
+        with any transport address (e.g. ``"shm://chaos-client"``).
+        Returns the TCP ``(host, port)`` when listening on TCP."""
+        if self._listener is not None:
             raise RuntimeError("transport already started")
-        self._server = await asyncio.start_server(self._handle, host, port)
-        sockname = self._server.sockets[0].getsockname()
-        self._address = (str(sockname[0]), int(sockname[1]))
-        return self._address
+        if listen is None:
+            listen = f"tcp://{host}:{port}"
+        self._listener = await transport_serve(self._handle, listen)
+        self.address = self._listener.address
+        tcp_host = getattr(self._listener, "host", None)
+        if tcp_host is not None:
+            self._address = (str(tcp_host), int(self._listener.port))
+            return self._address
+        return ("", 0)
 
     async def stop(self) -> None:
-        if self._server is not None:
-            server, self._server = self._server, None
-            server.close()
-            await server.wait_closed()
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            listener.close()
         for task in list(self._tasks):
             task.cancel()
         for task in list(self._tasks):
@@ -144,17 +189,18 @@ class FaultyTransport:
         for conn in self._conns:
             conn.close()
         self._conns.clear()
+        if listener is not None:
+            await listener.wait_closed()
 
     # ----- per-connection plumbing ----------------------------------------------------
 
-    async def _handle(self, down_reader: asyncio.StreamReader,
-                      down_writer: asyncio.StreamWriter) -> None:
+    async def _handle(self, down_reader: Any, down_writer: Any) -> None:
         try:
-            up_reader, up_writer = await asyncio.open_connection(*self.upstream)
+            up = await transport_dial(self.upstream_address)
         except OSError:
             down_writer.close()
             return
-        conn = _Connection(down_reader, down_writer, up_reader, up_writer)
+        conn = _Connection(down_reader, down_writer, up.reader, up.writer)
         self._conns.append(conn)
         up_task = asyncio.current_task()
         if up_task is not None:

@@ -15,6 +15,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli load-test --users 100000 --workers 4
     python -m repro.cli load-test --wire-format binary   # zero-copy frames
     python -m repro.cli load-test --cluster 3   # sharded cluster, bit-identical
+    python -m repro.cli load-test --cluster 2 --transport shm  # shm shard links
     python -m repro.cli --list-modules          # module map (checked against docs)
 
 ``run`` prints the same tables that ``pytest benchmarks/ --benchmark-only``
@@ -402,15 +403,25 @@ def _cmd_serve(args) -> int:
                                    snapshot_format=args.snapshot_format,
                                    wire_formats=wire_formats)
 
+    shm_name = args.shm_name
+    if args.transport == "shm" and not shm_name:
+        import os
+        shm_name = f"repro-serve-{os.getpid()}"
+
     async def main() -> None:
-        host, port = await server.start(args.host, args.port)
+        host, port = await server.start(args.host, args.port,
+                                        transport=args.transport,
+                                        shm_name=shm_name,
+                                        acceptors=args.acceptors)
         # Parse-friendly readiness line: `load-test` and the tests wait for it.
         print(f"LISTENING {host} {port}", flush=True)
         if not args.quiet:
             print(f"serve: protocol={server.params.protocol} "
                   f"window={server.windowed.window} "
                   f"wire_formats={','.join(server.wire_formats)} "
-                  f"snapshot_dir={args.snapshot_dir} "
+                  f"transport={args.transport}"
+                  + (f" shm_name={shm_name}" if shm_name else "") +
+                  f" snapshot_dir={args.snapshot_dir} "
                   f"restored_reports={server.windowed.num_reports}", flush=True)
         await server.serve_until_stopped()
         if not args.quiet:
@@ -459,13 +470,15 @@ def _cmd_serve_cluster(args) -> int:
     supervisor = ClusterSupervisor(params, args.shards, base_dir,
                                    window=args.window,
                                    wire_format=args.wire_format,
-                                   snapshot_format=args.snapshot_format)
+                                   snapshot_format=args.snapshot_format,
+                                   transport=args.transport)
     try:
         supervisor.start()
         router = ClusterRouter(params, supervisor=supervisor, rng=args.seed,
                                wire_formats=wire_formats,
                                checkpoint_reports=args.checkpoint_reports,
-                               window=args.window)
+                               window=args.window,
+                               transport=args.transport)
 
         async def main() -> None:
             host, port = await router.start(args.host, args.port)
@@ -478,6 +491,7 @@ def _cmd_serve_cluster(args) -> int:
                 print(f"serve-cluster: protocol={params.protocol} "
                       f"shards={args.shards} window={args.window} "
                       f"wire_formats={','.join(wire_formats)} "
+                      f"transport={args.transport} "
                       f"base_dir={base_dir} endpoints={endpoints}", flush=True)
             await router.serve_until_stopped()
             if not args.quiet:
@@ -554,6 +568,10 @@ def _cmd_load_test(args) -> int:
         print("load-test: --cluster spawns its own router; it cannot be "
               "combined with --server", file=sys.stderr)
         return 2
+    if args.server is not None and args.transport != "tcp":
+        print("load-test: --transport selects how the *spawned* server is "
+              "started; it cannot be combined with --server", file=sys.stderr)
+        return 2
     if args.cluster is not None and args.cluster < 1:
         print("load-test: --cluster must be at least 1", file=sys.stderr)
         return 2
@@ -592,10 +610,17 @@ def _cmd_load_test(args) -> int:
             return 2
         port = int(port_text)
     elif args.cluster is not None:
+        # The transport flag selects how the router reaches its shards
+        # (shm rings vs TCP loopback); this client always drives the
+        # router's TCP endpoint — the answers must be identical either way.
         proc, host, port = _spawn_server(
-            params, ("--shards", str(args.cluster)), verb="serve-cluster")
+            params, ("--shards", str(args.cluster),
+                     "--transport", args.transport), verb="serve-cluster")
     else:
-        proc, host, port = _spawn_server(params)
+        extra: Tuple[str, ...] = ()
+        if args.transport != "tcp":
+            extra = ("--transport", args.transport)
+        proc, host, port = _spawn_server(params, extra)
     server_stopped = False
     try:
         # hello doubles as wire-format negotiation: a server that does not
@@ -664,7 +689,8 @@ def _cmd_load_test(args) -> int:
         rows = [{"item": x, "true_count": truth.get(x, 0),
                  "served_estimate": round(float(a), 1)}
                 for x, a in list(zip(queries, served, strict=True))[:5]]
-        target = (f"cluster of {args.cluster} shard(s) at {host}:{port}"
+        target = (f"cluster of {args.cluster} shard(s) at {host}:{port}, "
+                  f"{args.transport} shard links"
                   if args.cluster is not None else f"server {host}:{port}")
         print(format_table(rows, title=(
             f"load-test: {args.protocol} x {users} users over {workers} "
@@ -974,6 +1000,20 @@ def build_parser() -> argparse.ArgumentParser:
                               help="reports frame formats to accept "
                                    "(advertised in the hello reply; "
                                    "default: both)")
+    serve_parser.add_argument("--transport", default="tcp",
+                              choices=["tcp", "shm"],
+                              help="with 'shm', additionally bind a "
+                                   "same-host shared-memory accept endpoint "
+                                   "(docs/transport.md); the TCP endpoint "
+                                   "and its LISTENING line are kept")
+    serve_parser.add_argument("--shm-name", default=None,
+                              help="shm control-segment name to bind "
+                                   "(default with --transport shm: "
+                                   "repro-serve-<pid>)")
+    serve_parser.add_argument("--acceptors", type=int, default=1,
+                              help="number of SO_REUSEPORT acceptor sockets "
+                                   "sharing the TCP port (multi-core "
+                                   "ingest; default 1)")
     serve_parser.add_argument("--restore", default=None,
                               help="start from this windowed snapshot file "
                                    "(parameters and window come from the "
@@ -1020,6 +1060,12 @@ def build_parser() -> argparse.ArgumentParser:
                                 choices=["json", "binary", "both"],
                                 help="reports frame formats the router and "
                                      "its shards accept")
+    cluster_parser.add_argument("--transport", default="tcp",
+                                choices=["tcp", "shm"],
+                                help="router->shard transport: TCP loopback "
+                                     "(default) or same-host shared-memory "
+                                     "rings (docs/transport.md); answers "
+                                     "are bit-identical either way")
     cluster_parser.add_argument("--checkpoint-reports", type=int,
                                 default=1 << 16,
                                 help="auto-checkpoint a shard once this many "
@@ -1059,6 +1105,13 @@ def build_parser() -> argparse.ArgumentParser:
                              help="spawn a serve-cluster of K shards and "
                                   "drive its router instead of a single "
                                   "server (exclusive with --server)")
+    load_parser.add_argument("--transport", default="tcp",
+                             choices=["tcp", "shm"],
+                             help="transport of the spawned server/cluster: "
+                                  "with --cluster the router dials its "
+                                  "shards over shm rings instead of TCP "
+                                  "loopback; the verified bit-identity must "
+                                  "hold either way")
     load_parser.add_argument("--quick", action="store_true",
                              help="CI-sized run (<= 20k users, 2 workers)")
     load_parser.set_defaults(func=_cmd_load_test)

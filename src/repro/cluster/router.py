@@ -58,7 +58,17 @@ import asyncio
 import base64
 import json
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Awaitable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Awaitable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.cluster.supervisor import ClusterSupervisor
@@ -88,6 +98,7 @@ from repro.server.framing import (
     read_frame_payload,
     write_frame,
 )
+from repro.transport import dial as transport_dial
 from repro.utils.rng import RandomState, as_generator
 
 __all__ = ["ClusterError", "ClusterRouter", "RouterStats", "ROUTER_ID"]
@@ -146,12 +157,20 @@ class RouterStats:
 class _ShardLink:
     """One pooled, ordered connection to a shard, plus its frame journal."""
 
-    def __init__(self, index: int, host: str, port: int) -> None:
+    def __init__(self, index: int, host: str, port: int,
+                 shm_name: Optional[str] = None) -> None:
         self.index = index
         self.host = host
         self.port = int(port)
-        self.reader: Optional[asyncio.StreamReader] = None
-        self.writer: Optional[asyncio.StreamWriter] = None
+        #: when set, :meth:`connect` dials ``shm://{shm_name}`` (the
+        #: shard's same-host shared-memory ring) instead of TCP loopback;
+        #: refreshed after a supervisor restart, because a revived shard
+        #: binds a fresh ring generation
+        self.shm_name = shm_name
+        #: duck-typed transport streams (asyncio TCP, or the shm ring
+        #: shims) — the frame layer consumes the same surface either way
+        self.reader: Optional[Any] = None
+        self.writer: Optional[Any] = None
         self.lock = asyncio.Lock()
         #: raw frame payloads (and their report counts) forwarded since the
         #: shard's last acknowledged snapshot barrier; payloads are stored
@@ -168,9 +187,10 @@ class _ShardLink:
 
     async def connect(self) -> None:
         await self.close()
-        self.reader, self.writer = await asyncio.open_connection(
-            self.host, self.port
-        )
+        address = (f"shm://{self.shm_name}" if self.shm_name is not None
+                   else f"tcp://{self.host}:{self.port}")
+        conn = await transport_dial(address)
+        self.reader, self.writer = conn.reader, conn.writer
 
     async def close(self) -> None:
         # detach before the first await: a connect() racing this close()
@@ -211,6 +231,12 @@ class ClusterRouter:
         the journal.  Bounds both journal memory and replay time.
     window:
         Retention the shards were started with (published in ``hello``).
+    transport:
+        ``"tcp"`` (default) dials every shard over TCP loopback;
+        ``"shm"`` dials each local shard's same-host shared-memory ring
+        (:mod:`repro.transport`) instead — no syscall per forwarded frame.
+        Requires a supervisor started with ``transport="shm"``; it owns
+        the per-shard ring names and their restart generations.
     connect_timeout:
         Deadline (seconds) for dialing a shard connection.
     request_timeout:
@@ -240,6 +266,7 @@ class ClusterRouter:
         wire_formats: Sequence[str] = WIRE_FORMATS,
         checkpoint_reports: int = 1 << 16,
         window: Optional[int] = None,
+        transport: str = "tcp",
         connect_timeout: float = 5.0,
         request_timeout: float = 30.0,
         recovery_attempts: int = 4,
@@ -252,6 +279,16 @@ class ClusterRouter:
             endpoints = supervisor.endpoints()
         if not endpoints:
             raise ValueError("need at least one shard endpoint")
+        if transport not in ("tcp", "shm"):
+            raise ValueError(f"transport must be 'tcp' or 'shm', "
+                             f"got {transport!r}")
+        if transport == "shm" and (
+            supervisor is None or supervisor.transport != "shm"
+        ):
+            raise ValueError(
+                "transport='shm' needs a supervisor started with "
+                "transport='shm' (it owns the shards' ring names)"
+            )
         self.wire_formats = tuple(wire_formats)
         if not self.wire_formats or any(
             fmt not in WIRE_FORMATS for fmt in self.wire_formats
@@ -288,9 +325,15 @@ class ClusterRouter:
         #: jitter source for recovery backoff; seeded from the same ``rng``
         #: that sampled the partition, so a chaos run replays exactly
         self._backoff_rng = as_generator(rng)
+        self.transport = transport
         self.stats = RouterStats()
         self.links = [
-            _ShardLink(i, host, port) for i, (host, port) in enumerate(endpoints)
+            _ShardLink(
+                i, host, port,
+                shm_name=(supervisor.shm_name(i) if transport == "shm"
+                          and supervisor is not None else None),
+            )
+            for i, (host, port) in enumerate(endpoints)
         ]
         self._round_robin = 0
         self._server: Optional[asyncio.base_events.Server] = None
@@ -432,6 +475,10 @@ class ClusterRouter:
             None, self.supervisor.restart, link.index
         )
         link.host, link.port = host, int(port)
+        if link.shm_name is not None:
+            # The revived shard bound a fresh ring generation; dialing the
+            # old name would hit the dead shard's unlinked segment.
+            link.shm_name = self.supervisor.shm_name(link.index)
         await self._reconnect_locked(link)
 
     async def _recover_locked(

@@ -119,7 +119,18 @@ class ClusterSupervisor:
         ``shard-K`` snapshot directory per shard.
     window / wire_format / snapshot_format:
         Passed through to every shard's ``serve`` invocation.
+    transport:
+        ``"tcp"`` (default) or ``"shm"``.  With ``"shm"`` every spawned
+        shard *additionally* binds a same-host shared-memory accept
+        endpoint (:mod:`repro.transport`) under a supervisor-chosen ring
+        name — :meth:`shm_name` — which the router dials for its
+        shard links instead of TCP loopback.  The TCP endpoint (and its
+        ``LISTENING`` readiness line) is kept either way.
     """
+
+    #: distinguishes concurrent supervisors inside one process, so their
+    #: shm control-segment names can never collide
+    _instances = 0
 
     def __init__(
         self,
@@ -130,21 +141,44 @@ class ClusterSupervisor:
         window: Optional[int] = None,
         wire_format: str = "both",
         snapshot_format: str = "json",
+        transport: str = "tcp",
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
+        if transport not in ("tcp", "shm"):
+            raise ValueError(f"transport must be 'tcp' or 'shm', "
+                             f"got {transport!r}")
         self.params = params
         self.num_shards = int(num_shards)
         self.base_dir = Path(base_dir)
         self.window = window
         self.wire_format = wire_format
         self.snapshot_format = snapshot_format
+        self.transport = transport
+        ClusterSupervisor._instances += 1
+        #: shm ring-name prefix: unique per (process, supervisor) so stale
+        #: segments from another run can never be dialed by mistake
+        self._shm_prefix = (f"repro-{os.getpid()}"
+                            f"-c{ClusterSupervisor._instances}")
         self.shards: List[ShardHandle] = []
         self.base_dir.mkdir(parents=True, exist_ok=True)
         self.params_file = self.base_dir / "params.json"
         self.params_file.write_text(json.dumps(params.to_dict()))
 
-    def _serve_args(self, shard_dir: Path) -> List[str]:
+    def shm_name(self, index: int) -> Optional[str]:
+        """Current shm control-segment name of one shard (``None`` on tcp).
+
+        The name carries the shard's restart generation, so a restarted
+        shard binds a *fresh* segment and the router can never dial the
+        leaked ring of its dead predecessor.
+        """
+        if self.transport != "shm":
+            return None
+        restarts = (self.shards[index].restarts
+                    if index < len(self.shards) else 0)
+        return f"{self._shm_prefix}-s{index}g{restarts}"
+
+    def _serve_args(self, index: int, shard_dir: Path) -> List[str]:
         args = [
             "--snapshot-dir",
             str(shard_dir),
@@ -155,6 +189,9 @@ class ClusterSupervisor:
         ]
         if self.window is not None:
             args += ["--window", str(self.window)]
+        if self.transport == "shm":
+            args += ["--transport", "shm",
+                     "--shm-name", str(self.shm_name(index))]
         return args
 
     # ----- lifecycle ------------------------------------------------------------------
@@ -166,7 +203,7 @@ class ClusterSupervisor:
         for index in range(self.num_shards):
             shard_dir = self.base_dir / f"shard-{index}"
             proc, host, port = spawn_server_process(
-                "serve", self.params_file, self._serve_args(shard_dir)
+                "serve", self.params_file, self._serve_args(index, shard_dir)
             )
             self.shards.append(
                 ShardHandle(
@@ -197,17 +234,21 @@ class ClusterSupervisor:
         """
         shard = self.shards[index]
         self._reap(shard)
+        # Bump the generation *before* spawning: on shm the replacement
+        # must bind a fresh ring name, never its dead predecessor's.
+        shard.restarts += 1
         store = SnapshotStore(shard.snapshot_dir, format=self.snapshot_format)
         latest = store.latest()
         if latest is not None:
-            extra = ["--restore", str(latest), *self._serve_args(shard.snapshot_dir)]
+            extra = ["--restore", str(latest),
+                     *self._serve_args(index, shard.snapshot_dir)]
             proc, host, port = spawn_server_process("serve", None, extra)
         else:
             proc, host, port = spawn_server_process(
-                "serve", self.params_file, self._serve_args(shard.snapshot_dir)
+                "serve", self.params_file,
+                self._serve_args(index, shard.snapshot_dir)
             )
         shard.proc, shard.host, shard.port = proc, host, port
-        shard.restarts += 1
         return host, port
 
     def kill(self, index: int, sig: int = signal.SIGKILL) -> None:

@@ -265,6 +265,20 @@ class AsyncAggregationClient:
                     f"{timeout}s") from None
         return cls(reader, writer, wire_format, timeout)
 
+    @classmethod
+    async def dial(cls, address: str,
+                   wire_format: str = "json",
+                   timeout: Optional[float] = DEFAULT_TIMEOUT
+                   ) -> "AsyncAggregationClient":
+        """Connect over any registered transport (``tcp://host:port``,
+        ``shm://name``) — identical frames and vocabulary either way."""
+        # Lazy: repro.transport imports repro.server.framing, so importing
+        # it at module level would cycle through this package's __init__.
+        from repro.transport import dial as transport_dial
+
+        conn = await transport_dial(address, timeout=timeout)
+        return cls(conn.reader, conn.writer, wire_format, timeout)
+
     async def _deadline(self, awaitable, what: str):
         if self.timeout is None:
             return await awaitable
@@ -309,6 +323,11 @@ class AsyncAggregationClient:
         self._writer.write(encode_reports_frame(batch, epoch, wire_format,
                                                 encoding, route=route))
         await self._deadline(self._writer.drain(), "reports send")
+
+    async def send_raw(self, frames: bytes) -> None:
+        """Ship pre-encoded ``reports`` frames (the benchmark fast path)."""
+        self._writer.write(frames)
+        await self._deadline(self._writer.drain(), "raw send")
 
     async def send_stream(self, batches, epoch: int = 0,
                           encoding: str = "b64",

@@ -2,8 +2,9 @@
 
 One :class:`AggregationServer` owns a single protocol's
 :class:`~repro.server.window.WindowedAggregator` and serves any number of
-concurrent TCP connections speaking the frame protocol of
-:mod:`repro.server.framing` (specified in ``docs/wire-protocol.md`` §7):
+concurrent connections — TCP always, plus an optional same-host
+shared-memory endpoint (:mod:`repro.transport`) — speaking the frame
+protocol of :mod:`repro.server.framing` (``docs/wire-protocol.md`` §7):
 
 * **Ingestion** — ``reports`` frames are decoded to columnar
   :class:`~repro.protocol.wire.ReportBatch` objects and pushed onto a
@@ -147,7 +148,11 @@ class AggregationServer:
         self._queue_batches = queue_batches
         self._drain_reports = drain_reports
         self._queue: Optional[asyncio.Queue] = None
-        self._server: Optional[asyncio.base_events.Server] = None
+        #: the bound TCP accept endpoint (a transport Listener); always
+        #: present once started — its (host, port) is the readiness contract
+        self._listener = None
+        #: the optional same-host shared-memory accept endpoint
+        self._shm_listener = None
         self._drain_task: Optional[asyncio.Task] = None
         self._connections: set = set()
         self._stopping = asyncio.Event()
@@ -174,22 +179,45 @@ class AggregationServer:
         server.stats.reports_absorbed = windowed.num_reports
         return server
 
-    async def start(self, host: str = "127.0.0.1",
-                    port: int = 0) -> Tuple[str, int]:
-        """Bind and start serving; returns the actual ``(host, port)``."""
+    async def start(self, host: str = "127.0.0.1", port: int = 0, *,
+                    transport: str = "tcp", shm_name: Optional[str] = None,
+                    acceptors: int = 1) -> Tuple[str, int]:
+        """Bind and start serving; returns the actual TCP ``(host, port)``.
+
+        The TCP endpoint is always bound — its ``(host, port)`` readiness
+        line is what the supervisor and the blocking clients rely on, and
+        ``acceptors > 1`` spreads it over that many SO_REUSEPORT acceptor
+        sockets.  ``transport="shm"`` *additionally* binds a same-host
+        shared-memory accept endpoint named ``shm_name``
+        (``docs/transport.md``); both endpoints feed the same dispatcher,
+        queue, and aggregator, so which transport a frame arrived over is
+        invisible to the aggregate.
+        """
+        # Imported lazily: repro.transport pulls repro.server.framing, so a
+        # module-level import here would cycle through the package __init__.
+        from repro import transport as transports
+
         if self._started:
             raise RuntimeError("server already started")
+        transports.get_backend(transport)  # raises on an unknown name
+        if transport == "shm" and not shm_name:
+            raise ValueError("transport='shm' needs a shm_name to bind")
         self._started = True
         self._queue = asyncio.Queue(maxsize=self._queue_batches)
         self._drain_task = asyncio.create_task(self._drain_loop())
-        self._server = await asyncio.start_server(self._handle_connection,
-                                                  host, port)
-        sockname = self._server.sockets[0].getsockname()
-        return str(sockname[0]), int(sockname[1])
+        self._listener = await transports.serve(
+            self._handle_connection,
+            transports.format_address("tcp", f"{host}:{port}"),
+            acceptors=acceptors)
+        if transport == "shm":
+            self._shm_listener = await transports.serve(
+                self._handle_connection,
+                transports.format_address("shm", str(shm_name)))
+        return self._listener.host, self._listener.port
 
     async def serve_until_stopped(self) -> None:
         """Serve until a ``shutdown`` frame arrives or :meth:`stop` is called."""
-        if self._server is None:
+        if self._listener is None:
             raise RuntimeError("call start() first")
         await self._stopping.wait()
         await self._shutdown()
@@ -200,17 +228,22 @@ class AggregationServer:
         await self._shutdown()
 
     async def _shutdown(self) -> None:
-        if self._server is None:
+        if self._listener is None:
             return
-        server, self._server = self._server, None
-        server.close()
+        listener, self._listener = self._listener, None
+        shm_listener, self._shm_listener = self._shm_listener, None
+        listener.close()
+        if shm_listener is not None:
+            shm_listener.close()
         # Close lingering client connections before wait_closed(): since
         # Python 3.12.1 it waits for every connection *handler* to finish,
         # so an idle client parked in read_frame would otherwise hang the
         # shutdown indefinitely.
         for writer in list(self._connections):
             writer.close()
-        await server.wait_closed()
+        await listener.wait_closed()
+        if shm_listener is not None:
+            await shm_listener.wait_closed()
         await self._queue.join()
         self._drain_task.cancel()
         try:

@@ -7,9 +7,11 @@ atomically *between* awaits.  Both properties are invisible to unit tests
 — a blocking disk write inside a handler still passes every functional
 assertion, it just freezes every other connection while it runs.
 
-Scope: ``repro/server``, ``repro/cluster``, and ``repro/cli.py`` — only
-code lexically inside ``async def`` (synchronous helpers may block; they
-are expected to run in executors).
+Scope: ``repro/server``, ``repro/cluster``, ``repro/transport``, and
+``repro/cli.py`` — only code lexically inside ``async def`` (synchronous
+helpers may block; they are expected to run in executors).  The transport
+zone matters most for the shm ring: its async wait paths *spin* on shared
+counters, and one ``time.sleep`` there freezes every link on the loop.
 
 Rules
 -----
@@ -100,7 +102,8 @@ class AsyncSafetyRule(Rule):
     family = "RPL3"
 
     def _active(self, ctx: ModuleContext) -> bool:
-        return ctx.zone in ("server", "cluster") or ctx.module_file == "cli.py"
+        return (ctx.zone in ("server", "cluster", "transport")
+                or ctx.module_file == "cli.py")
 
     # ----- RPL301: blocking calls -----------------------------------------------------
 

@@ -1,17 +1,20 @@
 """RPL4 — wire-schema drift: code constants must match the spec document.
 
-``docs/wire-protocol.md`` §7/§8 is the *normative* wire contract: the
+``docs/wire-protocol.md`` §7/§8/§9 is the *normative* wire contract: the
 binary header layout, the magic/version/kind/flag values, the struct
-field widths, and the frame-size limit.  Three modules hard-code pieces
-of that contract — ``repro/protocol/binary.py`` (header + payload
-structs), ``repro/server/framing.py`` (length prefix + frame limit), and
+field widths, the frame-size limit, and the shared-memory ring/control
+segment layouts.  Four modules hard-code pieces of that contract —
+``repro/protocol/binary.py`` (header + payload structs),
+``repro/server/framing.py`` (length prefix + frame limit),
+``repro/transport/shm.py`` (ring/ctl segment headers — a *cross-process*
+layout: both endpoints map the same bytes), and
 ``repro/cluster/router.py`` (anything it chooses to restate).  A PR that
 edits one side but not the other ships a silent protocol fork: old
-snapshots stop restoring, routers mis-split frames, and nothing fails
-until two builds talk to each other.
+snapshots stop restoring, routers mis-split frames, ring peers read
+garbage counters, and nothing fails until two builds talk to each other.
 
-This rule machine-reads the spec (the §8.1 fenced layout blocks plus the
-§7 prose) into expected constants and ``struct`` format strings, then
+This rule machine-reads the spec (the §8.1/§9.1 fenced layout blocks plus
+the §7 prose) into expected constants and ``struct`` format strings, then
 diffs them against the module's actual assignments.
 
 Rules
@@ -73,6 +76,7 @@ def parse_wire_doc(text: str) -> WireSchema:
     consts = schema.constants
     binary: Dict[str, str] = {}
     framing: Dict[str, str] = {}
+    shm: Dict[str, str] = {}
 
     def grab(name: str, pattern: str, base: int = 0) -> None:
         found = re.search(pattern, text, flags=re.MULTILINE)
@@ -109,6 +113,14 @@ def parse_wire_doc(text: str) -> WireSchema:
                 r"^skeleton_len\s+\(u\d+\).*num_columns\s+\(u\d+\).*$",
                 binary, "_STATE_FIXED")
 
+    # §9: the shared-memory ring segment layouts
+    grab("RING_MAGIC", r"^ring_magic\s+=\s+(0x[0-9A-Fa-f]+|\d+)", 0)
+    grab("CTL_MAGIC", r"^ctl_magic\s+=\s+(0x[0-9A-Fa-f]+|\d+)", 0)
+    grab("RING_VERSION", r"^ring_version\s+=\s+(\d+)")
+    grab_format("ring header", r"^ring_header\s+:=.*$", shm, "_RING_HEADER")
+    grab_format("ctl header", r"^ctl_header\s+:=.*$", shm, "_CTL_HEADER")
+    grab_format("slot", r"^slot\s+:=.*$", shm, "_SLOT")
+
     prefix = re.search(r"(\d+)-byte big-endian payload length", text)
     if prefix and int(prefix.group(1)) in _PREFIX_CODES:
         framing["_HEADER"] = _PREFIX_CODES[int(prefix.group(1))]
@@ -124,6 +136,7 @@ def parse_wire_doc(text: str) -> WireSchema:
 
     schema.structs["protocol/binary.py"] = binary
     schema.structs["server/framing.py"] = framing
+    schema.structs["transport/shm.py"] = shm
     return schema
 
 
@@ -134,12 +147,14 @@ _REQUIRED_CONSTANTS = {
                            "KIND_STATE", "FLAG_ROUTED", "FLAG_SEQUENCED"),
     "server/framing.py": ("MAX_FRAME_BYTES",),
     "cluster/router.py": (),
+    "transport/shm.py": ("RING_MAGIC", "CTL_MAGIC", "RING_VERSION"),
 }
 _REQUIRED_STRUCTS = {
     "protocol/binary.py": ("_HEADER", "_REPORTS_FIXED", "_ROUTE_FIELD",
                            "_SEQ_FIELD", "_STATE_FIXED"),
     "server/framing.py": ("_HEADER",),
     "cluster/router.py": (),
+    "transport/shm.py": ("_RING_HEADER", "_CTL_HEADER", "_SLOT"),
 }
 
 

@@ -1,0 +1,58 @@
+"""Pluggable transports under the frame protocol.
+
+The frame layer (:mod:`repro.server.framing`) already splits framing from
+I/O: ``frame_bytes`` wraps a payload in its length prefix and
+``read_frame_payload`` needs nothing from its ``reader`` beyond an async
+``readexactly``.  This package supplies the I/O: a *backend* is a way to
+dial and accept bidirectional byte links carrying those frames, registered
+under a scheme name and addressed as ``"<scheme>://<rest>"``.
+
+Two backends ship (``docs/transport.md``):
+
+* ``tcp`` — the existing asyncio TCP streams (``tcp://host:port``), with
+  optional SO_REUSEPORT multi-acceptor listening so several acceptor
+  sockets can share one port.
+* ``shm`` — a same-host shared-memory link (``shm://name``): one
+  single-producer/single-consumer byte ring per direction inside a
+  ``multiprocessing.shared_memory`` segment, futex-free spin-then-sleep
+  waiting, and no syscall per frame (``docs/wire-protocol.md`` §9).
+
+Every backend upholds the same contract — async frame send/recv, dial and
+accept, deadline and close semantics — and is exercised by the
+backend-parametrized conformance suite in
+``tests/test_transport_conformance.py``; registering a new backend is all
+it takes to put it under the same assertions.
+"""
+
+from repro.transport.base import (
+    Backend,
+    Connection,
+    Listener,
+    TransportError,
+    backend_names,
+    dial,
+    format_address,
+    get_backend,
+    parse_address,
+    register_backend,
+    serve,
+)
+from repro.transport.shm import ShmListener
+from repro.transport.tcp import TcpListener, reuseport_sockets
+
+__all__ = [
+    "Backend",
+    "Connection",
+    "Listener",
+    "ShmListener",
+    "TcpListener",
+    "TransportError",
+    "backend_names",
+    "dial",
+    "format_address",
+    "get_backend",
+    "parse_address",
+    "register_backend",
+    "reuseport_sockets",
+    "serve",
+]

@@ -1,0 +1,206 @@
+"""The backend contract: addresses, dial/accept, deadlines, close.
+
+A *backend* provides two coroutines:
+
+* ``dial(rest, **options) -> (reader, writer)`` — open one link to the
+  endpoint named by the address remainder ``rest``.
+* ``serve(handler, rest, **options) -> Listener`` — bind an accept
+  endpoint; ``handler(reader, writer)`` is awaited once per accepted link.
+
+``reader`` and ``writer`` are *duck-typed* asyncio streams: a reader needs
+``readexactly`` (raising :class:`asyncio.IncompleteReadError` on EOF, with
+an empty ``partial`` for a clean between-frames close) and ``read``; a
+writer needs ``write`` / ``drain`` / ``close`` / ``wait_closed`` /
+``is_closing``.  That surface is exactly what the frame layer and the
+server/router connection handlers consume, so every backend plugs into
+them unchanged — the TCP backend hands back real
+:class:`asyncio.StreamReader` / :class:`asyncio.StreamWriter` pairs, the
+shm backend hands back ring shims with the same methods.
+
+:class:`Connection` wraps a dialed pair in the frame-level contract the
+conformance suite pins down: ``send``/``recv`` move whole frame payloads,
+``recv`` returns ``None`` on a clean peer close, and a ``timeout`` turns a
+stalled peer into the builtin :class:`TimeoutError` on every Python
+version.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
+
+from repro.server.framing import frame_bytes, read_frame_payload
+
+__all__ = [
+    "Backend",
+    "Connection",
+    "Listener",
+    "TransportError",
+    "backend_names",
+    "dial",
+    "format_address",
+    "get_backend",
+    "parse_address",
+    "register_backend",
+    "serve",
+]
+
+#: per-link handler awaited by a listener for every accepted connection
+Handler = Callable[[Any, Any], Awaitable[None]]
+
+
+class TransportError(ConnectionError):
+    """A transport endpoint could not be created, dialed, or used.
+
+    Subclasses :class:`ConnectionError` on purpose: every caller that
+    already survives a refused/reset TCP peer (the router's recovery
+    ladder, the clients' error paths) handles a failed shm link through
+    the same ``except OSError`` clauses.
+    """
+
+
+class Listener:
+    """One bound accept endpoint of some backend.
+
+    ``close`` stops accepting new links; established connections belong to
+    their handlers and are torn down by whoever owns them (mirroring
+    ``asyncio.base_events.Server`` semantics).
+    """
+
+    def __init__(self, address: str) -> None:
+        #: the canonical dialable address, e.g. ``tcp://127.0.0.1:4242``
+        self.address = address
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    async def wait_closed(self) -> None:
+        raise NotImplementedError
+
+
+async def _deadline(awaitable: Awaitable[Any], timeout: Optional[float],
+                    what: str) -> Any:
+    """Await under an optional deadline, normalized to builtin TimeoutError."""
+    if timeout is None:
+        return await awaitable
+    try:
+        return await asyncio.wait_for(awaitable, timeout)
+    except asyncio.TimeoutError:
+        # On 3.10 asyncio.TimeoutError is not the builtin; normalize so
+        # callers catch one exception type on every Python version.
+        raise TimeoutError(f"{what} timed out after {timeout}s") from None
+
+
+class Connection:
+    """One framed bidirectional link over any backend.
+
+    The conformance contract (``tests/test_transport_conformance.py``):
+
+    * ``send`` frames the payload and applies write backpressure;
+    * ``recv`` returns one payload byte-identically, ``None`` on a clean
+      peer close, raises :class:`~repro.server.framing.FrameError` on a
+      malformed or oversized frame and builtin :class:`TimeoutError` once
+      the deadline passes;
+    * ``close``/``wait_closed`` release the link; closing is idempotent.
+    """
+
+    def __init__(self, reader: Any, writer: Any, address: str) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.address = address
+
+    async def send(self, payload: bytes,
+                   timeout: Optional[float] = None) -> None:
+        """Frame ``payload`` and write it; drains (applies backpressure)."""
+        self.writer.write(frame_bytes(payload))
+        await _deadline(self.writer.drain(), timeout,
+                        f"frame send on {self.address}")
+
+    async def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
+        """Read one frame payload; ``None`` once the peer closed cleanly."""
+        return await _deadline(read_frame_payload(self.reader), timeout,
+                               f"frame recv on {self.address}")
+
+    def close(self) -> None:
+        self.writer.close()
+
+    async def wait_closed(self) -> None:
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "Connection":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        self.close()
+        await self.wait_closed()
+
+
+# ----- backend registry ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One registered transport: a scheme name plus its two coroutines."""
+
+    name: str
+    dial: Callable[..., Awaitable[Tuple[Any, Any]]]
+    serve: Callable[..., Awaitable[Listener]]
+
+
+_BACKENDS: Dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend) -> None:
+    """Register a backend under its scheme name (rejects duplicates)."""
+    if backend.name in _BACKENDS:
+        raise ValueError(f"transport backend {backend.name!r} is already "
+                         f"registered")
+    _BACKENDS[backend.name] = backend
+
+
+def get_backend(name: str) -> Backend:
+    if name not in _BACKENDS:
+        raise ValueError(f"unknown transport {name!r} "
+                         f"(registered: {backend_names()})")
+    return _BACKENDS[name]
+
+
+def backend_names() -> Tuple[str, ...]:
+    """The registered scheme names, sorted (CLI choices, test matrix)."""
+    return tuple(sorted(_BACKENDS))
+
+
+def parse_address(address: str) -> Tuple[str, str]:
+    """Split ``"scheme://rest"`` and validate the scheme is registered."""
+    scheme, sep, rest = address.partition("://")
+    if not sep or not scheme or not rest:
+        raise ValueError(f"transport address must look like "
+                         f"'<scheme>://<endpoint>', got {address!r}")
+    get_backend(scheme)
+    return scheme, rest
+
+
+def format_address(scheme: str, rest: str) -> str:
+    return f"{scheme}://{rest}"
+
+
+async def dial(address: str, *, timeout: Optional[float] = None,
+               **options: Any) -> Connection:
+    """Open one framed link to ``address`` (``tcp://host:port``,
+    ``shm://name``); a missing/refusing endpoint raises a
+    :class:`ConnectionError` subclass, a stalled one :class:`TimeoutError`."""
+    scheme, rest = parse_address(address)
+    backend = get_backend(scheme)
+    reader, writer = await _deadline(backend.dial(rest, **options), timeout,
+                                     f"dial {address}")
+    return Connection(reader, writer, address)
+
+
+async def serve(handler: Handler, address: str, **options: Any) -> Listener:
+    """Bind ``address`` and await ``handler(reader, writer)`` per link."""
+    scheme, rest = parse_address(address)
+    return await get_backend(scheme).serve(handler, rest, **options)

@@ -1,0 +1,121 @@
+"""The TCP backend: asyncio streams behind the transport contract.
+
+``tcp://host:port`` maps straight onto :func:`asyncio.open_connection` /
+:func:`asyncio.start_server` — the reader/writer pairs *are* the native
+asyncio streams, so this backend adds no indirection on the hot path.
+
+The one extra capability is SO_REUSEPORT multi-acceptor listening:
+``serve(..., acceptors=N)`` binds ``N`` listening sockets to the same
+``(host, port)`` so the kernel load-balances incoming connections across
+acceptors.  In-process that spreads accept work across ``N`` asyncio
+server objects; across processes (each shard drain in its own worker)
+the same option lets several processes share one ingest port, which is
+the multi-core drain path ``docs/transport.md`` describes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Any, List, Tuple
+
+from repro.transport.base import (
+    Backend,
+    Handler,
+    Listener,
+    TransportError,
+    format_address,
+    register_backend,
+)
+
+__all__ = ["TcpListener", "reuseport_sockets"]
+
+
+def parse_endpoint(rest: str) -> Tuple[str, int]:
+    """Split the ``host:port`` remainder of a ``tcp://`` address."""
+    host, sep, port = rest.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"tcp address must look like 'tcp://host:port', "
+                         f"got {rest!r}")
+    return host, int(port)
+
+
+def reuseport_sockets(host: str, port: int,
+                      count: int) -> List[socket.socket]:
+    """Bind ``count`` listening sockets to one ``(host, port)``.
+
+    With ``count > 1`` every socket sets ``SO_REUSEPORT`` so the kernel
+    accepts on all of them; ``port=0`` binds the first socket ephemerally
+    and pins the rest to the port it got.
+    """
+    if count < 1:
+        raise ValueError("acceptor count must be >= 1")
+    if count > 1 and not hasattr(socket, "SO_REUSEPORT"):
+        raise TransportError("SO_REUSEPORT is not available on this "
+                             "platform; use a single acceptor")
+    sockets: List[socket.socket] = []
+    try:
+        for _ in range(count):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            if count > 1:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            sock.bind((host, port))
+            sock.listen(128)
+            sock.setblocking(False)
+            port = sock.getsockname()[1]
+            sockets.append(sock)
+    except OSError:
+        for sock in sockets:
+            sock.close()
+        raise
+    return sockets
+
+
+class TcpListener(Listener):
+    """One or more SO_REUSEPORT acceptor sockets behind one address."""
+
+    def __init__(self, servers: List[asyncio.base_events.Server],
+                 host: str, port: int) -> None:
+        super().__init__(format_address("tcp", f"{host}:{port}"))
+        self.host = host
+        self.port = port
+        self._servers = servers
+
+    def close(self) -> None:
+        for server in self._servers:
+            server.close()
+
+    async def wait_closed(self) -> None:
+        for server in self._servers:
+            await server.wait_closed()
+
+
+async def _dial(rest: str, **options: Any) -> Tuple[Any, Any]:
+    host, port = parse_endpoint(rest)
+    return await asyncio.open_connection(host, port)
+
+
+async def _serve(handler: Handler, rest: str, *, acceptors: int = 1,
+                 **options: Any) -> TcpListener:
+    host, port = parse_endpoint(rest)
+    if acceptors == 1:
+        # single-acceptor fast path: identical to pre-transport behavior
+        server = await asyncio.start_server(handler, host, port)
+        sockname = server.sockets[0].getsockname()
+        return TcpListener([server], str(sockname[0]), int(sockname[1]))
+    sockets = reuseport_sockets(host, port, acceptors)
+    servers: List[asyncio.base_events.Server] = []
+    try:
+        for sock in sockets:
+            servers.append(await asyncio.start_server(handler, sock=sock))
+    except OSError:
+        for server in servers:
+            server.close()
+        for sock in sockets[len(servers):]:
+            sock.close()
+        raise
+    sockname = sockets[0].getsockname()
+    return TcpListener(servers, str(sockname[0]), int(sockname[1]))
+
+
+register_backend(Backend(name="tcp", dial=_dial, serve=_serve))

@@ -11,7 +11,10 @@ offline engine.
 """
 
 import asyncio
+import contextlib
+import itertools
 import json
+import os
 
 import numpy as np
 import pytest
@@ -27,7 +30,12 @@ from repro.chaos import (
     FaultyTransport,
 )
 from repro.protocol import HashtogramParams
-from repro.server import AsyncAggregationClient, FrameError
+from repro.server import (
+    AggregationServer,
+    AsyncAggregationClient,
+    FrameError,
+    ServerError,
+)
 from test_server import running_server
 
 
@@ -198,6 +206,158 @@ class TestFaultyTransport:
                 finally:
                     await client.close()
                     await proxy.stop()
+                assert absorbed == len(batch)  # delayed, not lost
+                assert proxy.fired == [event]
+
+        asyncio.run(main())
+
+
+# --------------------------------------------------------------------------------------
+# the same proxy over the shared-memory ring (both legs shm, zero sockets)
+# --------------------------------------------------------------------------------------
+
+_SHM_SEQ = itertools.count()
+
+
+@contextlib.asynccontextmanager
+async def _shm_proxied_server(params, faults=None):
+    """In-process server on a ring, fronted by a FaultyTransport on a ring.
+
+    Yields ``(proxy, address)`` where ``address`` dials *through* the
+    proxy — the exact client↔router leg of a chaos run, minus sockets.
+    """
+    n = next(_SHM_SEQ)
+    upstream = f"chaos-up-{os.getpid()}-{n}"
+    front = f"chaos-front-{os.getpid()}-{n}"
+    server = AggregationServer(params)
+    await server.start(transport="shm", shm_name=upstream)
+    proxy = FaultyTransport("client", f"shm://{upstream}", faults)
+    await proxy.start(listen=f"shm://{front}")
+    try:
+        yield proxy, f"shm://{front}"
+    finally:
+        await proxy.stop()
+        await server.stop()
+
+
+class TestFaultyTransportShm:
+    """Wire faults must behave identically when the wire is a ring."""
+
+    def test_clean_passthrough_is_bit_identical(self):
+        params = _params()
+        batch = _batch(params)
+        queries = list(range(32))
+        expected = (params.make_aggregator().absorb_batch(batch)
+                    .finalize().estimate_many(queries))
+
+        async def main():
+            async with _shm_proxied_server(params) as (proxy, address):
+                assert proxy.address == address
+                with pytest.raises(RuntimeError, match="non-TCP"):
+                    proxy.endpoint  # noqa: B018 - the raise is the point
+                client = await AsyncAggregationClient.dial(address,
+                                                           timeout=10.0)
+                try:
+                    assert await client.hello() == params
+                    await client.send_batch(batch)
+                    assert await client.sync() == len(batch)
+                    served = await client.query(queries)
+                finally:
+                    await client.close()
+                assert proxy.frames == 1
+                assert proxy.fired == []
+                return served
+
+        assert np.array_equal(asyncio.run(main()), expected)
+
+    def test_reset_on_ring_pops_once_and_retry_converges(self):
+        params = _params()
+        batch = _batch(params)
+        queries = list(range(32))
+        expected = (params.make_aggregator().absorb_batch(batch)
+                    .finalize().estimate_many(queries))
+        event = FaultEvent("client", 1, "reset")
+
+        async def main():
+            async with _shm_proxied_server(params, {1: event}) as (proxy,
+                                                                   address):
+                client = await AsyncAggregationClient.dial(address,
+                                                           timeout=5.0)
+                try:
+                    with pytest.raises((OSError, TimeoutError, FrameError,
+                                        asyncio.IncompleteReadError)):
+                        await client.send_batch(batch)  # frame 1 → reset
+                        await client.sync()
+                finally:
+                    await client.close()
+                assert proxy.fired == [event]
+                retry = await AsyncAggregationClient.dial(address,
+                                                          timeout=10.0)
+                try:
+                    await retry.send_batch(batch)
+                    assert await retry.sync() == len(batch)
+                    served = await retry.query(queries)
+                finally:
+                    await retry.close()
+                assert proxy.frames == 2  # counter spans ring connections
+                return served
+
+        assert np.array_equal(asyncio.run(main()), expected)
+
+    def test_corrupt_on_ring_is_rejected_and_retry_converges(self):
+        params = _params()
+        batch = _batch(params)
+        queries = list(range(32))
+        expected = (params.make_aggregator().absorb_batch(batch)
+                    .finalize().estimate_many(queries))
+        event = FaultEvent("shard-0", 1, "corrupt")
+
+        async def main():
+            async with _shm_proxied_server(params, {1: event}) as (proxy,
+                                                                   address):
+                client = await AsyncAggregationClient.dial(address,
+                                                           timeout=5.0)
+                try:
+                    # the flipped magic must be *detected*: the server
+                    # answers with an error frame and drops the connection
+                    with pytest.raises((OSError, TimeoutError, FrameError,
+                                        ServerError,
+                                        asyncio.IncompleteReadError)):
+                        await client.send_batch(batch)
+                        await client.sync()
+                finally:
+                    await client.close()
+                assert proxy.fired == [event]
+                retry = await AsyncAggregationClient.dial(address,
+                                                          timeout=10.0)
+                try:
+                    await retry.send_batch(batch)
+                    assert await retry.sync() == len(batch)
+                    served = await retry.query(queries)
+                    health = await retry.health()
+                finally:
+                    await retry.close()
+                # exactly one copy of the batch landed: corrupt → reject
+                assert health["num_reports"] == len(batch)
+                return served
+
+        assert np.array_equal(asyncio.run(main()), expected)
+
+    def test_delay_on_ring_forwards_intact(self):
+        params = _params()
+        batch = _batch(params)
+        event = FaultEvent("client", 1, "delay", 0.05)
+
+        async def main():
+            async with _shm_proxied_server(params, {1: event}) as (proxy,
+                                                                   address):
+                client = await AsyncAggregationClient.dial(address,
+                                                           timeout=10.0)
+                try:
+                    await client.send_batch(batch)
+                    absorbed = await client.sync()
+                finally:
+                    await client.close()
                 assert absorbed == len(batch)  # delayed, not lost
                 assert proxy.fired == [event]
 

@@ -266,6 +266,35 @@ class TestAsyncSafetyRules:
         """})
         assert diags == []
 
+    def test_blocking_wait_in_transport_ring_flagged(self, tmp_path):
+        # the shm ring's wait path spins on shared counters inside `async
+        # def`: a time.sleep there freezes every link on the event loop
+        diags = run_lint(tmp_path, {"repro/transport/ring.py": """\
+            import time
+
+            class RingReader:
+                async def readexactly(self, n):
+                    while self._readable() < n:
+                        time.sleep(0.0005)
+                    return self._take(n)
+        """})
+        assert codes(diags) == ["RPL301"]
+        assert "time.sleep" in diags[0].message
+
+    def test_asyncio_pause_in_transport_ring_is_clean(self, tmp_path):
+        diags = run_lint(tmp_path, {"repro/transport/ring.py": """\
+            import asyncio
+
+            class RingReader:
+                async def readexactly(self, n):
+                    spins = 0
+                    while self._readable() < n:
+                        await asyncio.sleep(0 if spins < 128 else 0.0005)
+                        spins += 1
+                    return self._take(n)
+        """})
+        assert diags == []
+
     def test_blocking_outside_async_zone_ignored(self, tmp_path):
         diags = run_lint(tmp_path, {"repro/engine/worker.py": """\
             import time
@@ -304,6 +333,18 @@ FRAMING_MODULE = """\
     _HEADER = struct.Struct("!I")
 """
 
+SHM_MODULE = """\
+    import struct
+
+    RING_MAGIC = 0x52494E47
+    CTL_MAGIC = 0x444F4F52
+    RING_VERSION = 1
+
+    _RING_HEADER = struct.Struct("<IIQQQII")
+    _CTL_HEADER = struct.Struct("<IIII")
+    _SLOT = struct.Struct("<II")
+"""
+
 
 class TestWireSchemaRules:
     def test_doc_parses_to_expected_schema(self):
@@ -313,12 +354,18 @@ class TestWireSchemaRules:
             "BINARY_MAGIC": 0xB1, "BINARY_VERSION": 1, "KIND_REPORTS": 1,
             "KIND_STATE": 2, "FLAG_ROUTED": 0x01, "FLAG_SEQUENCED": 0x02,
             "MAX_FRAME_BYTES": 1 << 30,
+            "RING_MAGIC": 0x52494E47, "CTL_MAGIC": 0x444F4F52,
+            "RING_VERSION": 1,
         }
         assert schema.structs["protocol/binary.py"] == {
             "_HEADER": "<BBBB", "_REPORTS_FIXED": "<qQHH",
             "_ROUTE_FIELD": "<q", "_SEQ_FIELD": "<Q", "_STATE_FIXED": "<II",
         }
         assert schema.structs["server/framing.py"] == {"_HEADER": "!I"}
+        assert schema.structs["transport/shm.py"] == {
+            "_RING_HEADER": "<IIQQQII", "_CTL_HEADER": "<IIII",
+            "_SLOT": "<II",
+        }
 
     def test_matching_modules_are_clean(self, tmp_path):
         diags = run_lint(tmp_path, {
@@ -372,6 +419,26 @@ class TestWireSchemaRules:
                          wire_doc=WIRE_DOC)
         assert codes(diags) == ["RPL401"]
         assert "MAX_FRAME_BYTES" in diags[0].message
+
+    def test_matching_shm_module_is_clean(self, tmp_path):
+        diags = run_lint(tmp_path, {"repro/transport/shm.py": SHM_MODULE},
+                         wire_doc=WIRE_DOC)
+        assert diags == []
+
+    def test_doctored_ring_header_is_drift(self, tmp_path):
+        # dropping the close flags changes every peer's byte offsets
+        doctored = SHM_MODULE.replace('"<IIQQQII"', '"<IIQQQ"')
+        diags = run_lint(tmp_path, {"repro/transport/shm.py": doctored},
+                         wire_doc=WIRE_DOC)
+        assert codes(diags) == ["RPL401"]
+        assert "_RING_HEADER" in diags[0].message
+
+    def test_missing_ring_magic_reported(self, tmp_path):
+        doctored = SHM_MODULE.replace("    RING_MAGIC = 0x52494E47\n", "")
+        diags = run_lint(tmp_path, {"repro/transport/shm.py": doctored},
+                         wire_doc=WIRE_DOC)
+        assert codes(diags) == ["RPL402"]
+        assert "RING_MAGIC" in diags[0].message
 
 
 # --------------------------------------------------------------------------------------
