@@ -30,6 +30,7 @@ from repro.chaos.runner import ChaosResult, ChaosRunner, ChaosSupervisor
 from repro.chaos.schedule import (
     CLIENT_WIRE_KINDS,
     FAULT_KINDS,
+    MEMBERSHIP_KINDS,
     PROCESS_KINDS,
     WIRE_KINDS,
     FaultEvent,
@@ -46,6 +47,7 @@ __all__ = [
     "FaultEvent",
     "FaultSchedule",
     "FaultyTransport",
+    "MEMBERSHIP_KINDS",
     "PROCESS_KINDS",
     "WIRE_KINDS",
 ]

@@ -39,7 +39,12 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.chaos.schedule import FAULT_KINDS, FaultEvent, FaultSchedule
+from repro.chaos.schedule import (
+    FAULT_KINDS,
+    MEMBERSHIP_KINDS,
+    FaultEvent,
+    FaultSchedule,
+)
 from repro.chaos.transport import FaultyTransport
 from repro.cluster.router import ClusterRouter
 from repro.cluster.supervisor import ClusterSupervisor
@@ -83,13 +88,38 @@ class ChaosSupervisor:
     def base_dir(self):
         return self.inner.base_dir
 
+    @property
+    def transport(self):
+        return self.inner.transport
+
     def endpoints(self) -> List[Tuple[str, int]]:
         return [proxy.endpoint for proxy in self.proxies]
 
+    def endpoint_of(self, index: int) -> Tuple[str, int]:
+        # Shards added after the proxies were built run unproxied — wire
+        # faults stay aimed at the original shard set.
+        if index < len(self.proxies):
+            return self.proxies[index].endpoint
+        return self.inner.endpoint_of(index)
+
+    def shm_name(self, index: int):
+        return self.inner.shm_name(index)
+
+    def add_shard(self) -> Tuple[int, str, int]:
+        return self.inner.add_shard()
+
+    def retire(self, index: int) -> None:
+        self.inner.retire(index)
+
+    def active_ids(self) -> List[int]:
+        return self.inner.active_ids()
+
     def restart(self, index: int) -> Tuple[str, int]:
         host, port = self.inner.restart(index)
-        self.proxies[index].retarget(host, port)
-        return self.proxies[index].endpoint
+        if index < len(self.proxies):
+            self.proxies[index].retarget(host, port)
+            return self.proxies[index].endpoint
+        return host, port
 
     def kill(self, index: int, sig: int = signal.SIGKILL) -> None:
         self.inner.kill(index, sig)
@@ -119,11 +149,15 @@ class ChaosResult:
     send_retries: int
     schedule: FaultSchedule
     health: Dict[str, object] = field(default_factory=dict)
+    #: membership-mode detail (``chaos-test --membership``): the add/drain
+    #: replies, the final shard map, and the per-transition assertions
+    membership: Dict[str, object] = field(default_factory=dict)
 
     @property
     def fired_kinds(self) -> Tuple[str, ...]:
         present = {event.kind for event in self.fired}
-        return tuple(kind for kind in FAULT_KINDS if kind in present)
+        return tuple(kind for kind in FAULT_KINDS + MEMBERSHIP_KINDS
+                     if kind in present)
 
 
 class ChaosRunner:
@@ -144,6 +178,8 @@ class ChaosRunner:
         client_timeout: float = 10.0,
         num_queries: int = 32,
         max_retries: int = 60,
+        membership: bool = False,
+        transport: str = "tcp",
     ) -> None:
         self.protocol = protocol
         self.domain_size = int(domain_size)
@@ -158,12 +194,16 @@ class ChaosRunner:
         self.client_timeout = float(client_timeout)
         self.num_queries = int(num_queries)
         self.max_retries = int(max_retries)
+        self.membership = bool(membership)
+        self.transport = transport
         self._retries = 0
         self._client: Optional[AsyncAggregationClient] = None
         self._client_addr: Tuple[str, int] = ("", 0)
 
     def run(self) -> ChaosResult:
         """Execute the whole chaos run on a private event loop."""
+        if self.membership:
+            return asyncio.run(self._run_membership())
         return asyncio.run(self._run())
 
     # ----- client-side retry plumbing -------------------------------------------------
@@ -409,6 +449,415 @@ class ChaosRunner:
             except _RECOVERABLE as exc:
                 self._spend_retry(exc)
                 await self._fresh_client()
+
+    # ----- membership mode (chaos-test --membership) ----------------------------------
+
+    async def _run_membership(self) -> ChaosResult:
+        """Elastic-membership chaos: add/drain mid-stream under fault fire.
+
+        Proxy-less on purpose: the faults in this mode live *below* the
+        wire — SIGKILL during the drain handoff, torn journal tails,
+        flipped snapshot bytes — so the router talks to its shards
+        directly and ``--transport`` picks tcp or shared-memory rings for
+        that leg (the client leg is always tcp).  The choreography is
+        scripted: ``add_shard`` at send index ``n // 4``, ``drain`` of the
+        schedule's victim at ``n // 2``, with the seeded
+        :meth:`FaultSchedule.generate_membership` events aimed at the
+        transitions.  Acceptance is the same bit as the default mode: the
+        finalized cluster answers must equal the offline engine's exactly,
+        and the final shard map must show exactly the scripted membership.
+        """
+        from repro.analysis.metrics import true_frequencies
+        from repro.engine import encode_stream, make_plan, run_simulation
+        from repro.engine.bench import build_bench_params
+        from repro.workloads.distributions import zipf_workload
+
+        gen = as_generator(self.seed)
+        values = zipf_workload(self.num_users, self.domain_size,
+                               support=min(2_000, self.domain_size), rng=gen)
+        params = build_bench_params(self.protocol, self.domain_size,
+                                    self.epsilon, self.num_users, rng=gen)
+        plan_seed = int(gen.integers(0, 2**63 - 1))
+        chunk_size = max(1, self.num_users // max(1, self.num_shards * 10))
+        offline = run_simulation(
+            params, values, rng=np.random.default_rng(plan_seed),
+            chunk_size=chunk_size,
+        ).finalize()
+        batches = list(encode_stream(
+            params, values, rng=np.random.default_rng(plan_seed),
+            chunk_size=chunk_size,
+        ))
+        routes = [chunk.route_key for chunk in make_plan(
+            params, self.num_users, rng=np.random.default_rng(plan_seed),
+            chunk_size=chunk_size,
+        )]
+        cum = np.cumsum([len(batch) for batch in batches])
+        n = len(batches)
+        if n < 5:
+            raise ValueError(
+                "membership mode needs >= 5 batches to place the add and "
+                "the drain; raise num_users"
+            )
+        add_frame = n // 4
+        drain_frame = n // 2
+        # Four epoch bands: the add cut lands mid-stream, so the grown
+        # cluster routes at least one whole band through the new shard.
+        epochs = [(i * 4) // n for i in range(n)]
+
+        schedule = self.schedule
+        if schedule is None:
+            schedule = FaultSchedule.generate_membership(
+                self.seed, num_frames=n, num_shards=self.num_shards,
+                add_frame=add_frame, drain_frame=drain_frame,
+            )
+        faults = schedule.membership_faults()
+        process_faults = schedule.process_faults()
+        drain_id = 0
+        for event in schedule.events:
+            if event.kind == "drain-race":
+                drain_id = int(event.shard or 0)
+
+        ephemeral = self.base_dir is None
+        base_dir = Path(
+            tempfile.mkdtemp(prefix="repro-chaos-")
+            if ephemeral else self.base_dir  # type: ignore[arg-type]
+        )
+        loop = asyncio.get_running_loop()
+        supervisor = ClusterSupervisor(params, self.num_shards, base_dir,
+                                       transport=self.transport)
+
+        def make_router() -> ClusterRouter:
+            return ClusterRouter(
+                params,
+                supervisor=supervisor,
+                rng=self.seed,
+                transport=self.transport,
+                connect_timeout=2.0,
+                request_timeout=self.request_timeout,
+                checkpoint_reports=max(256, self.num_users // 4),
+                backoff_base=0.02,
+            )
+
+        router: Optional[ClusterRouter] = None
+        fired: List[FaultEvent] = []
+        membership: Dict[str, object] = {
+            "transport": self.transport,
+            "add_frame": add_frame,
+            "drain_frame": drain_frame,
+            "drain_shard": drain_id,
+        }
+        added = False
+        drained = False
+        resume_tasks: List[asyncio.Task] = []
+        try:
+            await loop.run_in_executor(None, supervisor.start)
+            router = make_router()
+            self._client_addr = await router.start()
+            client = await self._fresh_client()
+            published = await client.hello()
+            if published != params:
+                raise RuntimeError("router published mismatched parameters")
+
+            # One monotone cursor walks the fault/choreography slots in
+            # order even when resume-by-count moves ``sent`` non-linearly:
+            # slot k's faults fire before slot k's scripted transition
+            # (the drain-race SIGKILL must land just before the drain),
+            # and slot ``add_frame`` is always processed before any later
+            # slot's kill of the not-yet-existing new shard.
+            cursor = 0
+            sent = 0
+            while True:
+                while sent < n:
+                    while cursor <= sent:
+                        slot_events = (faults.pop(cursor, [])
+                                       + process_faults.pop(cursor, []))
+                        for event in slot_events:
+                            if event.kind == "corrupt-snapshot":
+                                membership["corrupt_snapshot"] = (
+                                    await self._corrupt_snapshot(
+                                        loop, supervisor,
+                                        int(event.shard or 0), base_dir))
+                            elif event.kind == "torn-journal":
+                                assert router is not None
+                                # Sync first: the barrier guarantees every
+                                # journaled frame is absorbed shard-side,
+                                # so the record torn off the tail is a
+                                # *duplicate* of delivered state (the
+                                # crash window fsync=False journals have)
+                                # — torn-tail truncation must be loss-free
+                                # then, and the watermark resume proves it.
+                                await self._synced_count()
+                                router, torn = await self._tear_and_restart(
+                                    loop, router, make_router, base_dir)
+                                membership["torn_journal"] = torn
+                                absorbed = await self._synced_count()
+                                sent = int(np.searchsorted(cum, absorbed,
+                                                           side="right"))
+                                # Re-checkpoint so every later SIGKILL
+                                # recovers from a snapshot whose journal
+                                # tail is complete again.
+                                await self._snapshot_with_retry()
+                            elif event.kind == "drain-race":
+                                victim = int(event.shard or 0)
+                                if victim in supervisor.active_ids():
+                                    await loop.run_in_executor(
+                                        None, supervisor.kill, victim)
+                            elif event.kind == "kill":
+                                victim = int(event.shard or 0)
+                                if victim in supervisor.active_ids():
+                                    await loop.run_in_executor(
+                                        None, supervisor.kill, victim)
+                            else:  # sigstop: freeze now, thaw after arg
+                                victim = int(event.shard or 0)
+                                if victim in supervisor.active_ids():
+                                    await loop.run_in_executor(
+                                        None, supervisor.kill, victim,
+                                        signal.SIGSTOP)
+                                    resume_tasks.append(loop.create_task(
+                                        self._resume_later(
+                                            supervisor, victim, event.arg)))
+                            fired.append(event)
+                        if cursor == add_frame and not added:
+                            membership["add"] = await self._membership_op(
+                                lambda c: c.add_shard(),
+                                self._added_reply,
+                            )
+                            added = True
+                        if cursor == drain_frame and not drained:
+                            membership["drain"] = await self._membership_op(
+                                lambda c: c.drain_shard(drain_id), None)
+                            drained = True
+                        cursor += 1
+                    try:
+                        assert self._client is not None
+                        await self._client.send_batch(
+                            batches[sent], epoch=epochs[sent],
+                            route=routes[sent],
+                        )
+                        sent += 1
+                    except _RECOVERABLE as exc:
+                        self._spend_retry(exc)
+                        await self._fresh_client()
+                        absorbed = await self._synced_count()
+                        sent = int(np.searchsorted(cum, absorbed,
+                                                   side="right"))
+                absorbed = await self._synced_count()
+                if absorbed == self.num_users:
+                    break
+                self._spend_retry(RuntimeError(
+                    f"absorbed {absorbed} of {self.num_users} after full "
+                    f"send; resuming"
+                ))
+                sent = int(np.searchsorted(cum, absorbed, side="right"))
+
+            if resume_tasks:
+                await asyncio.gather(*resume_tasks, return_exceptions=True)
+                resume_tasks.clear()
+
+            truth = true_frequencies(values)
+            top = sorted(truth.items(), key=lambda kv: -kv[1])[:5]
+            probe = np.random.default_rng(0).integers(
+                0, self.domain_size, size=self.num_queries)
+            queries = [int(x) for x, _ in top] + [int(x) for x in probe]
+            served = await self._query_with_retry(queries)
+            expected = offline.estimate_many(queries)
+            health = await self._health_with_retry()
+            final_map = await self._shard_map_with_retry()
+            membership["final_map"] = final_map
+
+            # The map itself is an invariant, not a measurement: anything
+            # but "victim retired, survivors + the new shard active" means
+            # a transition half-landed, which must fail loudly.
+            active = [int(s["id"]) for s in final_map["shards"]
+                      if s["status"] == "active"]
+            want = sorted((set(range(self.num_shards)) - {drain_id})
+                          | {self.num_shards})
+            if active != want or drain_id not in final_map["retired"]:
+                raise RuntimeError(
+                    f"membership did not converge: active={active} "
+                    f"(want {want}), retired={final_map['retired']} "
+                    f"(want {drain_id} in it)"
+                )
+
+            return ChaosResult(
+                identical=bool(np.array_equal(served, expected)),
+                num_users=self.num_users,
+                num_batches=n,
+                queries=queries,
+                served=np.asarray(served, dtype=float),
+                expected=np.asarray(expected, dtype=float),
+                fired=sorted(fired,
+                             key=lambda e: (e.frame, e.target, e.kind)),
+                restarts=sum(h.restarts for h in supervisor.shards),
+                send_retries=self._retries,
+                schedule=schedule,
+                health=health,
+                membership=membership,
+            )
+        finally:
+            for task in resume_tasks:
+                task.cancel()
+            if self._client is not None:
+                try:
+                    await self._client.close()
+                except OSError:
+                    pass
+                self._client = None
+            if router is not None:
+                await router.stop()
+            await loop.run_in_executor(None, supervisor.stop)
+            if ephemeral:
+                shutil.rmtree(base_dir, ignore_errors=True)
+
+    async def _membership_op(self, do, check) -> Dict[str, object]:
+        """Run one membership verb with reconnect-on-failure.
+
+        Membership verbs are not blindly retryable the way sends are: a
+        second ``add_shard`` after a reply lost on the wire would grow the
+        cluster twice.  ``check`` (when given) inspects the cluster after
+        a failure and returns the completed-reply stand-in if the verb
+        actually landed server-side; ``None`` means retry.  The drain verb
+        needs no check — the router resumes a half-done drain and answers
+        idempotently for an already-retired shard.
+        """
+        while True:
+            try:
+                if self._client is None:
+                    await self._fresh_client()
+                assert self._client is not None
+                return await do(self._client)
+            except _RECOVERABLE as exc:
+                self._spend_retry(exc)
+                await self._fresh_client()
+                if check is not None:
+                    assert self._client is not None
+                    done = await check(self._client)
+                    if done is not None:
+                        return done
+
+    async def _added_reply(
+        self, client: AsyncAggregationClient,
+    ) -> Optional[Dict[str, object]]:
+        """Completed-``add_shard`` detector for :meth:`_membership_op`."""
+        try:
+            reply = await client.shard_map()
+        except _RECOVERABLE:
+            return None
+        shard_map = reply["map"]
+        statuses = {int(s["id"]): s["status"]
+                    for s in shard_map["shards"]}  # type: ignore[index]
+        if statuses.get(self.num_shards) == "active":
+            return {
+                "type": "shard_added",
+                "shard": self.num_shards,
+                "map_version": shard_map["version"],  # type: ignore[index]
+                "recovered": True,
+            }
+        return None
+
+    async def _snapshot_with_retry(self) -> str:
+        while True:
+            try:
+                if self._client is None:
+                    await self._fresh_client()
+                assert self._client is not None
+                return await self._client.snapshot()
+            except _RECOVERABLE as exc:
+                self._spend_retry(exc)
+                await self._fresh_client()
+
+    async def _shard_map_with_retry(self) -> Dict[str, object]:
+        while True:
+            try:
+                if self._client is None:
+                    await self._fresh_client()
+                assert self._client is not None
+                reply = await self._client.shard_map()
+                return reply["map"]  # type: ignore[return-value]
+            except _RECOVERABLE as exc:
+                self._spend_retry(exc)
+                await self._fresh_client()
+
+    async def _corrupt_snapshot(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        supervisor: ClusterSupervisor,
+        shard: int,
+        base_dir: Path,
+    ) -> str:
+        """Flip bytes in a shard's newest snapshot, then SIGKILL the shard.
+
+        Checkpoints **twice back to back** first, with no sends between:
+        the newest and the previous snapshot then hold the same
+        exact-integer state and the journals were cleared at the barrier,
+        so walking back past the corrupted newest
+        (:meth:`SnapshotStore.latest_valid`) restores bit-identical state
+        by construction — corrupting a *uniquely newest* snapshot would be
+        genuine data loss, which is not what this fault tests.
+        """
+        await self._snapshot_with_retry()
+        await self._snapshot_with_retry()
+        shard_dir = Path(base_dir) / f"shard-{shard}"
+        snapshots = sorted(shard_dir.glob("snapshot-*"))
+        if not snapshots:
+            raise RuntimeError(f"no snapshots to corrupt in {shard_dir}")
+        victim = snapshots[-1]
+        await loop.run_in_executor(None, self._flip_bytes, victim)
+        await loop.run_in_executor(None, supervisor.kill, shard)
+        return str(victim)
+
+    @staticmethod
+    def _flip_bytes(path: Path, count: int = 5) -> None:
+        raw = bytearray(path.read_bytes())
+        mid = len(raw) // 2
+        for offset in range(mid, min(mid + count, len(raw))):
+            raw[offset] ^= 0xFF
+        path.write_bytes(bytes(raw))
+
+    async def _tear_and_restart(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        router: ClusterRouter,
+        make_router,
+        base_dir: Path,
+    ) -> Tuple[ClusterRouter, str]:
+        """Stop the router, tear a frame-journal tail, start a new router.
+
+        The replacement router replays the torn journal (truncating the
+        partial tail record in place) and re-learns each shard's sequence
+        watermark from its health report, so the frames lost off the tail
+        — already delivered before the tear — are neither replayed twice
+        nor lost.
+        """
+        await router.stop()
+        torn = await loop.run_in_executor(
+            None, self._tear_tail, Path(base_dir))
+        replacement = make_router()
+        self._client_addr = await replacement.start()
+        await self._fresh_client()
+        return replacement, torn
+
+    @staticmethod
+    def _tear_tail(base_dir: Path, nbytes: int = 7) -> str:
+        """Truncate ``nbytes`` off the largest frame journal; returns it.
+
+        Seven bytes is always a *torn record*, never a clean boundary: the
+        smallest journal record is 20 bytes (8-byte record header plus the
+        12-byte fixed entry), so the cut lands strictly inside the final
+        record.
+        """
+        journals = sorted(
+            base_dir.glob("journal-shard-*.bin"),
+            key=lambda p: p.stat().st_size,
+            reverse=True,
+        )
+        for path in journals:
+            size = path.stat().st_size
+            if size > nbytes:
+                with path.open("r+b") as fh:
+                    fh.truncate(size - nbytes)
+                return str(path)
+        return ""
 
     @staticmethod
     def _collect_fired(

@@ -43,6 +43,7 @@ __all__ = [
     "FAULT_KINDS",
     "FaultEvent",
     "FaultSchedule",
+    "MEMBERSHIP_KINDS",
     "PROCESS_KINDS",
     "WIRE_KINDS",
 ]
@@ -53,6 +54,23 @@ __all__ = [
 FAULT_KINDS = (
     "delay", "reset", "truncate", "corrupt", "stall", "kill", "sigstop",
 )
+
+#: membership-mode fault kinds (``chaos-test --membership``), injected by
+#: the runner around elastic add/drain transitions rather than by a wire
+#: proxy.  Deliberately *not* folded into :data:`FAULT_KINDS`: the default
+#: :meth:`FaultSchedule.generate` cycles that tuple, so extending it would
+#: silently change every existing seeded schedule and its digest.
+#:
+#: * ``drain-race`` — SIGKILL the shard being drained right as the drain
+#:   begins, so the handoff pull lands on a dead process and must recover
+#:   through snapshot-restore + journal replay;
+#: * ``torn-journal`` — stop the router mid-stream, tear the tail of a
+#:   per-shard frame journal, and resume with a *new* router over the same
+#:   directories (exercises torn-tail truncation + §7.1 dedup end to end);
+#: * ``corrupt-snapshot`` — checkpoint twice back to back, flip bytes in
+#:   the newest snapshot, then SIGKILL its shard, so the restart must walk
+#:   back to the newest *valid* restore point.
+MEMBERSHIP_KINDS = ("drain-race", "torn-journal", "corrupt-snapshot")
 
 #: kinds a :class:`~repro.chaos.transport.FaultyTransport` proxy injects
 WIRE_KINDS = ("delay", "reset", "truncate", "corrupt", "stall")
@@ -85,16 +103,21 @@ class FaultEvent:
     arg: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.kind not in FAULT_KINDS:
+        if self.kind not in FAULT_KINDS and self.kind not in MEMBERSHIP_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.frame < 0:
             raise ValueError("fault frame must be >= 0")
-        if self.kind in PROCESS_KINDS or self.kind == "corrupt":
+        if self.kind in PROCESS_KINDS or self.kind in (
+            "corrupt", "drain-race", "corrupt-snapshot"
+        ):
             if not self.target.startswith("shard-"):
                 raise ValueError(
                     f"{self.kind!r} faults must target a shard, "
                     f"got {self.target!r}"
                 )
+        if self.kind == "torn-journal" and self.target != "router":
+            raise ValueError(f"'torn-journal' faults must target the "
+                             f"router, got {self.target!r}")
 
     @property
     def shard(self) -> Optional[int]:
@@ -139,7 +162,16 @@ class FaultSchedule:
     def kinds(self) -> Tuple[str, ...]:
         """Distinct fault kinds present, in canonical order."""
         present = {event.kind for event in self.events}
-        return tuple(kind for kind in FAULT_KINDS if kind in present)
+        return tuple(kind for kind in FAULT_KINDS + MEMBERSHIP_KINDS
+                     if kind in present)
+
+    def membership_faults(self) -> Dict[int, List[FaultEvent]]:
+        """``send index -> events`` map of the membership-mode faults."""
+        out: Dict[int, List[FaultEvent]] = {}
+        for event in self.events:
+            if event.kind in MEMBERSHIP_KINDS:
+                out.setdefault(event.frame, []).append(event)
+        return out
 
     def wire_faults(self, target: str) -> Dict[int, FaultEvent]:
         """``frame -> event`` map of the wire faults aimed at ``target``."""
@@ -219,6 +251,59 @@ class FaultSchedule:
                     arg = 0.0
                 events.append(FaultEvent(target, frame, kind, arg))
                 break
+        events.sort(key=lambda e: (e.frame, e.target, e.kind))
+        seed_int = None if seed is None else (
+            int(seed) if isinstance(seed, (int, np.integer)) else None
+        )
+        return cls(events, seed=seed_int)
+
+    @classmethod
+    def generate_membership(
+        cls,
+        seed: RandomState,
+        num_frames: int,
+        num_shards: int,
+        add_frame: int,
+        drain_frame: int,
+        drain_shard: int = 0,
+    ) -> "FaultSchedule":
+        """A seeded schedule for ``chaos-test --membership``.
+
+        The runner scripts an ``add_shard`` at send index ``add_frame`` and
+        a drain of ``drain_shard`` at ``drain_frame``; this schedule aims
+        the membership fault kinds at that choreography:
+
+        * ``drain-race`` fires exactly at ``drain_frame`` against the shard
+          being drained — the SIGKILL races the handoff pull;
+        * ``torn-journal`` fires at a seeded index strictly between the add
+          and the drain, while all three shards hold journaled traffic;
+        * ``corrupt-snapshot`` fires at a seeded index before the add,
+          against a seeded original shard;
+        * one plain ``kill`` fires shortly after the add against the *new*
+          shard (``shard-num_shards``) — a crash inside the joining shard's
+          first epochs must recover like any other.
+        """
+        if not 0 < add_frame < drain_frame < num_frames:
+            raise ValueError(
+                f"need 0 < add_frame < drain_frame < num_frames, got "
+                f"add={add_frame} drain={drain_frame} frames={num_frames}"
+            )
+        if not 0 <= drain_shard < num_shards:
+            raise ValueError(f"drain_shard {drain_shard} out of range")
+        rng = as_generator(seed)
+        corrupt_at = int(rng.integers(1, add_frame))
+        corrupt_target = int(rng.integers(0, num_shards))
+        tear_at = int(rng.integers(add_frame + 1, drain_frame))
+        kill_at = min(drain_frame - 1, add_frame + 1
+                      + int(rng.integers(0, max(1, drain_frame
+                                                - add_frame - 1))))
+        events = [
+            FaultEvent(f"shard-{corrupt_target}", corrupt_at,
+                       "corrupt-snapshot"),
+            FaultEvent(f"shard-{num_shards}", kill_at, "kill"),
+            FaultEvent("router", tear_at, "torn-journal"),
+            FaultEvent(f"shard-{drain_shard}", drain_frame, "drain-race"),
+        ]
         events.sort(key=lambda e: (e.frame, e.target, e.kind))
         seed_int = None if seed is None else (
             int(seed) if isinstance(seed, (int, np.integer)) else None

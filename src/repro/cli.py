@@ -16,6 +16,12 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli load-test --wire-format binary   # zero-copy frames
     python -m repro.cli load-test --cluster 3   # sharded cluster, bit-identical
     python -m repro.cli load-test --cluster 2 --transport shm  # shm shard links
+    python -m repro.cli load-test --cluster 2 --epochs 4 \
+        --membership add:0.33,drain:0.66        # grow + drain mid-stream
+    python -m repro.cli cluster-ctl add-shard --server 127.0.0.1:7070
+    python -m repro.cli cluster-ctl drain-shard --shard 0 --server 127.0.0.1:7070
+    python -m repro.cli cluster-ctl rolling-restart --server 127.0.0.1:7070
+    python -m repro.cli chaos-test --membership --transport shm
     python -m repro.cli --list-modules          # module map (checked against docs)
 
 ``run`` prints the same tables that ``pytest benchmarks/ --benchmark-only``
@@ -540,6 +546,42 @@ def _spawn_server(params, extra_args: Sequence[str] = (),
         os.unlink(params_file)
 
 
+def _parse_membership_script(text: str) -> List[Tuple[float, str, int]]:
+    """Parse ``add:FRAC`` / ``drain:FRAC[:SHARD]`` comma lists.
+
+    ``FRAC`` is the fraction of the batch stream already sent when the
+    transition fires (strictly between 0 and 1).  ``drain`` defaults to
+    shard 0.  Example: ``add:0.33,drain:0.66`` grows the cluster a third
+    of the way in and drains shard 0 at two thirds.
+    """
+    script: List[Tuple[float, str, int]] = []
+    for item in text.split(","):
+        parts = item.strip().split(":")
+        if len(parts) < 2 or parts[0] not in ("add", "drain"):
+            raise ValueError(
+                f"--membership entries must be add:FRAC or "
+                f"drain:FRAC[:SHARD], got {item.strip()!r}")
+        op = parts[0]
+        try:
+            fraction = float(parts[1])
+        except ValueError as exc:
+            raise ValueError(f"bad fraction in {item.strip()!r}") from exc
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(
+                f"membership fractions must be strictly between 0 and 1, "
+                f"got {fraction} in {item.strip()!r}")
+        shard = 0
+        if len(parts) > 2:
+            if op != "drain":
+                raise ValueError(f"only drain takes a shard id "
+                                 f"({item.strip()!r})")
+            shard = int(parts[2])
+        script.append((fraction, op, shard))
+    if not script:
+        raise ValueError("--membership needs at least one transition")
+    return sorted(script)
+
+
 def _cmd_load_test(args) -> int:
     """Drive a live server with the engine's chunk stream; verify bit-identity."""
     import os
@@ -575,6 +617,21 @@ def _cmd_load_test(args) -> int:
     if args.cluster is not None and args.cluster < 1:
         print("load-test: --cluster must be at least 1", file=sys.stderr)
         return 2
+    membership_script: Optional[List[Tuple[float, str, int]]] = None
+    if args.membership is not None:
+        if args.cluster is None:
+            print("load-test: --membership scripts cluster transitions; it "
+                  "requires --cluster", file=sys.stderr)
+            return 2
+        try:
+            membership_script = _parse_membership_script(args.membership)
+        except ValueError as exc:
+            print(f"load-test: {exc}", file=sys.stderr)
+            return 2
+        if workers != 1:
+            # Membership cuts are epoch-ordered; one ordered connection
+            # keeps "which frames saw which map" deterministic.
+            workers = 1
 
     # Same parameter/workload derivation as `simulate`, then one shared seed
     # for the canonical chunk plan: the wire stream and the offline engine
@@ -587,19 +644,29 @@ def _cmd_load_test(args) -> int:
                                 users, rng=gen)
     plan_seed = int(gen.integers(0, 2**63 - 1))
 
+    # Membership mode needs stream *granularity*: the scripted transitions
+    # land between two batches, so a handful of engine-default megabatches
+    # would degenerate "mid-stream" to "before everything".  The explicit
+    # chunk size is shared by all three derivations below, which is all
+    # bit-identity requires.
+    chunk_size = max(1, users // 24) if membership_script is not None else None
+
     offline = run_simulation(params, values,
-                             rng=np.random.default_rng(plan_seed)).finalize()
+                             rng=np.random.default_rng(plan_seed),
+                             chunk_size=chunk_size).finalize()
 
     encode_start = time.perf_counter()
     batches = list(encode_stream(params, values,
-                                 rng=np.random.default_rng(plan_seed)))
+                                 rng=np.random.default_rng(plan_seed),
+                                 chunk_size=chunk_size))
     encode_s = time.perf_counter() - encode_start
     # Shard-routing keys from the canonical plan (one batch per chunk; a
     # fresh generator with the same seed replays the identical plan the
     # stream used).  A cluster router partitions on them; a single server
     # ignores them.
     routes = [chunk.route_key for chunk in
-              make_plan(params, users, rng=np.random.default_rng(plan_seed))]
+              make_plan(params, users, rng=np.random.default_rng(plan_seed),
+                        chunk_size=chunk_size)]
 
     proc = None
     if args.server is not None:
@@ -639,6 +706,7 @@ def _cmd_load_test(args) -> int:
         # (if --epochs > 1) over the epoch tags — any interleaving must
         # produce the same merged aggregate.
         failures: List[str] = []
+        membership_log: List[Dict[str, object]] = []
 
         def send_span(worker: int) -> None:
             try:
@@ -654,13 +722,48 @@ def _cmd_load_test(args) -> int:
             except Exception as exc:  # noqa: BLE001 - surfaced below
                 failures.append(f"worker {worker}: {exc}")
 
+        def send_scripted() -> None:
+            """Ordered stream with mid-flight membership transitions.
+
+            Epochs are *banded* (monotone over the stream) instead of
+            round-robin: an ``add`` cuts the partition at the next unseen
+            epoch, so banding is what routes post-add traffic through the
+            new shard.  The transitions fire between two sends — online,
+            while the stream is live — and the bit-identity check below is
+            what makes them count.
+            """
+            ops = {}
+            for fraction, op, shard in membership_script:
+                index = min(len(batches) - 1, int(fraction * len(batches)))
+                ops.setdefault(index, []).append((op, shard))
+            try:
+                with AggregationClient(host, port,
+                                       wire_format=args.wire_format) as client:
+                    for i in range(len(batches)):
+                        for op, shard in ops.pop(i, []):
+                            if op == "add":
+                                membership_log.append(client.add_shard())
+                            else:
+                                membership_log.append(
+                                    client.drain_shard(shard))
+                        client.send_batch(
+                            batches[i],
+                            epoch=(i * args.epochs) // len(batches),
+                            route=routes[i])
+                    client.sync()
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                failures.append(f"membership stream: {exc}")
+
         ingest_start = time.perf_counter()
-        threads = [threading.Thread(target=send_span, args=(w,))
-                   for w in range(workers)]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
+        if membership_script is not None:
+            send_scripted()
+        else:
+            threads = [threading.Thread(target=send_span, args=(w,))
+                       for w in range(workers)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
         client = AggregationClient(host, port)
         absorbed = client.sync()
         ingest_s = time.perf_counter() - ingest_start
@@ -681,6 +784,9 @@ def _cmd_load_test(args) -> int:
         expected = offline.estimate_many(queries)
         identical = bool(np.array_equal(served, expected))
         stats = client.stats()
+        final_map: Optional[Dict[str, object]] = None
+        if membership_script is not None:
+            final_map = dict(client.shard_map()["map"])
         if proc is not None:
             client.shutdown()
             server_stopped = True
@@ -701,6 +807,18 @@ def _cmd_load_test(args) -> int:
               f"end-to-end); server drain: {stats['drain_s']:.3f}s "
               f"({int(stats['reports_absorbed']) / max(float(stats['drain_s']), 1e-9):,.0f} "
               f"reports/s absorb)")
+        if membership_script is not None and final_map is not None:
+            op_rows = [{"reply": entry.get("type"),
+                        "shard": entry.get("shard", "-"),
+                        "target": entry.get("target", "-"),
+                        "cut_epoch": entry.get("cut_epoch", "-"),
+                        "handoff": entry.get("handoff", "-"),
+                        "map_version": entry.get("map_version", "-")}
+                       for entry in membership_log]
+            print(format_table(op_rows, title=(
+                f"membership transitions mid-stream "
+                f"(final map version {final_map.get('version')}, "
+                f"retired {final_map.get('retired')})")))
         print(f"served == offline engine ({len(queries)} queries): "
               f"{'BIT-IDENTICAL' if identical else 'MISMATCH'}")
         if not identical:
@@ -709,6 +827,25 @@ def _cmd_load_test(args) -> int:
                   f"served {served[worst]!r} != offline {expected[worst]!r}",
                   file=sys.stderr)
             return 1
+        if membership_script is not None and final_map is not None:
+            # The scripted transitions must all have *landed*: every
+            # drained shard retired, every added shard active.
+            statuses = {int(s["id"]): s["status"]
+                        for s in final_map.get("shards", [])}
+            retired = {int(x) for x in final_map.get("retired", [])}
+            for _, op, shard in membership_script:
+                if op == "drain" and shard not in retired:
+                    print(f"load-test: scripted drain of shard {shard} did "
+                          f"not retire it (map: {statuses}, retired: "
+                          f"{sorted(retired)})", file=sys.stderr)
+                    return 1
+            added = sum(1 for _, op, _ in membership_script if op == "add")
+            new_ids = [sid for sid, status in statuses.items()
+                       if sid >= args.cluster and status == "active"]
+            if len(new_ids) != added:
+                print(f"load-test: scripted {added} add(s) but the final "
+                      f"map activates {new_ids}", file=sys.stderr)
+                return 1
         return 0
     finally:
         if proc is not None:
@@ -738,14 +875,25 @@ def _cmd_chaos_test(args) -> int:
     if args.cluster < 1:
         print("chaos-test: --cluster must be at least 1", file=sys.stderr)
         return 2
+    if args.membership and args.cluster < 2:
+        print("chaos-test: --membership drains a shard into a survivor; it "
+              "needs --cluster >= 2", file=sys.stderr)
+        return 2
     schedule = None
     if args.schedule is not None:
         schedule = FaultSchedule.load(args.schedule)
+    # Membership mode fires the three membership kinds plus one kill; the
+    # default floor of 5 belongs to the seven-kind wire/process schedule.
+    min_kinds = args.min_kinds
+    if min_kinds is None:
+        min_kinds = 4 if args.membership else 5
     runner = ChaosRunner(
         protocol=args.protocol, domain_size=args.domain_size,
         epsilon=args.epsilon, num_users=args.users,
         num_shards=args.cluster, seed=args.seed,
-        wire_format=args.wire_format, schedule=schedule)
+        wire_format=args.wire_format, schedule=schedule,
+        membership=args.membership, transport=args.transport,
+        base_dir=args.base_dir)
     result = runner.run()
     schedule = result.schedule
     if args.schedule_out is not None:
@@ -763,6 +911,25 @@ def _cmd_chaos_test(args) -> int:
     print(f"fault kinds fired: {', '.join(result.fired_kinds)} "
           f"({len(result.fired_kinds)} distinct); shard restarts: "
           f"{result.restarts}; client retries: {result.send_retries}")
+    if args.membership:
+        info = result.membership
+        add_reply = info.get("add") or {}
+        drain_reply = info.get("drain") or {}
+        final_map = info.get("final_map") or {}
+        print(f"membership ({info.get('transport')} shard links): added "
+              f"shard {add_reply.get('shard')} at send index "
+              f"{info.get('add_frame')} (cut epoch "
+              f"{add_reply.get('cut_epoch', '?')}), drained shard "
+              f"{drain_reply.get('shard')} into {drain_reply.get('target')} "
+              f"at {info.get('drain_frame')} (handoff "
+              f"{drain_reply.get('handoff', '?')}, "
+              f"{drain_reply.get('num_reports', '?')} reports); final map "
+              f"version {final_map.get('version')}, retired "
+              f"{final_map.get('retired')}")
+        if info.get("torn_journal"):
+            print(f"torn journal: {info['torn_journal']}")
+        if info.get("corrupt_snapshot"):
+            print(f"corrupted snapshot: {info['corrupt_snapshot']}")
     print(f"served == offline engine ({len(result.queries)} queries): "
           f"{'BIT-IDENTICAL' if result.identical else 'MISMATCH'}")
     if not result.identical:
@@ -771,9 +938,9 @@ def _cmd_chaos_test(args) -> int:
               f"{result.queries[worst]}: served {result.served[worst]!r} "
               f"!= offline {result.expected[worst]!r}", file=sys.stderr)
         return 1
-    if len(result.fired_kinds) < args.min_kinds:
+    if len(result.fired_kinds) < min_kinds:
         print(f"chaos-test: only {len(result.fired_kinds)} distinct fault "
-              f"kinds fired (wanted >= {args.min_kinds}); the schedule "
+              f"kinds fired (wanted >= {min_kinds}); the schedule "
               f"barely exercised the cluster", file=sys.stderr)
         return 1
     return 0
@@ -816,6 +983,58 @@ def _cmd_cluster_status(args) -> int:
             if key in health:
                 print(f"{key}: {health[key]}")
     return 0 if status == "ok" else 1
+
+
+def _cmd_cluster_ctl(args) -> int:
+    """Drive a live router's elastic-membership control frames."""
+    from repro.server import AggregationClient
+
+    host, sep, port_text = args.server.rpartition(":")
+    if not sep or not host or not port_text.isdigit():
+        print(f"cluster-ctl: --server must be HOST:PORT "
+              f"(got {args.server!r})", file=sys.stderr)
+        return 2
+    if args.verb == "drain-shard" and args.shard is None:
+        print("cluster-ctl: drain-shard needs --shard", file=sys.stderr)
+        return 2
+    with AggregationClient(host, int(port_text),
+                           timeout=args.timeout) as client:
+        if args.verb == "shard-map":
+            reply = client.shard_map()
+            shard_map = reply["map"]
+            rows = [{"shard": entry["id"], "status": entry["status"]}
+                    for entry in shard_map["shards"]]
+            print(format_table(rows, title=(
+                f"shard map version {shard_map['version']} "
+                f"(retired: {shard_map['retired'] or 'none'})")))
+            for entry in shard_map["entries"]:
+                cut = entry.get("cut_epoch")
+                shard_ids = entry["shard_ids"]
+                print(f"  epochs >= {cut if cut is not None else 0}: "
+                      f"{len(shard_ids)}-way partition over shards "
+                      f"{shard_ids}")
+            return 0
+        if args.verb == "add-shard":
+            reply = client.add_shard()
+            print(f"added shard {reply['shard']} at "
+                  f"{reply['host']}:{reply['port']}; it owns epochs >= "
+                  f"{reply['cut_epoch']} (map version "
+                  f"{reply['map_version']})")
+            return 0
+        if args.verb == "drain-shard":
+            reply = client.drain_shard(args.shard, target=args.target)
+            already = " (already drained)" if reply.get("already") else ""
+            print(f"drained shard {reply['shard']} into shard "
+                  f"{reply.get('target')}{already}: handoff "
+                  f"{reply.get('handoff', '-')} moved "
+                  f"{reply.get('num_reports', 0)} reports exactly "
+                  f"(map version {reply['map_version']})")
+            return 0
+        reply = client.rolling_restart()
+        print(f"rolling restart: shards {reply['shards']} checkpointed and "
+              f"restarted in sequence (map version {reply['map_version']} "
+              f"unchanged)")
+        return 0
 
 
 # --------------------------------------------------------------------------------------
@@ -1114,6 +1333,16 @@ def build_parser() -> argparse.ArgumentParser:
                                   "hold either way")
     load_parser.add_argument("--quick", action="store_true",
                              help="CI-sized run (<= 20k users, 2 workers)")
+    load_parser.add_argument("--membership", default=None,
+                             metavar="SCRIPT",
+                             help="script online membership transitions "
+                                  "mid-stream (requires --cluster): comma "
+                                  "list of add:FRAC and drain:FRAC[:SHARD] "
+                                  "at stream fractions, e.g. "
+                                  "'add:0.33,drain:0.66'; forces one "
+                                  "ordered sender connection, and the "
+                                  "final answers must STILL be "
+                                  "bit-identical to the offline engine")
     load_parser.set_defaults(func=_cmd_load_test)
 
     chaos_parser = subparsers.add_parser(
@@ -1139,9 +1368,27 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument("--schedule-out", default=None,
                               help="write the fault schedule JSON here (the "
                                    "CI failure artifact)")
-    chaos_parser.add_argument("--min-kinds", type=int, default=5,
+    chaos_parser.add_argument("--min-kinds", type=int, default=None,
                               help="fail unless at least this many distinct "
-                                   "fault kinds actually fired")
+                                   "fault kinds actually fired (default: 5, "
+                                   "or 4 with --membership)")
+    chaos_parser.add_argument("--membership", action="store_true",
+                              help="elastic-membership mode: script an "
+                                   "add_shard and a drain mid-stream and "
+                                   "fire the membership fault kinds "
+                                   "(drain-race, torn-journal, "
+                                   "corrupt-snapshot) at the transitions; "
+                                   "the answers must still be bit-identical")
+    chaos_parser.add_argument("--transport", default="tcp",
+                              choices=["tcp", "shm"],
+                              help="router->shard transport in --membership "
+                                   "mode: TCP loopback or shared-memory "
+                                   "rings; the invariant must hold on both")
+    chaos_parser.add_argument("--base-dir", default=None,
+                              help="cluster home on disk, kept after the "
+                                   "run (default: a temp dir, removed) - "
+                                   "CI uploads the journals and shard map "
+                                   "from here when a run fails")
     chaos_parser.set_defaults(func=_cmd_chaos_test)
 
     status_parser = subparsers.add_parser(
@@ -1151,6 +1398,31 @@ def build_parser() -> argparse.ArgumentParser:
                                help="HOST:PORT of the server or router")
     status_parser.add_argument("--timeout", type=float, default=10.0)
     status_parser.set_defaults(func=_cmd_cluster_status)
+
+    ctl_parser = subparsers.add_parser(
+        "cluster-ctl",
+        help="drive a live router's elastic membership: add/drain shards, "
+             "rolling restart, inspect the shard map")
+    ctl_parser.add_argument("verb",
+                            choices=["shard-map", "add-shard", "drain-shard",
+                                     "rolling-restart"],
+                            help="shard-map prints the epoch routing table; "
+                                 "add-shard grows the cluster at the next "
+                                 "epoch cut; drain-shard hands a shard's "
+                                 "exact state to a survivor and retires it; "
+                                 "rolling-restart checkpoints and restarts "
+                                 "every shard in sequence with zero loss")
+    ctl_parser.add_argument("--server", required=True,
+                            help="HOST:PORT of the cluster router")
+    ctl_parser.add_argument("--shard", type=int, default=None,
+                            help="shard id to drain (drain-shard only)")
+    ctl_parser.add_argument("--target", type=int, default=None,
+                            help="survivor that absorbs the drained state "
+                                 "(default: lowest active shard)")
+    ctl_parser.add_argument("--timeout", type=float, default=60.0,
+                            help="wire timeout; drains move whole shard "
+                                 "states, so this is generous by default")
+    ctl_parser.set_defaults(func=_cmd_cluster_ctl)
 
     return parser
 

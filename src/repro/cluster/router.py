@@ -50,6 +50,33 @@ request.  Ordering is load-bearing — a shard connection that delivers
 journal frames *before* the snapshot barrier frame is what makes "journal
 cleared at the barrier" an exact statement — so the pool holds exactly one
 connection per shard, serialized by a per-shard lock.
+
+**Elastic membership** — the shard set is no longer frozen at start-up.
+Routing consults a versioned, epoch-stamped
+:class:`~repro.cluster.shardmap.ShardMap` per frame, and three control
+verbs (``docs/wire-protocol.md`` §7.4, ``docs/operations.md``) change it
+online:
+
+* ``add_shard`` spawns a shard through the supervisor and activates it at
+  an epoch cut above every epoch the router has seen — the new shard takes
+  only new-epoch traffic, so nothing moves and nothing double-counts.
+* ``drain_shard`` rewrites the drained id out of every routing entry (no
+  new frame can reach it), syncs it, pulls its packed exact-integer
+  per-epoch state (the shard-side ``handoff`` frame), pushes that state
+  into a surviving shard (``absorb_state``, idempotent on a handoff id),
+  checkpoints the survivor, and only then reaps the drained process.
+* ``rolling_restart`` checkpoint-restarts every shard in sequence behind
+  its link lock — ingest to the other shards continues throughout.
+
+Every transition step is journaled (:class:`~repro.cluster.journal.
+MembershipJournal`) and the persisted map write is the commit point, so a
+SIGKILL at *any* step resumes (roll forward) or rolls back to a consistent
+map on the next start — and because the aggregator algebra is a
+commutative integer sum, a cluster that grows and drains mid-ingest still
+finalizes **bit-identically** to the offline engine.  When a supervisor
+(and hence a base directory) is attached, per-link frame journals are
+additionally mirrored to CRC32-framed on-disk logs so a *router* restart
+replays exactly what an in-process recovery would have.
 """
 
 from __future__ import annotations
@@ -58,6 +85,7 @@ import asyncio
 import base64
 import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -68,11 +96,14 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.cluster.supervisor import ClusterSupervisor
 
+from repro.cluster.journal import FrameJournal, MembershipJournal
+from repro.cluster.shardmap import ShardMap, ShardMapError, ShardMapStore
 from repro.engine.partition import ShardPartition
 from repro.protocol.binary import (
     BinaryFormatError,
@@ -90,6 +121,7 @@ from repro.protocol.wire import (
     merge_aggregators,
 )
 from repro.server.client import ShardUnavailable
+from repro.server.snapshot import read_snapshot, write_snapshot
 from repro.server.framing import (
     WIRE_FORMATS,
     FrameError,
@@ -184,6 +216,12 @@ class _ShardLink:
         self.seq = 0
         #: ``repr`` of the most recent transport failure on this link
         self.last_fault: Optional[str] = None
+        #: durable mirror of :attr:`journal` (attached when the router has
+        #: a journal directory): every stamped frame is appended to a
+        #: CRC32-framed on-disk log and every checkpoint writes a barrier,
+        #: so a *router* restart replays the same frames an in-process
+        #: recovery would have
+        self.disk: Optional[FrameJournal] = None
 
     async def connect(self) -> None:
         await self.close()
@@ -249,6 +287,15 @@ class ClusterRouter:
         journal; later attempts escalate to a supervisor restart (when one
         is attached).  Exhausting the ladder raises
         :class:`~repro.server.client.ShardUnavailable`.
+    journal_dir:
+        Home of the durable membership state: ``shardmap.json``,
+        ``membership.journal`` and the per-link ``journal-shard-K.bin``
+        frame journals.  Defaults to the supervisor's base directory; with
+        neither a directory nor a supervisor the router runs with
+        in-memory journals and an in-memory map only (exactly the old
+        behavior).  On start, an existing persisted map is **adopted** —
+        that is the crash-resume path — and half-finished membership
+        transitions are rolled forward or back.
     backoff_base / backoff_cap:
         Exponential backoff between recovery attempts:
         ``min(cap, base * 2**(attempt-1))`` plus seeded jitter drawn from
@@ -272,6 +319,7 @@ class ClusterRouter:
         recovery_attempts: int = 4,
         backoff_base: float = 0.05,
         backoff_cap: float = 2.0,
+        journal_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         if endpoints is None:
             if supervisor is None:
@@ -335,6 +383,37 @@ class ClusterRouter:
             )
             for i, (host, port) in enumerate(endpoints)
         ]
+        #: every link the router knows, keyed by shard id — includes a
+        #: draining shard mid-handoff, which :attr:`links` (the fan-out
+        #: set) no longer does
+        self._links_by_id: Dict[int, _ShardLink] = {
+            link.index: link for link in self.links
+        }
+        #: the routing authority: every reports frame asks the current map
+        #: which shard owns its (route key, epoch)
+        self.shard_map = ShardMap.initial(len(self.links), self.partition)
+        if journal_dir is None and supervisor is not None:
+            journal_dir = supervisor.base_dir
+        self.journal_dir = Path(journal_dir) if journal_dir is not None \
+            else None
+        self._map_store: Optional[ShardMapStore] = None
+        self._membership_journal: Optional[MembershipJournal] = None
+        if self.journal_dir is not None:
+            self._map_store = ShardMapStore(self.journal_dir
+                                            / "shardmap.json")
+            self._membership_journal = MembershipJournal(
+                self.journal_dir / "membership.journal")
+        #: serializes membership transitions against each other and against
+        #: merged reads (query/state/stats/sync/snapshot) — a query never
+        #: observes a half-moved shard.  Per-frame forwarding does NOT take
+        #: it; forwards re-check routability under the link lock instead.
+        self._membership_lock = asyncio.Lock()
+        #: in-flight drains (shard id -> (target id, handoff id)) so a
+        #: journal-less router can still resume a drain that failed
+        #: mid-transition without losing the handoff identity
+        self._pending_drains: Dict[int, Tuple[int, int]] = {}
+        #: newest epoch seen on any reports frame — the add-shard cut point
+        self._newest_epoch = -1
         self._round_robin = 0
         self._server: Optional[asyncio.base_events.Server] = None
         #: claimed synchronously at the top of start(), before its first
@@ -347,15 +426,56 @@ class ClusterRouter:
     def num_shards(self) -> int:
         return len(self.links)
 
+    def _frame_journal_path(self, shard_id: int) -> Path:
+        assert self.journal_dir is not None
+        return self.journal_dir / f"journal-shard-{shard_id}.bin"
+
     # ----- lifecycle ------------------------------------------------------------------
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
-        """Connect to every shard, verify parameters, bind, and serve."""
+        """Connect to every shard, verify parameters, bind, and serve.
+
+        With a journal directory this is also the **crash-resume path**: an
+        already-persisted shard map is adopted in place of the fresh one,
+        the per-link frame journals are reloaded (truncating torn tails)
+        and replayed — idempotently, thanks to §7.1 sequence dedup and the
+        shards' ``max_seq`` watermarks — and any half-finished membership
+        transition is rolled forward (draining) or back (joining).
+        """
         if self._started:
             raise RuntimeError("router already started")
         self._started = True
-        for link in self.links:
-            await asyncio.wait_for(link.connect(), self.connect_timeout)
+        loop = asyncio.get_running_loop()
+        if self._map_store is not None:
+            persisted = await loop.run_in_executor(None, self._map_store.load)
+            if persisted is not None:
+                self._adopt_map(persisted)
+            else:
+                await loop.run_in_executor(
+                    None, self._map_store.save, self.shard_map
+                )
+        for link in list(self._links_by_id.values()):
+            if self.journal_dir is not None and link.disk is None:
+                link.disk = FrameJournal(
+                    self._frame_journal_path(link.index), fsync=False
+                )
+                entries, journal_seq = await loop.run_in_executor(
+                    None, link.disk.load
+                )
+                link.journal = list(entries)
+                link.journal_reports = sum(n for _, n in entries)
+                link.seq = journal_seq
+            try:
+                await asyncio.wait_for(link.connect(), self.connect_timeout)
+            except _SHARD_FAILURES as exc:
+                # A cold resume must tolerate a shard that died along with
+                # the previous router: escalate through the same recovery
+                # ladder as a mid-flight fault (reconnect, then supervisor
+                # restart from the newest valid snapshot).  The journal was
+                # loaded above, so the ladder's replay restores everything
+                # past that snapshot before the router serves anyone.
+                async with link.lock:
+                    await self._recover_locked(link, exc)
             reply = await self._request_on_link(link, {"type": "hello"}, "params")
             published = PublicParams.from_dict(dict(reply["params"]))
             if published != self.params:
@@ -363,11 +483,88 @@ class ClusterRouter:
                     f"shard {link.index} at {link.host}:{link.port} serves "
                     f"different public parameters than this router"
                 )
+            if self.journal_dir is not None:
+                # Resume sequencing above everything this shard has ever
+                # seen: the journal's own watermark covers frames journaled
+                # but never delivered, the shard's ``max_seq`` covers frames
+                # delivered but checkpoint-cleared from the journal.
+                health = await self._request_on_link(
+                    link, {"type": "health"}, "health"
+                )
+                link.seq = max(link.seq, int(health.get("max_seq") or 0))
+                if link.journal:
+                    async with link.lock:
+                        await self._replay_locked(link)
+        await self._recover_membership()
         self._server = await asyncio.start_server(
             self._handle_connection, host, port
         )
         sockname = self._server.sockets[0].getsockname()
         return str(sockname[0]), int(sockname[1])
+
+    def _adopt_map(self, shard_map: ShardMap) -> None:
+        """Resume from a persisted map: rebuild the link set it describes."""
+        if self.supervisor is not None:
+            def link_for(sid: int) -> _ShardLink:
+                existing = self._links_by_id.get(sid)
+                host, port = self.supervisor.endpoint_of(sid)
+                if existing is not None and (existing.host, existing.port) \
+                        == (host, port):
+                    return existing
+                return _ShardLink(
+                    sid, host, port,
+                    shm_name=(self.supervisor.shm_name(sid)
+                              if self.transport == "shm" else None),
+                )
+        else:
+            if list(shard_map.live_ids) != list(range(len(self.links))):
+                raise ClusterError(
+                    f"persisted map names shards "
+                    f"{list(shard_map.live_ids)} but only "
+                    f"{len(self.links)} positional endpoints were given "
+                    f"and no supervisor is attached"
+                )
+
+            def link_for(sid: int) -> _ShardLink:
+                return self._links_by_id[sid]
+        self._links_by_id = {sid: link_for(sid)
+                             for sid in shard_map.live_ids}
+        self.links = [self._links_by_id[sid]
+                      for sid in shard_map.active_ids]
+        self.shard_map = shard_map
+        self.partition = shard_map.newest_partition
+
+    async def _recover_membership(self) -> None:
+        """Finish (or undo) a membership transition cut short by a crash.
+
+        The persisted map is the commit point: a ``joining`` shard never
+        reached its activation commit, so it is rolled back (it owns no
+        epochs and holds no state); a ``draining`` shard's routing rewrite
+        *did* commit, so the drain is rolled forward through the journaled
+        handoff.  Supervisor processes the map no longer knows (a crash
+        between the removal commit and the reap) are retired.
+        """
+        if self._map_store is None:
+            return
+        for sid in list(self.shard_map.shard_ids):
+            status = self.shard_map.status_of(sid)
+            if status == "joining":
+                self._journal_membership(
+                    {"op": "add", "step": "rollback", "shard": sid}
+                )
+                await self._commit_map(self.shard_map.with_removed(sid))
+                self._links_by_id.pop(sid, None)
+                await self._retire_process(sid)
+            elif status == "draining":
+                await self._resume_drain(sid)
+        if self.supervisor is not None:
+            loop = asyncio.get_running_loop()
+            known = set(self.shard_map.shard_ids)
+            for sid in list(self.supervisor.active_ids()):
+                if sid not in known:
+                    await loop.run_in_executor(
+                        None, self.supervisor.retire, sid
+                    )
 
     async def serve_until_stopped(self) -> None:
         """Serve until a ``shutdown`` frame arrives or :meth:`stop` is called."""
@@ -389,8 +586,12 @@ class ClusterRouter:
         for writer in list(self._connections):
             writer.close()
         await server.wait_closed()
-        for link in self.links:
+        for link in self._links_by_id.values():
             await link.close()
+            if link.disk is not None:
+                link.disk.close()
+        if self._membership_journal is not None:
+            self._membership_journal.close()
 
     # ----- shard fan-out plumbing -----------------------------------------------------
 
@@ -564,10 +765,60 @@ class ClusterRouter:
         )
         link.journal.clear()
         link.journal_reports = 0
+        if link.disk is not None:
+            # The on-disk mirror drops its frames too, but keeps the
+            # sequence watermark as a barrier entry so a restarted router
+            # never re-stamps below what the shard has already seen.
+            link.disk.barrier(link.seq)
         self.stats.checkpoints += 1
         return str(reply["path"])
 
-    async def _forward(
+    def _is_routable(self, link: _ShardLink) -> bool:
+        """True while the current map still sends new frames to ``link``."""
+        try:
+            status = self.shard_map.status_of(link.index)
+        except ShardMapError:
+            return False
+        return (status == "active"
+                and self._links_by_id.get(link.index) is link)
+
+    async def _forward_routed(
+        self,
+        payload: bytes,
+        num_reports: int,
+        route: Optional[int],
+        epoch: int,
+        message: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Pick a shard under the current map and forward one payload.
+
+        Membership can change between picking a shard and acquiring its
+        link lock (a drain's routing rewrite runs while a forward waits on
+        the draining shard's lock), so routability is re-checked *under*
+        the lock and the frame re-picked against the newer map — a frame
+        can never be sent to a shard whose state was already handed off.
+        """
+        if epoch > self._newest_epoch:
+            self._newest_epoch = epoch
+        if route is None:
+            self.stats.frames_unrouted += 1
+        for _ in range(8):
+            link = self._pick_shard(route, epoch)
+            async with link.lock:
+                if not self._is_routable(link):
+                    continue
+                await self._forward_locked(link, payload, num_reports,
+                                           message)
+                break
+        else:  # pragma: no cover - needs 8 map changes in one forward
+            raise ShardUnavailable(
+                "no routable shard: membership kept changing under this "
+                "frame"
+            )
+        self.stats.frames_forwarded += 1
+        self.stats.reports_forwarded += num_reports
+
+    async def _forward_locked(
         self,
         link: _ShardLink,
         payload: bytes,
@@ -582,40 +833,40 @@ class ClusterRouter:
         column decode), JSON frames by setting ``"seq"`` on the parsed
         ``message`` the dispatcher already has.  Journaling the stamped
         bytes is what makes replay-after-fault idempotent (§7.1): the shard
-        dedupes redelivered frames on the sequence number.
+        dedupes redelivered frames on the sequence number.  Caller holds
+        ``link.lock``.
         """
-        async with link.lock:
-            link.seq += 1
-            if message is None:
-                payload = stamp_sequence(payload, link.seq)
-            else:
-                message["seq"] = link.seq
-                payload = json.dumps(
-                    message, separators=(",", ":")
-                ).encode("utf-8")
-            link.journal.append((payload, num_reports))
-            link.journal_reports += num_reports
-            link.reports_forwarded += num_reports
+        link.seq += 1
+        if message is None:
+            payload = stamp_sequence(payload, link.seq)
+        else:
+            message["seq"] = link.seq
+            payload = json.dumps(
+                message, separators=(",", ":")
+            ).encode("utf-8")
+        link.journal.append((payload, num_reports))
+        link.journal_reports += num_reports
+        link.reports_forwarded += num_reports
+        if link.disk is not None:
+            link.disk.append(payload, num_reports, link.seq)
+        try:
+            writer = link.writer
+            if writer is None:
+                raise FrameError(
+                    f"shard {link.index} link is not connected"
+                )
+            writer.write(frame_bytes(payload))
+            await asyncio.wait_for(writer.drain(), self.request_timeout)
+        except _SHARD_FAILURES as exc:
+            # The failed frame is already journaled, so recovery's
+            # replay delivers it along with everything else pending.
+            await self._recover_locked(link, exc)
+        if link.journal_reports >= self.checkpoint_reports:
             try:
-                writer = link.writer
-                if writer is None:
-                    raise FrameError(
-                        f"shard {link.index} link is not connected"
-                    )
-                writer.write(frame_bytes(payload))
-                await asyncio.wait_for(writer.drain(), self.request_timeout)
+                await self._checkpoint_locked(link)
             except _SHARD_FAILURES as exc:
-                # The failed frame is already journaled, so recovery's
-                # replay delivers it along with everything else pending.
                 await self._recover_locked(link, exc)
-            if link.journal_reports >= self.checkpoint_reports:
-                try:
-                    await self._checkpoint_locked(link)
-                except _SHARD_FAILURES as exc:
-                    await self._recover_locked(link, exc)
-                    await self._checkpoint_locked(link)
-        self.stats.frames_forwarded += 1
-        self.stats.reports_forwarded += num_reports
+                await self._checkpoint_locked(link)
 
     # ----- client connection handling -------------------------------------------------
 
@@ -651,12 +902,11 @@ class ClusterRouter:
         self.stats.frames_rejected += 1
         self.stats.last_rejection = reason
 
-    def _pick_shard(self, route: Optional[int]) -> _ShardLink:
+    def _pick_shard(self, route: Optional[int], epoch: int) -> _ShardLink:
         if route is not None:
-            return self.links[self.partition.shard_of(route)]
+            return self._links_by_id[self.shard_map.shard_for(route, epoch)]
         # No routing key: any assignment is exact (merge is an integer
-        # sum); round-robin keeps the shards balanced.
-        self.stats.frames_unrouted += 1
+        # sum); round-robin over the active shards keeps them balanced.
         link = self.links[self._round_robin % self.num_shards]
         self._round_robin += 1
         return link
@@ -684,8 +934,11 @@ class ClusterRouter:
                 )
                 return True
             route = header["route"]
-            link = self._pick_shard(int(route) if route is not None else None)
-            await self._forward(link, payload, int(header["num_reports"]))
+            await self._forward_routed(
+                payload, int(header["num_reports"]),
+                int(route) if route is not None else None,
+                int(header["epoch"]),
+            )
             return True
         try:
             message = json.loads(payload)
@@ -719,8 +972,13 @@ class ClusterRouter:
                 )
                 return True
             route = message.get("route")
-            link = self._pick_shard(int(route) if route is not None else None)
-            await self._forward(link, payload, num_reports, message=message)
+            epoch = message.get("epoch")
+            await self._forward_routed(
+                payload, num_reports,
+                int(route) if route is not None else None,
+                int(epoch) if epoch is not None else 0,
+                message=message,
+            )
             return True
         try:
             return await self._dispatch_control(message, writer)
@@ -753,15 +1011,20 @@ class ClusterRouter:
                     "cluster": {
                         "num_shards": self.num_shards,
                         "partition": self.partition.to_dict(),
+                        "map_version": self.shard_map.version,
+                        "shards": list(self.shard_map.active_ids),
                     },
                 },
             )
             return True
         if kind == "sync":
-            replies = await self._fan_out(
-                self._request(link, {"type": "sync"}, "synced")
-                for link in self.links
-            )
+            # Merged reads serialize against membership transitions: a
+            # sync total must never miss a shard whose state is mid-handoff.
+            async with self._membership_lock:
+                replies = await self._fan_out(
+                    self._request(link, {"type": "sync"}, "synced")
+                    for link in self.links
+                )
             await write_frame(
                 writer,
                 {
@@ -774,7 +1037,8 @@ class ClusterRouter:
             items = [int(x) for x in message.get("items", [])]
             window = message.get("window")
             window = int(window) if window is not None else None
-            merged, epochs = await self._merged_aggregator(window, None)
+            async with self._membership_lock:
+                merged, epochs = await self._merged_aggregator(window, None)
             if merged.num_reports == 0:
                 estimates = [0.0] * len(items)
             else:
@@ -804,7 +1068,9 @@ class ClusterRouter:
             min_epoch = int(min_epoch) if min_epoch is not None else None
             if window is not None and min_epoch is not None:
                 raise ValueError("window and min_epoch are mutually exclusive")
-            merged, epochs = await self._merged_aggregator(window, min_epoch)
+            async with self._membership_lock:
+                merged, epochs = await self._merged_aggregator(window,
+                                                               min_epoch)
             blob = pack_state(child_state(merged))
             self.stats.queries_answered += 1
             await write_frame(
@@ -819,27 +1085,59 @@ class ClusterRouter:
             )
             return True
         if kind == "stats":
-            await write_frame(writer, await self._merged_stats())
+            async with self._membership_lock:
+                merged_stats = await self._merged_stats()
+            await write_frame(writer, merged_stats)
             return True
         if kind == "health":
             await write_frame(writer, await self._health())
             return True
-        if kind == "snapshot":
-            paths = []
-            for link in self.links:
-                async with link.lock:
-                    try:
-                        paths.append(await self._checkpoint_locked(link))
-                    except _SHARD_FAILURES as exc:
-                        await self._recover_locked(link, exc)
-                        paths.append(await self._checkpoint_locked(link))
-            num_reports = sum(
-                int(r["num_reports"])
-                for r in await self._fan_out(
-                    self._request(link, {"type": "sync"}, "synced")
-                    for link in self.links
-                )
+        if kind == "shard_map":
+            await write_frame(
+                writer,
+                {
+                    "type": "shard_map",
+                    "map": self.shard_map.to_dict(),
+                    "newest_epoch": self._newest_epoch,
+                },
             )
+            return True
+        if kind == "add_shard":
+            await write_frame(writer, await self.add_shard())
+            return True
+        if kind == "drain_shard":
+            shard = message.get("shard")
+            if shard is None:
+                raise ValueError("drain_shard needs a 'shard' id")
+            target = message.get("target")
+            await write_frame(
+                writer,
+                await self.drain_shard(
+                    int(shard),
+                    int(target) if target is not None else None,
+                ),
+            )
+            return True
+        if kind == "rolling_restart":
+            await write_frame(writer, await self.rolling_restart())
+            return True
+        if kind == "snapshot":
+            async with self._membership_lock:
+                paths = []
+                for link in self.links:
+                    async with link.lock:
+                        try:
+                            paths.append(await self._checkpoint_locked(link))
+                        except _SHARD_FAILURES as exc:
+                            await self._recover_locked(link, exc)
+                            paths.append(await self._checkpoint_locked(link))
+                num_reports = sum(
+                    int(r["num_reports"])
+                    for r in await self._fan_out(
+                        self._request(link, {"type": "sync"}, "synced")
+                        for link in self.links
+                    )
+                )
             await write_frame(
                 writer,
                 {
@@ -856,7 +1154,9 @@ class ClusterRouter:
             return True
         if kind == "shutdown":
             total = 0
-            for link in self.links:
+            async with self._membership_lock:
+                links = list(self.links)
+            for link in links:
                 try:
                     reply = await self._request(
                         link, {"type": "shutdown"}, "bye", revive=False
@@ -1009,6 +1309,7 @@ class ClusterRouter:
                 "shard": link.index,
                 "host": link.host,
                 "port": link.port,
+                "membership": self.shard_map.status_of(link.index),
                 "journal_frames": len(link.journal),
                 "journal_reports": link.journal_reports,
                 "reports_forwarded": link.reports_forwarded,
@@ -1044,5 +1345,356 @@ class ClusterRouter:
             "server": ROUTER_ID,
             "status": "degraded" if degraded else "ok",
             "num_shards": self.num_shards,
+            "map_version": self.shard_map.version,
             "shards": shards,
+        }
+
+    # ----- membership transitions -----------------------------------------------------
+
+    def _journal_membership(self, entry: Dict[str, object]) -> None:
+        """Durably record one membership state-machine step (audit + resume).
+
+        Synchronous on purpose: membership transitions are rare operator
+        actions, and the fsync *is* the durability point — the step must be
+        on disk before the transition takes it.
+        """
+        if self._membership_journal is not None:
+            self._membership_journal.append(dict(entry))
+
+    async def _last_membership(
+        self, op: str, shard: int
+    ) -> Optional[Dict[str, object]]:
+        """Newest journaled ``begin`` entry for ``op`` on ``shard``."""
+        if self._membership_journal is None:
+            return None
+        loop = asyncio.get_running_loop()
+        entries = await loop.run_in_executor(
+            None, self._membership_journal.entries
+        )
+        for entry in reversed(entries):
+            if (entry.get("op") == op and entry.get("shard") == shard
+                    and entry.get("step") == "begin"):
+                return entry
+        return None
+
+    async def _commit_map(self, new_map: ShardMap) -> None:
+        """Persist then adopt a new shard map — the transition commit point.
+
+        The atomic, fsynced map write happens *before* the in-memory swap:
+        a crash leaves either the old committed map or the new one, never a
+        router routing on a map that disk does not know.
+        """
+        if self._map_store is not None:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self._map_store.save, new_map)
+        self.shard_map = new_map
+        self.partition = new_map.newest_partition
+
+    async def _retire_process(self, sid: int) -> None:
+        """Reap and tombstone a shard process (idempotent, may be absent)."""
+        if self.supervisor is None:
+            return
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.supervisor.retire, sid)
+
+    def _handoff_path(self, hid: int) -> Optional[Path]:
+        if self.journal_dir is None:
+            return None
+        return self.journal_dir / f"handoff-{hid:06d}.json"
+
+    async def add_shard(self) -> Dict[str, object]:
+        """Grow the cluster by one shard at an epoch cut (``§7.4``).
+
+        The new shard is activated at ``cut = max(newest_epoch + 1,
+        last_cut + 1)``: every epoch the router has ever routed stays with
+        its old owner, the new shard takes only epochs nobody has touched —
+        so no state moves and nothing can double-count.  Steps are
+        journaled and the map write is the commit; a crash before the
+        activation commit rolls the joining shard back on the next start.
+        """
+        if self.supervisor is None:
+            raise ClusterError("add_shard needs a supervisor (it spawns "
+                               "the new shard process)")
+        loop = asyncio.get_running_loop()
+        async with self._membership_lock:
+            new_id = self.shard_map.next_id
+            self._journal_membership(
+                {"op": "add", "step": "begin", "shard": new_id}
+            )
+            await self._commit_map(self.shard_map.with_joining(new_id))
+            link: Optional[_ShardLink] = None
+            try:
+                spawned, host, port = await loop.run_in_executor(
+                    None, self.supervisor.add_shard
+                )
+                if spawned != new_id:
+                    raise ClusterError(
+                        f"supervisor spawned shard {spawned} but the map "
+                        f"allocated id {new_id}"
+                    )
+                link = _ShardLink(
+                    new_id, host, port,
+                    shm_name=(self.supervisor.shm_name(new_id)
+                              if self.transport == "shm" else None),
+                )
+                if self.journal_dir is not None:
+                    link.disk = FrameJournal(
+                        self._frame_journal_path(new_id), fsync=False
+                    )
+                    # ids are never reused, so any file here is stale debris
+                    await loop.run_in_executor(None, link.disk.delete)
+                await asyncio.wait_for(link.connect(), self.connect_timeout)
+                reply = await self._request_on_link(
+                    link, {"type": "hello"}, "params"
+                )
+                published = PublicParams.from_dict(dict(reply["params"]))
+                if published != self.params:
+                    raise ClusterError(
+                        f"new shard {new_id} serves different public "
+                        f"parameters than this router"
+                    )
+                last_cut = self.shard_map.entries[-1].cut_epoch
+                cut = max(
+                    self._newest_epoch + 1,
+                    (last_cut + 1) if last_cut is not None else 0,
+                )
+                partition = ShardPartition.sample(
+                    len(self.shard_map.active_ids) + 1, self._backoff_rng
+                )
+                self._journal_membership(
+                    {"op": "add", "step": "activate", "shard": new_id,
+                     "cut": cut}
+                )
+                # Register the link before the commit: the instant the new
+                # map is adopted, a concurrent forward may route to new_id.
+                self._links_by_id[new_id] = link
+                await self._commit_map(
+                    self.shard_map.with_activated(new_id, cut, partition)
+                )
+                self.links = [self._links_by_id[sid]
+                              for sid in self.shard_map.active_ids]
+                self._journal_membership(
+                    {"op": "add", "step": "done", "shard": new_id}
+                )
+                return {
+                    "type": "shard_added",
+                    "shard": new_id,
+                    "host": host,
+                    "port": port,
+                    "cut_epoch": cut,
+                    "map_version": self.shard_map.version,
+                }
+            except Exception:
+                # Roll back: a joining shard owns no epochs and holds no
+                # state, so undoing it is pure bookkeeping.
+                self._journal_membership(
+                    {"op": "add", "step": "rollback", "shard": new_id}
+                )
+                if self.shard_map.status_of(new_id) == "joining":
+                    await self._commit_map(
+                        self.shard_map.with_removed(new_id)
+                    )
+                self._links_by_id.pop(new_id, None)
+                if link is not None:
+                    await link.close()
+                await self._retire_process(new_id)
+                raise
+
+    async def drain_shard(
+        self, shard: int, target: Optional[int] = None
+    ) -> Dict[str, object]:
+        """Drain one shard: reroute, hand its exact state off, then reap.
+
+        The routing rewrite commit is the point of no return — from then on
+        no new frame can reach the draining shard, and a crash anywhere
+        later rolls the drain *forward* on the next start.  The handoff
+        itself is idempotent end to end: the drained shard re-answers
+        ``handoff`` with the same packed state (it accepts no reports once
+        draining), the pulled blob is persisted before the push, and the
+        survivor dedups ``absorb_state`` on the handoff id.
+        """
+        async with self._membership_lock:
+            sid = int(shard)
+            if sid in self.shard_map.retired:
+                # A retried drain whose first attempt already finished
+                # (the client timed out mid-transition): answer success.
+                return {
+                    "type": "drained",
+                    "shard": sid,
+                    "target": None,
+                    "handoff": None,
+                    "num_reports": 0,
+                    "already": True,
+                    "map_version": self.shard_map.version,
+                }
+            status = self.shard_map.status_of(sid)
+            if status == "draining":
+                return await self._resume_drain(sid)
+            if status != "active":
+                raise ClusterError(f"shard {sid} is {status}, not active")
+            active = list(self.shard_map.active_ids)
+            if target is None:
+                target = next(i for i in active if i != sid)
+            target = int(target)
+            if target == sid or target not in active:
+                raise ClusterError(
+                    f"drain target must be a different active shard, "
+                    f"got {target} (active: {active})"
+                )
+            # The handoff id is the version of the drained-routing map —
+            # unique per transition, known before the commit.
+            hid = self.shard_map.version + 1
+            self._journal_membership(
+                {"op": "drain", "step": "begin", "shard": sid,
+                 "target": target, "handoff": hid}
+            )
+            self._pending_drains[sid] = (target, hid)
+            await self._commit_map(
+                self.shard_map.with_drained_routing(sid, target)
+            )
+            # Out of the fan-out set (merged reads would double-count its
+            # reports once absorbed), still reachable by id for the pull.
+            self.links = [self._links_by_id[s]
+                          for s in self.shard_map.active_ids]
+            return await self._drain_locked(sid, target, hid)
+
+    async def _resume_drain(self, sid: int) -> Dict[str, object]:
+        """Roll a committed drain forward (crash resume or operator retry)."""
+        pending = self._pending_drains.get(sid)
+        if pending is not None:
+            target, hid = pending
+        else:
+            begin = await self._last_membership("drain", sid)
+            target = (int(begin["target"])
+                      if begin is not None and "target" in begin
+                      else min(self.shard_map.active_ids))
+            hid = (int(begin["handoff"])
+                   if begin is not None and "handoff" in begin
+                   else self.shard_map.version)
+        return await self._drain_locked(sid, target, hid)
+
+    async def _drain_locked(
+        self, sid: int, target: int, hid: int
+    ) -> Dict[str, object]:
+        """Pull → persist → absorb → checkpoint → remove → reap (resumable).
+
+        Caller holds the membership lock (or runs before serving starts).
+        Every step is safe to repeat: the pull re-answers identically, the
+        persisted blob write is atomic, the absorb dedups on ``hid``, the
+        checkpoint is a plain barrier, and the removal commit + reap are
+        idempotent.
+        """
+        loop = asyncio.get_running_loop()
+        link = self._links_by_id.get(sid)
+        target_link = self._links_by_id[target]
+        blob_path = self._handoff_path(hid)
+        payload: Optional[Dict[str, object]] = None
+        if blob_path is not None:
+            try:
+                payload = await loop.run_in_executor(
+                    None, read_snapshot, blob_path
+                )
+            except (OSError, ValueError):
+                payload = None  # not pulled yet (or torn): pull fresh
+        if payload is None:
+            if link is None:
+                raise ClusterError(
+                    f"shard {sid} is draining but its link and persisted "
+                    f"handoff {hid} are both gone"
+                )
+            reply = await self._request(
+                link, {"type": "handoff", "handoff": hid}, "handoff_state"
+            )
+            payload = {
+                "handoff": hid,
+                "shard": sid,
+                "target": target,
+                "num_reports": int(reply["num_reports"]),
+                "state": str(reply["state"]),
+            }
+            if blob_path is not None:
+                await loop.run_in_executor(
+                    None, write_snapshot, blob_path, payload
+                )
+            self._journal_membership(
+                {"op": "drain", "step": "pulled", "shard": sid,
+                 "handoff": hid,
+                 "num_reports": int(payload["num_reports"])}
+            )
+        await self._request(
+            target_link,
+            {"type": "absorb_state", "handoff": hid,
+             "state": str(payload["state"])},
+            "absorbed",
+        )
+        # Checkpoint the survivor immediately: the absorbed state must not
+        # live only in its memory once the source shard is reaped.
+        async with target_link.lock:
+            try:
+                await self._checkpoint_locked(target_link)
+            except _SHARD_FAILURES as exc:
+                await self._recover_locked(target_link, exc)
+                await self._checkpoint_locked(target_link)
+        self._journal_membership(
+            {"op": "drain", "step": "merged", "shard": sid, "handoff": hid}
+        )
+        await self._commit_map(self.shard_map.with_removed(sid))
+        await self._retire_process(sid)
+        if link is not None:
+            await link.close()
+            if link.disk is not None:
+                await loop.run_in_executor(None, link.disk.delete)
+        self._links_by_id.pop(sid, None)
+        self.links = [self._links_by_id[s]
+                      for s in self.shard_map.active_ids]
+        if blob_path is not None:
+            await loop.run_in_executor(
+                None, lambda: blob_path.unlink(missing_ok=True)
+            )
+        self._journal_membership(
+            {"op": "drain", "step": "done", "shard": sid, "handoff": hid}
+        )
+        self._pending_drains.pop(sid, None)
+        return {
+            "type": "drained",
+            "shard": sid,
+            "target": target,
+            "handoff": hid,
+            "num_reports": int(payload["num_reports"]),
+            "map_version": self.shard_map.version,
+        }
+
+    async def rolling_restart(self) -> Dict[str, object]:
+        """Checkpoint-restart every shard in sequence, zero data loss.
+
+        Each shard is checkpointed (journal barrier) and restarted behind
+        its own link lock, so forwards to the *other* shards continue
+        throughout; forwards to the restarting shard simply queue on its
+        lock and proceed after the replayed ``sync`` barrier.  Membership
+        does not change — the journal entries are audit trail, and a crash
+        mid-sequence needs no recovery beyond the normal per-link ladder.
+        """
+        if self.supervisor is None:
+            raise ClusterError("rolling_restart needs a supervisor")
+        restarted: List[int] = []
+        async with self._membership_lock:
+            for link in list(self.links):
+                self._journal_membership(
+                    {"op": "restart", "step": "begin", "shard": link.index}
+                )
+                async with link.lock:
+                    try:
+                        await self._checkpoint_locked(link)
+                    except _SHARD_FAILURES as exc:
+                        await self._recover_locked(link, exc)
+                        await self._checkpoint_locked(link)
+                    await self._restart_locked(link)
+                self._journal_membership(
+                    {"op": "restart", "step": "done", "shard": link.index}
+                )
+                restarted.append(link.index)
+        return {
+            "type": "restarted",
+            "shards": restarted,
+            "map_version": self.shard_map.version,
         }

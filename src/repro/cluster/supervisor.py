@@ -89,18 +89,28 @@ def spawn_server_process(
 
 @dataclass
 class ShardHandle:
-    """One supervised shard: its subprocess, endpoint, and snapshot home."""
+    """One supervised shard: its subprocess, endpoint, and snapshot home.
+
+    A *retired* handle is the tombstone of a drained shard: its process is
+    reaped and its slot in :attr:`ClusterSupervisor.shards` is kept so
+    shard ids stay stable for the life of the cluster (ids are never
+    reused — the shard map and the journals refer to them by id).  On a
+    cold resume of a previously grown-and-drained cluster the handle may
+    be a pure placeholder with no process at all (``proc is None``).
+    """
 
     index: int
     snapshot_dir: Path
-    proc: subprocess.Popen
+    proc: Optional[subprocess.Popen]
     host: str
     port: int
     restarts: int = 0
+    retired: bool = False
 
     @property
     def alive(self) -> bool:
-        return self.proc.poll() is None
+        return (not self.retired and self.proc is not None
+                and self.proc.poll() is None)
 
 
 class ClusterSupervisor:
@@ -196,58 +206,121 @@ class ClusterSupervisor:
 
     # ----- lifecycle ------------------------------------------------------------------
 
-    def start(self) -> List[Tuple[str, int]]:
-        """Spawn every shard; returns their ``(host, port)`` endpoints."""
+    def _spawn(self, index: int) -> Tuple[subprocess.Popen, str, int]:
+        """Spawn one shard server, restoring its newest *valid* snapshot.
+
+        A fresh shard directory has no snapshots and starts empty; on a
+        restart (or a cold cluster resume) the shard comes back at its last
+        intact checkpoint — corrupt snapshot files are walked past, never
+        restored (:meth:`SnapshotStore.latest_valid`).
+        """
+        shard_dir = self.base_dir / f"shard-{index}"
+        store = SnapshotStore(shard_dir, format=self.snapshot_format)
+        latest = store.latest_valid()
+        if latest is not None:
+            extra = ["--restore", str(latest),
+                     *self._serve_args(index, shard_dir)]
+            return spawn_server_process("serve", None, extra)
+        return spawn_server_process(
+            "serve", self.params_file, self._serve_args(index, shard_dir)
+        )
+
+    def start(self, shard_ids: Optional[Sequence[int]] = None,
+              ) -> List[Tuple[str, int]]:
+        """Spawn every shard; returns the live ``(host, port)`` endpoints.
+
+        Without ``shard_ids`` this is the fresh-cluster path: shards
+        ``0..num_shards-1``.  With ``shard_ids`` (a cold resume from a
+        persisted shard map, possibly with drained gaps) only the named
+        ids get processes; the gaps become retired placeholder handles so
+        positional id lookups keep working.
+        """
         if self.shards:
             raise RuntimeError("supervisor already started")
-        for index in range(self.num_shards):
+        if shard_ids is None:
+            live = list(range(self.num_shards))
+        else:
+            live = sorted(int(i) for i in shard_ids)
+            if not live:
+                raise ValueError("shard_ids must name at least one shard")
+        for index in range(max(live) + 1):
             shard_dir = self.base_dir / f"shard-{index}"
-            proc, host, port = spawn_server_process(
-                "serve", self.params_file, self._serve_args(index, shard_dir)
-            )
-            self.shards.append(
-                ShardHandle(
-                    index=index,
-                    snapshot_dir=shard_dir,
-                    proc=proc,
-                    host=host,
-                    port=port,
-                )
-            )
+            if index in live:
+                proc, host, port = self._spawn(index)
+                handle = ShardHandle(index=index, snapshot_dir=shard_dir,
+                                     proc=proc, host=host, port=port)
+            else:
+                handle = ShardHandle(index=index, snapshot_dir=shard_dir,
+                                     proc=None, host="", port=0, retired=True)
+            self.shards.append(handle)
         return self.endpoints()
 
+    def add_shard(self) -> Tuple[int, str, int]:
+        """Spawn one additional shard; returns ``(shard_id, host, port)``.
+
+        The new shard takes the next never-used id (ids of drained shards
+        are not recycled) and starts with an empty aggregator — the
+        router's shard map guarantees it only ever receives traffic for
+        epochs after its activation cut.
+        """
+        if not self.shards:
+            raise RuntimeError("supervisor not started")
+        index = len(self.shards)
+        shard_dir = self.base_dir / f"shard-{index}"
+        proc, host, port = self._spawn(index)
+        self.shards.append(ShardHandle(index=index, snapshot_dir=shard_dir,
+                                       proc=proc, host=host, port=port))
+        return index, host, port
+
+    def retire(self, index: int) -> None:
+        """Reap a drained shard's process and tombstone its handle.
+
+        Idempotent — retiring a retired shard is a no-op, which is what a
+        crash-resumed drain needs.
+        """
+        shard = self.shards[index]
+        if not shard.retired:
+            self._reap(shard)
+            shard.retired = True
+
     def endpoints(self) -> List[Tuple[str, int]]:
-        """Current ``(host, port)`` of every shard, in shard order."""
-        return [(shard.host, shard.port) for shard in self.shards]
+        """Current ``(host, port)`` of every live shard, in shard order."""
+        return [(shard.host, shard.port) for shard in self.shards
+                if not shard.retired]
+
+    def endpoint_of(self, index: int) -> Tuple[str, int]:
+        """Current ``(host, port)`` of one shard by id."""
+        shard = self.shards[index]
+        if shard.retired:
+            raise ValueError(f"shard {index} is retired")
+        return shard.host, shard.port
+
+    def active_ids(self) -> List[int]:
+        """Ids of every non-retired shard, ascending."""
+        return [shard.index for shard in self.shards if not shard.retired]
 
     def poll(self) -> List[int]:
-        """Indices of shards whose process has exited."""
-        return [shard.index for shard in self.shards if not shard.alive]
+        """Indices of live shards whose process has exited."""
+        return [shard.index for shard in self.shards
+                if not shard.retired and not shard.alive]
 
     def restart(self, index: int) -> Tuple[str, int]:
-        """Restart one shard from its newest snapshot (fresh if none exists).
+        """Restart one shard from its newest valid snapshot (fresh if none).
 
         The dead (or wedged) process is reaped first; the replacement
-        restores the newest snapshot in the shard's own directory, so its
-        state is exactly the last acknowledged snapshot barrier — the
+        restores the newest *intact* snapshot in the shard's own directory
+        — a corrupt newest checkpoint falls back to the one before it — so
+        its state is exactly the last verified snapshot barrier and the
         router's journal replay covers everything since.
         """
         shard = self.shards[index]
+        if shard.retired:
+            raise ValueError(f"shard {index} is retired")
         self._reap(shard)
         # Bump the generation *before* spawning: on shm the replacement
         # must bind a fresh ring name, never its dead predecessor's.
         shard.restarts += 1
-        store = SnapshotStore(shard.snapshot_dir, format=self.snapshot_format)
-        latest = store.latest()
-        if latest is not None:
-            extra = ["--restore", str(latest),
-                     *self._serve_args(index, shard.snapshot_dir)]
-            proc, host, port = spawn_server_process("serve", None, extra)
-        else:
-            proc, host, port = spawn_server_process(
-                "serve", self.params_file,
-                self._serve_args(index, shard.snapshot_dir)
-            )
+        proc, host, port = self._spawn(index)
         shard.proc, shard.host, shard.port = proc, host, port
         return host, port
 
@@ -277,6 +350,8 @@ class ClusterSupervisor:
 
     @staticmethod
     def _reap(shard: ShardHandle) -> None:
+        if shard.proc is None:
+            return
         if shard.alive:
             try:
                 # A SIGSTOPped child never handles SIGTERM; thaw it first so

@@ -227,6 +227,29 @@ class AggregationClient:
         """Liveness probe; a cluster router replies with per-shard status."""
         return self._request({"type": "health"}, "health")
 
+    # ----- cluster membership (router peers only) ------------------------------------
+
+    def shard_map(self) -> Dict[str, object]:
+        """The router's current versioned shard map (plus its newest epoch)."""
+        return self._request({"type": "shard_map"}, "shard_map")
+
+    def add_shard(self) -> Dict[str, object]:
+        """Grow the cluster by one shard at the next epoch cut (§7.4)."""
+        return self._request({"type": "add_shard"}, "shard_added")
+
+    def drain_shard(self, shard: int,
+                    target: Optional[int] = None) -> Dict[str, object]:
+        """Drain ``shard``: reroute, hand its exact state off, then reap it."""
+        frame: Dict[str, object] = {"type": "drain_shard",
+                                    "shard": int(shard)}
+        if target is not None:
+            frame["target"] = int(target)
+        return self._request(frame, "drained")
+
+    def rolling_restart(self) -> Dict[str, object]:
+        """Checkpoint-restart every shard in sequence, zero data loss."""
+        return self._request({"type": "rolling_restart"}, "restarted")
+
     def shutdown(self) -> int:
         """Stop the server (drains first); returns the final report count."""
         reply = self._request({"type": "shutdown"}, "bye")
@@ -372,6 +395,23 @@ class AsyncAggregationClient:
 
     async def health(self) -> Dict[str, object]:
         return await self._request({"type": "health"}, "health")
+
+    async def shard_map(self) -> Dict[str, object]:
+        return await self._request({"type": "shard_map"}, "shard_map")
+
+    async def add_shard(self) -> Dict[str, object]:
+        return await self._request({"type": "add_shard"}, "shard_added")
+
+    async def drain_shard(self, shard: int,
+                          target: Optional[int] = None) -> Dict[str, object]:
+        frame: Dict[str, object] = {"type": "drain_shard",
+                                    "shard": int(shard)}
+        if target is not None:
+            frame["target"] = int(target)
+        return await self._request(frame, "drained")
+
+    async def rolling_restart(self) -> Dict[str, object]:
+        return await self._request({"type": "rolling_restart"}, "restarted")
 
     async def shutdown(self) -> int:
         reply = await self._request({"type": "shutdown"}, "bye")

@@ -42,7 +42,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.protocol.binary import pack_state
+from repro.protocol.binary import pack_state, unpack_state
 from repro.protocol.wire import PublicParams, ReportBatch, child_state
 from repro.server.framing import (
     WIRE_FORMATS,
@@ -165,6 +165,14 @@ class AggregationServer:
         #: only — a restarted shard must re-absorb its journal replay onto
         #: the restored snapshot, so forgetting the watermark is correct
         self._max_seq: Optional[int] = None
+        #: set once this shard answered a ``handoff`` frame: its state was
+        #: (or is being) handed off wholesale, so absorbing any further
+        #: report would lose it — reports are rejected from then on
+        self._draining = False
+        #: handoff ids already absorbed via ``absorb_state`` (spec §7.4);
+        #: persisted inside snapshots so a drain push retried across a
+        #: crash-restore can never double-count the handed-off state
+        self._handoffs: set = set()
 
     # ----- lifecycle ----------------------------------------------------------------
 
@@ -177,6 +185,7 @@ class AggregationServer:
         server = cls(windowed.params, window=windowed.window, **kwargs)
         server.windowed = windowed
         server.stats.reports_absorbed = windowed.num_reports
+        server._handoffs = {int(h) for h in payload.get("handoffs", [])}
         return server
 
     async def start(self, host: str = "127.0.0.1", port: int = 0, *,
@@ -369,6 +378,12 @@ class AggregationServer:
                     raise ValueError(
                         f"cannot ingest {batch.protocol!r} reports into a "
                         f"{self.params.protocol!r} server")
+                if self._draining:
+                    # The state already left (or is leaving) wholesale: a
+                    # report absorbed now would miss the handoff and vanish.
+                    self.stats.reports_rejected += len(batch)
+                    raise ValueError("this shard is draining: its state "
+                                     "was handed off")
             except Exception as exc:  # noqa: BLE001 - accounted in stats
                 self.stats.last_rejection = str(exc)
                 return True
@@ -432,6 +447,52 @@ class AggregationServer:
                     "num_reports": merged.num_reports,
                     "state": base64.b64encode(blob).decode("ascii")})
                 return True
+            if kind == "handoff":
+                # Drain pull (spec §7.4): stop absorbing, then ship the
+                # full per-epoch exact state as one packed blob.  Draining
+                # is set *before* the queue join so stragglers are rejected
+                # and the reply is idempotent — a retried pull (the router
+                # crashed mid-drain) reads the same frozen state.
+                hid = int(frame.get("handoff", 0))
+                # repro-lint: ignore[RPL302] the write is idempotent (True
+                # stays True across retried pulls), so the interleaving is
+                # harmless by design, not by timing
+                self._draining = True
+                await self._queue.join()
+                blob = pack_state(self.windowed.snapshot())
+                self.stats.queries_answered += 1
+                await write_frame(writer, {
+                    "type": "handoff_state",
+                    "handoff": hid,
+                    "protocol": self.params.protocol,
+                    "num_reports": self.windowed.num_reports,
+                    "state": base64.b64encode(blob).decode("ascii")})
+                return True
+            if kind == "absorb_state":
+                # Drain push: fold a drained shard's windowed snapshot into
+                # this one.  Deduped on the handoff id — the set survives
+                # snapshots/restores — so a push retried across any crash
+                # absorbs exactly once.
+                hid = int(frame.get("handoff", 0))
+                if hid in self._handoffs:
+                    await write_frame(writer, {
+                        "type": "absorbed",
+                        "handoff": hid,
+                        "absorbed": 0,
+                        "deduped": True,
+                        "num_reports": self.windowed.num_reports})
+                    return True
+                payload = unpack_state(base64.b64decode(str(frame["state"])))
+                absorbed = self.windowed.merge_snapshot(payload)
+                self._handoffs.add(hid)
+                self.stats.reports_absorbed += absorbed
+                await write_frame(writer, {
+                    "type": "absorbed",
+                    "handoff": hid,
+                    "absorbed": absorbed,
+                    "deduped": False,
+                    "num_reports": self.windowed.num_reports})
+                return True
             if kind == "snapshot":
                 if self.store is None:
                     raise ValueError("server was started without a snapshot "
@@ -441,6 +502,8 @@ class AggregationServer:
                     # capture synchronously (atomic w.r.t. the drain loop),
                     # then push the disk write off the event loop
                     payload = self.windowed.snapshot()
+                    if self._handoffs:
+                        payload["handoffs"] = sorted(self._handoffs)
                     path = await asyncio.get_running_loop().run_in_executor(
                         None, self.store.save, payload)
                 self.stats.snapshots_written += 1
@@ -462,7 +525,8 @@ class AggregationServer:
                     "epochs": self.windowed.epochs,
                     "num_reports": self.windowed.num_reports,
                     "state_size": self.windowed.state_size,
-                    "max_seq": self._max_seq})
+                    "max_seq": self._max_seq,
+                    "draining": self._draining})
                 return True
             if kind == "stats":
                 payload = self.stats.to_dict()

@@ -196,6 +196,45 @@ class WindowedAggregator:
                             **child_state(self._epochs[epoch])}
                            for epoch in sorted(self._epochs)]}
 
+    def merge_snapshot(self, data: Dict[str, object]) -> int:
+        """Fold another windowed snapshot into this one, epoch by epoch.
+
+        The wholesale-state half of a shard drain: the drained shard's
+        :meth:`snapshot` payload is merged into a survivor with the same
+        commutative integer-sum merge queries use, so the union aggregate
+        is bit-identical to one server that ingested both shards' reports.
+        Epochs already outside this aggregator's retention window are
+        skipped — exactly what a single server would have pruned.  Returns
+        the number of reports folded in.
+        """
+        if data.get("format") != WINDOW_SNAPSHOT_FORMAT:
+            raise ValueError(f"not a windowed snapshot: "
+                             f"format={data.get('format')!r}")
+        version = int(data.get("version", 0))
+        if version != _WINDOW_SNAPSHOT_VERSION:
+            raise ValueError(f"unsupported windowed snapshot version {version}")
+        params = PublicParams.from_dict(dict(data["params"]))
+        if params != self.params:
+            raise ValueError("cannot merge a snapshot taken under different "
+                             "public parameters")
+        absorbed = 0
+        for entry in data["epochs"]:
+            epoch = int(entry["epoch"])
+            incoming = self.params.make_aggregator()
+            load_child_state(incoming, entry)
+            existing = self._epochs.get(epoch)
+            if existing is None:
+                if self.window is not None and self._epochs and \
+                        epoch <= max(self._epochs) - self.window:
+                    continue
+                self._epochs[epoch] = incoming
+            else:
+                self._epochs[epoch] = merge_aggregators([existing, incoming])
+            absorbed += incoming.num_reports
+        if self._epochs:
+            self._prune()
+        return absorbed
+
     @staticmethod
     def from_snapshot(data: Dict[str, object]) -> "WindowedAggregator":
         """Rebuild a windowed collection from :meth:`snapshot` output."""

@@ -7,7 +7,9 @@ segment layouts.  Four modules hard-code pieces of that contract —
 ``repro/protocol/binary.py`` (header + payload structs),
 ``repro/server/framing.py`` (length prefix + frame limit),
 ``repro/transport/shm.py`` (ring/ctl segment headers — a *cross-process*
-layout: both endpoints map the same bytes), and
+layout: both endpoints map the same bytes),
+``repro/server/snapshot.py`` (the §6.2 checksummed snapshot container),
+``repro/cluster/journal.py`` (the §6.3 CRC record framing), and
 ``repro/cluster/router.py`` (anything it chooses to restate).  A PR that
 edits one side but not the other ships a silent protocol fork: old
 snapshots stop restoring, routers mis-split frames, ring peers read
@@ -77,6 +79,8 @@ def parse_wire_doc(text: str) -> WireSchema:
     binary: Dict[str, str] = {}
     framing: Dict[str, str] = {}
     shm: Dict[str, str] = {}
+    snap: Dict[str, str] = {}
+    journal: Dict[str, str] = {}
 
     def grab(name: str, pattern: str, base: int = 0) -> None:
         found = re.search(pattern, text, flags=re.MULTILINE)
@@ -113,6 +117,17 @@ def parse_wire_doc(text: str) -> WireSchema:
                 r"^skeleton_len\s+\(u\d+\).*num_columns\s+\(u\d+\).*$",
                 binary, "_STATE_FIXED")
 
+    # §6.2/§6.3: the snapshot container and the cluster journal framing
+    grab("SNAPSHOT_MAGIC", r"^snapshot_magic\s+=\s+(0x[0-9A-Fa-f]+|\d+)", 0)
+    grab("_MAX_RECORD_BYTES",
+         r"^max_record_bytes\s+=\s+(0x[0-9A-Fa-f]+|\d+)", 0)
+    grab_format("snapshot container", r"^container\s+:=.*$", snap,
+                "_CONTAINER_HEADER")
+    grab_format("journal record", r"^record\s+:=.*$", journal,
+                "_RECORD_HEADER")
+    grab_format("journal entry", r"^\s*entry\s+:=.*$", journal,
+                "_ENTRY_FIXED")
+
     # §9: the shared-memory ring segment layouts
     grab("RING_MAGIC", r"^ring_magic\s+=\s+(0x[0-9A-Fa-f]+|\d+)", 0)
     grab("CTL_MAGIC", r"^ctl_magic\s+=\s+(0x[0-9A-Fa-f]+|\d+)", 0)
@@ -137,6 +152,8 @@ def parse_wire_doc(text: str) -> WireSchema:
     schema.structs["protocol/binary.py"] = binary
     schema.structs["server/framing.py"] = framing
     schema.structs["transport/shm.py"] = shm
+    schema.structs["server/snapshot.py"] = snap
+    schema.structs["cluster/journal.py"] = journal
     return schema
 
 
@@ -148,6 +165,8 @@ _REQUIRED_CONSTANTS = {
     "server/framing.py": ("MAX_FRAME_BYTES",),
     "cluster/router.py": (),
     "transport/shm.py": ("RING_MAGIC", "CTL_MAGIC", "RING_VERSION"),
+    "server/snapshot.py": ("SNAPSHOT_MAGIC",),
+    "cluster/journal.py": ("_MAX_RECORD_BYTES",),
 }
 _REQUIRED_STRUCTS = {
     "protocol/binary.py": ("_HEADER", "_REPORTS_FIXED", "_ROUTE_FIELD",
@@ -155,6 +174,8 @@ _REQUIRED_STRUCTS = {
     "server/framing.py": ("_HEADER",),
     "cluster/router.py": (),
     "transport/shm.py": ("_RING_HEADER", "_CTL_HEADER", "_SLOT"),
+    "server/snapshot.py": ("_CONTAINER_HEADER",),
+    "cluster/journal.py": ("_RECORD_HEADER", "_ENTRY_FIXED"),
 }
 
 

@@ -1,0 +1,119 @@
+"""Regenerate the committed journal-recovery corpus (``corpus.json``).
+
+Every case is one raw journal *file image* (a byte string of CRC32-framed
+records, possibly damaged) plus the pinned verdict of
+:func:`repro.cluster.journal.scan_records`: exactly which record payloads
+replay, and the byte offset the file must be truncated to.  The corpus
+pins the write-ahead-log recovery rule the cluster tier relies on — **a
+torn or corrupt tail is truncated, never parsed, and never raises** —
+against the damage shapes a real crash (or the chaos harness) produces:
+torn headers, short payloads, flipped bytes, scribbled lengths, and a
+tail record that was duplicated by a replayed append.
+
+Deterministic by construction (fixed payload bytes, no seeds, no wall
+clock): running
+
+    PYTHONPATH=src python tests/data/journal_corpus/generate.py
+
+must reproduce the committed ``corpus.json`` byte for byte; the test
+runner (``tests/test_journal.py``) enforces exactly that, so the
+generator and the committed corpus cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+import sys
+import zlib
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[3] / "src"))
+
+OUT = Path(__file__).parent / "corpus.json"
+
+_HEADER = struct.Struct("<II")
+
+
+def _record(payload: bytes) -> bytes:
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _flip(raw: bytes, offset: int) -> bytes:
+    mutated = bytearray(raw)
+    mutated[offset] ^= 0xFF
+    return bytes(mutated)
+
+
+# three well-formed payloads every damaged case is built from; JSON-shaped
+# like membership-journal entries so the corpus reads as what it models
+P1 = b'{"op":"add","shard":2,"step":"spawned"}'
+P2 = b'{"op":"add","shard":2,"step":"map-committed","cut_epoch":3}'
+P3 = b'{"op":"drain","shard":0,"step":"handoff","target":1}'
+
+R1, R2, R3 = _record(P1), _record(P2), _record(P3)
+
+
+def _cases():
+    clean = R1 + R2 + R3
+    cases = [
+        # ----- fully replayable images ------------------------------------------------
+        ("clean", clean, [P1, P2, P3], len(clean),
+         "three intact records replay completely"),
+        ("empty-file", b"", [], 0,
+         "an empty journal replays to nothing"),
+        ("zero-length-record", R1 + _record(b""), [P1, b""],
+         len(R1) + _HEADER.size,
+         "an empty payload is a valid record (frame-journal barriers)"),
+        ("duplicated-tail-record", clean + R3, [P1, P2, P3, P3],
+         len(clean) + len(R3),
+         "a re-appended tail record replays twice — byte-level recovery "
+         "keeps it; the §7.1 delivery-sequence dedup one level up drops it"),
+        # ----- torn tails (crash mid-append) ------------------------------------------
+        ("torn-header", R1 + R2 + R3[:5], [P1, P2], len(R1) + len(R2),
+         "5 bytes of a record header: incomplete, truncated"),
+        ("torn-payload", R1 + R2 + R3[: _HEADER.size + 7], [P1, P2],
+         len(R1) + len(R2),
+         "header announces more payload than the file holds"),
+        ("torn-first-record", R1[: len(R1) - 1], [], 0,
+         "a single torn record truncates to an empty journal"),
+        # ----- corruption behind the tail (scribbled sector) --------------------------
+        ("flipped-payload-byte", _flip(clean, len(R1) + _HEADER.size + 4),
+         [P1], len(R1),
+         "a flipped byte mid-payload fails the CRC; that record and "
+         "everything after it is discarded"),
+        ("flipped-crc-field", _flip(clean, len(R1) + 4), [P1], len(R1),
+         "a flipped byte in the stored CRC discards the record"),
+        ("flipped-first-byte", _flip(clean, 0), [], 0,
+         "a scribbled first length byte discards the whole journal"),
+        ("scribbled-huge-length",
+         R1 + _HEADER.pack(1 << 31, 0) + P2, [P1], len(R1),
+         "an absurd announced length is refused outright, never allocated"),
+    ]
+    return cases
+
+
+def main() -> None:
+    cases = []
+    for name, raw, payloads, valid_length, note in _cases():
+        assert valid_length <= len(raw), name
+        cases.append({
+            "name": name,
+            "raw_b64": base64.b64encode(raw).decode("ascii"),
+            "payloads_b64": [base64.b64encode(p).decode("ascii")
+                             for p in payloads],
+            "valid_length": valid_length,
+            "note": note,
+        })
+    document = {
+        "format": "repro-journal-corpus",
+        "version": 1,
+        "cases": cases,
+    }
+    OUT.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(cases)} cases to {OUT}")
+
+
+if __name__ == "__main__":
+    main()

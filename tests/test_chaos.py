@@ -22,6 +22,7 @@ import pytest
 from repro.chaos import (
     CLIENT_WIRE_KINDS,
     FAULT_KINDS,
+    MEMBERSHIP_KINDS,
     PROCESS_KINDS,
     WIRE_KINDS,
     ChaosRunner,
@@ -114,6 +115,97 @@ class TestFaultSchedule:
             FaultSchedule.generate(0, num_frames=1, num_shards=2)
         with pytest.raises(ValueError, match="num_shards"):
             FaultSchedule.generate(0, num_frames=10, num_shards=0)
+
+
+# --------------------------------------------------------------------------------------
+# the membership-mode schedule (chaos-test --membership)
+# --------------------------------------------------------------------------------------
+
+class TestMembershipSchedule:
+    def _generate(self, seed=7, **overrides):
+        kwargs = dict(num_frames=24, num_shards=2, add_frame=6,
+                      drain_frame=12, drain_shard=0)
+        kwargs.update(overrides)
+        return FaultSchedule.generate_membership(seed, **kwargs)
+
+    def test_same_seed_same_schedule_and_digest(self):
+        a, b = self._generate(), self._generate()
+        assert a.events == b.events
+        assert a.digest() == b.digest()
+        assert self._generate(seed=8).digest() != a.digest()
+
+    def test_covers_every_membership_kind_plus_one_kill(self):
+        for seed in range(5):
+            schedule = self._generate(seed=seed)
+            assert set(schedule.kinds) == set(MEMBERSHIP_KINDS) | {"kill"}, \
+                seed
+
+    def test_placement_respects_the_transition_choreography(self):
+        for seed in range(8):
+            schedule = self._generate(seed=seed)
+            by_kind = {event.kind: event for event in schedule.events}
+            # corrupt-snapshot fires before the add (original shards only)
+            corrupt = by_kind["corrupt-snapshot"]
+            assert 1 <= corrupt.frame < 6
+            assert corrupt.shard in (0, 1)
+            # torn-journal fires strictly between add and drain, at the
+            # router (it restarts the whole routing tier)
+            tear = by_kind["torn-journal"]
+            assert 6 < tear.frame < 12
+            assert tear.target == "router"
+            # the plain kill targets the freshly added shard, after the add
+            kill = by_kind["kill"]
+            assert kill.shard == 2
+            assert 6 < kill.frame < 12
+            # drain-race SIGKILLs the drained shard exactly at the drain
+            race = by_kind["drain-race"]
+            assert race.frame == 12
+            assert race.shard == 0
+
+    def test_membership_faults_partition(self):
+        schedule = self._generate()
+        membership = {e for events in schedule.membership_faults().values()
+                      for e in events}
+        process = {e for events in schedule.process_faults().values()
+                   for e in events}
+        assert all(e.kind in MEMBERSHIP_KINDS for e in membership)
+        assert all(e.kind in PROCESS_KINDS for e in process)
+        assert membership | process == set(schedule.events)
+        assert not (membership & process)
+
+    def test_round_trip_preserves_digest(self, tmp_path):
+        schedule = self._generate()
+        clone = FaultSchedule.from_dict(schedule.to_dict())
+        assert clone.events == schedule.events
+        path = schedule.save(tmp_path / "membership-sched.json")
+        assert FaultSchedule.load(path).digest() == schedule.digest()
+
+    def test_rejects_degenerate_choreography(self):
+        with pytest.raises(ValueError, match="add_frame"):
+            self._generate(add_frame=12, drain_frame=6)
+        with pytest.raises(ValueError, match="add_frame"):
+            self._generate(add_frame=0)
+        with pytest.raises(ValueError, match="add_frame"):
+            self._generate(drain_frame=30, num_frames=24)
+        with pytest.raises(ValueError, match="drain_shard"):
+            self._generate(drain_shard=5)
+
+    def test_membership_kinds_do_not_perturb_default_schedules(self):
+        # MEMBERSHIP_KINDS must stay out of FAULT_KINDS: the default
+        # generator cycles that tuple, so folding them in would silently
+        # change every existing seeded schedule and its replay digest
+        assert not set(MEMBERSHIP_KINDS) & set(FAULT_KINDS)
+        schedule = FaultSchedule.generate(7, num_frames=24, num_shards=3)
+        assert all(e.kind in FAULT_KINDS for e in schedule.events)
+
+    def test_membership_event_validation(self):
+        with pytest.raises(ValueError, match="must target a shard"):
+            FaultEvent("client", 1, "drain-race")
+        with pytest.raises(ValueError, match="must target a shard"):
+            FaultEvent("router", 1, "corrupt-snapshot")
+        with pytest.raises(ValueError, match="target the\n?.*router|router"):
+            FaultEvent("shard-0", 1, "torn-journal")
+        assert FaultEvent("router", 3, "torn-journal").shard is None
 
 
 # --------------------------------------------------------------------------------------
@@ -382,3 +474,27 @@ class TestChaosRunnerIntegration:
         assert result.schedule.seed == 7
         assert result.health.get("status") == "ok"
         assert result.num_users == 4_000
+
+    @pytest.mark.parametrize("transport", ["tcp", "shm"])
+    def test_membership_run_is_bit_identical(self, tmp_path, transport):
+        # grow 2→3, drain back to 2, under all three membership fault
+        # kinds plus a kill of the freshly added shard — still bit-exact
+        runner = ChaosRunner(num_users=2_000, num_shards=2, seed=7,
+                             domain_size=1024, base_dir=tmp_path,
+                             membership=True, transport=transport)
+        result = runner.run()
+        assert result.identical
+        assert np.array_equal(result.served, result.expected)
+        assert set(result.fired_kinds) == \
+            {"kill", "drain-race", "torn-journal", "corrupt-snapshot"}
+        detail = result.membership
+        assert detail["transport"] == transport
+        assert detail["add"]["type"] == "shard_added"
+        assert detail["add"]["shard"] == 2
+        assert detail["drain"]["type"] == "drained"
+        assert detail["drain"]["shard"] == detail["drain_shard"]
+        final = detail["final_map"]
+        active = sorted(s["id"] for s in final["shards"]
+                        if s["status"] == "active")
+        assert active == sorted({0, 1, 2} - {detail["drain_shard"]})
+        assert final["retired"] == [detail["drain_shard"]]

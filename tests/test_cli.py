@@ -128,3 +128,68 @@ class TestBenchCommand:
         by_workers = {row["workers"]: row for row in rows}
         assert by_workers[1]["speedup_vs_1"] == 1.0
         assert by_workers[2]["identical_to_1_worker"] is True
+
+
+class TestMembershipScript:
+    """The ``--membership add:FRAC,drain:FRAC[:SHARD]`` mini-language."""
+
+    def _parse(self, text):
+        from repro.cli import _parse_membership_script
+        return _parse_membership_script(text)
+
+    def test_single_add(self):
+        assert self._parse("add:0.5") == [(0.5, "add", 0)]
+
+    def test_drain_defaults_to_shard_zero(self):
+        assert self._parse("drain:0.25") == [(0.25, "drain", 0)]
+
+    def test_drain_with_explicit_shard(self):
+        assert self._parse("drain:0.75:3") == [(0.75, "drain", 3)]
+
+    def test_list_is_sorted_by_fraction(self):
+        script = self._parse("drain:0.66:1,add:0.33")
+        assert script == [(0.33, "add", 0), (0.66, "drain", 1)]
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ValueError, match="add:FRAC"):
+            self._parse("shrink:0.5")
+
+    def test_rejects_missing_fraction(self):
+        with pytest.raises(ValueError, match="add:FRAC"):
+            self._parse("add")
+
+    def test_rejects_non_numeric_fraction(self):
+        with pytest.raises(ValueError, match="bad fraction"):
+            self._parse("add:half")
+
+    @pytest.mark.parametrize("fraction", ["0", "1", "1.5", "-0.2"])
+    def test_rejects_out_of_range_fractions(self, fraction):
+        with pytest.raises(ValueError, match="strictly between"):
+            self._parse(f"add:{fraction}")
+
+    def test_rejects_shard_id_on_add(self):
+        with pytest.raises(ValueError, match="only drain"):
+            self._parse("add:0.5:2")
+
+    def test_parser_wires_the_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["load-test", "--cluster", "2",
+                                  "--membership", "add:0.33,drain:0.66"])
+        assert args.membership == "add:0.33,drain:0.66"
+        args = parser.parse_args(["chaos-test", "--membership",
+                                  "--transport", "shm"])
+        assert args.membership is True
+        assert args.transport == "shm"
+        assert args.min_kinds is None
+        args = parser.parse_args(["cluster-ctl", "drain-shard", "--server",
+                                  "127.0.0.1:9000", "--shard", "1"])
+        assert args.verb == "drain-shard"
+        assert args.shard == 1
+
+    def test_load_test_membership_requires_cluster(self, capsys):
+        assert main(["load-test", "--membership", "add:0.5"]) == 2
+        assert "--cluster" in capsys.readouterr().err
+
+    def test_chaos_membership_requires_two_shards(self, capsys):
+        assert main(["chaos-test", "--membership", "--cluster", "1"]) == 2
+        assert "--cluster" in capsys.readouterr().err

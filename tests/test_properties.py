@@ -250,3 +250,106 @@ def test_snapshot_restore_mid_sequence_is_invisible(name, params, data):
 
     assert revived.snapshot() == straight.snapshot()
     assert revived.num_reports == sum(sizes)
+
+
+# --------------------------------------------------------------------------------------
+# elastic membership (the shard map's exactness guarantee)
+# --------------------------------------------------------------------------------------
+#
+# Growing and draining the cluster mid-stream is exact for the same
+# algebraic reason sharding is: a grow only adds a routing entry at an
+# unseen epoch cut, a drain only rewrites owners and merges the drained
+# shard's state wholesale — no report is ever lost or double-counted.
+# Hypothesis drives *any* add/drain script at *any* point in the stream,
+# with arbitrary (not even monotone) epoch tags, and the merged cluster
+# state must equal the offline engine bit for bit.
+
+def _drive_elastic(params, batches, routes, tags, script):
+    """Route an epoch-tagged chunk stream through a mutating ShardMap,
+    applying add/drain transitions exactly as the router does, and return
+    the final map plus the merge of every surviving shard."""
+    from repro.cluster.shardmap import ShardMap
+    from repro.engine import ShardPartition
+    from repro.protocol.wire import merge_aggregators
+
+    shard_map = ShardMap.initial(2, ShardPartition.sample(2, rng=0))
+    aggs = {sid: params.make_aggregator() for sid in shard_map.shard_ids}
+    ops_at = {}
+    for index, op in script:
+        ops_at.setdefault(index, []).append(op)
+    seen_epoch = -1
+    for i, batch in enumerate(batches):
+        for op in ops_at.get(i, ()):
+            if op[0] == "add":
+                new = shard_map.next_id
+                joined = shard_map.with_joining(new)
+                last_cut = shard_map.entries[-1].cut_epoch
+                cut = max(seen_epoch + 1,
+                          0 if last_cut is None else last_cut + 1)
+                partition = ShardPartition.sample(
+                    len(joined.active_ids) + 1, rng=shard_map.version)
+                shard_map = joined.with_activated(new, cut, partition)
+                aggs[new] = params.make_aggregator()
+            else:  # ("drain", position)
+                active = shard_map.active_ids
+                if len(active) < 2:
+                    continue  # the last shard can never drain
+                victim = active[op[1] % len(active)]
+                target = active[(op[1] + 1) % len(active)]
+                shard_map = shard_map.with_drained_routing(victim, target)
+                # the epoch-boundary handoff: packed exact state moves
+                # wholesale to the merge target, then the id is retired
+                aggs[target] = aggs[target].merge(aggs.pop(victim))
+                shard_map = shard_map.with_removed(victim)
+        seen_epoch = max(seen_epoch, tags[i])
+        owner = shard_map.shard_for(routes[i], tags[i])
+        aggs[owner].absorb_batch(batch)
+    return shard_map, merge_aggregators(list(aggs.values()))
+
+
+@pytest.mark.parametrize("name,params", PROTOCOL_CASES, ids=PROTOCOL_IDS)
+@given(data=st.data())
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_elastic_membership_matches_offline_engine(name, params, data):
+    """Any add/drain script at any epoch cuts: merged state == offline."""
+    from repro.engine import encode_stream, run_simulation
+
+    seed = data.draw(st.integers(min_value=0, max_value=2**31 - 1),
+                     label="seed")
+    num_users = data.draw(st.integers(min_value=60, max_value=240),
+                          label="num_users")
+    chunk_size = data.draw(st.integers(min_value=20, max_value=80),
+                           label="chunk_size")
+    gen = np.random.default_rng(seed)
+    values = gen.integers(0, params.domain_size, size=num_users)
+    offline = run_simulation(params, values,
+                             rng=np.random.default_rng(seed),
+                             chunk_size=chunk_size)
+    batches = list(encode_stream(params, values,
+                                 rng=np.random.default_rng(seed),
+                                 chunk_size=chunk_size))
+    routes, start = [], 0
+    for batch in batches:
+        routes.append(start)
+        start += len(batch)
+    n = len(batches)
+    tags = data.draw(st.lists(st.integers(min_value=0, max_value=5),
+                              min_size=n, max_size=n), label="epochs")
+    num_ops = data.draw(st.integers(min_value=0, max_value=4),
+                        label="num_ops")
+    script = [
+        (data.draw(st.integers(min_value=0, max_value=n - 1),
+                   label=f"op{k}_index"),
+         (("add",) if data.draw(st.booleans(), label=f"op{k}_is_add")
+          else ("drain", data.draw(st.integers(min_value=0, max_value=7),
+                                   label=f"op{k}_victim"))))
+        for k in range(num_ops)
+    ]
+
+    final_map, merged = _drive_elastic(params, batches, routes, tags, script)
+    assert merged.snapshot() == offline.aggregator.snapshot()
+    assert merged.num_reports == num_users
+    # tombstones never shrink and never collide with live ids
+    assert not set(final_map.retired) & set(final_map.shard_ids)
+    assert final_map.next_id > max(final_map.shard_ids)

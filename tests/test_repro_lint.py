@@ -356,6 +356,8 @@ class TestWireSchemaRules:
             "MAX_FRAME_BYTES": 1 << 30,
             "RING_MAGIC": 0x52494E47, "CTL_MAGIC": 0x444F4F52,
             "RING_VERSION": 1,
+            "SNAPSHOT_MAGIC": 0x504E5352,
+            "_MAX_RECORD_BYTES": 1 << 30,
         }
         assert schema.structs["protocol/binary.py"] == {
             "_HEADER": "<BBBB", "_REPORTS_FIXED": "<qQHH",
@@ -365,6 +367,12 @@ class TestWireSchemaRules:
         assert schema.structs["transport/shm.py"] == {
             "_RING_HEADER": "<IIQQQII", "_CTL_HEADER": "<IIII",
             "_SLOT": "<II",
+        }
+        assert schema.structs["server/snapshot.py"] == {
+            "_CONTAINER_HEADER": "<III",
+        }
+        assert schema.structs["cluster/journal.py"] == {
+            "_RECORD_HEADER": "<II", "_ENTRY_FIXED": "<IQ",
         }
 
     def test_matching_modules_are_clean(self, tmp_path):

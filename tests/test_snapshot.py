@@ -24,7 +24,13 @@ from repro.protocol import (
     RapporParams,
     ServerAggregator,
 )
-from repro.server.snapshot import SnapshotStore, read_snapshot, write_snapshot
+from repro.server.snapshot import (
+    SNAPSHOT_MAGIC,
+    SnapshotCorruptError,
+    SnapshotStore,
+    read_snapshot,
+    write_snapshot,
+)
 from repro.server.window import WindowedAggregator
 
 DOMAIN = 1 << 12
@@ -215,11 +221,109 @@ class TestWindowedAggregator:
             WindowedAggregator.from_snapshot({"format": "nope"})
 
 
+class TestChecksummedContainer:
+    """The fixed container every snapshot ships in (wire-protocol §6.2):
+    a flipped bit or short read raises the typed
+    :class:`SnapshotCorruptError` before any state is parsed."""
+
+    def _payload(self):
+        return {"format": "demo", "values": list(range(32)), "n": 7}
+
+    def test_container_header_layout(self, tmp_path):
+        import struct
+        import zlib
+
+        path = write_snapshot(tmp_path / "snap.json", self._payload())
+        raw = path.read_bytes()
+        magic, crc, length = struct.unpack_from("<III", raw, 0)
+        body = raw[12:]
+        assert magic == SNAPSHOT_MAGIC
+        assert length == len(body)
+        assert crc == zlib.crc32(body)
+
+    @pytest.mark.parametrize("format", ["json", "binary"])
+    def test_round_trip_both_encodings(self, tmp_path, format):
+        params = HashtogramParams.create(DOMAIN, 1.0, num_buckets=16, rng=0)
+        values = np.random.default_rng(0).integers(0, DOMAIN, size=1000)
+        batch = params.make_encoder().encode_batch(values,
+                                                   np.random.default_rng(1))
+        windowed = WindowedAggregator(params)
+        windowed.absorb_batch(batch, epoch=0)
+        path = write_snapshot(tmp_path / "snap", windowed.snapshot(), format)
+        restored = WindowedAggregator.from_snapshot(read_snapshot(path))
+        queries = np.arange(256)
+        assert np.array_equal(restored.finalize().estimate_many(queries),
+                              windowed.finalize().estimate_many(queries))
+
+    def test_flipped_body_byte_is_loud(self, tmp_path):
+        path = write_snapshot(tmp_path / "snap.json", self._payload())
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotCorruptError, match="checksum mismatch"):
+            read_snapshot(path)
+
+    def test_truncated_body_is_loud(self, tmp_path):
+        path = write_snapshot(tmp_path / "snap.json", self._payload())
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 10])
+        with pytest.raises(SnapshotCorruptError, match="announces"):
+            read_snapshot(path)
+
+    def test_truncated_header_is_loud(self, tmp_path):
+        path = write_snapshot(tmp_path / "snap.json", self._payload())
+        path.write_bytes(path.read_bytes()[:7])
+        with pytest.raises(SnapshotCorruptError, match="truncated"):
+            read_snapshot(path)
+
+    def test_corrupt_error_is_a_value_error(self):
+        # one except clause catches both on every restore path
+        assert issubclass(SnapshotCorruptError, ValueError)
+
+    def test_legacy_headerless_json_still_restores(self, tmp_path):
+        # files written before the container existed start with '{' — they
+        # must keep restoring through the same entry point
+        import json as json_mod
+
+        path = tmp_path / "legacy.json"
+        path.write_text(json_mod.dumps(self._payload()))
+        assert read_snapshot(path) == self._payload()
+
+    def test_write_rejects_unknown_format(self, tmp_path):
+        with pytest.raises(ValueError, match="snapshot format"):
+            write_snapshot(tmp_path / "snap", {}, format="yaml")
+
+
 class TestSnapshotStore:
     def test_atomic_write_and_read(self, tmp_path):
         path = write_snapshot(tmp_path / "snap.json", {"a": [1, 2, 3]})
         assert read_snapshot(path) == {"a": [1, 2, 3]}
         assert not (tmp_path / "snap.json.tmp").exists()
+
+    def test_latest_valid_walks_past_corruption(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=4)
+        for i in range(3):
+            store.save({"seq": i})
+        newest = store.latest()
+        raw = bytearray(newest.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        newest.write_bytes(bytes(raw))
+        # latest() still points at the damaged file; latest_valid() walks
+        # back to the newest restorable checkpoint instead
+        assert store.latest() == newest
+        valid = store.latest_valid()
+        assert valid is not None and valid != newest
+        path, payload = store.load_latest_valid()
+        assert path == valid
+        assert payload == {"seq": 1}
+
+    def test_latest_valid_none_when_everything_is_damaged(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=2)
+        store.save({"seq": 0})
+        for path in tmp_path.iterdir():
+            path.write_bytes(b"\x52garbage")  # container first byte, bad rest
+        assert store.latest_valid() is None
+        assert store.load_latest_valid() is None
 
     def test_sequence_numbers_and_pruning(self, tmp_path):
         store = SnapshotStore(tmp_path, keep=2)

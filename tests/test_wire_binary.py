@@ -45,7 +45,11 @@ from repro.server import (
     encode_reports_frame,
     read_frame_sync,
 )
-from repro.server.snapshot import read_snapshot, write_snapshot
+from repro.server.snapshot import (
+    SNAPSHOT_MAGIC,
+    read_snapshot,
+    write_snapshot,
+)
 
 DOMAIN = 1 << 12
 
@@ -305,7 +309,12 @@ class TestStateContainer:
         payload = windowed.snapshot()
         json_path = write_snapshot(tmp_path / "snap.json", payload, "json")
         bin_path = write_snapshot(tmp_path / "snap.bin", payload, "binary")
-        assert (tmp_path / "snap.bin").read_bytes()[0] == BINARY_MAGIC
+        # Both files wear the checksummed snapshot container; the *body* of
+        # the binary one is a BINARY_MAGIC state container (that first byte
+        # is what read_snapshot sniffs the encoding from).
+        raw = (tmp_path / "snap.bin").read_bytes()
+        assert raw[0] == SNAPSHOT_MAGIC & 0xFF
+        assert raw[12] == BINARY_MAGIC
         queries = np.arange(128)
         expected = windowed.finalize().estimate_many(queries)
         for path in (json_path, bin_path):
