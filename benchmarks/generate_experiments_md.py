@@ -1,12 +1,17 @@
-"""Regenerate EXPERIMENTS.md from the experiment drivers.
+"""Regenerate EXPERIMENTS.md — a shim over the matrix runner.
 
-Runs every experiment and writes the measured tables, together with the
-paper-vs-measured commentary, into ``EXPERIMENTS.md`` at the repository root.
+Historically this script owned the EXPERIMENTS.md sections and their
+configurations; both now live in the matrix harness
+(``experiments/configs/paper.yaml`` + :mod:`repro.experiments.matrix.paper`),
+and this file survives only so existing muscle memory and docs links keep
+working.  It is exactly equivalent to::
 
-Two configurations:
+    python -m repro.cli matrix render experiments/configs/paper.yaml [--quick]
 
-* default (full): the benchmark-harness configuration — the same drivers run
-  under ``pytest benchmarks/ --benchmark-only``;
+Two configurations, as before:
+
+* default (full): the benchmark-harness configurations — the same drivers
+  run under ``pytest benchmarks/ --benchmark-only``;
 * ``--quick``: the exact quick configurations of
   ``python -m repro.cli run <experiment> --quick``, with host-dependent
   timing columns omitted so the output is deterministic.  This is what the
@@ -22,331 +27,26 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
-from repro.experiments import (
-    ComposedRRConfig,
-    ErrorCurveConfig,
-    FrequencyOracleConfig,
-    GenProtConfig,
-    GroupositionConfig,
-    HashingAblationConfig,
-    HashtogramAblationConfig,
-    ListRecoveryConfig,
-    LowerBoundConfig,
-    MaxInformationConfig,
-    Table1Config,
-    format_markdown_table,
-    run_anti_concentration,
-    run_composed_rr,
-    run_counting_lower_bound,
-    run_error_vs_beta,
-    run_error_vs_epsilon,
-    run_error_vs_n,
-    run_frequency_oracle,
-    run_genprot,
-    run_grouposition,
-    run_hashing_ablation,
-    run_hashtogram_ablation,
-    run_list_recovery,
-    run_max_information,
-    run_table1,
-    theoretical_rows,
-)
-
-
-HEADER = """# EXPERIMENTS — paper vs. measured
-
-This file is regenerated by ``python benchmarks/generate_experiments_md.py``;
-the same drivers run under ``pytest benchmarks/ --benchmark-only``.  The paper
-is a theory paper: its quantitative content is Table 1 plus the theorem
-statements, so "paper value" below means the asymptotic formula evaluated at
-the experiment's parameters (unit constants unless stated), and the check is
-on *shape* — who wins, how quantities scale in n, β, ε, k — not on absolute
-constants (see the scope note in README.md).
-
-All measurements below come from the in-process simulator (users are simulated
-locally and the server aggregation is real); timings are host-dependent.
-"""
-
-QUICK_HEADER = """# EXPERIMENTS — paper vs. measured (quick configuration)
-
-This file is regenerated by
-``python benchmarks/generate_experiments_md.py --quick`` and checked for
-drift in CI; every table below is exactly what
-``python -m repro.cli run <experiment> --quick`` prints (deterministic seeds;
-host-dependent timing columns are omitted).  For the larger benchmark-harness
-configuration, run ``python benchmarks/generate_experiments_md.py`` without
-``--quick`` — the same drivers also run under
-``pytest benchmarks/ --benchmark-only``.
-
-The paper is a theory paper: its quantitative content is Table 1 plus the
-theorem statements, so "paper value" below means the asymptotic formula
-evaluated at the experiment's parameters (unit constants unless stated), and
-the check is on *shape* — who wins, how quantities scale in n, β, ε, k — not
-on absolute constants (see the scope note in README.md).
-
-All measurements come from the in-process simulator (users are simulated
-locally and the server aggregation is real).
-"""
-
-SECTIONS = []
-
-
-def section(title: str, commentary: str, cli_name: str):
-    """Register a section; ``cli_name`` ties it to its ``repro.cli run`` entry."""
-    def decorator(func):
-        SECTIONS.append((title, commentary, cli_name, func))
-        return func
-    return decorator
-
-
-def _strip_host_dependent(rows):
-    """Drop measured timing columns (keep formula strings like ``O~(n)``)."""
-    drop = set()
-    for row in rows:
-        for key, value in row.items():
-            if "time" in key and not isinstance(value, str):
-                drop.add(key)
-    if not drop:
-        return rows
-    return [{k: v for k, v in row.items() if k not in drop} for row in rows]
-
-
-@section(
-    "T1 — Table 1: protocol comparison",
-    "Paper: this work and [3] run in O~(n) server time with O~(1) user time and "
-    "O(1) communication, while [4]-style protocols pay a runtime at least linear "
-    "in |X| (here: the scan column, run on a reduced domain because it cannot "
-    "scale); the error columns order as this work < [3] < [4] once β is small. "
-    "Measured: the expander sketch and the single-hash baseline have comparable "
-    "per-user costs and both recover every planted heavy hitter; the domain-scan "
-    "baseline's server memory is |X|-sized, as predicted. Note the measured "
-    "per-coordinate-oracle server memory is polylog-dominated at laptop scale "
-    "(see the caveat in README).",
-    cli_name="table1",
-)
-def _table1():
-    config = Table1Config(num_users=60_000, domain_size=1 << 20, epsilon=4.0,
-                          beta=0.05, heavy_fractions=[0.3, 0.22, 0.15],
-                          scan_domain_size=1 << 14, rng=0)
-    return [("Measured", run_table1(config)),
-            ("Asymptotic formulas at these parameters", theoretical_rows(config))]
-
-
-@section(
-    "E1 — error / detection threshold vs failure probability β",
-    "Paper: Theorem 3.13's error carries sqrt(log(|X|/β)) while Theorem 3.3 "
-    "(the [3] reduction) pays an extra sqrt(log(1/β)) because it amplifies by "
-    "repetitions. Measured: the baseline's repetition count grows as β shrinks "
-    "and its detection threshold degrades, while the expander sketch's "
-    "construction (and measured threshold) is unchanged across five orders of "
-    "magnitude of β — the paper's headline improvement.",
-    cli_name="error-vs-beta",
-)
-def _error_vs_beta():
-    config = ErrorCurveConfig(num_users=40_000, domain_size=1 << 20, epsilon=4.0,
-                              betas=[0.2, 0.05, 0.01, 1e-3, 1e-5], rng=0)
-    return [("Detection threshold vs β", run_error_vs_beta(config))]
-
-
-@section(
-    "E2 — estimation error vs number of users n",
-    "Paper: error grows like sqrt(n) (Theorem 3.13). Measured: the worst "
-    "estimation error over recovered planted elements stays within a small "
-    "constant multiple of the (1/ε)·sqrt(n·log(|X|/β)) envelope across an 8x "
-    "sweep of n.",
-    cli_name="error-vs-n",
-)
-def _error_vs_n():
-    config = ErrorCurveConfig(domain_size=1 << 20, epsilon=4.0, beta=0.05,
-                              num_users_sweep=[10_000, 20_000, 40_000, 80_000],
-                              rng=1)
-    return [("Error vs n", run_error_vs_n(config))]
-
-
-@section(
-    "E3 — estimation error vs privacy parameter ε",
-    "Paper: error scales as 1/ε. Measured: the error envelope halves as ε "
-    "doubles and the measured errors stay inside it.",
-    cli_name="error-vs-epsilon",
-)
-def _error_vs_epsilon():
-    config = ErrorCurveConfig(num_users=40_000, domain_size=1 << 20, beta=0.05,
-                              epsilon_sweep=[2.0, 4.0, 8.0], rng=2)
-    return [("Error vs ε", run_error_vs_epsilon(config))]
-
-
-@section(
-    "E4 — frequency-oracle error (Theorems 3.7 / 3.8)",
-    "Paper: Hashtogram answers any query with error O((1/ε)·sqrt(n·log(min(n,|X|)/β))) "
-    "using O~(sqrt(n)) server memory. Measured: worst-case error over 200 queries "
-    "stays within a small constant multiple (< 4x) of the unit-constant formula at "
-    "every domain size, is essentially flat in |X| as the formula predicts, and the "
-    "hashing oracle's memory does not grow with the domain.",
-    cli_name="frequency-oracle",
-)
-def _frequency_oracle():
-    config = FrequencyOracleConfig(num_users=30_000, epsilon=1.0, beta=0.05,
-                                   domain_sizes=[1 << 8, 1 << 12, 1 << 16, 1 << 20],
-                                   num_queries=200, rng=0)
-    return [("Oracle error vs domain size", run_frequency_oracle(config))]
-
-
-@section(
-    "E5 — advanced grouposition (Theorem 4.2)",
-    "Paper: group privacy in the local model degrades like kε²/2 + ε·sqrt(2k·ln(1/δ)) "
-    "≈ sqrt(k)·ε instead of the central model's kε. Measured: the (1-δ)-quantile of "
-    "the actual privacy loss of k randomized-response reports hugs the sqrt(k) curve, "
-    "stays below the Theorem 4.2 bound at every k, and the advantage over kε grows "
-    "with k (≈6x at k=1024 for ε=0.2).",
-    cli_name="grouposition",
-)
-def _grouposition():
-    config = GroupositionConfig(epsilon=0.2, delta=0.05,
-                                group_sizes=[1, 4, 16, 64, 256, 1024],
-                                num_samples=30_000, rng=0)
-    return [("Group privacy loss vs k", run_grouposition(config))]
-
-
-@section(
-    "E6 — max-information (Theorem 4.5)",
-    "Paper: ε-LDP protocols have β-approximate max-information at most "
-    "nε²/2 + ε·sqrt(2n·ln(1/β)) for every input distribution, matching the central "
-    "model's product-only bound and beating its general εn bound. Measured: the "
-    "analytic comparison plus an empirical estimate for a deliberately correlated "
-    "input distribution, which stays below the Theorem 4.5 bound.",
-    cli_name="max-information",
-)
-def _max_information():
-    config = MaxInformationConfig(epsilon=0.1, beta=0.05,
-                                  num_users_sweep=[100, 1_000, 10_000],
-                                  empirical_users=200, empirical_samples=4_000,
-                                  rng=0)
-    return [("Max-information bounds", run_max_information(config))]
-
-
-@section(
-    "E7 — composition for randomized response (Theorem 5.1)",
-    "Paper: a pure 6ε·sqrt(k·ln(1/β))-DP mechanism is β-close in TV to the k-fold "
-    "composition of randomized response. Measured (exact computation, no sampling): "
-    "the worst-case privacy loss of the construction stays below the theorem bound, "
-    "crosses below the naive kε line as k grows, and the TV distance stays below β.",
-    cli_name="composed-rr",
-)
-def _composed_rr():
-    config = ComposedRRConfig(epsilon=0.05, beta=0.05,
-                              num_bits_sweep=[4, 8, 16, 32, 64, 128, 256])
-    return [("M̃ vs the composition of RR", run_composed_rr(config))]
-
-
-@section(
-    "E8 — GenProt: approximate-to-pure transformation (Theorem 6.1)",
-    "Paper: any non-interactive (ε, δ)-LDP protocol becomes pure 10ε-LDP with "
-    "O(log log n)-bit reports and TV-distance loss n((1/2+ε)^T + 6Tδe^ε/(1−e^{-ε})). "
-    "Measured: for both a pure RR base and a genuinely approximate Gaussian base, "
-    "the audited privacy loss of the transmitted index stays far below 10ε, reports "
-    "are ≤ 6 bits, and end-to-end estimation error before/after the transformation "
-    "is statistically indistinguishable.",
-    cli_name="genprot",
-)
-def _genprot():
-    config = GenProtConfig(epsilon=0.25, delta=1e-9, beta=0.05, num_users=3_000,
-                           privacy_trials=3_000, rng=0)
-    return [("GenProt privacy and utility", run_genprot(config))]
-
-
-@section(
-    "E9 — the lower bound (Theorem 7.2) and its anti-concentration core",
-    "Paper: every non-interactive (ε, δ)-LDP frequency protocol has worst-case "
-    "error Ω((1/ε)·sqrt(n·log(1/β))) on the replicated-database construction. "
-    "Measured: the (1-β)-quantile error of the optimal randomized-response counting "
-    "protocol on that construction is sandwiched between the lower-bound curve and "
-    "the matching upper bound, and grows as β shrinks exactly as the bound predicts; "
-    "the Corollary 7.6 intervals are escaped with probability ≥ β (exact computation).",
-    cli_name="lower-bound",
-)
-def _lower_bound():
-    config = LowerBoundConfig(num_users=8_000, epsilon=1.0,
-                              betas=[0.3, 0.1, 0.03, 0.01], num_trials=300,
-                              anticoncentration_bits=400, rng=0)
-    return [("Counting error vs the Theorem 7.2 curve", run_counting_lower_bound(config)),
-            ("Corollary 7.6 escape probabilities", run_anti_concentration(config))]
-
-
-@section(
-    "E10 — unique list recovery (Theorem 3.6)",
-    "Paper: the code recovers every element agreeing with a (1-α) fraction of the "
-    "lists. Measured: recovery is (near-)perfect below the code's tolerance and "
-    "collapses once the corrupted fraction exceeds it, with no spurious decodes.",
-    cli_name="list-recovery",
-)
-def _list_recovery():
-    config = ListRecoveryConfig(domain_size=1 << 16, num_coordinates=12,
-                                hash_range=128, list_size=16, alpha=0.25,
-                                num_codewords=6, noise_entries_per_list=4,
-                                corrupted_fractions=[0.0, 0.1, 0.2, 0.3, 0.5],
-                                num_trials=5, rng=0)
-    return [("Recovery vs corrupted fraction", run_list_recovery(config))]
-
-
-@section(
-    "A1 — ablation: per-coordinate hashes + code vs single hash + repetitions",
-    "The structural change responsible for the improved β-dependence: the baseline "
-    "needs log(1/β) repetitions (each diluting the per-group signal), the expander "
-    "sketch does not change with β at all.",
-    cli_name="ablation-hashing",
-)
-def _ablation_hashing():
-    config = HashingAblationConfig(num_users=40_000, domain_size=1 << 20,
-                                   epsilon=4.0, betas=[0.2, 0.02, 0.002],
-                                   heavy_fractions=[0.3, 0.2], rng=0)
-    return [("Hashing-structure ablation", run_hashing_ablation(config))]
-
-
-@section(
-    "A2 — ablation: Hashtogram bucket / repetition trade-off",
-    "More buckets cut collision noise at the price of memory; more repetitions cut "
-    "variance at the price of public randomness — the O~(sqrt(n)) / O~(1) balance "
-    "behind the Table 1 resource columns.",
-    cli_name="ablation-hashtogram",
-)
-def _ablation_hashtogram():
-    config = HashtogramAblationConfig(num_users=30_000, domain_size=1 << 18,
-                                      epsilon=1.0, bucket_counts=[32, 128, 512],
-                                      repetition_counts=[1, 3, 7],
-                                      num_queries=100, rng=0)
-    return [("Hashtogram ablation", run_hashtogram_ablation(config))]
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_CONFIG = _REPO_ROOT / "experiments" / "configs" / "paper.yaml"
 
 
 def generate(output_path: Path, quick: bool = False) -> None:
-    from repro.cli import EXPERIMENTS as CLI_EXPERIMENTS
+    from repro.experiments.matrix.config import load_config
+    from repro.experiments.matrix.paper import render_paper_md
 
-    parts = [QUICK_HEADER if quick else HEADER]
-    for title, commentary, cli_name, func in SECTIONS:
-        print(f"running: {title} ...", flush=True)
-        parts.append(f"\n## {title}\n")
-        parts.append(commentary + "\n")
-        if quick:
-            parts.append(f"\nReproduce: ``python -m repro.cli run {cli_name} "
-                         "--quick``\n")
-            _, runner = CLI_EXPERIMENTS[cli_name]
-            tables = runner(True)
-        else:
-            tables = func()
-        for subtitle, rows in tables:
-            if quick:
-                rows = _strip_host_dependent(rows)
-            parts.append(f"\n**{subtitle}**\n")
-            parts.append(format_markdown_table(rows) + "\n")
-    output_path.write_text("\n".join(parts))
+    config = load_config(_CONFIG)
+    output_path.write_text(render_paper_md(config, quick=quick,
+                                           progress=print))
     print(f"wrote {output_path}")
 
 
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(
-        description="regenerate EXPERIMENTS.md from the experiment drivers")
+        description="regenerate EXPERIMENTS.md (shim over "
+                    "`repro.cli matrix render experiments/configs/paper.yaml`)")
     parser.add_argument("output", nargs="?",
-                        default=str(Path(__file__).resolve().parent.parent
-                                    / "EXPERIMENTS.md"))
+                        default=str(_REPO_ROOT / "EXPERIMENTS.md"))
     parser.add_argument("--quick", action="store_true",
                         help="use the deterministic `repro.cli run --quick` "
                              "configurations (what CI checks for drift)")

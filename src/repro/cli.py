@@ -22,12 +22,22 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli cluster-ctl drain-shard --shard 0 --server 127.0.0.1:7070
     python -m repro.cli cluster-ctl rolling-restart --server 127.0.0.1:7070
     python -m repro.cli chaos-test --membership --transport shm
+    python -m repro.cli matrix list             # YAML experiment matrices
+    python -m repro.cli matrix run experiments/configs/quick.yaml
+    python -m repro.cli matrix render experiments/configs/paper.yaml --quick
     python -m repro.cli --list-modules          # module map (checked against docs)
 
 ``run`` prints the same tables that ``pytest benchmarks/ --benchmark-only``
-produces; the quick configurations (``--quick``) are what
-``python benchmarks/generate_experiments_md.py --quick`` records in
-EXPERIMENTS.md at the repository root.
+produces; the quick configurations (``--quick``) are what the matrix
+runner's paper config (``matrix render experiments/configs/paper.yaml
+--quick``) records in EXPERIMENTS.md at the repository root.
+
+``matrix`` is the YAML-driven sweep harness (:mod:`repro.experiments.matrix`):
+a config declares axes (protocol x epsilon x domain size x distribution x
+workers x shards x wire format x transport), each expanded cell runs the
+offline engine and — for cells with shards >= 1 — a live server or cluster
+that must answer bit-identically; committed tables land under
+``docs/experiments/`` and are drift-checked in CI (see docs/experiments.md).
 
 ``simulate`` drives the client/server wire API end to end: publish public
 parameters, encode one report per user, ingest the report stream, merge, and
@@ -1037,6 +1047,13 @@ def _cmd_cluster_ctl(args) -> int:
         return 0
 
 
+def _cmd_matrix(args) -> int:
+    """YAML-driven experiment matrices (see repro.experiments.matrix)."""
+    from repro.experiments.matrix.command import cmd_matrix
+
+    return cmd_matrix(args)
+
+
 # --------------------------------------------------------------------------------------
 # module map (--list-modules)
 # --------------------------------------------------------------------------------------
@@ -1423,6 +1440,41 @@ def build_parser() -> argparse.ArgumentParser:
                             help="wire timeout; drains move whole shard "
                                  "states, so this is generous by default")
     ctl_parser.set_defaults(func=_cmd_cluster_ctl)
+
+    matrix_parser = subparsers.add_parser(
+        "matrix",
+        help="YAML-driven experiment matrices: expand axes into cells, run "
+             "them through the engine or live servers, render committed "
+             "tables (see docs/experiments.md)")
+    matrix_parser.add_argument(
+        "verb", choices=["run", "list", "render"],
+        help="run executes a config (cached cells are reused); list shows "
+             "configs under experiments/configs/; render re-renders from "
+             "the cache, executing only missing cells")
+    matrix_parser.add_argument(
+        "config", nargs="?", default=None,
+        help="config path (required for run/render)")
+    matrix_parser.add_argument(
+        "configs", nargs="*",
+        help="config paths for list (default: experiments/configs/*.yaml)")
+    matrix_parser.add_argument(
+        "--quick", action="store_true",
+        help="serving configs: run the config's quick slice (outputs go to "
+             "the cache, not docs/experiments/); paper configs: the "
+             "deterministic committed EXPERIMENTS.md configuration")
+    matrix_parser.add_argument(
+        "--force", action="store_true",
+        help="ignore and overwrite cached cell results")
+    matrix_parser.add_argument(
+        "--cache-dir", default=None,
+        help="per-cell result cache (default: .matrix_cache/<config name>)")
+    matrix_parser.add_argument(
+        "--timings", action="store_true",
+        help="also print the host-dependent timing columns")
+    matrix_parser.add_argument(
+        "-o", "--output", default=None,
+        help="override the output path of a paper config")
+    matrix_parser.set_defaults(func=_cmd_matrix)
 
     return parser
 
